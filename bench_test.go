@@ -1,0 +1,338 @@
+// Benchmarks regenerating the paper's evaluation, one per figure (see
+// DESIGN.md §3 and EXPERIMENTS.md). The per-sample benchmarks measure the
+// steady-state cost of the four sampling methods of Figure 3(a); the
+// harness benchmarks run the full figure pipelines at reduced scale and
+// report the figure's headline quantities as custom metrics. cmd/stormbench
+// runs the same pipelines at paper scale.
+package storm
+
+import (
+	"sync"
+	"testing"
+
+	"storm/internal/bench"
+	"storm/internal/data"
+	"storm/internal/estimator"
+	"storm/internal/gen"
+	"storm/internal/geo"
+	"storm/internal/hilbert"
+	"storm/internal/lstree"
+	"storm/internal/rstree"
+	"storm/internal/rtree"
+	"storm/internal/sampling"
+	"storm/internal/stats"
+)
+
+// ---- shared fixtures (built once across benchmarks) ----
+
+var (
+	fixOnce    sync.Once
+	fixDS      *data.Dataset
+	fixEntries []data.Entry
+	fixPlain   *rtree.Tree
+	fixRS      *rstree.Index
+	fixLS      *lstree.Index
+	fixQuery   geo.Rect
+)
+
+func fixture(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixDS = gen.OSM(gen.OSMConfig{N: 500_000, Seed: 1})
+		fixEntries = fixDS.Entries()
+		fixPlain = rtree.MustNew(rtree.Config{Fanout: 64})
+		fixPlain.BulkLoad(fixEntries)
+		var err error
+		fixRS, err = rstree.Build(fixEntries, rstree.Config{Fanout: 64, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fixLS, err = lstree.Build(fixEntries, lstree.Config{Fanout: 64, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fixQuery = geo.Range{MinX: -76, MinY: 38.7, MaxX: -72, MaxY: 42.7,
+			MinT: 0, MaxT: 86400 * 365}.Rect()
+	})
+}
+
+// drawN pulls b.N samples from a sampler factory, restarting the stream
+// whenever it is exhausted (so b.N can exceed q).
+func drawN(b *testing.B, mk func(seed int64) sampling.Sampler) {
+	b.Helper()
+	seed := int64(1)
+	s := mk(seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			seed++
+			s = mk(seed)
+			i--
+		}
+	}
+}
+
+// ---- Figure 3(a): per-sample cost of each method ----
+
+func BenchmarkFig3aSampleRSTree(b *testing.B) {
+	fixture(b)
+	drawN(b, func(seed int64) sampling.Sampler {
+		return fixRS.Sampler(fixQuery, sampling.WithoutReplacement, stats.NewRNG(seed))
+	})
+}
+
+func BenchmarkFig3aSampleLSTree(b *testing.B) {
+	fixture(b)
+	drawN(b, func(seed int64) sampling.Sampler {
+		return fixLS.Sampler(fixQuery, stats.NewRNG(seed))
+	})
+}
+
+func BenchmarkFig3aSampleRandomPath(b *testing.B) {
+	fixture(b)
+	drawN(b, func(seed int64) sampling.Sampler {
+		return sampling.NewRandomPath(fixPlain, fixQuery, sampling.WithoutReplacement, stats.NewRNG(seed))
+	})
+}
+
+func BenchmarkFig3aSampleRangeReport(b *testing.B) {
+	fixture(b)
+	drawN(b, func(seed int64) sampling.Sampler {
+		return sampling.NewQueryFirst(fixPlain, fixQuery, sampling.WithoutReplacement, stats.NewRNG(seed))
+	})
+}
+
+func BenchmarkFig3aSampleSampleFirst(b *testing.B) {
+	fixture(b)
+	drawN(b, func(seed int64) sampling.Sampler {
+		return sampling.NewSampleFirst(fixDS, fixQuery, sampling.WithoutReplacement, stats.NewRNG(seed), nil, 64)
+	})
+}
+
+// BenchmarkFig3aHarness runs the complete Figure 3(a) pipeline (all
+// methods × all k) at reduced scale and reports the k/q = 10% simulated
+// I/O of the two headline methods.
+func BenchmarkFig3aHarness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig3a(bench.Fig3aConfig{N: 200_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := map[string]bench.Fig3aPoint{}
+		for _, p := range pts {
+			last[p.Method] = p
+		}
+		b.ReportMetric(float64(last["RS-tree"].Reads), "rs-reads@10%")
+		b.ReportMetric(float64(last["RangeReport"].Reads), "rr-reads@10%")
+		b.ReportMetric(float64(last["RandomPath"].Reads), "rp-reads@10%")
+		b.ReportMetric(float64(last["LS-tree"].Reads), "ls-reads@10%")
+	}
+}
+
+// ---- Figure 3(b): online accuracy ----
+
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig3b(bench.Fig3bConfig{N: 200_000, Seed: 1, Trials: 2,
+			Checkpoints: []int{16, 64, 256, 1024}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rsFinal, lsFinal float64
+		for _, p := range pts {
+			if p.Samples == 1024 {
+				if p.Method == "RS-tree" {
+					rsFinal = p.RelErr
+				} else {
+					lsFinal = p.RelErr
+				}
+			}
+		}
+		b.ReportMetric(rsFinal*100, "rs-err%@1024")
+		b.ReportMetric(lsFinal*100, "ls-err%@1024")
+	}
+}
+
+// ---- Figure 5: online KDE ----
+
+func BenchmarkFig5KDE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.Fig5(bench.Fig5Config{N: 150_000, Grid: 16, Seed: 1,
+			Checkpoints: []int{100, 1000}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Samples == 1000 && p.Region == "USA" {
+				b.ReportMetric(p.RelErr, "usa-err@1000")
+			}
+		}
+	}
+}
+
+// ---- Figure 6(a): online trajectory ----
+
+func BenchmarkFig6aTrajectory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _, err := bench.Fig6a(bench.Fig6aConfig{N: 80_000, Users: 10, Seed: 1,
+			Checkpoints: []int{25, 250}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) > 0 {
+			b.ReportMetric(pts[len(pts)-1].PathErr, "path-err")
+		}
+	}
+}
+
+// ---- Figure 6(b): online short-text terms ----
+
+func BenchmarkFig6bTerms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig6b(bench.Fig6bConfig{N: 150_000, Seed: 1,
+			Checkpoints: []int{50, 500}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(res.Points); n > 0 {
+			b.ReportMetric(res.Points[n-1].Recall, "top10-recall")
+		}
+	}
+}
+
+// ---- Ablations ----
+
+func BenchmarkAblationBufferPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.A1(bench.A1Config{N: 150_000, K: 1000, Seed: 1,
+			PoolFracs: []float64{0, 0.1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Method == "RS-tree" && p.PoolFrac == 0.1 {
+				b.ReportMetric(p.HitRate, "rs-hit-rate@10%pool")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationSampleBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.A2(bench.A2Config{N: 150_000, K: 1000, Fanout: 16, Seed: 1,
+			BufSizes: []int{4, 64}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pts[0].Explosions), "explosions@S=4")
+		b.ReportMetric(float64(pts[1].Explosions), "explosions@S=64")
+	}
+}
+
+func BenchmarkUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.A3(bench.A3Config{N: 80_000, Updates: 8_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Index == "RS-tree" {
+				b.ReportMetric(r.InsertsPerSecond, "rs-inserts/s")
+			} else {
+				b.ReportMetric(r.InsertsPerSecond, "ls-inserts/s")
+			}
+		}
+	}
+}
+
+func BenchmarkDistributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.A4(bench.A4Config{N: 150_000, K: 2000, Seed: 1,
+			Shards: []int{1, 4}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pts[1].Messages), "messages@4shards")
+	}
+}
+
+func BenchmarkPackingQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.A6(bench.A6Config{N: 60_000, Queries: 5, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Packing == "hilbert" {
+				b.ReportMetric(p.AvgReads, "hilbert-reads")
+			}
+			if p.Packing == "insert-built" {
+				b.ReportMetric(p.AvgReads, "insert-reads")
+			}
+		}
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.A5(bench.A5Config{Sizes: []int{100_000}, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			switch p.Index {
+			case "LS-tree":
+				b.ReportMetric(p.BuildMS, "ls-build-ms")
+			case "RS-tree":
+				b.ReportMetric(p.BuildMS, "rs-build-ms")
+			}
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkRTreeInsert(b *testing.B) {
+	rng := stats.NewRNG(1)
+	t := rtree.MustNew(rtree.Config{Fanout: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(data.Entry{ID: data.ID(i), Pos: geo.Vec{
+			rng.Uniform(0, 1000), rng.Uniform(0, 1000), rng.Uniform(0, 1000)}})
+	}
+}
+
+func BenchmarkRTreeRangeCount(b *testing.B) {
+	fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fixPlain.Count(fixQuery)
+	}
+}
+
+func BenchmarkHilbertEncode3D(b *testing.B) {
+	c := hilbert.MustNew(3, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(uint64(i)&0xFFFF, uint64(i*7)&0xFFFF, uint64(i*13)&0xFFFF)
+	}
+}
+
+func BenchmarkEstimatorAdd(b *testing.B) {
+	est := estimator.MustNew(estimator.Avg, 0.95, 1<<30, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Add(float64(i % 1000))
+	}
+}
+
+func BenchmarkEstimatorSnapshot(b *testing.B) {
+	est := estimator.MustNew(estimator.Avg, 0.95, 1<<30, true)
+	for i := 0; i < 1000; i++ {
+		est.Add(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Snapshot()
+	}
+}

@@ -1,0 +1,324 @@
+// Command stormbench regenerates every table and figure of the STORM
+// paper's evaluation (SIGMOD 2015) on synthetic data, printing the curves
+// the paper plots. See EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	stormbench -fig 3a [-n 2000000]   # Figure 3(a): sampling efficiency
+//	stormbench -fig 3b                # Figure 3(b): online accuracy
+//	stormbench -fig 5                 # Figure 5: online KDE convergence
+//	stormbench -fig 6a                # Figure 6(a): trajectory quality
+//	stormbench -fig 6b                # Figure 6(b): short-text recall
+//	stormbench -fig a1|a2|a3|a4       # ablations (buffer pool, S(u) size,
+//	                                  # updates, distributed scaling)
+//	stormbench -fig all               # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"storm/internal/bench"
+	"storm/internal/viz"
+)
+
+// emitSeries enables plot-ready series output after each figure's table.
+var emitSeries bool
+
+// series prints one curve when -series is set.
+func series(title string, xs, ys []float64) {
+	if emitSeries {
+		fmt.Print(viz.Series(title, xs, ys))
+	}
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, all")
+	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
+	seed := flag.Int64("seed", 1, "generator/sampling seed")
+	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		want := strings.ToLower(*fig)
+		if want != "all" && want != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", strings.ToUpper(name))
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "stormbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("3a", func() error { return fig3a(*n, *seed) })
+	run("3b", func() error { return fig3b(*n, *seed) })
+	run("5", func() error { return fig5(*seed) })
+	run("6a", func() error { return fig6a(*seed) })
+	run("6b", func() error { return fig6b(*seed) })
+	run("a1", func() error { return a1(*seed) })
+	run("a2", func() error { return a2(*seed) })
+	run("a3", func() error { return a3(*seed) })
+	run("a4", func() error { return a4(*seed) })
+	run("a5", func() error { return a5(*seed) })
+	run("a6", func() error { return a6(*seed) })
+}
+
+func a6(seed int64) error {
+	fmt.Println("Ablation A6: R-tree packing (Hilbert vs STR vs one-by-one insertion)")
+	pts, err := bench.A6(bench.A6Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"packing", "avg range reads", "avg canonical size"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Packing,
+			fmt.Sprintf("%.1f", p.AvgReads),
+			fmt.Sprintf("%.1f", p.AvgCanonical),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a5(seed int64) error {
+	fmt.Println("Ablation A5: index construction cost")
+	pts, err := bench.A5(bench.A5Config{Seed: seed, Sizes: []int{100_000, 500_000, 2_000_000}})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"index", "N", "build ms", "nodes", "size ratio"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Index,
+			fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%.1f", p.BuildMS),
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%.2f", p.SizeRatio),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func fig3a(n int, seed int64) error {
+	fmt.Printf("Figure 3(a): time and I/O to draw k online samples (N=%d, q/N=5%%)\n", n)
+	pts, err := bench.Fig3a(bench.Fig3aConfig{N: n, Seed: seed, IncludeSampleFirst: true})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"method", "k/q", "k", "wall ms", "page reads", "cost units"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Method,
+			fmt.Sprintf("%.1f%%", p.KOverQ*100),
+			fmt.Sprintf("%d", p.K),
+			fmt.Sprintf("%.2f", p.WallMS),
+			fmt.Sprintf("%d", p.Reads),
+			fmt.Sprintf("%.0f", p.CostUnits),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	if emitSeries {
+		curves := map[string][][2]float64{}
+		order := []string{}
+		for _, p := range pts {
+			if _, ok := curves[p.Method]; !ok {
+				order = append(order, p.Method)
+			}
+			curves[p.Method] = append(curves[p.Method], [2]float64{p.KOverQ, p.WallMS})
+		}
+		for _, m := range order {
+			xs := make([]float64, len(curves[m]))
+			ys := make([]float64, len(curves[m]))
+			for i, pt := range curves[m] {
+				xs[i], ys[i] = pt[0], pt[1]
+			}
+			series("fig3a "+m+" (k/q vs wall ms)", xs, ys)
+		}
+	}
+
+	// Paper-style summary at the largest k: ordering of the curves.
+	byMethod := map[string]bench.Fig3aPoint{}
+	for _, p := range pts {
+		byMethod[p.Method] = p // last point per method wins
+	}
+	fmt.Println()
+	labels := []string{"LS-tree", "RS-tree", "RangeReport", "RandomPath", "SampleFirst"}
+	vals := make([]float64, 0, len(labels))
+	present := labels[:0]
+	for _, l := range labels {
+		if p, ok := byMethod[l]; ok {
+			present = append(present, l)
+			vals = append(vals, p.CostUnits)
+		}
+	}
+	fmt.Print(viz.LogBars("simulated I/O cost at k/q = 10% (log scale)", present, vals, "units"))
+	return nil
+}
+
+func fig3b(n int, seed int64) error {
+	fmt.Printf("Figure 3(b): relative error of online avg(altitude) vs time (N=%d)\n", n)
+	pts, err := bench.Fig3b(bench.Fig3bConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"method", "samples", "time ms", "rel error"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Method,
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%.3f", p.TimeMS),
+			fmt.Sprintf("%.4f%%", p.RelErr*100),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	if emitSeries {
+		curves := map[string][][2]float64{}
+		order := []string{}
+		for _, p := range pts {
+			if _, ok := curves[p.Method]; !ok {
+				order = append(order, p.Method)
+			}
+			curves[p.Method] = append(curves[p.Method], [2]float64{p.TimeMS, p.RelErr})
+		}
+		for _, m := range order {
+			xs := make([]float64, len(curves[m]))
+			ys := make([]float64, len(curves[m]))
+			for i, pt := range curves[m] {
+				xs[i], ys[i] = pt[0], pt[1]
+			}
+			series("fig3b "+m+" (time ms vs rel error)", xs, ys)
+		}
+	}
+	return nil
+}
+
+func fig5(seed int64) error {
+	fmt.Println("Figure 5: online KDE convergence, SLC zoom-in vs USA zoom-out (1M tweets)")
+	pts, err := bench.Fig5(bench.Fig5Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"region", "samples", "rel error vs exact KDE"}}
+	for _, p := range pts {
+		rows = append(rows, []string{p.Region, fmt.Sprintf("%d", p.Samples), fmt.Sprintf("%.4f", p.RelErr)})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func fig6a(seed int64) error {
+	fmt.Println("Figure 6(a): online approximate trajectory error vs samples (200k tweets)")
+	pts, user, err := bench.Fig6a(bench.Fig6aConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconstructing user %s\n", user)
+	rows := [][]string{{"samples", "avg path error (deg)"}}
+	for _, p := range pts {
+		rows = append(rows, []string{fmt.Sprintf("%d", p.Samples), fmt.Sprintf("%.5f", p.PathErr)})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func fig6b(seed int64) error {
+	fmt.Println("Figure 6(b): online short-text understanding, Atlanta snowstorm window (400k tweets)")
+	res, err := bench.Fig6b(bench.Fig6bConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"samples", "top-10 recall", "sentiment"}}
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%.2f", p.Recall),
+			fmt.Sprintf("%+.3f", p.Sentiment),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	fmt.Printf("final vocabulary: %s\n", strings.Join(res.TopTerms, ", "))
+	return nil
+}
+
+func a1(seed int64) error {
+	fmt.Println("Ablation A1: buffer-pool sweep (RS-tree vs RandomPath, 500k points, k=2000)")
+	pts, err := bench.A1(bench.A1Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"method", "pool frac", "page reads", "hit rate"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Method,
+			fmt.Sprintf("%.0f%%", p.PoolFrac*100),
+			fmt.Sprintf("%d", p.Reads),
+			fmt.Sprintf("%.2f", p.HitRate),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a2(seed int64) error {
+	fmt.Println("Ablation A2: RS-tree sample-buffer size S(u) (500k points, k=2000)")
+	pts, err := bench.A2(bench.A2Config{Seed: seed, Fanout: 16})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"|S(u)|", "wall ms", "page reads", "explosions", "rejects"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.BufSize),
+			fmt.Sprintf("%.2f", p.WallMS),
+			fmt.Sprintf("%d", p.Reads),
+			fmt.Sprintf("%d", p.Explosions),
+			fmt.Sprintf("%d", p.Rejects),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a3(seed int64) error {
+	fmt.Println("Ablation A3: ad-hoc updates (200k base, 20k inserts, 10k deletes)")
+	res, err := bench.A3(bench.A3Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"index", "inserts/s", "deletes/s", "fresh samples correct"}}
+	for _, r := range res {
+		rows = append(rows, []string{
+			r.Index,
+			fmt.Sprintf("%.0f", r.InsertsPerSecond),
+			fmt.Sprintf("%.0f", r.DeletesPerSecond),
+			fmt.Sprintf("%v", r.FreshSampled),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a4(seed int64) error {
+	fmt.Println("Ablation A4: distributed sampling across 1-8 shards (500k points, k=5000)")
+	pts, err := bench.A4(bench.A4Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"shards", "wall ms", "messages", "max shard share"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%.2f", p.WallMS),
+			fmt.Sprintf("%d", p.Messages),
+			fmt.Sprintf("%.2f", p.MaxShardShare),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}

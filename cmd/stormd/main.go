@@ -1,0 +1,49 @@
+// Command stormd serves STORM's query interface over HTTP, standing in for
+// the paper's web demo (www.estorm.org). It preloads the synthetic demo
+// datasets and listens for query-language statements.
+//
+//	stormd -addr :8080 -osm 500000 -tweets 300000
+//
+//	curl localhost:8080/datasets
+//	curl -d '{"statement":"ESTIMATE AVG(altitude) FROM osm WHERE REGION(-112.4,40.2,-111.4,41.2) WITH ERROR 1%"}' localhost:8080/query
+//	curl 'localhost:8080/explain?q=COUNT%20FROM%20osm'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"storm/internal/data"
+	"storm/internal/engine"
+	"storm/internal/gen"
+	"storm/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	osmN := flag.Int("osm", 500_000, "OSM-like records")
+	tweetN := flag.Int("tweets", 300_000, "tweet-like records")
+	stations := flag.Int("stations", 2_000, "weather stations")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	eng := engine.New(engine.Config{Seed: *seed})
+	fmt.Fprintln(os.Stderr, "stormd: generating demo datasets...")
+	tweets, _ := gen.Tweets(gen.TweetsConfig{N: *tweetN, Seed: *seed, Snowstorm: true})
+	for _, ds := range []*data.Dataset{
+		gen.OSM(gen.OSMConfig{N: *osmN, Seed: *seed}),
+		tweets,
+		gen.Stations(gen.StationsConfig{Stations: *stations, ReadingsPerStation: 48, Seed: *seed, ColdSnap: true}),
+	} {
+		if _, err := eng.Register(ds, engine.IndexOptions{LSTree: true}); err != nil {
+			log.Fatalf("stormd: registering %s: %v", ds.Name(), err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "stormd: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: open STORM, index a dataset, and run an online aggregation
+// that stops at a 1% relative-error target — the paper's introduction
+// scenario ("average electricity usage ... 973 kWh with a standard
+// deviation of 25 kWh and 95% confidence") on synthetic OSM data.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"storm"
+)
+
+func main() {
+	db := storm.Open(storm.Config{Seed: 1})
+
+	// 500k OSM-like points with an altitude attribute.
+	fmt.Println("generating and indexing 500k points...")
+	ds := storm.GenerateOSM(storm.OSMConfig{N: 500_000, Seed: 1})
+	h, err := db.Register(ds, storm.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Average altitude around Salt Lake City, first 90 days.
+	q := storm.Range{
+		MinX: -112.4, MinY: 40.2, MaxX: -111.4, MaxY: 41.2,
+		MinT: 0, MaxT: 90 * 86400,
+	}
+	fmt.Printf("query range matches %d of %d records\n", h.Count(q), h.Len())
+
+	// Stream online snapshots until the 1% relative-error target is met.
+	ch, err := h.EstimateOnline(context.Background(), q, storm.Options{
+		Kind:           storm.Avg,
+		Attr:           "altitude",
+		Confidence:     0.95,
+		TargetRelError: 0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for snap := range ch {
+		fmt.Printf("  %s  (%.1fms elapsed)\n", snap.Estimate, float64(snap.Elapsed.Microseconds())/1000)
+		if snap.Done {
+			fmt.Println("target accuracy reached — query stopped early.")
+		}
+	}
+
+	// Exact answer for comparison: run the sampler to exhaustion.
+	exact, err := h.Estimate(context.Background(), q, storm.Options{Kind: storm.Avg, Attr: "altitude"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact answer: %s\n", exact.Estimate)
+}

@@ -1,0 +1,3 @@
+module storm
+
+go 1.22

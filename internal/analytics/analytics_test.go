@@ -1,0 +1,390 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"storm/internal/geo"
+	"storm/internal/stats"
+)
+
+func TestKernelProperties(t *testing.T) {
+	for _, k := range []Kernel{Gaussian, Epanechnikov, Triangular} {
+		// Non-negative and decreasing with distance.
+		prev := math.Inf(1)
+		for d := 0.0; d <= 2; d += 0.1 {
+			v := k.Eval(d, 1)
+			if v < 0 {
+				t.Errorf("%v kernel negative at d=%v", k, d)
+			}
+			if v > prev+1e-12 {
+				t.Errorf("%v kernel increased at d=%v", k, d)
+			}
+			prev = v
+		}
+		// Compact kernels vanish beyond the bandwidth.
+		if k != Gaussian && k.Eval(1.5, 1) != 0 {
+			t.Errorf("%v kernel should vanish beyond bandwidth", k)
+		}
+		if k.String() == "" {
+			t.Error("empty kernel name")
+		}
+	}
+}
+
+func TestKDEValidation(t *testing.T) {
+	r := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{10, 10, 10})
+	if _, err := NewKDE(r, 0, 8, Gaussian, 1, 0.95); err == nil {
+		t.Error("zero grid should be rejected")
+	}
+	if _, err := NewKDE(r, 8, 8, Gaussian, 0, 0.95); err == nil {
+		t.Error("zero bandwidth should be rejected")
+	}
+	if _, err := NewKDE(r, 8, 8, Gaussian, 1, 1.5); err == nil {
+		t.Error("bad confidence should be rejected")
+	}
+}
+
+func TestKDEFindsHotspot(t *testing.T) {
+	r := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{10, 10, 0})
+	kde, err := NewKDE(r, 10, 10, Gaussian, 1.0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	// Cluster at (2.5, 2.5), sparse elsewhere.
+	for i := 0; i < 900; i++ {
+		kde.Add(geo.Vec{2.5 + rng.NormFloat64()*0.5, 2.5 + rng.NormFloat64()*0.5, 0})
+	}
+	for i := 0; i < 100; i++ {
+		kde.Add(geo.Vec{rng.Uniform(0, 10), rng.Uniform(0, 10), 0})
+	}
+	m := kde.Snapshot()
+	if m.Samples != 1000 {
+		t.Fatalf("samples = %d", m.Samples)
+	}
+	// The cell containing (2.5, 2.5) should be the densest.
+	hot := m.At(2, 2)
+	cold := m.At(8, 8)
+	if hot <= 2*cold {
+		t.Errorf("hotspot density %v not dominant over %v", hot, cold)
+	}
+	if m.MaxDensity() < hot {
+		t.Error("MaxDensity below observed cell")
+	}
+}
+
+func TestKDEConvergesToExact(t *testing.T) {
+	r := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{10, 10, 0})
+	rng := stats.NewRNG(2)
+	pts := make([]geo.Vec, 4000)
+	for i := range pts {
+		pts[i] = geo.Vec{rng.Uniform(0, 10), rng.NormFloat64()*1.5 + 5, 0}
+	}
+	exact, _ := NewKDE(r, 8, 8, Epanechnikov, 2.0, 0.95)
+	for _, p := range pts {
+		exact.Add(p)
+	}
+	ref := exact.Snapshot()
+
+	small, _ := NewKDE(r, 8, 8, Epanechnikov, 2.0, 0.95)
+	big, _ := NewKDE(r, 8, 8, Epanechnikov, 2.0, 0.95)
+	perm := rng.Perm(len(pts))
+	for i, idx := range perm {
+		if i < 50 {
+			small.Add(pts[idx])
+		}
+		if i < 1500 {
+			big.Add(pts[idx])
+		}
+	}
+	errSmall := small.Snapshot().RelError(ref)
+	errBig := big.Snapshot().RelError(ref)
+	if errBig >= errSmall {
+		t.Errorf("KDE error should shrink with samples: %v -> %v", errSmall, errBig)
+	}
+	if errBig > 0.1 {
+		t.Errorf("1500-sample KDE error %v too large", errBig)
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	r := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{10, 10, 0})
+	kde, _ := NewKDE(r, 10, 10, Gaussian, 1.0, 0.95)
+	rng := stats.NewRNG(7)
+	for i := 0; i < 800; i++ {
+		kde.Add(geo.Vec{7.5 + rng.NormFloat64()*0.4, 2.5 + rng.NormFloat64()*0.4, 0})
+	}
+	for i := 0; i < 200; i++ {
+		kde.Add(geo.Vec{rng.Uniform(0, 10), rng.Uniform(0, 10), 0})
+	}
+	m := kde.Snapshot()
+	spots := m.Hotspots(3)
+	if len(spots) != 3 {
+		t.Fatalf("hotspots = %d", len(spots))
+	}
+	// Densest-first and anchored at the injected cluster.
+	if spots[0].Density < spots[1].Density || spots[1].Density < spots[2].Density {
+		t.Error("hotspots not sorted by density")
+	}
+	if math.Abs(spots[0].X-7.5) > 1.5 || math.Abs(spots[0].Y-2.5) > 1.5 {
+		t.Errorf("top hotspot at (%v, %v), cluster at (7.5, 2.5)", spots[0].X, spots[0].Y)
+	}
+	// With 1000 samples the top cell should be statistically separated.
+	if !spots[0].Separated {
+		t.Error("dominant hotspot should be separated")
+	}
+	// Edge cases.
+	if got := m.Hotspots(0); got != nil {
+		t.Error("k=0 should be nil")
+	}
+	if got := m.Hotspots(1000); len(got) != 100 {
+		t.Errorf("k beyond cells = %d, want all 100", len(got))
+	}
+	empty := &DensityMap{}
+	if got := empty.Hotspots(3); got != nil {
+		t.Error("empty map should give nil")
+	}
+}
+
+func TestDensityMapErrorsPanicOnShape(t *testing.T) {
+	a := &DensityMap{Nx: 2, Ny: 2, Density: make([]float64, 4)}
+	b := &DensityMap{Nx: 3, Ny: 3, Density: make([]float64, 9)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	a.MeanAbsError(b)
+}
+
+func TestKMeansRecoverClusters(t *testing.T) {
+	rng := stats.NewRNG(3)
+	km, err := NewKMeans(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := []geo.Vec{{0, 0, 0}, {10, 0, 0}, {5, 9, 0}}
+	for i := 0; i < 600; i++ {
+		c := centers[i%3]
+		km.Add(geo.Vec{c[0] + rng.NormFloat64()*0.5, c[1] + rng.NormFloat64()*0.5, 0})
+	}
+	res := km.Snapshot()
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	// Every true center must be close to some estimated center.
+	for _, truth := range centers {
+		best := math.Inf(1)
+		for _, c := range res.Clusters {
+			if d := truth.Dist2D(c.Center); d < best {
+				best = d
+			}
+		}
+		if best > 0.5 {
+			t.Errorf("no estimated center near %v (closest %.2f)", truth, best)
+		}
+	}
+	total := 0
+	for _, c := range res.Clusters {
+		total += c.Size
+	}
+	if total != 600 {
+		t.Errorf("cluster sizes sum to %d", total)
+	}
+	if res.Inertia <= 0 {
+		t.Error("inertia should be positive for noisy clusters")
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if _, err := NewKMeans(0, stats.NewRNG(1)); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	km, _ := NewKMeans(5, stats.NewRNG(1))
+	if res := km.Snapshot(); res.Samples != 0 || len(res.Clusters) != 0 {
+		t.Errorf("empty snapshot = %+v", res)
+	}
+	// Fewer points than k.
+	km.Add(geo.Vec{1, 1, 0})
+	km.Add(geo.Vec{2, 2, 0})
+	res := km.Snapshot()
+	if len(res.Clusters) != 2 {
+		t.Errorf("clusters with 2 points = %d, want 2", len(res.Clusters))
+	}
+	// All points identical.
+	km2, _ := NewKMeans(3, stats.NewRNG(2))
+	for i := 0; i < 10; i++ {
+		km2.Add(geo.Vec{4, 4, 0})
+	}
+	res2 := km2.Snapshot()
+	if res2.Inertia != 0 {
+		t.Errorf("identical points inertia = %v", res2.Inertia)
+	}
+}
+
+func TestTrajectoryOrdering(t *testing.T) {
+	tr := NewTrajectory()
+	// Insert out of order; snapshot must be time-sorted.
+	tr.Add(geo.Vec{3, 3, 30})
+	tr.Add(geo.Vec{1, 1, 10})
+	tr.Add(geo.Vec{2, 2, 20})
+	p := tr.Snapshot(0)
+	pts := p.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T() < pts[i-1].T() {
+			t.Fatal("points not time-ordered")
+		}
+	}
+}
+
+func TestTrajectoryGapSplit(t *testing.T) {
+	tr := NewTrajectory()
+	tr.GapSplit = 100
+	tr.Add(geo.Vec{0, 0, 0})
+	tr.Add(geo.Vec{1, 1, 50})
+	tr.Add(geo.Vec{9, 9, 500}) // big gap
+	tr.Add(geo.Vec{10, 10, 550})
+	p := tr.Snapshot(0)
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(p.Segments))
+	}
+	if len(p.Segments[0]) != 2 || len(p.Segments[1]) != 2 {
+		t.Errorf("segment sizes = %d, %d", len(p.Segments[0]), len(p.Segments[1]))
+	}
+}
+
+func TestDouglasPeucker(t *testing.T) {
+	// Collinear interior points collapse; a sharp corner survives.
+	pts := []geo.Vec{{0, 0, 0}, {1, 0.001, 1}, {2, 0, 2}, {3, 0, 3}, {3, 5, 4}}
+	simplified := douglasPeucker(pts, 0.1)
+	if len(simplified) >= len(pts) {
+		t.Errorf("no simplification: %d -> %d", len(pts), len(simplified))
+	}
+	if simplified[0] != pts[0] || simplified[len(simplified)-1] != pts[len(pts)-1] {
+		t.Error("endpoints must be preserved")
+	}
+	// The corner at (3,0) must survive.
+	found := false
+	for _, p := range simplified {
+		if p[0] == 3 && p[1] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("corner point removed")
+	}
+}
+
+func TestPathErrorDecreasesWithSamples(t *testing.T) {
+	rng := stats.NewRNG(5)
+	// Ground truth: a random walk.
+	truth := make([]geo.Vec, 200)
+	x, y := 0.0, 0.0
+	for i := range truth {
+		x += rng.NormFloat64() * 0.3
+		y += rng.NormFloat64() * 0.3
+		truth[i] = geo.Vec{x, y, float64(i)}
+	}
+	build := func(k int) *Path {
+		tr := NewTrajectory()
+		perm := rng.Perm(len(truth))
+		for _, idx := range perm[:k] {
+			tr.Add(truth[idx])
+		}
+		return tr.Snapshot(0)
+	}
+	e10 := PathError(truth, build(10))
+	e100 := PathError(truth, build(100))
+	if e100 >= e10 {
+		t.Errorf("path error should decrease: %v -> %v", e10, e100)
+	}
+	if full := PathError(truth, build(len(truth))); full > 1e-9 {
+		t.Errorf("full reconstruction error %v should be ~0", full)
+	}
+}
+
+func TestPathErrorEdges(t *testing.T) {
+	if !math.IsInf(PathError([]geo.Vec{{0, 0, 0}}, &Path{}), 1) {
+		t.Error("empty path error should be +Inf")
+	}
+	single := &Path{Segments: [][]geo.Vec{{{1, 1, 0}}}}
+	if got := PathError([]geo.Vec{{1, 1, 0}}, single); got != 0 {
+		t.Errorf("single matching point error = %v", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("The SNOW is falling, and the power-outage began! #atl @user1")
+	want := map[string]bool{"snow": true, "falling": true, "power": true,
+		"outage": true, "began": true, "#atl": true, "@user1": true}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for _, tok := range toks {
+		if !want[tok] {
+			t.Errorf("unexpected token %q", tok)
+		}
+	}
+}
+
+func TestTokenizeEdge(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("empty text tokens = %v", got)
+	}
+	if got := Tokenize("a I ! ?"); len(got) != 0 {
+		t.Errorf("stopword-only text tokens = %v", got)
+	}
+}
+
+func TestTermStats(t *testing.T) {
+	ts := NewTermStats()
+	ts.Add("snow snow ice")
+	ts.Add("snow outage")
+	snap := ts.Snapshot(2)
+	if snap.Samples != 2 || snap.Distinct != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Top) != 2 || snap.Top[0].Text != "snow" || snap.Top[0].Count != 3 {
+		t.Fatalf("top = %+v", snap.Top)
+	}
+	if math.Abs(snap.Top[0].Freq-0.6) > 1e-12 {
+		t.Errorf("freq = %v, want 0.6", snap.Top[0].Freq)
+	}
+	// Snowstorm vocabulary skews negative.
+	if snap.Sentiment >= 0 {
+		t.Errorf("sentiment = %v, want negative", snap.Sentiment)
+	}
+}
+
+func TestTermStatsEmpty(t *testing.T) {
+	ts := NewTermStats()
+	snap := ts.Snapshot(5)
+	if snap.Samples != 0 || len(snap.Top) != 0 || snap.Sentiment != 0 {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+}
+
+func TestTopTermRecall(t *testing.T) {
+	truth := &TermSnapshot{Top: []Term{{Text: "a"}, {Text: "b"}, {Text: "c"}, {Text: "d"}}}
+	est := &TermSnapshot{Top: []Term{{Text: "a"}, {Text: "x"}, {Text: "c"}, {Text: "y"}}}
+	if got := TopTermRecall(est, truth); got != 0.5 {
+		t.Errorf("recall = %v, want 0.5", got)
+	}
+	if got := TopTermRecall(est, &TermSnapshot{}); got != 1 {
+		t.Errorf("recall vs empty truth = %v, want 1", got)
+	}
+}
+
+func TestTermSnapshotDeterministicTies(t *testing.T) {
+	ts := NewTermStats()
+	ts.Add("zebra apple")
+	s1 := ts.Snapshot(2)
+	s2 := ts.Snapshot(2)
+	if s1.Top[0].Text != s2.Top[0].Text || s1.Top[0].Text != "apple" {
+		t.Errorf("ties should break lexicographically: %+v", s1.Top)
+	}
+}

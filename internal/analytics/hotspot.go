@@ -1,0 +1,60 @@
+package analytics
+
+import "sort"
+
+// Hotspot is one high-density cell of a density map.
+type Hotspot struct {
+	// X, Y is the spatial center of the cell.
+	X, Y float64
+	// Density is the estimated density and HalfWidth its confidence
+	// half-width (inherited from the map's per-cell intervals).
+	Density   float64
+	HalfWidth float64
+	// Separated reports that the cell's density CI lies entirely above
+	// the next non-hotspot cell's CI — the ranking is statistically
+	// resolved at the map's confidence level rather than an artifact of
+	// sampling noise.
+	Separated bool
+}
+
+// Hotspots returns the k densest cells of the map, densest first — an
+// online analytic derived from the KDE: with few samples the set is
+// volatile, and the Separated flags report which members are already
+// statistically distinguishable from the background.
+func (m *DensityMap) Hotspots(k int) []Hotspot {
+	n := len(m.Density)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return m.Density[idx[a]] > m.Density[idx[b]] })
+
+	// The densest excluded cell's upper bound decides separation.
+	boundary := 0.0
+	if k < n {
+		j := idx[k]
+		boundary = m.Density[j] + m.HalfWidth[j]
+	}
+
+	dx := (m.Region.Max[0] - m.Region.Min[0]) / float64(m.Nx)
+	dy := (m.Region.Max[1] - m.Region.Min[1]) / float64(m.Ny)
+	out := make([]Hotspot, 0, k)
+	for _, j := range idx[:k] {
+		cx := m.Region.Min[0] + (float64(j%m.Nx)+0.5)*dx
+		cy := m.Region.Min[1] + (float64(j/m.Nx)+0.5)*dy
+		out = append(out, Hotspot{
+			X:         cx,
+			Y:         cy,
+			Density:   m.Density[j],
+			HalfWidth: m.HalfWidth[j],
+			Separated: k >= n || m.Density[j]-m.HalfWidth[j] > boundary,
+		})
+	}
+	return out
+}

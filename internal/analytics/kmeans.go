@@ -1,0 +1,152 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"storm/internal/geo"
+	"storm/internal/stats"
+)
+
+// zFor converts a confidence level into a two-sided normal critical value.
+func zFor(confidence float64) float64 { return stats.ZScore(confidence) }
+
+// KMeans clusters the spatial projection of sampled points into k groups.
+// The paper notes that clustering quality on a sample improves with sample
+// size; this implementation accumulates samples and re-runs a k-means++
+// seeded Lloyd iteration on demand, which is cheap because the sample is
+// small compared to the data.
+type KMeans struct {
+	k       int
+	rng     *stats.RNG
+	points  []geo.Vec
+	maxIter int
+}
+
+// NewKMeans returns an online clusterer for k clusters.
+func NewKMeans(k int, rng *stats.RNG) (*KMeans, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("analytics: k %d must be positive", k)
+	}
+	return &KMeans{k: k, rng: rng, maxIter: 50}, nil
+}
+
+// Add feeds one sampled point.
+func (km *KMeans) Add(p geo.Vec) { km.points = append(km.points, p) }
+
+// Samples returns the number of points consumed.
+func (km *KMeans) Samples() int { return len(km.points) }
+
+// Cluster is one cluster of a clustering snapshot.
+type Cluster struct {
+	Center geo.Vec
+	Size   int
+}
+
+// Clustering is the snapshot result of online k-means.
+type Clustering struct {
+	Clusters []Cluster
+	// Inertia is the sum of squared spatial distances of sample points
+	// to their assigned centers (the k-means objective on the sample).
+	Inertia float64
+	Samples int
+}
+
+// Snapshot runs k-means++ followed by Lloyd iterations on the samples seen
+// so far. With fewer samples than clusters, each point is its own cluster.
+func (km *KMeans) Snapshot() *Clustering {
+	n := len(km.points)
+	out := &Clustering{Samples: n}
+	if n == 0 {
+		return out
+	}
+	k := km.k
+	if k > n {
+		k = n
+	}
+	centers := km.seed(k)
+	assign := make([]int, n)
+	for iter := 0; iter < km.maxIter; iter++ {
+		changed := false
+		for i, p := range km.points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := p.Dist2D(ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers.
+		sums := make([]geo.Vec, k)
+		counts := make([]int, k)
+		for i, p := range km.points {
+			c := assign[i]
+			sums[c][0] += p[0]
+			sums[c][1] += p[1]
+			counts[c]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = geo.Vec{sums[c][0] / float64(counts[c]), sums[c][1] / float64(counts[c]), 0}
+			}
+		}
+	}
+	out.Clusters = make([]Cluster, k)
+	for c := range centers {
+		out.Clusters[c].Center = centers[c]
+	}
+	for i, p := range km.points {
+		c := assign[i]
+		out.Clusters[c].Size++
+		d := p.Dist2D(centers[c])
+		out.Inertia += d * d
+	}
+	return out
+}
+
+// seed picks k initial centers with the k-means++ distance-weighted rule.
+func (km *KMeans) seed(k int) []geo.Vec {
+	centers := make([]geo.Vec, 0, k)
+	first := km.points[km.rng.Intn(len(km.points))]
+	centers = append(centers, geo.Vec{first[0], first[1], 0})
+	d2 := make([]float64, len(km.points))
+	for len(centers) < k {
+		var total float64
+		for i, p := range km.points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := p.Dist2D(c); d*d < best {
+					best = d * d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centers; duplicate one.
+			centers = append(centers, centers[0])
+			continue
+		}
+		r := km.rng.Float64() * total
+		for i, w := range d2 {
+			r -= w
+			if r <= 0 {
+				p := km.points[i]
+				centers = append(centers, geo.Vec{p[0], p[1], 0})
+				break
+			}
+		}
+		if r > 0 {
+			p := km.points[len(km.points)-1]
+			centers = append(centers, geo.Vec{p[0], p[1], 0})
+		}
+	}
+	return centers
+}

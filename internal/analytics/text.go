@@ -1,0 +1,154 @@
+package analytics
+
+import (
+	"sort"
+	"strings"
+)
+
+// stopwords are filtered out of term statistics; short-text understanding
+// cares about content words (the paper's Figure 6(b) highlights "snow",
+// "ice", "outage", not "the" and "and").
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "and": true, "or": true, "but": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true, "been": true,
+	"to": true, "of": true, "in": true, "on": true, "at": true, "for": true,
+	"with": true, "it": true, "its": true, "this": true, "that": true,
+	"i": true, "im": true, "me": true, "my": true, "we": true, "you": true,
+	"he": true, "she": true, "they": true, "them": true, "their": true,
+	"so": true, "just": true, "not": true, "no": true, "do": true, "dont": true,
+	"have": true, "has": true, "had": true, "as": true, "by": true, "from": true,
+	"up": true, "out": true, "if": true, "all": true, "rt": true, "via": true,
+	"will": true, "can": true, "cant": true, "get": true, "got": true, "u": true,
+}
+
+// sentimentLexicon assigns a crude polarity to a handful of words; STORM's
+// demo uses it to summarize how a sampled population "feels".
+var sentimentLexicon = map[string]float64{
+	"love": 1, "great": 1, "good": 0.7, "happy": 1, "awesome": 1, "beautiful": 0.8,
+	"fun": 0.8, "nice": 0.6, "best": 0.9, "amazing": 1, "excited": 0.8, "thanks": 0.5,
+	"hate": -1, "bad": -0.7, "terrible": -1, "awful": -1, "sad": -0.8, "angry": -0.9,
+	"worst": -1, "shit": -0.9, "hell": -0.7, "why": -0.3, "stuck": -0.6, "outage": -0.8,
+	"cold": -0.4, "frustrated": -0.9, "cancelled": -0.7, "closed": -0.4, "damn": -0.7,
+}
+
+// Tokenize lower-cases text and splits it into alphanumeric tokens,
+// dropping stop words and single characters.
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 1 {
+			tok := b.String()
+			if !stopwords[tok] {
+				out = append(out, tok)
+			}
+		}
+		b.Reset()
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '#', r == '@':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TermStats estimates the term-frequency distribution of the text field of
+// P ∩ Q from an online sample. The frequency of each term is a population
+// proportion, so the estimate is unbiased and tightens like any other
+// sample mean; the snapshot reports the current top terms plus an overall
+// sentiment score.
+type TermStats struct {
+	counts  map[string]int
+	total   int // total term occurrences
+	docs    int // sampled documents
+	sentSum float64
+}
+
+// NewTermStats returns an empty online term estimator.
+func NewTermStats() *TermStats {
+	return &TermStats{counts: make(map[string]int)}
+}
+
+// Add feeds one sampled document's text.
+func (ts *TermStats) Add(text string) {
+	ts.docs++
+	for _, tok := range Tokenize(text) {
+		ts.counts[tok]++
+		ts.total++
+		ts.sentSum += sentimentLexicon[tok]
+	}
+}
+
+// Samples returns the number of documents consumed.
+func (ts *TermStats) Samples() int { return ts.docs }
+
+// Term is one entry of a term-frequency snapshot.
+type Term struct {
+	Text string
+	// Freq is the estimated fraction of term occurrences.
+	Freq  float64
+	Count int
+}
+
+// TermSnapshot is the current short-text understanding result.
+type TermSnapshot struct {
+	Top []Term
+	// Sentiment is the average lexicon polarity per sampled document;
+	// negative values mean the sampled population skews unhappy.
+	Sentiment float64
+	Samples   int
+	Distinct  int
+}
+
+// Snapshot returns the top-n terms by estimated frequency. Ties break
+// lexicographically for deterministic output.
+func (ts *TermStats) Snapshot(n int) *TermSnapshot {
+	out := &TermSnapshot{Samples: ts.docs, Distinct: len(ts.counts)}
+	if ts.docs > 0 {
+		out.Sentiment = ts.sentSum / float64(ts.docs)
+	}
+	terms := make([]Term, 0, len(ts.counts))
+	for t, c := range ts.counts {
+		total := ts.total
+		if total == 0 {
+			total = 1
+		}
+		terms = append(terms, Term{Text: t, Count: c, Freq: float64(c) / float64(total)})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].Count != terms[j].Count {
+			return terms[i].Count > terms[j].Count
+		}
+		return terms[i].Text < terms[j].Text
+	})
+	if n < len(terms) {
+		terms = terms[:n]
+	}
+	out.Top = terms
+	return out
+}
+
+// TopTermRecall returns |topK(est) ∩ topK(truth)| / k, the Figure 6(b)
+// convergence metric: how much of the true top-k vocabulary the online
+// estimate has recovered.
+func TopTermRecall(est, truth *TermSnapshot) float64 {
+	if len(truth.Top) == 0 {
+		return 1
+	}
+	truthSet := make(map[string]bool, len(truth.Top))
+	for _, t := range truth.Top {
+		truthSet[t.Text] = true
+	}
+	hit := 0
+	for _, t := range est.Top {
+		if truthSet[t.Text] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth.Top))
+}

@@ -1,0 +1,145 @@
+package analytics
+
+import (
+	"math"
+	"sort"
+
+	"storm/internal/geo"
+)
+
+// Trajectory reconstructs an approximate movement path for one entity from
+// online samples of its time-stamped positions — the paper's Figure 6(a)
+// demo ("online approximate trajectory construction" for a twitter user).
+// Sampled points are kept sorted by time; a snapshot connects them in
+// temporal order, optionally splitting segments across large time gaps and
+// simplifying with Douglas–Peucker. More samples → a path closer to the
+// ground-truth movement.
+type Trajectory struct {
+	// GapSplit breaks the path where consecutive samples are more than
+	// this many time units apart (0 disables splitting).
+	GapSplit float64
+	points   []geo.Vec // sorted by time
+}
+
+// NewTrajectory returns an empty online trajectory builder.
+func NewTrajectory() *Trajectory { return &Trajectory{} }
+
+// Add feeds one sampled (x, y, t) point, keeping temporal order.
+func (tr *Trajectory) Add(p geo.Vec) {
+	i := sort.Search(len(tr.points), func(i int) bool { return tr.points[i].T() >= p.T() })
+	tr.points = append(tr.points, geo.Vec{})
+	copy(tr.points[i+1:], tr.points[i:])
+	tr.points[i] = p
+}
+
+// Samples returns the number of points consumed.
+func (tr *Trajectory) Samples() int { return len(tr.points) }
+
+// Path is a reconstructed trajectory: one or more time-ordered segments.
+type Path struct {
+	Segments [][]geo.Vec
+	Samples  int
+}
+
+// Points returns all path points flattened in temporal order.
+func (p *Path) Points() []geo.Vec {
+	var out []geo.Vec
+	for _, s := range p.Segments {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Snapshot returns the current reconstruction. epsilon > 0 applies
+// Douglas–Peucker simplification with that spatial tolerance.
+func (tr *Trajectory) Snapshot(epsilon float64) *Path {
+	out := &Path{Samples: len(tr.points)}
+	if len(tr.points) == 0 {
+		return out
+	}
+	var seg []geo.Vec
+	for i, p := range tr.points {
+		if i > 0 && tr.GapSplit > 0 && p.T()-tr.points[i-1].T() > tr.GapSplit {
+			out.Segments = append(out.Segments, finishSegment(seg, epsilon))
+			seg = nil
+		}
+		seg = append(seg, p)
+	}
+	out.Segments = append(out.Segments, finishSegment(seg, epsilon))
+	return out
+}
+
+func finishSegment(seg []geo.Vec, epsilon float64) []geo.Vec {
+	if epsilon > 0 && len(seg) > 2 {
+		return douglasPeucker(seg, epsilon)
+	}
+	cp := make([]geo.Vec, len(seg))
+	copy(cp, seg)
+	return cp
+}
+
+// douglasPeucker simplifies a polyline to within the given spatial
+// tolerance, preserving endpoints.
+func douglasPeucker(pts []geo.Vec, epsilon float64) []geo.Vec {
+	if len(pts) <= 2 {
+		cp := make([]geo.Vec, len(pts))
+		copy(cp, pts)
+		return cp
+	}
+	maxD, maxI := 0.0, 0
+	a, b := pts[0], pts[len(pts)-1]
+	for i := 1; i < len(pts)-1; i++ {
+		if d := pointSegDist(pts[i], a, b); d > maxD {
+			maxD, maxI = d, i
+		}
+	}
+	if maxD <= epsilon {
+		return []geo.Vec{a, b}
+	}
+	left := douglasPeucker(pts[:maxI+1], epsilon)
+	right := douglasPeucker(pts[maxI:], epsilon)
+	return append(left[:len(left)-1], right...)
+}
+
+// pointSegDist returns the spatial distance from p to segment ab.
+func pointSegDist(p, a, b geo.Vec) float64 {
+	abx, aby := b[0]-a[0], b[1]-a[1]
+	apx, apy := p[0]-a[0], p[1]-a[1]
+	den := abx*abx + aby*aby
+	if den == 0 {
+		return p.Dist2D(a)
+	}
+	t := (apx*abx + apy*aby) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	proj := geo.Vec{a[0] + t*abx, a[1] + t*aby, 0}
+	return p.Dist2D(proj)
+}
+
+// PathError measures how far a reconstructed path deviates from a
+// ground-truth path: the average spatial distance from each truth point to
+// the nearest reconstructed segment, interpolated in time order. This is
+// the Figure 6(a) convergence metric.
+func PathError(truth []geo.Vec, approx *Path) float64 {
+	pts := approx.Points()
+	if len(pts) == 0 || len(truth) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, tp := range truth {
+		best := math.Inf(1)
+		if len(pts) == 1 {
+			best = tp.Dist2D(pts[0])
+		}
+		for i := 0; i+1 < len(pts); i++ {
+			if d := pointSegDist(tp, pts[i], pts[i+1]); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(truth))
+}

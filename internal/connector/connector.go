@@ -1,0 +1,345 @@
+// Package connector implements STORM's data connector: schema discovery
+// and data parsing for external sources (the paper imports from Excel
+// spreadsheets, text files, MySQL, Cassandra and MongoDB — reproduced here
+// as CSV/TSV, JSON-lines, SQL-dump and key-value sources), plus the "free
+// data module" conversion into the record form the engine indexes.
+//
+// A Source yields raw string rows; DiscoverSchema infers column types and
+// guesses which columns carry longitude, latitude and time; Import runs
+// rows through a Mapping into a columnar data.Dataset ready for indexing.
+package connector
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+)
+
+// FieldType classifies a column.
+type FieldType int
+
+// Supported field types.
+const (
+	StringField FieldType = iota
+	NumberField
+	TimeField
+)
+
+// String implements fmt.Stringer.
+func (t FieldType) String() string {
+	switch t {
+	case StringField:
+		return "string"
+	case NumberField:
+		return "number"
+	case TimeField:
+		return "time"
+	default:
+		return fmt.Sprintf("FieldType(%d)", int(t))
+	}
+}
+
+// Field is one discovered column.
+type Field struct {
+	Name string
+	Type FieldType
+}
+
+// Schema is the result of schema discovery.
+type Schema struct {
+	Fields []Field
+	// X, Y, T name the columns guessed to carry longitude, latitude and
+	// time; empty when no candidate was found.
+	X, Y, T string
+}
+
+// Field returns the field with the given name, or nil.
+func (s Schema) Field(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Source yields raw rows from an external storage engine. Row values are
+// strings; typing happens at import through the schema.
+type Source interface {
+	// Name identifies the source (used as the dataset name).
+	Name() string
+	// Rows calls fn for every row; fn returning an error aborts with it.
+	Rows(fn func(row map[string]string) error) error
+}
+
+// timeLayouts are attempted in order when parsing time fields.
+var timeLayouts = []string{
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05",
+	"2006-01-02",
+	"01/02/2006 15:04",
+	"01/02/2006",
+}
+
+// parseTime parses a time string as seconds since the Unix epoch; plain
+// numbers are taken as epoch seconds directly.
+func parseTime(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, true
+	}
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return float64(t.Unix()), true
+		}
+	}
+	return 0, false
+}
+
+// DiscoverSchema samples up to sampleLimit rows (0 = 1000) and infers
+// per-column types plus spatial/temporal roles:
+//
+//   - a column is numeric if at least 90% of its non-empty samples parse
+//     as floats,
+//   - a column is temporal if its name suggests time or its values parse
+//     as timestamps,
+//   - longitude/latitude are matched by name (lon, lng, longitude, x /
+//     lat, latitude, y) with a numeric-range sanity check.
+func DiscoverSchema(src Source, sampleLimit int) (Schema, error) {
+	if sampleLimit <= 0 {
+		sampleLimit = 1000
+	}
+	type colStat struct {
+		name            string
+		seen, numeric   int
+		timeOK          int
+		min, max        float64
+		nonEmpty        int
+		firstAppearance int
+	}
+	stats := make(map[string]*colStat)
+	order := 0
+	n := 0
+	err := src.Rows(func(row map[string]string) error {
+		for k, v := range row {
+			st, ok := stats[k]
+			if !ok {
+				st = &colStat{name: k, min: math.Inf(1), max: math.Inf(-1), firstAppearance: order}
+				order++
+				stats[k] = st
+			}
+			st.seen++
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			st.nonEmpty++
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				st.numeric++
+				st.min = math.Min(st.min, f)
+				st.max = math.Max(st.max, f)
+			}
+			if _, ok := parseTime(v); ok {
+				st.timeOK++
+			}
+		}
+		n++
+		if n >= sampleLimit {
+			return errStopScan
+		}
+		return nil
+	})
+	if err != nil && err != errStopScan {
+		return Schema{}, err
+	}
+	if len(stats) == 0 {
+		return Schema{}, fmt.Errorf("connector: source %q has no rows", src.Name())
+	}
+
+	cols := make([]*colStat, 0, len(stats))
+	for _, st := range stats {
+		cols = append(cols, st)
+	}
+	// Deterministic order: by first appearance.
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			if cols[j].firstAppearance < cols[i].firstAppearance {
+				cols[i], cols[j] = cols[j], cols[i]
+			}
+		}
+	}
+
+	var schema Schema
+	for _, st := range cols {
+		f := Field{Name: st.name, Type: StringField}
+		isNumeric := st.nonEmpty > 0 && float64(st.numeric) >= 0.9*float64(st.nonEmpty)
+		nameLower := strings.ToLower(st.name)
+		isTimeName := nameLower == "time" || nameLower == "timestamp" || nameLower == "ts" ||
+			nameLower == "date" || nameLower == "datetime" || strings.HasSuffix(nameLower, "_time") ||
+			strings.HasSuffix(nameLower, "_at")
+		timeParses := st.nonEmpty > 0 && float64(st.timeOK) >= 0.9*float64(st.nonEmpty)
+		switch {
+		case isTimeName && timeParses:
+			f.Type = TimeField
+		case isNumeric:
+			f.Type = NumberField
+		}
+		schema.Fields = append(schema.Fields, f)
+
+		switch {
+		case schema.X == "" && isNumeric && isLonName(nameLower) && st.min >= -180 && st.max <= 180:
+			schema.X = st.name
+		case schema.Y == "" && isNumeric && isLatName(nameLower) && st.min >= -90 && st.max <= 90:
+			schema.Y = st.name
+		case schema.T == "" && f.Type == TimeField:
+			schema.T = st.name
+		}
+	}
+	// Fall back to generic x/y names when no geo names matched.
+	if schema.X == "" {
+		for _, f := range schema.Fields {
+			if f.Type == NumberField && strings.EqualFold(f.Name, "x") {
+				schema.X = f.Name
+				break
+			}
+		}
+	}
+	if schema.Y == "" {
+		for _, f := range schema.Fields {
+			if f.Type == NumberField && strings.EqualFold(f.Name, "y") {
+				schema.Y = f.Name
+				break
+			}
+		}
+	}
+	return schema, nil
+}
+
+func isLonName(s string) bool {
+	switch s {
+	case "lon", "lng", "long", "longitude":
+		return true
+	}
+	return false
+}
+
+func isLatName(s string) bool {
+	switch s {
+	case "lat", "latitude":
+		return true
+	}
+	return false
+}
+
+// errStopScan aborts a row scan early (not an error for callers).
+var errStopScan = fmt.Errorf("connector: stop scan")
+
+// Mapping tells Import which columns hold the spatio-temporal coordinates.
+// Zero-value fields are filled from the discovered schema.
+type Mapping struct {
+	X, Y, T string
+	// SkipInvalid drops rows whose coordinates fail to parse instead of
+	// failing the import.
+	SkipInvalid bool
+}
+
+// ImportResult reports what an import did.
+type ImportResult struct {
+	Dataset *data.Dataset
+	Schema  Schema
+	Rows    int
+	Skipped int
+}
+
+// Import runs the source through schema discovery (honoring mapping
+// overrides) and materializes a columnar dataset: X/Y/T become the record
+// position, every other numeric column becomes a numeric attribute, and
+// every string column becomes a string attribute.
+func Import(src Source, mapping Mapping) (*ImportResult, error) {
+	schema, err := DiscoverSchema(src, 0)
+	if err != nil {
+		return nil, err
+	}
+	if mapping.X == "" {
+		mapping.X = schema.X
+	}
+	if mapping.Y == "" {
+		mapping.Y = schema.Y
+	}
+	if mapping.T == "" {
+		mapping.T = schema.T
+	}
+	if mapping.X == "" || mapping.Y == "" {
+		return nil, fmt.Errorf("connector: source %q: cannot locate spatial columns (found x=%q y=%q); specify a Mapping", src.Name(), mapping.X, mapping.Y)
+	}
+
+	ds := data.NewDataset(src.Name())
+	for _, f := range schema.Fields {
+		if f.Name == mapping.X || f.Name == mapping.Y || f.Name == mapping.T {
+			continue
+		}
+		switch f.Type {
+		case NumberField, TimeField:
+			ds.AddNumericColumn(f.Name)
+		default:
+			ds.AddStringColumn(f.Name)
+		}
+	}
+
+	res := &ImportResult{Dataset: ds, Schema: schema}
+	err = src.Rows(func(row map[string]string) error {
+		x, errX := strconv.ParseFloat(strings.TrimSpace(row[mapping.X]), 64)
+		y, errY := strconv.ParseFloat(strings.TrimSpace(row[mapping.Y]), 64)
+		var tval float64
+		tOK := true
+		if mapping.T != "" {
+			tval, tOK = parseTime(row[mapping.T])
+		}
+		if errX != nil || errY != nil || !tOK {
+			if mapping.SkipInvalid {
+				res.Skipped++
+				return nil
+			}
+			return fmt.Errorf("connector: row %d: invalid coordinates (%q, %q, %q)",
+				res.Rows+res.Skipped, row[mapping.X], row[mapping.Y], row[mapping.T])
+		}
+		r := data.Row{Pos: geo.Vec{x, y, tval}, Num: map[string]float64{}, Str: map[string]string{}}
+		for _, f := range schema.Fields {
+			if f.Name == mapping.X || f.Name == mapping.Y || f.Name == mapping.T {
+				continue
+			}
+			v, present := row[f.Name]
+			if !present {
+				continue
+			}
+			switch f.Type {
+			case NumberField:
+				if fv, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+					r.Num[f.Name] = fv
+				}
+			case TimeField:
+				if tv, ok := parseTime(v); ok {
+					r.Num[f.Name] = tv
+				}
+			default:
+				r.Str[f.Name] = v
+			}
+		}
+		ds.Append(r)
+		res.Rows++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

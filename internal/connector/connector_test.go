@@ -1,0 +1,269 @@
+package connector
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func stringOpener(s string) func() (io.Reader, error) {
+	return func() (io.Reader, error) { return strings.NewReader(s), nil }
+}
+
+const sampleCSV = `lon,lat,time,temp,station
+-111.9,40.76,2014-01-05 10:00:00,-3.5,KSLC
+-111.8,40.60,2014-01-05 11:00:00,-2.1,KPVU
+-74.0,40.71,2014-01-05 10:30:00,1.2,KNYC
+`
+
+func TestCSVSchemaDiscovery(t *testing.T) {
+	src := NewCSVSource("weather", ',', stringOpener(sampleCSV))
+	schema, err := DiscoverSchema(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.X != "lon" || schema.Y != "lat" || schema.T != "time" {
+		t.Errorf("roles: x=%q y=%q t=%q", schema.X, schema.Y, schema.T)
+	}
+	if f := schema.Field("temp"); f == nil || f.Type != NumberField {
+		t.Errorf("temp field = %+v", f)
+	}
+	if f := schema.Field("station"); f == nil || f.Type != StringField {
+		t.Errorf("station field = %+v", f)
+	}
+	if f := schema.Field("time"); f == nil || f.Type != TimeField {
+		t.Errorf("time field = %+v", f)
+	}
+}
+
+func TestCSVImport(t *testing.T) {
+	src := NewCSVSource("weather", ',', stringOpener(sampleCSV))
+	res, err := Import(src, Mapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3 || res.Dataset.Len() != 3 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	p := res.Dataset.Pos(0)
+	if p.X() != -111.9 || p.Y() != 40.76 {
+		t.Errorf("pos = %v", p)
+	}
+	if p.T() <= 0 {
+		t.Errorf("time not parsed: %v", p.T())
+	}
+	v, err := res.Dataset.Numeric("temp", 0)
+	if err != nil || v != -3.5 {
+		t.Errorf("temp = %v, %v", v, err)
+	}
+	st, err := res.Dataset.String("station", 2)
+	if err != nil || st != "KNYC" {
+		t.Errorf("station = %q, %v", st, err)
+	}
+}
+
+func TestTSV(t *testing.T) {
+	tsv := "x\ty\tv\n1.5\t2.5\thello\n"
+	src := NewCSVSource("tsv", '\t', stringOpener(tsv))
+	res, err := Import(src, Mapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	if res.Dataset.Pos(0).X() != 1.5 {
+		t.Errorf("x = %v", res.Dataset.Pos(0).X())
+	}
+}
+
+func TestImportSkipInvalid(t *testing.T) {
+	// One bad row among many good ones: the column is still discovered as
+	// numeric (>90% parse), and the bad row is the import's problem.
+	csv := "lon,lat\n1,2\n3,4\n5,6\n7,8\n9,10\n11,12\n13,14\n15,16\n17,18\nbad,20\n21,22\n23,24\n"
+	src := NewCSVSource("c", ',', stringOpener(csv))
+	if _, err := Import(src, Mapping{}); err == nil {
+		t.Error("invalid row should fail without SkipInvalid")
+	}
+	src2 := NewCSVSource("c", ',', stringOpener(csv))
+	res, err := Import(src2, Mapping{SkipInvalid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 11 || res.Skipped != 1 {
+		t.Errorf("rows=%d skipped=%d", res.Rows, res.Skipped)
+	}
+}
+
+func TestImportNoSpatialColumns(t *testing.T) {
+	src := NewCSVSource("c", ',', stringOpener("a,b\n1,2\n"))
+	if _, err := Import(src, Mapping{}); err == nil {
+		t.Error("missing spatial columns should error")
+	}
+	// Explicit mapping rescues it.
+	src2 := NewCSVSource("c", ',', stringOpener("a,b\n1,2\n"))
+	res, err := Import(src2, Mapping{X: "a", Y: "b"})
+	if err != nil || res.Rows != 1 {
+		t.Errorf("explicit mapping: %v, %v", res, err)
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	src := NewCSVSource("empty", ',', stringOpener(""))
+	if _, err := DiscoverSchema(src, 0); err == nil {
+		t.Error("empty source should error")
+	}
+}
+
+const sampleJSONL = `{"lng": -111.9, "lat": 40.7, "user": {"name": "alice"}, "retweets": 3}
+{"lng": -74.0, "lat": 40.7, "user": {"name": "bob"}, "retweets": 0}
+`
+
+func TestJSONLFlattening(t *testing.T) {
+	src := NewJSONLSource("tweets", stringOpener(sampleJSONL))
+	res, err := Import(src, Mapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 2 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	name, err := res.Dataset.String("user.name", 0)
+	if err != nil || name != "alice" {
+		t.Errorf("nested field = %q, %v", name, err)
+	}
+	rt, err := res.Dataset.Numeric("retweets", 0)
+	if err != nil || rt != 3 {
+		t.Errorf("retweets = %v, %v", rt, err)
+	}
+}
+
+func TestJSONLMalformed(t *testing.T) {
+	src := NewJSONLSource("bad", stringOpener(`{"lng": 1, "lat": 2}
+{not json`))
+	err := src.Rows(func(map[string]string) error { return nil })
+	if err == nil {
+		t.Error("malformed JSON should error")
+	}
+}
+
+const sampleSQL = `
+CREATE TABLE points (
+  id INT,
+  lon DOUBLE,
+  lat DOUBLE,
+  name VARCHAR(32),
+  PRIMARY KEY (id)
+);
+INSERT INTO points (id, lon, lat, name) VALUES
+  (1, -111.9, 40.7, 'slc'),
+  (2, -74.0, 40.7, 'o''hara');
+INSERT INTO points VALUES (3, -87.6, 41.9, NULL);
+`
+
+func TestSQLDump(t *testing.T) {
+	src := NewSQLDumpSource("mysql", stringOpener(sampleSQL))
+	res, err := Import(src, Mapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	// Quote escaping.
+	name, err := res.Dataset.String("name", 1)
+	if err != nil || name != "o'hara" {
+		t.Errorf("name = %q, %v", name, err)
+	}
+	// NULL becomes empty.
+	name3, _ := res.Dataset.String("name", 2)
+	if name3 != "" {
+		t.Errorf("NULL name = %q", name3)
+	}
+	id, err := res.Dataset.Numeric("id", 0)
+	if err != nil || id != 1 {
+		t.Errorf("id = %v, %v", id, err)
+	}
+}
+
+func TestSQLDumpErrors(t *testing.T) {
+	src := NewSQLDumpSource("bad", stringOpener("INSERT INTO t VALUES (1);"))
+	if err := src.Rows(func(map[string]string) error { return nil }); err == nil {
+		t.Error("dump without CREATE TABLE should error")
+	}
+	src2 := NewSQLDumpSource("bad2", stringOpener("CREATE TABLE t (a INT);\nINSERT INTO t VALUES (1, 2);"))
+	if err := src2.Rows(func(map[string]string) error { return nil }); err == nil {
+		t.Error("arity mismatch should error")
+	}
+}
+
+func TestKVSource(t *testing.T) {
+	kv := "k1\t{\"lon\": 1.5, \"lat\": 2.5, \"v\": \"a\"}\nk2\t{\"lon\": 3, \"lat\": 4, \"v\": \"b\"}\n"
+	src := NewKVSource("cassandra", stringOpener(kv))
+	res, err := Import(src, Mapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 2 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	key, err := res.Dataset.String("_key", 0)
+	if err != nil || key != "k1" {
+		t.Errorf("_key = %q, %v", key, err)
+	}
+}
+
+func TestKVSourceErrors(t *testing.T) {
+	src := NewKVSource("bad", stringOpener("no-tab-here\n"))
+	if err := src.Rows(func(map[string]string) error { return nil }); err == nil {
+		t.Error("line without tab should error")
+	}
+	src2 := NewKVSource("bad2", stringOpener("k\tnot-json\n"))
+	if err := src2.Rows(func(map[string]string) error { return nil }); err == nil {
+		t.Error("non-JSON value should error")
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"2014-02-10T12:00:00Z", true},
+		{"2014-02-10 12:00:00", true},
+		{"2014-02-10", true},
+		{"1391990400", true},
+		{"02/10/2014", true},
+		{"not a time", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		_, ok := parseTime(c.in)
+		if ok != c.ok {
+			t.Errorf("parseTime(%q) ok = %v, want %v", c.in, ok, c.ok)
+		}
+	}
+}
+
+func TestSchemaGenericXYFallback(t *testing.T) {
+	src := NewCSVSource("xy", ',', stringOpener("X,Y,v\n1,2,3\n4,5,6\n"))
+	schema, err := DiscoverSchema(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.X != "X" || schema.Y != "Y" {
+		t.Errorf("fallback roles: x=%q y=%q", schema.X, schema.Y)
+	}
+}
+
+func TestLatLonRangeSanityCheck(t *testing.T) {
+	// A column named "lat" with out-of-range values must not be chosen.
+	src := NewCSVSource("c", ',', stringOpener("lon,lat\n500,1000\n600,2000\n"))
+	schema, err := DiscoverSchema(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.X == "lon" || schema.Y == "lat" {
+		t.Errorf("out-of-range geo columns accepted: x=%q y=%q", schema.X, schema.Y)
+	}
+}

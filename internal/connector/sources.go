@@ -1,0 +1,362 @@
+package connector
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVSource reads delimiter-separated text with a header row — the paper's
+// "excel spreadsheets and text files" import path.
+type CSVSource struct {
+	name  string
+	open  func() (io.Reader, error)
+	comma rune
+}
+
+// NewCSVSource returns a CSV source. open is called once per scan so the
+// source can be read multiple times (discovery then import).
+func NewCSVSource(name string, comma rune, open func() (io.Reader, error)) *CSVSource {
+	return &CSVSource{name: name, open: open, comma: comma}
+}
+
+// Name implements Source.
+func (s *CSVSource) Name() string { return s.name }
+
+// Rows implements Source.
+func (s *CSVSource) Rows(fn func(map[string]string) error) error {
+	r, err := s.open()
+	if err != nil {
+		return fmt.Errorf("connector: opening %q: %w", s.name, err)
+	}
+	cr := csv.NewReader(r)
+	cr.Comma = s.comma
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return fmt.Errorf("connector: source %q is empty", s.name)
+	}
+	if err != nil {
+		return fmt.Errorf("connector: reading header of %q: %w", s.name, err)
+	}
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("connector: %q line %d: %w", s.name, lineNo, err)
+		}
+		row := make(map[string]string, len(header))
+		for i, h := range header {
+			if i < len(rec) {
+				row[strings.TrimSpace(h)] = rec[i]
+			}
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// JSONLSource reads one JSON object per line — the MongoDB-style import
+// path. Nested objects are flattened with dotted keys.
+type JSONLSource struct {
+	name string
+	open func() (io.Reader, error)
+}
+
+// NewJSONLSource returns a JSON-lines source.
+func NewJSONLSource(name string, open func() (io.Reader, error)) *JSONLSource {
+	return &JSONLSource{name: name, open: open}
+}
+
+// Name implements Source.
+func (s *JSONLSource) Name() string { return s.name }
+
+// Rows implements Source.
+func (s *JSONLSource) Rows(fn func(map[string]string) error) error {
+	r, err := s.open()
+	if err != nil {
+		return fmt.Errorf("connector: opening %q: %w", s.name, err)
+	}
+	dec := json.NewDecoder(r)
+	for lineNo := 1; ; lineNo++ {
+		var obj map[string]any
+		if err := dec.Decode(&obj); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("connector: %q object %d: %w", s.name, lineNo, err)
+		}
+		row := make(map[string]string, len(obj))
+		flatten("", obj, row)
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// flatten converts nested JSON into dotted string keys.
+func flatten(prefix string, obj map[string]any, out map[string]string) {
+	for k, v := range obj {
+		key := k
+		if prefix != "" {
+			key = prefix + "." + k
+		}
+		switch val := v.(type) {
+		case map[string]any:
+			flatten(key, val, out)
+		case string:
+			out[key] = val
+		case float64:
+			out[key] = strconv.FormatFloat(val, 'g', -1, 64)
+		case bool:
+			out[key] = strconv.FormatBool(val)
+		case nil:
+			out[key] = ""
+		default:
+			b, _ := json.Marshal(val)
+			out[key] = string(b)
+		}
+	}
+}
+
+// SQLDumpSource parses a simplified MySQL dump: a CREATE TABLE statement
+// naming the columns followed by INSERT INTO ... VALUES (...),(...);
+// statements. This is the paper's MySQL import path without a live server.
+type SQLDumpSource struct {
+	name string
+	open func() (io.Reader, error)
+}
+
+// NewSQLDumpSource returns a SQL dump source.
+func NewSQLDumpSource(name string, open func() (io.Reader, error)) *SQLDumpSource {
+	return &SQLDumpSource{name: name, open: open}
+}
+
+// Name implements Source.
+func (s *SQLDumpSource) Name() string { return s.name }
+
+// Rows implements Source.
+func (s *SQLDumpSource) Rows(fn func(map[string]string) error) error {
+	r, err := s.open()
+	if err != nil {
+		return fmt.Errorf("connector: opening %q: %w", s.name, err)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("connector: reading %q: %w", s.name, err)
+	}
+	text := string(raw)
+
+	cols, err := parseCreateTable(text)
+	if err != nil {
+		return fmt.Errorf("connector: %q: %w", s.name, err)
+	}
+
+	upper := strings.ToUpper(text)
+	offset := 0
+	for {
+		idx := strings.Index(upper[offset:], "INSERT INTO")
+		if idx < 0 {
+			return nil
+		}
+		stmtStart := offset + idx
+		valIdx := strings.Index(upper[stmtStart:], "VALUES")
+		if valIdx < 0 {
+			return fmt.Errorf("connector: %q: INSERT without VALUES", s.name)
+		}
+		rest := text[stmtStart+valIdx+len("VALUES"):]
+		consumed, err := parseValueTuples(rest, cols, fn)
+		if err != nil {
+			return fmt.Errorf("connector: %q: %w", s.name, err)
+		}
+		offset = stmtStart + valIdx + len("VALUES") + consumed
+	}
+}
+
+// parseCreateTable extracts the column names of the first CREATE TABLE.
+func parseCreateTable(text string) ([]string, error) {
+	upper := strings.ToUpper(text)
+	idx := strings.Index(upper, "CREATE TABLE")
+	if idx < 0 {
+		return nil, fmt.Errorf("no CREATE TABLE statement")
+	}
+	open := strings.Index(text[idx:], "(")
+	if open < 0 {
+		return nil, fmt.Errorf("malformed CREATE TABLE")
+	}
+	depth := 0
+	start := idx + open
+	end := -1
+	for i := start; i < len(text); i++ {
+		switch text[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				end = i
+			}
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return nil, fmt.Errorf("unbalanced CREATE TABLE parentheses")
+	}
+	body := text[start+1 : end]
+	var cols []string
+	for _, line := range strings.Split(body, ",") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		name := strings.Trim(fields[0], "`\"")
+		uname := strings.ToUpper(name)
+		if uname == "PRIMARY" || uname == "KEY" || uname == "UNIQUE" || uname == "INDEX" || uname == "CONSTRAINT" {
+			continue
+		}
+		cols = append(cols, name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("CREATE TABLE has no columns")
+	}
+	return cols, nil
+}
+
+// parseValueTuples parses "(v, v, ...), (v, ...) ;" and returns how many
+// bytes it consumed.
+func parseValueTuples(s string, cols []string, fn func(map[string]string) error) (int, error) {
+	i := 0
+	for {
+		// Skip whitespace and separators.
+		for i < len(s) && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' || s[i] == '\r' || s[i] == ',') {
+			i++
+		}
+		if i >= len(s) || s[i] == ';' {
+			if i < len(s) {
+				i++
+			}
+			return i, nil
+		}
+		if s[i] != '(' {
+			return i, fmt.Errorf("expected '(' at VALUES offset %d", i)
+		}
+		i++
+		vals, consumed, err := parseTuple(s[i:])
+		if err != nil {
+			return i, err
+		}
+		i += consumed
+		if len(vals) != len(cols) {
+			return i, fmt.Errorf("tuple has %d values for %d columns", len(vals), len(cols))
+		}
+		row := make(map[string]string, len(cols))
+		for j, c := range cols {
+			row[c] = vals[j]
+		}
+		if err := fn(row); err != nil {
+			return i, err
+		}
+	}
+}
+
+// parseTuple parses values up to the closing ')', honoring single-quoted
+// strings with ” escapes.
+func parseTuple(s string) ([]string, int, error) {
+	var vals []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\'' {
+				if i+1 < len(s) && s[i+1] == '\'' {
+					cur.WriteByte('\'')
+					i++
+					continue
+				}
+				inStr = false
+				continue
+			}
+			cur.WriteByte(c)
+			continue
+		}
+		switch c {
+		case '\'':
+			inStr = true
+		case ',':
+			vals = append(vals, cleanSQLValue(cur.String()))
+			cur.Reset()
+		case ')':
+			vals = append(vals, cleanSQLValue(cur.String()))
+			return vals, i + 1, nil
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	return nil, 0, fmt.Errorf("unterminated tuple")
+}
+
+func cleanSQLValue(s string) string {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "NULL") {
+		return ""
+	}
+	return s
+}
+
+// KVSource reads "key<TAB>json" lines, simulating an export from a
+// key-value store such as Cassandra or HBase. The key is exposed as the
+// "_key" column; the JSON value is flattened like JSONLSource.
+type KVSource struct {
+	name string
+	open func() (io.Reader, error)
+}
+
+// NewKVSource returns a key-value source.
+func NewKVSource(name string, open func() (io.Reader, error)) *KVSource {
+	return &KVSource{name: name, open: open}
+}
+
+// Name implements Source.
+func (s *KVSource) Name() string { return s.name }
+
+// Rows implements Source.
+func (s *KVSource) Rows(fn func(map[string]string) error) error {
+	r, err := s.open()
+	if err != nil {
+		return fmt.Errorf("connector: opening %q: %w", s.name, err)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("connector: reading %q: %w", s.name, err)
+	}
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, found := strings.Cut(line, "\t")
+		if !found {
+			return fmt.Errorf("connector: %q line %d: no tab separator", s.name, lineNo+1)
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(val), &obj); err != nil {
+			return fmt.Errorf("connector: %q line %d: %w", s.name, lineNo+1, err)
+		}
+		row := make(map[string]string, len(obj)+1)
+		flatten("", obj, row)
+		row["_key"] = key
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

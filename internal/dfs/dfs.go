@@ -1,0 +1,214 @@
+// Package dfs simulates the distributed file system STORM uses as its
+// storage engine (the paper deploys over a DFS beneath a distributed
+// MongoDB installation). Files are split into fixed-size chunks, chunks
+// are replicated across simulated storage nodes, and reads/writes charge
+// per-node I/O so the distributed benchmarks can report balanced load.
+//
+// The simulation keeps chunk payloads in memory; what matters to STORM is
+// the placement and accounting behaviour, not durability.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultChunkSize is the default chunk size in bytes (64 KiB — small, so
+// test files produce multiple chunks).
+const DefaultChunkSize = 64 * 1024
+
+// Config controls cluster shape.
+type Config struct {
+	// Nodes is the number of storage nodes (>= 1).
+	Nodes int
+	// Replication is the number of copies per chunk (>= 1, <= Nodes).
+	Replication int
+	// ChunkSize in bytes; 0 means DefaultChunkSize.
+	ChunkSize int
+}
+
+// NodeStats summarizes one storage node's activity.
+type NodeStats struct {
+	Node        int
+	Chunks      int
+	BytesStored int64
+	Reads       uint64
+	Writes      uint64
+}
+
+// chunk is one replicated piece of a file.
+type chunk struct {
+	data  []byte
+	nodes []int // replica placement
+}
+
+type file struct {
+	chunks []chunk
+	size   int64
+}
+
+// Cluster is a simulated DFS cluster. It is safe for concurrent use.
+type Cluster struct {
+	mu     sync.Mutex
+	cfg    Config
+	files  map[string]*file
+	stats  []NodeStats
+	placeI int // round-robin placement cursor
+}
+
+// New returns a cluster with the given configuration.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("dfs: need at least one node")
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > cfg.Nodes {
+		return nil, fmt.Errorf("dfs: replication %d exceeds node count %d", cfg.Replication, cfg.Nodes)
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.ChunkSize < 1 {
+		return nil, fmt.Errorf("dfs: chunk size %d invalid", cfg.ChunkSize)
+	}
+	c := &Cluster{cfg: cfg, files: make(map[string]*file), stats: make([]NodeStats, cfg.Nodes)}
+	for i := range c.stats {
+		c.stats[i].Node = i
+	}
+	return c, nil
+}
+
+// Write stores a file, replacing any previous content at the path. Chunks
+// are placed round-robin with Replication copies each.
+func (c *Cluster) Write(path string, data []byte) error {
+	if path == "" {
+		return fmt.Errorf("dfs: empty path")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.files[path]; ok {
+		c.dropLocked(old)
+	}
+	f := &file{size: int64(len(data))}
+	for off := 0; off < len(data) || (off == 0 && len(data) == 0); off += c.cfg.ChunkSize {
+		end := off + c.cfg.ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		payload := make([]byte, end-off)
+		copy(payload, data[off:end])
+		ch := chunk{data: payload, nodes: c.placeLocked()}
+		for _, n := range ch.nodes {
+			c.stats[n].Chunks++
+			c.stats[n].BytesStored += int64(len(payload))
+			c.stats[n].Writes++
+		}
+		f.chunks = append(f.chunks, ch)
+		if len(data) == 0 {
+			break
+		}
+	}
+	c.files[path] = f
+	return nil
+}
+
+// placeLocked picks Replication distinct nodes round-robin.
+func (c *Cluster) placeLocked() []int {
+	nodes := make([]int, c.cfg.Replication)
+	for i := range nodes {
+		nodes[i] = (c.placeI + i) % c.cfg.Nodes
+	}
+	c.placeI = (c.placeI + 1) % c.cfg.Nodes
+	return nodes
+}
+
+// Read returns the file's full content, charging one read per chunk on the
+// least-loaded replica (crude load balancing).
+func (c *Cluster) Read(path string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	out := make([]byte, 0, f.size)
+	for _, ch := range f.chunks {
+		best := ch.nodes[0]
+		for _, n := range ch.nodes[1:] {
+			if c.stats[n].Reads < c.stats[best].Reads {
+				best = n
+			}
+		}
+		c.stats[best].Reads++
+		out = append(out, ch.data...)
+	}
+	return out, nil
+}
+
+// Delete removes a file; deleting a missing file is an error.
+func (c *Cluster) Delete(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return fmt.Errorf("dfs: no such file %q", path)
+	}
+	c.dropLocked(f)
+	delete(c.files, path)
+	return nil
+}
+
+func (c *Cluster) dropLocked(f *file) {
+	for _, ch := range f.chunks {
+		for _, n := range ch.nodes {
+			c.stats[n].Chunks--
+			c.stats[n].BytesStored -= int64(len(ch.data))
+		}
+	}
+}
+
+// Exists reports whether the path holds a file.
+func (c *Cluster) Exists(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.files[path]
+	return ok
+}
+
+// List returns all file paths, sorted.
+func (c *Cluster) List() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.files))
+	for p := range c.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns a file's size in bytes.
+func (c *Cluster) Size(path string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: no such file %q", path)
+	}
+	return f.size, nil
+}
+
+// Stats returns per-node statistics.
+func (c *Cluster) Stats() []NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeStats, len(c.stats))
+	copy(out, c.stats)
+	return out
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }

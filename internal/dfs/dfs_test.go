@@ -1,0 +1,168 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c, err := New(Config{Nodes: 3, Replication: 2, ChunkSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello distributed file system, this spans several chunks")
+	if err := c.Write("a/b.txt", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("a/b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read %q, want %q", got, payload)
+	}
+	size, err := c.Size("a/b.txt")
+	if err != nil || size != int64(len(payload)) {
+		t.Errorf("size = %d, %v", size, err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	c, _ := New(Config{Nodes: 2, Replication: 1})
+	if err := c.Write("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("empty")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty read = %v, %v", got, err)
+	}
+}
+
+func TestOverwriteReclaims(t *testing.T) {
+	c, _ := New(Config{Nodes: 2, Replication: 2, ChunkSize: 8})
+	c.Write("f", make([]byte, 64))
+	c.Write("f", make([]byte, 8))
+	var total int64
+	for _, s := range c.Stats() {
+		total += s.BytesStored
+	}
+	if total != 8*2 {
+		t.Errorf("stored bytes = %d, want 16 (old chunks reclaimed)", total)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c, _ := New(Config{Nodes: 2, Replication: 1})
+	c.Write("f", []byte("x"))
+	if !c.Exists("f") {
+		t.Fatal("file should exist")
+	}
+	if err := c.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Exists("f") {
+		t.Error("deleted file still exists")
+	}
+	if err := c.Delete("f"); err == nil {
+		t.Error("double delete should error")
+	}
+	if _, err := c.Read("f"); err == nil {
+		t.Error("reading deleted file should error")
+	}
+	var total int64
+	for _, s := range c.Stats() {
+		total += s.BytesStored
+	}
+	if total != 0 {
+		t.Errorf("bytes after delete = %d", total)
+	}
+}
+
+func TestReplicationPlacement(t *testing.T) {
+	c, _ := New(Config{Nodes: 4, Replication: 3, ChunkSize: 4})
+	c.Write("f", make([]byte, 12)) // 3 chunks x 3 replicas
+	chunks := 0
+	for _, s := range c.Stats() {
+		chunks += s.Chunks
+	}
+	if chunks != 9 {
+		t.Errorf("replica chunks = %d, want 9", chunks)
+	}
+}
+
+func TestLoadSpreadsAcrossNodes(t *testing.T) {
+	c, _ := New(Config{Nodes: 4, Replication: 1, ChunkSize: 8})
+	for i := 0; i < 16; i++ {
+		c.Write(fmt.Sprintf("f%d", i), make([]byte, 8))
+	}
+	for _, s := range c.Stats() {
+		if s.Chunks != 4 {
+			t.Errorf("node %d has %d chunks, want 4 (round-robin)", s.Node, s.Chunks)
+		}
+	}
+}
+
+func TestReadLoadBalancing(t *testing.T) {
+	c, _ := New(Config{Nodes: 2, Replication: 2, ChunkSize: 1024})
+	c.Write("f", make([]byte, 100))
+	for i := 0; i < 10; i++ {
+		c.Read("f")
+	}
+	st := c.Stats()
+	if st[0].Reads == 0 || st[1].Reads == 0 {
+		t.Errorf("reads not balanced: %d / %d", st[0].Reads, st[1].Reads)
+	}
+}
+
+func TestList(t *testing.T) {
+	c, _ := New(Config{Nodes: 1, Replication: 1})
+	c.Write("b", []byte("1"))
+	c.Write("a", []byte("2"))
+	got := c.List()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Error("zero nodes should be rejected")
+	}
+	if _, err := New(Config{Nodes: 2, Replication: 3}); err == nil {
+		t.Error("replication > nodes should be rejected")
+	}
+	if _, err := New(Config{Nodes: 1, ChunkSize: -1}); err == nil {
+		t.Error("negative chunk size should be rejected")
+	}
+	c, _ := New(Config{Nodes: 1})
+	if err := c.Write("", []byte("x")); err == nil {
+		t.Error("empty path should be rejected")
+	}
+}
+
+func TestConcurrentWritesAndReads(t *testing.T) {
+	c, _ := New(Config{Nodes: 4, Replication: 2, ChunkSize: 32})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("file-%d", i)
+			payload := bytes.Repeat([]byte{byte(i)}, 100)
+			for j := 0; j < 50; j++ {
+				if err := c.Write(path, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := c.Read(path)
+				if err != nil || !bytes.Equal(got, payload) {
+					t.Errorf("roundtrip failed for %s", path)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

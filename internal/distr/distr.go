@@ -1,0 +1,401 @@
+// Package distr implements STORM's distributed deployment: the paper runs
+// on "a cluster of commodity machines" with a distributed Hilbert R-tree.
+// Here a Cluster is a set of simulated shard servers, each holding a
+// contiguous Hilbert range of the data with a local RS-tree, and a
+// coordinator that answers spatial online sampling queries across shards.
+//
+// Correctness rests on the same disjointness argument as the RS-tree's
+// canonical parts: shards partition P, so drawing the next sample from
+// shard s with probability proportional to s's remaining matching count
+// yields a uniform without-replacement stream over P ∩ Q.
+//
+// The simulation charges one network message per Count round and per
+// sample batch, so the benchmarks can report message counts and per-shard
+// balance alongside sample throughput.
+package distr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"storm/internal/data"
+	"storm/internal/estimator"
+	"storm/internal/geo"
+	"storm/internal/hilbert"
+	"storm/internal/iosim"
+	"storm/internal/rstree"
+	"storm/internal/sampling"
+	"storm/internal/stats"
+)
+
+// Config controls cluster shape.
+type Config struct {
+	// Shards is the number of shard servers (>= 1).
+	Shards int
+	// Fanout is each shard's RS-tree fanout; 0 means the default.
+	Fanout int
+	// BatchSize is how many samples a shard ships per network message;
+	// 0 means 32.
+	BatchSize int
+	// Seed drives partitioning and sampling randomness.
+	Seed int64
+	// BufferPoolPages gives each shard a simulated buffer pool of this
+	// many pages; 0 disables I/O accounting.
+	BufferPoolPages int
+}
+
+// NetStats counts simulated network traffic.
+type NetStats struct {
+	Messages     uint64
+	SamplesMoved uint64
+}
+
+// Shard is one simulated shard server.
+type Shard struct {
+	ID     int
+	index  *rstree.Index
+	device *iosim.Device
+	count  int
+}
+
+// Len returns the number of records on the shard.
+func (s *Shard) Len() int { return s.count }
+
+// Device returns the shard's simulated block device (nil when disabled).
+func (s *Shard) Device() *iosim.Device { return s.device }
+
+// Cluster is a simulated distributed STORM deployment.
+type Cluster struct {
+	mu     sync.Mutex
+	cfg    Config
+	ds     *data.Dataset
+	shards []*Shard
+	net    NetStats
+	rngSeq int64
+}
+
+// Build partitions the dataset into contiguous Hilbert ranges and builds a
+// local RS-tree per shard. Hilbert partitioning keeps shards spatially
+// coherent, so selective queries touch few shards — the distributed
+// Hilbert R-tree layout the paper describes.
+func Build(ds *data.Dataset, cfg Config) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("distr: need at least one shard")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("distr: batch size %d invalid", cfg.BatchSize)
+	}
+	entries := ds.Entries()
+	bounds := ds.Bounds()
+	if bounds.IsEmpty() {
+		bounds = geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1, 1, 1})
+	}
+	curve := hilbert.MustNew(geo.Dims, 16)
+	quant, err := hilbert.NewQuantizer(curve, bounds.Min[:], bounds.Max[:])
+	if err != nil {
+		return nil, fmt.Errorf("distr: %w", err)
+	}
+	keys := make([]uint64, len(entries))
+	for i, e := range entries {
+		keys[i] = quant.Value(e.Pos[0], e.Pos[1], e.Pos[2])
+	}
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	c := &Cluster{cfg: cfg, ds: ds}
+	per := (len(entries) + cfg.Shards - 1) / cfg.Shards
+	for s := 0; s < cfg.Shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if lo > len(entries) {
+			lo = len(entries)
+		}
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		part := make([]data.Entry, 0, hi-lo)
+		for _, idx := range order[lo:hi] {
+			part = append(part, entries[idx])
+		}
+		var dev *iosim.Device
+		var acct iosim.Accountant = iosim.Discard
+		if cfg.BufferPoolPages > 0 {
+			dev = iosim.NewDevice(cfg.BufferPoolPages, iosim.DefaultCostModel())
+			acct = dev
+		}
+		idx, err := rstree.Build(part, rstree.Config{
+			Fanout: cfg.Fanout,
+			Device: acct,
+			Bounds: bounds,
+			Seed:   cfg.Seed + int64(s)*7919,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("distr: building shard %d: %w", s, err)
+		}
+		c.shards = append(c.shards, &Shard{ID: s, index: idx, device: dev, count: len(part)})
+	}
+	return c, nil
+}
+
+// Shards returns the shard servers.
+func (c *Cluster) Shards() []*Shard { return c.shards }
+
+// Net returns a snapshot of network statistics.
+func (c *Cluster) Net() NetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net
+}
+
+// ResetNet zeroes the network counters.
+func (c *Cluster) ResetNet() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.net = NetStats{}
+}
+
+func (c *Cluster) charge(messages, samples uint64) {
+	c.mu.Lock()
+	c.net.Messages += messages
+	c.net.SamplesMoved += samples
+	c.mu.Unlock()
+}
+
+func (c *Cluster) nextSeed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rngSeq++
+	return c.cfg.Seed*101 + c.rngSeq
+}
+
+// Insert routes a new record to the shard owning its Hilbert range and
+// inserts it into that shard's RS-tree (one request/response message). The
+// record must already exist in the shared dataset (its ID addresses the
+// attribute columns).
+func (c *Cluster) Insert(e data.Entry) {
+	// Route by spatial proximity of shard contents: the shard whose tree
+	// bounds grow least. With contiguous Hilbert partitions this sends
+	// the record to the shard owning its neighborhood.
+	best, bestGrow := 0, math.Inf(1)
+	for i, sh := range c.shards {
+		b := sh.index.Tree().Bounds()
+		grow := b.Extend(geo.RectFromPoint(e.Pos)).Volume() - b.Volume()
+		if grow < bestGrow {
+			best, bestGrow = i, grow
+		}
+	}
+	c.shards[best].index.Insert(e)
+	c.shards[best].count++
+	c.charge(2, 0)
+}
+
+// Delete removes a record from whichever shard holds it; returns false if
+// no shard does. Worst case it asks every shard (2 messages each).
+func (c *Cluster) Delete(e data.Entry) bool {
+	for _, sh := range c.shards {
+		c.charge(2, 0)
+		if sh.index.Delete(e) {
+			sh.count--
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns |P ∩ q| by fanning the count to every shard (one request
+// and one response message each).
+func (c *Cluster) Count(q geo.Rect) int {
+	total := 0
+	for _, s := range c.shards {
+		total += s.index.Count(q)
+	}
+	c.charge(2*uint64(len(c.shards)), 0)
+	return total
+}
+
+// Sampler returns a without-replacement online sampler over the cluster.
+type Sampler struct {
+	cluster *Cluster
+	query   geo.Rect
+	rng     *stats.RNG
+	// per-shard state
+	samplers  []*rstree.Sampler
+	remaining []int
+	buffers   [][]data.Entry
+	total     int
+	init      bool
+}
+
+// Sampler returns an online sampler for q across all shards.
+func (c *Cluster) Sampler(q geo.Rect) *Sampler {
+	return &Sampler{cluster: c, query: q, rng: stats.NewRNG(c.nextSeed())}
+}
+
+var _ sampling.Sampler = (*Sampler)(nil)
+
+// Name implements sampling.Sampler.
+func (s *Sampler) Name() string { return "distributed-rs-tree" }
+
+func (s *Sampler) initialize() {
+	s.init = true
+	cl := s.cluster
+	s.samplers = make([]*rstree.Sampler, len(cl.shards))
+	s.remaining = make([]int, len(cl.shards))
+	s.buffers = make([][]data.Entry, len(cl.shards))
+	for i, sh := range cl.shards {
+		s.remaining[i] = sh.index.Count(s.query)
+		s.total += s.remaining[i]
+		if s.remaining[i] > 0 {
+			s.samplers[i] = sh.index.Sampler(s.query, sampling.WithoutReplacement, stats.NewRNG(cl.nextSeed()))
+		}
+	}
+	cl.charge(2*uint64(len(cl.shards)), 0) // count round
+}
+
+// Next implements sampling.Sampler: it draws the owning shard with
+// probability proportional to its remaining matching count, then consumes
+// the next sample from that shard's stream (fetched in batches to amortize
+// network messages).
+func (s *Sampler) Next() (data.Entry, bool) {
+	if !s.init {
+		s.initialize()
+	}
+	if s.total <= 0 {
+		return data.Entry{}, false
+	}
+	r := s.rng.Intn(s.total)
+	shard := 0
+	for i, rem := range s.remaining {
+		if r < rem {
+			shard = i
+			break
+		}
+		r -= rem
+	}
+	if len(s.buffers[shard]) == 0 {
+		s.fetchBatch(shard)
+		if len(s.buffers[shard]) == 0 {
+			// Shard believed to have samples but returned none:
+			// defensive consistency repair.
+			s.total -= s.remaining[shard]
+			s.remaining[shard] = 0
+			return s.Next()
+		}
+	}
+	e := s.buffers[shard][0]
+	s.buffers[shard] = s.buffers[shard][1:]
+	s.remaining[shard]--
+	s.total--
+	return e, true
+}
+
+// fetchBatch pulls up to BatchSize samples from the shard (one request and
+// one response message).
+func (s *Sampler) fetchBatch(shard int) {
+	sp := s.samplers[shard]
+	if sp == nil {
+		return
+	}
+	n := s.cluster.cfg.BatchSize
+	if n > s.remaining[shard] {
+		n = s.remaining[shard]
+	}
+	batch := make([]data.Entry, 0, n)
+	for len(batch) < n {
+		e, ok := sp.Next()
+		if !ok {
+			break
+		}
+		batch = append(batch, e)
+	}
+	s.buffers[shard] = batch
+	s.cluster.charge(2, uint64(len(batch)))
+}
+
+// EstimateAvg runs a distributed online AVG: each sample is drawn through
+// the cluster sampler and folded into a single estimator, exactly as a
+// coordinator would. It stops after maxSamples samples or exhaustion and
+// returns the estimate.
+func (c *Cluster) EstimateAvg(q geo.Rect, attr string, maxSamples int, confidence float64) (estimator.Estimate, error) {
+	col, err := c.ds.NumericColumn(attr)
+	if err != nil {
+		return estimator.Estimate{}, err
+	}
+	population := c.Count(q)
+	est, err := estimator.New(estimator.Avg, confidence, population, true)
+	if err != nil {
+		return estimator.Estimate{}, err
+	}
+	s := c.Sampler(q)
+	for i := 0; i < maxSamples; i++ {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		est.Add(col[e.ID])
+	}
+	return est.Snapshot(), nil
+}
+
+// ParallelPartialAvg demonstrates the scatter/gather alternative: every
+// shard draws its own local sample of size proportional to its matching
+// count, computes a partial Welford accumulator in parallel, and the
+// coordinator merges them. The merged mean is an unbiased estimate of the
+// population mean because shard sample sizes are proportional to shard
+// populations (self-weighting allocation).
+func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) (estimator.Welford, error) {
+	col, err := c.ds.NumericColumn(attr)
+	if err != nil {
+		return estimator.Welford{}, err
+	}
+	counts := make([]int, len(c.shards))
+	total := 0
+	for i, sh := range c.shards {
+		counts[i] = sh.index.Count(q)
+		total += counts[i]
+	}
+	c.charge(2*uint64(len(c.shards)), 0)
+	if total == 0 {
+		return estimator.Welford{}, nil
+	}
+
+	partials := make([]estimator.Welford, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		if counts[i] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			k := totalSamples * counts[i] / total
+			if k < 1 {
+				k = 1
+			}
+			sp := c.shards[i].index.Sampler(q, sampling.WithoutReplacement, stats.NewRNG(seed))
+			for j := 0; j < k; j++ {
+				e, ok := sp.Next()
+				if !ok {
+					break
+				}
+				partials[i].Add(col[e.ID])
+			}
+		}(i, c.nextSeed())
+	}
+	wg.Wait()
+	c.charge(2*uint64(len(c.shards)), uint64(0))
+
+	var merged estimator.Welford
+	for i := range partials {
+		merged.Merge(partials[i])
+	}
+	return merged, nil
+}

@@ -1,0 +1,287 @@
+package distr
+
+import (
+	"math"
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/gen"
+	"storm/internal/geo"
+	"storm/internal/stats"
+)
+
+func buildCluster(t testing.TB, n, shards int) (*Cluster, *data.Dataset) {
+	t.Helper()
+	ds := gen.Uniform(n, 11, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	c, err := Build(ds, Config{Shards: shards, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ds
+}
+
+var testQuery = geo.NewRect(geo.Vec{20, 20, 0}, geo.Vec{60, 60, 100})
+
+func TestBuildPartitionsEverything(t *testing.T) {
+	c, ds := buildCluster(t, 10000, 4)
+	if len(c.Shards()) != 4 {
+		t.Fatalf("shards = %d", len(c.Shards()))
+	}
+	total := 0
+	for _, s := range c.Shards() {
+		total += s.Len()
+	}
+	if total != ds.Len() {
+		t.Fatalf("shard records sum to %d, want %d", total, ds.Len())
+	}
+	// Balanced within one slot.
+	for _, s := range c.Shards() {
+		if s.Len() < ds.Len()/4-1 || s.Len() > ds.Len()/4+ds.Len()%4+1 {
+			t.Errorf("shard %d holds %d records (imbalanced)", s.ID, s.Len())
+		}
+	}
+}
+
+func TestCountMatchesBrute(t *testing.T) {
+	c, ds := buildCluster(t, 8000, 3)
+	want := 0
+	for i := 0; i < ds.Len(); i++ {
+		if testQuery.Contains(ds.Pos(uint64(i))) {
+			want++
+		}
+	}
+	if got := c.Count(testQuery); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	if c.Net().Messages == 0 {
+		t.Error("count should charge network messages")
+	}
+}
+
+func TestSamplerCompleteAndUnique(t *testing.T) {
+	c, ds := buildCluster(t, 8000, 4)
+	want := make(map[data.ID]bool)
+	for i := 0; i < ds.Len(); i++ {
+		if testQuery.Contains(ds.Pos(uint64(i))) {
+			want[uint64(i)] = true
+		}
+	}
+	s := c.Sampler(testQuery)
+	got := make(map[data.ID]bool)
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		if !want[e.ID] {
+			t.Fatalf("sample %d outside query", e.ID)
+		}
+		if got[e.ID] {
+			t.Fatalf("duplicate sample %d", e.ID)
+		}
+		got[e.ID] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d, want %d", len(got), len(want))
+	}
+}
+
+func TestSamplerUniformAcrossShards(t *testing.T) {
+	// Shards hold disjoint Hilbert ranges, so a query spanning shard
+	// boundaries checks the coordinator's weighted shard draw: counts per
+	// record must be flat.
+	ds := gen.Uniform(400, 13, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	want := make(map[data.ID]bool)
+	for i := 0; i < ds.Len(); i++ {
+		if testQuery.Contains(ds.Pos(uint64(i))) {
+			want[uint64(i)] = true
+		}
+	}
+	q := len(want)
+	if q < 20 {
+		t.Fatalf("degenerate fixture q=%d", q)
+	}
+	counts := make(map[data.ID]int)
+	const trials = 15000
+	for i := 0; i < trials; i++ {
+		c, err := Build(ds, Config{Shards: 4, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.Sampler(testQuery)
+		e, ok := s.Next()
+		if !ok {
+			t.Fatal("no sample")
+		}
+		counts[e.ID]++
+	}
+	obs := make([]int, 0, q)
+	exp := make([]float64, 0, q)
+	for id := range want {
+		obs = append(obs, counts[id])
+		exp = append(exp, float64(trials)/float64(q))
+	}
+	stat := stats.ChiSquareStat(obs, exp)
+	crit := stats.ChiSquareQuantile(0.999, q-1)
+	if stat > crit {
+		t.Errorf("distributed first-sample chi-square %v > crit %v", stat, crit)
+	}
+}
+
+func TestEstimateAvg(t *testing.T) {
+	c, ds := buildCluster(t, 20000, 4)
+	col, _ := ds.NumericColumn("value")
+	var sum float64
+	cnt := 0
+	for i := 0; i < ds.Len(); i++ {
+		if testQuery.Contains(ds.Pos(uint64(i))) {
+			sum += col[i]
+			cnt++
+		}
+	}
+	want := sum / float64(cnt)
+	est, err := c.EstimateAvg(testQuery, "value", 2000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-want) > 3*est.HalfWidth+1e-9 {
+		t.Errorf("estimate %v ± %v vs truth %v", est.Value, est.HalfWidth, want)
+	}
+	if est.Samples != 2000 {
+		t.Errorf("samples = %d", est.Samples)
+	}
+	if _, err := c.EstimateAvg(testQuery, "nope", 10, 0.95); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestParallelPartialAvg(t *testing.T) {
+	c, ds := buildCluster(t, 20000, 4)
+	col, _ := ds.NumericColumn("value")
+	var sum float64
+	cnt := 0
+	for i := 0; i < ds.Len(); i++ {
+		if testQuery.Contains(ds.Pos(uint64(i))) {
+			sum += col[i]
+			cnt++
+		}
+	}
+	want := sum / float64(cnt)
+	w, err := c.ParallelPartialAvg(testQuery, "value", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() < 1500 {
+		t.Errorf("merged samples = %d", w.N())
+	}
+	if math.Abs(w.Mean()-want) > 2 {
+		t.Errorf("merged mean %v vs truth %v", w.Mean(), want)
+	}
+}
+
+func TestBatchingReducesMessages(t *testing.T) {
+	ds := gen.Uniform(20000, 17, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	small, _ := Build(ds, Config{Shards: 4, Seed: 1, BatchSize: 1})
+	big, _ := Build(ds, Config{Shards: 4, Seed: 1, BatchSize: 64})
+	run := func(c *Cluster) uint64 {
+		c.ResetNet()
+		s := c.Sampler(testQuery)
+		for i := 0; i < 1000; i++ {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+		}
+		return c.Net().Messages
+	}
+	mSmall, mBig := run(small), run(big)
+	if mBig*10 > mSmall {
+		t.Errorf("batching should cut messages: batch=1 %d vs batch=64 %d", mSmall, mBig)
+	}
+}
+
+func TestEmptyQueryAcrossShards(t *testing.T) {
+	c, _ := buildCluster(t, 1000, 3)
+	empty := geo.NewRect(geo.Vec{-10, -10, -10}, geo.Vec{-5, -5, -5})
+	s := c.Sampler(empty)
+	if _, ok := s.Next(); ok {
+		t.Error("empty query should yield nothing")
+	}
+	w, err := c.ParallelPartialAvg(empty, "value", 100)
+	if err != nil || w.N() != 0 {
+		t.Errorf("empty partial avg: %d samples, %v", w.N(), err)
+	}
+}
+
+func TestDistributedInsertDelete(t *testing.T) {
+	c, ds := buildCluster(t, 4000, 4)
+	before := c.Count(testQuery)
+	// New records become part of the shared dataset, then route to shards.
+	var inserted []data.Entry
+	for i := 0; i < 50; i++ {
+		id := ds.AppendFast(geo.Vec{40, 40, 50})
+		ds.SetNumeric("value", id, 123)
+		e := data.Entry{ID: id, Pos: geo.Vec{40, 40, 50}}
+		c.Insert(e)
+		inserted = append(inserted, e)
+	}
+	if got := c.Count(testQuery); got != before+50 {
+		t.Fatalf("count after inserts = %d, want %d", got, before+50)
+	}
+	// Fresh records are sampleable.
+	s := c.Sampler(geo.NewRect(geo.Vec{39.9, 39.9, 49}, geo.Vec{40.1, 40.1, 51}))
+	found := 0
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		if e.Pos == (geo.Vec{40, 40, 50}) {
+			found++
+		}
+	}
+	if found != 50 {
+		t.Errorf("sampled %d fresh records, want 50", found)
+	}
+	// Deletes land on the right shard.
+	for _, e := range inserted[:20] {
+		if !c.Delete(e) {
+			t.Fatalf("delete of %d failed", e.ID)
+		}
+	}
+	if got := c.Count(testQuery); got != before+30 {
+		t.Errorf("count after deletes = %d, want %d", got, before+30)
+	}
+	if c.Delete(data.Entry{ID: 999999, Pos: geo.Vec{1, 1, 1}}) {
+		t.Error("deleting a missing record should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := gen.Uniform(10, 1, geo.SpatialRange(0, 0, 1, 1))
+	if _, err := Build(ds, Config{Shards: 0}); err == nil {
+		t.Error("zero shards should be rejected")
+	}
+	if _, err := Build(ds, Config{Shards: 1, BatchSize: -1}); err == nil {
+		t.Error("negative batch should be rejected")
+	}
+}
+
+func TestMoreShardsThanRecords(t *testing.T) {
+	ds := gen.Uniform(3, 2, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	c, err := Build(ds, Config{Shards: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{100, 100, 100})
+	s := c.Sampler(all)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("drained %d of 3", n)
+	}
+}

@@ -1,0 +1,242 @@
+// Package docstore is STORM's storage engine: JSON document collections
+// persisted to the simulated DFS, mirroring the paper's distributed
+// MongoDB installation ("uses a DFS and the JSON format for its record
+// structures"). Collections are partitioned into segment files of a fixed
+// document count so large collections spread across DFS chunks and nodes.
+//
+// The store is deliberately simple — append, get, scan, delete — because
+// STORM's query path reads documents through the columnar data.Dataset;
+// the docstore exists for import/export, persistence and the distributed
+// storage accounting of the benchmarks.
+package docstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"storm/internal/dfs"
+)
+
+// SegmentDocs is how many documents share one DFS segment file.
+const SegmentDocs = 1024
+
+// Document is a schemaless JSON object.
+type Document map[string]any
+
+// Store is a collection-oriented document store over a DFS cluster.
+// It is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	cluster *dfs.Cluster
+	colls   map[string]*collection
+}
+
+type collection struct {
+	name     string
+	segments int   // number of persisted segments
+	count    int   // total live documents (excluding tombstones)
+	nextID   int64 // monotonically increasing document ids
+	// buffer holds documents not yet flushed into a segment.
+	buffer []storedDoc
+	// deleted marks tombstoned ids.
+	deleted map[int64]bool
+}
+
+type storedDoc struct {
+	ID  int64    `json:"_id"`
+	Doc Document `json:"doc"`
+}
+
+// Open returns a store backed by the given DFS cluster.
+func Open(cluster *dfs.Cluster) *Store {
+	return &Store{cluster: cluster, colls: make(map[string]*collection)}
+}
+
+func (s *Store) coll(name string, create bool) (*collection, error) {
+	c, ok := s.colls[name]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("docstore: no such collection %q", name)
+		}
+		c = &collection{name: name, deleted: make(map[int64]bool)}
+		s.colls[name] = c
+	}
+	return c, nil
+}
+
+// Insert appends a document to the collection (created on first use) and
+// returns its assigned id.
+func (s *Store) Insert(coll string, doc Document) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(coll, true)
+	if err != nil {
+		return 0, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.buffer = append(c.buffer, storedDoc{ID: id, Doc: doc})
+	c.count++
+	if len(c.buffer) >= SegmentDocs {
+		if err := s.flushLocked(c); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// InsertMany appends documents in bulk.
+func (s *Store) InsertMany(coll string, docs []Document) ([]int64, error) {
+	ids := make([]int64, 0, len(docs))
+	for _, d := range docs {
+		id, err := s.Insert(coll, d)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Flush persists any buffered documents of the collection to the DFS.
+func (s *Store) Flush(coll string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(coll, false)
+	if err != nil {
+		return err
+	}
+	return s.flushLocked(c)
+}
+
+func (s *Store) flushLocked(c *collection) error {
+	if len(c.buffer) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, d := range c.buffer {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("docstore: encoding %s/%d: %w", c.name, d.ID, err)
+		}
+	}
+	path := segmentPath(c.name, c.segments)
+	if err := s.cluster.Write(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("docstore: writing segment: %w", err)
+	}
+	c.segments++
+	c.buffer = nil
+	return nil
+}
+
+func segmentPath(coll string, seg int) string {
+	return fmt.Sprintf("docstore/%s/seg-%06d.jsonl", coll, seg)
+}
+
+// Delete tombstones a document by id. It returns false when the id does
+// not exist or is already deleted.
+func (s *Store) Delete(coll string, id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(coll, false)
+	if err != nil {
+		return false
+	}
+	if id < 1 || id > c.nextID || c.deleted[id] {
+		return false
+	}
+	c.deleted[id] = true
+	c.count--
+	return true
+}
+
+// Get returns a document by id, or ok=false when missing/deleted.
+func (s *Store) Get(coll string, id int64) (Document, bool, error) {
+	var found Document
+	err := s.Scan(coll, func(gotID int64, d Document) bool {
+		if gotID == id {
+			found = d
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return found, found != nil, nil
+}
+
+// Scan iterates all live documents of the collection in id order,
+// reading persisted segments from the DFS and then the in-memory buffer.
+// fn returning false stops the scan.
+func (s *Store) Scan(coll string, fn func(id int64, d Document) bool) error {
+	s.mu.Lock()
+	c, err := s.coll(coll, false)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	segments := c.segments
+	buffered := make([]storedDoc, len(c.buffer))
+	copy(buffered, c.buffer)
+	deleted := make(map[int64]bool, len(c.deleted))
+	for id := range c.deleted {
+		deleted[id] = true
+	}
+	s.mu.Unlock()
+
+	for seg := 0; seg < segments; seg++ {
+		raw, err := s.cluster.Read(segmentPath(coll, seg))
+		if err != nil {
+			return fmt.Errorf("docstore: reading segment %d: %w", seg, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		for dec.More() {
+			var d storedDoc
+			if err := dec.Decode(&d); err != nil {
+				return fmt.Errorf("docstore: corrupt segment %d of %q: %w", seg, coll, err)
+			}
+			if deleted[d.ID] {
+				continue
+			}
+			if !fn(d.ID, d.Doc) {
+				return nil
+			}
+		}
+	}
+	for _, d := range buffered {
+		if deleted[d.ID] {
+			continue
+		}
+		if !fn(d.ID, d.Doc) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count returns the number of live documents.
+func (s *Store) Count(coll string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(coll, false)
+	if err != nil {
+		return 0, err
+	}
+	return c.count, nil
+}
+
+// Collections lists collection names, sorted.
+func (s *Store) Collections() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.colls))
+	for n := range s.colls {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

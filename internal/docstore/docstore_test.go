@@ -1,0 +1,192 @@
+package docstore
+
+import (
+	"fmt"
+	"testing"
+
+	"storm/internal/dfs"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	c, err := dfs.New(dfs.Config{Nodes: 3, Replication: 2, ChunkSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Open(c)
+}
+
+func TestInsertGetScan(t *testing.T) {
+	s := newStore(t)
+	id1, err := s.Insert("tweets", Document{"user": "alice", "lat": 40.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := s.Insert("tweets", Document{"user": "bob"})
+	if id1 == id2 {
+		t.Fatal("ids must be distinct")
+	}
+	doc, ok, err := s.Get("tweets", id1)
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if doc["user"] != "alice" {
+		t.Errorf("doc = %v", doc)
+	}
+	n, err := s.Count("tweets")
+	if err != nil || n != 2 {
+		t.Errorf("count = %d, %v", n, err)
+	}
+	var seen []int64
+	if err := s.Scan("tweets", func(id int64, d Document) bool {
+		seen = append(seen, id)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != id1 || seen[1] != id2 {
+		t.Errorf("scan order = %v", seen)
+	}
+}
+
+func TestSegmentFlushAndPersistence(t *testing.T) {
+	s := newStore(t)
+	n := SegmentDocs*2 + 100 // forces two flushed segments + buffer
+	for i := 0; i < n; i++ {
+		if _, err := s.Insert("big", Document{"i": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := s.Scan("big", func(id int64, d Document) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan saw %d docs, want %d", count, n)
+	}
+	// Explicit flush persists the tail buffer too.
+	if err := s.Flush("big"); err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	s.Scan("big", func(int64, Document) bool { count++; return true })
+	if count != n {
+		t.Fatalf("after flush: %d docs", count)
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	s := newStore(t)
+	ids, err := s.InsertMany("c", []Document{{"v": 1.0}, {"v": 2.0}, {"v": 3.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Delete("c", ids[1]) {
+		t.Fatal("delete failed")
+	}
+	if s.Delete("c", ids[1]) {
+		t.Error("double delete should fail")
+	}
+	if s.Delete("c", 9999) {
+		t.Error("deleting unknown id should fail")
+	}
+	n, _ := s.Count("c")
+	if n != 2 {
+		t.Errorf("count = %d", n)
+	}
+	if _, ok, _ := s.Get("c", ids[1]); ok {
+		t.Error("deleted doc still visible")
+	}
+	var vals []float64
+	s.Scan("c", func(id int64, d Document) bool {
+		vals = append(vals, d["v"].(float64))
+		return true
+	})
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 3 {
+		t.Errorf("scan after delete = %v", vals)
+	}
+}
+
+func TestDeleteInFlushedSegment(t *testing.T) {
+	s := newStore(t)
+	var ids []int64
+	for i := 0; i < SegmentDocs+10; i++ {
+		id, _ := s.Insert("c", Document{"i": float64(i)})
+		ids = append(ids, id)
+	}
+	// ids[0] lives in a flushed segment now.
+	if !s.Delete("c", ids[0]) {
+		t.Fatal("delete of flushed doc failed")
+	}
+	count := 0
+	s.Scan("c", func(id int64, d Document) bool {
+		if id == ids[0] {
+			t.Fatal("tombstoned doc scanned")
+		}
+		count++
+		return true
+	})
+	if count != SegmentDocs+9 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 10; i++ {
+		s.Insert("c", Document{"i": float64(i)})
+	}
+	n := 0
+	s.Scan("c", func(int64, Document) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop after %d", n)
+	}
+}
+
+func TestUnknownCollection(t *testing.T) {
+	s := newStore(t)
+	if err := s.Scan("nope", func(int64, Document) bool { return true }); err == nil {
+		t.Error("scanning unknown collection should error")
+	}
+	if _, err := s.Count("nope"); err == nil {
+		t.Error("counting unknown collection should error")
+	}
+	if err := s.Flush("nope"); err == nil {
+		t.Error("flushing unknown collection should error")
+	}
+	if s.Delete("nope", 1) {
+		t.Error("deleting from unknown collection should fail")
+	}
+}
+
+func TestCollections(t *testing.T) {
+	s := newStore(t)
+	s.Insert("b", Document{})
+	s.Insert("a", Document{})
+	got := s.Collections()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("collections = %v", got)
+	}
+}
+
+func TestManyCollections(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 5; i++ {
+		coll := fmt.Sprintf("c%d", i)
+		for j := 0; j < 20; j++ {
+			s.Insert(coll, Document{"j": float64(j)})
+		}
+	}
+	for i := 0; i < 5; i++ {
+		n, err := s.Count(fmt.Sprintf("c%d", i))
+		if err != nil || n != 20 {
+			t.Errorf("c%d count = %d, %v", i, n, err)
+		}
+	}
+}

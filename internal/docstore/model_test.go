@@ -1,0 +1,84 @@
+package docstore
+
+import (
+	"testing"
+
+	"storm/internal/dfs"
+	"storm/internal/stats"
+)
+
+// TestStoreMatchesMapModel drives random insert/delete/scan sequences
+// against the store and a map-based reference model.
+func TestStoreMatchesMapModel(t *testing.T) {
+	cluster, err := dfs.New(dfs.Config{Nodes: 2, Replication: 1, ChunkSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Open(cluster)
+	rng := stats.NewRNG(23)
+
+	type model struct {
+		live map[int64]float64 // id -> payload
+		ids  []int64           // insertion order
+	}
+	m := &model{live: make(map[int64]float64)}
+
+	for op := 0; op < 3000; op++ {
+		switch {
+		case len(m.ids) == 0 || rng.Bernoulli(0.6):
+			v := rng.Float64()
+			id, err := s.Insert("c", Document{"v": v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := m.live[id]; dup {
+				t.Fatalf("op %d: duplicate id %d", op, id)
+			}
+			m.live[id] = v
+			m.ids = append(m.ids, id)
+		case rng.Bernoulli(0.5):
+			// Delete a random known id (possibly already deleted).
+			id := m.ids[rng.Intn(len(m.ids))]
+			_, alive := m.live[id]
+			if got := s.Delete("c", id); got != alive {
+				t.Fatalf("op %d: Delete(%d) = %v, model %v", op, id, got, alive)
+			}
+			delete(m.live, id)
+		default:
+			// Occasionally force a flush to move docs into segments.
+			if err := s.Flush("c"); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if op%250 == 0 {
+			n, err := s.Count("c")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(m.live) {
+				t.Fatalf("op %d: count %d, model %d", op, n, len(m.live))
+			}
+			seen := make(map[int64]float64)
+			prev := int64(0)
+			if err := s.Scan("c", func(id int64, d Document) bool {
+				if id <= prev {
+					t.Fatalf("op %d: scan out of order (%d after %d)", op, id, prev)
+				}
+				prev = id
+				seen[id] = d["v"].(float64)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != len(m.live) {
+				t.Fatalf("op %d: scan saw %d docs, model %d", op, len(seen), len(m.live))
+			}
+			for id, v := range m.live {
+				if seen[id] != v {
+					t.Fatalf("op %d: doc %d = %v, model %v", op, id, seen[id], v)
+				}
+			}
+		}
+	}
+}

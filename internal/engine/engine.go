@@ -1,0 +1,370 @@
+// Package engine is STORM's query and analytics evaluator: it wires the
+// sampler, ST-indexing, feature (estimator) and update-manager modules of
+// the paper's Figure 2 architecture into online query execution.
+//
+// A query runs as a loop that pulls one spatial online sample at a time,
+// feeds it to an online estimator, and periodically emits Snapshots whose
+// confidence intervals tighten over time. The loop terminates when the
+// caller's accuracy target is met, the time budget expires, the context is
+// cancelled (the user moved on to a different region — the paper's
+// interactive-exploration scenario), or the sample is exhausted (the
+// estimate is then exact).
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/iosim"
+	"storm/internal/lstree"
+	"storm/internal/rstree"
+	"storm/internal/sampling"
+	"storm/internal/stats"
+)
+
+// Method selects the sampling strategy for a query.
+type Method int
+
+// Available sampling methods. Auto lets the query optimizer decide.
+const (
+	Auto Method = iota
+	MethodRSTree
+	MethodLSTree
+	MethodRandomPath
+	MethodQueryFirst
+	MethodSampleFirst
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case MethodRSTree:
+		return "rs-tree"
+	case MethodLSTree:
+		return "ls-tree"
+	case MethodRandomPath:
+		return "random-path"
+	case MethodQueryFirst:
+		return "query-first"
+	case MethodSampleFirst:
+		return "sample-first"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config controls engine-wide behaviour.
+type Config struct {
+	// Seed drives all sampling randomness; a fixed seed makes query
+	// results reproducible.
+	Seed int64
+	// BufferPoolPages sizes the simulated buffer pool shared by all
+	// indexes; 0 disables I/O simulation entirely.
+	BufferPoolPages int
+	// Fanout overrides the index fanout; 0 means rtree.DefaultFanout.
+	Fanout int
+}
+
+// Engine manages datasets, their sampling indexes, and query execution.
+type Engine struct {
+	mu       sync.RWMutex
+	cfg      Config
+	datasets map[string]*Handle
+	device   *iosim.Device
+	seedSeq  int64
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg, datasets: make(map[string]*Handle)}
+	if cfg.BufferPoolPages > 0 {
+		e.device = iosim.NewDevice(cfg.BufferPoolPages, iosim.DefaultCostModel())
+	}
+	return e
+}
+
+// Device returns the engine's simulated block device, or nil when I/O
+// simulation is disabled.
+func (e *Engine) Device() *iosim.Device { return e.device }
+
+// IndexOptions controls which sampling indexes Register builds.
+type IndexOptions struct {
+	// LSTree additionally builds an LS-tree (the RS-tree is always
+	// built: it is the engine's default sampler and range counter).
+	LSTree bool
+}
+
+// Handle is a registered dataset with its indexes. All index access is
+// serialized through the handle's mutex because RS-tree queries mutate
+// shared sample buffers.
+type Handle struct {
+	mu   sync.Mutex
+	name string
+	ds   *data.Dataset
+	rs   *rstree.Index
+	ls   *lstree.Index
+	eng  *Engine
+	// deleted marks records removed from the indexes; the columnar store
+	// is append-only, so SampleFirst (which samples the raw store) must
+	// filter them out.
+	deleted map[data.ID]struct{}
+}
+
+// Register indexes a dataset and makes it queryable. The dataset must not
+// be mutated directly afterwards; use Insert/Delete on the handle.
+func (e *Engine) Register(ds *data.Dataset, opts IndexOptions) (*Handle, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.datasets[ds.Name()]; dup {
+		return nil, fmt.Errorf("engine: dataset %q already registered", ds.Name())
+	}
+	var dev iosim.Accountant = iosim.Discard
+	if e.device != nil {
+		dev = e.device
+	}
+	entries := ds.Entries()
+	rs, err := rstree.Build(entries, rstree.Config{
+		Fanout: e.cfg.Fanout,
+		Device: dev,
+		Seed:   e.nextSeed(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: building RS-tree for %q: %w", ds.Name(), err)
+	}
+	h := &Handle{name: ds.Name(), ds: ds, rs: rs, eng: e, deleted: make(map[data.ID]struct{})}
+	if opts.LSTree {
+		ls, err := lstree.Build(entries, lstree.Config{
+			Fanout: e.cfg.Fanout,
+			Device: dev,
+			Seed:   e.nextSeed(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: building LS-tree for %q: %w", ds.Name(), err)
+		}
+		h.ls = ls
+	}
+	e.datasets[ds.Name()] = h
+	return h, nil
+}
+
+// nextSeed derives a fresh deterministic seed; safe for concurrent use.
+func (e *Engine) nextSeed() int64 {
+	return e.cfg.Seed*1_000_003 + atomic.AddInt64(&e.seedSeq, 1)
+}
+
+// Unregister removes a dataset and its indexes from the engine. Queries
+// already running against its handle finish normally; new lookups fail.
+func (e *Engine) Unregister(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.datasets[name]; !ok {
+		return fmt.Errorf("engine: unknown dataset %q", name)
+	}
+	delete(e.datasets, name)
+	return nil
+}
+
+// Dataset returns the handle for a registered dataset.
+func (e *Engine) Dataset(name string) (*Handle, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h, ok := e.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown dataset %q", name)
+	}
+	return h, nil
+}
+
+// Datasets returns the names of all registered datasets.
+func (e *Engine) Datasets() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.datasets))
+	for n := range e.datasets {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Name returns the dataset name.
+func (h *Handle) Name() string { return h.name }
+
+// Data returns the underlying dataset for read access.
+func (h *Handle) Data() *data.Dataset { return h.ds }
+
+// Len returns the number of live (indexed) records.
+func (h *Handle) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rs.Len()
+}
+
+// Count returns |P ∩ q| exactly.
+func (h *Handle) Count(q geo.Range) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rs.Count(q.Rect())
+}
+
+// Insert appends a record and adds it to every index (the update manager
+// path: new data becomes immediately sampleable, the paper's "updates"
+// demo component).
+func (h *Handle) Insert(row data.Row) data.ID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.ds.Append(row)
+	e := data.Entry{ID: id, Pos: row.Pos}
+	h.rs.Insert(e)
+	if h.ls != nil {
+		h.ls.Insert(e)
+	}
+	return id
+}
+
+// Delete removes a record from every index; its row remains in the
+// columnar store but is no longer reachable by any query. Returns false if
+// the record was not indexed.
+func (h *Handle) Delete(id data.ID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(id) >= h.ds.Len() {
+		return false
+	}
+	e := data.Entry{ID: id, Pos: h.ds.Pos(id)}
+	if !h.rs.Delete(e) {
+		return false
+	}
+	if h.ls != nil {
+		h.ls.Delete(e)
+	}
+	h.deleted[id] = struct{}{}
+	return true
+}
+
+// HasLSTree reports whether the handle has an LS-tree index.
+func (h *Handle) HasLSTree() bool { return h.ls != nil }
+
+// DeleteRange removes every record inside the range from all indexes and
+// returns how many were removed — the update manager's bulk path
+// ("DELETE FROM ds WHERE REGION(...)" in the query language).
+func (h *Handle) DeleteRange(q geo.Range) (int, error) {
+	if !q.Valid() {
+		return 0, fmt.Errorf("engine: invalid range %+v", q)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	matches := h.rs.Tree().ReportAll(q.Rect())
+	for _, e := range matches {
+		h.rs.Delete(e)
+		if h.ls != nil {
+			h.ls.Delete(e)
+		}
+		h.deleted[e.ID] = struct{}{}
+	}
+	return len(matches), nil
+}
+
+// newSampler builds a sampler for the query using the requested method;
+// Auto applies the optimizer's rules (see choose). Caller holds h.mu.
+func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *stats.RNG) (sampling.Sampler, error) {
+	if method == Auto {
+		method = h.choose(q)
+	}
+	var dev iosim.Accountant = iosim.Discard
+	if h.eng.device != nil {
+		dev = h.eng.device
+	}
+	switch method {
+	case MethodRSTree:
+		return h.rs.Sampler(q, mode, rng), nil
+	case MethodLSTree:
+		if h.ls == nil {
+			return nil, fmt.Errorf("engine: dataset %q has no LS-tree (register with IndexOptions.LSTree)", h.name)
+		}
+		if mode == sampling.WithReplacement {
+			return nil, fmt.Errorf("engine: LS-tree supports without-replacement sampling only")
+		}
+		return h.ls.Sampler(q, rng), nil
+	case MethodRandomPath:
+		return sampling.NewRandomPath(h.rs.Tree(), q, mode, rng), nil
+	case MethodQueryFirst:
+		return sampling.NewQueryFirst(h.rs.Tree(), q, mode, rng), nil
+	case MethodSampleFirst:
+		sf := sampling.NewSampleFirst(h.ds, q, mode, rng, dev, h.rs.Tree().Fanout())
+		if len(h.deleted) > 0 {
+			sf.Filter = func(id data.ID) bool {
+				_, gone := h.deleted[id]
+				return !gone
+			}
+		}
+		return sf, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown method %v", method)
+	}
+}
+
+// Plan describes what the query optimizer would do for a range — the
+// EXPLAIN output of the query language.
+type Plan struct {
+	// Dataset and N identify the input.
+	Dataset string
+	N       int
+	// Matching is q = |P ∩ Q| and Selectivity is q/N.
+	Matching    int
+	Selectivity float64
+	// Method is the sampler the optimizer picks for Auto.
+	Method Method
+	// CanonicalSize is r(N), the number of canonical parts of the range.
+	CanonicalSize int
+	// TreeHeight is the RS-tree's height.
+	TreeHeight int
+}
+
+// Explain returns the optimizer's plan for a range without executing it.
+func (h *Handle) Explain(q geo.Range) (Plan, error) {
+	if !q.Valid() {
+		return Plan{}, fmt.Errorf("engine: invalid query range %+v", q)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rect := q.Rect()
+	n := h.rs.Len()
+	matching := h.rs.Count(rect)
+	p := Plan{
+		Dataset:       h.name,
+		N:             n,
+		Matching:      matching,
+		Method:        h.choose(rect),
+		CanonicalSize: h.rs.Tree().CanonicalSize(rect),
+		TreeHeight:    h.rs.Tree().Height(),
+	}
+	if n > 0 {
+		p.Selectivity = float64(matching) / float64(n)
+	}
+	return p, nil
+}
+
+// choose implements the query optimizer's method selection rules
+// (paper §3.2): tiny results are cheapest to report outright; queries
+// covering most of the data sample efficiently straight from the raw file;
+// everything else uses the RS-tree.
+func (h *Handle) choose(q geo.Rect) Method {
+	n := h.rs.Len()
+	if n == 0 {
+		return MethodRSTree
+	}
+	cnt := h.rs.Count(q)
+	switch {
+	case cnt <= 2*h.rs.Tree().Fanout():
+		return MethodQueryFirst
+	case float64(cnt)/float64(n) >= 0.5:
+		return MethodSampleFirst
+	default:
+		return MethodRSTree
+	}
+}

@@ -1,0 +1,425 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/estimator"
+	"storm/internal/geo"
+	"storm/internal/sampling"
+	"storm/internal/stats"
+)
+
+// Options controls one online aggregation query.
+type Options struct {
+	// Kind is the aggregate to estimate.
+	Kind estimator.Kind
+	// Attr is the numeric attribute to aggregate (ignored for COUNT).
+	Attr string
+	// QuantileP is the quantile for Kind == Quant (Median fixes it to
+	// 0.5); must be in (0, 1).
+	QuantileP float64
+	// Confidence level for intervals; 0 means 0.95.
+	Confidence float64
+	// TargetRelError stops the query once the CI half-width divided by
+	// the estimate drops to this value (0 disables).
+	TargetRelError float64
+	// TargetHalfWidth stops the query once the CI half-width drops to
+	// this absolute value (0 disables).
+	TargetHalfWidth float64
+	// TimeBudget stops the query after this duration, returning the best
+	// estimate so far — the paper's "best-effort" mode (0 disables).
+	TimeBudget time.Duration
+	// MaxSamples stops after this many samples (0 disables).
+	MaxSamples int
+	// Mode selects with/without replacement; the default
+	// (WithoutReplacement) converges to the exact answer.
+	Mode sampling.Mode
+	// Method picks the sampler; Auto consults the query optimizer.
+	Method Method
+	// ReportEvery emits a snapshot every this many samples; 0 means 64.
+	ReportEvery int
+	// Seed overrides the query's sampling seed (0 derives one from the
+	// engine seed sequence).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.ReportEvery == 0 {
+		o.ReportEvery = 64
+	}
+	return o
+}
+
+// Snapshot is one progress report of an online query.
+type Snapshot struct {
+	estimator.Estimate
+	// Elapsed is the time since query start.
+	Elapsed time.Duration
+	// Method is the sampler that served the query.
+	Method string
+	// Done marks the final snapshot: target met, budget spent, sample
+	// exhausted, or context cancelled.
+	Done bool
+}
+
+// EstimateOnline executes an online aggregation query, streaming snapshots
+// on the returned channel until the query terminates; the final snapshot
+// has Done = true and the channel is then closed. Cancel ctx to stop early
+// (the paper's interactive-exploration flow: fire the next query without
+// waiting for this one).
+func (h *Handle) EstimateOnline(ctx context.Context, q geo.Range, opts Options) (<-chan Snapshot, error) {
+	opts = opts.withDefaults()
+	if !q.Valid() {
+		return nil, fmt.Errorf("engine: invalid query range %+v", q)
+	}
+	if opts.Kind != estimator.Count {
+		if opts.Attr == "" {
+			return nil, fmt.Errorf("engine: %v requires an attribute", opts.Kind)
+		}
+		if !h.ds.HasNumeric(opts.Attr) {
+			return nil, fmt.Errorf("engine: dataset %q has no numeric column %q", h.name, opts.Attr)
+		}
+	}
+	if opts.Kind == estimator.Quant && (opts.QuantileP <= 0 || opts.QuantileP >= 1) {
+		return nil, fmt.Errorf("engine: QUANTILE requires 0 < p < 1, got %v", opts.QuantileP)
+	}
+
+	out := make(chan Snapshot, 16)
+	go func() {
+		defer close(out)
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.runEstimate(ctx, q.Rect(), opts, out)
+	}()
+	return out, nil
+}
+
+// Estimate runs EstimateOnline to completion and returns the final
+// estimate — the non-interactive convenience used by tests and examples.
+func (h *Handle) Estimate(ctx context.Context, q geo.Range, opts Options) (Snapshot, error) {
+	ch, err := h.EstimateOnline(ctx, q, opts)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var last Snapshot
+	for s := range ch {
+		last = s
+	}
+	return last, nil
+}
+
+// runEstimate is the evaluator loop. Caller holds h.mu.
+func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out chan<- Snapshot) {
+	start := time.Now()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = h.eng.nextSeed()
+	}
+	rng := stats.NewRNG(seed)
+
+	population := h.rs.Count(q)
+
+	// Order statistics go through the quantile estimator, which keeps
+	// its sample and reports distribution-free order-statistic bounds.
+	if opts.Kind == estimator.Median || opts.Kind == estimator.Quant {
+		h.runQuantile(ctx, q, opts, population, rng, start, out)
+		return
+	}
+
+	est, err := estimator.New(opts.Kind, opts.Confidence, population, opts.Mode == sampling.WithoutReplacement)
+	if err != nil {
+		// Options were validated above; population is always known here,
+		// so this is unreachable, but fail loudly rather than silently.
+		out <- Snapshot{Done: true}
+		return
+	}
+
+	emit := func(done bool, method string) bool {
+		s := Snapshot{
+			Estimate: est.Snapshot(),
+			Elapsed:  time.Since(start),
+			Method:   method,
+			Done:     done,
+		}
+		select {
+		case out <- s:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	// COUNT is exact via canonical range counting: answer immediately.
+	if opts.Kind == estimator.Count {
+		emit(true, "range-count")
+		return
+	}
+	if population == 0 {
+		emit(true, "empty")
+		return
+	}
+
+	sampler, err := h.newSampler(opts.Method, q, opts.Mode, rng)
+	if err != nil {
+		// Surface the configuration error as a terminal zero snapshot;
+		// EstimateOnline validated what it could synchronously.
+		emit(true, fmt.Sprintf("error: %v", err))
+		return
+	}
+	col, err := h.ds.NumericColumn(opts.Attr)
+	if err != nil {
+		emit(true, fmt.Sprintf("error: %v", err))
+		return
+	}
+
+	var deadline time.Time
+	if opts.TimeBudget > 0 {
+		deadline = start.Add(opts.TimeBudget)
+	}
+
+	targetMet := func() bool {
+		snap := est.Snapshot()
+		if snap.Exact {
+			return true
+		}
+		if opts.TargetHalfWidth > 0 && snap.HalfWidth <= opts.TargetHalfWidth {
+			return true
+		}
+		if opts.TargetRelError > 0 && snap.RelativeErrorBound() <= opts.TargetRelError {
+			return true
+		}
+		return false
+	}
+
+	k := 0
+	for {
+		select {
+		case <-ctx.Done():
+			emit(true, sampler.Name())
+			return
+		default:
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			emit(true, sampler.Name())
+			return
+		}
+		e, ok := sampler.Next()
+		if !ok {
+			emit(true, sampler.Name())
+			return
+		}
+		est.Add(col[e.ID])
+		k++
+		if k%opts.ReportEvery == 0 {
+			if !emit(false, sampler.Name()) {
+				return
+			}
+			if targetMet() {
+				emit(true, sampler.Name())
+				return
+			}
+		}
+		if opts.MaxSamples > 0 && k >= opts.MaxSamples {
+			emit(true, sampler.Name())
+			return
+		}
+	}
+}
+
+// runQuantile is the evaluator loop for MEDIAN/QUANTILE queries. Caller
+// holds h.mu. The Snapshot's HalfWidth is the wider side of the
+// order-statistic confidence bounds.
+func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, population int, rng *stats.RNG, start time.Time, out chan<- Snapshot) {
+	p := opts.QuantileP
+	if opts.Kind == estimator.Median {
+		p = 0.5
+	}
+	qe, err := estimator.NewQuantile(p, opts.Confidence)
+	if err != nil {
+		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
+		return
+	}
+	if population == 0 {
+		out <- Snapshot{Estimate: estimator.Estimate{Kind: opts.Kind, Confidence: opts.Confidence}, Done: true, Method: "empty"}
+		return
+	}
+	sampler, err := h.newSampler(opts.Method, q, opts.Mode, rng)
+	if err != nil {
+		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
+		return
+	}
+	col, err := h.ds.NumericColumn(opts.Attr)
+	if err != nil {
+		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
+		return
+	}
+	var deadline time.Time
+	if opts.TimeBudget > 0 {
+		deadline = start.Add(opts.TimeBudget)
+	}
+
+	emit := func(done bool) bool {
+		snap := qe.Snapshot()
+		hw := snap.Hi - snap.Value
+		if lo := snap.Value - snap.Lo; lo > hw {
+			hw = lo
+		}
+		exhausted := opts.Mode == sampling.WithoutReplacement && snap.Samples >= population
+		if exhausted {
+			hw = 0
+		}
+		s := Snapshot{
+			Estimate: estimator.Estimate{
+				Kind:       opts.Kind,
+				Value:      snap.Value,
+				HalfWidth:  hw,
+				Confidence: opts.Confidence,
+				Samples:    snap.Samples,
+				Population: population,
+				Exact:      exhausted,
+			},
+			Elapsed: time.Since(start),
+			Method:  sampler.Name(),
+			Done:    done,
+		}
+		select {
+		case out <- s:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	k := 0
+	for {
+		select {
+		case <-ctx.Done():
+			emit(true)
+			return
+		default:
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			emit(true)
+			return
+		}
+		e, ok := sampler.Next()
+		if !ok {
+			emit(true)
+			return
+		}
+		qe.Add(col[e.ID])
+		k++
+		if k%opts.ReportEvery == 0 {
+			if !emit(false) {
+				return
+			}
+			if opts.TargetHalfWidth > 0 {
+				snap := qe.Snapshot()
+				if snap.Hi-snap.Lo <= 2*opts.TargetHalfWidth {
+					emit(true)
+					return
+				}
+			}
+		}
+		if opts.MaxSamples > 0 && k >= opts.MaxSamples {
+			emit(true)
+			return
+		}
+	}
+}
+
+// GroupsSnapshot is one progress report of an online group-by query.
+type GroupsSnapshot struct {
+	Groups  []estimator.GroupEstimate
+	Elapsed time.Duration
+	Samples int
+	Done    bool
+}
+
+// GroupByOnline estimates a per-group aggregate (AVG only, the standard
+// online group-by) keyed by a string column, streaming snapshots whose
+// group means tighten as samples arrive. Groups appear as soon as a sample
+// lands in them.
+func (h *Handle) GroupByOnline(ctx context.Context, q geo.Range, attr, groupCol string, opts Options) (<-chan GroupsSnapshot, error) {
+	opts = opts.withDefaults()
+	if !q.Valid() {
+		return nil, fmt.Errorf("engine: invalid query range %+v", q)
+	}
+	if opts.Kind != estimator.Avg {
+		return nil, fmt.Errorf("engine: GROUP BY supports AVG only (per-group population sizes are unknown)")
+	}
+	col, err := h.ds.NumericColumn(attr)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := h.ds.StringColumn(groupCol)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan GroupsSnapshot, 8)
+	start := time.Now()
+	go func() {
+		defer close(out)
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		gb := estimator.NewGroupBy(estimator.Avg, opts.Confidence)
+		samples := 0
+		err := h.sampleLoop(ctx, q.Rect(), AnalyticOptions{
+			TimeBudget:  opts.TimeBudget,
+			MaxSamples:  opts.MaxSamples,
+			ReportEvery: opts.ReportEvery,
+			Method:      opts.Method,
+			Mode:        opts.Mode,
+			Seed:        opts.Seed,
+		},
+			func(e data.Entry) {
+				gb.Add(keys[e.ID], col[e.ID])
+				samples++
+			},
+			func(done bool) bool {
+				select {
+				case out <- GroupsSnapshot{Groups: gb.Snapshot(), Elapsed: time.Since(start), Samples: samples, Done: done}:
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			})
+		if err != nil {
+			out <- GroupsSnapshot{Done: true}
+		}
+	}()
+	return out, nil
+}
+
+// Sample exposes raw online samples from a range: it returns up to k
+// entries using the given method (the STORM library/API surface that
+// customized analytics build on).
+func (h *Handle) Sample(q geo.Range, k int, method Method, mode sampling.Mode, seed int64) ([]data.Entry, error) {
+	if !q.Valid() {
+		return nil, fmt.Errorf("engine: invalid query range %+v", q)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if seed == 0 {
+		seed = h.eng.nextSeed()
+	}
+	sampler, err := h.newSampler(method, q.Rect(), mode, stats.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]data.Entry, 0, k)
+	for len(out) < k {
+		e, ok := sampler.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

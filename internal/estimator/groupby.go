@@ -1,0 +1,57 @@
+package estimator
+
+import (
+	"sort"
+)
+
+// GroupBy maintains one online estimator per group key, for queries such
+// as "average temperature per state". Each sampled record contributes to
+// its group's estimator; group means are unbiased conditioned on at least
+// one sample landing in the group, the standard behaviour of online
+// group-by aggregation (Xu et al.).
+type GroupBy struct {
+	kind       Kind
+	confidence float64
+	groups     map[string]*Estimator
+}
+
+// NewGroupBy returns an online group-by estimator. Group population sizes
+// are generally unknown, so only Avg is supported (Sum/Count would require
+// per-group population counts).
+func NewGroupBy(kind Kind, confidence float64) *GroupBy {
+	return &GroupBy{
+		kind:       kind,
+		confidence: confidence,
+		groups:     make(map[string]*Estimator),
+	}
+}
+
+// Add feeds one sampled record's group key and value.
+func (g *GroupBy) Add(key string, value float64) {
+	est, ok := g.groups[key]
+	if !ok {
+		est = MustNew(g.kind, g.confidence, -1, true)
+		g.groups[key] = est
+	}
+	est.Add(value)
+}
+
+// Groups returns the number of groups seen so far.
+func (g *GroupBy) Groups() int { return len(g.groups) }
+
+// GroupEstimate pairs a group key with its estimate.
+type GroupEstimate struct {
+	Key string
+	Estimate
+}
+
+// Snapshot returns per-group estimates sorted by key for deterministic
+// presentation.
+func (g *GroupBy) Snapshot() []GroupEstimate {
+	out := make([]GroupEstimate, 0, len(g.groups))
+	for k, est := range g.groups {
+		out = append(out, GroupEstimate{Key: k, Estimate: est.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,91 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"storm/internal/stats"
+)
+
+// Quantile estimates a population quantile from an online sample by
+// keeping all sampled values and reporting the sample quantile, with a
+// distribution-free confidence interval from the binomial order-statistic
+// bound: the population p-quantile lies between sample order statistics
+// floor(kp - z√(kp(1-p))) and ceil(kp + z√(kp(1-p))) with the configured
+// confidence.
+type Quantile struct {
+	p          float64
+	confidence float64
+	values     []float64
+	sorted     bool
+}
+
+// NewQuantile returns an online estimator for the p-quantile (0 < p < 1).
+func NewQuantile(p, confidence float64) (*Quantile, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("estimator: quantile p %v outside (0, 1)", p)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return nil, fmt.Errorf("estimator: confidence %v outside (0, 1)", confidence)
+	}
+	return &Quantile{p: p, confidence: confidence}, nil
+}
+
+// Add feeds one sampled value; NaNs are ignored.
+func (q *Quantile) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	q.values = append(q.values, x)
+	q.sorted = false
+}
+
+// Samples returns the number of values consumed.
+func (q *Quantile) Samples() int { return len(q.values) }
+
+// QuantileEstimate is a snapshot of an online quantile estimator.
+type QuantileEstimate struct {
+	P          float64
+	Value      float64
+	Lo, Hi     float64 // confidence bounds (sample order statistics)
+	Confidence float64
+	Samples    int
+}
+
+// Snapshot returns the current quantile estimate. With fewer than two
+// samples the bounds are infinite.
+func (q *Quantile) Snapshot() QuantileEstimate {
+	k := len(q.values)
+	out := QuantileEstimate{P: q.p, Confidence: q.confidence, Samples: k}
+	if k == 0 {
+		out.Value = math.NaN()
+		out.Lo, out.Hi = math.Inf(-1), math.Inf(1)
+		return out
+	}
+	if !q.sorted {
+		sort.Float64s(q.values)
+		q.sorted = true
+	}
+	idx := int(q.p * float64(k))
+	if idx >= k {
+		idx = k - 1
+	}
+	out.Value = q.values[idx]
+
+	z := stats.ZScore(q.confidence)
+	spread := z * math.Sqrt(float64(k)*q.p*(1-q.p))
+	lo := int(math.Floor(q.p*float64(k) - spread))
+	hi := int(math.Ceil(q.p*float64(k) + spread))
+	if lo < 0 {
+		out.Lo = math.Inf(-1)
+	} else {
+		out.Lo = q.values[lo]
+	}
+	if hi >= k {
+		out.Hi = math.Inf(1)
+	} else {
+		out.Hi = q.values[hi]
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+// Package hilbert implements Hilbert space-filling curve encoding and
+// decoding in two and three dimensions. STORM's RS-tree is built over a
+// Hilbert R-tree: points are sorted by the Hilbert value of their quantized
+// coordinates, which gives leaves with compact, low-overlap MBRs and a
+// total order that makes insertion placement deterministic.
+//
+// The implementation follows the compact algorithm of Skilling ("Programming
+// the Hilbert curve", AIP 2004): transpose-form conversion between Hilbert
+// index and axis coordinates, generalized to any dimension and order.
+package hilbert
+
+import "fmt"
+
+// Curve maps between d-dimensional integer coordinates in [0, 2^order) and
+// positions along a Hilbert curve of the given order.
+type Curve struct {
+	dims  int
+	order uint
+}
+
+// New returns a Hilbert curve over dims dimensions (2 or 3) with the given
+// order (bits per dimension, 1..21 so 3*order fits into 63 bits).
+func New(dims int, order uint) (*Curve, error) {
+	if dims != 2 && dims != 3 {
+		return nil, fmt.Errorf("hilbert: unsupported dimension %d (want 2 or 3)", dims)
+	}
+	if order < 1 || order > 21 {
+		return nil, fmt.Errorf("hilbert: order %d out of range [1, 21]", order)
+	}
+	return &Curve{dims: dims, order: order}, nil
+}
+
+// MustNew is New for parameters known to be valid at compile time.
+func MustNew(dims int, order uint) *Curve {
+	c, err := New(dims, order)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dims returns the dimensionality of the curve.
+func (c *Curve) Dims() int { return c.dims }
+
+// Order returns the number of bits per dimension.
+func (c *Curve) Order() uint { return c.order }
+
+// Max returns the exclusive upper bound for each coordinate, 2^order.
+func (c *Curve) Max() uint64 { return 1 << c.order }
+
+// Encode returns the Hilbert index of the given coordinates. Each
+// coordinate must lie in [0, 2^order); out-of-range coordinates are clamped
+// rather than rejected because quantization at the callers can produce the
+// boundary value.
+func (c *Curve) Encode(coords ...uint64) uint64 {
+	if len(coords) != c.dims {
+		panic(fmt.Sprintf("hilbert: got %d coords, curve has %d dims", len(coords), c.dims))
+	}
+	x := make([]uint64, c.dims)
+	maxv := c.Max() - 1
+	for i, v := range coords {
+		if v > maxv {
+			v = maxv
+		}
+		x[i] = v
+	}
+	c.axesToTranspose(x)
+	return c.transposeToIndex(x)
+}
+
+// Decode returns the coordinates of the given Hilbert index.
+func (c *Curve) Decode(h uint64) []uint64 {
+	x := c.indexToTranspose(h)
+	c.transposeToAxes(x)
+	return x
+}
+
+// axesToTranspose converts coordinates in place into the "transpose" form
+// of the Hilbert index (Skilling's algorithm).
+func (c *Curve) axesToTranspose(x []uint64) {
+	n := len(x)
+	m := uint64(1) << (c.order - 1)
+
+	// Inverse undo excess work.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint64
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts transpose form in place back into coordinates.
+func (c *Curve) transposeToAxes(x []uint64) {
+	n := len(x)
+	m := uint64(2) << (c.order - 1)
+
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint64(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// transposeToIndex interleaves the transpose-form words into a single
+// Hilbert index: bit b of word i becomes bit (b*n + (n-1-i)) of the index.
+func (c *Curve) transposeToIndex(x []uint64) uint64 {
+	n := len(x)
+	var h uint64
+	for b := int(c.order) - 1; b >= 0; b-- {
+		for i := 0; i < n; i++ {
+			h = (h << 1) | ((x[i] >> uint(b)) & 1)
+		}
+	}
+	return h
+}
+
+// indexToTranspose splits a Hilbert index into transpose-form words,
+// inverting transposeToIndex.
+func (c *Curve) indexToTranspose(h uint64) []uint64 {
+	n := c.dims
+	x := make([]uint64, n)
+	bits := int(c.order) * n
+	for b := 0; b < bits; b++ {
+		// Bit (bits-1-b) of h is the next most significant interleaved bit.
+		bit := (h >> uint(bits-1-b)) & 1
+		i := b % n
+		x[i] = (x[i] << 1) | bit
+	}
+	return x
+}
+
+// Quantizer maps floating-point coordinates in a bounding box onto the
+// integer lattice of a Hilbert curve.
+type Quantizer struct {
+	curve      *Curve
+	min, scale []float64
+}
+
+// NewQuantizer returns a quantizer for the given per-dimension bounds.
+// Degenerate dimensions (lo == hi) map every value to lattice cell zero.
+func NewQuantizer(curve *Curve, lo, hi []float64) (*Quantizer, error) {
+	if len(lo) != curve.dims || len(hi) != curve.dims {
+		return nil, fmt.Errorf("hilbert: bounds dimension mismatch")
+	}
+	q := &Quantizer{
+		curve: curve,
+		min:   make([]float64, curve.dims),
+		scale: make([]float64, curve.dims),
+	}
+	cells := float64(curve.Max())
+	for i := range lo {
+		if hi[i] < lo[i] {
+			return nil, fmt.Errorf("hilbert: bound %d inverted (%v > %v)", i, lo[i], hi[i])
+		}
+		q.min[i] = lo[i]
+		if hi[i] > lo[i] {
+			q.scale[i] = cells / (hi[i] - lo[i])
+		}
+	}
+	return q, nil
+}
+
+// Value returns the Hilbert index of the given floating-point coordinates,
+// clamped into the quantizer's bounding box.
+func (q *Quantizer) Value(coords ...float64) uint64 {
+	if len(coords) != q.curve.dims {
+		panic("hilbert: coordinate dimension mismatch")
+	}
+	cells := q.curve.Max() - 1
+	ints := make([]uint64, len(coords))
+	for i, v := range coords {
+		c := (v - q.min[i]) * q.scale[i]
+		switch {
+		case c <= 0:
+			ints[i] = 0
+		case uint64(c) >= cells:
+			ints[i] = cells
+		default:
+			ints[i] = uint64(c)
+		}
+	}
+	return q.curve.Encode(ints...)
+}

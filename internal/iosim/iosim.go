@@ -1,0 +1,173 @@
+// Package iosim simulates a block storage device with an LRU buffer pool.
+//
+// STORM's evaluation (Figure 3a of the paper) hinges on I/O behaviour:
+// Olken-style RandomPath sampling touches Ω(k) distinct disk blocks while
+// the LS-tree and RS-tree pay roughly O(k/B). Measuring wall time alone on
+// an in-memory reproduction would hide that difference, so the R-tree maps
+// every node to a simulated page and each node visit is charged through
+// this package. The counters give deterministic, hardware-independent I/O
+// costs, and the optional latency model converts them into simulated time.
+package iosim
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a simulated disk page.
+type PageID uint64
+
+// Stats is a snapshot of accumulated I/O activity.
+type Stats struct {
+	Reads     uint64  // physical page reads (buffer pool misses)
+	Writes    uint64  // physical page writes
+	Hits      uint64  // buffer pool hits
+	Logical   uint64  // total logical page accesses (hits + misses)
+	CostUnits float64 // accumulated simulated latency cost
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d hits=%d logical=%d cost=%.1f",
+		s.Reads, s.Writes, s.Hits, s.Logical, s.CostUnits)
+}
+
+// CostModel converts physical I/O into simulated latency cost units.
+// The defaults loosely mirror a spinning disk relative to RAM: a random
+// page read costs 1.0 units while a buffer hit costs 0.001.
+type CostModel struct {
+	ReadCost  float64
+	WriteCost float64
+	HitCost   float64
+}
+
+// DefaultCostModel returns the cost model used by the benchmark harness.
+func DefaultCostModel() CostModel {
+	return CostModel{ReadCost: 1.0, WriteCost: 1.0, HitCost: 0.001}
+}
+
+// Device is a simulated block device fronted by an LRU buffer pool of a
+// fixed capacity (in pages). A capacity of zero disables caching: every
+// access is a physical read. Device is safe for concurrent use.
+type Device struct {
+	mu       sync.Mutex
+	capacity int
+	cost     CostModel
+	stats    Stats
+
+	lru     *list.List               // front = most recently used
+	entries map[PageID]*list.Element // page -> lru element
+}
+
+// NewDevice returns a device whose buffer pool holds capacity pages.
+func NewDevice(capacity int, cost CostModel) *Device {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Device{
+		capacity: capacity,
+		cost:     cost,
+		lru:      list.New(),
+		entries:  make(map[PageID]*list.Element),
+	}
+}
+
+// Access charges one logical read of the page, simulating a buffer pool
+// lookup. It returns true when the access was a buffer hit.
+func (d *Device) Access(p PageID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Logical++
+	if el, ok := d.entries[p]; ok {
+		d.lru.MoveToFront(el)
+		d.stats.Hits++
+		d.stats.CostUnits += d.cost.HitCost
+		return true
+	}
+	d.stats.Reads++
+	d.stats.CostUnits += d.cost.ReadCost
+	d.admit(p)
+	return false
+}
+
+// Write charges one physical write of the page and admits it to the pool.
+func (d *Device) Write(p PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Writes++
+	d.stats.CostUnits += d.cost.WriteCost
+	if el, ok := d.entries[p]; ok {
+		d.lru.MoveToFront(el)
+		return
+	}
+	d.admit(p)
+}
+
+// admit inserts p at the LRU front, evicting if over capacity.
+// Caller holds d.mu.
+func (d *Device) admit(p PageID) {
+	if d.capacity == 0 {
+		return
+	}
+	d.entries[p] = d.lru.PushFront(p)
+	for d.lru.Len() > d.capacity {
+		back := d.lru.Back()
+		d.lru.Remove(back)
+		delete(d.entries, back.Value.(PageID))
+	}
+}
+
+// Invalidate drops the page from the buffer pool (e.g. after a node is
+// freed during deletion).
+func (d *Device) Invalidate(p PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.entries[p]; ok {
+		d.lru.Remove(el)
+		delete(d.entries, p)
+	}
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters without touching buffer pool contents,
+// so a benchmark can measure a query phase in isolation from the build.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// DropCache empties the buffer pool, forcing cold-cache behaviour.
+func (d *Device) DropCache() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lru.Init()
+	d.entries = make(map[PageID]*list.Element)
+}
+
+// Capacity returns the buffer pool capacity in pages.
+func (d *Device) Capacity() int { return d.capacity }
+
+// Accountant is the narrow interface index structures use to charge I/O.
+// A nil-safe no-op implementation is available via Discard.
+type Accountant interface {
+	Access(PageID) bool
+	Write(PageID)
+	Invalidate(PageID)
+}
+
+// Discard is an Accountant that charges nothing, for purely in-memory use.
+var Discard Accountant = discard{}
+
+type discard struct{}
+
+func (discard) Access(PageID) bool { return true }
+func (discard) Write(PageID)       {}
+func (discard) Invalidate(PageID)  {}

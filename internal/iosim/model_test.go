@@ -1,0 +1,67 @@
+package iosim
+
+import (
+	"testing"
+
+	"storm/internal/stats"
+)
+
+// refLRU is a simple reference LRU model: a slice ordered most-recent-first.
+type refLRU struct {
+	cap   int
+	pages []PageID
+}
+
+func (m *refLRU) touch(p PageID) bool {
+	for i, q := range m.pages {
+		if q == p {
+			copy(m.pages[1:i+1], m.pages[:i])
+			m.pages[0] = p
+			return true
+		}
+	}
+	if m.cap == 0 {
+		return false
+	}
+	m.pages = append([]PageID{p}, m.pages...)
+	if len(m.pages) > m.cap {
+		m.pages = m.pages[:m.cap]
+	}
+	return false
+}
+
+func (m *refLRU) invalidate(p PageID) {
+	for i, q := range m.pages {
+		if q == p {
+			m.pages = append(m.pages[:i], m.pages[i+1:]...)
+			return
+		}
+	}
+}
+
+// TestDeviceMatchesReferenceLRU drives random access/write/invalidate
+// sequences and checks the device's hit/miss behaviour against the model.
+func TestDeviceMatchesReferenceLRU(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for _, capacity := range []int{0, 1, 3, 8, 32} {
+		d := NewDevice(capacity, DefaultCostModel())
+		m := &refLRU{cap: capacity}
+		for op := 0; op < 5000; op++ {
+			p := PageID(rng.Intn(48))
+			switch rng.Intn(10) {
+			case 0:
+				d.Write(p)
+				m.touch(p)
+			case 1:
+				d.Invalidate(p)
+				m.invalidate(p)
+			default:
+				got := d.Access(p)
+				want := m.touch(p)
+				if got != want {
+					t.Fatalf("cap=%d op=%d page=%d: hit=%v, model=%v", capacity, op, p, got, want)
+				}
+			}
+		}
+	}
+}

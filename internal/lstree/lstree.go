@@ -1,0 +1,227 @@
+// Package lstree implements STORM's first sampling index, the LS-tree
+// ("level sampling").
+//
+// The index maintains a geometric hierarchy of coin-flip samples
+// P_0 ⊇ P_1 ⊇ … ⊇ P_ℓ where P_0 = P and each P_{i+1} keeps every element
+// of P_i independently with probability ½, stopping once the top level is
+// small. An ordinary R-tree T_i is built over each level; the total size
+// is O(N) because level sizes form a geometric series.
+//
+// A query runs plain range reporting on T_ℓ first: because level membership
+// is independent of identity, the matching records at level i form a
+// probability-(1/2^i) coin-flip sample of P ∩ Q. Those records are emitted
+// in random order; when level i is exhausted the sampler falls through to
+// level i−1, skipping records it has already reported (P_{i+1} ⊆ P_i).
+// After level 0 the stream has reported exactly P ∩ Q, so online
+// aggregation over it converges to the exact answer.
+//
+// The expected cost of drawing k samples is O(k) reported records plus the
+// range-reporting overhead of the levels above log(q/k) — and because each
+// level is scanned by an ordinary range query, the I/O pattern is
+// sequential: O(k/B) page reads rather than RandomPath's Ω(k).
+package lstree
+
+import (
+	"fmt"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/iosim"
+	"storm/internal/rtree"
+	"storm/internal/sampling"
+	"storm/internal/stats"
+)
+
+// DefaultTopLevelMax is the default size threshold at which the level
+// hierarchy stops: the topmost level has at most this many records.
+const DefaultTopLevelMax = 1024
+
+// Config controls LS-tree construction.
+type Config struct {
+	// Fanout is the per-level R-tree fanout; 0 means rtree.DefaultFanout.
+	Fanout int
+	// Device charges page accesses across all levels; nil disables.
+	Device iosim.Accountant
+	// TopLevelMax stops level creation once a level is this small;
+	// 0 means DefaultTopLevelMax.
+	TopLevelMax int
+	// Seed drives the coin flips that assign records to levels.
+	Seed int64
+}
+
+// Index is an LS-tree over a point set.
+type Index struct {
+	cfg    Config
+	levels []*rtree.Tree // levels[0] indexes all of P
+	rng    *stats.RNG
+	size   int
+}
+
+// Build constructs an LS-tree over the given entries.
+func Build(entries []data.Entry, cfg Config) (*Index, error) {
+	if cfg.Fanout == 0 {
+		cfg.Fanout = rtree.DefaultFanout
+	}
+	if cfg.Device == nil {
+		cfg.Device = iosim.Discard
+	}
+	if cfg.TopLevelMax == 0 {
+		cfg.TopLevelMax = DefaultTopLevelMax
+	}
+	if cfg.TopLevelMax < 1 {
+		return nil, fmt.Errorf("lstree: TopLevelMax must be positive")
+	}
+	idx := &Index{cfg: cfg, rng: stats.NewRNG(cfg.Seed), size: len(entries)}
+
+	level := entries
+	for {
+		t, err := rtree.New(rtree.Config{Fanout: cfg.Fanout, Device: cfg.Device})
+		if err != nil {
+			return nil, fmt.Errorf("lstree: %w", err)
+		}
+		t.BulkLoad(level)
+		idx.levels = append(idx.levels, t)
+		if len(level) <= cfg.TopLevelMax {
+			break
+		}
+		next := make([]data.Entry, 0, len(level)/2+16)
+		for _, e := range level {
+			if idx.rng.Bernoulli(0.5) {
+				next = append(next, e)
+			}
+		}
+		level = next
+	}
+	return idx, nil
+}
+
+// Levels returns the number of levels (ℓ + 1).
+func (x *Index) Levels() int { return len(x.levels) }
+
+// Level returns the R-tree at level i; level 0 indexes all of P. Exposed
+// for tests and for the benchmark harness's structural reports.
+func (x *Index) Level(i int) *rtree.Tree { return x.levels[i] }
+
+// Len returns the number of indexed records (level-0 size).
+func (x *Index) Len() int { return x.size }
+
+// Count returns |P ∩ q| using the level-0 tree.
+func (x *Index) Count(q geo.Rect) int { return x.levels[0].Count(q) }
+
+// Insert adds a record. The record joins levels 0..L where L is drawn from
+// a Geometric(½) distribution, preserving the coin-flip invariant that each
+// level-i record appears at level i+1 with independent probability ½.
+// When sustained inserts push the top level past twice the construction
+// threshold, a new level is grown above it (each top-level record kept
+// with an independent ½ coin flip), so query cost stays logarithmic as the
+// data set grows.
+func (x *Index) Insert(e data.Entry) {
+	top := x.rng.Geometric(0.5)
+	if top > len(x.levels)-1 {
+		top = len(x.levels) - 1
+	}
+	for i := 0; i <= top; i++ {
+		x.levels[i].Insert(e)
+	}
+	x.size++
+	x.maybeGrow()
+}
+
+// maybeGrow adds a level when the current top has outgrown the threshold.
+// The new level samples the top level with independent coin flips, which
+// is exactly the distribution the level would have had at build time.
+func (x *Index) maybeGrow() {
+	topTree := x.levels[len(x.levels)-1]
+	if topTree.Len() <= 2*x.cfg.TopLevelMax {
+		return
+	}
+	universe := topTree.Bounds()
+	next := make([]data.Entry, 0, topTree.Len()/2+16)
+	topTree.Search(universe, func(e data.Entry) bool {
+		if x.rng.Bernoulli(0.5) {
+			next = append(next, e)
+		}
+		return true
+	})
+	t, err := rtree.New(rtree.Config{Fanout: x.cfg.Fanout, Device: x.cfg.Device})
+	if err != nil {
+		// Config was validated at Build; growth never changes it.
+		panic(fmt.Sprintf("lstree: growing level: %v", err))
+	}
+	t.BulkLoad(next)
+	x.levels = append(x.levels, t)
+}
+
+// Delete removes a record from every level that contains it. It returns
+// true if the record existed at level 0.
+func (x *Index) Delete(e data.Entry) bool {
+	if !x.levels[0].Delete(e) {
+		return false
+	}
+	for i := 1; i < len(x.levels); i++ {
+		if !x.levels[i].Delete(e) {
+			break // levels are nested: absent here means absent above
+		}
+	}
+	x.size--
+	return true
+}
+
+// Sampler returns a without-replacement online sampler for q. Samples are
+// drawn level-by-level as described in the package comment. rng drives the
+// per-level permutations and is independent of the index's structural
+// randomness.
+func (x *Index) Sampler(q geo.Rect, rng *stats.RNG) *Sampler {
+	return &Sampler{
+		index: x,
+		query: q,
+		rng:   rng,
+		level: len(x.levels),
+		seen:  make(map[data.ID]struct{}),
+	}
+}
+
+// Sampler is the LS-tree's online sample stream for one query. It
+// implements sampling.Sampler.
+type Sampler struct {
+	index *Index
+	query geo.Rect
+	rng   *stats.RNG
+	level int // next level to scan (counts down); len(levels) before start
+	// pending holds the current level's unreported matches; the prefix
+	// [0, cursor) has been emitted.
+	pending []data.Entry
+	cursor  int
+	seen    map[data.ID]struct{}
+}
+
+var _ sampling.Sampler = (*Sampler)(nil)
+
+// Name implements sampling.Sampler.
+func (s *Sampler) Name() string { return "LS-tree" }
+
+// Next implements sampling.Sampler. The i-th call returns the i-th element
+// of an online without-replacement sample of P ∩ Q; ok is false once all
+// matching records have been reported.
+func (s *Sampler) Next() (data.Entry, bool) {
+	for {
+		if s.cursor < len(s.pending) {
+			// Incremental Fisher–Yates within the level.
+			j := s.cursor + s.rng.Intn(len(s.pending)-s.cursor)
+			s.pending[s.cursor], s.pending[j] = s.pending[j], s.pending[s.cursor]
+			e := s.pending[s.cursor]
+			s.cursor++
+			if _, dup := s.seen[e.ID]; dup {
+				continue
+			}
+			s.seen[e.ID] = struct{}{}
+			return e, true
+		}
+		if s.level == 0 {
+			return data.Entry{}, false
+		}
+		s.level--
+		s.pending = s.index.levels[s.level].ReportAll(s.query)
+		s.cursor = 0
+	}
+}

@@ -1,0 +1,128 @@
+package persist
+
+import (
+	"math"
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/dfs"
+	"storm/internal/docstore"
+	"storm/internal/gen"
+	"storm/internal/geo"
+)
+
+func newStore(t *testing.T) *docstore.Store {
+	t.Helper()
+	c, err := dfs.New(dfs.Config{Nodes: 3, Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return docstore.Open(c)
+}
+
+func TestRoundTrip(t *testing.T) {
+	store := newStore(t)
+	ds := data.NewDataset("rt")
+	ds.AddNumericColumn("temp")
+	ds.AddStringColumn("tag")
+	ds.Append(data.Row{Pos: geo.Vec{1, 2, 3}, Num: map[string]float64{"temp": 5.5}, Str: map[string]string{"tag": "a"}})
+	ds.Append(data.Row{Pos: geo.Vec{4, 5, 6}}) // temp missing (NaN), tag empty
+	ds.Append(data.Row{Pos: geo.Vec{7, 8, 9}, Num: map[string]float64{"temp": -1}, Str: map[string]string{"tag": "b"}})
+
+	if err := Save(store, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(store, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if got.Pos(data.ID(i)) != ds.Pos(data.ID(i)) {
+			t.Errorf("pos %d = %v, want %v", i, got.Pos(data.ID(i)), ds.Pos(data.ID(i)))
+		}
+	}
+	v0, _ := got.Numeric("temp", 0)
+	if v0 != 5.5 {
+		t.Errorf("temp[0] = %v", v0)
+	}
+	v1, _ := got.Numeric("temp", 1)
+	if !math.IsNaN(v1) {
+		t.Errorf("missing temp should load as NaN, got %v", v1)
+	}
+	s0, _ := got.String("tag", 0)
+	s1, _ := got.String("tag", 1)
+	if s0 != "a" || s1 != "" {
+		t.Errorf("tags = %q, %q", s0, s1)
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	store := newStore(t)
+	ds := gen.OSM(gen.OSMConfig{N: 3000, Seed: 1})
+	if err := Save(store, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(store, "osm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), ds.Len())
+	}
+	a, _ := ds.NumericColumn("altitude")
+	b, _ := got.NumericColumn("altitude")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("altitude[%d]: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSaveDuplicateRejected(t *testing.T) {
+	store := newStore(t)
+	ds := data.NewDataset("dup")
+	ds.AppendFast(geo.Vec{1, 1, 1})
+	if err := Save(store, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(store, ds); err == nil {
+		t.Error("duplicate save should fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	store := newStore(t)
+	if _, err := Load(store, "missing"); err == nil {
+		t.Error("loading unknown collection should fail")
+	}
+	// Collection without a schema record.
+	store.Insert("raw", docstore.Document{"x": 1.0})
+	if _, err := Load(store, "raw"); err == nil {
+		t.Error("loading a non-dataset collection should fail")
+	}
+	// Malformed coordinates.
+	store.Insert("bad", docstore.Document{schemaKey: true, "numeric": []any{}, "string": []any{}})
+	store.Insert("bad", docstore.Document{"x": "oops", "y": 1.0, "t": 2.0})
+	if _, err := Load(store, "bad"); err == nil {
+		t.Error("malformed coordinates should fail")
+	}
+}
+
+func TestEmptyDatasetRoundTrip(t *testing.T) {
+	store := newStore(t)
+	ds := data.NewDataset("empty")
+	ds.AddNumericColumn("v")
+	if err := Save(store, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(store, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || !got.HasNumeric("v") {
+		t.Errorf("empty round trip: len=%d hasV=%v", got.Len(), got.HasNumeric("v"))
+	}
+}

@@ -1,0 +1,268 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"storm/internal/data"
+	"storm/internal/engine"
+	"storm/internal/geo"
+	"storm/internal/viz"
+)
+
+// Execute parses and runs one STORM statement against the engine, writing
+// online progress and the final result to w. It blocks until the query
+// terminates (target met, budget spent, sample exhausted, or ctx
+// cancelled).
+func Execute(ctx context.Context, eng *engine.Engine, statement string, w io.Writer) error {
+	q, err := Parse(statement)
+	if err != nil {
+		return err
+	}
+	return Run(ctx, eng, q, w)
+}
+
+// Run executes a parsed query.
+func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
+	if q.Op == OpShow {
+		names := eng.Datasets()
+		sort.Strings(names)
+		for _, n := range names {
+			h, err := eng.Dataset(n)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d records\tnumeric: %s\tstring: %s\n",
+				n, h.Len(),
+				strings.Join(sortedStrings(h.Data().NumericColumns()), ","),
+				strings.Join(sortedStrings(h.Data().StringColumns()), ","))
+		}
+		return nil
+	}
+
+	if q.Op == OpDrop {
+		if err := eng.Unregister(q.Dataset); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "dropped dataset %s\n", q.Dataset)
+		return nil
+	}
+
+	h, err := eng.Dataset(q.Dataset)
+	if err != nil {
+		return err
+	}
+	r := q.Range()
+
+	switch q.Op {
+	case OpInsert:
+		for _, row := range q.Rows {
+			h.Insert(data.Row{Pos: geo.Vec{row[0], row[1], row[2]}})
+		}
+		fmt.Fprintf(w, "inserted %d record(s) into %s\n", len(q.Rows), q.Dataset)
+		return nil
+
+	case OpDelete:
+		n, err := h.DeleteRange(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "deleted %d record(s) from %s\n", n, q.Dataset)
+		return nil
+
+	case OpEstimate:
+		if q.Explain {
+			plan, err := h.Explain(r)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "dataset:        %s (%d records)\n", plan.Dataset, plan.N)
+			fmt.Fprintf(w, "matching:       %d (selectivity %.3f%%)\n", plan.Matching, plan.Selectivity*100)
+			fmt.Fprintf(w, "canonical size: %d parts (tree height %d)\n", plan.CanonicalSize, plan.TreeHeight)
+			fmt.Fprintf(w, "sampler:        %s\n", plan.Method)
+			return nil
+		}
+		opts := engine.Options{
+			Kind:           q.Agg,
+			Attr:           q.Attr,
+			QuantileP:      q.QuantileP,
+			Confidence:     q.Confidence,
+			TargetRelError: q.RelError,
+			TimeBudget:     q.Within,
+			MaxSamples:     q.Samples,
+			Method:         q.Method,
+		}
+		if len(q.MultiAggs) > 1 {
+			if opts.MaxSamples == 0 && opts.TimeBudget == 0 {
+				opts.MaxSamples = 2000
+			}
+			ch, err := h.EstimateMultiOnline(ctx, r, q.MultiAggs, opts)
+			if err != nil {
+				return err
+			}
+			var last engine.MultiSnapshot
+			for s := range ch {
+				last = s
+			}
+			fmt.Fprintf(w, "joint estimates over %d samples (sampler %s):\n", last.Samples, last.Method)
+			for _, est := range last.Estimates {
+				fmt.Fprintf(w, "  %s\n", est)
+			}
+			return nil
+		}
+		if q.GroupBy != "" {
+			if opts.MaxSamples == 0 && opts.TimeBudget == 0 {
+				opts.MaxSamples = 2000
+			}
+			ch, err := h.GroupByOnline(ctx, r, q.Attr, q.GroupBy, opts)
+			if err != nil {
+				return err
+			}
+			var last engine.GroupsSnapshot
+			for s := range ch {
+				last = s
+			}
+			fmt.Fprintf(w, "%d groups over %d samples:\n", len(last.Groups), last.Samples)
+			for _, g := range last.Groups {
+				fmt.Fprintf(w, "  %-20s %s\n", g.Key, g.Estimate)
+			}
+			return nil
+		}
+		ch, err := h.EstimateOnline(ctx, r, opts)
+		if err != nil {
+			return err
+		}
+		for s := range ch {
+			marker := ""
+			if s.Done {
+				marker = " [final]"
+			}
+			fmt.Fprintf(w, "%s  t=%s sampler=%s%s\n", s.Estimate, s.Elapsed.Round(100_000), s.Method, marker)
+		}
+		return nil
+
+	case OpKDE:
+		kopts := engine.KDEOptions{Nx: q.GridX, Ny: q.GridY}
+		aopts := engine.AnalyticOptions{TimeBudget: q.Within, MaxSamples: q.Samples, Method: q.Method}
+		if aopts.MaxSamples == 0 && aopts.TimeBudget == 0 {
+			aopts.MaxSamples = 2000
+		}
+		ch, err := h.KDEOnline(ctx, r, kopts, aopts)
+		if err != nil {
+			return err
+		}
+		var last engine.KDESnapshot
+		for s := range ch {
+			last = s
+			fmt.Fprintf(w, "kde: %d samples, t=%s\n", s.Map.Samples, s.Elapsed.Round(100_000))
+		}
+		if last.Map != nil {
+			fmt.Fprintln(w, viz.Heatmap(last.Map, 0))
+		}
+		return nil
+
+	case OpTerms:
+		aopts := engine.AnalyticOptions{TimeBudget: q.Within, MaxSamples: q.Samples, Method: q.Method}
+		if aopts.MaxSamples == 0 && aopts.TimeBudget == 0 {
+			aopts.MaxSamples = 1000
+		}
+		topN := q.TopN
+		if topN == 0 {
+			topN = 10
+		}
+		ch, err := h.TermsOnline(ctx, r, q.Attr, topN, aopts)
+		if err != nil {
+			return err
+		}
+		var last engine.TermsSnapshot
+		for s := range ch {
+			last = s
+		}
+		if last.Terms != nil {
+			fmt.Fprint(w, viz.TermTable(last.Terms))
+		}
+		return nil
+
+	case OpTrajectory:
+		aopts := engine.AnalyticOptions{TimeBudget: q.Within, MaxSamples: q.Samples, Method: q.Method}
+		if aopts.MaxSamples == 0 && aopts.TimeBudget == 0 {
+			aopts.MaxSamples = 500
+		}
+		ch, err := h.TrajectoryOnline(ctx, r, q.UserCol, q.User, 0, aopts)
+		if err != nil {
+			return err
+		}
+		var last engine.TrajectorySnapshot
+		for s := range ch {
+			last = s
+		}
+		if last.Path != nil {
+			fmt.Fprintf(w, "trajectory of %s: %d sampled points, %d segment(s)\n",
+				q.User, last.Path.Samples, len(last.Path.Segments))
+			fmt.Fprintln(w, viz.TrajectoryPlot(last.Path, 60, 20))
+		}
+		return nil
+
+	case OpHotspots:
+		kopts := engine.KDEOptions{Nx: q.GridX, Ny: q.GridY}
+		aopts := engine.AnalyticOptions{TimeBudget: q.Within, MaxSamples: q.Samples, Method: q.Method}
+		if aopts.MaxSamples == 0 && aopts.TimeBudget == 0 {
+			aopts.MaxSamples = 2000
+		}
+		ch, err := h.KDEOnline(ctx, r, kopts, aopts)
+		if err != nil {
+			return err
+		}
+		var last engine.KDESnapshot
+		for s := range ch {
+			last = s
+		}
+		if last.Map != nil {
+			spots := last.Map.Hotspots(q.K)
+			fmt.Fprintf(w, "top %d density hotspots over %d samples:\n", len(spots), last.Map.Samples)
+			for i, sp := range spots {
+				sep := ""
+				if sp.Separated {
+					sep = "  [separated]"
+				}
+				fmt.Fprintf(w, "  #%d (%.4f, %.4f) density %.4g ± %.2g%s\n",
+					i+1, sp.X, sp.Y, sp.Density, sp.HalfWidth, sep)
+			}
+		}
+		return nil
+
+	case OpCluster:
+		aopts := engine.AnalyticOptions{TimeBudget: q.Within, MaxSamples: q.Samples, Method: q.Method}
+		if aopts.MaxSamples == 0 && aopts.TimeBudget == 0 {
+			aopts.MaxSamples = 1000
+		}
+		ch, err := h.ClusterOnline(ctx, r, q.K, aopts)
+		if err != nil {
+			return err
+		}
+		var last engine.ClusterSnapshot
+		for s := range ch {
+			last = s
+		}
+		if last.Clustering != nil {
+			fmt.Fprintf(w, "clusters over %d samples (inertia %.4g):\n",
+				last.Clustering.Samples, last.Clustering.Inertia)
+			for i, c := range last.Clustering.Clusters {
+				fmt.Fprintf(w, "  #%d center=(%.4f, %.4f) size=%d\n", i, c.Center.X(), c.Center.Y(), c.Size)
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("query: unsupported operation %d", q.Op)
+	}
+}
+
+func sortedStrings(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,113 @@
+// Package query implements STORM's keyword-based query language: a small
+// declarative surface over the engine's online estimators and analytics
+// (the paper's "query interface ... supports a keyword based query
+// language with a query parser").
+//
+// Examples:
+//
+//	ESTIMATE AVG(temp) FROM mesowest WHERE REGION(-112.2, 40.3, -111.6, 40.9)
+//	    AND TIME(0, 7776000) WITH CONFIDENCE 95% ERROR 1% WITHIN 500ms
+//	COUNT FROM osm WHERE REGION(-125, 24, -66, 50)
+//	KDE FROM tweets WHERE REGION(-112.2, 40.3, -111.6, 41.0) GRID 32x32 SAMPLES 2000
+//	TERMS(text) FROM tweets WHERE REGION(-85.4, 32.7, -83.4, 34.7) AND TIME(864000, 1123200) TOP 10
+//	TRAJECTORY(user, 'user-00042') FROM tweets SAMPLES 300
+//	CLUSTER(5) FROM tweets WHERE REGION(-125, 24, -66, 50) SAMPLES 1000
+//	SHOW DATASETS
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , % x
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes a query string. Identifiers are case-insensitive (stored
+// upper-case); quoted strings keep their case.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '%':
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		case c == '\'' || c == '"':
+			quote := input[i]
+			j := i + 1
+			for j < len(input) && input[j] != quote {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("query: unterminated string at position %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case c == '-' || c == '+' || c == '.' || unicode.IsDigit(c):
+			j := i + 1
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.' ||
+				input[j] == 'e' || input[j] == 'E' ||
+				((input[j] == '-' || input[j] == '+') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				j++
+			}
+			// Attach a trailing unit (ms, s, m) to the number so the
+			// parser can handle durations like "500ms".
+			unitStart := j
+			for j < len(input) && unicode.IsLetter(rune(input[j])) {
+				j++
+			}
+			text := input[i:unitStart]
+			unit := strings.ToLower(input[unitStart:j])
+			if unit != "" && unit != "ms" && unit != "s" && unit != "m" && unit != "x" {
+				return nil, fmt.Errorf("query: unknown unit %q at position %d", unit, unitStart)
+			}
+			if unit == "x" {
+				// "32x32" grid shorthand: emit number, punct x; rewind.
+				toks = append(toks, token{kind: tokNumber, text: text, pos: i})
+				toks = append(toks, token{kind: tokPunct, text: "x", pos: unitStart})
+				i = unitStart + 1
+				continue
+			}
+			toks = append(toks, token{kind: tokNumber, text: text + unit, pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) ||
+				input[j] == '_' || input[j] == '-' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

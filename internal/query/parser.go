@@ -1,0 +1,644 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"storm/internal/engine"
+	"storm/internal/estimator"
+	"storm/internal/geo"
+)
+
+// Op is the top-level operation of a parsed query.
+type Op int
+
+// Supported operations.
+const (
+	OpEstimate Op = iota
+	OpKDE
+	OpTerms
+	OpTrajectory
+	OpCluster
+	OpShow
+	OpInsert
+	OpDelete
+	OpHotspots
+	OpDrop
+)
+
+// Query is the parsed AST of one STORM statement.
+type Query struct {
+	Op      Op
+	Agg     estimator.Kind // OpEstimate
+	Attr    string         // aggregate attribute / terms text column
+	Dataset string
+	// Explain requests the optimizer plan instead of execution.
+	Explain bool
+	// QuantileP is the p of QUANTILE(attr, p).
+	QuantileP float64
+	// GroupBy names a string column for per-group aggregation.
+	GroupBy string
+	// Rows holds (x, y, t) tuples for OpInsert.
+	Rows [][3]float64
+	// MultiAggs holds all aggregates of a multi-aggregate ESTIMATE
+	// (len >= 2); Agg/Attr/QuantileP mirror the first entry.
+	MultiAggs []engine.AggSpec
+	// Region is (minLon, minLat, maxLon, maxLat); nil means everywhere.
+	Region *[4]float64
+	// Time is (minT, maxT); nil means all of time.
+	Time *[2]float64
+	// WITH clauses.
+	Confidence float64       // 0 = default
+	RelError   float64       // 0 = none
+	Within     time.Duration // 0 = none
+	Samples    int           // 0 = none
+	Method     engine.Method
+	// Task-specific fields.
+	GridX, GridY int    // KDE
+	TopN         int    // TERMS
+	K            int    // CLUSTER
+	UserCol      string // TRAJECTORY
+	User         string // TRAJECTORY
+}
+
+// Range converts the query's region/time into an engine range.
+func (q *Query) Range() geo.Range {
+	r := geo.UniverseRange()
+	if q.Region != nil {
+		r.MinX, r.MinY, r.MaxX, r.MaxY = q.Region[0], q.Region[1], q.Region[2], q.Region[3]
+	}
+	if q.Time != nil {
+		r.MinT, r.MaxT = q.Time[0], q.Time[1]
+	}
+	return r
+}
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one STORM statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, fmt.Errorf("query: unexpected %s after statement", tok)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) keyword() string {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return ""
+	}
+	return strings.ToUpper(t.text)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.keyword() != kw {
+		return fmt.Errorf("query: expected %s, got %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("query: expected %q, got %s", s, t)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("query: expected a number, got %s", t)
+	}
+	p.next()
+	v, err := strconv.ParseFloat(strings.TrimRight(t.text, "ms"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad number %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) integer() (int, error) {
+	v, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	if v != math.Trunc(v) {
+		return 0, fmt.Errorf("query: expected an integer, got %v", v)
+	}
+	return int(v), nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("query: expected an identifier, got %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (*Query, error) {
+	switch p.keyword() {
+	case "EXPLAIN":
+		p.next()
+		q, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if q.Op != OpEstimate {
+			return nil, fmt.Errorf("query: EXPLAIN applies to ESTIMATE/COUNT statements")
+		}
+		q.Explain = true
+		return q, nil
+	case "ESTIMATE":
+		p.next()
+		return p.parseEstimate()
+	case "COUNT":
+		p.next()
+		q := &Query{Op: OpEstimate, Agg: estimator.Count}
+		return q, p.parseFromWhereWith(q)
+	case "KDE":
+		p.next()
+		q := &Query{Op: OpKDE}
+		return q, p.parseFromWhereWith(q)
+	case "TERMS":
+		p.next()
+		q := &Query{Op: OpTerms}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		attr, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.Attr = attr
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return q, p.parseFromWhereWith(q)
+	case "TRAJECTORY":
+		p.next()
+		q := &Query{Op: OpTrajectory}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.UserCol = col
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != tokString && t.kind != tokIdent {
+			return nil, fmt.Errorf("query: expected a user name, got %s", t)
+		}
+		q.User = t.text
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return q, p.parseFromWhereWith(q)
+	case "HOTSPOTS":
+		p.next()
+		q := &Query{Op: OpHotspots}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		k, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("query: HOTSPOTS count must be positive")
+		}
+		q.K = k
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return q, p.parseFromWhereWith(q)
+	case "CLUSTER":
+		p.next()
+		q := &Query{Op: OpCluster}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		k, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		q.K = k
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return q, p.parseFromWhereWith(q)
+	case "SHOW":
+		p.next()
+		if err := p.expectKeyword("DATASETS"); err != nil {
+			return nil, err
+		}
+		return &Query{Op: OpShow}, nil
+	case "DROP":
+		p.next()
+		if err := p.expectKeyword("DATASET"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Query{Op: OpDrop, Dataset: name}, nil
+	case "INSERT":
+		p.next()
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("VALUES"); err != nil {
+			return nil, err
+		}
+		q := &Query{Op: OpInsert, Dataset: name}
+		for {
+			vals, err := p.numberList(3)
+			if err != nil {
+				return nil, err
+			}
+			q.Rows = append(q.Rows, [3]float64{vals[0], vals[1], vals[2]})
+			if t := p.peek(); t.kind == tokPunct && t.text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		return q, nil
+	case "DELETE":
+		p.next()
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q := &Query{Op: OpDelete, Dataset: name}
+		if p.keyword() != "WHERE" {
+			return nil, fmt.Errorf("query: DELETE requires a WHERE clause (refusing to delete everything implicitly)")
+		}
+		p.next()
+		for {
+			switch p.keyword() {
+			case "REGION":
+				p.next()
+				vals, err := p.numberList(4)
+				if err != nil {
+					return nil, err
+				}
+				var r [4]float64
+				copy(r[:], vals)
+				if r[0] > r[2] || r[1] > r[3] {
+					return nil, fmt.Errorf("query: REGION min exceeds max")
+				}
+				q.Region = &r
+			case "TIME":
+				p.next()
+				vals, err := p.numberList(2)
+				if err != nil {
+					return nil, err
+				}
+				if vals[0] > vals[1] {
+					return nil, fmt.Errorf("query: TIME min exceeds max")
+				}
+				tt := [2]float64{vals[0], vals[1]}
+				q.Time = &tt
+			default:
+				return nil, fmt.Errorf("query: expected REGION or TIME in WHERE, got %s", p.peek())
+			}
+			if p.keyword() != "AND" {
+				break
+			}
+			p.next()
+		}
+		return q, nil
+	default:
+		return nil, fmt.Errorf("query: expected a statement keyword (ESTIMATE, COUNT, KDE, HOTSPOTS, TERMS, TRAJECTORY, CLUSTER, INSERT, DELETE, SHOW), got %s", p.peek())
+	}
+}
+
+func (p *parser) parseEstimate() (*Query, error) {
+	q := &Query{Op: OpEstimate}
+	first, err := p.parseOneAgg()
+	if err != nil {
+		return nil, err
+	}
+	q.Agg, q.Attr, q.QuantileP = first.Kind, first.Attr, first.QuantileP
+
+	// A comma introduces a multi-aggregate query: every statistic is
+	// computed from one shared sample stream.
+	if t := p.peek(); t.kind == tokPunct && t.text == "," {
+		q.MultiAggs = append(q.MultiAggs, first)
+		for p.peek().kind == tokPunct && p.peek().text == "," {
+			p.next()
+			spec, err := p.parseOneAgg()
+			if err != nil {
+				return nil, err
+			}
+			if spec.Kind == estimator.Count {
+				return nil, fmt.Errorf("query: COUNT cannot join a multi-aggregate list (it is exact; use a separate COUNT)")
+			}
+			q.MultiAggs = append(q.MultiAggs, spec)
+		}
+		if q.Agg == estimator.Count {
+			return nil, fmt.Errorf("query: COUNT cannot join a multi-aggregate list")
+		}
+	}
+	return q, p.parseFromWhereWith(q)
+}
+
+// parseOneAgg parses one "KIND(attr[, p])" aggregate.
+func (p *parser) parseOneAgg() (engine.AggSpec, error) {
+	var spec engine.AggSpec
+	switch p.keyword() {
+	case "AVG":
+		spec.Kind = estimator.Avg
+	case "SUM":
+		spec.Kind = estimator.Sum
+	case "COUNT":
+		spec.Kind = estimator.Count
+	case "MIN":
+		spec.Kind = estimator.Min
+	case "MAX":
+		spec.Kind = estimator.Max
+	case "VARIANCE", "VAR":
+		spec.Kind = estimator.Variance
+	case "STDDEV":
+		spec.Kind = estimator.Stddev
+	case "MEDIAN":
+		spec.Kind = estimator.Median
+	case "QUANTILE":
+		spec.Kind = estimator.Quant
+	default:
+		return spec, fmt.Errorf("query: unknown aggregate %s", p.peek())
+	}
+	p.next()
+	if spec.Kind == estimator.Count {
+		return spec, nil
+	}
+	if err := p.expectPunct("("); err != nil {
+		return spec, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return spec, err
+	}
+	spec.Attr = attr
+	if spec.Kind == estimator.Quant {
+		if err := p.expectPunct(","); err != nil {
+			return spec, err
+		}
+		pv, err := p.number()
+		if err != nil {
+			return spec, err
+		}
+		if pv <= 0 || pv >= 1 {
+			return spec, fmt.Errorf("query: quantile p %v outside (0, 1)", pv)
+		}
+		spec.QuantileP = pv
+	}
+	return spec, p.expectPunct(")")
+}
+
+// parseFromWhereWith parses the common FROM / WHERE / trailing clauses.
+func (p *parser) parseFromWhereWith(q *Query) error {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	q.Dataset = name
+
+	if p.keyword() == "WHERE" {
+		p.next()
+		for {
+			switch p.keyword() {
+			case "REGION":
+				p.next()
+				vals, err := p.numberList(4)
+				if err != nil {
+					return err
+				}
+				var r [4]float64
+				copy(r[:], vals)
+				if r[0] > r[2] || r[1] > r[3] {
+					return fmt.Errorf("query: REGION min exceeds max")
+				}
+				q.Region = &r
+			case "TIME":
+				p.next()
+				vals, err := p.numberList(2)
+				if err != nil {
+					return err
+				}
+				if vals[0] > vals[1] {
+					return fmt.Errorf("query: TIME min exceeds max")
+				}
+				t := [2]float64{vals[0], vals[1]}
+				q.Time = &t
+			default:
+				return fmt.Errorf("query: expected REGION or TIME in WHERE, got %s", p.peek())
+			}
+			if p.keyword() != "AND" {
+				break
+			}
+			p.next()
+		}
+	}
+
+	for {
+		switch p.keyword() {
+		case "WITH":
+			p.next() // WITH introduces CONFIDENCE/ERROR; handled below
+		case "CONFIDENCE":
+			p.next()
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			if p.peek().kind == tokPunct && p.peek().text == "%" {
+				p.next()
+				v /= 100
+			}
+			if v <= 0 || v >= 1 {
+				return fmt.Errorf("query: confidence %v outside (0, 1)", v)
+			}
+			q.Confidence = v
+		case "ERROR":
+			p.next()
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			if p.peek().kind == tokPunct && p.peek().text == "%" {
+				p.next()
+				v /= 100
+			}
+			if v <= 0 {
+				return fmt.Errorf("query: error target must be positive")
+			}
+			q.RelError = v
+		case "WITHIN":
+			p.next()
+			d, err := p.duration()
+			if err != nil {
+				return err
+			}
+			q.Within = d
+		case "SAMPLES":
+			p.next()
+			n, err := p.integer()
+			if err != nil {
+				return err
+			}
+			if n < 1 {
+				return fmt.Errorf("query: SAMPLES must be positive")
+			}
+			q.Samples = n
+		case "USING":
+			p.next()
+			m, err := p.ident()
+			if err != nil {
+				return err
+			}
+			switch strings.ToUpper(m) {
+			case "RSTREE", "RS-TREE":
+				q.Method = engine.MethodRSTree
+			case "LSTREE", "LS-TREE":
+				q.Method = engine.MethodLSTree
+			case "RANDOMPATH":
+				q.Method = engine.MethodRandomPath
+			case "QUERYFIRST", "RANGEREPORT":
+				q.Method = engine.MethodQueryFirst
+			case "SAMPLEFIRST":
+				q.Method = engine.MethodSampleFirst
+			case "AUTO":
+				q.Method = engine.Auto
+			default:
+				return fmt.Errorf("query: unknown method %q", m)
+			}
+		case "GRID":
+			p.next()
+			nx, err := p.integer()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct("x"); err != nil {
+				return err
+			}
+			ny, err := p.integer()
+			if err != nil {
+				return err
+			}
+			if nx < 1 || ny < 1 {
+				return fmt.Errorf("query: GRID dimensions must be positive")
+			}
+			q.GridX, q.GridY = nx, ny
+		case "TOP":
+			p.next()
+			n, err := p.integer()
+			if err != nil {
+				return err
+			}
+			if n < 1 {
+				return fmt.Errorf("query: TOP must be positive")
+			}
+			q.TopN = n
+		case "GROUP":
+			p.next()
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			col, err := p.ident()
+			if err != nil {
+				return err
+			}
+			q.GroupBy = col
+		case "":
+			return nil
+		default:
+			return fmt.Errorf("query: unexpected clause %s", p.peek())
+		}
+	}
+}
+
+// numberList parses "(" n, n, ... ")" with exactly count numbers.
+func (p *parser) numberList(count int) ([]float64, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, count)
+	for i := 0; i < count; i++ {
+		if i > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, p.expectPunct(")")
+}
+
+// duration parses a number token with an optional ms/s/m unit suffix.
+func (p *parser) duration() (time.Duration, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("query: expected a duration, got %s", t)
+	}
+	p.next()
+	text := t.text
+	unit := time.Millisecond
+	switch {
+	case strings.HasSuffix(text, "ms"):
+		text = strings.TrimSuffix(text, "ms")
+	case strings.HasSuffix(text, "s"):
+		text = strings.TrimSuffix(text, "s")
+		unit = time.Second
+	case strings.HasSuffix(text, "m"):
+		text = strings.TrimSuffix(text, "m")
+		unit = time.Minute
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("query: bad duration %q", t.text)
+	}
+	return time.Duration(v * float64(unit)), nil
+}

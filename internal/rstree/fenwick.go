@@ -1,0 +1,94 @@
+package rstree
+
+// fenwick is a binary indexed tree over int weights supporting point
+// updates, prefix sums and weighted search. The RS-tree sampler keeps one
+// per query to draw canonical parts with probability proportional to their
+// remaining (unconsumed) subtree cardinality in O(log n) per draw, with
+// weights that shrink as samples are consumed and grow as parts are
+// appended by lazy explosion.
+type fenwick struct {
+	tree    []int // 1-based partial sums
+	weights []int // current weight per slot
+	total   int
+}
+
+// newFenwick returns an empty tree with the given capacity hint.
+func newFenwick(capacity int) *fenwick {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &fenwick{tree: make([]int, capacity+1), weights: make([]int, 0, capacity)}
+}
+
+// Len returns the number of slots.
+func (f *fenwick) Len() int { return len(f.weights) }
+
+// Total returns the sum of all weights.
+func (f *fenwick) Total() int { return f.total }
+
+// Get returns the weight of slot i.
+func (f *fenwick) Get(i int) int { return f.weights[i] }
+
+// Append adds a new slot with the given weight and returns its index.
+func (f *fenwick) Append(w int) int {
+	f.weights = append(f.weights, w)
+	n := len(f.weights) // 1-based position of the new slot
+	if n+1 > len(f.tree) {
+		grown := make([]int, 2*len(f.tree))
+		copy(grown, f.tree)
+		f.tree = grown
+	}
+	// A new BIT cell covers the range (n - lowbit(n), n]; seed it with the
+	// already-known prefix sums so later queries see a consistent tree.
+	lb := n & (-n)
+	f.tree[n] = f.prefix(n-1) - f.prefix(n-lb) + w
+	f.total += w
+	return n - 1
+}
+
+// Add changes the weight of slot i by delta.
+func (f *fenwick) Add(i, delta int) {
+	f.weights[i] += delta
+	f.addRaw(i, delta)
+	f.total += delta
+}
+
+// Set sets the weight of slot i.
+func (f *fenwick) Set(i, w int) {
+	f.Add(i, w-f.weights[i])
+}
+
+func (f *fenwick) addRaw(i, delta int) {
+	for j := i + 1; j <= len(f.weights); j += j & (-j) {
+		f.tree[j] += delta
+	}
+}
+
+// prefix returns the sum of weights of slots [0, i) (i is 1-based count).
+func (f *fenwick) prefix(i int) int {
+	var s int
+	for j := i; j > 0; j -= j & (-j) {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// Find returns the index of the slot selected by a weighted draw with
+// target ∈ [0, Total()): the smallest i whose prefix sum through slot i
+// exceeds target. It runs in O(log n).
+func (f *fenwick) Find(target int) int {
+	idx := 0
+	bit := 1
+	n := len(f.weights)
+	for bit<<1 <= n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= n && f.tree[next] <= target {
+			idx = next
+			target -= f.tree[next]
+		}
+	}
+	return idx
+}

@@ -1,0 +1,80 @@
+package rstree
+
+import (
+	"testing"
+
+	"storm/internal/stats"
+)
+
+// naiveWeights is the reference model for the Fenwick tree.
+type naiveWeights struct{ w []int }
+
+func (n *naiveWeights) append(w int) { n.w = append(n.w, w) }
+func (n *naiveWeights) add(i, d int) { n.w[i] += d }
+func (n *naiveWeights) total() int {
+	s := 0
+	for _, v := range n.w {
+		s += v
+	}
+	return s
+}
+func (n *naiveWeights) find(target int) int {
+	for i, v := range n.w {
+		if target < v {
+			return i
+		}
+		target -= v
+	}
+	return len(n.w) - 1
+}
+
+// TestFenwickModel drives random operation sequences against the Fenwick
+// tree and the naive model and checks every observable agrees.
+func TestFenwickModel(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 50; trial++ {
+		f := newFenwick(2)
+		m := &naiveWeights{}
+		for op := 0; op < 400; op++ {
+			switch {
+			case f.Len() == 0 || rng.Bernoulli(0.2):
+				w := rng.Intn(20)
+				f.Append(w)
+				m.append(w)
+			case rng.Bernoulli(0.5):
+				i := rng.Intn(f.Len())
+				// Never drive a weight negative.
+				d := rng.Intn(10) - min(5, m.w[i])
+				f.Add(i, d)
+				m.add(i, d)
+			default:
+				i := rng.Intn(f.Len())
+				w := rng.Intn(25)
+				f.Set(i, w)
+				m.w[i] = w
+			}
+			if f.Total() != m.total() {
+				t.Fatalf("trial %d op %d: total %d != model %d", trial, op, f.Total(), m.total())
+			}
+			for i := 0; i < f.Len(); i++ {
+				if f.Get(i) != m.w[i] {
+					t.Fatalf("trial %d op %d: weight[%d] %d != model %d", trial, op, i, f.Get(i), m.w[i])
+				}
+			}
+			if tot := f.Total(); tot > 0 {
+				target := rng.Intn(tot)
+				if got, want := f.Find(target), m.find(target); got != want {
+					t.Fatalf("trial %d op %d: Find(%d) = %d, model %d (weights %v)",
+						trial, op, target, got, want, m.w)
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+// Package rstree implements STORM's second and primary sampling index, the
+// RS-tree: a single Hilbert R-tree augmented with per-node sample buffers.
+//
+// Where the LS-tree maintains O(log N) separate trees, the RS-tree keeps
+// one tree and attaches to every node u a buffer S(u): a uniform
+// without-replacement sample of the points below u, stored in random order
+// (leaves buffer all of their entries). The paper's three ideas map onto
+// this implementation as follows:
+//
+//   - Sample buffering: S(u) is precomputed at build time and stored with
+//     the node (as its on-disk page layout would), tagged with the node's
+//     version so updates invalidate it and the next query regenerates it
+//     lazily. Its size is the tree fanout, so a buffer occupies about one
+//     disk page alongside its node.
+//
+//   - Acceptance/rejection + weighted node selection: a query maintains a
+//     set of active "parts" (disjoint subtrees covering P ∩ Q) and draws
+//     the next sample from part u with probability proportional to the
+//     number of not-yet-consumed points below u, using a Fenwick tree for
+//     O(log·) weighted draws. Buffer entries that fall outside Q (possible
+//     only for boundary parts) are consumed-and-rejected, which is exactly
+//     the acceptance/rejection step that keeps the output uniform on P ∩ Q.
+//
+//   - Lazy exploration: the query frontier stops at fully-contained
+//     subtrees and at small boundary subtrees, never expanding them up
+//     front. A part's subtree is read in full (one sequential range
+//     report, then served from memory) only when sampling pressure
+//     exhausts its stored buffer — which happens with probability
+//     proportional to how many samples actually land in it, so subtrees
+//     the sample stream never reaches are never read at all.
+//
+// Drawing k samples touches the frontier node pages repeatedly instead of
+// k random leaf pages, so with any reasonable buffer pool the I/O cost
+// stays near O(r(N) + k/B) versus RandomPath's Ω(k) (paper Figure 3a),
+// and is bounded by one full range report no matter how large k grows.
+package rstree
+
+import (
+	"fmt"
+	"sort"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/iosim"
+	"storm/internal/rtree"
+	"storm/internal/stats"
+)
+
+// Config controls RS-tree construction.
+type Config struct {
+	// Fanout is the underlying Hilbert R-tree fanout; 0 means
+	// rtree.DefaultFanout.
+	Fanout int
+	// BufferSize is the per-node sample buffer size; 0 means Fanout.
+	BufferSize int
+	// Device charges page accesses; nil disables accounting.
+	Device iosim.Accountant
+	// Bounds is the coordinate space for Hilbert quantization. Empty
+	// bounds are computed from the build entries.
+	Bounds geo.Rect
+	// Seed drives buffer generation randomness.
+	Seed int64
+	// LazyCutoff is the subtree size below which a query keeps a
+	// partially-intersecting subtree whole instead of descending into it
+	// (the paper's lazy exploration: "avoid exploring small subtrees in
+	// R_Q which are expensive yet relatively useless"). Samples drawn
+	// from such a subtree that land outside the query are rejected —
+	// acceptance/rejection trades a few wasted (cheap, buffered) draws
+	// for never materializing boundary leaves the query may not need.
+	// 0 means Fanout², i.e. boundary subtrees stay whole at the
+	// leaf-parent level.
+	LazyCutoff int
+	// LazyBuffers defers per-node sample generation to first query use.
+	// By default buffers are precomputed at build time, matching the
+	// paper's design where S(u) is stored alongside node u on disk;
+	// updates always regenerate affected buffers lazily.
+	LazyBuffers bool
+}
+
+// Index is an RS-tree over a point set. It is safe for a single goroutine;
+// queries mutate cached node buffers, so callers must not run two samplers
+// of the same Index concurrently.
+type Index struct {
+	cfg  Config
+	tree *rtree.Tree
+	rng  *stats.RNG
+}
+
+// Build constructs an RS-tree over the given entries.
+func Build(entries []data.Entry, cfg Config) (*Index, error) {
+	if cfg.Fanout == 0 {
+		cfg.Fanout = rtree.DefaultFanout
+	}
+	if cfg.BufferSize == 0 {
+		cfg.BufferSize = cfg.Fanout
+	}
+	if cfg.BufferSize < 2 {
+		return nil, fmt.Errorf("rstree: BufferSize must be at least 2")
+	}
+	if cfg.LazyCutoff == 0 {
+		cfg.LazyCutoff = cfg.Fanout * cfg.Fanout
+	}
+	if cfg.Device == nil {
+		cfg.Device = iosim.Discard
+	}
+	bounds := cfg.Bounds
+	if bounds.IsEmpty() || bounds == (geo.Rect{}) {
+		bounds = rtree.EntryBounds(entries)
+	}
+	if bounds.IsEmpty() || bounds == (geo.Rect{}) {
+		// Empty data set (or every point at the origin): use a unit box
+		// so the quantizer is valid; it clamps out-of-box coordinates.
+		bounds = geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1, 1, 1})
+	}
+	t, err := rtree.New(rtree.Config{
+		Fanout:  cfg.Fanout,
+		Device:  cfg.Device,
+		Hilbert: true,
+		Bounds:  bounds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rstree: %w", err)
+	}
+	t.BulkLoad(entries)
+	idx := &Index{cfg: cfg, tree: t, rng: stats.NewRNG(cfg.Seed)}
+	if !cfg.LazyBuffers {
+		idx.precomputeBuffers(t.Root())
+	}
+	return idx, nil
+}
+
+// precomputeBuffers materializes every node's sample buffer at build time,
+// as the on-disk layout would: S(u) is written next to u once, so queries
+// only ever *read* buffers. Leaf buffers double as the shuffled entry
+// list, so only internal nodes need generation work here.
+func (x *Index) precomputeBuffers(n *rtree.Node) {
+	x.bufferFor(n)
+	for _, c := range n.Children() {
+		x.precomputeBuffers(c)
+	}
+}
+
+// Tree exposes the underlying Hilbert R-tree (for counting, reporting and
+// structural tests).
+func (x *Index) Tree() *rtree.Tree { return x.tree }
+
+// Len returns the number of indexed records.
+func (x *Index) Len() int { return x.tree.Len() }
+
+// Count returns |P ∩ q| exactly.
+func (x *Index) Count(q geo.Rect) int { return x.tree.Count(q) }
+
+// Insert adds a record. Buffers along the insertion path are invalidated
+// by the node version bump and regenerated lazily by the next query.
+func (x *Index) Insert(e data.Entry) { x.tree.Insert(e) }
+
+// Delete removes a record, returning true if it existed.
+func (x *Index) Delete(e data.Entry) bool { return x.tree.Delete(e) }
+
+// buffer is the cached per-node sample attachment.
+type buffer struct {
+	version uint64
+	entries []data.Entry // uniform without-replacement sample, random order
+}
+
+// bufferFor returns node n's sample buffer, regenerating it when the node
+// has changed since the buffer was built. Reading the buffer charges one
+// access of the node's page (the buffer is stored with the node).
+func (x *Index) bufferFor(n *rtree.Node) []data.Entry {
+	if b, ok := n.Aux().(*buffer); ok && b.version == n.Version() {
+		return b.entries
+	}
+	s := x.cfg.BufferSize
+	if n.IsLeaf() {
+		// Leaf buffers hold every entry (in random order): the leaf is
+		// the explosion base case, so its buffer must be exhaustive.
+		s = n.Count()
+	}
+	ent := x.sampleSubtree(n, s)
+	n.SetAux(&buffer{version: n.Version(), entries: ent})
+	return ent
+}
+
+// sampleSubtree draws a uniform without-replacement sample of size at most
+// s from the points below n, in random order. It works by drawing s
+// distinct positions in the subtree's canonical enumeration (children in
+// order, then leaf entries in order) and descending only into children that
+// own a drawn position, so generation costs O(s · height) node visits.
+func (x *Index) sampleSubtree(n *rtree.Node, s int) []data.Entry {
+	count := n.Count()
+	if count == 0 {
+		return nil
+	}
+	if s > count {
+		s = count
+	}
+	positions := x.distinctPositions(count, s)
+	sort.Ints(positions)
+	out := make([]data.Entry, 0, s)
+	x.collectPositions(n, positions, &out)
+	// The positions were sorted for the descent; shuffle the collected
+	// entries so the buffer order is uniform.
+	x.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// distinctPositions returns s distinct uniform values in [0, count).
+func (x *Index) distinctPositions(count, s int) []int {
+	if s*2 >= count {
+		// Dense case: partial Fisher–Yates over the full range.
+		all := make([]int, count)
+		for i := range all {
+			all[i] = i
+		}
+		for i := 0; i < s; i++ {
+			j := i + x.rng.Intn(count-i)
+			all[i], all[j] = all[j], all[i]
+		}
+		return all[:s]
+	}
+	seen := make(map[int]struct{}, s)
+	out := make([]int, 0, s)
+	for len(out) < s {
+		p := x.rng.Intn(count)
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// collectPositions resolves sorted subtree positions to entries.
+func (x *Index) collectPositions(n *rtree.Node, positions []int, out *[]data.Entry) {
+	if len(positions) == 0 {
+		return
+	}
+	x.tree.Charge(n)
+	if n.IsLeaf() {
+		entries := n.Entries()
+		for _, p := range positions {
+			*out = append(*out, entries[p])
+		}
+		return
+	}
+	lo := 0
+	idx := 0
+	for _, c := range n.Children() {
+		hi := lo + c.Count()
+		start := idx
+		for idx < len(positions) && positions[idx] < hi {
+			idx++
+		}
+		if idx > start {
+			sub := make([]int, idx-start)
+			for i, p := range positions[start:idx] {
+				sub[i] = p - lo
+			}
+			x.collectPositions(c, sub, out)
+		}
+		lo = hi
+		if idx == len(positions) {
+			break
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package rstree
+
+import (
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/rtree"
+	"storm/internal/sampling"
+	"storm/internal/stats"
+)
+
+// part is one active element of a query's canonical decomposition: a
+// disjoint subtree from which samples are drawn. A part starts in buffered
+// state, serving draws from the node's stored sample S(u); if sampling
+// pressure exhausts the buffer, the part is *materialized*: its subtree is
+// range-reported once (sequential page reads), filtered against the query
+// and the already-consumed set, shuffled, and served from memory. Parts
+// are never split, so the canonical decomposition stays disjoint by
+// construction.
+type part struct {
+	node *rtree.Node
+	// buf is the active sample source: initially the node's stored
+	// buffer, after materialization the remaining matching entries.
+	buf    []data.Entry
+	order  []int // query-local lazy Fisher–Yates permutation of buf
+	cursor int
+	// materialized marks that buf holds the exact remaining entries.
+	materialized bool
+}
+
+// Sampler is the RS-tree's online sample stream for one query. It
+// implements sampling.Sampler. Without-replacement mode emits every record
+// of P ∩ Q exactly once in uniformly random prefix order; with-replacement
+// mode emits independent uniform samples via weighted random descent.
+type Sampler struct {
+	index *Index
+	query geo.Rect
+	mode  sampling.Mode
+	rng   *stats.RNG
+
+	// without-replacement state
+	parts []*part
+	fen   *fenwick
+	seen  map[data.ID]struct{}
+	init  bool
+
+	// with-replacement state
+	wrNodes   []*rtree.Node
+	wrWeights []int
+	wrAlias   *stats.Alias
+	// MaxAttempts bounds with-replacement rejection retries (a query
+	// with q = 0 would otherwise never terminate).
+	MaxAttempts int
+
+	// instrumentation
+	explosions uint64
+	rejects    uint64
+}
+
+// Explosions returns how many parts were materialized (their subtrees
+// bulk-loaded) so far — the exploration pressure that the sample-buffer
+// size controls.
+func (s *Sampler) Explosions() uint64 { return s.explosions }
+
+// Rejects returns how many consumed draws fell outside the query (the
+// acceptance/rejection overhead of keeping boundary subtrees whole).
+func (s *Sampler) Rejects() uint64 { return s.rejects }
+
+// Sampler returns an online sampler for q. The sampler must not be used
+// concurrently with other samplers of the same Index (buffer generation
+// mutates shared node attachments).
+func (x *Index) Sampler(q geo.Rect, mode sampling.Mode, rng *stats.RNG) *Sampler {
+	return &Sampler{
+		index:       x,
+		query:       q,
+		mode:        mode,
+		rng:         rng,
+		MaxAttempts: 1 << 22,
+	}
+}
+
+var _ sampling.Sampler = (*Sampler)(nil)
+
+// Name implements sampling.Sampler.
+func (s *Sampler) Name() string { return "RS-tree" }
+
+// Next implements sampling.Sampler.
+func (s *Sampler) Next() (data.Entry, bool) {
+	if !s.init {
+		s.initialize()
+	}
+	if s.mode == sampling.WithReplacement {
+		return s.nextWithReplacement()
+	}
+	return s.nextWithoutReplacement()
+}
+
+// initialize builds the query frontier: the maximal subtrees fully inside
+// the query, plus partially-intersecting subtrees that are either leaves
+// or small enough (count <= LazyCutoff) to keep whole — the lazy
+// exploration rule that avoids descending into boundary subtrees that may
+// contribute few samples. A part's subtree is only ever read in full if
+// sampling pressure exhausts its stored buffer.
+func (s *Sampler) initialize() {
+	s.init = true
+	if s.mode == sampling.WithoutReplacement {
+		s.fen = newFenwick(64)
+		s.seen = make(map[data.ID]struct{})
+	}
+	s.frontier(s.index.tree.Root())
+	if s.mode == sampling.WithReplacement && len(s.wrNodes) > 0 {
+		weights := make([]float64, len(s.wrWeights))
+		for i, w := range s.wrWeights {
+			weights[i] = float64(w)
+		}
+		alias, err := stats.NewAlias(weights)
+		if err == nil {
+			s.wrAlias = alias
+		}
+	}
+}
+
+func (s *Sampler) frontier(n *rtree.Node) {
+	s.index.tree.Charge(n)
+	if n.Count() == 0 || !n.MBR().Intersects(s.query) {
+		return
+	}
+	if s.query.ContainsRect(n.MBR()) || n.IsLeaf() || n.Count() <= s.index.cfg.LazyCutoff {
+		s.addPart(n)
+		return
+	}
+	for _, c := range n.Children() {
+		s.frontier(c)
+	}
+}
+
+// addPart registers a subtree as an active part. Its weight is the full
+// subtree cardinality: boundary parts include out-of-query mass, which is
+// burned off through consumed-and-rejected draws (or dropped wholesale at
+// materialization).
+func (s *Sampler) addPart(n *rtree.Node) {
+	if s.mode == sampling.WithReplacement {
+		s.wrNodes = append(s.wrNodes, n)
+		s.wrWeights = append(s.wrWeights, n.Count())
+		return
+	}
+	p := &part{node: n, buf: s.index.bufferFor(n)}
+	s.fen.Append(n.Count())
+	s.parts = append(s.parts, p)
+}
+
+// nextWithoutReplacement draws the next element of a uniform random
+// permutation of P ∩ Q. Each iteration picks a part with probability
+// proportional to its remaining unconsumed count, consumes the next
+// element of its buffer, and accepts it if it lies inside the query.
+// Rejected draws still consume weight, which keeps the cross-part draw
+// distribution exact.
+func (s *Sampler) nextWithoutReplacement() (data.Entry, bool) {
+	for s.fen.Total() > 0 {
+		r := s.rng.Intn(s.fen.Total())
+		i := s.fen.Find(r)
+		p := s.parts[i]
+		s.index.tree.Charge(p.node)
+		e, ok := s.nextFromBuffer(p)
+		if !ok {
+			if p.materialized || (p.node.IsLeaf() && len(p.buf) == p.node.Count()) {
+				// The exact remaining set is exhausted.
+				s.fen.Set(i, 0)
+				continue
+			}
+			s.materialize(p, i)
+			continue
+		}
+		s.seen[e.ID] = struct{}{}
+		s.fen.Add(i, -1)
+		if p.materialized || s.query.Contains(e.Pos) {
+			return e, true
+		}
+		s.rejects++
+	}
+	return data.Entry{}, false
+}
+
+// nextFromBuffer returns the next not-yet-consumed entry of p's buffer in
+// query-local random order, or ok=false when the buffer is exhausted.
+func (s *Sampler) nextFromBuffer(p *part) (data.Entry, bool) {
+	if p.order == nil {
+		p.order = make([]int, len(p.buf))
+		for i := range p.order {
+			p.order[i] = i
+		}
+	}
+	for p.cursor < len(p.buf) {
+		j := p.cursor + s.rng.Intn(len(p.buf)-p.cursor)
+		p.order[p.cursor], p.order[j] = p.order[j], p.order[p.cursor]
+		e := p.buf[p.order[p.cursor]]
+		p.cursor++
+		if _, dup := s.seen[e.ID]; dup {
+			// Defensive: stored buffers and materialized lists are
+			// disjoint from consumed entries by construction.
+			continue
+		}
+		return e, true
+	}
+	return data.Entry{}, false
+}
+
+// materialize bulk-loads an exhausted part: one sequential range report of
+// its subtree (each page read once), filtered to unconsumed matching
+// entries. Subsequent draws from the part are free of page access beyond
+// the part's own page. This keeps the total I/O of a long-running query
+// bounded by r(N) plus the pages of the subtrees the sample stream
+// actually drained — never more than a full range report.
+func (s *Sampler) materialize(p *part, slot int) {
+	s.explosions++
+	var remaining []data.Entry
+	s.collectMatching(p.node, &remaining)
+	p.buf = remaining
+	p.order = nil
+	p.cursor = 0
+	p.materialized = true
+	s.fen.Set(slot, len(remaining))
+}
+
+// collectMatching appends the subtree's unconsumed matching entries.
+func (s *Sampler) collectMatching(n *rtree.Node, out *[]data.Entry) {
+	s.index.tree.Charge(n)
+	if n.IsLeaf() {
+		for _, e := range n.Entries() {
+			if !s.query.Contains(e.Pos) {
+				continue
+			}
+			if _, dup := s.seen[e.ID]; dup {
+				continue
+			}
+			*out = append(*out, e)
+		}
+		return
+	}
+	for _, c := range n.Children() {
+		if c.MBR().Intersects(s.query) {
+			s.collectMatching(c, out)
+		}
+	}
+}
+
+// nextWithReplacement draws an independent uniform sample of P ∩ Q by
+// picking a frontier subtree with probability proportional to its size and
+// descending uniformly by subtree counts; draws landing outside the query
+// (boundary subtrees only) are rejected and retried.
+func (s *Sampler) nextWithReplacement() (data.Entry, bool) {
+	if s.wrAlias == nil {
+		return data.Entry{}, false
+	}
+	for tries := 0; tries < s.MaxAttempts; tries++ {
+		n := s.wrNodes[s.wrAlias.Draw(s.rng)]
+		pos := s.rng.Intn(n.Count())
+		e := s.entryAt(n, pos)
+		if s.query.Contains(e.Pos) {
+			return e, true
+		}
+		s.rejects++
+	}
+	return data.Entry{}, false
+}
+
+// entryAt returns the entry at the given position of n's canonical
+// enumeration (children in order, then leaf entries).
+func (s *Sampler) entryAt(n *rtree.Node, pos int) data.Entry {
+	s.index.tree.Charge(n)
+	for !n.IsLeaf() {
+		for _, c := range n.Children() {
+			if pos < c.Count() {
+				n = c
+				break
+			}
+			pos -= c.Count()
+		}
+		s.index.tree.Charge(n)
+	}
+	return n.Entries()[pos]
+}

@@ -1,0 +1,163 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+)
+
+// BulkLoad builds the tree from scratch over the given entries, replacing
+// any existing contents. Hilbert-mode trees are packed in Hilbert order
+// (the Hilbert R-tree construction the paper's RS-tree is built on);
+// otherwise Sort-Tile-Recursive (STR) packing is used. Both produce leaves
+// filled to the fanout, giving the compact trees the paper assumes.
+func (t *Tree) BulkLoad(entries []data.Entry) {
+	t.version++
+	t.size = len(entries)
+	if len(entries) == 0 {
+		t.root = t.newNode(true)
+		t.height = 1
+		return
+	}
+	sorted := make([]data.Entry, len(entries))
+	copy(sorted, entries)
+	if t.quant != nil {
+		t.sortHilbert(sorted)
+	} else {
+		sortSTR(sorted, t.cfg.Fanout)
+	}
+
+	leaves := t.packLeaves(sorted)
+	t.height = 1
+	for len(leaves) > 1 {
+		leaves = t.packInternal(leaves)
+		t.height++
+	}
+	t.root = leaves[0]
+}
+
+// sortHilbert orders entries by Hilbert value of their position.
+func (t *Tree) sortHilbert(entries []data.Entry) {
+	keys := make([]uint64, len(entries))
+	for i, e := range entries {
+		keys[i] = t.hilbertValue(e.Pos)
+	}
+	sort.Sort(&hilbertSorter{entries: entries, keys: keys})
+}
+
+type hilbertSorter struct {
+	entries []data.Entry
+	keys    []uint64
+}
+
+func (s *hilbertSorter) Len() int           { return len(s.entries) }
+func (s *hilbertSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *hilbertSorter) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// sortSTR arranges entries in Sort-Tile-Recursive order for 3 dimensions:
+// sort by x, cut into vertical slabs, sort each slab by y, cut into runs,
+// sort each run by t. Consecutive groups of fanout entries then form
+// spatially coherent leaves.
+func sortSTR(entries []data.Entry, fanout int) {
+	n := len(entries)
+	leaves := (n + fanout - 1) / fanout
+	// Number of slabs along each of the first two axes.
+	s := int(math.Ceil(math.Cbrt(float64(leaves))))
+	if s < 1 {
+		s = 1
+	}
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Pos[0] < entries[j].Pos[0] })
+	slabSize := (n + s - 1) / s * 1 // entries per x-slab before y-split
+	// Each x-slab should contain about s*s leaves worth of entries.
+	slabSize = s * s * fanout
+	if slabSize < 1 {
+		slabSize = 1
+	}
+	for lo := 0; lo < n; lo += slabSize {
+		hi := lo + slabSize
+		if hi > n {
+			hi = n
+		}
+		slab := entries[lo:hi]
+		sort.Slice(slab, func(i, j int) bool { return slab[i].Pos[1] < slab[j].Pos[1] })
+		runSize := s * fanout
+		if runSize < 1 {
+			runSize = 1
+		}
+		for rlo := 0; rlo < len(slab); rlo += runSize {
+			rhi := rlo + runSize
+			if rhi > len(slab) {
+				rhi = len(slab)
+			}
+			run := slab[rlo:rhi]
+			sort.Slice(run, func(i, j int) bool { return run[i].Pos[2] < run[j].Pos[2] })
+		}
+	}
+}
+
+// packLeaves groups consecutive sorted entries into full leaves.
+func (t *Tree) packLeaves(entries []data.Entry) []*Node {
+	fan := t.cfg.Fanout
+	nodes := make([]*Node, 0, (len(entries)+fan-1)/fan)
+	for lo := 0; lo < len(entries); lo += fan {
+		hi := lo + fan
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		n := t.newNode(true)
+		n.entries = append(n.entries, entries[lo:hi]...)
+		n.count = len(n.entries)
+		for _, e := range n.entries {
+			n.mbr = n.mbr.ExtendPoint(e.Pos)
+		}
+		if t.quant != nil {
+			n.lhv = t.hilbertValue(n.entries[len(n.entries)-1].Pos)
+		}
+		t.chargeWrite(n)
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
+// packInternal groups consecutive child nodes into parents.
+func (t *Tree) packInternal(children []*Node) []*Node {
+	fan := t.cfg.Fanout
+	nodes := make([]*Node, 0, (len(children)+fan-1)/fan)
+	for lo := 0; lo < len(children); lo += fan {
+		hi := lo + fan
+		if hi > len(children) {
+			hi = len(children)
+		}
+		n := t.newNode(false)
+		n.children = append(n.children, children[lo:hi]...)
+		for _, c := range n.children {
+			n.mbr = n.mbr.Extend(c.mbr)
+			n.count += c.count
+			if c.lhv > n.lhv {
+				n.lhv = c.lhv
+			}
+		}
+		t.chargeWrite(n)
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
+// bulkBounds computes the MBR of a set of entries; used by callers that
+// need bounds before constructing a Hilbert tree.
+func bulkBounds(entries []data.Entry) geo.Rect {
+	r := geo.EmptyRect()
+	for _, e := range entries {
+		r = r.ExtendPoint(e.Pos)
+	}
+	return r
+}
+
+// EntryBounds returns the MBR covering all given entries.
+func EntryBounds(entries []data.Entry) geo.Rect { return bulkBounds(entries) }

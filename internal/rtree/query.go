@@ -1,0 +1,149 @@
+package rtree
+
+import (
+	"storm/internal/data"
+	"storm/internal/geo"
+)
+
+// Search reports every entry whose position lies inside q, invoking fn for
+// each. fn returning false stops the search early. Every visited node is
+// charged as one logical page access, making Search the cost reference for
+// the paper's "RangeReport" baseline.
+func (t *Tree) Search(q geo.Rect, fn func(data.Entry) bool) {
+	t.search(t.root, q, fn)
+}
+
+func (t *Tree) search(n *Node, q geo.Rect, fn func(data.Entry) bool) bool {
+	t.Charge(n)
+	if n.leaf {
+		for _, e := range n.entries {
+			if q.Contains(e.Pos) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !c.mbr.Intersects(q) {
+			continue
+		}
+		if !t.search(c, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReportAll returns all entries inside q. This is the QueryFirst baseline's
+// first phase and costs O(r(N) + q) node/entry touches.
+func (t *Tree) ReportAll(q geo.Rect) []data.Entry {
+	var out []data.Entry
+	t.Search(q, func(e data.Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// Count returns |P ∩ q| exactly. Subtrees fully inside q contribute their
+// stored counts without descending, so the cost is proportional to the size
+// of the canonical set rather than to the answer.
+func (t *Tree) Count(q geo.Rect) int {
+	return t.count(t.root, q)
+}
+
+func (t *Tree) count(n *Node, q geo.Rect) int {
+	t.Charge(n)
+	if q.ContainsRect(n.mbr) {
+		return n.count
+	}
+	total := 0
+	if n.leaf {
+		for _, e := range n.entries {
+			if q.Contains(e.Pos) {
+				total++
+			}
+		}
+		return total
+	}
+	for _, c := range n.children {
+		if c.mbr.Intersects(q) {
+			total += t.count(c, q)
+		}
+	}
+	return total
+}
+
+// CanonicalPart is one element of a canonical decomposition of a range
+// query: either a node whose subtree lies fully inside the query, or a
+// partially intersecting leaf whose entries must be filtered individually.
+type CanonicalPart struct {
+	Node *Node
+	// Full is true when every entry under Node satisfies the query.
+	Full bool
+	// Matching is the number of entries under Node that satisfy the
+	// query: Node.Count() when Full, otherwise the filtered leaf count.
+	Matching int
+}
+
+// Canonical computes the canonical set R_Q for a range query: the maximal
+// nodes fully contained in q plus the partially-covered leaves. The total
+// Matching across parts equals Count(q). The parts' subtrees are pairwise
+// disjoint, which is what lets the RS-tree draw without-replacement samples
+// from per-part buffers independently.
+func (t *Tree) Canonical(q geo.Rect) []CanonicalPart {
+	var parts []CanonicalPart
+	t.canonical(t.root, q, &parts)
+	return parts
+}
+
+func (t *Tree) canonical(n *Node, q geo.Rect, parts *[]CanonicalPart) {
+	t.Charge(n)
+	if !n.mbr.Intersects(q) {
+		return
+	}
+	if q.ContainsRect(n.mbr) {
+		if n.count > 0 {
+			*parts = append(*parts, CanonicalPart{Node: n, Full: true, Matching: n.count})
+		}
+		return
+	}
+	if n.leaf {
+		m := 0
+		for _, e := range n.entries {
+			if q.Contains(e.Pos) {
+				m++
+			}
+		}
+		if m > 0 {
+			*parts = append(*parts, CanonicalPart{Node: n, Full: false, Matching: m})
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.canonical(c, q, parts)
+	}
+}
+
+// CanonicalSize returns r(N), the number of canonical parts for q, without
+// materializing them. Used by the query optimizer's cost model.
+func (t *Tree) CanonicalSize(q geo.Rect) int {
+	n := 0
+	t.canonicalSize(t.root, q, &n)
+	return n
+}
+
+func (t *Tree) canonicalSize(n *Node, q geo.Rect, acc *int) {
+	if !n.mbr.Intersects(q) {
+		return
+	}
+	if q.ContainsRect(n.mbr) || n.leaf {
+		*acc++
+		return
+	}
+	for _, c := range n.children {
+		t.canonicalSize(c, q, acc)
+	}
+}

@@ -1,0 +1,205 @@
+// Package rtree implements the disk-aware R-tree substrate underneath
+// STORM's sampling indexes.
+//
+// The tree supports STR and Hilbert bulk loading, dynamic inserts and
+// deletes, range reporting, exact range counting via per-node subtree
+// counts, and canonical-set computation. Every node is mapped to a page of
+// a simulated block device (package iosim), so traversals produce the
+// I/O counts that the paper's Figure 3(a) compares across sampling methods.
+//
+// Each node additionally stores the cardinality of its subtree. Subtree
+// counts are what make weighted random descent (Olken's RandomPath) and the
+// RS-tree's acceptance/rejection node sampling possible, and they give
+// O(log N)-node exact range counts for query planning.
+//
+// A Tree is safe for concurrent readers, but mutations (Insert, Delete)
+// must be externally synchronized with readers.
+package rtree
+
+import (
+	"fmt"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/hilbert"
+	"storm/internal/iosim"
+)
+
+// DefaultFanout is the default maximum number of entries (or children) per
+// node. With ~32-byte leaf entries this models a 2 KiB page; the benchmark
+// harness overrides it to explore other block sizes.
+const DefaultFanout = 64
+
+// Config controls tree shape and I/O accounting.
+type Config struct {
+	// Fanout is the maximum entries per node (>= 4).
+	Fanout int
+	// Device charges page accesses; nil means no accounting.
+	Device iosim.Accountant
+	// Hilbert enables Hilbert ordering: bulk loads sort by Hilbert value
+	// and inserts place entries by Hilbert value. Requires Bounds.
+	Hilbert bool
+	// Bounds is the coordinate space used to quantize Hilbert values.
+	// Required when Hilbert is true; ignored otherwise.
+	Bounds geo.Rect
+	// HilbertOrder is the curve order (bits per dimension); 0 means 16.
+	HilbertOrder uint
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout == 0 {
+		c.Fanout = DefaultFanout
+	}
+	if c.Device == nil {
+		c.Device = iosim.Discard
+	}
+	if c.HilbertOrder == 0 {
+		c.HilbertOrder = 16
+	}
+	return c
+}
+
+// Node is an R-tree node. Leaves hold data entries; internal nodes hold
+// children. Fields are unexported; samplers use the accessor methods.
+type Node struct {
+	page     iosim.PageID
+	leaf     bool
+	mbr      geo.Rect
+	count    int // data entries in this subtree
+	lhv      uint64
+	version  uint64 // bumped when subtree contents change
+	children []*Node
+	entries  []data.Entry
+	aux      any // per-node attachment used by the RS-tree sample buffers
+}
+
+// IsLeaf reports whether n is a leaf node.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// MBR returns the node's minimum bounding rectangle.
+func (n *Node) MBR() geo.Rect { return n.mbr }
+
+// Count returns the number of data entries in the subtree rooted at n.
+func (n *Node) Count() int { return n.count }
+
+// Children returns the children of an internal node (nil for leaves).
+func (n *Node) Children() []*Node { return n.children }
+
+// Entries returns the data entries of a leaf node (nil for internal nodes).
+func (n *Node) Entries() []data.Entry { return n.entries }
+
+// Version returns a counter that changes whenever the subtree's contents
+// change; the RS-tree uses it to detect stale sample buffers.
+func (n *Node) Version() uint64 { return n.version }
+
+// Aux returns the auxiliary attachment set by SetAux.
+func (n *Node) Aux() any { return n.aux }
+
+// SetAux attaches auxiliary per-node state (e.g. an RS-tree sample buffer).
+func (n *Node) SetAux(v any) { n.aux = v }
+
+// PageID returns the simulated page this node occupies.
+func (n *Node) PageID() iosim.PageID { return iosim.PageID(n.page) }
+
+// Tree is a dynamic R-tree over point data.
+type Tree struct {
+	cfg      Config
+	root     *Node
+	size     int
+	height   int // number of levels; 1 = root is a leaf
+	nextPage iosim.PageID
+	version  uint64
+	quant    *hilbert.Quantizer
+	minFill  int
+}
+
+// New returns an empty tree with the given configuration.
+func New(cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Fanout < 4 {
+		return nil, fmt.Errorf("rtree: fanout %d too small (min 4)", cfg.Fanout)
+	}
+	t := &Tree{
+		cfg:     cfg,
+		minFill: cfg.Fanout * 2 / 5,
+	}
+	if t.minFill < 1 {
+		t.minFill = 1
+	}
+	if cfg.Hilbert {
+		if cfg.Bounds.IsEmpty() || cfg.Bounds == (geo.Rect{}) {
+			return nil, fmt.Errorf("rtree: Hilbert mode requires non-empty Bounds")
+		}
+		curve := hilbert.MustNew(geo.Dims, cfg.HilbertOrder)
+		q, err := hilbert.NewQuantizer(curve,
+			cfg.Bounds.Min[:], cfg.Bounds.Max[:])
+		if err != nil {
+			return nil, fmt.Errorf("rtree: %w", err)
+		}
+		t.quant = q
+	}
+	t.root = t.newNode(true)
+	t.height = 1
+	return t, nil
+}
+
+// MustNew is New for configurations known to be valid.
+func MustNew(cfg Config) *Tree {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *Node {
+	t.nextPage++
+	return &Node{page: t.nextPage, leaf: leaf, mbr: geo.EmptyRect()}
+}
+
+// Len returns the number of data entries in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Root returns the root node; samplers traverse from here. The caller must
+// charge page accesses through Charge as it descends.
+func (t *Tree) Root() *Node { return t.root }
+
+// Fanout returns the maximum entries per node.
+func (t *Tree) Fanout() int { return t.cfg.Fanout }
+
+// Version returns a counter incremented by every mutation.
+func (t *Tree) Version() uint64 { return t.version }
+
+// Bounds returns the MBR of all indexed entries.
+func (t *Tree) Bounds() geo.Rect { return t.root.mbr }
+
+// Charge accounts one logical page access for visiting n.
+func (t *Tree) Charge(n *Node) { t.cfg.Device.Access(n.page) }
+
+// chargeWrite accounts a page write for n.
+func (t *Tree) chargeWrite(n *Node) { t.cfg.Device.Write(n.page) }
+
+// hilbertValue returns the Hilbert value of p, or 0 in non-Hilbert mode.
+func (t *Tree) hilbertValue(p geo.Vec) uint64 {
+	if t.quant == nil {
+		return 0
+	}
+	return t.quant.Value(p[0], p[1], p[2])
+}
+
+// NodeCount returns the total number of nodes, walking the whole tree.
+// Intended for tests and benchmarks, not hot paths.
+func (t *Tree) NodeCount() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		c := 1
+		for _, ch := range n.children {
+			c += count(ch)
+		}
+		return c
+	}
+	return count(t.root)
+}

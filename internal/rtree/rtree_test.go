@@ -1,0 +1,380 @@
+package rtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/iosim"
+	"storm/internal/stats"
+)
+
+// genEntries produces n clustered points in [0,1000)^2 x [0,1000).
+func genEntries(n int, seed int64) []data.Entry {
+	rng := stats.NewRNG(seed)
+	out := make([]data.Entry, n)
+	for i := range out {
+		// A mix of clusters and uniform background.
+		var p geo.Vec
+		if rng.Bernoulli(0.7) {
+			cx := float64(rng.Intn(5)) * 200
+			cy := float64(rng.Intn(5)) * 200
+			p = geo.Vec{cx + rng.NormFloat64()*20, cy + rng.NormFloat64()*20, rng.Uniform(0, 1000)}
+		} else {
+			p = geo.Vec{rng.Uniform(0, 1000), rng.Uniform(0, 1000), rng.Uniform(0, 1000)}
+		}
+		out[i] = data.Entry{ID: data.ID(i), Pos: p}
+	}
+	return out
+}
+
+// bruteRange returns entries inside q by linear scan.
+func bruteRange(entries []data.Entry, q geo.Rect) []data.Entry {
+	var out []data.Entry
+	for _, e := range entries {
+		if q.Contains(e.Pos) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func idsOf(entries []data.Entry) []uint64 {
+	ids := make([]uint64, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sameIDs(a, b []data.Entry) bool {
+	x, y := idsOf(a), idsOf(b)
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func testQueries() []geo.Rect {
+	return []geo.Rect{
+		geo.NewRect(geo.Vec{100, 100, 0}, geo.Vec{300, 300, 1000}),
+		geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1000, 1000, 1000}),
+		geo.NewRect(geo.Vec{500, 500, 500}, geo.Vec{510, 510, 510}),
+		geo.NewRect(geo.Vec{-100, -100, -100}, geo.Vec{-1, -1, -1}), // empty
+		geo.NewRect(geo.Vec{190, 190, 100}, geo.Vec{210, 210, 900}),
+	}
+}
+
+func buildBoth(t *testing.T, entries []data.Entry) []*Tree {
+	t.Helper()
+	str := MustNew(Config{Fanout: 16})
+	str.BulkLoad(entries)
+	hil := MustNew(Config{Fanout: 16, Hilbert: true, Bounds: EntryBounds(entries)})
+	hil.BulkLoad(entries)
+	return []*Tree{str, hil}
+}
+
+func TestBulkLoadMatchesBrute(t *testing.T) {
+	entries := genEntries(5000, 1)
+	for _, tree := range buildBoth(t, entries) {
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("invalid tree after bulk load: %v", err)
+		}
+		if tree.Len() != len(entries) {
+			t.Fatalf("Len = %d", tree.Len())
+		}
+		for _, q := range testQueries() {
+			got := tree.ReportAll(q)
+			want := bruteRange(entries, q)
+			if !sameIDs(got, want) {
+				t.Errorf("range %v: got %d entries, want %d", q, len(got), len(want))
+			}
+			if c := tree.Count(q); c != len(want) {
+				t.Errorf("Count(%v) = %d, want %d", q, c, len(want))
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := MustNew(Config{Fanout: 8})
+	q := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1, 1, 1})
+	if got := tree.ReportAll(q); len(got) != 0 {
+		t.Errorf("empty tree reported %d entries", len(got))
+	}
+	if tree.Count(q) != 0 {
+		t.Error("empty tree count should be 0")
+	}
+	if err := tree.Validate(); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+	if parts := tree.Canonical(q); len(parts) != 0 {
+		t.Errorf("empty tree canonical set should be empty, got %d", len(parts))
+	}
+}
+
+func TestInsertMatchesBrute(t *testing.T) {
+	entries := genEntries(3000, 2)
+	for _, mode := range []bool{false, true} {
+		cfg := Config{Fanout: 8}
+		if mode {
+			cfg.Hilbert = true
+			cfg.Bounds = geo.NewRect(geo.Vec{-200, -200, 0}, geo.Vec{1200, 1200, 1000})
+		}
+		tree := MustNew(cfg)
+		for _, e := range entries {
+			tree.Insert(e)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("hilbert=%v: invalid after inserts: %v", mode, err)
+		}
+		if tree.Len() != len(entries) {
+			t.Fatalf("Len = %d", tree.Len())
+		}
+		for _, q := range testQueries() {
+			got := tree.ReportAll(q)
+			want := bruteRange(entries, q)
+			if !sameIDs(got, want) {
+				t.Errorf("hilbert=%v range %v: got %d, want %d", mode, q, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	entries := genEntries(2000, 3)
+	for _, tree := range buildBoth(t, entries) {
+		rng := stats.NewRNG(99)
+		// Delete a random half.
+		perm := rng.Perm(len(entries))
+		deleted := make(map[data.ID]bool)
+		for _, i := range perm[:1000] {
+			if !tree.Delete(entries[i]) {
+				t.Fatalf("Delete(%v) not found", entries[i])
+			}
+			deleted[entries[i].ID] = true
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("invalid after deletes: %v", err)
+		}
+		if tree.Len() != 1000 {
+			t.Fatalf("Len = %d, want 1000", tree.Len())
+		}
+		var remaining []data.Entry
+		for _, e := range entries {
+			if !deleted[e.ID] {
+				remaining = append(remaining, e)
+			}
+		}
+		for _, q := range testQueries() {
+			got := tree.ReportAll(q)
+			want := bruteRange(remaining, q)
+			if !sameIDs(got, want) {
+				t.Errorf("after delete, range %v: got %d, want %d", q, len(got), len(want))
+			}
+		}
+		// Deleting a missing entry returns false.
+		if tree.Delete(data.Entry{ID: 999999, Pos: geo.Vec{1, 1, 1}}) {
+			t.Error("deleting a missing entry should return false")
+		}
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	entries := genEntries(500, 4)
+	for _, tree := range buildBoth(t, entries) {
+		for _, e := range entries {
+			if !tree.Delete(e) {
+				t.Fatalf("entry %d not found", e.ID)
+			}
+		}
+		if tree.Len() != 0 {
+			t.Fatalf("Len = %d after deleting everything", tree.Len())
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("invalid after emptying: %v", err)
+		}
+		q := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1000, 1000, 1000})
+		if got := tree.ReportAll(q); len(got) != 0 {
+			t.Errorf("emptied tree reported %d entries", len(got))
+		}
+	}
+}
+
+func TestCanonicalPartition(t *testing.T) {
+	entries := genEntries(4000, 5)
+	for _, tree := range buildBoth(t, entries) {
+		for _, q := range testQueries() {
+			parts := tree.Canonical(q)
+			total := 0
+			seen := make(map[data.ID]bool)
+			for _, p := range parts {
+				total += p.Matching
+				// Collect all matching entries under the part.
+				var collect func(n *Node)
+				collect = func(n *Node) {
+					if n.IsLeaf() {
+						for _, e := range n.Entries() {
+							if q.Contains(e.Pos) {
+								if seen[e.ID] {
+									t.Fatalf("entry %d in two canonical parts", e.ID)
+								}
+								seen[e.ID] = true
+							}
+						}
+						return
+					}
+					for _, c := range n.Children() {
+						collect(c)
+					}
+				}
+				collect(p.Node)
+				if p.Full && p.Matching != p.Node.Count() {
+					t.Errorf("full part matching %d != count %d", p.Matching, p.Node.Count())
+				}
+			}
+			want := tree.Count(q)
+			if total != want {
+				t.Errorf("canonical matching sum = %d, want %d", total, want)
+			}
+			if len(seen) != want {
+				t.Errorf("canonical parts cover %d entries, want %d", len(seen), want)
+			}
+		}
+	}
+}
+
+func TestCanonicalSize(t *testing.T) {
+	entries := genEntries(4000, 6)
+	tree := MustNew(Config{Fanout: 16})
+	tree.BulkLoad(entries)
+	for _, q := range testQueries() {
+		// CanonicalSize counts leaves/nodes in the decomposition, which
+		// must be at least the number of non-empty parts.
+		size := tree.CanonicalSize(q)
+		parts := tree.Canonical(q)
+		if size < len(parts) {
+			t.Errorf("CanonicalSize %d < parts %d", size, len(parts))
+		}
+	}
+}
+
+// Property: insert then delete leaves range results unchanged.
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	base := genEntries(800, 7)
+	tree := MustNew(Config{Fanout: 8})
+	tree.BulkLoad(base)
+	q := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1000, 1000, 1000})
+	before := len(tree.ReportAll(q))
+
+	f := func(x, y, tt float64, idSalt uint16) bool {
+		clamp := func(v float64) float64 {
+			if v != v || v < -1e6 {
+				return 0
+			}
+			if v > 1e6 {
+				return 1e6
+			}
+			return v
+		}
+		e := data.Entry{
+			ID:  data.ID(1_000_000 + uint64(idSalt)),
+			Pos: geo.Vec{clamp(x), clamp(y), clamp(tt)},
+		}
+		tree.Insert(e)
+		if !tree.Delete(e) {
+			return false
+		}
+		if err := tree.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		return len(tree.ReportAll(q)) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	entries := genEntries(1000, 8)
+	tree := MustNew(Config{Fanout: 16})
+	tree.BulkLoad(entries)
+	q := geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1000, 1000, 1000})
+	n := 0
+	tree.Search(q, func(data.Entry) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop visited %d entries, want 10", n)
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	dev := iosim.NewDevice(0, iosim.DefaultCostModel())
+	tree := MustNew(Config{Fanout: 16, Device: dev})
+	tree.BulkLoad(genEntries(5000, 9))
+	dev.ResetStats()
+	q := geo.NewRect(geo.Vec{100, 100, 0}, geo.Vec{300, 300, 1000})
+	tree.ReportAll(q)
+	if got := dev.Stats().Logical; got == 0 {
+		t.Error("range query should charge page accesses")
+	}
+	// Counting a fully contained range touches far fewer pages than
+	// reporting it.
+	dev.ResetStats()
+	tree.Count(q)
+	countIO := dev.Stats().Logical
+	dev.ResetStats()
+	tree.ReportAll(q)
+	reportIO := dev.Stats().Logical
+	if countIO > reportIO {
+		t.Errorf("count I/O (%d) should not exceed report I/O (%d)", countIO, reportIO)
+	}
+}
+
+func TestFanoutValidation(t *testing.T) {
+	if _, err := New(Config{Fanout: 2}); err == nil {
+		t.Error("fanout 2 should be rejected")
+	}
+	if _, err := New(Config{Hilbert: true}); err == nil {
+		t.Error("hilbert without bounds should be rejected")
+	}
+}
+
+func TestDuplicatePositions(t *testing.T) {
+	// Many records at the same point must all be stored and reported.
+	entries := make([]data.Entry, 100)
+	for i := range entries {
+		entries[i] = data.Entry{ID: data.ID(i), Pos: geo.Vec{5, 5, 5}}
+	}
+	for _, tree := range buildBoth(t, entries) {
+		q := geo.NewRect(geo.Vec{5, 5, 5}, geo.Vec{5, 5, 5})
+		if got := len(tree.ReportAll(q)); got != 100 {
+			t.Errorf("duplicate positions: got %d, want 100", got)
+		}
+	}
+}
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	tree := MustNew(Config{Fanout: 8})
+	v0 := tree.Version()
+	tree.Insert(data.Entry{ID: 1, Pos: geo.Vec{1, 1, 1}})
+	if tree.Version() == v0 {
+		t.Error("Insert should bump version")
+	}
+	v1 := tree.Version()
+	tree.Delete(data.Entry{ID: 1, Pos: geo.Vec{1, 1, 1}})
+	if tree.Version() == v1 {
+		t.Error("Delete should bump version")
+	}
+}

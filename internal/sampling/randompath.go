@@ -1,0 +1,142 @@
+package sampling
+
+import (
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/rtree"
+	"storm/internal/stats"
+)
+
+// RandomPath adapts Olken's random-path sampling to R-trees with subtree
+// counts, the method the paper cites as the best prior art. Each sample is
+// obtained by one or more random root-to-leaf walks:
+//
+//  1. At an internal node, pick a Q-intersecting child with probability
+//     proportional to its subtree count, accumulating the correction factor
+//     W(u)/count(child-universe) along the way.
+//  2. At the leaf, pick an entry uniformly.
+//  3. Accept the walk with the accumulated correction probability and only
+//     if the entry actually lies inside Q; otherwise restart.
+//
+// The acceptance/rejection correction makes the accepted samples exactly
+// uniform on P ∩ Q even though different root-to-leaf paths have different
+// branching normalizers. Each walk touches O(log N) nodes; k samples touch
+// Ω(k) distinct leaf pages, which is why the method loses badly to the
+// LS/RS-trees on disk-resident data (paper Figure 3a).
+type RandomPath struct {
+	tree  *rtree.Tree
+	query geo.Rect
+	mode  Mode
+	rng   *stats.RNG
+	seen  map[data.ID]struct{}
+	// remaining is the exact number of matching records left to emit in
+	// without-replacement mode; -1 until first computed.
+	remaining int
+	// MaxWalks bounds the number of restart attempts per sample.
+	MaxWalks int
+	walks    uint64
+}
+
+// NewRandomPath returns a RandomPath sampler over the tree and range.
+func NewRandomPath(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG) *RandomPath {
+	s := &RandomPath{
+		tree: t, query: q, mode: mode, rng: rng,
+		remaining: -1,
+		MaxWalks:  1 << 22,
+	}
+	if mode == WithoutReplacement {
+		s.seen = make(map[data.ID]struct{})
+	}
+	return s
+}
+
+// Name implements Sampler.
+func (s *RandomPath) Name() string { return "RandomPath" }
+
+// Walks returns the total number of root-to-leaf walks performed.
+func (s *RandomPath) Walks() uint64 { return s.walks }
+
+// Next implements Sampler.
+func (s *RandomPath) Next() (data.Entry, bool) {
+	if s.mode == WithoutReplacement {
+		if s.remaining < 0 {
+			s.remaining = s.tree.Count(s.query)
+		}
+		if s.remaining == 0 {
+			return data.Entry{}, false
+		}
+	}
+	for tries := 0; tries < s.MaxWalks; tries++ {
+		s.walks++
+		e, ok := s.walk()
+		if !ok {
+			continue
+		}
+		if s.mode == WithoutReplacement {
+			if _, dup := s.seen[e.ID]; dup {
+				continue
+			}
+			s.seen[e.ID] = struct{}{}
+			s.remaining--
+		}
+		return e, true
+	}
+	return data.Entry{}, false
+}
+
+// walk performs one random root-to-leaf descent; ok is false on rejection.
+func (s *RandomPath) walk() (data.Entry, bool) {
+	n := s.tree.Root()
+	s.tree.Charge(n)
+	if n.Count() == 0 {
+		return data.Entry{}, false
+	}
+	accept := 1.0
+	first := true
+	for !n.IsLeaf() {
+		// Weight the Q-intersecting children by subtree count.
+		var total int
+		for _, c := range n.Children() {
+			if c.MBR().Intersects(s.query) {
+				total += c.Count()
+			}
+		}
+		if total == 0 {
+			return data.Entry{}, false
+		}
+		if !first {
+			// Correction factor: the probability of accepting this
+			// node's branch so the overall sample is uniform. The
+			// root level contributes only the constant 1/W_0 shared
+			// by every path, so it is skipped.
+			accept *= float64(total) / float64(n.Count())
+		}
+		first = false
+		pick := s.rng.Intn(total)
+		var next *rtree.Node
+		for _, c := range n.Children() {
+			if !c.MBR().Intersects(s.query) {
+				continue
+			}
+			if pick < c.Count() {
+				next = c
+				break
+			}
+			pick -= c.Count()
+		}
+		n = next
+		s.tree.Charge(n)
+	}
+	entries := n.Entries()
+	if len(entries) == 0 {
+		return data.Entry{}, false
+	}
+	e := entries[s.rng.Intn(len(entries))]
+	if !s.query.Contains(e.Pos) {
+		return data.Entry{}, false
+	}
+	if accept < 1 && s.rng.Float64() >= accept {
+		return data.Entry{}, false
+	}
+	return e, true
+}

@@ -1,0 +1,169 @@
+// Package sampling defines STORM's spatial online sampling abstraction
+// (Definition 1 in the paper) and implements the three baseline methods the
+// paper compares against: QueryFirst, SampleFirst and Olken's RandomPath.
+//
+// A Sampler is a per-query object that returns uniform random samples from
+// P ∩ Q one at a time, for an a-priori unknown sample count k: the consumer
+// keeps calling Next until it is satisfied (accuracy target met, time
+// budget exhausted, or the user cancels). The STORM indexes (packages
+// lstree and rstree) implement the same interface.
+package sampling
+
+import (
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/iosim"
+	"storm/internal/rtree"
+	"storm/internal/stats"
+)
+
+// Mode selects between sampling with and without replacement.
+type Mode int
+
+const (
+	// WithoutReplacement returns each matching record at most once; the
+	// stream is exhausted after |P ∩ Q| samples. Online aggregation over
+	// without-replacement samples converges to the exact answer.
+	WithoutReplacement Mode = iota
+	// WithReplacement returns independent uniform samples forever (as
+	// long as the range is non-empty).
+	WithReplacement
+)
+
+// Sampler returns uniform random samples from a query range one at a time.
+//
+// Next returns ok = false when the stream is exhausted: a without-
+// replacement sampler over a range with q matching records is exhausted
+// after q samples; a with-replacement sampler is exhausted only when the
+// range is empty.
+type Sampler interface {
+	Next() (e data.Entry, ok bool)
+	Name() string
+}
+
+// QueryFirst is the paper's first strawman: compute P ∩ Q in full, then
+// stream a random permutation of the result. Its cost is O(r(N) + q) to
+// produce the first sample — the cost of a full range-reporting query —
+// after which samples are free. For interactive workloads where the user
+// stops after k << q samples, the up-front cost dominates.
+type QueryFirst struct {
+	tree    *rtree.Tree
+	query   geo.Rect
+	mode    Mode
+	rng     *stats.RNG
+	matched []data.Entry
+	fetched bool
+	cursor  int
+}
+
+// NewQueryFirst returns a QueryFirst sampler over the given tree and range.
+func NewQueryFirst(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG) *QueryFirst {
+	return &QueryFirst{tree: t, query: q, mode: mode, rng: rng}
+}
+
+// Name implements Sampler.
+func (s *QueryFirst) Name() string { return "RangeReport" }
+
+// Next implements Sampler.
+func (s *QueryFirst) Next() (data.Entry, bool) {
+	if !s.fetched {
+		s.matched = s.tree.ReportAll(s.query)
+		s.fetched = true
+	}
+	n := len(s.matched)
+	if n == 0 {
+		return data.Entry{}, false
+	}
+	if s.mode == WithReplacement {
+		return s.matched[s.rng.Intn(n)], true
+	}
+	if s.cursor >= n {
+		return data.Entry{}, false
+	}
+	// Incremental Fisher–Yates: each emitted prefix is a uniform
+	// without-replacement sample.
+	j := s.cursor + s.rng.Intn(n-s.cursor)
+	s.matched[s.cursor], s.matched[j] = s.matched[j], s.matched[s.cursor]
+	e := s.matched[s.cursor]
+	s.cursor++
+	return e, true
+}
+
+// SampleFirst is the paper's second strawman: draw a uniform record from
+// the whole data set and keep it only if it falls inside Q. Each accepted
+// sample costs O(N/q) attempts in expectation — catastrophic for selective
+// queries, and it never terminates when q = 0, so the implementation gives
+// up after a configurable attempt budget.
+type SampleFirst struct {
+	ds    *data.Dataset
+	query geo.Rect
+	mode  Mode
+	rng   *stats.RNG
+	dev   iosim.Accountant
+	// perPage is how many records share a simulated data page.
+	perPage int
+	// MaxAttempts bounds the rejection loop per sample; when exceeded,
+	// Next reports exhaustion. Defaults to 200·N attempts.
+	MaxAttempts int
+	// Filter, when non-nil, rejects records it declines — the engine uses
+	// it to hide records deleted from the indexes, which remain in the
+	// append-only columnar store SampleFirst draws from. Rejection keeps
+	// the accepted stream uniform over the live matching records.
+	Filter   func(data.ID) bool
+	seen     map[data.ID]struct{}
+	attempts uint64 // total attempts, for instrumentation
+}
+
+// NewSampleFirst returns a SampleFirst sampler over the raw dataset. dev
+// charges a page access per inspected record (records are perPage to a
+// simulated page); pass iosim.Discard to skip accounting.
+func NewSampleFirst(ds *data.Dataset, q geo.Rect, mode Mode, rng *stats.RNG, dev iosim.Accountant, perPage int) *SampleFirst {
+	if perPage <= 0 {
+		perPage = 64
+	}
+	if dev == nil {
+		dev = iosim.Discard
+	}
+	s := &SampleFirst{
+		ds: ds, query: q, mode: mode, rng: rng, dev: dev, perPage: perPage,
+		MaxAttempts: 200 * ds.Len(),
+	}
+	if mode == WithoutReplacement {
+		s.seen = make(map[data.ID]struct{})
+	}
+	return s
+}
+
+// Name implements Sampler.
+func (s *SampleFirst) Name() string { return "SampleFirst" }
+
+// Attempts returns the total number of records inspected so far.
+func (s *SampleFirst) Attempts() uint64 { return s.attempts }
+
+// Next implements Sampler.
+func (s *SampleFirst) Next() (data.Entry, bool) {
+	n := s.ds.Len()
+	if n == 0 {
+		return data.Entry{}, false
+	}
+	for tries := 0; tries < s.MaxAttempts; tries++ {
+		s.attempts++
+		id := data.ID(s.rng.Intn(n))
+		s.dev.Access(iosim.PageID(uint64(id) / uint64(s.perPage)))
+		pos := s.ds.Pos(id)
+		if !s.query.Contains(pos) {
+			continue
+		}
+		if s.Filter != nil && !s.Filter(id) {
+			continue
+		}
+		if s.mode == WithoutReplacement {
+			if _, dup := s.seen[id]; dup {
+				continue
+			}
+			s.seen[id] = struct{}{}
+		}
+		return data.Entry{ID: id, Pos: pos}, true
+	}
+	return data.Entry{}, false
+}

@@ -1,0 +1,299 @@
+// Package server exposes STORM's query interface over HTTP — the
+// reproduction's equivalent of the paper's web front end (www.estorm.org).
+//
+// Endpoints:
+//
+//	GET  /datasets                    list registered datasets
+//	GET  /datasets/{name}             one dataset's schema and size
+//	POST /query                       execute a STORM statement; online
+//	                                  snapshots stream back as NDJSON
+//	POST /datasets/{name}/records     insert records (the updates demo)
+//	GET  /explain?q=<statement>       the optimizer plan for an estimate
+//
+// Online queries honor client disconnection: dropping the connection
+// cancels the query, the paper's interactive-exploration semantics over
+// HTTP.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/engine"
+	"storm/internal/geo"
+	"storm/internal/query"
+)
+
+// Server is an http.Handler serving a STORM engine.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New returns a server over the engine.
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /datasets/{name}", s.handleDataset)
+	s.mux.HandleFunc("POST /datasets/{name}/records", s.handleInsert)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name    string   `json:"name"`
+	Records int      `json:"records"`
+	Numeric []string `json:"numeric_columns"`
+	String  []string `json:"string_columns"`
+}
+
+func (s *Server) datasetInfo(name string) (DatasetInfo, error) {
+	h, err := s.eng.Dataset(name)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	num := h.Data().NumericColumns()
+	str := h.Data().StringColumns()
+	sort.Strings(num)
+	sort.Strings(str)
+	return DatasetInfo{Name: name, Records: h.Len(), Numeric: num, String: str}, nil
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	names := s.eng.Datasets()
+	sort.Strings(names)
+	out := make([]DatasetInfo, 0, len(names))
+	for _, n := range names {
+		info, err := s.datasetInfo(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	info, err := s.datasetInfo(r.PathValue("name"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+// InsertRequest is the body of POST /datasets/{name}/records.
+type InsertRequest struct {
+	Records []InsertRecord `json:"records"`
+}
+
+// InsertRecord is one record to insert.
+type InsertRecord struct {
+	Lon  float64            `json:"lon"`
+	Lat  float64            `json:"lat"`
+	Time float64            `json:"time"`
+	Num  map[string]float64 `json:"num,omitempty"`
+	Str  map[string]string  `json:"str,omitempty"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	h, err := s.eng.Dataset(r.PathValue("name"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var req InsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Records) == 0 {
+		httpError(w, http.StatusBadRequest, "no records")
+		return
+	}
+	ids := make([]data.ID, 0, len(req.Records))
+	for _, rec := range req.Records {
+		ids = append(ids, h.Insert(data.Row{
+			Pos: geo.Vec{rec.Lon, rec.Lat, rec.Time},
+			Num: rec.Num,
+			Str: rec.Str,
+		}))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"inserted": len(ids), "first_id": ids[0]})
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	// Statement is a STORM query-language statement.
+	Statement string `json:"statement"`
+}
+
+// SnapshotJSON is one streamed snapshot of an online estimate.
+type SnapshotJSON struct {
+	Kind       string  `json:"kind"`
+	Value      float64 `json:"value"`
+	HalfWidth  float64 `json:"half_width"`
+	Confidence float64 `json:"confidence"`
+	Samples    int     `json:"samples"`
+	Population int     `json:"population"`
+	Exact      bool    `json:"exact"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Sampler    string  `json:"sampler"`
+	Done       bool    `json:"done"`
+}
+
+// handleQuery executes an estimate statement and streams NDJSON snapshots.
+// Non-estimate statements (KDE, TERMS, ...) run to completion and return
+// their text rendering in a single JSON object.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	q, err := query.Parse(req.Statement)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Estimates stream; everything else renders once.
+	if q.Op == query.OpEstimate && !q.Explain && q.GroupBy == "" {
+		s.streamEstimate(w, r, q)
+		return
+	}
+	var buf textBuffer
+	if err := query.Run(r.Context(), s.eng, q, &buf); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"output": buf.String()})
+}
+
+func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query.Query) {
+	h, err := s.eng.Dataset(q.Dataset)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	opts := engine.Options{
+		Kind:           q.Agg,
+		Attr:           q.Attr,
+		QuantileP:      q.QuantileP,
+		Confidence:     q.Confidence,
+		TargetRelError: q.RelError,
+		TimeBudget:     q.Within,
+		MaxSamples:     q.Samples,
+		Method:         q.Method,
+	}
+	// r.Context() is cancelled when the client disconnects, which stops
+	// the query — interactive exploration over HTTP.
+	ch, err := h.EstimateOnline(r.Context(), q.Range(), opts)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for snap := range ch {
+		out := SnapshotJSON{
+			Kind:       snap.Kind.String(),
+			Value:      snap.Value,
+			HalfWidth:  snap.HalfWidth,
+			Confidence: snap.Confidence,
+			Samples:    snap.Samples,
+			Population: snap.Population,
+			Exact:      snap.Exact,
+			ElapsedMS:  float64(snap.Elapsed) / float64(time.Millisecond),
+			Sampler:    snap.Method,
+			Done:       snap.Done,
+		}
+		if err := enc.Encode(out); err != nil {
+			return // client gone; ctx cancellation stops the query
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// PlanJSON is the /explain response.
+type PlanJSON struct {
+	Dataset       string  `json:"dataset"`
+	N             int     `json:"n"`
+	Matching      int     `json:"matching"`
+	Selectivity   float64 `json:"selectivity"`
+	Method        string  `json:"method"`
+	CanonicalSize int     `json:"canonical_size"`
+	TreeHeight    int     `json:"tree_height"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	stmt := r.URL.Query().Get("q")
+	if stmt == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	q, err := query.Parse(stmt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if q.Op != query.OpEstimate {
+		httpError(w, http.StatusBadRequest, "explain applies to estimate statements")
+		return
+	}
+	h, err := s.eng.Dataset(q.Dataset)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	plan, err := h.Explain(q.Range())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(PlanJSON{
+		Dataset:       plan.Dataset,
+		N:             plan.N,
+		Matching:      plan.Matching,
+		Selectivity:   plan.Selectivity,
+		Method:        plan.Method.String(),
+		CanonicalSize: plan.CanonicalSize,
+		TreeHeight:    plan.TreeHeight,
+	})
+}
+
+// textBuffer is a minimal io.Writer accumulating query output.
+type textBuffer struct{ b []byte }
+
+func (t *textBuffer) Write(p []byte) (int, error) {
+	t.b = append(t.b, p...)
+	return len(p), nil
+}
+
+func (t *textBuffer) String() string { return string(t.b) }

@@ -1,0 +1,37 @@
+package stats
+
+import "math"
+
+// ChiSquareQuantile returns the approximate quantile of the chi-square
+// distribution with k degrees of freedom at probability p, using the
+// Wilson–Hilferty transformation. Accuracy is within a fraction of a
+// percent for k >= 3, which is sufficient for the uniformity tests the
+// samplers run against themselves.
+func ChiSquareQuantile(p float64, k int) float64 {
+	if k <= 0 {
+		panic("stats: chi-square degrees of freedom must be positive")
+	}
+	z := NormalQuantile(p)
+	kf := float64(k)
+	t := 1 - 2/(9*kf) + z*math.Sqrt(2/(9*kf))
+	return kf * t * t * t
+}
+
+// ChiSquareStat computes the chi-square goodness-of-fit statistic for
+// observed counts against expected counts. The slices must have equal
+// length and every expected count must be positive.
+func ChiSquareStat(observed []int, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		panic("stats: observed/expected length mismatch")
+	}
+	var stat float64
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			panic("stats: expected count must be positive")
+		}
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	return stat
+}

@@ -1,0 +1,188 @@
+// Package viz renders STORM's online analytics as terminal graphics — the
+// reproduction's stand-in for the paper's web map UI (Figures 4–6):
+// density heat maps, trajectory plots, term tables, and the benchmark
+// harness's aligned tables and log-scale series.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"storm/internal/analytics"
+)
+
+// shades order cells from empty to dense.
+var shades = []rune(" .:-=+*#%@")
+
+// Heatmap renders a density map as ASCII art, one character per cell,
+// darkest character = densest cell. maxDensity scales the palette; pass 0
+// to scale by the map's own maximum (useful to compare two maps, pass the
+// shared max).
+func Heatmap(m *analytics.DensityMap, maxDensity float64) string {
+	if maxDensity <= 0 {
+		maxDensity = m.MaxDensity()
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", m.Nx) + "+\n")
+	// Row 0 is the south edge; render north-up.
+	for j := m.Ny - 1; j >= 0; j-- {
+		b.WriteByte('|')
+		for i := 0; i < m.Nx; i++ {
+			v := m.At(i, j)
+			idx := 0
+			if maxDensity > 0 {
+				idx = int(v / maxDensity * float64(len(shades)-1))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+				if idx < 0 {
+					idx = 0
+				}
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", m.Nx) + "+")
+	return b.String()
+}
+
+// TermTable formats a term snapshot the way the STORM demo highlights
+// sampled vocabulary, including the sentiment summary.
+func TermTable(s *analytics.TermSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "top terms over %d sampled documents (%d distinct terms):\n", s.Samples, s.Distinct)
+	for i, t := range s.Top {
+		bar := strings.Repeat("#", int(t.Freq*200))
+		fmt.Fprintf(&b, "%3d. %-14s %6.2f%%  %s\n", i+1, t.Text, t.Freq*100, bar)
+	}
+	mood := "neutral"
+	switch {
+	case s.Sentiment < -0.2:
+		mood = "unhappy"
+	case s.Sentiment > 0.2:
+		mood = "happy"
+	}
+	fmt.Fprintf(&b, "sentiment: %+.3f (%s)\n", s.Sentiment, mood)
+	return b.String()
+}
+
+// TrajectoryPlot draws a path on a w-by-h character canvas; segment points
+// are marked with '*' and endpoints with 'S' and 'E'.
+func TrajectoryPlot(p *analytics.Path, w, h int) string {
+	pts := p.Points()
+	if len(pts) == 0 {
+		return "(empty trajectory)"
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, pt := range pts {
+		minX = math.Min(minX, pt.X())
+		maxX = math.Max(maxX, pt.X())
+		minY = math.Min(minY, pt.Y())
+		maxY = math.Max(maxY, pt.Y())
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	canvas := make([][]byte, h)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(pt [3]float64, c byte) {
+		i := int((pt[0] - minX) / (maxX - minX) * float64(w-1))
+		j := int((pt[1] - minY) / (maxY - minY) * float64(h-1))
+		canvas[h-1-j][i] = c
+	}
+	for _, pt := range pts {
+		plot(pt, '*')
+	}
+	plot(pts[0], 'S')
+	plot(pts[len(pts)-1], 'E')
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range canvas {
+		b.WriteString("|" + string(row) + "|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "+")
+	return b.String()
+}
+
+// Table renders rows with aligned columns; the first row is the header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, r := range rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i := range r {
+				b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Series renders (x, y) points as "x<TAB>y" lines with a title — the
+// machine-readable form the benchmark harness emits for each figure curve.
+func Series(title string, xs, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	for i := range xs {
+		fmt.Fprintf(&b, "%g\t%g\n", xs[i], ys[i])
+	}
+	return b.String()
+}
+
+// LogBars renders a log-scale horizontal bar chart: one row per label with
+// its value, bars proportional to log10 of the value. Used by the Figure
+// 3(a) harness where curves span four orders of magnitude.
+func LogBars(title string, labels []string, values []float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxLog := 0.0
+	for _, v := range values {
+		if v > 0 {
+			maxLog = math.Max(maxLog, math.Log10(v))
+		}
+	}
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i, l := range labels {
+		v := values[i]
+		bars := 0
+		if v > 0 && maxLog > 0 {
+			bars = int(math.Log10(v) / maxLog * 40)
+			if bars < 1 {
+				bars = 1
+			}
+		}
+		fmt.Fprintf(&b, "  %-*s %12.4g %s %s\n", width, l, v, unit, strings.Repeat("█", bars))
+	}
+	return b.String()
+}

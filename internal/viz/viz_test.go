@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"storm/internal/analytics"
+	"storm/internal/geo"
+)
+
+func TestHeatmap(t *testing.T) {
+	m := &analytics.DensityMap{
+		Nx: 3, Ny: 2,
+		Density: []float64{0, 0.5, 1.0, 0, 0, 0},
+	}
+	out := Heatmap(m, 0)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// North-up: row j=1 (all zero) renders first.
+	if lines[1] != "|   |" {
+		t.Errorf("top row = %q", lines[1])
+	}
+	// Densest cell renders the darkest shade.
+	if !strings.Contains(lines[2], "@") {
+		t.Errorf("bottom row = %q lacks max shade", lines[2])
+	}
+	// Explicit scaling halves the apparent density.
+	out2 := Heatmap(m, 2.0)
+	if strings.Contains(out2, "@") {
+		t.Error("rescaled map should not reach max shade")
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	m := &analytics.DensityMap{Nx: 2, Ny: 2, Density: make([]float64, 4)}
+	out := Heatmap(m, 0)
+	if strings.ContainsAny(out, "@#%") {
+		t.Errorf("zero map rendered shade:\n%s", out)
+	}
+}
+
+func TestTermTable(t *testing.T) {
+	s := &analytics.TermSnapshot{
+		Top:       []analytics.Term{{Text: "snow", Freq: 0.3, Count: 30}},
+		Sentiment: -0.5,
+		Samples:   100,
+		Distinct:  42,
+	}
+	out := TermTable(s)
+	for _, want := range []string{"snow", "30.00%", "unhappy", "100 sampled", "42 distinct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("term table missing %q:\n%s", want, out)
+		}
+	}
+	s.Sentiment = 0.5
+	if !strings.Contains(TermTable(s), "happy") {
+		t.Error("positive sentiment should render happy")
+	}
+	s.Sentiment = 0
+	if !strings.Contains(TermTable(s), "neutral") {
+		t.Error("zero sentiment should render neutral")
+	}
+}
+
+func TestTrajectoryPlot(t *testing.T) {
+	p := &analytics.Path{Segments: [][]geo.Vec{{
+		{0, 0, 0}, {5, 5, 1}, {10, 10, 2},
+	}}}
+	out := TrajectoryPlot(p, 20, 10)
+	if !strings.Contains(out, "S") || !strings.Contains(out, "E") {
+		t.Errorf("plot missing endpoints:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) != 12 {
+		t.Errorf("plot rows = %d", len(lines))
+	}
+	if TrajectoryPlot(&analytics.Path{}, 10, 5) != "(empty trajectory)" {
+		t.Error("empty trajectory should say so")
+	}
+	// Single point (degenerate extent) must not panic.
+	one := &analytics.Path{Segments: [][]geo.Vec{{{3, 3, 0}}}}
+	if out := TrajectoryPlot(one, 10, 5); !strings.Contains(out, "E") {
+		t.Errorf("single-point plot:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"method", "time"},
+		{"rs-tree", "1.5"},
+		{"random-path", "200"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "method") || !strings.Contains(lines[0], "time") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if Table(nil) != "" {
+		t.Error("empty table should be empty string")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("fig3a rs-tree", []float64{0.01, 0.02}, []float64{5, 9})
+	if !strings.Contains(out, "# fig3a rs-tree") {
+		t.Errorf("series header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.01\t5") || !strings.Contains(out, "0.02\t9") {
+		t.Errorf("series rows missing:\n%s", out)
+	}
+}
+
+func TestLogBars(t *testing.T) {
+	out := LogBars("query cost", []string{"rs-tree", "range-report"}, []float64{10, 100000}, "ms")
+	if !strings.Contains(out, "rs-tree") || !strings.Contains(out, "range-report") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	// Bigger value gets a longer bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Errorf("log bars not proportional:\n%s", out)
+	}
+	// Zero values render without panicking.
+	LogBars("z", []string{"a"}, []float64{0}, "")
+}

@@ -1,0 +1,254 @@
+// Package storm is a Go implementation of STORM — Spatio-Temporal Online
+// Reasoning and Management of large spatio-temporal data (Christensen et
+// al., SIGMOD 2015).
+//
+// STORM answers analytical queries over spatio-temporal data *online*:
+// instead of scanning every matching record, it draws a stream of uniform
+// random samples from the query range through purpose-built sampling
+// indexes (the LS-tree and RS-tree) and maintains unbiased estimates whose
+// confidence intervals tighten continuously. The user — or a target
+// accuracy, or a time budget — decides when to stop.
+//
+// # Quick start
+//
+//	db := storm.Open(storm.Config{Seed: 1})
+//	ds := storm.GenerateOSM(storm.OSMConfig{N: 1_000_000, Seed: 1})
+//	h, _ := db.Register(ds, storm.IndexOptions{})
+//
+//	q := storm.Range{MinX: -112.2, MinY: 40.3, MaxX: -111.6, MaxY: 41.0,
+//	    MinT: 0, MaxT: 86400 * 90}
+//	snap, _ := h.Estimate(context.Background(), q, storm.Options{
+//	    Kind: storm.Avg, Attr: "altitude", TargetRelError: 0.01,
+//	})
+//	fmt.Println(snap) // AVG ≈ 1430 ± 14 (95% confidence, 2176 samples)
+//
+// For interactive exploration use EstimateOnline, which streams snapshots
+// and honors context cancellation, or a Session, which cancels the running
+// query whenever a new one starts.
+//
+// The package also exposes STORM's online analytics (KDE, clustering,
+// trajectory reconstruction, short-text terms), its keyword query language
+// (Exec), the data connector (ImportCSV and friends), and the synthetic
+// workload generators used by the benchmark harness.
+package storm
+
+import (
+	"context"
+	"io"
+
+	"storm/internal/analytics"
+	"storm/internal/connector"
+	"storm/internal/data"
+	"storm/internal/dfs"
+	"storm/internal/docstore"
+	"storm/internal/engine"
+	"storm/internal/estimator"
+	"storm/internal/gen"
+	"storm/internal/geo"
+	"storm/internal/persist"
+	"storm/internal/query"
+	"storm/internal/sampling"
+)
+
+// Core types re-exported from the engine and its substrates. The aliases
+// make the root package the single import a downstream user needs.
+type (
+	// Config controls engine-wide behaviour (seed, buffer pool, fanout).
+	Config = engine.Config
+	// Engine manages datasets, indexes and query execution.
+	Engine = engine.Engine
+	// Handle is a registered, indexed dataset.
+	Handle = engine.Handle
+	// Session serializes interactive queries, cancelling the previous
+	// one when a new one starts.
+	Session = engine.Session
+	// IndexOptions selects which sampling indexes Register builds.
+	IndexOptions = engine.IndexOptions
+	// Options controls one online aggregation query.
+	Options = engine.Options
+	// Snapshot is one progress report of an online query.
+	Snapshot = engine.Snapshot
+	// AnalyticOptions controls online analytic tasks.
+	AnalyticOptions = engine.AnalyticOptions
+	// KDEOptions configures online kernel density estimation.
+	KDEOptions = engine.KDEOptions
+	// KDESnapshot is a KDE progress report.
+	KDESnapshot = engine.KDESnapshot
+	// TermsSnapshot is a short-text analysis progress report.
+	TermsSnapshot = engine.TermsSnapshot
+	// TrajectorySnapshot is a trajectory reconstruction progress report.
+	TrajectorySnapshot = engine.TrajectorySnapshot
+	// ClusterSnapshot is a clustering progress report.
+	ClusterSnapshot = engine.ClusterSnapshot
+	// GroupsSnapshot is a group-by progress report.
+	GroupsSnapshot = engine.GroupsSnapshot
+	// AggSpec names one aggregate of a multi-aggregate query.
+	AggSpec = engine.AggSpec
+	// MultiSnapshot is a joint multi-aggregate progress report.
+	MultiSnapshot = engine.MultiSnapshot
+	// Plan is the optimizer's EXPLAIN output.
+	Plan = engine.Plan
+	// Method selects a sampling strategy.
+	Method = engine.Method
+
+	// Range is a spatio-temporal query range.
+	Range = geo.Range
+	// Vec is a point in (x, y, t) space.
+	Vec = geo.Vec
+
+	// Dataset is the columnar record store indexes are built over.
+	Dataset = data.Dataset
+	// Row carries one record during appends and imports.
+	Row = data.Row
+	// Entry is an (ID, position) pair returned by samplers.
+	Entry = data.Entry
+
+	// Estimate is a point-in-time aggregate estimate with its CI.
+	Estimate = estimator.Estimate
+	// Kind identifies an aggregate (Avg, Sum, Count, Min, Max).
+	Kind = estimator.Kind
+
+	// DensityMap is an online KDE snapshot.
+	DensityMap = analytics.DensityMap
+	// Path is a reconstructed trajectory.
+	Path = analytics.Path
+	// TermSnapshot is a short-text term-frequency snapshot.
+	TermSnapshot = analytics.TermSnapshot
+	// Clustering is an online k-means snapshot.
+	Clustering = analytics.Clustering
+
+	// Mode selects with/without-replacement sampling.
+	Mode = sampling.Mode
+
+	// Source is an external data source for the connector.
+	Source = connector.Source
+	// Mapping tells imports which columns hold coordinates.
+	Mapping = connector.Mapping
+	// ImportResult reports what an import did.
+	ImportResult = connector.ImportResult
+	// Schema is a discovered source schema.
+	Schema = connector.Schema
+
+	// OSMConfig configures the OSM-like generator.
+	OSMConfig = gen.OSMConfig
+	// StationsConfig configures the MesoWest-like generator.
+	StationsConfig = gen.StationsConfig
+	// TweetsConfig configures the Twitter-like generator.
+	TweetsConfig = gen.TweetsConfig
+)
+
+// Aggregate kinds.
+const (
+	Avg      = estimator.Avg
+	Sum      = estimator.Sum
+	Count    = estimator.Count
+	Min      = estimator.Min
+	Max      = estimator.Max
+	Variance = estimator.Variance
+	Stddev   = estimator.Stddev
+	Median   = estimator.Median
+	Quantile = estimator.Quant
+)
+
+// Sampling modes.
+const (
+	WithoutReplacement = sampling.WithoutReplacement
+	WithReplacement    = sampling.WithReplacement
+)
+
+// Sampling methods.
+const (
+	Auto              = engine.Auto
+	MethodRSTree      = engine.MethodRSTree
+	MethodLSTree      = engine.MethodLSTree
+	MethodRandomPath  = engine.MethodRandomPath
+	MethodQueryFirst  = engine.MethodQueryFirst
+	MethodSampleFirst = engine.MethodSampleFirst
+)
+
+// Open returns a new STORM engine.
+func Open(cfg Config) *Engine { return engine.New(cfg) }
+
+// NewSession returns an interactive session over a dataset handle.
+func NewSession(h *Handle) *Session { return engine.NewSession(h) }
+
+// NewDataset returns an empty dataset with the given name.
+func NewDataset(name string) *Dataset { return data.NewDataset(name) }
+
+// Exec parses and runs one statement of the STORM query language against
+// the engine, writing online progress and results to w.
+func Exec(ctx context.Context, e *Engine, statement string, w io.Writer) error {
+	return query.Execute(ctx, e, statement, w)
+}
+
+// SpatialRange returns a range over the given spatial box and all of time.
+func SpatialRange(minX, minY, maxX, maxY float64) Range {
+	return geo.SpatialRange(minX, minY, maxX, maxY)
+}
+
+// UniverseRange returns a range covering everything.
+func UniverseRange() Range { return geo.UniverseRange() }
+
+// GenerateOSM builds the OSM-like synthetic dataset (clustered points with
+// an "altitude" attribute).
+func GenerateOSM(cfg OSMConfig) *Dataset { return gen.OSM(cfg) }
+
+// GenerateStations builds the MesoWest-like synthetic measurement network.
+func GenerateStations(cfg StationsConfig) *Dataset { return gen.Stations(cfg) }
+
+// GenerateTweets builds the Twitter-like synthetic dataset and returns the
+// ground-truth trajectory of every user.
+func GenerateTweets(cfg TweetsConfig) (*Dataset, map[string][]Vec) {
+	return gen.Tweets(cfg)
+}
+
+// ImportCSV imports comma- or delimiter-separated text through the data
+// connector (schema discovery included). open is invoked once per pass.
+func ImportCSV(name string, comma rune, open func() (io.Reader, error), m Mapping) (*ImportResult, error) {
+	return connector.Import(connector.NewCSVSource(name, comma, open), m)
+}
+
+// ImportJSONL imports one-JSON-object-per-line data.
+func ImportJSONL(name string, open func() (io.Reader, error), m Mapping) (*ImportResult, error) {
+	return connector.Import(connector.NewJSONLSource(name, open), m)
+}
+
+// ImportSQLDump imports a simplified MySQL dump (CREATE TABLE + INSERTs).
+func ImportSQLDump(name string, open func() (io.Reader, error), m Mapping) (*ImportResult, error) {
+	return connector.Import(connector.NewSQLDumpSource(name, open), m)
+}
+
+// ImportKV imports "key<TAB>json" lines (a key-value store export).
+func ImportKV(name string, open func() (io.Reader, error), m Mapping) (*ImportResult, error) {
+	return connector.Import(connector.NewKVSource(name, open), m)
+}
+
+// DiscoverSchema infers column types and spatial/temporal roles from a
+// source without importing it.
+func DiscoverSchema(src Source, sampleLimit int) (Schema, error) {
+	return connector.DiscoverSchema(src, sampleLimit)
+}
+
+// Store is the JSON document store over the simulated DFS — STORM's
+// storage engine.
+type Store = docstore.Store
+
+// OpenStore returns a document store over a simulated DFS cluster with the
+// given number of storage nodes (replication 2, capped at the node count).
+func OpenStore(nodes int) (*Store, error) {
+	repl := 2
+	if repl > nodes {
+		repl = nodes
+	}
+	cluster, err := dfs.New(dfs.Config{Nodes: nodes, Replication: repl})
+	if err != nil {
+		return nil, err
+	}
+	return docstore.Open(cluster), nil
+}
+
+// SaveDataset persists a dataset into the storage engine as JSON documents.
+func SaveDataset(store *Store, ds *Dataset) error { return persist.Save(store, ds) }
+
+// LoadDataset reads a dataset previously written by SaveDataset.
+func LoadDataset(store *Store, name string) (*Dataset, error) { return persist.Load(store, name) }

@@ -1,0 +1,32 @@
+# Development targets for the STORM reproduction.
+
+GO ?= go
+
+# Packages with concurrency-sensitive code paths: shared indexes, the
+# query engine, the I/O accounting, the HTTP server and the simulated
+# cluster all run under -race.
+RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
+	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/
+
+.PHONY: verify fmt vet build test race bench
+
+verify: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .

@@ -7,6 +7,7 @@
 package storm
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -334,5 +335,47 @@ func BenchmarkEstimatorSnapshot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		est.Snapshot()
+	}
+}
+
+// ---- concurrent query throughput ----
+
+// BenchmarkConcurrentQueries measures aggregate sampling throughput with
+// 1, 2, 4 and 8 parallel clients against one dataset — the workload the
+// shared-immutable/query-local split exists for. Each iteration runs every
+// client's without-replacement RS-tree query to completion and the metric
+// is total samples per wall-clock second. Scaling beyond one client
+// requires GOMAXPROCS > 1; on a single-core host the numbers measure the
+// synchronization overhead instead.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	fixture(b)
+	qr := geo.Range{MinX: -76, MinY: 38.7, MaxX: -72, MaxY: 42.7,
+		MinT: 0, MaxT: 86400 * 365}
+	const perQuery = 2000
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			db := Open(Config{Seed: 1, Fanout: 64})
+			h, err := db.Register(fixDS, IndexOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						got, err := h.Sample(qr, perQuery, MethodRSTree, WithoutReplacement, seed)
+						if err != nil || len(got) == 0 {
+							b.Errorf("sample: %v (%d entries)", err, len(got))
+						}
+					}(int64(i*64 + c + 1))
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*clients*perQuery)/b.Elapsed().Seconds(), "samples/s")
+		})
 	}
 }

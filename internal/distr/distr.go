@@ -12,6 +12,18 @@
 // The simulation charges one network message per Count round and per
 // sample batch, so the benchmarks can report message counts and per-shard
 // balance alongside sample throughput.
+//
+// # Concurrency
+//
+// The coordinator fans shard work out in parallel: Count and a Sampler's
+// initialization round contact every shard concurrently, as a real
+// coordinator would. Any number of queries (Count, Samplers, EstimateAvg,
+// ParallelPartialAvg) may run concurrently; Insert and Delete take the
+// cluster's write lock and so serialize against each in-flight shard
+// round. A long-lived Sampler that straddles an update may mix pre- and
+// post-update state across batches (each batch is internally consistent);
+// quiesce updates around a sampler when an exactly-uniform stream over a
+// fixed population is required.
 package distr
 
 import (
@@ -68,12 +80,16 @@ func (s *Shard) Device() *iosim.Device { return s.device }
 
 // Cluster is a simulated distributed STORM deployment.
 type Cluster struct {
-	mu     sync.Mutex
-	cfg    Config
-	ds     *data.Dataset
-	shards []*Shard
-	net    NetStats
-	rngSeq int64
+	// mu guards the network counters and the seed sequence only.
+	mu sync.Mutex
+	// structMu guards the shard indexes: queries hold the read side while
+	// they touch shard trees, Insert/Delete take the write side.
+	structMu sync.RWMutex
+	cfg      Config
+	ds       *data.Dataset
+	shards   []*Shard
+	net      NetStats
+	rngSeq   int64
 }
 
 // Build partitions the dataset into contiguous Hilbert ranges and builds a
@@ -181,6 +197,8 @@ func (c *Cluster) nextSeed() int64 {
 // record must already exist in the shared dataset (its ID addresses the
 // attribute columns).
 func (c *Cluster) Insert(e data.Entry) {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
 	// Route by spatial proximity of shard contents: the shard whose tree
 	// bounds grow least. With contiguous Hilbert partitions this sends
 	// the record to the shard owning its neighborhood.
@@ -200,6 +218,8 @@ func (c *Cluster) Insert(e data.Entry) {
 // Delete removes a record from whichever shard holds it; returns false if
 // no shard does. Worst case it asks every shard (2 messages each).
 func (c *Cluster) Delete(e data.Entry) bool {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
 	for _, sh := range c.shards {
 		c.charge(2, 0)
 		if sh.index.Delete(e) {
@@ -210,12 +230,25 @@ func (c *Cluster) Delete(e data.Entry) bool {
 	return false
 }
 
-// Count returns |P ∩ q| by fanning the count to every shard (one request
-// and one response message each).
+// Count returns |P ∩ q| by fanning the count to every shard in parallel
+// (one request and one response message each), as the coordinator of a
+// real cluster would.
 func (c *Cluster) Count(q geo.Rect) int {
+	c.structMu.RLock()
+	defer c.structMu.RUnlock()
+	counts := make([]int, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			counts[i] = s.index.Count(q)
+		}(i, s)
+	}
+	wg.Wait()
 	total := 0
-	for _, s := range c.shards {
-		total += s.index.Count(q)
+	for _, n := range counts {
+		total += n
 	}
 	c.charge(2*uint64(len(c.shards)), 0)
 	return total
@@ -244,18 +277,35 @@ var _ sampling.Sampler = (*Sampler)(nil)
 // Name implements sampling.Sampler.
 func (s *Sampler) Name() string { return "distributed-rs-tree" }
 
+// initialize runs the coordinator's count round, contacting every shard in
+// parallel. Seeds are drawn serially up front so the stream is
+// deterministic in the cluster's seed sequence regardless of shard timing.
 func (s *Sampler) initialize() {
 	s.init = true
 	cl := s.cluster
 	s.samplers = make([]*rstree.Sampler, len(cl.shards))
 	s.remaining = make([]int, len(cl.shards))
 	s.buffers = make([][]data.Entry, len(cl.shards))
+	seeds := make([]int64, len(cl.shards))
+	for i := range seeds {
+		seeds[i] = cl.nextSeed()
+	}
+	cl.structMu.RLock()
+	var wg sync.WaitGroup
 	for i, sh := range cl.shards {
-		s.remaining[i] = sh.index.Count(s.query)
-		s.total += s.remaining[i]
-		if s.remaining[i] > 0 {
-			s.samplers[i] = sh.index.Sampler(s.query, sampling.WithoutReplacement, stats.NewRNG(cl.nextSeed()))
-		}
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			s.remaining[i] = sh.index.Count(s.query)
+			if s.remaining[i] > 0 {
+				s.samplers[i] = sh.index.Sampler(s.query, sampling.WithoutReplacement, stats.NewRNG(seeds[i]))
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	cl.structMu.RUnlock()
+	for _, rem := range s.remaining {
+		s.total += rem
 	}
 	cl.charge(2*uint64(len(cl.shards)), 0) // count round
 }
@@ -298,12 +348,16 @@ func (s *Sampler) Next() (data.Entry, bool) {
 }
 
 // fetchBatch pulls up to BatchSize samples from the shard (one request and
-// one response message).
+// one response message). It holds the cluster's read lock for the batch,
+// so shard pulls serialize against Insert/Delete but run concurrently with
+// other queries' batches.
 func (s *Sampler) fetchBatch(shard int) {
 	sp := s.samplers[shard]
 	if sp == nil {
 		return
 	}
+	s.cluster.structMu.RLock()
+	defer s.cluster.structMu.RUnlock()
 	n := s.cluster.cfg.BatchSize
 	if n > s.remaining[shard] {
 		n = s.remaining[shard]
@@ -356,6 +410,8 @@ func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) 
 	if err != nil {
 		return estimator.Welford{}, err
 	}
+	c.structMu.RLock()
+	defer c.structMu.RUnlock()
 	counts := make([]int, len(c.shards))
 	total := 0
 	for i, sh := range c.shards {

@@ -45,13 +45,14 @@ func (o AnalyticOptions) withDefaults() AnalyticOptions {
 
 // sampleLoop drives an analytic: it pulls samples, applies the filter,
 // calls consume for accepted ones and snapshot at report points. snapshot
-// returning false aborts (consumer gone). Caller holds h.mu.
+// returning false aborts (consumer gone). Caller holds h.mu (the read side
+// suffices: analytics only read the indexes).
 func (h *Handle) sampleLoop(ctx context.Context, q geo.Rect, opts AnalyticOptions, consume func(data.Entry), snapshot func(done bool) bool) error {
 	seed := opts.Seed
 	if seed == 0 {
 		seed = h.eng.nextSeed()
 	}
-	sampler, err := h.newSampler(opts.Method, q, opts.Mode, stats.NewRNG(seed))
+	sampler, _, err := h.newSampler(opts.Method, q, opts.Mode, stats.NewRNG(seed))
 	if err != nil {
 		return err
 	}
@@ -147,8 +148,8 @@ func (h *Handle) KDEOnline(ctx context.Context, q geo.Range, kopts KDEOptions, o
 	start := time.Now()
 	go func() {
 		defer close(out)
-		h.mu.Lock()
-		defer h.mu.Unlock()
+		h.mu.RLock()
+		defer h.mu.RUnlock()
 		err := h.sampleLoop(ctx, q.Rect(), opts,
 			func(e data.Entry) { kde.Add(e.Pos) },
 			func(done bool) bool {
@@ -181,9 +182,11 @@ func (h *Handle) TermsOnline(ctx context.Context, q geo.Range, textCol string, t
 	if !q.Valid() {
 		return nil, fmt.Errorf("engine: invalid query range %+v", q)
 	}
-	col, err := h.ds.StringColumn(textCol)
-	if err != nil {
-		return nil, err
+	h.mu.RLock()
+	_, errCol := h.ds.StringColumn(textCol)
+	h.mu.RUnlock()
+	if errCol != nil {
+		return nil, errCol
 	}
 	if topN <= 0 {
 		topN = 10
@@ -193,8 +196,11 @@ func (h *Handle) TermsOnline(ctx context.Context, q geo.Range, textCol string, t
 	start := time.Now()
 	go func() {
 		defer close(out)
-		h.mu.Lock()
-		defer h.mu.Unlock()
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		// Re-fetched under the query's lock: inserts before the lock may
+		// have grown the column.
+		col, _ := h.ds.StringColumn(textCol)
 		err := h.sampleLoop(ctx, q.Rect(), opts,
 			func(e data.Entry) { ts.Add(col[e.ID]) },
 			func(done bool) bool {
@@ -228,10 +234,15 @@ func (h *Handle) TrajectoryOnline(ctx context.Context, q geo.Range, userCol, use
 	if !q.Valid() {
 		return nil, fmt.Errorf("engine: invalid query range %+v", q)
 	}
-	col, err := h.ds.StringColumn(userCol)
-	if err != nil {
-		return nil, err
+	h.mu.RLock()
+	_, errCol := h.ds.StringColumn(userCol)
+	h.mu.RUnlock()
+	if errCol != nil {
+		return nil, errCol
 	}
+	// col is (re-)fetched under the query goroutine's lock below; the
+	// filter closure runs only inside that goroutine.
+	var col []string
 	baseFilter := opts.Filter
 	opts.Filter = func(id data.ID) bool {
 		if col[id] != user {
@@ -244,8 +255,9 @@ func (h *Handle) TrajectoryOnline(ctx context.Context, q geo.Range, userCol, use
 	start := time.Now()
 	go func() {
 		defer close(out)
-		h.mu.Lock()
-		defer h.mu.Unlock()
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		col, _ = h.ds.StringColumn(userCol)
 		err := h.sampleLoop(ctx, q.Rect(), opts,
 			func(e data.Entry) { tr.Add(e.Pos) },
 			func(done bool) bool {
@@ -290,8 +302,8 @@ func (h *Handle) ClusterOnline(ctx context.Context, q geo.Range, k int, opts Ana
 	start := time.Now()
 	go func() {
 		defer close(out)
-		h.mu.Lock()
-		defer h.mu.Unlock()
+		h.mu.RLock()
+		defer h.mu.RUnlock()
 		err := h.sampleLoop(ctx, q.Rect(), opts,
 			func(e data.Entry) { km.Add(e.Pos) },
 			func(done bool) bool {

@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/estimator"
+	"storm/internal/gen"
+	"storm/internal/geo"
+	"storm/internal/sampling"
+)
+
+// TestConcurrentQueriesWithUpdates is the concurrency stress test: many
+// goroutines run mixed estimate and KDE queries against one dataset while
+// a writer interleaves inserts and deletes. Run under -race it exercises
+// the shared-immutable/query-local split end to end; the assertions check
+// that every estimate stays unbiased (inserted rows follow the same
+// distribution, so the population mean is stable) and every confidence
+// interval is well-formed.
+func TestConcurrentQueriesWithUpdates(t *testing.T) {
+	_, h := buildHandleWithPool(t, 20000, true, 256)
+	truth, cnt := trueMean(h, testRange, "value")
+	if cnt == 0 {
+		t.Fatal("empty test range")
+	}
+
+	const readers = 8
+	const queriesPerReader = 3
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*queriesPerReader+1)
+
+	methods := []Method{MethodRSTree, MethodLSTree, Auto}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < queriesPerReader; i++ {
+				if (g+i)%3 == 2 {
+					// KDE query.
+					ch, err := h.KDEOnline(ctx, testRange, KDEOptions{Nx: 8, Ny: 8},
+						AnalyticOptions{MaxSamples: 400, ReportEvery: 100})
+					if err != nil {
+						errs <- err
+						return
+					}
+					var last KDESnapshot
+					for s := range ch {
+						last = s
+					}
+					if last.Map == nil || !last.Done {
+						errs <- fmt.Errorf("reader %d: KDE finished without a map", g)
+					}
+					continue
+				}
+				m := methods[(g+i)%len(methods)]
+				snap, err := h.Estimate(ctx, testRange, Options{
+					Kind: estimator.Avg, Attr: "value",
+					MaxSamples: 800, ReportEvery: 200, Method: m,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if snap.Samples == 0 {
+					errs <- fmt.Errorf("reader %d: no samples (method %v)", g, m)
+					continue
+				}
+				if snap.HalfWidth < 0 || math.IsNaN(snap.HalfWidth) {
+					errs <- fmt.Errorf("reader %d: invalid half-width %v", g, snap.HalfWidth)
+				}
+				// Unbiasedness: updates draw from the same distribution, so
+				// the mean stays near the pre-update truth. Allow 5 CI
+				// half-widths plus slack for the population drift.
+				if diff := math.Abs(snap.Value - truth); diff > 5*snap.HalfWidth+5 {
+					errs <- fmt.Errorf("reader %d: estimate %.2f vs truth %.2f (hw %.2f)", g, snap.Value, truth, snap.HalfWidth)
+				}
+			}
+		}(g)
+	}
+
+	// Writer: interleave inserts and deletes while queries run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if i%3 == 2 {
+				h.Delete(data.ID(i * 7 % 20000))
+				continue
+			}
+			h.Insert(data.Row{
+				Pos: geo.Vec{30 + float64(i%30), 30 + float64(i%25), float64(i % 100)},
+				Num: map[string]float64{"value": 100},
+			})
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// buildHandleWithPool is buildHandle with an I/O-simulating buffer pool,
+// so per-query attribution paths run during the stress test.
+func buildHandleWithPool(t testing.TB, n int, lstree bool, pages int) (*Engine, *Handle) {
+	t.Helper()
+	e := New(Config{Seed: 42, Fanout: 32, BufferPoolPages: pages})
+	ds := gen.Uniform(n, 7, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	h, err := e.Register(ds, IndexOptions{LSTree: lstree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, h
+}
+
+// TestSameSeedSameStreamSerialVsConcurrent is the seed-plumbing regression
+// test: a query's explicit seed must fully determine its sample stream, no
+// matter what else runs at the same time. The serial reference stream is
+// compared against copies raced against each other and against queries
+// with different seeds (which perturb the lazy buffer cache).
+func TestSameSeedSameStreamSerialVsConcurrent(t *testing.T) {
+	for _, method := range []Method{MethodRSTree, MethodLSTree} {
+		t.Run(method.String(), func(t *testing.T) {
+			_, h := buildHandle(t, 10000, true)
+			const seed = 12345
+			const k = 500
+			ref, err := h.Sample(testRange, k, method, sampling.WithoutReplacement, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ref) == 0 {
+				t.Fatal("empty reference stream")
+			}
+
+			const dup = 6
+			streams := make([][]data.Entry, dup)
+			var wg sync.WaitGroup
+			for i := 0; i < dup; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if i%2 == 1 {
+						// Perturb shared cache state with an unrelated query.
+						_, _ = h.Sample(testRange, k, method, sampling.WithoutReplacement, int64(999+i))
+					}
+					s, err := h.Sample(testRange, k, method, sampling.WithoutReplacement, seed)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					streams[i] = s
+				}(i)
+			}
+			wg.Wait()
+
+			for i, s := range streams {
+				if len(s) != len(ref) {
+					t.Fatalf("stream %d: %d samples, reference %d", i, len(s), len(ref))
+				}
+				for j := range s {
+					if s[j].ID != ref[j].ID {
+						t.Fatalf("stream %d diverges from reference at sample %d: %d vs %d", i, j, s[j].ID, ref[j].ID)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPerQueryIOAttribution checks that concurrent queries each see their
+// own I/O counters: totals must be positive, internally consistent, and
+// (summed) no larger than what the shared device recorded.
+func TestPerQueryIOAttribution(t *testing.T) {
+	e, h := buildHandleWithPool(t, 20000, false, 128)
+	ctx := context.Background()
+
+	const n = 4
+	var wg sync.WaitGroup
+	snaps := make([]Snapshot, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap, err := h.Estimate(ctx, testRange, Options{
+				Kind: estimator.Avg, Attr: "value",
+				MaxSamples: 500, ReportEvery: 100, Method: MethodRSTree,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			snaps[i] = snap
+		}(i)
+	}
+	wg.Wait()
+
+	var sumLogical uint64
+	for i, s := range snaps {
+		if s.IO.Logical == 0 {
+			t.Errorf("query %d: no attributed I/O", i)
+		}
+		if s.IO.Logical != s.IO.Reads+s.IO.Hits {
+			t.Errorf("query %d: logical %d != reads %d + hits %d", i, s.IO.Logical, s.IO.Reads, s.IO.Hits)
+		}
+		sumLogical += s.IO.Logical
+	}
+	if dev := e.Device().Stats().Logical; sumLogical > dev {
+		t.Errorf("attributed logical I/O %d exceeds device total %d", sumLogical, dev)
+	}
+}

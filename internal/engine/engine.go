@@ -9,6 +9,20 @@
 // cancelled (the user moved on to a different region — the paper's
 // interactive-exploration scenario), or the sample is exhausted (the
 // estimate is then exact).
+//
+// # Concurrency
+//
+// Queries against one Handle run concurrently: each query goroutine holds
+// the handle's read lock for its whole run, keeps all mutable state
+// (sampler cursors, RNG, estimator, I/O counter) to itself, and only reads
+// the shared indexes, which publish their lazy sample buffers
+// copy-on-write (see packages rstree and lstree). Insert, Delete and
+// DeleteRange take the write lock and therefore serialize against
+// in-flight queries; Go's RWMutex blocks new readers once a writer waits,
+// so a steady query stream cannot starve updates. Per-query randomness is
+// deterministic: a query's seed (explicit or drawn from the engine's
+// atomic seed sequence) fully determines its sample stream, independent of
+// what other queries run at the same time.
 package engine
 
 import (
@@ -99,11 +113,16 @@ type IndexOptions struct {
 	LSTree bool
 }
 
-// Handle is a registered dataset with its indexes. All index access is
-// serialized through the handle's mutex because RS-tree queries mutate
-// shared sample buffers.
+// Handle is a registered dataset with its indexes. Queries share the
+// handle's RWMutex as readers — the indexes publish shared state (RS-tree
+// sample buffers) copy-on-write, so any number of queries run in parallel
+// against one dataset — while updates (Insert, Delete, DeleteRange) take
+// the write side and therefore serialize against in-flight samplers. A
+// query holds the read lock for its whole run; Go's RWMutex blocks new
+// readers once a writer is waiting, so updates are not starved by a steady
+// query stream.
 type Handle struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	name string
 	ds   *data.Dataset
 	rs   *rstree.Index
@@ -111,7 +130,8 @@ type Handle struct {
 	eng  *Engine
 	// deleted marks records removed from the indexes; the columnar store
 	// is append-only, so SampleFirst (which samples the raw store) must
-	// filter them out.
+	// filter them out. Guarded by mu: queries read it under RLock, updates
+	// write it under Lock.
 	deleted map[data.ID]struct{}
 }
 
@@ -199,15 +219,15 @@ func (h *Handle) Data() *data.Dataset { return h.ds }
 
 // Len returns the number of live (indexed) records.
 func (h *Handle) Len() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.rs.Len()
 }
 
 // Count returns |P ∩ q| exactly.
 func (h *Handle) Count(q geo.Range) int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.rs.Count(q.Rect())
 }
 
@@ -269,31 +289,51 @@ func (h *Handle) DeleteRange(q geo.Range) (int, error) {
 	return len(matches), nil
 }
 
+// ioAttributor is implemented by samplers that can charge their page
+// accesses through a caller-supplied accountant (per-query attribution).
+type ioAttributor interface {
+	AttributeIO(iosim.Accountant)
+}
+
 // newSampler builds a sampler for the query using the requested method;
-// Auto applies the optimizer's rules (see choose). Caller holds h.mu.
-func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *stats.RNG) (sampling.Sampler, error) {
+// Auto applies the optimizer's rules (see choose). When I/O simulation is
+// enabled, the sampler is wired to a fresh per-query iosim.Counter that
+// forwards to the shared device, so each concurrent query's I/O is
+// attributed race-free; the returned counter is nil otherwise. Caller
+// holds h.mu (read side suffices).
+func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *stats.RNG) (sampling.Sampler, *iosim.Counter, error) {
 	if method == Auto {
 		method = h.choose(q)
 	}
 	var dev iosim.Accountant = iosim.Discard
+	var ctr *iosim.Counter
 	if h.eng.device != nil {
-		dev = h.eng.device
+		ctr = iosim.NewCounter(h.eng.device)
+		dev = ctr
+	}
+	attach := func(s sampling.Sampler) (sampling.Sampler, *iosim.Counter, error) {
+		if ctr != nil {
+			if a, ok := s.(ioAttributor); ok {
+				a.AttributeIO(ctr)
+			}
+		}
+		return s, ctr, nil
 	}
 	switch method {
 	case MethodRSTree:
-		return h.rs.Sampler(q, mode, rng), nil
+		return attach(h.rs.Sampler(q, mode, rng))
 	case MethodLSTree:
 		if h.ls == nil {
-			return nil, fmt.Errorf("engine: dataset %q has no LS-tree (register with IndexOptions.LSTree)", h.name)
+			return nil, nil, fmt.Errorf("engine: dataset %q has no LS-tree (register with IndexOptions.LSTree)", h.name)
 		}
 		if mode == sampling.WithReplacement {
-			return nil, fmt.Errorf("engine: LS-tree supports without-replacement sampling only")
+			return nil, nil, fmt.Errorf("engine: LS-tree supports without-replacement sampling only")
 		}
-		return h.ls.Sampler(q, rng), nil
+		return attach(h.ls.Sampler(q, rng))
 	case MethodRandomPath:
-		return sampling.NewRandomPath(h.rs.Tree(), q, mode, rng), nil
+		return attach(sampling.NewRandomPath(h.rs.Tree(), q, mode, rng))
 	case MethodQueryFirst:
-		return sampling.NewQueryFirst(h.rs.Tree(), q, mode, rng), nil
+		return attach(sampling.NewQueryFirst(h.rs.Tree(), q, mode, rng))
 	case MethodSampleFirst:
 		sf := sampling.NewSampleFirst(h.ds, q, mode, rng, dev, h.rs.Tree().Fanout())
 		if len(h.deleted) > 0 {
@@ -302,9 +342,9 @@ func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *
 				return !gone
 			}
 		}
-		return sf, nil
+		return sf, ctr, nil
 	default:
-		return nil, fmt.Errorf("engine: unknown method %v", method)
+		return nil, nil, fmt.Errorf("engine: unknown method %v", method)
 	}
 }
 
@@ -330,8 +370,8 @@ func (h *Handle) Explain(q geo.Range) (Plan, error) {
 	if !q.Valid() {
 		return Plan{}, fmt.Errorf("engine: invalid query range %+v", q)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	rect := q.Rect()
 	n := h.rs.Len()
 	matching := h.rs.Count(rect)

@@ -82,7 +82,6 @@ func (h *Handle) EstimateMultiOnline(ctx context.Context, q geo.Range, specs []A
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("engine: no aggregates requested")
 	}
-	cols := make([][]float64, len(specs))
 	for i, spec := range specs {
 		if spec.Kind == estimator.Count {
 			return nil, fmt.Errorf("engine: COUNT is exact; use Handle.Count")
@@ -90,20 +89,26 @@ func (h *Handle) EstimateMultiOnline(ctx context.Context, q geo.Range, specs []A
 		if spec.Attr == "" {
 			return nil, fmt.Errorf("engine: aggregate %d (%v) missing an attribute", i, spec.Kind)
 		}
-		col, err := h.ds.NumericColumn(spec.Attr)
+		h.mu.RLock()
+		_, err := h.ds.NumericColumn(spec.Attr)
+		h.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = col
 	}
 
 	out := make(chan MultiSnapshot, 8)
 	start := time.Now()
 	go func() {
 		defer close(out)
-		h.mu.Lock()
-		defer h.mu.Unlock()
+		h.mu.RLock()
+		defer h.mu.RUnlock()
 
+		// Re-fetched under the query's lock (see EstimateOnline).
+		cols := make([][]float64, len(specs))
+		for i, spec := range specs {
+			cols[i], _ = h.ds.NumericColumn(spec.Attr)
+		}
 		population := h.rs.Count(q.Rect())
 		withoutRep := opts.Mode == sampling.WithoutReplacement
 		aggs := make([]multiAgg, len(specs))
@@ -157,7 +162,7 @@ func (h *Handle) EstimateMultiOnline(ctx context.Context, q geo.Range, specs []A
 		if seed == 0 {
 			seed = h.eng.nextSeed()
 		}
-		sampler, err := h.newSampler(opts.Method, q.Rect(), opts.Mode, stats.NewRNG(seed))
+		sampler, _, err := h.newSampler(opts.Method, q.Rect(), opts.Mode, stats.NewRNG(seed))
 		if err != nil {
 			out <- MultiSnapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 			return

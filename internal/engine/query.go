@@ -8,6 +8,7 @@ import (
 	"storm/internal/data"
 	"storm/internal/estimator"
 	"storm/internal/geo"
+	"storm/internal/iosim"
 	"storm/internal/sampling"
 	"storm/internal/stats"
 )
@@ -42,7 +43,10 @@ type Options struct {
 	// ReportEvery emits a snapshot every this many samples; 0 means 64.
 	ReportEvery int
 	// Seed overrides the query's sampling seed (0 derives one from the
-	// engine seed sequence).
+	// engine seed sequence). Two queries with the same explicit seed,
+	// range and options return identical sample streams whether they run
+	// serially or concurrently: per-node sample buffers are deterministic
+	// in the index state, never in other queries' history.
 	Seed int64
 }
 
@@ -63,6 +67,12 @@ type Snapshot struct {
 	Elapsed time.Duration
 	// Method is the sampler that served the query.
 	Method string
+	// IO is the simulated I/O attributed to this query so far. It is
+	// counted through a per-query iosim.Counter, so it stays exact even
+	// when many queries run concurrently; zero when I/O simulation is
+	// disabled. CostUnits is not attributed per query (hit/miss costs are
+	// charged on the shared device).
+	IO iosim.Stats
 	// Done marks the final snapshot: target met, budget spent, sample
 	// exhausted, or context cancelled.
 	Done bool
@@ -82,7 +92,11 @@ func (h *Handle) EstimateOnline(ctx context.Context, q geo.Range, opts Options) 
 		if opts.Attr == "" {
 			return nil, fmt.Errorf("engine: %v requires an attribute", opts.Kind)
 		}
-		if !h.ds.HasNumeric(opts.Attr) {
+		// Column metadata is mutated by Insert; read it under the lock.
+		h.mu.RLock()
+		ok := h.ds.HasNumeric(opts.Attr)
+		h.mu.RUnlock()
+		if !ok {
 			return nil, fmt.Errorf("engine: dataset %q has no numeric column %q", h.name, opts.Attr)
 		}
 	}
@@ -93,8 +107,10 @@ func (h *Handle) EstimateOnline(ctx context.Context, q geo.Range, opts Options) 
 	out := make(chan Snapshot, 16)
 	go func() {
 		defer close(out)
-		h.mu.Lock()
-		defer h.mu.Unlock()
+		// Read lock: queries share the handle; only updates take the
+		// write side.
+		h.mu.RLock()
+		defer h.mu.RUnlock()
 		h.runEstimate(ctx, q.Rect(), opts, out)
 	}()
 	return out, nil
@@ -140,12 +156,16 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		return
 	}
 
+	var ctr *iosim.Counter
 	emit := func(done bool, method string) bool {
 		s := Snapshot{
 			Estimate: est.Snapshot(),
 			Elapsed:  time.Since(start),
 			Method:   method,
 			Done:     done,
+		}
+		if ctr != nil {
+			s.IO = ctr.Snapshot()
 		}
 		select {
 		case out <- s:
@@ -165,13 +185,14 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		return
 	}
 
-	sampler, err := h.newSampler(opts.Method, q, opts.Mode, rng)
+	sampler, c, err := h.newSampler(opts.Method, q, opts.Mode, rng)
 	if err != nil {
 		// Surface the configuration error as a terminal zero snapshot;
 		// EstimateOnline validated what it could synchronously.
 		emit(true, fmt.Sprintf("error: %v", err))
 		return
 	}
+	ctr = c
 	col, err := h.ds.NumericColumn(opts.Attr)
 	if err != nil {
 		emit(true, fmt.Sprintf("error: %v", err))
@@ -249,7 +270,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		out <- Snapshot{Estimate: estimator.Estimate{Kind: opts.Kind, Confidence: opts.Confidence}, Done: true, Method: "empty"}
 		return
 	}
-	sampler, err := h.newSampler(opts.Method, q, opts.Mode, rng)
+	sampler, ctr, err := h.newSampler(opts.Method, q, opts.Mode, rng)
 	if err != nil {
 		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 		return
@@ -287,6 +308,9 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 			Elapsed: time.Since(start),
 			Method:  sampler.Name(),
 			Done:    done,
+		}
+		if ctr != nil {
+			s.IO = ctr.Snapshot()
 		}
 		select {
 		case out <- s:
@@ -354,20 +378,27 @@ func (h *Handle) GroupByOnline(ctx context.Context, q geo.Range, attr, groupCol 
 	if opts.Kind != estimator.Avg {
 		return nil, fmt.Errorf("engine: GROUP BY supports AVG only (per-group population sizes are unknown)")
 	}
-	col, err := h.ds.NumericColumn(attr)
-	if err != nil {
-		return nil, err
+	h.mu.RLock()
+	_, errNum := h.ds.NumericColumn(attr)
+	_, errStr := h.ds.StringColumn(groupCol)
+	h.mu.RUnlock()
+	if errNum != nil {
+		return nil, errNum
 	}
-	keys, err := h.ds.StringColumn(groupCol)
-	if err != nil {
-		return nil, err
+	if errStr != nil {
+		return nil, errStr
 	}
 	out := make(chan GroupsSnapshot, 8)
 	start := time.Now()
 	go func() {
 		defer close(out)
-		h.mu.Lock()
-		defer h.mu.Unlock()
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		// Re-fetch the columns under the query's lock: inserts between
+		// validation and here may have grown them, and the sampler can
+		// return those new records.
+		col, _ := h.ds.NumericColumn(attr)
+		keys, _ := h.ds.StringColumn(groupCol)
 		gb := estimator.NewGroupBy(estimator.Avg, opts.Confidence)
 		samples := 0
 		err := h.sampleLoop(ctx, q.Rect(), AnalyticOptions{
@@ -404,12 +435,12 @@ func (h *Handle) Sample(q geo.Range, k int, method Method, mode sampling.Mode, s
 	if !q.Valid() {
 		return nil, fmt.Errorf("engine: invalid query range %+v", q)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if seed == 0 {
 		seed = h.eng.nextSeed()
 	}
-	sampler, err := h.newSampler(method, q.Rect(), mode, stats.NewRNG(seed))
+	sampler, _, err := h.newSampler(method, q.Rect(), mode, stats.NewRNG(seed))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,82 @@
+package iosim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterForwardsAndCounts(t *testing.T) {
+	dev := NewDevice(2, DefaultCostModel())
+	c := NewCounter(dev)
+
+	c.Access(1) // miss
+	c.Access(1) // hit
+	c.Access(2) // miss
+	c.Write(2)
+	c.Invalidate(1)
+
+	s := c.Snapshot()
+	if s.Logical != 3 {
+		t.Errorf("logical = %d, want 3", s.Logical)
+	}
+	if s.Hits != 1 {
+		t.Errorf("hits = %d, want 1", s.Hits)
+	}
+	if s.Reads != 2 {
+		t.Errorf("reads = %d, want 2", s.Reads)
+	}
+	if s.Writes != 1 {
+		t.Errorf("writes = %d, want 1", s.Writes)
+	}
+	// The shared device saw the same traffic.
+	if d := dev.Stats(); d.Logical != 3 || d.Writes != 1 {
+		t.Errorf("device stats = %+v, want logical 3, writes 1", d)
+	}
+}
+
+func TestCounterNilNextDiscards(t *testing.T) {
+	// A Discard backend reports every access as a hit, so Reads stays 0.
+	c := NewCounter(nil)
+	c.Access(7)
+	if s := c.Snapshot(); s.Logical != 1 || s.Hits != 1 || s.Reads != 0 {
+		t.Errorf("snapshot = %+v, want logical 1, hits 1, reads 0", s)
+	}
+}
+
+// TestCountersConcurrent drives several per-query counters over one shared
+// device from separate goroutines (the engine's attribution pattern); run
+// with -race it checks the whole accounting path is race-free, and the
+// per-counter totals must sum to the device's.
+func TestCountersConcurrent(t *testing.T) {
+	dev := NewDevice(8, DefaultCostModel())
+	const workers = 8
+	const accesses = 500
+	counters := make([]*Counter, workers)
+	var wg sync.WaitGroup
+	for i := range counters {
+		counters[i] = NewCounter(dev)
+		wg.Add(1)
+		go func(c *Counter, base uint64) {
+			defer wg.Done()
+			for j := uint64(0); j < accesses; j++ {
+				c.Access(PageID(base + j%16))
+			}
+		}(counters[i], uint64(i*4))
+	}
+	wg.Wait()
+
+	var logical uint64
+	for i, c := range counters {
+		s := c.Snapshot()
+		if s.Logical != accesses {
+			t.Errorf("counter %d: logical = %d, want %d", i, s.Logical, accesses)
+		}
+		if s.Reads+s.Hits != s.Logical {
+			t.Errorf("counter %d: reads %d + hits %d != logical %d", i, s.Reads, s.Hits, s.Logical)
+		}
+		logical += s.Logical
+	}
+	if d := dev.Stats(); d.Logical != logical {
+		t.Errorf("device logical = %d, counters sum to %d", d.Logical, logical)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a simulated disk page.
@@ -171,3 +172,63 @@ type discard struct{}
 func (discard) Access(PageID) bool { return true }
 func (discard) Write(PageID)       {}
 func (discard) Invalidate(PageID)  {}
+
+// Counter is an Accountant that tallies the accesses charged through it
+// and forwards each charge to an underlying Accountant (typically the
+// shared Device). All counters are atomic, so one Counter per query gives
+// race-free per-query I/O attribution while the shared device keeps the
+// global totals: concurrent queries each charge through their own Counter
+// into the same pool, and nobody needs Stats/ResetStats windows (which
+// cannot isolate one query once queries overlap).
+type Counter struct {
+	next     Accountant
+	logical  atomic.Uint64
+	hits     atomic.Uint64
+	writes   atomic.Uint64
+	invalids atomic.Uint64
+}
+
+// NewCounter returns a Counter forwarding to next (Discard when nil).
+func NewCounter(next Accountant) *Counter {
+	if next == nil {
+		next = Discard
+	}
+	return &Counter{next: next}
+}
+
+// Access implements Accountant.
+func (c *Counter) Access(p PageID) bool {
+	c.logical.Add(1)
+	hit := c.next.Access(p)
+	if hit {
+		c.hits.Add(1)
+	}
+	return hit
+}
+
+// Write implements Accountant.
+func (c *Counter) Write(p PageID) {
+	c.writes.Add(1)
+	c.next.Write(p)
+}
+
+// Invalidate implements Accountant.
+func (c *Counter) Invalidate(p PageID) {
+	c.invalids.Add(1)
+	c.next.Invalidate(p)
+}
+
+// Snapshot returns the I/O attributed through this counter so far. Hits
+// reflect the underlying pool's verdicts, so Reads = Logical - Hits is the
+// physical reads this query caused (a Discard backend reports every access
+// as a hit, leaving Reads at zero).
+func (c *Counter) Snapshot() Stats {
+	logical := c.logical.Load()
+	hits := c.hits.Load()
+	return Stats{
+		Logical: logical,
+		Hits:    hits,
+		Reads:   logical - hits,
+		Writes:  c.writes.Load(),
+	}
+}

@@ -19,6 +19,16 @@
 // range-reporting overhead of the levels above log(q/k) — and because each
 // level is scanned by an ordinary range query, the I/O pattern is
 // sequential: O(k/B) page reads rather than RandomPath's Ω(k).
+//
+// # Concurrency
+//
+// The level trees are shared and read-only on the query path; everything a
+// query mutates (the per-level pending list, its permutation cursor, the
+// cross-level dedup set) lives in the Sampler, so any number of Samplers
+// may run concurrently against one Index. Insert and Delete mutate the
+// level trees and the index's structural RNG and must be serialized
+// against in-flight samplers by the caller (package engine uses a
+// per-dataset RWMutex). Each individual Sampler is single-goroutine.
 package lstree
 
 import (
@@ -49,12 +59,16 @@ type Config struct {
 	Seed int64
 }
 
-// Index is an LS-tree over a point set.
+// Index is an LS-tree over a point set. Queries (Samplers, Count) may run
+// concurrently; Insert and Delete require exclusive access.
 type Index struct {
 	cfg    Config
 	levels []*rtree.Tree // levels[0] indexes all of P
-	rng    *stats.RNG
-	size   int
+	// rng drives structural randomness (level coin flips); it is touched
+	// only by Build/Insert/maybeGrow, which run under the caller's write
+	// lock, never by queries.
+	rng  *stats.RNG
+	size int
 }
 
 // Build constructs an LS-tree over the given entries.
@@ -170,29 +184,42 @@ func (x *Index) Delete(e data.Entry) bool {
 // Sampler returns a without-replacement online sampler for q. Samples are
 // drawn level-by-level as described in the package comment. rng drives the
 // per-level permutations and is independent of the index's structural
-// randomness.
+// randomness, so a fixed rng seed reproduces the same stream regardless of
+// concurrent queries. Samplers of the same Index may run concurrently.
 func (x *Index) Sampler(q geo.Rect, rng *stats.RNG) *Sampler {
 	return &Sampler{
 		index: x,
 		query: q,
 		rng:   rng,
+		acct:  x.cfg.Device,
 		level: len(x.levels),
 		seen:  make(map[data.ID]struct{}),
 	}
 }
 
 // Sampler is the LS-tree's online sample stream for one query. It
-// implements sampling.Sampler.
+// implements sampling.Sampler. All mutable query state is local to the
+// Sampler; the level trees are only read.
 type Sampler struct {
 	index *Index
 	query geo.Rect
 	rng   *stats.RNG
+	acct  iosim.Accountant
 	level int // next level to scan (counts down); len(levels) before start
 	// pending holds the current level's unreported matches; the prefix
 	// [0, cursor) has been emitted.
 	pending []data.Entry
 	cursor  int
 	seen    map[data.ID]struct{}
+}
+
+// AttributeIO redirects this query's page charges to a (typically an
+// iosim.Counter forwarding to the shared device) for race-free per-query
+// I/O accounting.
+func (s *Sampler) AttributeIO(a iosim.Accountant) {
+	if a != nil {
+		s.acct = a
+	}
 }
 
 var _ sampling.Sampler = (*Sampler)(nil)
@@ -221,7 +248,7 @@ func (s *Sampler) Next() (data.Entry, bool) {
 			return data.Entry{}, false
 		}
 		s.level--
-		s.pending = s.index.levels[s.level].ReportAll(s.query)
+		s.pending = s.index.levels[s.level].ReportAllTo(s.acct, s.query)
 		s.cursor = 0
 	}
 }

@@ -33,6 +33,22 @@
 // k random leaf pages, so with any reasonable buffer pool the I/O cost
 // stays near O(r(N) + k/B) versus RandomPath's Ω(k) (paper Figure 3a),
 // and is bounded by one full range report no matter how large k grows.
+//
+// # Concurrency
+//
+// The index splits its state into a shared-immutable part and a
+// query-local part. The tree structure and the published per-node sample
+// buffers are shared and never mutated in place: a stale buffer (node
+// version moved past the buffer's) is regenerated off to the side and
+// published with an atomic swap, and its contents are a pure function of
+// (index seed, node page, node version), so racing regenerations produce
+// byte-identical buffers and either publication is correct. Everything a
+// query mutates — the frontier, Fenwick weights, per-part permutation
+// cursors, the consumed set, materialized part contents — lives in the
+// Sampler. Any number of Samplers may therefore run concurrently against
+// one Index. Mutations (Insert, Delete) must still be serialized against
+// in-flight samplers by the caller; package engine does this with a
+// per-dataset RWMutex.
 package rstree
 
 import (
@@ -77,13 +93,14 @@ type Config struct {
 	LazyBuffers bool
 }
 
-// Index is an RS-tree over a point set. It is safe for a single goroutine;
-// queries mutate cached node buffers, so callers must not run two samplers
-// of the same Index concurrently.
+// Index is an RS-tree over a point set. Any number of Samplers may run
+// against one Index concurrently: cached node buffers are immutable once
+// published and regenerated copy-on-write (see the package comment).
+// Insert and Delete must be externally serialized against in-flight
+// samplers.
 type Index struct {
 	cfg  Config
 	tree *rtree.Tree
-	rng  *stats.RNG
 }
 
 // Build constructs an RS-tree over the given entries.
@@ -122,7 +139,7 @@ func Build(entries []data.Entry, cfg Config) (*Index, error) {
 		return nil, fmt.Errorf("rstree: %w", err)
 	}
 	t.BulkLoad(entries)
-	idx := &Index{cfg: cfg, tree: t, rng: stats.NewRNG(cfg.Seed)}
+	idx := &Index{cfg: cfg, tree: t}
 	if !cfg.LazyBuffers {
 		idx.precomputeBuffers(t.Root())
 	}
@@ -134,7 +151,7 @@ func Build(entries []data.Entry, cfg Config) (*Index, error) {
 // only ever *read* buffers. Leaf buffers double as the shuffled entry
 // list, so only internal nodes need generation work here.
 func (x *Index) precomputeBuffers(n *rtree.Node) {
-	x.bufferFor(n)
+	x.bufferFor(n, x.tree.Device())
 	for _, c := range n.Children() {
 		x.precomputeBuffers(c)
 	}
@@ -157,16 +174,40 @@ func (x *Index) Insert(e data.Entry) { x.tree.Insert(e) }
 // Delete removes a record, returning true if it existed.
 func (x *Index) Delete(e data.Entry) bool { return x.tree.Delete(e) }
 
-// buffer is the cached per-node sample attachment.
+// buffer is the cached per-node sample attachment. Once published through
+// Node.SetAux it is immutable: regeneration builds a fresh buffer and swaps
+// it in, so concurrent queries reading the old one are never disturbed.
 type buffer struct {
 	version uint64
 	entries []data.Entry // uniform without-replacement sample, random order
 }
 
+// bufferSeed derives the RNG seed for generating node n's buffer at its
+// current version. Making the seed — and therefore the buffer contents — a
+// pure function of (index seed, node page, node version) gives two
+// guarantees at once: racing regenerations by concurrent queries produce
+// identical buffers (so an atomic last-write-wins publish is correct), and
+// a query's sample stream depends only on its own RNG, never on which
+// other queries happened to touch the cache first (seed reproducibility).
+// The mixing is splitmix64-style so nearby pages and versions decorrelate.
+func (x *Index) bufferSeed(n *rtree.Node) int64 {
+	z := uint64(x.cfg.Seed) ^ uint64(n.PageID())*0x9E3779B97F4A7C15 ^ n.Version()*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z >> 1)
+}
+
 // bufferFor returns node n's sample buffer, regenerating it when the node
 // has changed since the buffer was built. Reading the buffer charges one
-// access of the node's page (the buffer is stored with the node).
-func (x *Index) bufferFor(n *rtree.Node) []data.Entry {
+// access of the node's page (the buffer is stored with the node); the
+// charge and any regeneration I/O go to acct, the accountant of whichever
+// query triggered the read. Regeneration is generate-then-publish: the new
+// buffer is built off to the side and swapped in atomically, never mutating
+// the previously published one.
+func (x *Index) bufferFor(n *rtree.Node, acct iosim.Accountant) []data.Entry {
 	if b, ok := n.Aux().(*buffer); ok && b.version == n.Version() {
 		return b.entries
 	}
@@ -176,7 +217,7 @@ func (x *Index) bufferFor(n *rtree.Node) []data.Entry {
 		// the explosion base case, so its buffer must be exhaustive.
 		s = n.Count()
 	}
-	ent := x.sampleSubtree(n, s)
+	ent := x.sampleSubtree(n, s, acct)
 	n.SetAux(&buffer{version: n.Version(), entries: ent})
 	return ent
 }
@@ -185,8 +226,10 @@ func (x *Index) bufferFor(n *rtree.Node) []data.Entry {
 // s from the points below n, in random order. It works by drawing s
 // distinct positions in the subtree's canonical enumeration (children in
 // order, then leaf entries in order) and descending only into children that
-// own a drawn position, so generation costs O(s · height) node visits.
-func (x *Index) sampleSubtree(n *rtree.Node, s int) []data.Entry {
+// own a drawn position, so generation costs O(s · height) node visits. The
+// randomness comes from a private RNG seeded by (node, version), so the
+// result is deterministic for a given tree state.
+func (x *Index) sampleSubtree(n *rtree.Node, s int, acct iosim.Accountant) []data.Entry {
 	count := n.Count()
 	if count == 0 {
 		return nil
@@ -194,18 +237,19 @@ func (x *Index) sampleSubtree(n *rtree.Node, s int) []data.Entry {
 	if s > count {
 		s = count
 	}
-	positions := x.distinctPositions(count, s)
+	rng := stats.NewRNG(x.bufferSeed(n))
+	positions := distinctPositions(rng, count, s)
 	sort.Ints(positions)
 	out := make([]data.Entry, 0, s)
-	x.collectPositions(n, positions, &out)
+	x.collectPositions(n, positions, &out, acct)
 	// The positions were sorted for the descent; shuffle the collected
 	// entries so the buffer order is uniform.
-	x.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }
 
 // distinctPositions returns s distinct uniform values in [0, count).
-func (x *Index) distinctPositions(count, s int) []int {
+func distinctPositions(rng *stats.RNG, count, s int) []int {
 	if s*2 >= count {
 		// Dense case: partial Fisher–Yates over the full range.
 		all := make([]int, count)
@@ -213,7 +257,7 @@ func (x *Index) distinctPositions(count, s int) []int {
 			all[i] = i
 		}
 		for i := 0; i < s; i++ {
-			j := i + x.rng.Intn(count-i)
+			j := i + rng.Intn(count-i)
 			all[i], all[j] = all[j], all[i]
 		}
 		return all[:s]
@@ -221,7 +265,7 @@ func (x *Index) distinctPositions(count, s int) []int {
 	seen := make(map[int]struct{}, s)
 	out := make([]int, 0, s)
 	for len(out) < s {
-		p := x.rng.Intn(count)
+		p := rng.Intn(count)
 		if _, dup := seen[p]; dup {
 			continue
 		}
@@ -231,12 +275,13 @@ func (x *Index) distinctPositions(count, s int) []int {
 	return out
 }
 
-// collectPositions resolves sorted subtree positions to entries.
-func (x *Index) collectPositions(n *rtree.Node, positions []int, out *[]data.Entry) {
+// collectPositions resolves sorted subtree positions to entries, charging
+// visited pages to acct.
+func (x *Index) collectPositions(n *rtree.Node, positions []int, out *[]data.Entry, acct iosim.Accountant) {
 	if len(positions) == 0 {
 		return
 	}
-	x.tree.Charge(n)
+	acct.Access(n.PageID())
 	if n.IsLeaf() {
 		entries := n.Entries()
 		for _, p := range positions {
@@ -257,7 +302,7 @@ func (x *Index) collectPositions(n *rtree.Node, positions []int, out *[]data.Ent
 			for i, p := range positions[start:idx] {
 				sub[i] = p - lo
 			}
-			x.collectPositions(c, sub, out)
+			x.collectPositions(c, sub, out, acct)
 		}
 		lo = hi
 		if idx == len(positions) {

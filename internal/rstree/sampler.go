@@ -3,6 +3,7 @@ package rstree
 import (
 	"storm/internal/data"
 	"storm/internal/geo"
+	"storm/internal/iosim"
 	"storm/internal/rtree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
@@ -31,11 +32,19 @@ type part struct {
 // implements sampling.Sampler. Without-replacement mode emits every record
 // of P ∩ Q exactly once in uniformly random prefix order; with-replacement
 // mode emits independent uniform samples via weighted random descent.
+//
+// A Sampler owns all of its query's mutable state, so any number of
+// Samplers may run concurrently against the same Index; each individual
+// Sampler is single-goroutine (wrap it if a query fans out).
 type Sampler struct {
 	index *Index
 	query geo.Rect
 	mode  sampling.Mode
 	rng   *stats.RNG
+	// acct receives this query's page charges; defaults to the tree's
+	// shared device and can be redirected via AttributeIO for race-free
+	// per-query I/O accounting.
+	acct iosim.Accountant
 
 	// without-replacement state
 	parts []*part
@@ -65,18 +74,33 @@ func (s *Sampler) Explosions() uint64 { return s.explosions }
 // acceptance/rejection overhead of keeping boundary subtrees whole).
 func (s *Sampler) Rejects() uint64 { return s.rejects }
 
-// Sampler returns an online sampler for q. The sampler must not be used
-// concurrently with other samplers of the same Index (buffer generation
-// mutates shared node attachments).
+// Sampler returns an online sampler for q. Samplers of the same Index may
+// run concurrently: shared node buffers are published copy-on-write, and
+// all query-progress state lives in the Sampler itself. rng drives only
+// this query's draws, so a fixed rng seed reproduces the same stream
+// regardless of what other queries run beside it.
 func (x *Index) Sampler(q geo.Rect, mode sampling.Mode, rng *stats.RNG) *Sampler {
 	return &Sampler{
 		index:       x,
 		query:       q,
 		mode:        mode,
 		rng:         rng,
+		acct:        x.tree.Device(),
 		MaxAttempts: 1 << 22,
 	}
 }
+
+// AttributeIO redirects this query's page charges to a. Pass an
+// iosim.Counter forwarding to the shared device to attribute I/O to this
+// query without racing other queries' attribution.
+func (s *Sampler) AttributeIO(a iosim.Accountant) {
+	if a != nil {
+		s.acct = a
+	}
+}
+
+// charge accounts one logical access of n's page to this query.
+func (s *Sampler) charge(n *rtree.Node) { s.acct.Access(n.PageID()) }
 
 var _ sampling.Sampler = (*Sampler)(nil)
 
@@ -120,7 +144,7 @@ func (s *Sampler) initialize() {
 }
 
 func (s *Sampler) frontier(n *rtree.Node) {
-	s.index.tree.Charge(n)
+	s.charge(n)
 	if n.Count() == 0 || !n.MBR().Intersects(s.query) {
 		return
 	}
@@ -143,7 +167,7 @@ func (s *Sampler) addPart(n *rtree.Node) {
 		s.wrWeights = append(s.wrWeights, n.Count())
 		return
 	}
-	p := &part{node: n, buf: s.index.bufferFor(n)}
+	p := &part{node: n, buf: s.index.bufferFor(n, s.acct)}
 	s.fen.Append(n.Count())
 	s.parts = append(s.parts, p)
 }
@@ -159,7 +183,7 @@ func (s *Sampler) nextWithoutReplacement() (data.Entry, bool) {
 		r := s.rng.Intn(s.fen.Total())
 		i := s.fen.Find(r)
 		p := s.parts[i]
-		s.index.tree.Charge(p.node)
+		s.charge(p.node)
 		e, ok := s.nextFromBuffer(p)
 		if !ok {
 			if p.materialized || (p.node.IsLeaf() && len(p.buf) == p.node.Count()) {
@@ -223,7 +247,7 @@ func (s *Sampler) materialize(p *part, slot int) {
 
 // collectMatching appends the subtree's unconsumed matching entries.
 func (s *Sampler) collectMatching(n *rtree.Node, out *[]data.Entry) {
-	s.index.tree.Charge(n)
+	s.charge(n)
 	if n.IsLeaf() {
 		for _, e := range n.Entries() {
 			if !s.query.Contains(e.Pos) {
@@ -266,7 +290,7 @@ func (s *Sampler) nextWithReplacement() (data.Entry, bool) {
 // entryAt returns the entry at the given position of n's canonical
 // enumeration (children in order, then leaf entries).
 func (s *Sampler) entryAt(n *rtree.Node, pos int) data.Entry {
-	s.index.tree.Charge(n)
+	s.charge(n)
 	for !n.IsLeaf() {
 		for _, c := range n.Children() {
 			if pos < c.Count() {
@@ -275,7 +299,7 @@ func (s *Sampler) entryAt(n *rtree.Node, pos int) data.Entry {
 			}
 			pos -= c.Count()
 		}
-		s.index.tree.Charge(n)
+		s.charge(n)
 	}
 	return n.Entries()[pos]
 }

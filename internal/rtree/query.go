@@ -3,6 +3,7 @@ package rtree
 import (
 	"storm/internal/data"
 	"storm/internal/geo"
+	"storm/internal/iosim"
 )
 
 // Search reports every entry whose position lies inside q, invoking fn for
@@ -10,11 +11,21 @@ import (
 // charged as one logical page access, making Search the cost reference for
 // the paper's "RangeReport" baseline.
 func (t *Tree) Search(q geo.Rect, fn func(data.Entry) bool) {
-	t.search(t.root, q, fn)
+	t.search(t.cfg.Device, t.root, q, fn)
 }
 
-func (t *Tree) search(n *Node, q geo.Rect, fn func(data.Entry) bool) bool {
-	t.Charge(n)
+// SearchTo is Search with page accesses charged to acct instead of the
+// tree's shared device — per-query I/O attribution for samplers that range-
+// report (pass an iosim.Counter forwarding to the shared device).
+func (t *Tree) SearchTo(acct iosim.Accountant, q geo.Rect, fn func(data.Entry) bool) {
+	if acct == nil {
+		acct = t.cfg.Device
+	}
+	t.search(acct, t.root, q, fn)
+}
+
+func (t *Tree) search(acct iosim.Accountant, n *Node, q geo.Rect, fn func(data.Entry) bool) bool {
+	acct.Access(n.page)
 	if n.leaf {
 		for _, e := range n.entries {
 			if q.Contains(e.Pos) {
@@ -29,7 +40,7 @@ func (t *Tree) search(n *Node, q geo.Rect, fn func(data.Entry) bool) bool {
 		if !c.mbr.Intersects(q) {
 			continue
 		}
-		if !t.search(c, q, fn) {
+		if !t.search(acct, c, q, fn) {
 			return false
 		}
 	}
@@ -39,8 +50,13 @@ func (t *Tree) search(n *Node, q geo.Rect, fn func(data.Entry) bool) bool {
 // ReportAll returns all entries inside q. This is the QueryFirst baseline's
 // first phase and costs O(r(N) + q) node/entry touches.
 func (t *Tree) ReportAll(q geo.Rect) []data.Entry {
+	return t.ReportAllTo(t.cfg.Device, q)
+}
+
+// ReportAllTo is ReportAll with page accesses charged to acct.
+func (t *Tree) ReportAllTo(acct iosim.Accountant, q geo.Rect) []data.Entry {
 	var out []data.Entry
-	t.Search(q, func(e data.Entry) bool {
+	t.SearchTo(acct, q, func(e data.Entry) bool {
 		out = append(out, e)
 		return true
 	})

@@ -12,12 +12,21 @@
 // RS-tree's acceptance/rejection node sampling possible, and they give
 // O(log N)-node exact range counts for query planning.
 //
-// A Tree is safe for concurrent readers, but mutations (Insert, Delete)
-// must be externally synchronized with readers.
+// # Concurrency
+//
+// A Tree is safe for any number of concurrent readers: traversal accessors
+// (Root, Children, Entries, Count, MBR, Version, Search, ReportAll,
+// Canonical) never mutate tree structure, and the per-node Aux attachment
+// is published through an atomic pointer so readers may regenerate and
+// re-publish derived per-node state (the RS-tree's sample buffers) while
+// other readers are traversing. Mutations (Insert, Delete, BulkLoad) must
+// be externally serialized against all readers — package engine does this
+// with a per-dataset RWMutex.
 package rtree
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"storm/internal/data"
 	"storm/internal/geo"
@@ -70,7 +79,11 @@ type Node struct {
 	version  uint64 // bumped when subtree contents change
 	children []*Node
 	entries  []data.Entry
-	aux      any // per-node attachment used by the RS-tree sample buffers
+	// aux is the per-node attachment used by the RS-tree sample buffers.
+	// It is read and published atomically so concurrent queries can
+	// regenerate a stale buffer without racing each other: generation
+	// happens off to the side, then the finished value is swapped in.
+	aux atomic.Pointer[any]
 }
 
 // IsLeaf reports whether n is a leaf node.
@@ -92,11 +105,22 @@ func (n *Node) Entries() []data.Entry { return n.entries }
 // change; the RS-tree uses it to detect stale sample buffers.
 func (n *Node) Version() uint64 { return n.version }
 
-// Aux returns the auxiliary attachment set by SetAux.
-func (n *Node) Aux() any { return n.aux }
+// Aux returns the auxiliary attachment set by SetAux, or nil. It is safe
+// to call concurrently with SetAux.
+func (n *Node) Aux() any {
+	p := n.aux.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
 
 // SetAux attaches auxiliary per-node state (e.g. an RS-tree sample buffer).
-func (n *Node) SetAux(v any) { n.aux = v }
+// The value is published atomically: concurrent readers observe either the
+// previous attachment or the new one, never a torn mix. Callers must treat
+// a published value as immutable — to change it, build a replacement and
+// SetAux it.
+func (n *Node) SetAux(v any) { n.aux.Store(&v) }
 
 // PageID returns the simulated page this node occupies.
 func (n *Node) PageID() iosim.PageID { return iosim.PageID(n.page) }
@@ -178,6 +202,10 @@ func (t *Tree) Bounds() geo.Rect { return t.root.mbr }
 
 // Charge accounts one logical page access for visiting n.
 func (t *Tree) Charge(n *Node) { t.cfg.Device.Access(n.page) }
+
+// Device returns the accountant the tree charges page accesses to. Samplers
+// use it as the default target when no per-query accountant is attached.
+func (t *Tree) Device() iosim.Accountant { return t.cfg.Device }
 
 // chargeWrite accounts a page write for n.
 func (t *Tree) chargeWrite(n *Node) { t.cfg.Device.Write(n.page) }

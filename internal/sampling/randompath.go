@@ -3,6 +3,7 @@ package sampling
 import (
 	"storm/internal/data"
 	"storm/internal/geo"
+	"storm/internal/iosim"
 	"storm/internal/rtree"
 	"storm/internal/stats"
 )
@@ -28,6 +29,7 @@ type RandomPath struct {
 	query geo.Rect
 	mode  Mode
 	rng   *stats.RNG
+	acct  iosim.Accountant
 	seen  map[data.ID]struct{}
 	// remaining is the exact number of matching records left to emit in
 	// without-replacement mode; -1 until first computed.
@@ -40,7 +42,7 @@ type RandomPath struct {
 // NewRandomPath returns a RandomPath sampler over the tree and range.
 func NewRandomPath(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG) *RandomPath {
 	s := &RandomPath{
-		tree: t, query: q, mode: mode, rng: rng,
+		tree: t, query: q, mode: mode, rng: rng, acct: t.Device(),
 		remaining: -1,
 		MaxWalks:  1 << 22,
 	}
@@ -48,6 +50,14 @@ func NewRandomPath(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG) *Random
 		s.seen = make(map[data.ID]struct{})
 	}
 	return s
+}
+
+// AttributeIO redirects this query's page charges to a for race-free
+// per-query I/O accounting.
+func (s *RandomPath) AttributeIO(a iosim.Accountant) {
+	if a != nil {
+		s.acct = a
+	}
 }
 
 // Name implements Sampler.
@@ -87,7 +97,7 @@ func (s *RandomPath) Next() (data.Entry, bool) {
 // walk performs one random root-to-leaf descent; ok is false on rejection.
 func (s *RandomPath) walk() (data.Entry, bool) {
 	n := s.tree.Root()
-	s.tree.Charge(n)
+	s.acct.Access(n.PageID())
 	if n.Count() == 0 {
 		return data.Entry{}, false
 	}
@@ -125,7 +135,7 @@ func (s *RandomPath) walk() (data.Entry, bool) {
 			pick -= c.Count()
 		}
 		n = next
-		s.tree.Charge(n)
+		s.acct.Access(n.PageID())
 	}
 	entries := n.Entries()
 	if len(entries) == 0 {

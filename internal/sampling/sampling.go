@@ -7,6 +7,15 @@
 // keeps calling Next until it is satisfied (accuracy target met, time
 // budget exhausted, or the user cancels). The STORM indexes (packages
 // lstree and rstree) implement the same interface.
+//
+// # Concurrency
+//
+// Every Sampler in this package keeps all of its mutable state (cursors,
+// permutations, seen-sets, its RNG) query-local and only reads the shared
+// tree or dataset, so any number of samplers may run concurrently over the
+// same index as long as index mutations are serialized against them by the
+// caller (package engine uses a per-dataset RWMutex). An individual
+// Sampler serves one query from one goroutine.
 package sampling
 
 import (
@@ -51,6 +60,7 @@ type QueryFirst struct {
 	query   geo.Rect
 	mode    Mode
 	rng     *stats.RNG
+	acct    iosim.Accountant
 	matched []data.Entry
 	fetched bool
 	cursor  int
@@ -58,7 +68,15 @@ type QueryFirst struct {
 
 // NewQueryFirst returns a QueryFirst sampler over the given tree and range.
 func NewQueryFirst(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG) *QueryFirst {
-	return &QueryFirst{tree: t, query: q, mode: mode, rng: rng}
+	return &QueryFirst{tree: t, query: q, mode: mode, rng: rng, acct: t.Device()}
+}
+
+// AttributeIO redirects this query's page charges to a for race-free
+// per-query I/O accounting.
+func (s *QueryFirst) AttributeIO(a iosim.Accountant) {
+	if a != nil {
+		s.acct = a
+	}
 }
 
 // Name implements Sampler.
@@ -67,7 +85,7 @@ func (s *QueryFirst) Name() string { return "RangeReport" }
 // Next implements Sampler.
 func (s *QueryFirst) Next() (data.Entry, bool) {
 	if !s.fetched {
-		s.matched = s.tree.ReportAll(s.query)
+		s.matched = s.tree.ReportAllTo(s.acct, s.query)
 		s.fetched = true
 	}
 	n := len(s.matched)
@@ -132,6 +150,14 @@ func NewSampleFirst(ds *data.Dataset, q geo.Rect, mode Mode, rng *stats.RNG, dev
 		s.seen = make(map[data.ID]struct{})
 	}
 	return s
+}
+
+// AttributeIO redirects this query's page charges to a for race-free
+// per-query I/O accounting.
+func (s *SampleFirst) AttributeIO(a iosim.Accountant) {
+	if a != nil {
+		s.dev = a
+	}
 }
 
 // Name implements Sampler.

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueryStreams fires many NDJSON query streams at the server
+// at once, mixed with concurrent inserts (run with -race). Every stream
+// must terminate with a well-formed done snapshot; the insert responses
+// must all succeed.
+func TestConcurrentQueryStreams(t *testing.T) {
+	ts := newTestServer(t)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients+1)
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := `{"statement": "ESTIMATE AVG(value) FROM uniform WHERE REGION(20,20,60,60) SAMPLES 500"}`
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewBufferString(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("client %d: status %d", c, resp.StatusCode)
+				return
+			}
+			var last SnapshotJSON
+			snaps := 0
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+					errs <- fmt.Errorf("client %d: bad snapshot line: %v", c, err)
+					return
+				}
+				snaps++
+			}
+			if err := sc.Err(); err != nil {
+				errs <- fmt.Errorf("client %d: reading stream: %v", c, err)
+				return
+			}
+			if snaps == 0 || !last.Done {
+				errs <- fmt.Errorf("client %d: %d snapshots, done=%v", c, snaps, last.Done)
+				return
+			}
+			if last.Samples == 0 || last.Value == 0 {
+				errs <- fmt.Errorf("client %d: empty final snapshot %+v", c, last)
+			}
+		}(c)
+	}
+
+	// Concurrent inserts through the HTTP API.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			body := `{"records": [{"lon": 40, "lat": 40, "time": 50, "num": {"value": 100}}]}`
+			resp, err := http.Post(ts.URL+"/datasets/uniform/records", "application/json", bytes.NewBufferString(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("insert %d: status %d", i, resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -13,6 +13,12 @@
 // Online queries honor client disconnection: dropping the connection
 // cancels the query, the paper's interactive-exploration semantics over
 // HTTP.
+//
+// The server is fully concurrent: net/http serves each request on its own
+// goroutine and the engine's read path is shared, so any number of NDJSON
+// query streams run in parallel against the same dataset, serialized only
+// against inserts and deletes (see package engine's concurrency model).
+// Each stream's snapshots carry that query's own simulated I/O counters.
 package server
 
 import (
@@ -160,7 +166,11 @@ type SnapshotJSON struct {
 	Exact      bool    `json:"exact"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
 	Sampler    string  `json:"sampler"`
-	Done       bool    `json:"done"`
+	// IOReads/IOHits are this query's simulated page misses and buffer
+	// hits (per-query attribution; zero when I/O simulation is off).
+	IOReads uint64 `json:"io_reads,omitempty"`
+	IOHits  uint64 `json:"io_hits,omitempty"`
+	Done    bool   `json:"done"`
 }
 
 // handleQuery executes an estimate statement and streams NDJSON snapshots.
@@ -229,6 +239,8 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 			Exact:      snap.Exact,
 			ElapsedMS:  float64(snap.Elapsed) / float64(time.Millisecond),
 			Sampler:    snap.Method,
+			IOReads:    snap.IO.Reads,
+			IOHits:     snap.IO.Hits,
 			Done:       snap.Done,
 		}
 		if err := enc.Encode(out); err != nil {

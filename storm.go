@@ -26,6 +26,18 @@
 // and honors context cancellation, or a Session, which cancels the running
 // query whenever a new one starts.
 //
+// # Concurrency
+//
+// Queries are concurrent: any number of goroutines may run estimates,
+// analytics or Sample calls against one Handle simultaneously — the
+// indexes share immutable state and publish their lazy sample buffers
+// copy-on-write, while every query keeps its own RNG, cursors and I/O
+// counters. Insert, Delete and DeleteRange briefly take the handle's write
+// lock and serialize against in-flight queries, so updates stay correct
+// without stopping the query stream. Two queries given the same explicit
+// Options.Seed return identical sample streams whether they run serially
+// or concurrently.
+//
 // The package also exposes STORM's online analytics (KDE, clustering,
 // trajectory reconstruction, short-text terms), its keyword query language
 // (Exec), the data connector (ImportCSV and friends), and the synthetic

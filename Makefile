@@ -8,7 +8,7 @@ GO ?= go
 RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
 	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/
 
-.PHONY: verify fmt vet build test race bench
+.PHONY: verify fmt vet build test race bench bench-batch
 
 verify: fmt vet build test race
 
@@ -30,3 +30,8 @@ race:
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x .
+
+# Batched-sampling comparison in benchstat-friendly form: pipe the output
+# of two runs (before/after) into benchstat to quantify the fast path.
+bench-batch:
+	$(GO) test -run NONE -bench 'BenchmarkBatchedSampling' -benchtime 500x -count 5 -benchmem .

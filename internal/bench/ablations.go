@@ -462,8 +462,10 @@ type A6Point struct {
 // A6 compares Hilbert packing, STR packing, and one-by-one Guttman
 // insertion on the same data, measuring range-report I/O and canonical-set
 // size over a batch of queries. Hilbert and STR produce comparably tight
-// trees; an insertion-built tree is markedly worse — the reason the
-// RS-tree bulk-loads in Hilbert order and keeps that order under updates.
+// trees, with STR's tiling usually a touch tighter on box queries — the
+// reason STR is now the default bulk-load packing (Hilbert stays
+// selectable via rtree.Config.Packing and remains how inserts are placed
+// in Hilbert mode); an insertion-built tree is markedly worse.
 func A6(cfg A6Config) ([]A6Point, error) {
 	cfg = cfg.withDefaults()
 	ds := osmData(cfg.N, cfg.Seed)
@@ -490,9 +492,9 @@ func A6(cfg A6Config) ([]A6Point, error) {
 		var t *rtree.Tree
 		switch name {
 		case "hilbert":
-			t = rtree.MustNew(rtree.Config{Fanout: cfg.Fanout, Device: dev, Hilbert: true, Bounds: bounds})
+			t = rtree.MustNew(rtree.Config{Fanout: cfg.Fanout, Device: dev, Hilbert: true, Bounds: bounds, Packing: rtree.PackHilbert})
 			t.BulkLoad(entries)
-		case "str":
+		case "str (default)":
 			t = rtree.MustNew(rtree.Config{Fanout: cfg.Fanout, Device: dev})
 			t.BulkLoad(entries)
 		case "insert-built":
@@ -505,7 +507,7 @@ func A6(cfg A6Config) ([]A6Point, error) {
 	}
 
 	var out []A6Point
-	for _, name := range []string{"hilbert", "str", "insert-built"} {
+	for _, name := range []string{"str (default)", "hilbert", "insert-built"} {
 		t, dev, err := build(name)
 		if err != nil {
 			return nil, err
@@ -553,9 +555,15 @@ func (c A4Config) withDefaults() A4Config {
 
 // A4Point is one shard-count measurement.
 type A4Point struct {
-	Shards   int
-	WallMS   float64
-	Messages uint64
+	Shards int
+	// WallMS is the serial coordinator (Next per sample, per-refill shard
+	// fetches); WallBatchMS pulls the same K through NextBatch's one
+	// demand-sized request per shard per round.
+	WallMS      float64
+	WallBatchMS float64
+	// Messages/BatchMessages are the network messages each protocol sent.
+	Messages      uint64
+	BatchMessages uint64
 	// MaxShardShare is the largest fraction of samples served by one
 	// shard — balance for a query spanning the whole space.
 	MaxShardShare float64
@@ -584,6 +592,18 @@ func A4(cfg A4Config) ([]A4Point, error) {
 			}
 		}
 		elapsed := time.Since(start)
+
+		// Same pull through the batched protocol on an identical cluster.
+		cb, err := distr.Build(ds, distr.Config{Shards: shards, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		cb.ResetNet()
+		sb := cb.Sampler(q)
+		batchBuf := make([]data.Entry, cfg.K)
+		startB := time.Now()
+		sb.NextBatch(batchBuf, cfg.K)
+		elapsedB := time.Since(startB)
 		// Partition balance: the Hilbert split should keep shard record
 		// shares near 1/shards.
 		total := 0
@@ -600,7 +620,9 @@ func A4(cfg A4Config) ([]A4Point, error) {
 		out = append(out, A4Point{
 			Shards:        shards,
 			WallMS:        float64(elapsed.Microseconds()) / 1000,
+			WallBatchMS:   float64(elapsedB.Microseconds()) / 1000,
 			Messages:      c.Net().Messages,
+			BatchMessages: cb.Net().Messages,
 			MaxShardShare: maxShare,
 		})
 	}

@@ -253,9 +253,9 @@ func TestA6Shape(t *testing.T) {
 		t.Errorf("hilbert reads %v not below insert-built %v",
 			byName["hilbert"].AvgReads, byName["insert-built"].AvgReads)
 	}
-	if byName["str"].AvgReads >= byName["insert-built"].AvgReads {
+	if byName["str (default)"].AvgReads >= byName["insert-built"].AvgReads {
 		t.Errorf("str reads %v not below insert-built %v",
-			byName["str"].AvgReads, byName["insert-built"].AvgReads)
+			byName["str (default)"].AvgReads, byName["insert-built"].AvgReads)
 	}
 	for _, p := range pts {
 		if p.AvgCanonical <= 0 {

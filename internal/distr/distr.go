@@ -75,6 +75,9 @@ type Shard struct {
 // Len returns the number of records on the shard.
 func (s *Shard) Len() int { return s.count }
 
+// Index returns the shard's local RS-tree (diagnostics and benchmarks).
+func (s *Shard) Index() *rstree.Index { return s.index }
+
 // Device returns the shard's simulated block device (nil when disabled).
 func (s *Shard) Device() *iosim.Device { return s.device }
 
@@ -263,8 +266,15 @@ type Sampler struct {
 	samplers  []*rstree.Sampler
 	remaining []int
 	buffers   [][]data.Entry
-	total     int
-	init      bool
+	// heads[i] is the read cursor into buffers[i]; entries before it have
+	// been emitted.
+	heads []int
+	total int
+	init  bool
+	// batch-round scratch (see NextBatch), reused across rounds.
+	simRem  []int
+	choices []int
+	demand  []int
 }
 
 // Sampler returns an online sampler for q across all shards.
@@ -286,6 +296,7 @@ func (s *Sampler) initialize() {
 	s.samplers = make([]*rstree.Sampler, len(cl.shards))
 	s.remaining = make([]int, len(cl.shards))
 	s.buffers = make([][]data.Entry, len(cl.shards))
+	s.heads = make([]int, len(cl.shards))
 	seeds := make([]int64, len(cl.shards))
 	for i := range seeds {
 		seeds[i] = cl.nextSeed()
@@ -310,6 +321,20 @@ func (s *Sampler) initialize() {
 	cl.charge(2*uint64(len(cl.shards)), 0) // count round
 }
 
+// buffered returns how many fetched-but-unemitted samples shard has.
+func (s *Sampler) buffered(shard int) int {
+	return len(s.buffers[shard]) - s.heads[shard]
+}
+
+// pop emits the next buffered sample of shard, updating the counts.
+func (s *Sampler) pop(shard int) data.Entry {
+	e := s.buffers[shard][s.heads[shard]]
+	s.heads[shard]++
+	s.remaining[shard]--
+	s.total--
+	return e
+}
+
 // Next implements sampling.Sampler: it draws the owning shard with
 // probability proportional to its remaining matching count, then consumes
 // the next sample from that shard's stream (fetched in batches to amortize
@@ -330,9 +355,9 @@ func (s *Sampler) Next() (data.Entry, bool) {
 		}
 		r -= rem
 	}
-	if len(s.buffers[shard]) == 0 {
-		s.fetchBatch(shard)
-		if len(s.buffers[shard]) == 0 {
+	if s.buffered(shard) == 0 {
+		s.fetchInto(shard, s.cluster.cfg.BatchSize)
+		if s.buffered(shard) == 0 {
 			// Shard believed to have samples but returned none:
 			// defensive consistency repair.
 			s.total -= s.remaining[shard]
@@ -340,38 +365,140 @@ func (s *Sampler) Next() (data.Entry, bool) {
 			return s.Next()
 		}
 	}
-	e := s.buffers[shard][0]
-	s.buffers[shard] = s.buffers[shard][1:]
-	s.remaining[shard]--
-	s.total--
-	return e, true
+	return s.pop(shard), true
 }
 
-// fetchBatch pulls up to BatchSize samples from the shard (one request and
-// one response message). It holds the cluster's read lock for the batch,
-// so shard pulls serialize against Insert/Delete but run concurrently with
-// other queries' batches.
-func (s *Sampler) fetchBatch(shard int) {
+// NextBatch implements sampling.BatchSampler with the coordinator's
+// batched protocol: the round's shard choices are simulated up front with
+// the query RNG (consuming it exactly as repeated Next would, so the
+// emitted stream is byte-identical), the resulting per-shard allocations
+// are fetched with ONE request per shard — sized by the round's demand
+// rather than the fixed BatchSize — and the round is assembled from the
+// buffered shard streams in choice order. k samples therefore cost at most
+// one message round trip per participating shard instead of the serial
+// path's per-refill trips.
+func (s *Sampler) NextBatch(dst []data.Entry, k int) int {
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 0 {
+		return 0
+	}
+	if !s.init {
+		s.initialize()
+	}
+	got := 0
+	for got < k && s.total > 0 {
+		n := s.batchRound(dst[got:], k-got)
+		if n == 0 && s.total <= 0 {
+			break
+		}
+		got += n
+	}
+	return got
+}
+
+// batchRound serves up to k samples: simulate choices, fetch deficits,
+// assemble. Returns how many samples were written to dst.
+func (s *Sampler) batchRound(dst []data.Entry, k int) int {
+	m := k
+	if m > s.total {
+		m = s.total
+	}
+	shards := len(s.remaining)
+	if cap(s.simRem) < shards {
+		s.simRem = make([]int, shards)
+		s.demand = make([]int, shards)
+	}
+	simRem := s.simRem[:shards]
+	demand := s.demand[:shards]
+	copy(simRem, s.remaining)
+	for i := range demand {
+		demand[i] = 0
+	}
+	if cap(s.choices) < m {
+		s.choices = make([]int, m)
+	}
+	choices := s.choices[:m]
+
+	// Phase 1: replay the serial draw sequence against scratch counts.
+	total := s.total
+	for j := 0; j < m; j++ {
+		r := s.rng.Intn(total)
+		shard := 0
+		for i, rem := range simRem {
+			if r < rem {
+				shard = i
+				break
+			}
+			r -= rem
+		}
+		choices[j] = shard
+		simRem[shard]--
+		total--
+		demand[shard]++
+	}
+
+	// Phase 2: one demand-sized fetch per shard that needs more samples.
+	for i := range demand {
+		if deficit := demand[i] - s.buffered(i); deficit > 0 {
+			s.fetchInto(i, deficit)
+		}
+	}
+
+	// Phase 3: assemble in choice order. A shard that under-delivered
+	// (bookkeeping said it had samples but it returned none — the serial
+	// path's defensive repair case) is zeroed out and its remaining
+	// choices skipped; only in that never-expected state can the stream
+	// diverge from the serial one.
+	got := 0
+	for _, shard := range choices {
+		if s.remaining[shard] <= 0 {
+			continue
+		}
+		if s.buffered(shard) == 0 {
+			s.total -= s.remaining[shard]
+			s.remaining[shard] = 0
+			continue
+		}
+		dst[got] = s.pop(shard)
+		got++
+	}
+	return got
+}
+
+// fetchInto pulls up to n more samples from the shard into its buffer (one
+// request and one response message). It holds the cluster's read lock for
+// the fetch, so shard pulls serialize against Insert/Delete but run
+// concurrently with other queries' fetches.
+func (s *Sampler) fetchInto(shard, n int) {
 	sp := s.samplers[shard]
 	if sp == nil {
 		return
 	}
-	s.cluster.structMu.RLock()
-	defer s.cluster.structMu.RUnlock()
-	n := s.cluster.cfg.BatchSize
 	if n > s.remaining[shard] {
 		n = s.remaining[shard]
 	}
-	batch := make([]data.Entry, 0, n)
-	for len(batch) < n {
-		e, ok := sp.Next()
-		if !ok {
-			break
-		}
-		batch = append(batch, e)
+	if n <= 0 {
+		return
 	}
-	s.buffers[shard] = batch
-	s.cluster.charge(2, uint64(len(batch)))
+	if s.buffered(shard) == 0 {
+		s.buffers[shard] = s.buffers[shard][:0]
+		s.heads[shard] = 0
+	}
+	s.cluster.structMu.RLock()
+	defer s.cluster.structMu.RUnlock()
+	buf := s.buffers[shard]
+	start := len(buf)
+	if cap(buf) < start+n {
+		grown := make([]data.Entry, start, start+n)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:start+n]
+	got := sp.NextBatch(buf[start:], n)
+	s.buffers[shard] = buf[:start+got]
+	s.cluster.charge(2, uint64(got))
 }
 
 // EstimateAvg runs a distributed online AVG: each sample is drawn through
@@ -389,12 +516,24 @@ func (c *Cluster) EstimateAvg(q geo.Rect, attr string, maxSamples int, confidenc
 		return estimator.Estimate{}, err
 	}
 	s := c.Sampler(q)
-	for i := 0; i < maxSamples; i++ {
-		e, ok := s.Next()
-		if !ok {
+	// Pull through the batched coordinator protocol: one demand-sized
+	// request per shard per round instead of per-refill round trips. The
+	// chunk bounds the coordinator's working memory, not the batching win.
+	const chunk = 1024
+	buf := make([]data.Entry, chunk)
+	for drawn := 0; drawn < maxSamples; {
+		want := maxSamples - drawn
+		if want > chunk {
+			want = chunk
+		}
+		n := s.NextBatch(buf, want)
+		for _, e := range buf[:n] {
+			est.Add(col[e.ID])
+		}
+		drawn += n
+		if n < want {
 			break
 		}
-		est.Add(col[e.ID])
 	}
 	return est.Snapshot(), nil
 }
@@ -437,11 +576,9 @@ func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) 
 				k = 1
 			}
 			sp := c.shards[i].index.Sampler(q, sampling.WithoutReplacement, stats.NewRNG(seed))
-			for j := 0; j < k; j++ {
-				e, ok := sp.Next()
-				if !ok {
-					break
-				}
+			local := make([]data.Entry, k)
+			got := sp.NextBatch(local, k)
+			for _, e := range local[:got] {
 				partials[i].Add(col[e.ID])
 			}
 		}(i, c.nextSeed())

@@ -61,7 +61,14 @@ func (h *Handle) sampleLoop(ctx context.Context, q geo.Rect, opts AnalyticOption
 	if opts.TimeBudget > 0 {
 		deadline = start.Add(opts.TimeBudget)
 	}
+	// Samples are pulled in adaptive batches (see batch.go) and consumed
+	// with the serial loop's per-sample checks, so report cadence and
+	// stopping points are unchanged.
+	bufp := getEntryBuf()
+	defer putEntryBuf(bufp)
+	buf := *bufp
 	accepted := 0
+	size := minPullBatch
 	for {
 		select {
 		case <-ctx.Done():
@@ -73,25 +80,34 @@ func (h *Handle) sampleLoop(ctx context.Context, q geo.Rect, opts AnalyticOption
 			snapshot(true)
 			return nil
 		}
-		e, ok := sampler.Next()
-		if !ok {
-			snapshot(true)
-			return nil
+		want := size
+		if opts.Filter == nil && opts.MaxSamples > 0 && want > opts.MaxSamples-accepted {
+			// Without a filter every drawn sample is accepted, so clamping
+			// the pull avoids drawing past the cap.
+			want = opts.MaxSamples - accepted
 		}
-		if opts.Filter != nil && !opts.Filter(e.ID) {
-			continue
-		}
-		consume(e)
-		accepted++
-		if accepted%opts.ReportEvery == 0 {
-			if !snapshot(false) {
+		n := sampling.NextBatch(sampler, buf, want)
+		for _, e := range buf[:n] {
+			if opts.Filter != nil && !opts.Filter(e.ID) {
+				continue
+			}
+			consume(e)
+			accepted++
+			if accepted%opts.ReportEvery == 0 {
+				if !snapshot(false) {
+					return nil
+				}
+			}
+			if opts.MaxSamples > 0 && accepted >= opts.MaxSamples {
+				snapshot(true)
 				return nil
 			}
 		}
-		if opts.MaxSamples > 0 && accepted >= opts.MaxSamples {
+		if n < want {
 			snapshot(true)
 			return nil
 		}
+		size = nextPullSize(size)
 	}
 }
 

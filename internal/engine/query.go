@@ -218,7 +218,15 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		return false
 	}
 
+	// Samples are pulled in adaptive batches (see batch.go) but folded into
+	// the estimator with exactly the serial loop's per-sample report and
+	// termination checks, so emitted snapshots and stopping points are
+	// unchanged — batching only amortizes sampler and device overheads.
+	bufp := getEntryBuf()
+	defer putEntryBuf(bufp)
+	buf := *bufp
 	k := 0
+	size := minPullBatch
 	for {
 		select {
 		case <-ctx.Done():
@@ -230,26 +238,33 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 			emit(true, sampler.Name())
 			return
 		}
-		e, ok := sampler.Next()
-		if !ok {
-			emit(true, sampler.Name())
-			return
+		want := size
+		if opts.MaxSamples > 0 && want > opts.MaxSamples-k {
+			want = opts.MaxSamples - k
 		}
-		est.Add(col[e.ID])
-		k++
-		if k%opts.ReportEvery == 0 {
-			if !emit(false, sampler.Name()) {
-				return
+		n := sampling.NextBatch(sampler, buf, want)
+		for _, e := range buf[:n] {
+			est.Add(col[e.ID])
+			k++
+			if k%opts.ReportEvery == 0 {
+				if !emit(false, sampler.Name()) {
+					return
+				}
+				if targetMet() {
+					emit(true, sampler.Name())
+					return
+				}
 			}
-			if targetMet() {
+			if opts.MaxSamples > 0 && k >= opts.MaxSamples {
 				emit(true, sampler.Name())
 				return
 			}
 		}
-		if opts.MaxSamples > 0 && k >= opts.MaxSamples {
+		if n < want {
 			emit(true, sampler.Name())
 			return
 		}
+		size = nextPullSize(size)
 	}
 }
 
@@ -320,7 +335,13 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		}
 	}
 
+	// Adaptive batch pulls with the serial loop's per-sample checks (see
+	// runEstimate).
+	bufp := getEntryBuf()
+	defer putEntryBuf(bufp)
+	buf := *bufp
 	k := 0
+	size := minPullBatch
 	for {
 		select {
 		case <-ctx.Done():
@@ -332,29 +353,36 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 			emit(true)
 			return
 		}
-		e, ok := sampler.Next()
-		if !ok {
-			emit(true)
-			return
+		want := size
+		if opts.MaxSamples > 0 && want > opts.MaxSamples-k {
+			want = opts.MaxSamples - k
 		}
-		qe.Add(col[e.ID])
-		k++
-		if k%opts.ReportEvery == 0 {
-			if !emit(false) {
-				return
-			}
-			if opts.TargetHalfWidth > 0 {
-				snap := qe.Snapshot()
-				if snap.Hi-snap.Lo <= 2*opts.TargetHalfWidth {
-					emit(true)
+		n := sampling.NextBatch(sampler, buf, want)
+		for _, e := range buf[:n] {
+			qe.Add(col[e.ID])
+			k++
+			if k%opts.ReportEvery == 0 {
+				if !emit(false) {
 					return
 				}
+				if opts.TargetHalfWidth > 0 {
+					snap := qe.Snapshot()
+					if snap.Hi-snap.Lo <= 2*opts.TargetHalfWidth {
+						emit(true)
+						return
+					}
+				}
+			}
+			if opts.MaxSamples > 0 && k >= opts.MaxSamples {
+				emit(true)
+				return
 			}
 		}
-		if opts.MaxSamples > 0 && k >= opts.MaxSamples {
+		if n < want {
 			emit(true)
 			return
 		}
+		size = nextPullSize(size)
 	}
 }
 
@@ -444,13 +472,7 @@ func (h *Handle) Sample(q geo.Range, k int, method Method, mode sampling.Mode, s
 	if err != nil {
 		return nil, err
 	}
-	out := make([]data.Entry, 0, k)
-	for len(out) < k {
-		e, ok := sampler.Next()
-		if !ok {
-			break
-		}
-		out = append(out, e)
-	}
-	return out, nil
+	out := make([]data.Entry, k)
+	got := sampling.NextBatch(sampler, out, k)
+	return out[:got], nil
 }

@@ -10,7 +10,6 @@
 package iosim
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,6 +47,14 @@ func DefaultCostModel() CostModel {
 	return CostModel{ReadCost: 1.0, WriteCost: 1.0, HitCost: 0.001}
 }
 
+// lruNode is one page slot of the buffer pool's intrusive LRU list.
+// Evicted nodes are recycled through the device's free list, so a pool at
+// capacity admits and evicts without allocating.
+type lruNode struct {
+	page       PageID
+	prev, next *lruNode
+}
+
 // Device is a simulated block device fronted by an LRU buffer pool of a
 // fixed capacity (in pages). A capacity of zero disables caching: every
 // access is a physical read. Device is safe for concurrent use.
@@ -57,8 +64,10 @@ type Device struct {
 	cost     CostModel
 	stats    Stats
 
-	lru     *list.List               // front = most recently used
-	entries map[PageID]*list.Element // page -> lru element
+	head, tail *lruNode // head = most recently used
+	free       *lruNode // recycled nodes, linked through next
+	size       int
+	entries    map[PageID]*lruNode
 }
 
 // NewDevice returns a device whose buffer pool holds capacity pages.
@@ -69,9 +78,67 @@ func NewDevice(capacity int, cost CostModel) *Device {
 	return &Device{
 		capacity: capacity,
 		cost:     cost,
-		lru:      list.New(),
-		entries:  make(map[PageID]*list.Element),
+		entries:  make(map[PageID]*lruNode, capacity),
 	}
+}
+
+// moveToFront makes n the most recently used node. Caller holds d.mu.
+func (d *Device) moveToFront(n *lruNode) {
+	if d.head == n {
+		return
+	}
+	// Unlink (n is in the list and is not the head, so n.prev != nil).
+	n.prev.next = n.next
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		d.tail = n.prev
+	}
+	// Relink at the head.
+	n.prev = nil
+	n.next = d.head
+	d.head.prev = n
+	d.head = n
+}
+
+// pushFront links a node for p at the head, reusing a free node when one
+// exists. Caller holds d.mu.
+func (d *Device) pushFront(p PageID) *lruNode {
+	n := d.free
+	if n != nil {
+		d.free = n.next
+	} else {
+		n = &lruNode{}
+	}
+	n.page = p
+	n.prev = nil
+	n.next = d.head
+	if d.head != nil {
+		d.head.prev = n
+	} else {
+		d.tail = n
+	}
+	d.head = n
+	d.size++
+	return n
+}
+
+// unlink removes n from the list and recycles it. Caller holds d.mu.
+func (d *Device) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		d.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		d.tail = n.prev
+	}
+	d.size--
+	n.prev = nil
+	n.next = d.free
+	d.free = n
 }
 
 // Access charges one logical read of the page, simulating a buffer pool
@@ -81,7 +148,7 @@ func (d *Device) Access(p PageID) bool {
 	defer d.mu.Unlock()
 	d.stats.Logical++
 	if el, ok := d.entries[p]; ok {
-		d.lru.MoveToFront(el)
+		d.moveToFront(el)
 		d.stats.Hits++
 		d.stats.CostUnits += d.cost.HitCost
 		return true
@@ -99,7 +166,7 @@ func (d *Device) Write(p PageID) {
 	d.stats.Writes++
 	d.stats.CostUnits += d.cost.WriteCost
 	if el, ok := d.entries[p]; ok {
-		d.lru.MoveToFront(el)
+		d.moveToFront(el)
 		return
 	}
 	d.admit(p)
@@ -111,11 +178,11 @@ func (d *Device) admit(p PageID) {
 	if d.capacity == 0 {
 		return
 	}
-	d.entries[p] = d.lru.PushFront(p)
-	for d.lru.Len() > d.capacity {
-		back := d.lru.Back()
-		d.lru.Remove(back)
-		delete(d.entries, back.Value.(PageID))
+	d.entries[p] = d.pushFront(p)
+	for d.size > d.capacity {
+		back := d.tail
+		delete(d.entries, back.page)
+		d.unlink(back)
 	}
 }
 
@@ -125,8 +192,8 @@ func (d *Device) Invalidate(p PageID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if el, ok := d.entries[p]; ok {
-		d.lru.Remove(el)
 		delete(d.entries, p)
+		d.unlink(el)
 	}
 }
 
@@ -149,8 +216,10 @@ func (d *Device) ResetStats() {
 func (d *Device) DropCache() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.lru.Init()
-	d.entries = make(map[PageID]*list.Element)
+	for d.head != nil {
+		d.unlink(d.head)
+	}
+	clear(d.entries)
 }
 
 // Capacity returns the buffer pool capacity in pages.

@@ -193,24 +193,25 @@ func (x *Index) Sampler(q geo.Rect, rng *stats.RNG) *Sampler {
 		rng:   rng,
 		acct:  x.cfg.Device,
 		level: len(x.levels),
-		seen:  make(map[data.ID]struct{}),
+		seen:  sampling.NewIDSet(x.size),
 	}
 }
 
 // Sampler is the LS-tree's online sample stream for one query. It
-// implements sampling.Sampler. All mutable query state is local to the
-// Sampler; the level trees are only read.
+// implements sampling.Sampler and sampling.BatchSampler. All mutable query
+// state is local to the Sampler; the level trees are only read.
 type Sampler struct {
 	index *Index
 	query geo.Rect
 	rng   *stats.RNG
 	acct  iosim.Accountant
-	level int // next level to scan (counts down); len(levels) before start
+	batch *iosim.Batcher // reused by NextBatch; charges go to acct
+	level int            // next level to scan (counts down); len(levels) before start
 	// pending holds the current level's unreported matches; the prefix
 	// [0, cursor) has been emitted.
 	pending []data.Entry
 	cursor  int
-	seen    map[data.ID]struct{}
+	seen    *sampling.IDSet
 }
 
 // AttributeIO redirects this query's page charges to a (typically an
@@ -223,6 +224,7 @@ func (s *Sampler) AttributeIO(a iosim.Accountant) {
 }
 
 var _ sampling.Sampler = (*Sampler)(nil)
+var _ sampling.BatchSampler = (*Sampler)(nil)
 
 // Name implements sampling.Sampler.
 func (s *Sampler) Name() string { return "LS-tree" }
@@ -238,10 +240,10 @@ func (s *Sampler) Next() (data.Entry, bool) {
 			s.pending[s.cursor], s.pending[j] = s.pending[j], s.pending[s.cursor]
 			e := s.pending[s.cursor]
 			s.cursor++
-			if _, dup := s.seen[e.ID]; dup {
+			if s.seen.Contains(e.ID) {
 				continue
 			}
-			s.seen[e.ID] = struct{}{}
+			s.seen.Add(e.ID)
 			return e, true
 		}
 		if s.level == 0 {
@@ -251,4 +253,34 @@ func (s *Sampler) Next() (data.Entry, bool) {
 		s.pending = s.index.levels[s.level].ReportAllTo(s.acct, s.query)
 		s.cursor = 0
 	}
+}
+
+// NextBatch implements sampling.BatchSampler. Per-draw logic and RNG
+// consumption are exactly Next's, so the stream is byte-identical; the
+// range-report page charges of any level scans the batch triggers are
+// coalesced through a run-length batcher (one device lock per flush).
+func (s *Sampler) NextBatch(dst []data.Entry, k int) int {
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 0 {
+		return 0
+	}
+	prev := s.acct
+	if s.batch == nil || s.batch.Target() != prev {
+		s.batch = iosim.NewBatcher(prev)
+	}
+	s.acct = s.batch
+	got := 0
+	for got < k {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[got] = e
+		got++
+	}
+	s.acct = prev
+	s.batch.Flush()
+	return got
 }

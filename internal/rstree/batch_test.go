@@ -1,0 +1,246 @@
+package rstree
+
+import (
+	"sync"
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/sampling"
+	"storm/internal/stats"
+)
+
+// drawSerial reads n samples (or the whole stream if n < 0) via Next.
+func drawSerial(idx *Index, mode sampling.Mode, seed int64, n int) []data.ID {
+	s := idx.Sampler(testQuery, mode, stats.NewRNG(seed))
+	var out []data.ID
+	for n < 0 || len(out) < n {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// drawBatched reads the same stream via NextBatch with a cycling pattern of
+// batch sizes, exercising batch boundaries at many offsets.
+func drawBatched(idx *Index, mode sampling.Mode, seed int64, n int, sizes []int) []data.ID {
+	s := idx.Sampler(testQuery, mode, stats.NewRNG(seed))
+	var out []data.ID
+	buf := make([]data.Entry, 512)
+	for i := 0; n < 0 || len(out) < n; i++ {
+		k := sizes[i%len(sizes)]
+		if n >= 0 && k > n-len(out) {
+			k = n - len(out)
+		}
+		got := s.NextBatch(buf, k)
+		for _, e := range buf[:got] {
+			out = append(out, e.ID)
+		}
+		if got < k {
+			break
+		}
+	}
+	return out
+}
+
+func assertSameStream(t *testing.T, label string, want, got []data.ID) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: stream lengths differ: serial %d, batched %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: streams diverge at %d: serial %d, batched %d", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestNextBatchMatchesNextWithoutReplacement is the determinism contract:
+// for a fixed seed, the NextBatch stream must be byte-identical to the Next
+// stream — including across buffer exhaustion and materialization
+// boundaries, which the tiny BufferSize forces constantly.
+func TestNextBatchMatchesNextWithoutReplacement(t *testing.T) {
+	entries := genEntries(9000, 23)
+	idx, err := Build(entries, Config{Fanout: 16, BufferSize: 4, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := drawSerial(idx, sampling.WithoutReplacement, 77, -1)
+	if len(serial) == 0 {
+		t.Fatal("empty reference stream")
+	}
+	for _, sizes := range [][]int{{1}, {7}, {64}, {512}, {1, 3, 17, 256}} {
+		batched := drawBatched(idx, sampling.WithoutReplacement, 77, -1, sizes)
+		assertSameStream(t, "without-replacement", serial, batched)
+	}
+}
+
+// TestNextBatchMatchesNextWithReplacement covers the weighted-descent mode.
+func TestNextBatchMatchesNextWithReplacement(t *testing.T) {
+	entries := genEntries(9000, 31)
+	idx, err := Build(entries, Config{Fanout: 16, BufferSize: 8, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := drawSerial(idx, sampling.WithReplacement, 99, 3000)
+	batched := drawBatched(idx, sampling.WithReplacement, 99, 3000, []int{5, 250, 11})
+	assertSameStream(t, "with-replacement", serial, batched)
+}
+
+// TestNextBatchInterleavedWithNext mixes the two APIs on one sampler: the
+// combined stream must equal the pure-serial stream, because NextBatch may
+// not consume RNG or sampler state any differently than Next.
+func TestNextBatchInterleavedWithNext(t *testing.T) {
+	entries := genEntries(6000, 41)
+	idx, err := Build(entries, Config{Fanout: 16, BufferSize: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := drawSerial(idx, sampling.WithoutReplacement, 5, -1)
+
+	s := idx.Sampler(testQuery, sampling.WithoutReplacement, stats.NewRNG(5))
+	var mixed []data.ID
+	buf := make([]data.Entry, 64)
+	for turn := 0; ; turn++ {
+		if turn%2 == 0 {
+			e, ok := s.Next()
+			if !ok {
+				break
+			}
+			mixed = append(mixed, e.ID)
+			continue
+		}
+		got := s.NextBatch(buf, 1+turn%17)
+		for _, e := range buf[:got] {
+			mixed = append(mixed, e.ID)
+		}
+		if got == 0 {
+			break
+		}
+	}
+	assertSameStream(t, "interleaved", serial, mixed)
+}
+
+// TestNextBatchConcurrentIdentical runs batched same-seed streams
+// concurrently with cache-perturbing other-seed streams (under -race via
+// make race): batching shares the node buffer cache and the scratch pools
+// across queries, neither of which may leak query state.
+func TestNextBatchConcurrentIdentical(t *testing.T) {
+	entries := genEntries(8000, 17)
+	idx, err := Build(entries, Config{Fanout: 16, BufferSize: 8, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dup = 6
+	ref := drawBatched(idx, sampling.WithoutReplacement, 42, 400, []int{37})
+	streams := make([][]data.ID, dup)
+	var wg sync.WaitGroup
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 1 {
+				_ = drawBatched(idx, sampling.WithoutReplacement, int64(1000+i), 400, []int{64})
+			}
+			streams[i] = drawBatched(idx, sampling.WithoutReplacement, 42, 400, []int{37})
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range streams {
+		if len(got) != len(ref) {
+			t.Fatalf("stream %d: %d samples, reference %d", i, len(got), len(ref))
+		}
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Fatalf("stream %d diverges at %d: %d vs %d", i, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+// clusteredEntries builds a heavily skewed point set: most mass in a few
+// tight clusters, the rest uniform background — the adversarial layout for
+// samplers whose per-node buffers could bias toward dense regions.
+func clusteredEntries(n int, seed int64) []data.Entry {
+	rng := stats.NewRNG(seed)
+	centers := [][2]float64{{12, 18}, {15, 80}, {55, 55}, {83, 22}, {90, 91}}
+	out := make([]data.Entry, n)
+	for i := range out {
+		var x, y float64
+		if rng.Bernoulli(0.9) {
+			c := centers[rng.Intn(len(centers))]
+			x = c[0] + rng.Uniform(-1.5, 1.5)
+			y = c[1] + rng.Uniform(-1.5, 1.5)
+		} else {
+			x = rng.Uniform(0, 100)
+			y = rng.Uniform(0, 100)
+		}
+		out[i] = data.Entry{ID: data.ID(i), Pos: geo.Vec{x, y, rng.Uniform(0, 100)}}
+	}
+	return out
+}
+
+// TestBatchUniformityChiSquare is the statistical regression guard: samples
+// drawn in batches from the clustered set must stay uniform over P ∩ Q. The
+// matching records are split into contiguous-ordinal buckets and the
+// with-replacement batch stream's bucket counts are chi-square tested
+// against the uniform expectation.
+func TestBatchUniformityChiSquare(t *testing.T) {
+	entries := clusteredEntries(40000, 71)
+	idx, err := Build(entries, Config{Fanout: 16, BufferSize: 8, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query straddling two clusters plus background: skewed density
+	// inside the range.
+	q := geo.NewRect(geo.Vec{5, 5, 0}, geo.Vec{60, 65, 100})
+
+	bucketOf := make(map[data.ID]int)
+	matchCount := 0
+	for _, e := range entries {
+		if q.Contains(e.Pos) {
+			bucketOf[e.ID] = matchCount
+			matchCount++
+		}
+	}
+	const buckets = 32
+	if matchCount < buckets*50 {
+		t.Fatalf("query too selective for the test: %d matches", matchCount)
+	}
+
+	s := idx.Sampler(q, sampling.WithReplacement, stats.NewRNG(101))
+	const draws = 40000
+	buf := make([]data.Entry, 1000)
+	observed := make([]int, buckets)
+	for got := 0; got < draws; {
+		n := s.NextBatch(buf, len(buf))
+		if n == 0 {
+			t.Fatal("stream ended early")
+		}
+		for _, e := range buf[:n] {
+			ord, ok := bucketOf[e.ID]
+			if !ok {
+				t.Fatalf("sample %d outside query", e.ID)
+			}
+			observed[ord*buckets/matchCount]++
+		}
+		got += n
+	}
+
+	expected := make([]float64, buckets)
+	for id, ord := range bucketOf {
+		_ = id
+		expected[ord*buckets/matchCount]++
+	}
+	for i := range expected {
+		expected[i] *= float64(draws) / float64(matchCount)
+	}
+	stat := stats.ChiSquareStat(observed, expected)
+	crit := stats.ChiSquareQuantile(0.999, buckets-1)
+	if stat > crit {
+		t.Errorf("chi-square %0.1f exceeds 99.9%% critical value %0.1f: batch stream is biased", stat, crit)
+	}
+}

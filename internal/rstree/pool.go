@@ -1,0 +1,58 @@
+package rstree
+
+import (
+	"sync"
+
+	"storm/internal/rtree"
+)
+
+// Scratch pools for the sampler hot paths. Per-part permutation slices and
+// the materialization traversal stack are the only transient allocations a
+// long-running query makes repeatedly; recycling them keeps the steady-state
+// batch loop allocation-free and takes pressure off the GC when many
+// queries run concurrently.
+
+var intPool sync.Pool
+
+// getInts returns an int slice of length n (contents unspecified).
+func getInts(n int) []int {
+	if v := intPool.Get(); v != nil {
+		s := *(v.(*[]int))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int, n)
+}
+
+// putInts recycles a slice obtained from getInts.
+func putInts(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	intPool.Put(&s)
+}
+
+var nodePool sync.Pool
+
+// getNodeStack returns an empty node stack with spare capacity.
+func getNodeStack() []*rtree.Node {
+	if v := nodePool.Get(); v != nil {
+		return (*(v.(*[]*rtree.Node)))[:0]
+	}
+	return make([]*rtree.Node, 0, 64)
+}
+
+// putNodeStack recycles a traversal stack, clearing its node pointers so a
+// pooled stack never pins a discarded tree in memory.
+func putNodeStack(s []*rtree.Node) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = nil
+	}
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	nodePool.Put(&s)
+}

@@ -91,6 +91,9 @@ type Config struct {
 	// paper's design where S(u) is stored alongside node u on disk;
 	// updates always regenerate affected buffers lazily.
 	LazyBuffers bool
+	// Packing is the bulk-load sort order passed through to the
+	// underlying R-tree; the zero value is STR (see rtree.Packing).
+	Packing rtree.Packing
 }
 
 // Index is an RS-tree over a point set. Any number of Samplers may run
@@ -134,6 +137,7 @@ func Build(entries []data.Entry, cfg Config) (*Index, error) {
 		Device:  cfg.Device,
 		Hilbert: true,
 		Bounds:  bounds,
+		Packing: cfg.Packing,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rstree: %w", err)
@@ -241,18 +245,20 @@ func (x *Index) sampleSubtree(n *rtree.Node, s int, acct iosim.Accountant) []dat
 	positions := distinctPositions(rng, count, s)
 	sort.Ints(positions)
 	out := make([]data.Entry, 0, s)
-	x.collectPositions(n, positions, &out, acct)
+	x.collectPositions(n, positions, 0, &out, acct)
+	putInts(positions)
 	// The positions were sorted for the descent; shuffle the collected
 	// entries so the buffer order is uniform.
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }
 
-// distinctPositions returns s distinct uniform values in [0, count).
+// distinctPositions returns s distinct uniform values in [0, count) in a
+// pooled slice (return it with putInts).
 func distinctPositions(rng *stats.RNG, count, s int) []int {
 	if s*2 >= count {
 		// Dense case: partial Fisher–Yates over the full range.
-		all := make([]int, count)
+		all := getInts(count)
 		for i := range all {
 			all[i] = i
 		}
@@ -263,7 +269,7 @@ func distinctPositions(rng *stats.RNG, count, s int) []int {
 		return all[:s]
 	}
 	seen := make(map[int]struct{}, s)
-	out := make([]int, 0, s)
+	out := getInts(s)[:0]
 	for len(out) < s {
 		p := rng.Intn(count)
 		if _, dup := seen[p]; dup {
@@ -276,8 +282,10 @@ func distinctPositions(rng *stats.RNG, count, s int) []int {
 }
 
 // collectPositions resolves sorted subtree positions to entries, charging
-// visited pages to acct.
-func (x *Index) collectPositions(n *rtree.Node, positions []int, out *[]data.Entry, acct iosim.Accountant) {
+// visited pages to acct. positions are absolute within the subtree whose
+// enumeration starts at base; passing the offset down instead of copying
+// re-based sub-slices keeps the descent allocation-free.
+func (x *Index) collectPositions(n *rtree.Node, positions []int, base int, out *[]data.Entry, acct iosim.Accountant) {
 	if len(positions) == 0 {
 		return
 	}
@@ -285,11 +293,11 @@ func (x *Index) collectPositions(n *rtree.Node, positions []int, out *[]data.Ent
 	if n.IsLeaf() {
 		entries := n.Entries()
 		for _, p := range positions {
-			*out = append(*out, entries[p])
+			*out = append(*out, entries[p-base])
 		}
 		return
 	}
-	lo := 0
+	lo := base
 	idx := 0
 	for _, c := range n.Children() {
 		hi := lo + c.Count()
@@ -298,11 +306,7 @@ func (x *Index) collectPositions(n *rtree.Node, positions []int, out *[]data.Ent
 			idx++
 		}
 		if idx > start {
-			sub := make([]int, idx-start)
-			for i, p := range positions[start:idx] {
-				sub[i] = p - lo
-			}
-			x.collectPositions(c, sub, out, acct)
+			x.collectPositions(c, positions[start:idx], lo, out, acct)
 		}
 		lo = hi
 		if idx == len(positions) {

@@ -26,12 +26,16 @@ type part struct {
 	cursor int
 	// materialized marks that buf holds the exact remaining entries.
 	materialized bool
+	// contained marks a subtree entirely inside the query: its draws are
+	// accepted without a per-entry containment test.
+	contained bool
 }
 
 // Sampler is the RS-tree's online sample stream for one query. It
-// implements sampling.Sampler. Without-replacement mode emits every record
-// of P ∩ Q exactly once in uniformly random prefix order; with-replacement
-// mode emits independent uniform samples via weighted random descent.
+// implements sampling.Sampler and sampling.BatchSampler. Without-
+// replacement mode emits every record of P ∩ Q exactly once in uniformly
+// random prefix order; with-replacement mode emits independent uniform
+// samples via weighted random descent.
 //
 // A Sampler owns all of its query's mutable state, so any number of
 // Samplers may run concurrently against the same Index; each individual
@@ -45,17 +49,24 @@ type Sampler struct {
 	// shared device and can be redirected via AttributeIO for race-free
 	// per-query I/O accounting.
 	acct iosim.Accountant
+	// chg is the active charge target: acct normally, the run-length
+	// batcher while a NextBatch call is in flight. Swapping the target —
+	// never the charge sequence — is what lets a batch take the device
+	// lock once per flush while keeping stats identical to serial draws.
+	chg   iosim.Accountant
+	batch *iosim.Batcher
 
 	// without-replacement state
 	parts []*part
 	fen   *fenwick
-	seen  map[data.ID]struct{}
+	seen  *sampling.IDSet
 	init  bool
 
 	// with-replacement state
-	wrNodes   []*rtree.Node
-	wrWeights []int
-	wrAlias   *stats.Alias
+	wrNodes     []*rtree.Node
+	wrContained []bool
+	wrWeights   []int
+	wrAlias     *stats.Alias
 	// MaxAttempts bounds with-replacement rejection retries (a query
 	// with q = 0 would otherwise never terminate).
 	MaxAttempts int
@@ -80,7 +91,7 @@ func (s *Sampler) Rejects() uint64 { return s.rejects }
 // this query's draws, so a fixed rng seed reproduces the same stream
 // regardless of what other queries run beside it.
 func (x *Index) Sampler(q geo.Rect, mode sampling.Mode, rng *stats.RNG) *Sampler {
-	return &Sampler{
+	s := &Sampler{
 		index:       x,
 		query:       q,
 		mode:        mode,
@@ -88,6 +99,8 @@ func (x *Index) Sampler(q geo.Rect, mode sampling.Mode, rng *stats.RNG) *Sampler
 		acct:        x.tree.Device(),
 		MaxAttempts: 1 << 22,
 	}
+	s.chg = s.acct
+	return s
 }
 
 // AttributeIO redirects this query's page charges to a. Pass an
@@ -96,13 +109,16 @@ func (x *Index) Sampler(q geo.Rect, mode sampling.Mode, rng *stats.RNG) *Sampler
 func (s *Sampler) AttributeIO(a iosim.Accountant) {
 	if a != nil {
 		s.acct = a
+		s.chg = a
+		s.batch = nil
 	}
 }
 
 // charge accounts one logical access of n's page to this query.
-func (s *Sampler) charge(n *rtree.Node) { s.acct.Access(n.PageID()) }
+func (s *Sampler) charge(n *rtree.Node) { s.chg.Access(n.PageID()) }
 
 var _ sampling.Sampler = (*Sampler)(nil)
+var _ sampling.BatchSampler = (*Sampler)(nil)
 
 // Name implements sampling.Sampler.
 func (s *Sampler) Name() string { return "RS-tree" }
@@ -118,6 +134,62 @@ func (s *Sampler) Next() (data.Entry, bool) {
 	return s.nextWithoutReplacement()
 }
 
+// NextBatch implements sampling.BatchSampler: it draws up to min(k,
+// len(dst)) samples using exactly the per-draw logic (and RNG consumption)
+// of Next, so the stream is byte-identical, while amortizing the per-draw
+// overheads across the batch: page charges are coalesced into run-length
+// batches (one device lock per flush instead of per draw), node buffers
+// regenerated during the batch are visited at most once, and steady-state
+// draws allocate nothing (scratch comes from pools).
+func (s *Sampler) NextBatch(dst []data.Entry, k int) int {
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 0 {
+		return 0
+	}
+	s.beginBatch()
+	defer s.endBatch()
+	if !s.init {
+		s.initialize()
+	}
+	got := 0
+	if s.mode == sampling.WithReplacement {
+		for got < k {
+			e, ok := s.nextWithReplacement()
+			if !ok {
+				break
+			}
+			dst[got] = e
+			got++
+		}
+		return got
+	}
+	for got < k {
+		e, ok := s.nextWithoutReplacement()
+		if !ok {
+			break
+		}
+		dst[got] = e
+		got++
+	}
+	return got
+}
+
+// beginBatch swaps the charge target to the query's run-length batcher.
+func (s *Sampler) beginBatch() {
+	if s.batch == nil || s.batch.Target() != s.acct {
+		s.batch = iosim.NewBatcher(s.acct)
+	}
+	s.chg = s.batch
+}
+
+// endBatch flushes pending charges and restores per-draw charging.
+func (s *Sampler) endBatch() {
+	s.batch.Flush()
+	s.chg = s.acct
+}
+
 // initialize builds the query frontier: the maximal subtrees fully inside
 // the query, plus partially-intersecting subtrees that are either leaves
 // or small enough (count <= LazyCutoff) to keep whole — the lazy
@@ -128,7 +200,7 @@ func (s *Sampler) initialize() {
 	s.init = true
 	if s.mode == sampling.WithoutReplacement {
 		s.fen = newFenwick(64)
-		s.seen = make(map[data.ID]struct{})
+		s.seen = sampling.NewIDSet(s.index.Len())
 	}
 	s.frontier(s.index.tree.Root())
 	if s.mode == sampling.WithReplacement && len(s.wrNodes) > 0 {
@@ -148,8 +220,9 @@ func (s *Sampler) frontier(n *rtree.Node) {
 	if n.Count() == 0 || !n.MBR().Intersects(s.query) {
 		return
 	}
-	if s.query.ContainsRect(n.MBR()) || n.IsLeaf() || n.Count() <= s.index.cfg.LazyCutoff {
-		s.addPart(n)
+	contained := s.query.ContainsRect(n.MBR())
+	if contained || n.IsLeaf() || n.Count() <= s.index.cfg.LazyCutoff {
+		s.addPart(n, contained)
 		return
 	}
 	for _, c := range n.Children() {
@@ -161,13 +234,14 @@ func (s *Sampler) frontier(n *rtree.Node) {
 // subtree cardinality: boundary parts include out-of-query mass, which is
 // burned off through consumed-and-rejected draws (or dropped wholesale at
 // materialization).
-func (s *Sampler) addPart(n *rtree.Node) {
+func (s *Sampler) addPart(n *rtree.Node, contained bool) {
 	if s.mode == sampling.WithReplacement {
 		s.wrNodes = append(s.wrNodes, n)
+		s.wrContained = append(s.wrContained, contained)
 		s.wrWeights = append(s.wrWeights, n.Count())
 		return
 	}
-	p := &part{node: n, buf: s.index.bufferFor(n, s.acct)}
+	p := &part{node: n, buf: s.index.bufferFor(n, s.chg), contained: contained}
 	s.fen.Append(n.Count())
 	s.parts = append(s.parts, p)
 }
@@ -188,15 +262,15 @@ func (s *Sampler) nextWithoutReplacement() (data.Entry, bool) {
 		if !ok {
 			if p.materialized || (p.node.IsLeaf() && len(p.buf) == p.node.Count()) {
 				// The exact remaining set is exhausted.
-				s.fen.Set(i, 0)
+				s.retirePart(p, i)
 				continue
 			}
 			s.materialize(p, i)
 			continue
 		}
-		s.seen[e.ID] = struct{}{}
+		s.seen.Add(e.ID)
 		s.fen.Add(i, -1)
-		if p.materialized || s.query.Contains(e.Pos) {
+		if p.materialized || p.contained || s.query.Contains(e.Pos) {
 			return e, true
 		}
 		s.rejects++
@@ -204,11 +278,21 @@ func (s *Sampler) nextWithoutReplacement() (data.Entry, bool) {
 	return data.Entry{}, false
 }
 
+// retirePart zeroes an exhausted part's weight and recycles its scratch.
+func (s *Sampler) retirePart(p *part, slot int) {
+	s.fen.Set(slot, 0)
+	if p.order != nil {
+		putInts(p.order)
+		p.order = nil
+	}
+	p.buf = nil
+}
+
 // nextFromBuffer returns the next not-yet-consumed entry of p's buffer in
 // query-local random order, or ok=false when the buffer is exhausted.
 func (s *Sampler) nextFromBuffer(p *part) (data.Entry, bool) {
 	if p.order == nil {
-		p.order = make([]int, len(p.buf))
+		p.order = getInts(len(p.buf))
 		for i := range p.order {
 			p.order[i] = i
 		}
@@ -218,7 +302,7 @@ func (s *Sampler) nextFromBuffer(p *part) (data.Entry, bool) {
 		p.order[p.cursor], p.order[j] = p.order[j], p.order[p.cursor]
 		e := p.buf[p.order[p.cursor]]
 		p.cursor++
-		if _, dup := s.seen[e.ID]; dup {
+		if s.seen.Contains(e.ID) {
 			// Defensive: stored buffers and materialized lists are
 			// disjoint from consumed entries by construction.
 			continue
@@ -236,35 +320,51 @@ func (s *Sampler) nextFromBuffer(p *part) (data.Entry, bool) {
 // actually drained — never more than a full range report.
 func (s *Sampler) materialize(p *part, slot int) {
 	s.explosions++
-	var remaining []data.Entry
-	s.collectMatching(p.node, &remaining)
+	remaining := make([]data.Entry, 0, p.node.Count())
+	s.collectMatching(p.node, p.contained, &remaining)
 	p.buf = remaining
-	p.order = nil
+	if p.order != nil {
+		putInts(p.order)
+		p.order = nil
+	}
 	p.cursor = 0
 	p.materialized = true
 	s.fen.Set(slot, len(remaining))
 }
 
-// collectMatching appends the subtree's unconsumed matching entries.
-func (s *Sampler) collectMatching(n *rtree.Node, out *[]data.Entry) {
-	s.charge(n)
-	if n.IsLeaf() {
-		for _, e := range n.Entries() {
-			if !s.query.Contains(e.Pos) {
-				continue
+// collectMatching appends the subtree's unconsumed matching entries in
+// depth-first order, using a pooled explicit stack (materialization scans
+// whole subtrees; recursion and per-call slices would be the dominant
+// allocations of a large query). contained skips the per-entry containment
+// test for subtrees known to lie inside the query.
+func (s *Sampler) collectMatching(root *rtree.Node, contained bool, out *[]data.Entry) {
+	stack := getNodeStack()
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s.charge(n)
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				if !contained && !s.query.Contains(e.Pos) {
+					continue
+				}
+				if s.seen.Contains(e.ID) {
+					continue
+				}
+				*out = append(*out, e)
 			}
-			if _, dup := s.seen[e.ID]; dup {
-				continue
+			continue
+		}
+		kids := n.Children()
+		// Reverse push keeps the pop order equal to recursive DFS order.
+		for i := len(kids) - 1; i >= 0; i-- {
+			if contained || kids[i].MBR().Intersects(s.query) {
+				stack = append(stack, kids[i])
 			}
-			*out = append(*out, e)
-		}
-		return
-	}
-	for _, c := range n.Children() {
-		if c.MBR().Intersects(s.query) {
-			s.collectMatching(c, out)
 		}
 	}
+	putNodeStack(stack)
 }
 
 // nextWithReplacement draws an independent uniform sample of P ∩ Q by
@@ -276,10 +376,11 @@ func (s *Sampler) nextWithReplacement() (data.Entry, bool) {
 		return data.Entry{}, false
 	}
 	for tries := 0; tries < s.MaxAttempts; tries++ {
-		n := s.wrNodes[s.wrAlias.Draw(s.rng)]
+		i := s.wrAlias.Draw(s.rng)
+		n := s.wrNodes[i]
 		pos := s.rng.Intn(n.Count())
 		e := s.entryAt(n, pos)
-		if s.query.Contains(e.Pos) {
+		if s.wrContained[i] || s.query.Contains(e.Pos) {
 			return e, true
 		}
 		s.rejects++

@@ -9,10 +9,12 @@ import (
 )
 
 // BulkLoad builds the tree from scratch over the given entries, replacing
-// any existing contents. Hilbert-mode trees are packed in Hilbert order
-// (the Hilbert R-tree construction the paper's RS-tree is built on);
-// otherwise Sort-Tile-Recursive (STR) packing is used. Both produce leaves
+// any existing contents. The sort order follows Config.Packing:
+// Sort-Tile-Recursive (the default) or Hilbert order (the Hilbert R-tree
+// construction the paper's RS-tree is built on). Both produce leaves
 // filled to the fanout, giving the compact trees the paper assumes.
+// Hilbert-mode trees remain insertable after an STR load: inserts still
+// place by Hilbert value and leaf LHVs are exact maxima either way.
 func (t *Tree) BulkLoad(entries []data.Entry) {
 	t.version++
 	t.size = len(entries)
@@ -23,7 +25,7 @@ func (t *Tree) BulkLoad(entries []data.Entry) {
 	}
 	sorted := make([]data.Entry, len(entries))
 	copy(sorted, entries)
-	if t.quant != nil {
+	if t.cfg.Packing == PackHilbert {
 		t.sortHilbert(sorted)
 	} else {
 		sortSTR(sorted, t.cfg.Fanout)
@@ -117,7 +119,14 @@ func (t *Tree) packLeaves(entries []data.Entry) []*Node {
 			n.mbr = n.mbr.ExtendPoint(e.Pos)
 		}
 		if t.quant != nil {
-			n.lhv = t.hilbertValue(n.entries[len(n.entries)-1].Pos)
+			// Max over entries, not the last one: only Hilbert-sorted input
+			// guarantees the last entry carries the largest value, and STR
+			// packing is the default.
+			for _, e := range n.entries {
+				if v := t.hilbertValue(e.Pos); v > n.lhv {
+					n.lhv = v
+				}
+			}
 		}
 		t.chargeWrite(n)
 		nodes = append(nodes, n)

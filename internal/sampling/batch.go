@@ -1,0 +1,152 @@
+package sampling
+
+import (
+	"storm/internal/data"
+	"storm/internal/iosim"
+)
+
+// BatchSampler is implemented by samplers with a batched fast path.
+//
+// NextBatch fills dst[:n] with the next min(k, len(dst)) samples of the
+// stream and returns n; n < k means the stream is exhausted (matching
+// Next's ok = false). The stream contract is strict: for any fixed seed,
+// the concatenation of NextBatch results is byte-identical to the sequence
+// of repeated Next calls, in any interleaving of the two. Batching only
+// amortizes per-sample overheads (lock acquisitions, I/O charge
+// bookkeeping, allocation) — never the draw distribution.
+type BatchSampler interface {
+	Sampler
+	NextBatch(dst []data.Entry, k int) int
+}
+
+// NextBatch draws up to min(k, len(dst)) samples from s into dst and
+// returns how many were drawn, using the sampler's batched fast path when
+// it has one and falling back to repeated Next otherwise. This is the one
+// call sites use, so every Sampler is batchable.
+func NextBatch(s Sampler, dst []data.Entry, k int) int {
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 0 {
+		return 0
+	}
+	if bs, ok := s.(BatchSampler); ok {
+		return bs.NextBatch(dst, k)
+	}
+	n := 0
+	for n < k {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[n] = e
+		n++
+	}
+	return n
+}
+
+// reuseBatcher returns batch if it already forwards to acct, otherwise a
+// fresh Batcher targeting acct. Samplers keep their Batcher across
+// NextBatch calls so its run buffers are allocated once per query.
+func reuseBatcher(batch *iosim.Batcher, acct iosim.Accountant) *iosim.Batcher {
+	if batch != nil && batch.Target() == acct {
+		return batch
+	}
+	return iosim.NewBatcher(acct)
+}
+
+var _ BatchSampler = (*QueryFirst)(nil)
+
+// NextBatch implements BatchSampler. QueryFirst has no per-sample I/O to
+// amortize (all I/O happens in the one up-front range report), so the fast
+// path just inlines the permutation loop.
+func (s *QueryFirst) NextBatch(dst []data.Entry, k int) int {
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 0 {
+		return 0
+	}
+	if !s.fetched {
+		s.matched = s.tree.ReportAllTo(s.acct, s.query)
+		s.fetched = true
+	}
+	n := len(s.matched)
+	if n == 0 {
+		return 0
+	}
+	if s.mode == WithReplacement {
+		for i := 0; i < k; i++ {
+			dst[i] = s.matched[s.rng.Intn(n)]
+		}
+		return k
+	}
+	got := 0
+	for got < k && s.cursor < n {
+		j := s.cursor + s.rng.Intn(n-s.cursor)
+		s.matched[s.cursor], s.matched[j] = s.matched[j], s.matched[s.cursor]
+		dst[got] = s.matched[s.cursor]
+		s.cursor++
+		got++
+	}
+	return got
+}
+
+var _ BatchSampler = (*SampleFirst)(nil)
+
+// NextBatch implements BatchSampler. The rejection loop is identical to
+// Next's — same RNG consumption, so the stream matches — but page charges
+// for the whole batch are coalesced into run-length batches, taking the
+// device lock once per flush instead of once per inspected record.
+func (s *SampleFirst) NextBatch(dst []data.Entry, k int) int {
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 0 {
+		return 0
+	}
+	prev := s.dev
+	s.batch = reuseBatcher(s.batch, prev)
+	s.dev = s.batch
+	got := 0
+	for got < k {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[got] = e
+		got++
+	}
+	s.dev = prev
+	s.batch.Flush()
+	return got
+}
+
+var _ BatchSampler = (*RandomPath)(nil)
+
+// NextBatch implements BatchSampler: repeated root-to-leaf walks with the
+// batch's node charges coalesced (one device lock per flush rather than
+// per visited node).
+func (s *RandomPath) NextBatch(dst []data.Entry, k int) int {
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 0 {
+		return 0
+	}
+	prev := s.acct
+	s.batch = reuseBatcher(s.batch, prev)
+	s.acct = s.batch
+	got := 0
+	for got < k {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[got] = e
+		got++
+	}
+	s.acct = prev
+	s.batch.Flush()
+	return got
+}

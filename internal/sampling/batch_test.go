@@ -1,0 +1,152 @@
+package sampling
+
+import (
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/iosim"
+	"storm/internal/rtree"
+	"storm/internal/stats"
+)
+
+// batchTestEntries builds a uniform point set over [0,100]^3.
+func batchTestEntries(n int, seed int64) []data.Entry {
+	rng := stats.NewRNG(seed)
+	out := make([]data.Entry, n)
+	for i := range out {
+		out[i] = data.Entry{
+			ID:  data.ID(i),
+			Pos: geo.Vec{rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)},
+		}
+	}
+	return out
+}
+
+var batchQuery = geo.NewRect(geo.Vec{25, 25, 0}, geo.Vec{70, 70, 100})
+
+// checkBatchEquivalence draws one stream serially and one via NextBatch
+// with varying batch sizes; the two must be byte-identical.
+func checkBatchEquivalence(t *testing.T, label string, mk func(seed int64) Sampler, limit int) {
+	t.Helper()
+	serial := func(seed int64) []data.ID {
+		s := mk(seed)
+		var out []data.ID
+		for len(out) < limit {
+			e, ok := s.Next()
+			if !ok {
+				break
+			}
+			out = append(out, e.ID)
+		}
+		return out
+	}
+	want := serial(9)
+	if len(want) == 0 {
+		t.Fatalf("%s: empty reference stream", label)
+	}
+	for _, sizes := range [][]int{{1}, {17}, {256}, {2, 99, 5}} {
+		s := mk(9)
+		buf := make([]data.Entry, 256)
+		var got []data.ID
+		for i := 0; len(got) < limit; i++ {
+			k := sizes[i%len(sizes)]
+			if k > limit-len(got) {
+				k = limit - len(got)
+			}
+			n := NextBatch(s, buf, k)
+			for _, e := range buf[:n] {
+				got = append(got, e.ID)
+			}
+			if n < k {
+				break
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s sizes %v: lengths differ: %d vs %d", label, sizes, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s sizes %v: diverge at %d: %d vs %d", label, sizes, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueryFirstBatchEquivalence(t *testing.T) {
+	entries := batchTestEntries(8000, 3)
+	tr := rtree.MustNew(rtree.Config{Fanout: 16})
+	tr.BulkLoad(entries)
+	for _, mode := range []Mode{WithoutReplacement, WithReplacement} {
+		checkBatchEquivalence(t, "QueryFirst", func(seed int64) Sampler {
+			return NewQueryFirst(tr, batchQuery, mode, stats.NewRNG(seed))
+		}, 2000)
+	}
+}
+
+func TestSampleFirstBatchEquivalence(t *testing.T) {
+	entries := batchTestEntries(8000, 5)
+	ds := data.NewDataset("batch-test")
+	for _, e := range entries {
+		ds.AppendFast(e.Pos)
+	}
+	dev := iosim.NewDevice(64, iosim.DefaultCostModel())
+	for _, mode := range []Mode{WithoutReplacement, WithReplacement} {
+		checkBatchEquivalence(t, "SampleFirst", func(seed int64) Sampler {
+			return NewSampleFirst(ds, batchQuery, mode, stats.NewRNG(seed), dev, 64)
+		}, 1500)
+	}
+}
+
+func TestRandomPathBatchEquivalence(t *testing.T) {
+	entries := batchTestEntries(8000, 7)
+	tr := rtree.MustNew(rtree.Config{Fanout: 16})
+	tr.BulkLoad(entries)
+	for _, mode := range []Mode{WithoutReplacement, WithReplacement} {
+		checkBatchEquivalence(t, "RandomPath", func(seed int64) Sampler {
+			return NewRandomPath(tr, batchQuery, mode, stats.NewRNG(seed))
+		}, 1500)
+	}
+}
+
+// TestBatchedChargesMatchSerial verifies that the batched fast path charges
+// exactly the I/O the serial path does — the device totals after a batched
+// stream must equal the totals after the same serial stream.
+func TestBatchedChargesMatchSerial(t *testing.T) {
+	entries := batchTestEntries(8000, 11)
+
+	run := func(batched bool) iosim.Stats {
+		dev := iosim.NewDevice(32, iosim.DefaultCostModel())
+		tr := rtree.MustNew(rtree.Config{Fanout: 16, Device: dev})
+		tr.BulkLoad(entries)
+		dev.DropCache()
+		dev.ResetStats()
+		s := NewRandomPath(tr, batchQuery, WithoutReplacement, stats.NewRNG(13))
+		if batched {
+			buf := make([]data.Entry, 128)
+			for drawn := 0; drawn < 1000; {
+				k := 128
+				if k > 1000-drawn {
+					k = 1000 - drawn
+				}
+				n := s.NextBatch(buf, k)
+				if n == 0 {
+					break
+				}
+				drawn += n
+			}
+		} else {
+			for drawn := 0; drawn < 1000; drawn++ {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+		}
+		return dev.Stats()
+	}
+
+	serial, batch := run(false), run(true)
+	if serial != batch {
+		t.Errorf("I/O accounting diverges:\n  serial  %v\n  batched %v", serial, batch)
+	}
+}

@@ -30,7 +30,8 @@ type RandomPath struct {
 	mode  Mode
 	rng   *stats.RNG
 	acct  iosim.Accountant
-	seen  map[data.ID]struct{}
+	batch *iosim.Batcher // reused by NextBatch; charges go to acct
+	seen  *IDSet
 	// remaining is the exact number of matching records left to emit in
 	// without-replacement mode; -1 until first computed.
 	remaining int
@@ -47,7 +48,7 @@ func NewRandomPath(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG) *Random
 		MaxWalks:  1 << 22,
 	}
 	if mode == WithoutReplacement {
-		s.seen = make(map[data.ID]struct{})
+		s.seen = NewIDSet(t.Len())
 	}
 	return s
 }
@@ -83,10 +84,10 @@ func (s *RandomPath) Next() (data.Entry, bool) {
 			continue
 		}
 		if s.mode == WithoutReplacement {
-			if _, dup := s.seen[e.ID]; dup {
+			if s.seen.Contains(e.ID) {
 				continue
 			}
-			s.seen[e.ID] = struct{}{}
+			s.seen.Add(e.ID)
 			s.remaining--
 		}
 		return e, true

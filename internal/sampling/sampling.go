@@ -128,8 +128,9 @@ type SampleFirst struct {
 	// append-only columnar store SampleFirst draws from. Rejection keeps
 	// the accepted stream uniform over the live matching records.
 	Filter   func(data.ID) bool
-	seen     map[data.ID]struct{}
-	attempts uint64 // total attempts, for instrumentation
+	seen     *IDSet
+	batch    *iosim.Batcher // reused by NextBatch; charges go to dev
+	attempts uint64         // total attempts, for instrumentation
 }
 
 // NewSampleFirst returns a SampleFirst sampler over the raw dataset. dev
@@ -147,7 +148,7 @@ func NewSampleFirst(ds *data.Dataset, q geo.Rect, mode Mode, rng *stats.RNG, dev
 		MaxAttempts: 200 * ds.Len(),
 	}
 	if mode == WithoutReplacement {
-		s.seen = make(map[data.ID]struct{})
+		s.seen = NewIDSet(ds.Len())
 	}
 	return s
 }
@@ -184,10 +185,10 @@ func (s *SampleFirst) Next() (data.Entry, bool) {
 			continue
 		}
 		if s.mode == WithoutReplacement {
-			if _, dup := s.seen[id]; dup {
+			if s.seen.Contains(id) {
 				continue
 			}
-			s.seen[id] = struct{}{}
+			s.seen.Add(id)
 		}
 		return data.Entry{ID: id, Pos: pos}, true
 	}

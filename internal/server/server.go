@@ -228,7 +228,7 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	for snap := range ch {
+	encode := func(snap engine.Snapshot) bool {
 		out := SnapshotJSON{
 			Kind:       snap.Kind.String(),
 			Value:      snap.Value,
@@ -243,8 +243,28 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 			IOHits:     snap.IO.Hits,
 			Done:       snap.Done,
 		}
-		if err := enc.Encode(out); err != nil {
+		return enc.Encode(out) == nil
+	}
+	for snap := range ch {
+		if !encode(snap) {
 			return // client gone; ctx cancellation stops the query
+		}
+		// Coalesce: when the evaluator's batched loop produced several
+		// snapshots since the last write, encode everything already queued
+		// and flush the connection once for the whole burst.
+	drain:
+		for {
+			select {
+			case more, ok := <-ch:
+				if !ok {
+					break drain
+				}
+				if !encode(more) {
+					return
+				}
+			default:
+				break drain
+			}
 		}
 		if flusher != nil {
 			flusher.Flush()

@@ -6,11 +6,12 @@ GO ?= go
 # query engine, the I/O accounting, the HTTP server and the simulated
 # cluster all run under -race.
 RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
-	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/
+	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/ \
+	./internal/obs/
 
-.PHONY: verify fmt vet build test race bench bench-batch
+.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs
 
-verify: fmt vet build test race
+verify: fmt vet build test race docs-lint
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -35,3 +36,13 @@ bench:
 # of two runs (before/after) into benchstat to quantify the fast path.
 bench-batch:
 	$(GO) test -run NONE -bench 'BenchmarkBatchedSampling' -benchtime 500x -count 5 -benchmem .
+
+# Godoc discipline: every exported identifier in the observability-facing
+# packages must have a doc comment (stdlib-only checker, see cmd/docslint).
+docs-lint:
+	$(GO) run ./cmd/docslint
+
+# Metrics-on vs metrics-off cost of the instrumented batched query path;
+# TestObsOverheadBudget enforces the <=2% budget when asked explicitly.
+bench-obs:
+	$(GO) test -run NONE -bench 'BenchmarkObsOverhead' -benchtime 200x -benchmem ./internal/engine/

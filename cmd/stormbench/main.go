@@ -12,15 +12,23 @@
 //	stormbench -fig a1|a2|a3|a4       # ablations (buffer pool, S(u) size,
 //	                                  # updates, distributed scaling)
 //	stormbench -fig all               # everything
+//
+// -metrics attaches an observability registry (see internal/obs) to each
+// figure run and prints the collected counters — per-method sampler draws,
+// rejects, explosions, level scans, and physical I/O — after the figure's
+// table, in the same storm.* naming scheme that stormd serves at /metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"storm/internal/bench"
+	"storm/internal/obs"
 	"storm/internal/viz"
 )
 
@@ -39,6 +47,7 @@ func main() {
 	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
 	seed := flag.Int64("seed", 1, "generator/sampling seed")
 	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
+	metrics := flag.Bool("metrics", false, "collect and print storm.* observability counters per figure")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -46,10 +55,17 @@ func main() {
 		if want != "all" && want != name {
 			return
 		}
+		if *metrics {
+			// Fresh registry per figure so each dump covers one figure only.
+			bench.Obs = obs.NewRegistry()
+		}
 		fmt.Printf("==== %s ====\n", strings.ToUpper(name))
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "stormbench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if *metrics {
+			dumpMetrics(bench.Obs)
 		}
 		fmt.Println()
 	}
@@ -65,6 +81,28 @@ func main() {
 	run("a4", func() error { return a4(*seed) })
 	run("a5", func() error { return a5(*seed) })
 	run("a6", func() error { return a6(*seed) })
+}
+
+// dumpMetrics prints every registry entry as "name<TAB>value", sorted by
+// name, with composite values (histograms) rendered as compact JSON.
+func dumpMetrics(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("-- metrics --")
+	for _, name := range names {
+		b, err := json.Marshal(snap[name])
+		if err != nil {
+			b = []byte(fmt.Sprintf("%v", snap[name]))
+		}
+		fmt.Printf("%s\t%s\n", name, b)
+	}
 }
 
 func a6(seed int64) error {

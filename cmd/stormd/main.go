@@ -7,6 +7,15 @@
 //	curl localhost:8080/datasets
 //	curl -d '{"statement":"ESTIMATE AVG(altitude) FROM osm WHERE REGION(-112.4,40.2,-111.4,41.2) WITH ERROR 1%"}' localhost:8080/query
 //	curl 'localhost:8080/explain?q=COUNT%20FROM%20osm'
+//
+// Observability (see DESIGN.md "Observability"):
+//
+//	curl localhost:8080/metrics              engine + server metrics (expvar JSON)
+//	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
+//	curl localhost:8080/debug/pprof/         pprof index
+//
+// -no-metrics disables metric collection; -no-pprof leaves the profiling
+// endpoints unmounted (for exposed deployments).
 package main
 
 import (
@@ -14,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"storm/internal/data"
@@ -28,9 +38,12 @@ func main() {
 	tweetN := flag.Int("tweets", 300_000, "tweet-like records")
 	stations := flag.Int("stations", 2_000, "weather stations")
 	seed := flag.Int64("seed", 1, "generator seed")
+	pool := flag.Int("pool", 0, "simulated buffer pool pages (0 disables I/O simulation)")
+	noMetrics := flag.Bool("no-metrics", false, "disable metric collection and /metrics")
+	noPprof := flag.Bool("no-pprof", false, "do not mount /debug/pprof/")
 	flag.Parse()
 
-	eng := engine.New(engine.Config{Seed: *seed})
+	eng := engine.New(engine.Config{Seed: *seed, BufferPoolPages: *pool, NoMetrics: *noMetrics})
 	fmt.Fprintln(os.Stderr, "stormd: generating demo datasets...")
 	tweets, _ := gen.Tweets(gen.TweetsConfig{N: *tweetN, Seed: *seed, Snowstorm: true})
 	for _, ds := range []*data.Dataset{
@@ -42,8 +55,23 @@ func main() {
 			log.Fatalf("stormd: registering %s: %v", ds.Name(), err)
 		}
 	}
+
+	// The API server (including /metrics) mounts at the root; the pprof
+	// handlers are wired explicitly onto a top-level mux rather than via
+	// net/http/pprof's DefaultServeMux side effects, so nothing is served
+	// that was not deliberately mounted here.
+	mux := http.NewServeMux()
+	mux.Handle("/", server.New(eng))
+	if !*noPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	fmt.Fprintf(os.Stderr, "stormd: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -84,6 +84,7 @@ func A1(cfg A1Config) ([]A1Point, error) {
 				break
 			}
 		}
+		record("a1", "RS-tree", s, devRS)
 		st := devRS.Stats()
 		out = append(out, A1Point{Method: "RS-tree", PoolFrac: frac, Reads: st.Reads,
 			HitRate: float64(st.Hits) / float64(st.Logical)})
@@ -98,6 +99,7 @@ func A1(cfg A1Config) ([]A1Point, error) {
 				break
 			}
 		}
+		record("a1", "RandomPath", rp, devRP)
 		st = devRP.Stats()
 		out = append(out, A1Point{Method: "RandomPath", PoolFrac: frac, Reads: st.Reads,
 			HitRate: float64(st.Hits) / float64(st.Logical)})
@@ -190,6 +192,7 @@ func A2(cfg A2Config) ([]A2Point, error) {
 			got++
 		}
 		elapsed := time.Since(start)
+		record("a2", "RS-tree", s, dev)
 		st := dev.Stats()
 		out = append(out, A2Point{
 			BufSize:           bufSize,
@@ -579,7 +582,7 @@ func A4(cfg A4Config) ([]A4Point, error) {
 
 	var out []A4Point
 	for _, shards := range cfg.Shards {
-		c, err := distr.Build(ds, distr.Config{Shards: shards, Seed: cfg.Seed})
+		c, err := distr.Build(ds, distr.Config{Shards: shards, Seed: cfg.Seed, Obs: Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -594,7 +597,7 @@ func A4(cfg A4Config) ([]A4Point, error) {
 		elapsed := time.Since(start)
 
 		// Same pull through the batched protocol on an identical cluster.
-		cb, err := distr.Build(ds, distr.Config{Shards: shards, Seed: cfg.Seed})
+		cb, err := distr.Build(ds, distr.Config{Shards: shards, Seed: cfg.Seed, Obs: Obs})
 		if err != nil {
 			return nil, err
 		}

@@ -159,6 +159,7 @@ func Fig3a(cfg Fig3aConfig) ([]Fig3aPoint, error) {
 				got++
 			}
 			elapsed := time.Since(start)
+			record("fig3a", m.name, s, m.dev)
 			st := m.dev.Stats()
 			out = append(out, Fig3aPoint{
 				Method:    m.name,
@@ -284,6 +285,7 @@ func Fig3b(cfg Fig3bConfig) ([]Fig3bPoint, error) {
 					ci++
 				}
 			}
+			record("fig3b", m.name, s, nil)
 		}
 		for i, k := range cfg.Checkpoints {
 			out = append(out, Fig3bPoint{

@@ -31,12 +31,14 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"storm/internal/data"
 	"storm/internal/estimator"
 	"storm/internal/geo"
 	"storm/internal/hilbert"
 	"storm/internal/iosim"
+	"storm/internal/obs"
 	"storm/internal/rstree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
@@ -56,6 +58,10 @@ type Config struct {
 	// BufferPoolPages gives each shard a simulated buffer pool of this
 	// many pages; 0 disables I/O accounting.
 	BufferPoolPages int
+	// Obs receives the cluster's metrics (fan-out latency, per-shard
+	// fetch latency, live network counters). Nil disables collection at
+	// zero cost (see package obs).
+	Obs *obs.Registry
 }
 
 // NetStats counts simulated network traffic.
@@ -93,6 +99,43 @@ type Cluster struct {
 	shards   []*Shard
 	net      NetStats
 	rngSeq   int64
+	met      clusterMetrics
+}
+
+// clusterMetrics holds the cluster's resolved metric handles; all-nil
+// (every write a no-op) when Config.Obs is nil.
+type clusterMetrics struct {
+	// fanoutMS times each coordinator fan-out round: a Count round, a
+	// sampler's initialization round, or a scatter/gather partial round.
+	fanoutMS *obs.Histogram
+	// fetchMS times individual shard sample fetches (one request/response
+	// round trip in the simulation).
+	fetchMS *obs.Histogram
+	// fetches counts shard sample-fetch messages issued by samplers.
+	fetches *obs.Counter
+}
+
+// initMetrics resolves the cluster's metrics against cfg.Obs and
+// re-exports the network totals as live scrape-time Funcs.
+func (c *Cluster) initMetrics() {
+	reg := c.cfg.Obs
+	c.met = clusterMetrics{
+		fanoutMS: reg.Histogram("storm.distr.fanout.latency_ms", obs.LatencyBucketsMS),
+		fetchMS:  reg.Histogram("storm.distr.fetch.latency_ms", obs.LatencyBucketsMS),
+		fetches:  reg.Counter("storm.distr.fetches"),
+	}
+	reg.PublishFunc("storm.distr.shards", func() any { return len(c.shards) })
+	reg.PublishFunc("storm.distr.net.messages", func() any { return c.Net().Messages })
+	reg.PublishFunc("storm.distr.net.samples_moved", func() any { return c.Net().SamplesMoved })
+}
+
+// observeMS records elapsed wall time since start into h (no-op on a nil
+// histogram).
+func observeMS(h *obs.Histogram, start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 }
 
 // Build partitions the dataset into contiguous Hilbert ranges and builds a
@@ -161,6 +204,7 @@ func Build(ds *data.Dataset, cfg Config) (*Cluster, error) {
 		}
 		c.shards = append(c.shards, &Shard{ID: s, index: idx, device: dev, count: len(part)})
 	}
+	c.initMetrics()
 	return c, nil
 }
 
@@ -237,6 +281,8 @@ func (c *Cluster) Delete(e data.Entry) bool {
 // (one request and one response message each), as the coordinator of a
 // real cluster would.
 func (c *Cluster) Count(q geo.Rect) int {
+	start := time.Now()
+	defer observeMS(c.met.fanoutMS, start)
 	c.structMu.RLock()
 	defer c.structMu.RUnlock()
 	counts := make([]int, len(c.shards))
@@ -291,8 +337,10 @@ func (s *Sampler) Name() string { return "distributed-rs-tree" }
 // parallel. Seeds are drawn serially up front so the stream is
 // deterministic in the cluster's seed sequence regardless of shard timing.
 func (s *Sampler) initialize() {
+	start := time.Now()
 	s.init = true
 	cl := s.cluster
+	defer observeMS(cl.met.fanoutMS, start)
 	s.samplers = make([]*rstree.Sampler, len(cl.shards))
 	s.remaining = make([]int, len(cl.shards))
 	s.buffers = make([][]data.Entry, len(cl.shards))
@@ -486,6 +534,9 @@ func (s *Sampler) fetchInto(shard, n int) {
 		s.buffers[shard] = s.buffers[shard][:0]
 		s.heads[shard] = 0
 	}
+	fetchStart := time.Now()
+	defer observeMS(s.cluster.met.fetchMS, fetchStart)
+	s.cluster.met.fetches.Inc()
 	s.cluster.structMu.RLock()
 	defer s.cluster.structMu.RUnlock()
 	buf := s.buffers[shard]
@@ -549,6 +600,8 @@ func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) 
 	if err != nil {
 		return estimator.Welford{}, err
 	}
+	start := time.Now()
+	defer observeMS(c.met.fanoutMS, start)
 	c.structMu.RLock()
 	defer c.structMu.RUnlock()
 	counts := make([]int, len(c.shards))

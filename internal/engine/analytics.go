@@ -57,6 +57,8 @@ func (h *Handle) sampleLoop(ctx context.Context, q geo.Rect, opts AnalyticOption
 		return err
 	}
 	start := time.Now()
+	qo := h.eng.met.beginQuery(start)
+	defer qo.end()
 	var deadline time.Time
 	if opts.TimeBudget > 0 {
 		deadline = start.Add(opts.TimeBudget)
@@ -87,6 +89,7 @@ func (h *Handle) sampleLoop(ctx context.Context, q geo.Rect, opts AnalyticOption
 			want = opts.MaxSamples - accepted
 		}
 		n := sampling.NextBatch(sampler, buf, want)
+		qo.batch(sampler, n)
 		for _, e := range buf[:n] {
 			if opts.Filter != nil && !opts.Filter(e.ID) {
 				continue

@@ -34,6 +34,7 @@ import (
 	"storm/internal/geo"
 	"storm/internal/iosim"
 	"storm/internal/lstree"
+	"storm/internal/obs"
 	"storm/internal/rstree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
@@ -82,6 +83,15 @@ type Config struct {
 	BufferPoolPages int
 	// Fanout overrides the index fanout; 0 means rtree.DefaultFanout.
 	Fanout int
+	// Obs receives the engine's metrics. Nil means the engine creates a
+	// private registry (metrics are on by default, retrievable via
+	// Engine.Obs); pass a shared registry to merge engine metrics with a
+	// server's or benchmark's.
+	Obs *obs.Registry
+	// NoMetrics disables metric collection entirely: Engine.Obs returns
+	// nil and every instrumentation site degrades to a nil check (see
+	// package obs). Config.Obs is ignored when set.
+	NoMetrics bool
 }
 
 // Engine manages datasets, their sampling indexes, and query execution.
@@ -91,6 +101,8 @@ type Engine struct {
 	datasets map[string]*Handle
 	device   *iosim.Device
 	seedSeq  int64
+	obs      *obs.Registry
+	met      *metrics
 }
 
 // New returns an engine with the given configuration.
@@ -99,8 +111,29 @@ func New(cfg Config) *Engine {
 	if cfg.BufferPoolPages > 0 {
 		e.device = iosim.NewDevice(cfg.BufferPoolPages, iosim.DefaultCostModel())
 	}
+	if !cfg.NoMetrics {
+		e.obs = cfg.Obs
+		if e.obs == nil {
+			e.obs = obs.NewRegistry()
+		}
+	}
+	e.met = newMetrics(e.obs)
+	if e.device != nil {
+		// Re-export the shared buffer pool's counters as live gauges:
+		// the device owns the numbers, the Funcs read them at scrape
+		// time, so nothing is double-counted.
+		dev := e.device
+		e.obs.PublishFunc("storm.iosim.pool.hits", func() any { return dev.Stats().Hits })
+		e.obs.PublishFunc("storm.iosim.pool.misses", func() any { return dev.Stats().Reads })
+		e.obs.PublishFunc("storm.iosim.pool.evictions", func() any { return dev.Stats().Evictions })
+	}
 	return e
 }
+
+// Obs returns the engine's metrics registry, or nil when metrics are
+// disabled (Config.NoMetrics). The registry serves expvar-format JSON via
+// its ServeHTTP — package server mounts it at /metrics.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
 
 // Device returns the engine's simulated block device, or nil when I/O
 // simulation is disabled.
@@ -169,6 +202,12 @@ func (e *Engine) Register(ds *data.Dataset, opts IndexOptions) (*Handle, error) 
 		h.ls = ls
 	}
 	e.datasets[ds.Name()] = h
+	// Per-dataset live gauges; torn down by Unregister via the shared
+	// name prefix. Publish replaces, so re-registering after Unregister
+	// rebinds the Funcs to the new handle.
+	prefix := "storm.dataset." + ds.Name() + "."
+	e.obs.PublishFunc(prefix+"records", func() any { return h.Len() })
+	e.obs.PublishFunc(prefix+"buffer_regens", func() any { return rs.BufferRegens() })
 	return h, nil
 }
 
@@ -186,6 +225,7 @@ func (e *Engine) Unregister(name string) error {
 		return fmt.Errorf("engine: unknown dataset %q", name)
 	}
 	delete(e.datasets, name)
+	e.obs.Unpublish("storm.dataset." + name + ".")
 	return nil
 }
 

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"math"
+	"time"
+
+	"storm/internal/obs"
+	"storm/internal/sampling"
+)
+
+// metrics holds the engine's resolved metric handles. Handles are fetched
+// once at engine construction, so the query hot path never touches the
+// registry map; with metrics disabled (Config.NoMetrics) every handle is
+// nil and each write degrades to a single nil check (see package obs).
+type metrics struct {
+	queriesStarted *obs.Counter
+	queriesDone    *obs.Counter
+	queriesActive  *obs.Gauge
+
+	samplesDrawn      *obs.Counter
+	samplerRejects    *obs.Counter
+	samplerExplosions *obs.Counter
+	samplerScans      *obs.Counter
+
+	batchSize      *obs.Histogram
+	ciRelWidth     *obs.Histogram
+	queryLatencyMS *obs.Histogram
+
+	ttci []ttciMilestone
+}
+
+// ttciMilestone is one time-to-CI-width target: the histogram records how
+// long queries took to first shrink their relative CI width to rel.
+type ttciMilestone struct {
+	rel  float64
+	hist *obs.Histogram
+}
+
+// ttciThresholds are the convergence milestones exported as
+// storm.engine.ttci.* histograms, widest first (queries cross them in
+// this order).
+var ttciThresholds = []struct {
+	rel  float64
+	name string
+}{
+	{0.10, "storm.engine.ttci.rel10pct_ms"},
+	{0.05, "storm.engine.ttci.rel5pct_ms"},
+	{0.01, "storm.engine.ttci.rel1pct_ms"},
+}
+
+// newMetrics resolves every engine metric against reg. A nil registry
+// yields all-nil handles, making every recording site a no-op.
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		queriesStarted:    reg.Counter("storm.engine.queries.started"),
+		queriesDone:       reg.Counter("storm.engine.queries.done"),
+		queriesActive:     reg.Gauge("storm.engine.queries.active"),
+		samplesDrawn:      reg.Counter("storm.engine.samples.drawn"),
+		samplerRejects:    reg.Counter("storm.engine.sampler.rejects"),
+		samplerExplosions: reg.Counter("storm.engine.sampler.explosions"),
+		samplerScans:      reg.Counter("storm.engine.sampler.scans"),
+		batchSize:         reg.Histogram("storm.engine.batch.size", obs.BatchSizeBuckets),
+		ciRelWidth:        reg.Histogram("storm.engine.ci.relwidth", obs.CIWidthBuckets),
+		queryLatencyMS:    reg.Histogram("storm.engine.query.latency_ms", obs.LatencyBucketsMS),
+	}
+	for _, t := range ttciThresholds {
+		m.ttci = append(m.ttci, ttciMilestone{rel: t.rel, hist: reg.Histogram(t.name, obs.LatencyBucketsMS)})
+	}
+	return m
+}
+
+// queryObs is one query's metric state: the sampler-stats cursor for
+// delta flushing and the milestone cursor for time-to-CI tracking. It is
+// query-goroutine-local, so nothing here is atomic — the per-draw hot
+// path stays untouched and metric writes happen once per batch or per
+// report point.
+type queryObs struct {
+	met       *metrics
+	start     time.Time
+	last      sampling.SamplerStats
+	milestone int
+}
+
+// beginQuery records a query start and returns its metric state; pair
+// with queryObs.end.
+func (m *metrics) beginQuery(start time.Time) *queryObs {
+	m.queriesStarted.Inc()
+	m.queriesActive.Add(1)
+	return &queryObs{met: m, start: start}
+}
+
+// end records query completion and its total latency.
+func (q *queryObs) end() {
+	m := q.met
+	m.queriesActive.Add(-1)
+	m.queriesDone.Inc()
+	m.queryLatencyMS.Observe(msSince(q.start))
+}
+
+// batch flushes one NextBatch round into the registry: the pull size and
+// the sampler's counter deltas since the previous flush. Samplers that do
+// not implement StatsReporter still contribute their returned sample
+// count.
+func (q *queryObs) batch(s sampling.Sampler, n int) {
+	m := q.met
+	m.batchSize.Observe(float64(n))
+	if r, ok := s.(sampling.StatsReporter); ok {
+		cur := r.SamplerStats()
+		m.samplesDrawn.Add(cur.Draws - q.last.Draws)
+		m.samplerRejects.Add(cur.Rejects - q.last.Rejects)
+		m.samplerExplosions.Add(cur.Explosions - q.last.Explosions)
+		m.samplerScans.Add(cur.Scans - q.last.Scans)
+		q.last = cur
+	} else if n > 0 {
+		m.samplesDrawn.Add(uint64(n))
+	}
+}
+
+// ci records one emitted snapshot's relative CI width and stamps any
+// newly crossed time-to-CI milestones. Non-finite widths (an estimate of
+// zero, or no samples yet) are skipped rather than polluting the
+// distribution.
+func (q *queryObs) ci(rel float64) {
+	if math.IsNaN(rel) || math.IsInf(rel, 0) {
+		return
+	}
+	m := q.met
+	m.ciRelWidth.Observe(rel)
+	for q.milestone < len(m.ttci) && rel <= m.ttci[q.milestone].rel {
+		m.ttci[q.milestone].hist.Observe(msSince(q.start))
+		q.milestone++
+	}
+}
+
+// msSince returns the elapsed time since t in (fractional) milliseconds.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

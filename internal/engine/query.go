@@ -133,6 +133,8 @@ func (h *Handle) Estimate(ctx context.Context, q geo.Range, opts Options) (Snaps
 // runEstimate is the evaluator loop. Caller holds h.mu.
 func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out chan<- Snapshot) {
 	start := time.Now()
+	qo := h.eng.met.beginQuery(start)
+	defer qo.end()
 	seed := opts.Seed
 	if seed == 0 {
 		seed = h.eng.nextSeed()
@@ -167,6 +169,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		if ctr != nil {
 			s.IO = ctr.Snapshot()
 		}
+		qo.ci(s.RelativeErrorBound())
 		select {
 		case out <- s:
 			return true
@@ -243,6 +246,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 			want = opts.MaxSamples - k
 		}
 		n := sampling.NextBatch(sampler, buf, want)
+		qo.batch(sampler, n)
 		for _, e := range buf[:n] {
 			est.Add(col[e.ID])
 			k++
@@ -272,6 +276,8 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 // holds h.mu. The Snapshot's HalfWidth is the wider side of the
 // order-statistic confidence bounds.
 func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, population int, rng *stats.RNG, start time.Time, out chan<- Snapshot) {
+	qo := h.eng.met.beginQuery(start)
+	defer qo.end()
 	p := opts.QuantileP
 	if opts.Kind == estimator.Median {
 		p = 0.5
@@ -327,6 +333,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		if ctr != nil {
 			s.IO = ctr.Snapshot()
 		}
+		qo.ci(s.RelativeErrorBound())
 		select {
 		case out <- s:
 			return true
@@ -358,6 +365,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 			want = opts.MaxSamples - k
 		}
 		n := sampling.NextBatch(sampler, buf, want)
+		qo.batch(sampler, n)
 		for _, e := range buf[:n] {
 			qe.Add(col[e.ID])
 			k++
@@ -472,7 +480,10 @@ func (h *Handle) Sample(q geo.Range, k int, method Method, mode sampling.Mode, s
 	if err != nil {
 		return nil, err
 	}
+	qo := h.eng.met.beginQuery(time.Now())
+	defer qo.end()
 	out := make([]data.Entry, k)
 	got := sampling.NextBatch(sampler, out, k)
+	qo.batch(sampler, got)
 	return out[:got], nil
 }

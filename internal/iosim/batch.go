@@ -89,18 +89,27 @@ func (d *Device) addCost(c float64, n int) {
 
 // AccessBatch implements BatchAccountant for per-query attribution: the
 // run totals are added to the counter's atomics and the sequence is
-// forwarded to the underlying accountant's batch path.
+// forwarded to the underlying accountant's batch path. Run extensions —
+// the accesses after the first of each multi-access run — are also
+// tallied as Coalesced: their hit verdicts are decided by the
+// back-to-back replay, not by a pool lookup a concurrent query could
+// have interfered with, which is exactly how per-query attribution and
+// batched charging can disagree (see Stats.Coalesced).
 func (c *Counter) AccessBatch(pages []PageID, counts []int) (hits uint64) {
-	var logical uint64
+	var logical, coalesced uint64
 	for _, n := range counts {
 		if n > 0 {
 			logical += uint64(n)
+			coalesced += uint64(n - 1)
 		}
 	}
 	if logical == 0 {
 		return 0
 	}
 	c.logical.Add(logical)
+	if coalesced > 0 {
+		c.coalesced.Add(coalesced)
+	}
 	hits = AccessRuns(c.next, pages, counts)
 	c.hits.Add(hits)
 	return hits

@@ -137,8 +137,25 @@ func TestCounterAccessBatch(t *testing.T) {
 	ctr := NewCounter(dev)
 	ctr.AccessBatch(pages, counts)
 
-	if s, b := serialCtr.Snapshot(), ctr.Snapshot(); s != b {
-		t.Errorf("counter snapshots diverge:\n  serial  %v\n  batched %v", s, b)
+	s, b := serialCtr.Snapshot(), ctr.Snapshot()
+	// The batched counter additionally records run extensions as
+	// Coalesced (the serial path has none); every verdict field must
+	// still match exactly.
+	var wantCoalesced uint64
+	for _, n := range counts {
+		if n > 1 {
+			wantCoalesced += uint64(n - 1)
+		}
+	}
+	if b.Coalesced != wantCoalesced {
+		t.Errorf("batched Coalesced = %d, want %d", b.Coalesced, wantCoalesced)
+	}
+	if s.Coalesced != 0 {
+		t.Errorf("serial Coalesced = %d, want 0", s.Coalesced)
+	}
+	b.Coalesced = 0
+	if s != b {
+		t.Errorf("counter snapshots diverge beyond Coalesced:\n  serial  %v\n  batched %v", s, b)
 	}
 	if s, b := serialDev.Stats(), dev.Stats(); s != b {
 		t.Errorf("device stats diverge:\n  serial  %v\n  batched %v", s, b)

@@ -24,7 +24,52 @@ type Stats struct {
 	Writes    uint64  // physical page writes
 	Hits      uint64  // buffer pool hits
 	Logical   uint64  // total logical page accesses (hits + misses)
+	Evictions uint64  // pages evicted from the buffer pool
 	CostUnits float64 // accumulated simulated latency cost
+
+	// Coalesced counts accesses whose hit verdict was decided by batch
+	// run-coalescing rather than an individual pool lookup: inside a
+	// flushed run of n consecutive accesses of one page, the n-1
+	// accesses after the first are hits *by construction* (the run is
+	// replayed back-to-back under one device lock, so the page cannot
+	// be evicted between them). A serial, per-access execution of the
+	// same query could have interleaved with other queries and charged
+	// some of them as misses — so a per-query Counter's raw Hits and a
+	// serial replay's Hits can legitimately disagree by up to
+	// Coalesced. Only per-query Counters fill this field (the shared
+	// Device's stats stay bit-identical between serial and batched
+	// charging, which is the iosim batching contract).
+	Coalesced uint64
+}
+
+// BatchAdjusted returns the conservative, coalescing-free view of the
+// stats: the Coalesced accesses — guaranteed hits manufactured by batch
+// replay — are removed from Logical and Hits, leaving the accesses whose
+// verdicts came from genuine buffer-pool lookups. Reporting both views
+// (raw and adjusted) lets an operator bound how much of a query's hit
+// rate was earned by locality versus granted by batching.
+func (s Stats) BatchAdjusted() Stats {
+	adj := s
+	adj.Coalesced = 0
+	if adj.Logical >= s.Coalesced {
+		adj.Logical -= s.Coalesced
+	} else {
+		adj.Logical = 0
+	}
+	// On a caching device every coalesced access is a hit; on a
+	// capacity-0 device the batch path charges run-extensions as reads,
+	// so clamp rather than underflow.
+	if adj.Hits >= s.Coalesced {
+		adj.Hits -= s.Coalesced
+	} else {
+		adj.Hits = 0
+	}
+	// Keep the Reads = Logical - Hits identity on the adjusted view
+	// (removes coalesced reads on capacity-0 devices, no-op otherwise).
+	if adj.Reads > adj.Logical-adj.Hits {
+		adj.Reads = adj.Logical - adj.Hits
+	}
+	return adj
 }
 
 // String implements fmt.Stringer.
@@ -183,6 +228,7 @@ func (d *Device) admit(p PageID) {
 		back := d.tail
 		delete(d.entries, back.page)
 		d.unlink(back)
+		d.stats.Evictions++
 	}
 }
 
@@ -250,11 +296,12 @@ func (discard) Invalidate(PageID)  {}
 // into the same pool, and nobody needs Stats/ResetStats windows (which
 // cannot isolate one query once queries overlap).
 type Counter struct {
-	next     Accountant
-	logical  atomic.Uint64
-	hits     atomic.Uint64
-	writes   atomic.Uint64
-	invalids atomic.Uint64
+	next      Accountant
+	logical   atomic.Uint64
+	hits      atomic.Uint64
+	writes    atomic.Uint64
+	invalids  atomic.Uint64
+	coalesced atomic.Uint64
 }
 
 // NewCounter returns a Counter forwarding to next (Discard when nil).
@@ -290,14 +337,17 @@ func (c *Counter) Invalidate(p PageID) {
 // Snapshot returns the I/O attributed through this counter so far. Hits
 // reflect the underlying pool's verdicts, so Reads = Logical - Hits is the
 // physical reads this query caused (a Discard backend reports every access
-// as a hit, leaving Reads at zero).
+// as a hit, leaving Reads at zero). Coalesced counts the accesses whose
+// hit verdict was granted by batch run-coalescing (see Stats.Coalesced);
+// Snapshot().BatchAdjusted() is the view with those removed.
 func (c *Counter) Snapshot() Stats {
 	logical := c.logical.Load()
 	hits := c.hits.Load()
 	return Stats{
-		Logical: logical,
-		Hits:    hits,
-		Reads:   logical - hits,
-		Writes:  c.writes.Load(),
+		Logical:   logical,
+		Hits:      hits,
+		Reads:     logical - hits,
+		Writes:    c.writes.Load(),
+		Coalesced: c.coalesced.Load(),
 	}
 }

@@ -212,6 +212,12 @@ type Sampler struct {
 	pending []data.Entry
 	cursor  int
 	seen    *sampling.IDSet
+
+	// instrumentation (single-goroutine, flushed by consumers at batch
+	// boundaries — see sampling.StatsReporter)
+	draws   uint64
+	rejects uint64
+	scans   uint64
 }
 
 // AttributeIO redirects this query's page charges to a (typically an
@@ -241,9 +247,11 @@ func (s *Sampler) Next() (data.Entry, bool) {
 			e := s.pending[s.cursor]
 			s.cursor++
 			if s.seen.Contains(e.ID) {
+				s.rejects++
 				continue
 			}
 			s.seen.Add(e.ID)
+			s.draws++
 			return e, true
 		}
 		if s.level == 0 {
@@ -252,7 +260,15 @@ func (s *Sampler) Next() (data.Entry, bool) {
 		s.level--
 		s.pending = s.index.levels[s.level].ReportAllTo(s.acct, s.query)
 		s.cursor = 0
+		s.scans++
 	}
+}
+
+// SamplerStats implements sampling.StatsReporter: Rejects counts
+// duplicate suppressions (records already emitted from a higher level)
+// and Scans counts level range-reports performed so far.
+func (s *Sampler) SamplerStats() sampling.SamplerStats {
+	return sampling.SamplerStats{Draws: s.draws, Rejects: s.rejects, Scans: s.scans}
 }
 
 // NextBatch implements sampling.BatchSampler. Per-draw logic and RNG

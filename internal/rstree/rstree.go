@@ -54,6 +54,7 @@ package rstree
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"storm/internal/data"
 	"storm/internal/geo"
@@ -104,7 +105,17 @@ type Config struct {
 type Index struct {
 	cfg  Config
 	tree *rtree.Tree
+	// regens counts lazy buffer regenerations (a stale or absent S(u)
+	// rebuilt by a query). Atomic: concurrent queries race to regenerate
+	// the same buffer, and each racer's build counts — the duplicated
+	// work is exactly what this metric makes visible.
+	regens atomic.Uint64
 }
+
+// BufferRegens returns how many per-node sample buffers have been
+// (re)generated lazily by queries since the index was built — update
+// invalidation pressure plus, under LazyBuffers, first-touch generation.
+func (x *Index) BufferRegens() uint64 { return x.regens.Load() }
 
 // Build constructs an RS-tree over the given entries.
 func Build(entries []data.Entry, cfg Config) (*Index, error) {
@@ -215,6 +226,7 @@ func (x *Index) bufferFor(n *rtree.Node, acct iosim.Accountant) []data.Entry {
 	if b, ok := n.Aux().(*buffer); ok && b.version == n.Version() {
 		return b.entries
 	}
+	x.regens.Add(1)
 	s := x.cfg.BufferSize
 	if n.IsLeaf() {
 		// Leaf buffers hold every entry (in random order): the leaf is

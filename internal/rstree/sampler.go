@@ -74,6 +74,7 @@ type Sampler struct {
 	// instrumentation
 	explosions uint64
 	rejects    uint64
+	draws      uint64
 }
 
 // Explosions returns how many parts were materialized (their subtrees
@@ -84,6 +85,15 @@ func (s *Sampler) Explosions() uint64 { return s.explosions }
 // Rejects returns how many consumed draws fell outside the query (the
 // acceptance/rejection overhead of keeping boundary subtrees whole).
 func (s *Sampler) Rejects() uint64 { return s.rejects }
+
+// SamplerStats implements sampling.StatsReporter.
+func (s *Sampler) SamplerStats() sampling.SamplerStats {
+	return sampling.SamplerStats{
+		Draws:      s.draws,
+		Rejects:    s.rejects,
+		Explosions: s.explosions,
+	}
+}
 
 // Sampler returns an online sampler for q. Samplers of the same Index may
 // run concurrently: shared node buffers are published copy-on-write, and
@@ -271,6 +281,7 @@ func (s *Sampler) nextWithoutReplacement() (data.Entry, bool) {
 		s.seen.Add(e.ID)
 		s.fen.Add(i, -1)
 		if p.materialized || p.contained || s.query.Contains(e.Pos) {
+			s.draws++
 			return e, true
 		}
 		s.rejects++
@@ -381,6 +392,7 @@ func (s *Sampler) nextWithReplacement() (data.Entry, bool) {
 		pos := s.rng.Intn(n.Count())
 		e := s.entryAt(n, pos)
 		if s.wrContained[i] || s.query.Contains(e.Pos) {
+			s.draws++
 			return e, true
 		}
 		s.rejects++

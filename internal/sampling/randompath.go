@@ -38,6 +38,7 @@ type RandomPath struct {
 	// MaxWalks bounds the number of restart attempts per sample.
 	MaxWalks int
 	walks    uint64
+	draws    uint64
 }
 
 // NewRandomPath returns a RandomPath sampler over the tree and range.
@@ -67,6 +68,13 @@ func (s *RandomPath) Name() string { return "RandomPath" }
 // Walks returns the total number of root-to-leaf walks performed.
 func (s *RandomPath) Walks() uint64 { return s.walks }
 
+// SamplerStats implements StatsReporter: every walk that did not return a
+// sample (rejected descent, duplicate in without-replacement mode) counts
+// as a rejection.
+func (s *RandomPath) SamplerStats() SamplerStats {
+	return SamplerStats{Draws: s.draws, Rejects: s.walks - s.draws}
+}
+
 // Next implements Sampler.
 func (s *RandomPath) Next() (data.Entry, bool) {
 	if s.mode == WithoutReplacement {
@@ -90,6 +98,7 @@ func (s *RandomPath) Next() (data.Entry, bool) {
 			s.seen.Add(e.ID)
 			s.remaining--
 		}
+		s.draws++
 		return e, true
 	}
 	return data.Entry{}, false

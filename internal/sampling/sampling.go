@@ -64,6 +64,7 @@ type QueryFirst struct {
 	matched []data.Entry
 	fetched bool
 	cursor  int
+	draws   uint64
 }
 
 // NewQueryFirst returns a QueryFirst sampler over the given tree and range.
@@ -93,6 +94,7 @@ func (s *QueryFirst) Next() (data.Entry, bool) {
 		return data.Entry{}, false
 	}
 	if s.mode == WithReplacement {
+		s.draws++
 		return s.matched[s.rng.Intn(n)], true
 	}
 	if s.cursor >= n {
@@ -104,7 +106,18 @@ func (s *QueryFirst) Next() (data.Entry, bool) {
 	s.matched[s.cursor], s.matched[j] = s.matched[j], s.matched[s.cursor]
 	e := s.matched[s.cursor]
 	s.cursor++
+	s.draws++
 	return e, true
+}
+
+// SamplerStats implements StatsReporter: Scans records the up-front full
+// range report once it has run.
+func (s *QueryFirst) SamplerStats() SamplerStats {
+	st := SamplerStats{Draws: s.draws}
+	if s.fetched {
+		st.Scans = 1
+	}
+	return st
 }
 
 // SampleFirst is the paper's second strawman: draw a uniform record from
@@ -131,6 +144,7 @@ type SampleFirst struct {
 	seen     *IDSet
 	batch    *iosim.Batcher // reused by NextBatch; charges go to dev
 	attempts uint64         // total attempts, for instrumentation
+	draws    uint64         // accepted samples returned
 }
 
 // NewSampleFirst returns a SampleFirst sampler over the raw dataset. dev
@@ -167,6 +181,12 @@ func (s *SampleFirst) Name() string { return "SampleFirst" }
 // Attempts returns the total number of records inspected so far.
 func (s *SampleFirst) Attempts() uint64 { return s.attempts }
 
+// SamplerStats implements StatsReporter: every attempt that did not
+// become a returned sample is a rejection of the whole-dataset loop.
+func (s *SampleFirst) SamplerStats() SamplerStats {
+	return SamplerStats{Draws: s.draws, Rejects: s.attempts - s.draws}
+}
+
 // Next implements Sampler.
 func (s *SampleFirst) Next() (data.Entry, bool) {
 	n := s.ds.Len()
@@ -190,6 +210,7 @@ func (s *SampleFirst) Next() (data.Entry, bool) {
 			}
 			s.seen.Add(id)
 		}
+		s.draws++
 		return data.Entry{ID: id, Pos: pos}, true
 	}
 	return data.Entry{}, false

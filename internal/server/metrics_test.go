@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"storm/internal/engine"
+	"storm/internal/gen"
+	"storm/internal/geo"
+)
+
+// newIOTestServer is newTestServer with I/O simulation enabled, so NDJSON
+// snapshots carry per-query I/O attribution.
+func newIOTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Config{Seed: 3, BufferPoolPages: 64})
+	ds := gen.Uniform(20000, 5, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	if _, err := eng.Register(ds, engine.IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestMetricsEndpointServesExpvarJSON pins the /metrics wire format: one
+// flat JSON object mapping metric names to values, with the engine and
+// server families present after a query has run.
+func TestMetricsEndpointServesExpvarJSON(t *testing.T) {
+	ts := newIOTestServer(t)
+	body := `{"statement": "ESTIMATE AVG(value) FROM uniform WHERE REGION(20,20,60,60) SAMPLES 500"}`
+	if resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	} else {
+		bufio.NewScanner(resp.Body).Scan() // touch the stream, then drain
+		for sc := bufio.NewScanner(resp.Body); sc.Scan(); {
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/metrics does not parse as a flat JSON object: %v", err)
+	}
+	for _, name := range []string{
+		"storm.engine.queries.started",
+		"storm.engine.samples.drawn",
+		"storm.engine.batch.size",
+		"storm.server.queries",
+		"storm.server.snapshots",
+		"storm.dataset.uniform.records",
+		"storm.iosim.pool.hits",
+	} {
+		if _, ok := vars[name]; !ok {
+			t.Errorf("missing %q in /metrics output", name)
+		}
+	}
+	var started uint64
+	if err := json.Unmarshal(vars["storm.engine.queries.started"], &started); err != nil || started == 0 {
+		t.Errorf("queries.started = %s (%v), want > 0", vars["storm.engine.queries.started"], err)
+	}
+	var sq uint64
+	if err := json.Unmarshal(vars["storm.server.queries"], &sq); err != nil || sq != 1 {
+		t.Errorf("server.queries = %s (%v), want 1", vars["storm.server.queries"], err)
+	}
+}
+
+// TestMetricsEndpointNoMetrics pins the opt-out behaviour: a NoMetrics
+// engine serves "{}" from /metrics instead of erroring.
+func TestMetricsEndpointNoMetrics(t *testing.T) {
+	eng := engine.New(engine.Config{Seed: 3, NoMetrics: true})
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("NoMetrics /metrics must still parse as JSON: %v", err)
+	}
+	if len(vars) != 0 {
+		t.Errorf("NoMetrics /metrics = %v, want empty object", vars)
+	}
+}
+
+// TestSnapshotReportsRawAndAdjustedIO pins the attribution-disagreement
+// fix: each NDJSON snapshot reports the raw batched-charging I/O view
+// (io_reads/io_hits/io_logical) alongside the coalescing-free adjusted
+// hits, with io_adj_hits = io_hits - io_coalesced.
+func TestSnapshotReportsRawAndAdjustedIO(t *testing.T) {
+	ts := newIOTestServer(t)
+	body := `{"statement": "ESTIMATE AVG(value) FROM uniform WHERE REGION(20,20,60,60) SAMPLES 2000"}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last SnapshotJSON
+	for sc := bufio.NewScanner(resp.Body); sc.Scan(); {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+	}
+	if !last.Done {
+		t.Fatalf("no final snapshot: %+v", last)
+	}
+	if last.IOLogical == 0 {
+		t.Fatal("io_logical missing from snapshot (I/O simulation is on)")
+	}
+	if last.IOLogical != last.IOReads+last.IOHits {
+		t.Errorf("io_logical %d != io_reads %d + io_hits %d", last.IOLogical, last.IOReads, last.IOHits)
+	}
+	if last.IOCoalesced == 0 {
+		t.Error("io_coalesced = 0: the batched path should coalesce buffered draws")
+	}
+	if last.IOAdjHits != last.IOHits-last.IOCoalesced {
+		t.Errorf("io_adj_hits %d != io_hits %d - io_coalesced %d", last.IOAdjHits, last.IOHits, last.IOCoalesced)
+	}
+}

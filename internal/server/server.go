@@ -9,6 +9,8 @@
 //	                                  snapshots stream back as NDJSON
 //	POST /datasets/{name}/records     insert records (the updates demo)
 //	GET  /explain?q=<statement>       the optimizer plan for an estimate
+//	GET  /metrics                     engine + server metrics as one flat
+//	                                  expvar-format JSON object
 //
 // Online queries honor client disconnection: dropping the connection
 // cancels the query, the paper's interactive-exploration semantics over
@@ -31,6 +33,7 @@ import (
 	"storm/internal/data"
 	"storm/internal/engine"
 	"storm/internal/geo"
+	"storm/internal/obs"
 	"storm/internal/query"
 )
 
@@ -38,17 +41,47 @@ import (
 type Server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
+	met serverMetrics
 }
 
-// New returns a server over the engine.
+// serverMetrics holds the server's resolved metric handles; all-nil (every
+// write a no-op) when the engine's metrics are disabled.
+type serverMetrics struct {
+	// queries counts POST /query statements accepted for execution.
+	queries *obs.Counter
+	// streams is the number of NDJSON estimate streams currently open.
+	streams *obs.Gauge
+	// snapshots counts NDJSON snapshot lines written across all streams.
+	snapshots *obs.Counter
+	// inserts counts records inserted through the HTTP API.
+	inserts *obs.Counter
+}
+
+// New returns a server over the engine. The engine's metrics registry
+// (when enabled) is served at /metrics and extended with the server's own
+// per-connection counters.
 func New(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	reg := eng.Obs()
+	s := &Server{eng: eng, mux: http.NewServeMux(), met: serverMetrics{
+		queries:   reg.Counter("storm.server.queries"),
+		streams:   reg.Gauge("storm.server.streams.active"),
+		snapshots: reg.Counter("storm.server.snapshots"),
+		inserts:   reg.Counter("storm.server.inserts"),
+	}}
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /datasets/{name}", s.handleDataset)
 	s.mux.HandleFunc("POST /datasets/{name}/records", s.handleInsert)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// handleMetrics serves the engine's registry as one flat expvar-format
+// JSON object. With metrics disabled it serves "{}" rather than erroring,
+// so scrapers never need to special-case a NoMetrics deployment.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.eng.Obs().WriteJSON(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -145,6 +178,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			Str: rec.Str,
 		}))
 	}
+	s.met.inserts.Add(uint64(len(ids)))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"inserted": len(ids), "first_id": ids[0]})
 }
@@ -168,9 +202,22 @@ type SnapshotJSON struct {
 	Sampler    string  `json:"sampler"`
 	// IOReads/IOHits are this query's simulated page misses and buffer
 	// hits (per-query attribution; zero when I/O simulation is off).
+	// These are the RAW batched-charging numbers: IOHits includes hits
+	// whose verdict was manufactured by run-coalescing on the batched
+	// path, so it can exceed what a serial interleaving of the same
+	// queries would have charged (see iosim.Stats.Coalesced).
 	IOReads uint64 `json:"io_reads,omitempty"`
 	IOHits  uint64 `json:"io_hits,omitempty"`
-	Done    bool   `json:"done"`
+	// IOLogical is total logical accesses (hits + misses) and
+	// IOCoalesced is how many of the hits were coalescing-granted;
+	// IOAdjHits = IOHits - IOCoalesced is the batch-adjusted hit count,
+	// whose verdicts all came from genuine buffer-pool lookups. Raw and
+	// adjusted views are both reported so operators can bound how much
+	// hit rate batching manufactured.
+	IOLogical   uint64 `json:"io_logical,omitempty"`
+	IOCoalesced uint64 `json:"io_coalesced,omitempty"`
+	IOAdjHits   uint64 `json:"io_adj_hits,omitempty"`
+	Done        bool   `json:"done"`
 }
 
 // handleQuery executes an estimate statement and streams NDJSON snapshots.
@@ -187,6 +234,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.met.queries.Inc()
 
 	// Estimates stream; everything else renders once.
 	if q.Op == query.OpEstimate && !q.Explain && q.GroupBy == "" {
@@ -225,25 +273,35 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.met.streams.Add(1)
+	defer s.met.streams.Add(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	encode := func(snap engine.Snapshot) bool {
+		adj := snap.IO.BatchAdjusted()
 		out := SnapshotJSON{
-			Kind:       snap.Kind.String(),
-			Value:      snap.Value,
-			HalfWidth:  snap.HalfWidth,
-			Confidence: snap.Confidence,
-			Samples:    snap.Samples,
-			Population: snap.Population,
-			Exact:      snap.Exact,
-			ElapsedMS:  float64(snap.Elapsed) / float64(time.Millisecond),
-			Sampler:    snap.Method,
-			IOReads:    snap.IO.Reads,
-			IOHits:     snap.IO.Hits,
-			Done:       snap.Done,
+			Kind:        snap.Kind.String(),
+			Value:       snap.Value,
+			HalfWidth:   snap.HalfWidth,
+			Confidence:  snap.Confidence,
+			Samples:     snap.Samples,
+			Population:  snap.Population,
+			Exact:       snap.Exact,
+			ElapsedMS:   float64(snap.Elapsed) / float64(time.Millisecond),
+			Sampler:     snap.Method,
+			IOReads:     snap.IO.Reads,
+			IOHits:      snap.IO.Hits,
+			IOLogical:   snap.IO.Logical,
+			IOCoalesced: snap.IO.Coalesced,
+			IOAdjHits:   adj.Hits,
+			Done:        snap.Done,
 		}
-		return enc.Encode(out) == nil
+		if enc.Encode(out) != nil {
+			return false
+		}
+		s.met.snapshots.Inc()
+		return true
 	}
 	for snap := range ch {
 		if !encode(snap) {

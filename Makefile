@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
 	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/ \
 	./internal/obs/
 
-.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs
+.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs bench-faults
 
 verify: fmt vet build test race docs-lint
 
@@ -46,3 +46,8 @@ docs-lint:
 # TestObsOverheadBudget enforces the <=2% budget when asked explicitly.
 bench-obs:
 	$(GO) test -run NONE -bench 'BenchmarkObsOverhead' -benchtime 200x -benchmem ./internal/engine/
+
+# Fault ablation smoke: kill k of 8 shards mid-query and print the
+# CI-width / latency impact table (see EXPERIMENTS.md A7).
+bench-faults:
+	$(GO) run ./cmd/stormbench -fig a7

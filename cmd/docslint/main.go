@@ -5,8 +5,10 @@
 //
 //	docslint [package-dir ...]
 //
-// With no arguments it audits the observability-facing packages
-// (internal/obs, internal/engine, internal/distr, internal/server).
+// With no arguments it audits the observability- and robustness-facing
+// packages (internal/obs, internal/engine, internal/distr — including the
+// fault-injection layer — internal/server, internal/estimator,
+// internal/bench).
 // Exit status is non-zero when any exported identifier lacks a doc
 // comment; each violation prints as file:line: name.
 package main
@@ -23,12 +25,15 @@ import (
 )
 
 // defaultDirs are the packages audited when no arguments are given: the
-// ones the observability PR promises are fully documented.
+// ones the observability and fault-tolerance layers promise are fully
+// documented (internal/distr covers fault.go's FaultPlan surface).
 var defaultDirs = []string{
 	"internal/obs",
 	"internal/engine",
 	"internal/distr",
 	"internal/server",
+	"internal/estimator",
+	"internal/bench",
 }
 
 func main() {

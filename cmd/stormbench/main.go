@@ -11,6 +11,8 @@
 //	stormbench -fig 6b                # Figure 6(b): short-text recall
 //	stormbench -fig a1|a2|a3|a4       # ablations (buffer pool, S(u) size,
 //	                                  # updates, distributed scaling)
+//	stormbench -fig a7                # fault ablation: kill k of 8 shards
+//	                                  # mid-query, CI-width + latency impact
 //	stormbench -fig all               # everything
 //
 // -metrics attaches an observability registry (see internal/obs) to each
@@ -43,7 +45,7 @@ func series(title string, xs, ys []float64) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, all")
 	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
 	seed := flag.Int64("seed", 1, "generator/sampling seed")
 	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
@@ -81,6 +83,7 @@ func main() {
 	run("a4", func() error { return a4(*seed) })
 	run("a5", func() error { return a5(*seed) })
 	run("a6", func() error { return a6(*seed) })
+	run("a7", func() error { return a7(*seed) })
 }
 
 // dumpMetrics prints every registry entry as "name<TAB>value", sorted by
@@ -357,6 +360,30 @@ func a4(seed int64) error {
 			fmt.Sprintf("%d", p.Messages),
 			fmt.Sprintf("%d", p.BatchMessages),
 			fmt.Sprintf("%.2f", p.MaxShardShare),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a7(seed int64) error {
+	fmt.Println("Ablation A7: graceful degradation — kill k of 8 shards mid-query (500k points, k=5000 samples)")
+	pts, err := bench.A7(bench.A7Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"killed", "eff pop", "healthy pop", "avg", "ci half-width", "rel width", "wall ms", "crashes", "retries"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Killed),
+			fmt.Sprintf("%d", p.Population),
+			fmt.Sprintf("%d", p.HealthyPop),
+			fmt.Sprintf("%.2f", p.Value),
+			fmt.Sprintf("%.3f", p.HalfWidth),
+			fmt.Sprintf("%.4f", p.RelWidth),
+			fmt.Sprintf("%.2f", p.WallMS),
+			fmt.Sprintf("%d", p.Crashes),
+			fmt.Sprintf("%d", p.Retries),
 		})
 	}
 	fmt.Print(viz.Table(rows))

@@ -16,6 +16,17 @@
 //
 // -no-metrics disables metric collection; -no-pprof leaves the profiling
 // endpoints unmounted (for exposed deployments).
+//
+// Fault tolerance (see DESIGN.md §4.3 and the README operator handbook):
+//
+//	stormd -shards 8 -fault-plan '2:crash-after=40;5:crash-after=80'
+//
+// -shards registers the demo datasets on a simulated shard cluster;
+// -fault-plan injects deterministic shard faults (latency spikes,
+// timeouts, transient errors, crashes) whose effects surface as
+// storm.distr.faults.* on /metrics and as "degraded": true in NDJSON
+// query streams. -max-streams caps concurrent NDJSON streams; excess
+// requests are shed with 429 + Retry-After.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"os"
 
 	"storm/internal/data"
+	"storm/internal/distr"
 	"storm/internal/engine"
 	"storm/internal/gen"
 	"storm/internal/server"
@@ -41,7 +53,22 @@ func main() {
 	pool := flag.Int("pool", 0, "simulated buffer pool pages (0 disables I/O simulation)")
 	noMetrics := flag.Bool("no-metrics", false, "disable metric collection and /metrics")
 	noPprof := flag.Bool("no-pprof", false, "do not mount /debug/pprof/")
+	shards := flag.Int("shards", 0, "simulated shard servers per dataset (0 = single node)")
+	faultSpec := flag.String("fault-plan", "", "shard fault plan, e.g. '1:crash-after=40;*:latency-p=0.05,latency=2ms' (requires -shards)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
+	maxStreams := flag.Int("max-streams", 0, "max concurrent NDJSON query streams; excess shed with 429 (0 = unlimited)")
 	flag.Parse()
+
+	faults, err := distr.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		log.Fatalf("stormd: %v", err)
+	}
+	if faults != nil {
+		if *shards == 0 {
+			log.Fatal("stormd: -fault-plan requires -shards > 0")
+		}
+		faults.Seed = *faultSeed
+	}
 
 	eng := engine.New(engine.Config{Seed: *seed, BufferPoolPages: *pool, NoMetrics: *noMetrics})
 	fmt.Fprintln(os.Stderr, "stormd: generating demo datasets...")
@@ -51,7 +78,7 @@ func main() {
 		tweets,
 		gen.Stations(gen.StationsConfig{Stations: *stations, ReadingsPerStation: 48, Seed: *seed, ColdSnap: true}),
 	} {
-		if _, err := eng.Register(ds, engine.IndexOptions{LSTree: true}); err != nil {
+		if _, err := eng.Register(ds, engine.IndexOptions{LSTree: true, Shards: *shards, Faults: faults}); err != nil {
 			log.Fatalf("stormd: registering %s: %v", ds.Name(), err)
 		}
 	}
@@ -61,7 +88,7 @@ func main() {
 	// net/http/pprof's DefaultServeMux side effects, so nothing is served
 	// that was not deliberately mounted here.
 	mux := http.NewServeMux()
-	mux.Handle("/", server.New(eng))
+	mux.Handle("/", server.New(eng, server.WithMaxStreams(*maxStreams)))
 	if !*noPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

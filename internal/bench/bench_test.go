@@ -279,3 +279,29 @@ func TestA4Shape(t *testing.T) {
 		t.Errorf("4-shard balance: max share %v, want ~0.25", pts[1].MaxShardShare)
 	}
 }
+
+func TestA7Shape(t *testing.T) {
+	pts, err := A7(A7Config{N: 100_000, K: 2000, Shards: 8, Kill: []int{0, 2}, CrashAfter: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	healthy, degraded := pts[0], pts[1]
+	if healthy.Crashes != 0 || healthy.Population != healthy.HealthyPop {
+		t.Errorf("kill=0 run should be healthy: %+v", healthy)
+	}
+	if degraded.Crashes != 2 {
+		t.Errorf("kill=2 crashes = %d, want 2", degraded.Crashes)
+	}
+	if degraded.Population >= degraded.HealthyPop {
+		t.Errorf("kill=2 effective population %d not shrunk from %d",
+			degraded.Population, degraded.HealthyPop)
+	}
+	// Degrading must not wreck the estimate: both runs target the same
+	// spatial mean, so the points stay within a few CI widths.
+	if diff := math.Abs(healthy.Value - degraded.Value); diff > 10*healthy.HalfWidth+10*degraded.HalfWidth {
+		t.Errorf("degraded estimate drifted: %v vs %v", degraded.Value, healthy.Value)
+	}
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"storm/internal/distr"
+)
+
+// A7Config sizes the fault ablation: kill k of Shards shards mid-query and
+// measure the accuracy and latency cost of degrading onto the survivors.
+type A7Config struct {
+	N      int
+	K      int // samples per query
+	Shards int
+	Kill   []int // shards killed per run; each must be < Shards
+	// CrashAfter is how many fetches a doomed shard serves before dying
+	// (the "mid-query" part of the scenario).
+	CrashAfter int
+	Seed       int64
+}
+
+func (c A7Config) withDefaults() A7Config {
+	if c.N == 0 {
+		c.N = 500_000
+	}
+	if c.K == 0 {
+		c.K = 5000
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if len(c.Kill) == 0 {
+		c.Kill = []int{0, 1, 2, 4}
+	}
+	if c.CrashAfter == 0 {
+		// The batched coordinator issues one demand-sized fetch per shard
+		// per ~1k-sample round, so a few fetches is already "mid-query".
+		c.CrashAfter = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// A7Point is one kill-count measurement.
+type A7Point struct {
+	Killed int
+	// Population is the estimator's effective N after degradation (the
+	// surviving matching count); HealthyPop is the pre-crash count.
+	Population int
+	HealthyPop int
+	// Value and HalfWidth are the final AVG estimate and its 95% CI
+	// half-width; RelWidth is HalfWidth/|Value|.
+	Value     float64
+	HalfWidth float64
+	RelWidth  float64
+	WallMS    float64
+	// Crashes/Retries/Timeouts echo the storm.distr.faults.* counters for
+	// the run, tying each column back to the injected events.
+	Crashes  uint64
+	Retries  uint64
+	Timeouts uint64
+}
+
+// A7 measures graceful degradation: an AVG query over an 8-shard cluster
+// while k shards crash mid-query. The coordinator re-weights onto the
+// survivors and shrinks the effective population, so the query completes
+// with an honest (wider) CI instead of stalling; the CI-width and latency
+// columns quantify the cost of each lost shard.
+func A7(cfg A7Config) ([]A7Point, error) {
+	cfg = cfg.withDefaults()
+	ds := osmData(cfg.N, cfg.Seed)
+	q := queryFor(ds, 0.2).Rect()
+
+	// Kill the shards holding the most matching records: with Hilbert
+	// partitioning a selective query concentrates on few shards, so killing
+	// spatially irrelevant ones would measure nothing. Probe a healthy
+	// build for per-shard matching counts.
+	probe, err := distr.Build(ds, distr.Config{Shards: cfg.Shards, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	byMatch := make([]int, cfg.Shards)
+	matching := make([]int, cfg.Shards)
+	for i, sh := range probe.Shards() {
+		byMatch[i] = i
+		matching[i] = sh.Index().Count(q)
+	}
+	sort.Slice(byMatch, func(a, b int) bool { return matching[byMatch[a]] > matching[byMatch[b]] })
+
+	var out []A7Point
+	for _, kill := range cfg.Kill {
+		if kill >= cfg.Shards {
+			kill = cfg.Shards - 1 // always leave at least one survivor
+		}
+		var plan *distr.FaultPlan
+		if kill > 0 {
+			plan = &distr.FaultPlan{Seed: cfg.Seed, Shards: map[int]distr.ShardFaultPlan{}}
+			for _, shard := range byMatch[:kill] {
+				plan.Shards[shard] = distr.ShardFaultPlan{
+					Crash: true, CrashAfterFetches: cfg.CrashAfter,
+				}
+			}
+		}
+		c, err := distr.Build(ds, distr.Config{
+			Shards: cfg.Shards,
+			Seed:   cfg.Seed,
+			Obs:    Obs,
+			Faults: plan,
+		})
+		if err != nil {
+			return nil, err
+		}
+		healthy := c.Count(q)
+		start := time.Now()
+		est, err := c.EstimateAvg(q, "altitude", cfg.K, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		st := c.FaultStats()
+		rel := math.Inf(1)
+		if est.Value != 0 {
+			rel = est.HalfWidth / math.Abs(est.Value)
+		}
+		out = append(out, A7Point{
+			Killed:     kill,
+			Population: est.Population,
+			HealthyPop: healthy,
+			Value:      est.Value,
+			HalfWidth:  est.HalfWidth,
+			RelWidth:   rel,
+			WallMS:     float64(elapsed.Microseconds()) / 1000,
+			Crashes:    st.Crashes,
+			Retries:    st.Retries,
+			Timeouts:   st.Timeouts,
+		})
+	}
+	return out, nil
+}

@@ -62,6 +62,20 @@ type Config struct {
 	// fetch latency, live network counters). Nil disables collection at
 	// zero cost (see package obs).
 	Obs *obs.Registry
+	// Faults installs a deterministic fault-injection plan (see
+	// FaultPlan); nil leaves the cluster healthy and the fetch path
+	// byte-identical to a plan-free build.
+	Faults *FaultPlan
+	// FetchTimeout is the coordinator's per-fetch deadline: an injected
+	// latency spike at or beyond it surfaces as a timeout. 0 means 50ms.
+	FetchTimeout time.Duration
+	// MaxRetries bounds how many times the coordinator retries a fetch
+	// that failed transiently or timed out before abandoning the shard
+	// for the query; 0 means 3. Negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the initial retry backoff, doubled per retry; 0
+	// means 200µs. Negative disables backoff sleeps (fast tests).
+	RetryBackoff time.Duration
 }
 
 // NetStats counts simulated network traffic.
@@ -100,6 +114,10 @@ type Cluster struct {
 	net      NetStats
 	rngSeq   int64
 	met      clusterMetrics
+	// faults holds the per-shard fault injectors (nil without a plan);
+	// ftot is the always-on fault accounting (see fault.go).
+	faults []*faultState
+	ftot   faultTotals
 }
 
 // clusterMetrics holds the cluster's resolved metric handles; all-nil
@@ -115,8 +133,20 @@ type clusterMetrics struct {
 	fetches *obs.Counter
 }
 
+// registryClusters tracks, per obs registry, every cluster publishing to
+// it. Registry.Publish overwrites duplicate names, so per-cluster Funcs
+// would expose only the most recently built cluster (a server registers
+// one cluster per sharded dataset); instead the storm.distr.* Funcs are
+// published once per registry and sum across its clusters at scrape time.
+// Entries are never removed — clusters live for the process in this
+// simulation — so a replaced cluster keeps contributing its final totals.
+var registryClusters = struct {
+	sync.Mutex
+	m map[*obs.Registry][]*Cluster
+}{m: map[*obs.Registry][]*Cluster{}}
+
 // initMetrics resolves the cluster's metrics against cfg.Obs and
-// re-exports the network totals as live scrape-time Funcs.
+// re-exports the network and fault totals as live scrape-time Funcs.
 func (c *Cluster) initMetrics() {
 	reg := c.cfg.Obs
 	c.met = clusterMetrics{
@@ -124,9 +154,68 @@ func (c *Cluster) initMetrics() {
 		fetchMS:  reg.Histogram("storm.distr.fetch.latency_ms", obs.LatencyBucketsMS),
 		fetches:  reg.Counter("storm.distr.fetches"),
 	}
-	reg.PublishFunc("storm.distr.shards", func() any { return len(c.shards) })
-	reg.PublishFunc("storm.distr.net.messages", func() any { return c.Net().Messages })
-	reg.PublishFunc("storm.distr.net.samples_moved", func() any { return c.Net().SamplesMoved })
+	if reg == nil {
+		return
+	}
+	registryClusters.Lock()
+	defer registryClusters.Unlock()
+	prev := registryClusters.m[reg]
+	registryClusters.m[reg] = append(prev, c)
+	if prev != nil {
+		return // this registry's scrape Funcs are already live
+	}
+	clusters := func() []*Cluster {
+		registryClusters.Lock()
+		defer registryClusters.Unlock()
+		return registryClusters.m[reg]
+	}
+	reg.PublishFunc("storm.distr.shards", func() any {
+		n := 0
+		for _, c := range clusters() {
+			n += len(c.shards)
+		}
+		return n
+	})
+	reg.PublishFunc("storm.distr.net.messages", func() any {
+		var n uint64
+		for _, c := range clusters() {
+			n += c.Net().Messages
+		}
+		return n
+	})
+	reg.PublishFunc("storm.distr.net.samples_moved", func() any {
+		var n uint64
+		for _, c := range clusters() {
+			n += c.Net().SamplesMoved
+		}
+		return n
+	})
+	// Fault totals are owned by each cluster's atomics (exact with or
+	// without a registry); the registry reads them at scrape time.
+	sum := func(read func(*faultTotals) uint64) func() any {
+		return func() any {
+			var n uint64
+			for _, c := range clusters() {
+				n += read(&c.ftot)
+			}
+			return n
+		}
+	}
+	reg.PublishFunc("storm.distr.faults.injected", sum(func(t *faultTotals) uint64 { return t.injected.Load() }))
+	reg.PublishFunc("storm.distr.faults.latency", sum(func(t *faultTotals) uint64 { return t.latency.Load() }))
+	reg.PublishFunc("storm.distr.faults.transient", sum(func(t *faultTotals) uint64 { return t.transient.Load() }))
+	reg.PublishFunc("storm.distr.faults.timeouts", sum(func(t *faultTotals) uint64 { return t.timeouts.Load() }))
+	reg.PublishFunc("storm.distr.faults.crashes", sum(func(t *faultTotals) uint64 { return t.crashes.Load() }))
+	reg.PublishFunc("storm.distr.faults.retries", sum(func(t *faultTotals) uint64 { return t.retries.Load() }))
+	reg.PublishFunc("storm.distr.faults.recoveries", sum(func(t *faultTotals) uint64 { return t.recoveries.Load() }))
+	reg.PublishFunc("storm.distr.faults.exhausted", sum(func(t *faultTotals) uint64 { return t.exhausted.Load() }))
+	reg.PublishFunc("storm.distr.faults.shards_down", func() any {
+		var n int64
+		for _, c := range clusters() {
+			n += c.ftot.shardsDown.Load()
+		}
+		return n
+	})
 }
 
 // observeMS records elapsed wall time since start into h (no-op on a nil
@@ -151,6 +240,19 @@ func Build(ds *data.Dataset, cfg Config) (*Cluster, error) {
 	}
 	if cfg.BatchSize < 1 {
 		return nil, fmt.Errorf("distr: batch size %d invalid", cfg.BatchSize)
+	}
+	if cfg.FetchTimeout == 0 {
+		cfg.FetchTimeout = 50 * time.Millisecond
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 200 * time.Microsecond
+	} else if cfg.RetryBackoff < 0 {
+		cfg.RetryBackoff = 0
 	}
 	entries := ds.Entries()
 	bounds := ds.Bounds()
@@ -204,6 +306,7 @@ func Build(ds *data.Dataset, cfg Config) (*Cluster, error) {
 		}
 		c.shards = append(c.shards, &Shard{ID: s, index: idx, device: dev, count: len(part)})
 	}
+	c.faults = newFaultStates(cfg.Faults, cfg.Shards)
 	c.initMetrics()
 	return c, nil
 }
@@ -249,13 +352,19 @@ func (c *Cluster) Insert(e data.Entry) {
 	// Route by spatial proximity of shard contents: the shard whose tree
 	// bounds grow least. With contiguous Hilbert partitions this sends
 	// the record to the shard owning its neighborhood.
-	best, bestGrow := 0, math.Inf(1)
+	best, bestGrow := -1, math.Inf(1)
 	for i, sh := range c.shards {
+		if c.shardDown(i) {
+			continue
+		}
 		b := sh.index.Tree().Bounds()
 		grow := b.Extend(geo.RectFromPoint(e.Pos)).Volume() - b.Volume()
 		if grow < bestGrow {
 			best, bestGrow = i, grow
 		}
+	}
+	if best < 0 {
+		return // every shard down: nowhere to route the record
 	}
 	c.shards[best].index.Insert(e)
 	c.shards[best].count++
@@ -267,7 +376,10 @@ func (c *Cluster) Insert(e data.Entry) {
 func (c *Cluster) Delete(e data.Entry) bool {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
-	for _, sh := range c.shards {
+	for i, sh := range c.shards {
+		if c.shardDown(i) {
+			continue
+		}
 		c.charge(2, 0)
 		if sh.index.Delete(e) {
 			sh.count--
@@ -279,7 +391,10 @@ func (c *Cluster) Delete(e data.Entry) bool {
 
 // Count returns |P ∩ q| by fanning the count to every shard in parallel
 // (one request and one response message each), as the coordinator of a
-// real cluster would.
+// real cluster would. Crashed shards do not answer; their records are
+// simply absent from the total, so a degraded cluster reports the
+// surviving population — the honest effective N for estimators built on
+// top of it.
 func (c *Cluster) Count(q geo.Rect) int {
 	start := time.Now()
 	defer observeMS(c.met.fanoutMS, start)
@@ -288,6 +403,9 @@ func (c *Cluster) Count(q geo.Rect) int {
 	counts := make([]int, len(c.shards))
 	var wg sync.WaitGroup
 	for i, s := range c.shards {
+		if c.shardDown(i) {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, s *Shard) {
 			defer wg.Done()
@@ -317,6 +435,10 @@ type Sampler struct {
 	heads []int
 	total int
 	init  bool
+	// degradation state: shards this query lost mid-stream (crashes or
+	// retry exhaustion) and the matching population that went with them.
+	lostShards int
+	lostPop    int
 	// batch-round scratch (see NextBatch), reused across rounds.
 	simRem  []int
 	choices []int
@@ -352,6 +474,12 @@ func (s *Sampler) initialize() {
 	cl.structMu.RLock()
 	var wg sync.WaitGroup
 	for i, sh := range cl.shards {
+		if cl.shardDown(i) {
+			// Already-crashed shards do not answer the count round: the
+			// query runs over the surviving population from the start
+			// (and is not marked degraded — nothing was lost mid-query).
+			continue
+		}
 		wg.Add(1)
 		go func(i int, sh *Shard) {
 			defer wg.Done()
@@ -547,10 +675,47 @@ func (s *Sampler) fetchInto(shard, n int) {
 		buf = grown
 	}
 	buf = buf[:start+n]
-	got := sp.NextBatch(buf[start:], n)
+	got, lost := s.cluster.shardFetch(shard, sp, buf[start:], n)
 	s.buffers[shard] = buf[:start+got]
+	if lost {
+		s.loseShard(shard)
+		return
+	}
 	s.cluster.charge(2, uint64(got))
 }
+
+// loseShard degrades the query after shard became unavailable (crash, or
+// retries exhausted): its unemitted matching population is written off,
+// which both re-weights the draw distribution over the survivors (draws
+// are proportional to per-shard remaining counts) and shrinks the stream's
+// effective population so estimators widen their intervals honestly.
+// Samples already emitted from the shard stay in the stream; fetched but
+// unemitted ones are discarded with the shard (remaining still counts
+// them, so the write-off is exact).
+func (s *Sampler) loseShard(shard int) {
+	if s.samplers[shard] == nil && s.remaining[shard] == 0 {
+		return
+	}
+	s.lostShards++
+	s.lostPop += s.remaining[shard]
+	s.total -= s.remaining[shard]
+	s.remaining[shard] = 0
+	s.samplers[shard] = nil
+	s.heads[shard] = len(s.buffers[shard])
+}
+
+// Degradation reports the query's degraded state: how many shards it lost
+// mid-stream and the matching population lost with them. Both are zero for
+// a healthy run. Consumers (the engine's evaluator, distr estimators)
+// subtract the lost population from the estimator's effective N, keeping
+// the estimate unbiased over the surviving population — see DESIGN.md
+// §4.3 for the lost-mass caveat.
+func (s *Sampler) Degradation() (shardsLost, lostPopulation int) {
+	return s.lostShards, s.lostPop
+}
+
+// Degraded reports whether the query lost at least one shard mid-stream.
+func (s *Sampler) Degraded() bool { return s.lostShards > 0 }
 
 // EstimateAvg runs a distributed online AVG: each sample is drawn through
 // the cluster sampler and folded into a single estimator, exactly as a
@@ -580,6 +745,13 @@ func (c *Cluster) EstimateAvg(q geo.Rect, attr string, maxSamples int, confidenc
 		n := s.NextBatch(buf, want)
 		for _, e := range buf[:n] {
 			est.Add(col[e.ID])
+		}
+		if _, lostPop := s.Degradation(); lostPop > 0 {
+			// Shards died mid-query: shrink the effective population so
+			// the estimate (and its SUM/COUNT scaling and finite-
+			// population correction) covers the surviving shards instead
+			// of silently pretending the lost mass was sampled.
+			est.SetPopulation(population - lostPop)
 		}
 		drawn += n
 		if n < want {

@@ -1,0 +1,520 @@
+// Fault injection and graceful degradation for the simulated cluster.
+//
+// A FaultPlan scripts, per shard, the failure modes a distributed STORM
+// deployment sees in practice — latency spikes, transient fetch errors,
+// request timeouts, and hard shard crashes — deterministically in a seed,
+// so every robustness test replays bit-for-bit. Faults are injected at the
+// coordinator's fetch boundary (Sampler.fetchInto, and therefore both the
+// serial Next path and NextBatch's batchRound), which is where a real
+// coordinator observes remote failures.
+//
+// The coordinator's contract under faults follows BlinkDB-style partial
+// failure semantics: it never blocks a query on a lost shard. Transient
+// faults and timeouts are retried with exponential backoff up to
+// Config.MaxRetries; a crashed shard (or one whose retries are exhausted)
+// is dropped from the query, the fetch distribution re-weights itself over
+// the surviving shards (draws are proportional to per-shard remaining
+// counts, so zeroing the lost shard's count is the re-weighting), and the
+// lost population mass is reported through Sampler.Degradation so
+// estimators shrink their effective N and keep confidence intervals honest
+// over the surviving population instead of silently biasing.
+//
+// Every fault event is counted under storm.distr.faults.* when the cluster
+// has an obs.Registry, and is always available via Cluster.FaultStats.
+package distr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/rstree"
+	"storm/internal/stats"
+)
+
+// FaultKind classifies one injected fault event.
+type FaultKind int
+
+// The injectable fault kinds, in escalating severity.
+const (
+	// FaultNone means the fetch proceeds normally.
+	FaultNone FaultKind = iota
+	// FaultLatency delays the fetch by the plan's Latency; a delay at or
+	// beyond the per-fetch deadline is observed by the coordinator as a
+	// timeout instead.
+	FaultLatency
+	// FaultTransient fails the fetch with a retryable error (a dropped
+	// connection, a momentary shard overload).
+	FaultTransient
+	// FaultTimeout makes the fetch exceed the coordinator's per-fetch
+	// deadline; retryable.
+	FaultTimeout
+	// FaultCrash marks the shard permanently down; never retried.
+	FaultCrash
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultLatency:
+		return "latency"
+	case FaultTransient:
+		return "transient"
+	case FaultTimeout:
+		return "timeout"
+	case FaultCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// ShardFaultPlan scripts the faults of one shard. The zero value is a
+// healthy shard. Deterministic "every nth fetch attempt" counters and
+// seeded per-attempt probabilities may be combined; when several fire on
+// the same attempt the most severe wins (crash > timeout > transient >
+// latency).
+type ShardFaultPlan struct {
+	// Crash permanently downs the shard once it has served
+	// CrashAfterFetches successful fetches; CrashAfterFetches = 0 crashes
+	// it on its first fetch attempt (mid-query: the shard still answers
+	// the query's count/init round).
+	Crash             bool
+	CrashAfterFetches int
+
+	// TransientEvery fails every nth fetch attempt transiently (0
+	// disables). TimeoutEvery and LatencyEvery are analogous.
+	TransientEvery int
+	TimeoutEvery   int
+	LatencyEvery   int
+
+	// TransientProb / TimeoutProb / LatencyProb inject the corresponding
+	// fault on each attempt with the given probability, drawn from a
+	// per-shard RNG seeded by the plan seed (deterministic per seed).
+	TransientProb float64
+	TimeoutProb   float64
+	LatencyProb   float64
+
+	// Latency is the delay injected by latency faults; 0 means
+	// DefaultFaultLatency. Delays at or beyond the coordinator's
+	// per-fetch deadline surface as timeouts.
+	Latency time.Duration
+}
+
+// enabled reports whether the shard plan injects anything at all.
+func (p ShardFaultPlan) enabled() bool {
+	return p.Crash || p.TransientEvery > 0 || p.TimeoutEvery > 0 || p.LatencyEvery > 0 ||
+		p.TransientProb > 0 || p.TimeoutProb > 0 || p.LatencyProb > 0
+}
+
+// FaultPlan is a deterministic cluster-wide fault schedule: one
+// ShardFaultPlan per shard ID, plus a seed driving the probabilistic
+// injections. A nil *FaultPlan (Config.Faults' default) disables injection
+// entirely and leaves the fetch path byte-identical to a healthy cluster.
+type FaultPlan struct {
+	// Seed drives the probabilistic fault draws; per-shard RNGs are
+	// derived from it so concurrent shards stay deterministic.
+	Seed int64
+	// Shards maps shard ID to that shard's script. IDs outside the
+	// cluster are ignored. ShardAll applies to every shard.
+	Shards map[int]ShardFaultPlan
+}
+
+// ShardAll is the FaultPlan.Shards key (and fault-plan spec target "*")
+// that applies a script to every shard in the cluster.
+const ShardAll = -1
+
+// DefaultFaultLatency is the delay injected by latency faults when the
+// shard plan leaves Latency zero.
+const DefaultFaultLatency = time.Millisecond
+
+// planFor resolves the script for one shard: an explicit per-shard entry
+// wins over a ShardAll wildcard.
+func (p *FaultPlan) planFor(shard int) ShardFaultPlan {
+	if p == nil {
+		return ShardFaultPlan{}
+	}
+	if sp, ok := p.Shards[shard]; ok {
+		return sp
+	}
+	return p.Shards[ShardAll]
+}
+
+// ParseFaultPlan parses the operator-facing fault-plan syntax used by
+// stormd's -fault-plan flag:
+//
+//	plan    := segment (';' segment)*
+//	segment := target ':' fault (',' fault)*
+//	target  := <shard id> | <lo>-<hi> | '*'
+//	fault   := crash-after=<n> | transient-every=<n> | timeout-every=<n>
+//	         | latency-every=<n> | latency=<duration>
+//	         | transient-p=<f> | timeout-p=<f> | latency-p=<f>
+//
+// Example: "1:crash-after=40;3:crash-after=80;*:latency-p=0.05,latency=2ms"
+// crashes shards 1 and 3 after 40 and 80 fetches and gives every shard a
+// 5% chance of a 2ms latency spike per fetch. Set FaultPlan.Seed on the
+// result to pin the probabilistic draws.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &FaultPlan{Shards: make(map[int]ShardFaultPlan)}
+	for _, seg := range strings.Split(spec, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		target, faults, ok := strings.Cut(seg, ":")
+		if !ok {
+			return nil, fmt.Errorf("distr: fault plan segment %q missing ':'", seg)
+		}
+		ids, err := parseFaultTarget(strings.TrimSpace(target))
+		if err != nil {
+			return nil, err
+		}
+		var sp ShardFaultPlan
+		for _, f := range strings.Split(faults, ",") {
+			if err := parseFaultSpec(strings.TrimSpace(f), &sp); err != nil {
+				return nil, err
+			}
+		}
+		for _, id := range ids {
+			merged := plan.Shards[id]
+			mergeShardFaults(&merged, sp)
+			plan.Shards[id] = merged
+		}
+	}
+	return plan, nil
+}
+
+// parseFaultTarget resolves a segment target to shard IDs ('*' → ShardAll).
+func parseFaultTarget(target string) ([]int, error) {
+	if target == "*" {
+		return []int{ShardAll}, nil
+	}
+	if lo, hi, ok := strings.Cut(target, "-"); ok {
+		a, errA := strconv.Atoi(lo)
+		b, errB := strconv.Atoi(hi)
+		if errA != nil || errB != nil || a < 0 || b < a {
+			return nil, fmt.Errorf("distr: fault plan target %q: want <lo>-<hi>", target)
+		}
+		ids := make([]int, 0, b-a+1)
+		for i := a; i <= b; i++ {
+			ids = append(ids, i)
+		}
+		return ids, nil
+	}
+	id, err := strconv.Atoi(target)
+	if err != nil || id < 0 {
+		return nil, fmt.Errorf("distr: fault plan target %q: want shard id, <lo>-<hi>, or '*'", target)
+	}
+	return []int{id}, nil
+}
+
+// parseFaultSpec applies one key=value fault spec to sp.
+func parseFaultSpec(f string, sp *ShardFaultPlan) error {
+	key, val, _ := strings.Cut(f, "=")
+	intVal := func() (int, error) {
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("distr: fault %q: want a non-negative integer", f)
+		}
+		return n, nil
+	}
+	probVal := func() (float64, error) {
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil || p < 0 || p > 1 {
+			return 0, fmt.Errorf("distr: fault %q: want a probability in [0, 1]", f)
+		}
+		return p, nil
+	}
+	var err error
+	switch key {
+	case "crash-after":
+		sp.Crash = true
+		sp.CrashAfterFetches, err = intVal()
+	case "transient-every":
+		sp.TransientEvery, err = intVal()
+	case "timeout-every":
+		sp.TimeoutEvery, err = intVal()
+	case "latency-every":
+		sp.LatencyEvery, err = intVal()
+	case "latency":
+		sp.Latency, err = time.ParseDuration(val)
+		if err == nil && sp.Latency < 0 {
+			err = fmt.Errorf("distr: fault %q: negative latency", f)
+		}
+	case "transient-p":
+		sp.TransientProb, err = probVal()
+	case "timeout-p":
+		sp.TimeoutProb, err = probVal()
+	case "latency-p":
+		sp.LatencyProb, err = probVal()
+	default:
+		err = fmt.Errorf("distr: unknown fault %q", f)
+	}
+	return err
+}
+
+// mergeShardFaults folds src into dst, letting later segments add faults
+// to a shard already targeted by an earlier one.
+func mergeShardFaults(dst *ShardFaultPlan, src ShardFaultPlan) {
+	if src.Crash {
+		dst.Crash = true
+		dst.CrashAfterFetches = src.CrashAfterFetches
+	}
+	if src.TransientEvery > 0 {
+		dst.TransientEvery = src.TransientEvery
+	}
+	if src.TimeoutEvery > 0 {
+		dst.TimeoutEvery = src.TimeoutEvery
+	}
+	if src.LatencyEvery > 0 {
+		dst.LatencyEvery = src.LatencyEvery
+	}
+	if src.Latency > 0 {
+		dst.Latency = src.Latency
+	}
+	if src.TransientProb > 0 {
+		dst.TransientProb = src.TransientProb
+	}
+	if src.TimeoutProb > 0 {
+		dst.TimeoutProb = src.TimeoutProb
+	}
+	if src.LatencyProb > 0 {
+		dst.LatencyProb = src.LatencyProb
+	}
+}
+
+// faultState is the runtime fault injector of one shard. Crash state is
+// cluster-wide (a downed shard server is down for every query), so the
+// state lives on the Cluster, one per shard, guarded by its own mutex —
+// never by the cluster's structural locks.
+type faultState struct {
+	plan ShardFaultPlan
+
+	mu       sync.Mutex
+	rng      *stats.RNG
+	attempts uint64 // fetch attempts seen (drives the Every counters)
+	fetches  uint64 // successful fetches served (drives the crash schedule)
+	down     bool
+}
+
+// newFaultStates materializes per-shard injectors for a plan; nil when the
+// plan injects nothing (the healthy-cluster fast path).
+func newFaultStates(plan *FaultPlan, shards int) []*faultState {
+	if plan == nil {
+		return nil
+	}
+	states := make([]*faultState, shards)
+	any := false
+	for i := range states {
+		sp := plan.planFor(i)
+		states[i] = &faultState{plan: sp, rng: stats.NewRNG(plan.Seed*31 + int64(i)*1009 + 7)}
+		if sp.enabled() {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return states
+}
+
+// isDown reports whether the shard has crashed.
+func (f *faultState) isDown() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// verdict decides the fate of one fetch attempt. It returns the injected
+// fault kind, the latency to add, and whether this call crashed the shard
+// (the transition happens exactly once, so crash counting is exact).
+func (f *faultState) verdict() (kind FaultKind, delay time.Duration, crashed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return FaultCrash, 0, false
+	}
+	if f.plan.Crash && f.fetches >= uint64(f.plan.CrashAfterFetches) {
+		f.down = true
+		return FaultCrash, 0, true
+	}
+	f.attempts++
+	every := func(n int) bool { return n > 0 && f.attempts%uint64(n) == 0 }
+	prob := func(p float64) bool { return p > 0 && f.rng.Float64() < p }
+	switch {
+	case every(f.plan.TimeoutEvery) || prob(f.plan.TimeoutProb):
+		return FaultTimeout, 0, false
+	case every(f.plan.TransientEvery) || prob(f.plan.TransientProb):
+		return FaultTransient, 0, false
+	case every(f.plan.LatencyEvery) || prob(f.plan.LatencyProb):
+		d := f.plan.Latency
+		if d == 0 {
+			d = DefaultFaultLatency
+		}
+		return FaultLatency, d, false
+	}
+	return FaultNone, 0, false
+}
+
+// served records one successful fetch (advances the crash schedule).
+func (f *faultState) served() {
+	f.mu.Lock()
+	f.fetches++
+	f.mu.Unlock()
+}
+
+// FaultStats is a snapshot of cluster-wide fault-injection activity. All
+// fields are also published under storm.distr.faults.* when the cluster
+// has an observability registry.
+type FaultStats struct {
+	// Injected is the total number of injected fault events (all kinds,
+	// including repeated hits on an already-crashed shard).
+	Injected uint64
+	// Latency / Transient / Timeouts count injected events by kind.
+	Latency   uint64
+	Transient uint64
+	Timeouts  uint64
+	// Crashes counts shard crash transitions — each crashed shard exactly
+	// once, however many fetches later hit it.
+	Crashes uint64
+	// Retries counts coordinator fetch retries; Recoveries counts fetches
+	// that succeeded after at least one retry.
+	Retries    uint64
+	Recoveries uint64
+	// Exhausted counts fetches abandoned after MaxRetries, which drop the
+	// shard from the issuing query (query-local degradation).
+	Exhausted uint64
+	// ShardsDown is the number of currently crashed shards.
+	ShardsDown int
+}
+
+// faultTotals is the cluster's always-on fault accounting (atomics, so
+// they are exact with or without an obs registry; the registry re-exports
+// them as scrape-time Funcs rather than double-counting).
+type faultTotals struct {
+	injected   atomic.Uint64
+	latency    atomic.Uint64
+	transient  atomic.Uint64
+	timeouts   atomic.Uint64
+	crashes    atomic.Uint64
+	retries    atomic.Uint64
+	recoveries atomic.Uint64
+	exhausted  atomic.Uint64
+	shardsDown atomic.Int64
+}
+
+// FaultStats returns a snapshot of fault-injection activity; all-zero on a
+// cluster without a fault plan.
+func (c *Cluster) FaultStats() FaultStats {
+	t := &c.ftot
+	return FaultStats{
+		Injected:   t.injected.Load(),
+		Latency:    t.latency.Load(),
+		Transient:  t.transient.Load(),
+		Timeouts:   t.timeouts.Load(),
+		Crashes:    t.crashes.Load(),
+		Retries:    t.retries.Load(),
+		Recoveries: t.recoveries.Load(),
+		Exhausted:  t.exhausted.Load(),
+		ShardsDown: int(t.shardsDown.Load()),
+	}
+}
+
+// shardDown reports whether shard i has crashed (false without a plan).
+func (c *Cluster) shardDown(i int) bool {
+	if c.faults == nil {
+		return false
+	}
+	return c.faults[i].isDown()
+}
+
+// countFault records one injected event in the totals.
+func (c *Cluster) countFault(kind FaultKind, crashed bool) {
+	t := &c.ftot
+	t.injected.Add(1)
+	switch kind {
+	case FaultLatency:
+		t.latency.Add(1)
+	case FaultTransient:
+		t.transient.Add(1)
+	case FaultTimeout:
+		t.timeouts.Add(1)
+	case FaultCrash:
+		if crashed {
+			t.crashes.Add(1)
+			t.shardsDown.Add(1)
+		}
+	}
+}
+
+// shardFetch performs one fault-aware shard fetch: it applies the shard's
+// fault verdict, enforces the per-fetch deadline, and retries transient
+// faults and timeouts with exponential backoff up to cfg.MaxRetries. It
+// returns the samples written into dst and lost = true when the shard is
+// unavailable to this query (crashed, or retries exhausted) — the caller
+// then degrades by dropping the shard. With no fault plan it is a direct
+// pass-through to the shard sampler, byte-identical to the un-faulted
+// path.
+func (c *Cluster) shardFetch(shard int, sp *rstree.Sampler, dst []data.Entry, n int) (got int, lost bool) {
+	if c.faults == nil {
+		return sp.NextBatch(dst, n), false
+	}
+	f := c.faults[shard]
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		kind, delay, crashed := f.verdict()
+		if kind != FaultNone {
+			c.countFault(kind, crashed)
+		}
+		switch kind {
+		case FaultCrash:
+			return 0, true
+		case FaultLatency:
+			if delay >= c.cfg.FetchTimeout {
+				// The spike blows the per-fetch deadline: the
+				// coordinator observes a timeout, not a slow success.
+				c.ftot.timeouts.Add(1)
+				c.charge(1, 0) // request sent, no response in time
+			} else {
+				time.Sleep(delay)
+				got = sp.NextBatch(dst, n)
+				f.served()
+				if attempt > 0 {
+					c.ftot.recoveries.Add(1)
+				}
+				return got, false
+			}
+		case FaultTransient, FaultTimeout:
+			c.charge(1, 0) // request sent, no usable response
+		case FaultNone:
+			got = sp.NextBatch(dst, n)
+			f.served()
+			if attempt > 0 {
+				c.ftot.recoveries.Add(1)
+			}
+			return got, false
+		}
+		if attempt >= c.cfg.MaxRetries {
+			c.ftot.exhausted.Add(1)
+			return 0, true
+		}
+		c.ftot.retries.Add(1)
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}

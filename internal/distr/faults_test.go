@@ -1,0 +1,483 @@
+package distr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/gen"
+	"storm/internal/geo"
+	"storm/internal/obs"
+	"storm/internal/stats"
+)
+
+// faultTestData builds the shared fault fixture: a uniform dataset whose
+// testQuery selectivity leaves a few hundred matches per shard.
+func faultTestData(n int) *data.Dataset {
+	return gen.Uniform(n, 11, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+}
+
+// fastFaultConfig returns a cluster config with backoff sleeps disabled so
+// retry-heavy tests stay fast.
+func fastFaultConfig(shards int, seed int64, plan *FaultPlan) Config {
+	return Config{Shards: shards, Seed: seed, Faults: plan, RetryBackoff: -1}
+}
+
+// survivingTruth computes the mean of col over records matching q on every
+// shard except the given dead ones — the population the degraded stream
+// covers.
+func survivingTruth(c *Cluster, ds *data.Dataset, q geo.Rect, dead map[int]bool) (mean float64, count int) {
+	col, _ := ds.NumericColumn("value")
+	var sum float64
+	for i, sh := range c.Shards() {
+		if dead[i] {
+			continue
+		}
+		for _, e := range sh.Index().Tree().ReportAll(q) {
+			sum += col[e.ID]
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return sum / float64(count), count
+}
+
+// TestNilAndEmptyPlansAreByteIdentical pins the regression contract: a
+// cluster with no fault plan, one with an empty plan, and one whose plan
+// only injects recoverable transient faults all emit the byte-identical
+// batched sample stream (transient faults are retried against the same
+// deterministic shard stream, so recovery reproduces the same data).
+func TestNilAndEmptyPlansAreByteIdentical(t *testing.T) {
+	ds := faultTestData(6000)
+	build := func(plan *FaultPlan) *Sampler {
+		c, err := Build(ds, fastFaultConfig(5, 7, plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Sampler(testQuery)
+	}
+	base := drainBatched(build(nil), []int{64})
+	empty := drainBatched(build(&FaultPlan{}), []int{64})
+	transient := drainBatched(build(&FaultPlan{
+		Shards: map[int]ShardFaultPlan{ShardAll: {TransientEvery: 3}},
+	}), []int{64})
+	assertSameEntries(t, base, empty, "empty plan")
+	assertSameEntries(t, base, transient, "recovered transient plan")
+}
+
+// TestCrashMidQueryDegradesGracefully is the acceptance scenario: 2 of 8
+// shards crash mid-query; the coordinator finishes without error, counts
+// exactly two crashes under storm.distr.faults.*, re-weights onto the
+// survivors, and reports the lost population through Degradation.
+func TestCrashMidQueryDegradesGracefully(t *testing.T) {
+	ds := faultTestData(8000)
+	reg := obs.NewRegistry()
+	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{
+		2: {Crash: true, CrashAfterFetches: 1},
+		5: {Crash: true, CrashAfterFetches: 1},
+	}}
+	cfg := fastFaultConfig(8, 5, plan)
+	cfg.Obs = reg
+	c, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Sampler(testQuery)
+	initial := c.Count(testQuery)
+
+	seen := make(map[data.ID]bool)
+	buf := make([]data.Entry, 96)
+	emitted := 0
+	for {
+		n := s.NextBatch(buf, len(buf))
+		for _, e := range buf[:n] {
+			if !testQuery.Contains(e.Pos) {
+				t.Fatalf("sample %d outside query", e.ID)
+			}
+			if seen[e.ID] {
+				t.Fatalf("duplicate sample %d", e.ID)
+			}
+			seen[e.ID] = true
+		}
+		emitted += n
+		if n < len(buf) {
+			break
+		}
+	}
+
+	st := c.FaultStats()
+	if st.Crashes != 2 {
+		t.Errorf("crashes = %d, want 2", st.Crashes)
+	}
+	if st.ShardsDown != 2 {
+		t.Errorf("shards down = %d, want 2", st.ShardsDown)
+	}
+	lost, lostPop := s.Degradation()
+	if lost != 2 || !s.Degraded() {
+		t.Errorf("degradation reports %d lost shards, want 2", lost)
+	}
+	if lostPop <= 0 {
+		t.Errorf("lost population = %d, want > 0", lostPop)
+	}
+	if emitted != initial-lostPop {
+		t.Errorf("emitted %d samples, want initial %d - lost %d = %d",
+			emitted, initial, lostPop, initial-lostPop)
+	}
+	// The same totals are visible on the metrics registry.
+	snap := reg.Snapshot()
+	if got := snap["storm.distr.faults.crashes"]; got != uint64(2) {
+		t.Errorf("storm.distr.faults.crashes = %v, want 2", got)
+	}
+	if got := snap["storm.distr.faults.shards_down"]; got != int64(2) {
+		t.Errorf("storm.distr.faults.shards_down = %v, want 2", got)
+	}
+}
+
+// TestTransientFaultsRetryAndRecover checks the retry path bookkeeping:
+// periodic transient faults are retried with backoff, every fetch
+// eventually succeeds, and nothing is degraded.
+func TestTransientFaultsRetryAndRecover(t *testing.T) {
+	ds := faultTestData(4000)
+	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{ShardAll: {TransientEvery: 4}}}
+	c, err := Build(ds, fastFaultConfig(4, 3, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Sampler(testQuery)
+	got := drainBatched(s, []int{128})
+	if len(got) != c.Count(testQuery) {
+		t.Fatalf("drained %d of %d", len(got), c.Count(testQuery))
+	}
+	st := c.FaultStats()
+	if st.Transient == 0 || st.Retries == 0 || st.Recoveries == 0 {
+		t.Errorf("expected transient/retry/recovery activity, got %+v", st)
+	}
+	if st.Crashes != 0 || st.Exhausted != 0 || s.Degraded() {
+		t.Errorf("recoverable faults must not degrade: %+v, degraded=%v", st, s.Degraded())
+	}
+	if st.Retries < st.Recoveries {
+		t.Errorf("retries %d < recoveries %d", st.Retries, st.Recoveries)
+	}
+}
+
+// TestRetryExhaustionDropsShard: a shard failing every attempt exhausts
+// MaxRetries and is dropped from the query (query-local degradation) but
+// is not counted as crashed — the shard server is still up.
+func TestRetryExhaustionDropsShard(t *testing.T) {
+	ds := faultTestData(4000)
+	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{1: {TransientEvery: 1}}}
+	cfg := fastFaultConfig(4, 3, plan)
+	cfg.MaxRetries = 2
+	c, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Sampler(testQuery)
+	emitted := len(drainBatched(s, []int{64}))
+	st := c.FaultStats()
+	if st.Exhausted == 0 {
+		t.Error("expected exhausted fetches")
+	}
+	if st.Crashes != 0 || st.ShardsDown != 0 {
+		t.Errorf("retry exhaustion must not count as a crash: %+v", st)
+	}
+	lost, lostPop := s.Degradation()
+	if lost != 1 || lostPop <= 0 {
+		t.Errorf("degradation = (%d, %d), want shard 1 dropped", lost, lostPop)
+	}
+	if emitted != c.Count(testQuery)-lostPop {
+		t.Errorf("emitted %d, want %d", emitted, c.Count(testQuery)-lostPop)
+	}
+}
+
+// TestLatencyFaults: spikes below the per-fetch deadline delay the fetch
+// but succeed (counted as latency injections); spikes at or beyond the
+// deadline surface as timeouts and are retried.
+func TestLatencyFaults(t *testing.T) {
+	ds := faultTestData(3000)
+
+	// Small spike: succeeds, stream byte-identical to a healthy run.
+	slow := &FaultPlan{Shards: map[int]ShardFaultPlan{ShardAll: {LatencyEvery: 2, Latency: 50 * time.Microsecond}}}
+	a, err := Build(ds, fastFaultConfig(3, 9, slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(ds, fastFaultConfig(3, 9, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameEntries(t, drainBatched(b.Sampler(testQuery), []int{64}),
+		drainBatched(a.Sampler(testQuery), []int{64}), "latency plan")
+	if st := a.FaultStats(); st.Latency == 0 || st.Timeouts != 0 {
+		t.Errorf("expected pure latency injections, got %+v", st)
+	}
+
+	// Spike beyond the deadline: timeout, retried; the retry draws a fresh
+	// verdict, so alternating spikes still finish the stream.
+	deadline := &FaultPlan{Shards: map[int]ShardFaultPlan{ShardAll: {LatencyEvery: 2, Latency: 10 * time.Millisecond}}}
+	cfg := fastFaultConfig(3, 9, deadline)
+	cfg.FetchTimeout = time.Millisecond
+	d, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(drainBatched(d.Sampler(testQuery), []int{64}))
+	if got != d.Count(testQuery) {
+		t.Fatalf("drained %d of %d", got, d.Count(testQuery))
+	}
+	if st := d.FaultStats(); st.Timeouts == 0 || st.Retries == 0 {
+		t.Errorf("expected timeout/retry activity, got %+v", st)
+	}
+}
+
+// TestCrashedShardExcludedAfterwards: crashes are cluster state. A query
+// that starts after the crash sees the surviving population from its count
+// round on and is NOT degraded — nothing was lost mid-query.
+func TestCrashedShardExcludedAfterwards(t *testing.T) {
+	ds := faultTestData(6000)
+	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{0: {Crash: true, CrashAfterFetches: 0}}}
+	c, err := Build(ds, fastFaultConfig(4, 5, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Count(testQuery)
+	first := c.Sampler(testQuery)
+	drainBatched(first, []int{64}) // triggers the crash mid-query
+	if !first.Degraded() {
+		t.Fatal("first query should be degraded")
+	}
+	_, lostPop := first.Degradation()
+
+	after := c.Count(testQuery)
+	if after != before-lostPop {
+		t.Errorf("post-crash count = %d, want %d - %d", after, before, lostPop)
+	}
+	second := c.Sampler(testQuery)
+	emitted := len(drainBatched(second, []int{64}))
+	if second.Degraded() {
+		t.Error("a query started after the crash is not degraded")
+	}
+	if emitted != after {
+		t.Errorf("second query drained %d, want surviving %d", emitted, after)
+	}
+}
+
+// TestDegradedFirstSampleUniformOverSurvivors: after a crash the draw
+// distribution re-weights onto the surviving shards. The first sample
+// emitted after the crash must be uniform over the surviving matching
+// records (chi-square over many independent seeds).
+func TestDegradedFirstSampleUniformOverSurvivors(t *testing.T) {
+	ds := faultTestData(400)
+	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{1: {Crash: true, CrashAfterFetches: 0}}}
+	ref, err := Build(ds, fastFaultConfig(4, 1, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := make(map[data.ID]bool)
+	for i, sh := range ref.Shards() {
+		if i == 1 {
+			continue
+		}
+		for _, e := range sh.Index().Tree().ReportAll(testQuery) {
+			survivors[e.ID] = true
+		}
+	}
+	q := len(survivors)
+	if q < 20 {
+		t.Fatalf("degenerate fixture q=%d", q)
+	}
+	counts := make(map[data.ID]int)
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		c, err := Build(ds, fastFaultConfig(4, int64(i), plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.Sampler(testQuery)
+		e, ok := s.Next()
+		if !ok {
+			t.Fatal("no sample")
+		}
+		if !survivors[e.ID] {
+			t.Fatalf("sample %d came from the crashed shard", e.ID)
+		}
+		counts[e.ID]++
+	}
+	obsCounts := make([]int, 0, q)
+	exp := make([]float64, 0, q)
+	for id := range survivors {
+		obsCounts = append(obsCounts, counts[id])
+		exp = append(exp, float64(trials)/float64(q))
+	}
+	stat := stats.ChiSquareStat(obsCounts, exp)
+	crit := stats.ChiSquareQuantile(0.999, q-1)
+	if stat > crit {
+		t.Errorf("degraded first-sample chi-square %v > crit %v", stat, crit)
+	}
+}
+
+// TestDegradedEstimateCoversSurvivingMean is the coverage acceptance test:
+// across many seeds, a 95% CI produced by a query that loses 2 of 8 shards
+// mid-query must cover the surviving-population mean at roughly the
+// nominal rate. The crashed shards die on their first fetch attempt, so
+// the stream is exactly uniform without replacement over the survivors.
+func TestDegradedEstimateCoversSurvivingMean(t *testing.T) {
+	ds := faultTestData(6000)
+	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{
+		2: {Crash: true, CrashAfterFetches: 0},
+		5: {Crash: true, CrashAfterFetches: 0},
+	}}
+	ref, err := Build(ds, fastFaultConfig(8, 1, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, surviving := survivingTruth(ref, ds, testQuery, map[int]bool{2: true, 5: true})
+	if surviving < 200 {
+		t.Fatalf("degenerate fixture: %d surviving matches", surviving)
+	}
+
+	const trials = 100
+	covered := 0
+	for i := 0; i < trials; i++ {
+		c, err := Build(ds, fastFaultConfig(8, int64(100+i), plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := c.EstimateAvg(testQuery, "value", 300, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Population != surviving {
+			t.Fatalf("effective population = %d, want surviving %d", est.Population, surviving)
+		}
+		if math.Abs(est.Value-truth) <= est.HalfWidth {
+			covered++
+		}
+	}
+	// Bin(100, 0.95) has sd ≈ 2.2; 86 is more than 4σ below the nominal
+	// coverage, so a correct implementation essentially never fails while
+	// a biased or over-narrow one reliably does.
+	if covered < 86 {
+		t.Errorf("95%% CI covered the surviving mean in %d/%d trials", covered, trials)
+	}
+}
+
+// TestFaultPlanDeterminism: the same plan seed replays the same injected
+// fault sequence for an identical workload.
+func TestFaultPlanDeterminism(t *testing.T) {
+	ds := faultTestData(4000)
+	mk := func() FaultStats {
+		plan := &FaultPlan{
+			Seed:   42,
+			Shards: map[int]ShardFaultPlan{ShardAll: {TransientProb: 0.2, LatencyProb: 0.1, Latency: 10 * time.Microsecond}},
+		}
+		c, err := Build(ds, fastFaultConfig(4, 9, plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainBatched(c.Sampler(testQuery), []int{64})
+		return c.FaultStats()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Errorf("fault stats diverge across identical runs:\n%+v\n%+v", a, b)
+	}
+	if a.Injected == 0 {
+		t.Error("probabilistic plan injected nothing")
+	}
+}
+
+// TestParseFaultPlan exercises the operator-facing plan syntax.
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan("1:crash-after=40;3-4:transient-every=7,latency=2ms;*:latency-p=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := plan.Shards[1]; !p.Crash || p.CrashAfterFetches != 40 {
+		t.Errorf("shard 1 plan = %+v", p)
+	}
+	for _, id := range []int{3, 4} {
+		if p := plan.Shards[id]; p.TransientEvery != 7 || p.Latency != 2*time.Millisecond {
+			t.Errorf("shard %d plan = %+v", id, p)
+		}
+	}
+	if p := plan.Shards[ShardAll]; p.LatencyProb != 0.05 {
+		t.Errorf("wildcard plan = %+v", p)
+	}
+	// The wildcard fills shards without explicit entries; explicit entries win.
+	if got := plan.planFor(7); got.LatencyProb != 0.05 {
+		t.Errorf("planFor(7) = %+v", got)
+	}
+	if got := plan.planFor(1); !got.Crash || got.LatencyProb != 0 {
+		t.Errorf("planFor(1) = %+v", got)
+	}
+
+	if p, err := ParseFaultPlan("  "); err != nil || p != nil {
+		t.Errorf("blank spec: plan=%v err=%v", p, err)
+	}
+	for _, bad := range []string{
+		"nonsense",
+		"1:bogus=3",
+		"x:crash-after=1",
+		"1:crash-after=-2",
+		"1:transient-p=1.5",
+		"5-2:latency=1ms",
+		"1:latency=xyz",
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q should fail to parse", bad)
+		}
+	}
+}
+
+// TestSharedRegistryAggregatesFaultTotals pins the multi-dataset server
+// scenario: several clusters publish to one registry (stormd builds one
+// cluster per sharded dataset). Registry.Publish overwrites duplicate
+// names, so naive per-cluster Funcs would expose only the most recently
+// built cluster; the scrape must instead sum across all of them — here a
+// faulty cluster's crashes stay visible even though a healthy cluster was
+// built afterwards.
+func TestSharedRegistryAggregatesFaultTotals(t *testing.T) {
+	ds := faultTestData(8000)
+	reg := obs.NewRegistry()
+
+	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{
+		2: {Crash: true, CrashAfterFetches: 1},
+		5: {Crash: true, CrashAfterFetches: 1},
+	}}
+	cfg := fastFaultConfig(8, 5, plan)
+	cfg.Obs = reg
+	faulty, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	healthyCfg := fastFaultConfig(4, 9, nil)
+	healthyCfg.Obs = reg
+	if _, err := Build(faultTestData(2000), healthyCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the faulty cluster past both crash thresholds.
+	s := faulty.Sampler(testQuery)
+	buf := make([]data.Entry, 96)
+	for s.NextBatch(buf, len(buf)) == len(buf) {
+	}
+	if st := faulty.FaultStats(); st.Crashes != 2 {
+		t.Fatalf("cluster crashes = %d, want 2", st.Crashes)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["storm.distr.faults.crashes"]; got != uint64(2) {
+		t.Errorf("registry crashes = %v, want 2 despite healthy cluster registering later", got)
+	}
+	if got := snap["storm.distr.faults.shards_down"]; got != int64(2) {
+		t.Errorf("registry shards_down = %v, want 2", got)
+	}
+	if got := snap["storm.distr.shards"]; got != 12 {
+		t.Errorf("registry shards = %v, want 12 (8 faulty + 4 healthy)", got)
+	}
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/distr"
+	"storm/internal/estimator"
+	"storm/internal/gen"
+	"storm/internal/geo"
+	"storm/internal/obs"
+	"storm/internal/sampling"
+)
+
+func buildShardedHandle(t testing.TB, n, shards int, faults *distr.FaultPlan) (*Engine, *Handle) {
+	t.Helper()
+	e := New(Config{Seed: 42, Fanout: 32})
+	ds := gen.Uniform(n, 7, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	h, err := e.Register(ds, IndexOptions{Shards: shards, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, h
+}
+
+func TestDistributedMethodRouting(t *testing.T) {
+	_, h := buildShardedHandle(t, 5000, 4, nil)
+	if h.Cluster() == nil {
+		t.Fatal("sharded registration should build a cluster")
+	}
+	// The optimizer prefers the cluster coordinator when one exists.
+	plan, err := h.Explain(testRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != MethodDistributed {
+		t.Errorf("optimizer chose %v, want distributed", plan.Method)
+	}
+	snap, err := h.Estimate(context.Background(), testRange, Options{Kind: estimator.Avg, Attr: "value"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Method != "distributed-rs-tree" {
+		t.Errorf("query ran via %q", snap.Method)
+	}
+	if !snap.Exact || snap.Degraded {
+		t.Errorf("healthy exhaustive run: %+v", snap)
+	}
+	want, _ := trueMean(h, testRange, "value")
+	if math.Abs(snap.Value-want) > 1e-9 {
+		t.Errorf("exact distributed AVG = %v, want %v", snap.Value, want)
+	}
+
+	// Requesting the method on an unsharded dataset is a config error.
+	e2 := New(Config{Seed: 1})
+	ds2 := gen.Uniform(500, 3, geo.SpatialRange(0, 0, 100, 100))
+	h2, err := e2.Register(ds2, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h2.newSampler(MethodDistributed, testRange.Rect(), sampling.WithoutReplacement, nil); err == nil {
+		t.Error("distributed method without a cluster should fail")
+	}
+	// With-replacement is unsupported on the coordinator.
+	if _, _, err := h.newSampler(MethodDistributed, testRange.Rect(), sampling.WithReplacement, nil); err == nil {
+		t.Error("with-replacement distributed sampling should fail")
+	}
+}
+
+func TestDistributedQueryDegrades(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Config{Seed: 42, Fanout: 32, Obs: reg})
+	ds := gen.Uniform(8000, 7, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	h, err := e.Register(ds, IndexOptions{
+		Shards: 8,
+		Faults: &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+			2: {Crash: true, CrashAfterFetches: 1},
+			5: {Crash: true, CrashAfterFetches: 1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyPop := h.Cluster().Count(testRange.Rect())
+	snap, err := h.Estimate(context.Background(), testRange, Options{Kind: estimator.Avg, Attr: "value"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Done {
+		t.Fatal("degraded query must still complete")
+	}
+	if !snap.Degraded || snap.ShardsLost != 2 {
+		t.Fatalf("snapshot degradation = (%v, %d), want (true, 2)", snap.Degraded, snap.ShardsLost)
+	}
+	if snap.Population >= healthyPop {
+		t.Errorf("effective population %d not shrunk from %d", snap.Population, healthyPop)
+	}
+	if !snap.Exact || snap.Samples != snap.Population {
+		t.Errorf("exhausted degraded run should be exact over survivors: %+v", snap)
+	}
+	st := h.Cluster().FaultStats()
+	if st.Crashes != 2 {
+		t.Errorf("crashes = %d, want 2", st.Crashes)
+	}
+	ms := reg.Snapshot()
+	if got := ms["storm.distr.faults.crashes"]; got != uint64(2) {
+		t.Errorf("storm.distr.faults.crashes = %v", got)
+	}
+	if got := ms["storm.engine.queries.degraded"]; got != uint64(1) {
+		t.Errorf("storm.engine.queries.degraded = %v", got)
+	}
+}
+
+func TestDistributedQuantileDegrades(t *testing.T) {
+	_, h := buildShardedHandle(t, 6000, 6, &distr.FaultPlan{
+		Shards: map[int]distr.ShardFaultPlan{1: {Crash: true, CrashAfterFetches: 1}},
+	})
+	snap, err := h.Estimate(context.Background(), testRange, Options{Kind: estimator.Median, Attr: "value"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Done || !snap.Degraded || snap.ShardsLost != 1 {
+		t.Fatalf("median degradation: %+v", snap)
+	}
+	if !snap.Exact || snap.Samples != snap.Population {
+		t.Errorf("exhausted degraded median should be exact over survivors: %+v", snap)
+	}
+}
+
+func TestShardedUpdatesReachCluster(t *testing.T) {
+	_, h := buildShardedHandle(t, 2000, 4, nil)
+	rect := testRange.Rect()
+	before := h.Cluster().Count(rect)
+	id := h.Insert(data.Row{Pos: geo.Vec{30, 30, 50}, Num: map[string]float64{"value": 1}})
+	if got := h.Cluster().Count(rect); got != before+1 {
+		t.Errorf("cluster count after insert = %d, want %d", got, before+1)
+	}
+	if !h.Delete(id) {
+		t.Fatal("delete failed")
+	}
+	if got := h.Cluster().Count(rect); got != before {
+		t.Errorf("cluster count after delete = %d, want %d", got, before)
+	}
+	if removed, err := h.DeleteRange(testRange); err != nil || removed != before {
+		t.Fatalf("DeleteRange removed %d (err %v), want %d", removed, err, before)
+	}
+	if got := h.Cluster().Count(rect); got != 0 {
+		t.Errorf("cluster count after DeleteRange = %d, want 0", got)
+	}
+}

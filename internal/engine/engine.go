@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"storm/internal/data"
+	"storm/internal/distr"
 	"storm/internal/geo"
 	"storm/internal/iosim"
 	"storm/internal/lstree"
@@ -51,6 +52,10 @@ const (
 	MethodRandomPath
 	MethodQueryFirst
 	MethodSampleFirst
+	// MethodDistributed samples through the dataset's shard cluster
+	// coordinator (register with IndexOptions.Shards > 0). The stream is
+	// without-replacement only and degrades gracefully on shard loss.
+	MethodDistributed
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +73,8 @@ func (m Method) String() string {
 		return "query-first"
 	case MethodSampleFirst:
 		return "sample-first"
+	case MethodDistributed:
+		return "distributed"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -144,6 +151,15 @@ type IndexOptions struct {
 	// LSTree additionally builds an LS-tree (the RS-tree is always
 	// built: it is the engine's default sampler and range counter).
 	LSTree bool
+	// Shards additionally builds a simulated distributed cluster with this
+	// many shard servers (see package distr); 0 disables. When set, the
+	// optimizer prefers MethodDistributed and updates are mirrored into the
+	// shard trees.
+	Shards int
+	// Faults installs a deterministic fault-injection plan on the cluster
+	// (ignored when Shards == 0); nil leaves the cluster healthy. The
+	// plan's own Seed field drives the injected fault sequence.
+	Faults *distr.FaultPlan
 }
 
 // Handle is a registered dataset with its indexes. Queries share the
@@ -160,7 +176,12 @@ type Handle struct {
 	ds   *data.Dataset
 	rs   *rstree.Index
 	ls   *lstree.Index
-	eng  *Engine
+	// cluster is the dataset's simulated shard cluster (IndexOptions.Shards
+	// > 0), nil otherwise. Structural mutation is additionally guarded by
+	// the cluster's own lock, so queries can fetch from shards while holding
+	// only this handle's read lock.
+	cluster *distr.Cluster
+	eng     *Engine
 	// deleted marks records removed from the indexes; the columnar store
 	// is append-only, so SampleFirst (which samples the raw store) must
 	// filter them out. Guarded by mu: queries read it under RLock, updates
@@ -200,6 +221,19 @@ func (e *Engine) Register(ds *data.Dataset, opts IndexOptions) (*Handle, error) 
 			return nil, fmt.Errorf("engine: building LS-tree for %q: %w", ds.Name(), err)
 		}
 		h.ls = ls
+	}
+	if opts.Shards > 0 {
+		cl, err := distr.Build(ds, distr.Config{
+			Shards: opts.Shards,
+			Fanout: e.cfg.Fanout,
+			Seed:   e.nextSeed(),
+			Obs:    e.obs,
+			Faults: opts.Faults,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: building cluster for %q: %w", ds.Name(), err)
+		}
+		h.cluster = cl
 	}
 	e.datasets[ds.Name()] = h
 	// Per-dataset live gauges; torn down by Unregister via the shared
@@ -283,6 +317,9 @@ func (h *Handle) Insert(row data.Row) data.ID {
 	if h.ls != nil {
 		h.ls.Insert(e)
 	}
+	if h.cluster != nil {
+		h.cluster.Insert(e)
+	}
 	return id
 }
 
@@ -302,12 +339,20 @@ func (h *Handle) Delete(id data.ID) bool {
 	if h.ls != nil {
 		h.ls.Delete(e)
 	}
+	if h.cluster != nil {
+		h.cluster.Delete(e)
+	}
 	h.deleted[id] = struct{}{}
 	return true
 }
 
 // HasLSTree reports whether the handle has an LS-tree index.
 func (h *Handle) HasLSTree() bool { return h.ls != nil }
+
+// Cluster returns the dataset's simulated shard cluster, or nil when the
+// dataset was registered without IndexOptions.Shards. Exposed for fault
+// diagnostics (Cluster.FaultStats) and benchmarks.
+func (h *Handle) Cluster() *distr.Cluster { return h.cluster }
 
 // DeleteRange removes every record inside the range from all indexes and
 // returns how many were removed — the update manager's bulk path
@@ -323,6 +368,9 @@ func (h *Handle) DeleteRange(q geo.Range) (int, error) {
 		h.rs.Delete(e)
 		if h.ls != nil {
 			h.ls.Delete(e)
+		}
+		if h.cluster != nil {
+			h.cluster.Delete(e)
 		}
 		h.deleted[e.ID] = struct{}{}
 	}
@@ -360,6 +408,14 @@ func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *
 		return s, ctr, nil
 	}
 	switch method {
+	case MethodDistributed:
+		if h.cluster == nil {
+			return nil, nil, fmt.Errorf("engine: dataset %q has no shard cluster (register with IndexOptions.Shards)", h.name)
+		}
+		if mode == sampling.WithReplacement {
+			return nil, nil, fmt.Errorf("engine: distributed sampling supports without-replacement only")
+		}
+		return attach(h.cluster.Sampler(q))
 	case MethodRSTree:
 		return attach(h.rs.Sampler(q, mode, rng))
 	case MethodLSTree:
@@ -432,8 +488,14 @@ func (h *Handle) Explain(q geo.Range) (Plan, error) {
 // choose implements the query optimizer's method selection rules
 // (paper §3.2): tiny results are cheapest to report outright; queries
 // covering most of the data sample efficiently straight from the raw file;
-// everything else uses the RS-tree.
+// everything else uses the RS-tree. A dataset registered with a shard
+// cluster is sampled through its coordinator — that is the deployment the
+// operator asked for, and the only path with graceful shard-loss
+// degradation.
 func (h *Handle) choose(q geo.Rect) Method {
+	if h.cluster != nil {
+		return MethodDistributed
+	}
 	n := h.rs.Len()
 	if n == 0 {
 		return MethodRSTree

@@ -16,6 +16,9 @@ type metrics struct {
 	queriesStarted *obs.Counter
 	queriesDone    *obs.Counter
 	queriesActive  *obs.Gauge
+	// queriesDegraded counts queries that lost at least one shard
+	// mid-stream and finished over the surviving population.
+	queriesDegraded *obs.Counter
 
 	samplesDrawn      *obs.Counter
 	samplerRejects    *obs.Counter
@@ -55,6 +58,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		queriesStarted:    reg.Counter("storm.engine.queries.started"),
 		queriesDone:       reg.Counter("storm.engine.queries.done"),
 		queriesActive:     reg.Gauge("storm.engine.queries.active"),
+		queriesDegraded:   reg.Counter("storm.engine.queries.degraded"),
 		samplesDrawn:      reg.Counter("storm.engine.samples.drawn"),
 		samplerRejects:    reg.Counter("storm.engine.sampler.rejects"),
 		samplerExplosions: reg.Counter("storm.engine.sampler.explosions"),

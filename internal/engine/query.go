@@ -76,6 +76,15 @@ type Snapshot struct {
 	// Done marks the final snapshot: target met, budget spent, sample
 	// exhausted, or context cancelled.
 	Done bool
+	// Degraded marks a distributed query that lost shards mid-stream
+	// (crash or retry exhaustion). The estimate then covers the surviving
+	// population only: Population has been shrunk by the lost shards'
+	// matching counts so the CI stays honest over what can still be
+	// sampled (see DESIGN.md §4.3).
+	Degraded bool
+	// ShardsLost is how many shards the query lost mid-stream; 0 unless
+	// Degraded.
+	ShardsLost int
 }
 
 // EstimateOnline executes an online aggregation query, streaming snapshots
@@ -141,7 +150,14 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 	}
 	rng := stats.NewRNG(seed)
 
+	// Resolve the method up front: a distributed query's population is the
+	// cluster's count, which excludes shards that are already down — the
+	// honest effective N for the stream the coordinator can deliver.
+	opts.Method = h.resolveMethod(opts.Method, q)
 	population := h.rs.Count(q)
+	if opts.Method == MethodDistributed && h.cluster != nil {
+		population = h.cluster.Count(q)
+	}
 
 	// Order statistics go through the quantile estimator, which keeps
 	// its sample and reports distribution-free order-statistic bounds.
@@ -159,12 +175,32 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 	}
 
 	var ctr *iosim.Counter
+	var deg degrader
+	wasDegraded := false
 	emit := func(done bool, method string) bool {
+		var shardsLost int
+		if deg != nil {
+			if lost, lostPop := deg.Degradation(); lost > 0 {
+				// Shards died mid-query: re-target the estimator at the
+				// surviving population before snapshotting so the point
+				// estimate, SUM/COUNT scaling and finite-population
+				// correction stay honest over what the stream can still
+				// cover (see DESIGN.md §4.3).
+				shardsLost = lost
+				est.SetPopulation(population - lostPop)
+				if !wasDegraded {
+					wasDegraded = true
+					h.eng.met.queriesDegraded.Inc()
+				}
+			}
+		}
 		s := Snapshot{
-			Estimate: est.Snapshot(),
-			Elapsed:  time.Since(start),
-			Method:   method,
-			Done:     done,
+			Estimate:   est.Snapshot(),
+			Elapsed:    time.Since(start),
+			Method:     method,
+			Done:       done,
+			Degraded:   shardsLost > 0,
+			ShardsLost: shardsLost,
 		}
 		if ctr != nil {
 			s.IO = ctr.Snapshot()
@@ -196,6 +232,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		return
 	}
 	ctr = c
+	deg, _ = sampler.(degrader)
 	col, err := h.ds.NumericColumn(opts.Attr)
 	if err != nil {
 		emit(true, fmt.Sprintf("error: %v", err))
@@ -272,6 +309,22 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 	}
 }
 
+// degrader is implemented by samplers whose stream can lose part of its
+// population mid-query (the distributed coordinator): Degradation reports
+// how many shards were lost and the matching population lost with them.
+type degrader interface {
+	Degradation() (shardsLost, lostPopulation int)
+}
+
+// resolveMethod applies the optimizer to Auto and returns any other method
+// unchanged. Caller holds h.mu (read side suffices).
+func (h *Handle) resolveMethod(m Method, q geo.Rect) Method {
+	if m == Auto {
+		return h.choose(q)
+	}
+	return m
+}
+
 // runQuantile is the evaluator loop for MEDIAN/QUANTILE queries. Caller
 // holds h.mu. The Snapshot's HalfWidth is the wider side of the
 // order-statistic confidence bounds.
@@ -296,6 +349,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 		return
 	}
+	deg, _ := sampler.(degrader)
 	col, err := h.ds.NumericColumn(opts.Attr)
 	if err != nil {
 		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
@@ -306,13 +360,29 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		deadline = start.Add(opts.TimeBudget)
 	}
 
+	wasDegraded := false
 	emit := func(done bool) bool {
+		// Shard loss shrinks the quantile's effective population the same
+		// way runEstimate's does: exhaustion and the reported Population
+		// track what the stream can still deliver.
+		effPop := population
+		shardsLost := 0
+		if deg != nil {
+			if lost, lostPop := deg.Degradation(); lost > 0 {
+				shardsLost = lost
+				effPop = population - lostPop
+				if !wasDegraded {
+					wasDegraded = true
+					h.eng.met.queriesDegraded.Inc()
+				}
+			}
+		}
 		snap := qe.Snapshot()
 		hw := snap.Hi - snap.Value
 		if lo := snap.Value - snap.Lo; lo > hw {
 			hw = lo
 		}
-		exhausted := opts.Mode == sampling.WithoutReplacement && snap.Samples >= population
+		exhausted := opts.Mode == sampling.WithoutReplacement && snap.Samples >= effPop
 		if exhausted {
 			hw = 0
 		}
@@ -323,12 +393,14 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 				HalfWidth:  hw,
 				Confidence: opts.Confidence,
 				Samples:    snap.Samples,
-				Population: population,
+				Population: effPop,
 				Exact:      exhausted,
 			},
-			Elapsed: time.Since(start),
-			Method:  sampler.Name(),
-			Done:    done,
+			Elapsed:    time.Since(start),
+			Method:     sampler.Name(),
+			Done:       done,
+			Degraded:   shardsLost > 0,
+			ShardsLost: shardsLost,
 		}
 		if ctr != nil {
 			s.IO = ctr.Snapshot()

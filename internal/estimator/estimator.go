@@ -210,6 +210,24 @@ func MustNew(kind Kind, confidence float64, population int, withoutReplacement b
 	return e
 }
 
+// SetPopulation re-targets the estimator at a population of size n (pass
+// -1 for unknown). The distributed coordinator calls this when shards are
+// lost mid-query: the sample stream then covers only the surviving
+// population, and shrinking the effective N keeps the point estimate,
+// SUM/COUNT scaling, and finite-population correction honest over the
+// survivors instead of silently biasing toward a population that can no
+// longer be sampled (graceful degradation; see DESIGN.md §4.3).
+func (e *Estimator) SetPopulation(n int) {
+	if n < 0 {
+		n = -1
+	}
+	e.population = n
+}
+
+// Population returns the estimator's current effective population size
+// (q = |P ∩ Q| over the reachable shards), or -1 when unknown.
+func (e *Estimator) Population() int { return e.population }
+
 // Add feeds one sampled attribute value. NaN values (records missing the
 // attribute) are skipped entirely, mirroring SQL NULL semantics: they
 // contribute to neither the aggregate nor the sample count.

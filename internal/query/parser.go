@@ -546,6 +546,8 @@ func (p *parser) parseFromWhereWith(q *Query) error {
 				q.Method = engine.MethodQueryFirst
 			case "SAMPLEFIRST":
 				q.Method = engine.MethodSampleFirst
+			case "DISTRIBUTED":
+				q.Method = engine.MethodDistributed
 			case "AUTO":
 				q.Method = engine.Auto
 			default:

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"storm/internal/data"
@@ -42,6 +43,29 @@ type Server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
 	met serverMetrics
+	// maxStreams caps concurrent NDJSON estimate streams (load shedding);
+	// 0 means unlimited. activeStreams is the authoritative counter — the
+	// storm.server.streams.active gauge mirrors it but cannot provide the
+	// atomic check-then-acquire the cap needs.
+	maxStreams    int
+	activeStreams atomic.Int64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxStreams caps the number of concurrently open NDJSON estimate
+// streams. Requests beyond the cap are shed with 429 Too Many Requests and
+// a Retry-After header rather than degrading every in-flight query's
+// latency; sheds are counted under storm.server.streams.shed. n <= 0 means
+// unlimited.
+func WithMaxStreams(n int) Option {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.maxStreams = n
+	}
 }
 
 // serverMetrics holds the server's resolved metric handles; all-nil (every
@@ -55,19 +79,25 @@ type serverMetrics struct {
 	snapshots *obs.Counter
 	// inserts counts records inserted through the HTTP API.
 	inserts *obs.Counter
+	// shed counts NDJSON streams rejected by the WithMaxStreams cap.
+	shed *obs.Counter
 }
 
 // New returns a server over the engine. The engine's metrics registry
 // (when enabled) is served at /metrics and extended with the server's own
 // per-connection counters.
-func New(eng *engine.Engine) *Server {
+func New(eng *engine.Engine, opts ...Option) *Server {
 	reg := eng.Obs()
 	s := &Server{eng: eng, mux: http.NewServeMux(), met: serverMetrics{
 		queries:   reg.Counter("storm.server.queries"),
 		streams:   reg.Gauge("storm.server.streams.active"),
 		snapshots: reg.Counter("storm.server.snapshots"),
 		inserts:   reg.Counter("storm.server.inserts"),
+		shed:      reg.Counter("storm.server.streams.shed"),
 	}}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /datasets/{name}", s.handleDataset)
 	s.mux.HandleFunc("POST /datasets/{name}/records", s.handleInsert)
@@ -217,7 +247,13 @@ type SnapshotJSON struct {
 	IOLogical   uint64 `json:"io_logical,omitempty"`
 	IOCoalesced uint64 `json:"io_coalesced,omitempty"`
 	IOAdjHits   uint64 `json:"io_adj_hits,omitempty"`
-	Done        bool   `json:"done"`
+	// Degraded marks a distributed query that lost ShardsLost shards
+	// mid-stream; Population has been shrunk to the surviving matching
+	// count, so the CI is honest over what could still be sampled (see
+	// DESIGN.md §4.3 and the README fault-tolerance handbook).
+	Degraded   bool `json:"degraded,omitempty"`
+	ShardsLost int  `json:"shards_lost,omitempty"`
+	Done       bool `json:"done"`
 }
 
 // handleQuery executes an estimate statement and streams NDJSON snapshots.
@@ -250,7 +286,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]string{"output": buf.String()})
 }
 
+// acquireStream reserves an NDJSON stream slot, or reports that the
+// WithMaxStreams cap is reached. The CAS loop makes check-then-acquire
+// atomic across concurrent requests; the storm.server.streams.active gauge
+// mirrors the count for scrapers.
+func (s *Server) acquireStream() bool {
+	for {
+		cur := s.activeStreams.Load()
+		if s.maxStreams > 0 && cur >= int64(s.maxStreams) {
+			return false
+		}
+		if s.activeStreams.CompareAndSwap(cur, cur+1) {
+			s.met.streams.Add(1)
+			return true
+		}
+	}
+}
+
+func (s *Server) releaseStream() {
+	s.activeStreams.Add(-1)
+	s.met.streams.Add(-1)
+}
+
 func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query.Query) {
+	// Load shedding: reject beyond-cap streams up front — before the query
+	// starts sampling — so in-flight queries keep their latency instead of
+	// everyone degrading together.
+	if !s.acquireStream() {
+		s.met.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"stream limit reached (%d concurrent NDJSON streams); retry shortly", s.maxStreams)
+		return
+	}
+	defer s.releaseStream()
 	h, err := s.eng.Dataset(q.Dataset)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
@@ -273,8 +342,6 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.met.streams.Add(1)
-	defer s.met.streams.Add(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
@@ -295,6 +362,8 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 			IOLogical:   snap.IO.Logical,
 			IOCoalesced: snap.IO.Coalesced,
 			IOAdjHits:   adj.Hits,
+			Degraded:    snap.Degraded,
+			ShardsLost:  snap.ShardsLost,
 			Done:        snap.Done,
 		}
 		if enc.Encode(out) != nil {

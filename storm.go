@@ -52,6 +52,7 @@ import (
 	"storm/internal/connector"
 	"storm/internal/data"
 	"storm/internal/dfs"
+	"storm/internal/distr"
 	"storm/internal/docstore"
 	"storm/internal/engine"
 	"storm/internal/estimator"
@@ -102,6 +103,17 @@ type (
 	Plan = engine.Plan
 	// Method selects a sampling strategy.
 	Method = engine.Method
+
+	// ShardCluster is the simulated distributed deployment behind a
+	// Handle registered with IndexOptions.Shards > 0.
+	ShardCluster = distr.Cluster
+	// FaultPlan scripts deterministic per-shard fault injection for a
+	// sharded registration (IndexOptions.Faults).
+	FaultPlan = distr.FaultPlan
+	// ShardFaultPlan scripts the faults of one shard.
+	ShardFaultPlan = distr.ShardFaultPlan
+	// FaultStats is a snapshot of fault-injection activity.
+	FaultStats = distr.FaultStats
 
 	// Range is a spatio-temporal query range.
 	Range = geo.Range
@@ -176,7 +188,16 @@ const (
 	MethodRandomPath  = engine.MethodRandomPath
 	MethodQueryFirst  = engine.MethodQueryFirst
 	MethodSampleFirst = engine.MethodSampleFirst
+	MethodDistributed = engine.MethodDistributed
 )
+
+// ShardAll is the FaultPlan.Shards key whose plan applies to every shard
+// without an explicit entry.
+const ShardAll = distr.ShardAll
+
+// ParseFaultPlan parses an operator fault-plan string — the grammar behind
+// stormd's -fault-plan flag, e.g. "2:crash-after=40;*:latency-p=0.05".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return distr.ParseFaultPlan(spec) }
 
 // Open returns a new STORM engine.
 func Open(cfg Config) *Engine { return engine.New(cfg) }

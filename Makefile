@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
 	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/ \
 	./internal/obs/
 
-.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs bench-faults
+.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs bench-faults test-stats fuzz-smoke
 
 verify: fmt vet build test race docs-lint
 
@@ -51,3 +51,18 @@ bench-obs:
 # CI-width / latency impact table (see EXPERIMENTS.md A7).
 bench-faults:
 	$(GO) run ./cmd/stormbench -fig a7
+
+# Statistical correctness harness: uniformity chi-square, CI coverage
+# rate, and lost-mass-bound coverage over hundreds of seeded
+# kill/degrade/recover runs (internal/stats/statcheck). Seeds are fixed
+# in the tests, so a failure is a real regression, not sampling noise
+# (false-positive budget ~1e-3 per check, see the statcheck package doc).
+test-stats:
+	$(GO) test -race -run 'TestStat' -v ./internal/distr/
+	$(GO) test -race ./internal/stats/statcheck/
+
+# Short fuzz pass over the operator-facing fault-plan grammar: no input
+# may panic the parser; accepted inputs must round-trip through the
+# canonical serializer. The checked-in corpus also runs on plain `go test`.
+fuzz-smoke:
+	$(GO) test -run FuzzParseFaultPlan -fuzz FuzzParseFaultPlan -fuzztime 15s ./internal/distr/

@@ -13,6 +13,8 @@
 //	                                  # updates, distributed scaling)
 //	stormbench -fig a7                # fault ablation: kill k of 8 shards
 //	                                  # mid-query, CI-width + latency impact
+//	stormbench -fig a8                # recovery ablation: kill-then-recover
+//	                                  # vs degraded-with-lost-mass-bounds
 //	stormbench -fig all               # everything
 //
 // -metrics attaches an observability registry (see internal/obs) to each
@@ -45,7 +47,7 @@ func series(title string, xs, ys []float64) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, all")
 	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
 	seed := flag.Int64("seed", 1, "generator/sampling seed")
 	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
@@ -84,6 +86,7 @@ func main() {
 	run("a5", func() error { return a5(*seed) })
 	run("a6", func() error { return a6(*seed) })
 	run("a7", func() error { return a7(*seed) })
+	run("a8", func() error { return a8(*seed) })
 }
 
 // dumpMetrics prints every registry entry as "name<TAB>value", sorted by
@@ -384,6 +387,37 @@ func a7(seed int64) error {
 			fmt.Sprintf("%.2f", p.WallMS),
 			fmt.Sprintf("%d", p.Crashes),
 			fmt.Sprintf("%d", p.Retries),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a8(seed int64) error {
+	fmt.Println("Ablation A8: kill-then-recover — hottest shard crashes mid-query; degraded (never returns,")
+	fmt.Println("lost-mass bounds) vs recover (re-admitted mid-query) vs healthy baseline (500k points, k=5000)")
+	pts, err := bench.A8(bench.A8Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"mode", "eff pop", "healthy pop", "avg", "ci half-width", "lost-mass low", "lost-mass high", "wall ms", "crashes", "readmits"}}
+	for _, p := range pts {
+		lostLow, lostHigh := "-", "-"
+		if p.LostLow != 0 || p.LostHigh != 0 {
+			lostLow = fmt.Sprintf("%.2f", p.LostLow)
+			lostHigh = fmt.Sprintf("%.2f", p.LostHigh)
+		}
+		rows = append(rows, []string{
+			p.Mode,
+			fmt.Sprintf("%d", p.Population),
+			fmt.Sprintf("%d", p.HealthyPop),
+			fmt.Sprintf("%.2f", p.Value),
+			fmt.Sprintf("%.3f", p.HalfWidth),
+			lostLow,
+			lostHigh,
+			fmt.Sprintf("%.2f", p.WallMS),
+			fmt.Sprintf("%d", p.Crashes),
+			fmt.Sprintf("%d", p.Readmits),
 		})
 	}
 	fmt.Print(viz.Table(rows))

@@ -20,13 +20,19 @@
 // Fault tolerance (see DESIGN.md §4.3 and the README operator handbook):
 //
 //	stormd -shards 8 -fault-plan '2:crash-after=40;5:crash-after=80'
+//	stormd -shards 8 -fault-plan '2:crash-after=40,recover-after=6'
 //
 // -shards registers the demo datasets on a simulated shard cluster;
 // -fault-plan injects deterministic shard faults (latency spikes,
 // timeouts, transient errors, crashes) whose effects surface as
 // storm.distr.faults.* on /metrics and as "degraded": true in NDJSON
-// query streams. -max-streams caps concurrent NDJSON streams; excess
-// requests are shed with 429 + Retry-After.
+// query streams. A crash with recover-after=N rejoins after N
+// coordinator observations of the down shard: in-flight queries
+// re-admit it, restore the full effective population, and stamp
+// "recovered": true instead of degraded. While a shard stays down,
+// degraded AVG/SUM snapshots also carry worst-case lost_mass_low/high
+// bounds on the full-population answer. -max-streams caps concurrent
+// NDJSON streams; excess requests are shed with 429 + Retry-After.
 package main
 
 import (
@@ -54,7 +60,7 @@ func main() {
 	noMetrics := flag.Bool("no-metrics", false, "disable metric collection and /metrics")
 	noPprof := flag.Bool("no-pprof", false, "do not mount /debug/pprof/")
 	shards := flag.Int("shards", 0, "simulated shard servers per dataset (0 = single node)")
-	faultSpec := flag.String("fault-plan", "", "shard fault plan, e.g. '1:crash-after=40;*:latency-p=0.05,latency=2ms' (requires -shards)")
+	faultSpec := flag.String("fault-plan", "", "shard fault plan, e.g. '1:crash-after=40,recover-after=6;*:latency-p=0.05,latency=2ms' (requires -shards)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 	maxStreams := flag.Int("max-streams", 0, "max concurrent NDJSON query streams; excess shed with 429 (0 = unlimited)")
 	flag.Parse()

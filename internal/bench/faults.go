@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"storm/internal/data"
 	"storm/internal/distr"
+	"storm/internal/estimator"
 )
 
 // A7Config sizes the fault ablation: kill k of Shards shards mid-query and
@@ -138,6 +141,166 @@ func A7(cfg A7Config) ([]A7Point, error) {
 			Retries:    st.Retries,
 			Timeouts:   st.Timeouts,
 		})
+	}
+	return out, nil
+}
+
+// A8Config sizes the recovery ablation: the query's hottest shard crashes
+// mid-stream, and the three modes compare never coming back (degraded,
+// with lost-mass bounds), coming back mid-query (re-admitted), and never
+// crashing at all.
+type A8Config struct {
+	N      int
+	K      int // samples per query
+	Shards int
+	// CrashAfter is how many fetches the doomed shard serves before dying;
+	// RecoverAfter is the recovery clock for the "recover" mode (coordinator
+	// observations of the down shard before it rejoins).
+	CrashAfter   int
+	RecoverAfter int
+	Seed         int64
+}
+
+func (c A8Config) withDefaults() A8Config {
+	if c.N == 0 {
+		c.N = 500_000
+	}
+	if c.K == 0 {
+		c.K = 5000
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.CrashAfter == 0 {
+		c.CrashAfter = 2
+	}
+	if c.RecoverAfter == 0 {
+		c.RecoverAfter = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// A8Point is one mode's measurement.
+type A8Point struct {
+	Mode string
+	// Population is the estimator's final effective N; HealthyPop the
+	// pre-crash matching count. A recovered run ends with the two equal.
+	Population int
+	HealthyPop int
+	Value      float64
+	HalfWidth  float64
+	// LostLow/LostHigh are the lost-mass worst-case bounds on the
+	// full-population mean (degraded mode only; zero elsewhere).
+	LostLow  float64
+	LostHigh float64
+	WallMS   float64
+	Crashes  uint64
+	Readmits uint64
+}
+
+// A8 measures kill-then-recover: an AVG query whose hottest shard crashes
+// mid-stream. "degraded" never gets it back and reports the honest
+// surviving-population CI plus worst-case lost-mass bounds over the full
+// population; "recover" re-admits the shard mid-query and converges back
+// onto the full population; "healthy" is the no-fault baseline.
+func A8(cfg A8Config) ([]A8Point, error) {
+	cfg = cfg.withDefaults()
+	ds := osmData(cfg.N, cfg.Seed)
+	q := queryFor(ds, 0.2).Rect()
+
+	// Crash the shard holding the most matching records (see A7).
+	probe, err := distr.Build(ds, distr.Config{Shards: cfg.Shards, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	target, best := 0, -1
+	for i, sh := range probe.Shards() {
+		if n := sh.Index().Count(q); n > best {
+			target, best = i, n
+		}
+	}
+
+	modes := []struct {
+		name string
+		plan *distr.FaultPlan
+	}{
+		{"healthy", nil},
+		{"degraded", &distr.FaultPlan{Seed: cfg.Seed, Shards: map[int]distr.ShardFaultPlan{
+			target: {Crash: true, CrashAfterFetches: cfg.CrashAfter},
+		}}},
+		{"recover", &distr.FaultPlan{Seed: cfg.Seed, Shards: map[int]distr.ShardFaultPlan{
+			target: {Crash: true, CrashAfterFetches: cfg.CrashAfter, RecoverAfter: cfg.RecoverAfter},
+		}}},
+	}
+
+	col, err := ds.NumericColumn("altitude")
+	if err != nil {
+		return nil, err
+	}
+	var out []A8Point
+	for _, mode := range modes {
+		c, err := distr.Build(ds, distr.Config{
+			Shards: cfg.Shards,
+			Seed:   cfg.Seed,
+			Obs:    Obs,
+			Faults: mode.plan,
+		})
+		if err != nil {
+			return nil, err
+		}
+		healthy := c.Count(q)
+		est, err := estimator.New(estimator.Avg, 0.95, healthy, true)
+		if err != nil {
+			return nil, err
+		}
+		// Drive the sampler by hand (EstimateAvg's loop) so the degraded
+		// mode's lost-mass bounds are readable off the sampler at the end.
+		start := time.Now()
+		s := c.Sampler(q)
+		buf := make([]data.Entry, 1024)
+		for drawn := 0; drawn < cfg.K; {
+			want := cfg.K - drawn
+			if want > len(buf) {
+				want = len(buf)
+			}
+			n := s.NextBatch(buf, want)
+			for _, e := range buf[:n] {
+				est.Add(col[e.ID])
+			}
+			_, lostPop := s.Degradation()
+			est.SetPopulation(healthy - lostPop)
+			drawn += n
+			if n < want {
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		snap := est.Snapshot()
+		p := A8Point{
+			Mode:       mode.name,
+			Population: snap.Population,
+			HealthyPop: healthy,
+			Value:      snap.Value,
+			HalfWidth:  snap.HalfWidth,
+			WallMS:     float64(elapsed.Microseconds()) / 1000,
+			Crashes:    c.FaultStats().Crashes,
+			Readmits:   uint64(s.Readmits()),
+		}
+		if s.Degraded() {
+			if lo, hi, lostN, ok := s.LostMassBounds("altitude"); ok {
+				if low, high, ok := estimator.LostMassBounds(snap, lo, hi, lostN); ok {
+					p.LostLow, p.LostHigh = low, high
+				}
+			}
+		}
+		if mode.name == "recover" && (s.Degraded() || s.Readmits() == 0) {
+			return nil, fmt.Errorf("bench: recover mode did not complete its crash→readmit cycle (readmits=%d, degraded=%v)",
+				s.Readmits(), s.Degraded())
+		}
+		out = append(out, p)
 	}
 	return out, nil
 }

@@ -1,70 +1,28 @@
-package distr
+package distr_test
 
 import (
 	"testing"
 
 	"storm/internal/data"
+	"storm/internal/distr"
+	"storm/internal/distr/distrtest"
 	"storm/internal/gen"
 	"storm/internal/geo"
 )
-
-// drainSerial pulls every sample one at a time.
-func drainSerial(s *Sampler) []data.Entry {
-	var out []data.Entry
-	for {
-		e, ok := s.Next()
-		if !ok {
-			return out
-		}
-		out = append(out, e)
-	}
-}
-
-// drainBatched pulls with NextBatch using the cyclic size pattern.
-func drainBatched(s *Sampler, sizes []int) []data.Entry {
-	var out []data.Entry
-	for i := 0; ; i++ {
-		k := sizes[i%len(sizes)]
-		buf := make([]data.Entry, k)
-		n := s.NextBatch(buf, k)
-		out = append(out, buf[:n]...)
-		if n < k {
-			return out
-		}
-	}
-}
-
-func assertSameEntries(t *testing.T, serial, batched []data.Entry, label string) {
-	t.Helper()
-	if len(serial) != len(batched) {
-		t.Fatalf("%s: serial drained %d, batched %d", label, len(serial), len(batched))
-	}
-	for i := range serial {
-		if serial[i].ID != batched[i].ID {
-			t.Fatalf("%s: stream diverges at %d: serial ID %d, batched ID %d",
-				label, i, serial[i].ID, batched[i].ID)
-		}
-	}
-}
 
 // TestNextBatchMatchesNext checks the coordinator's batched protocol emits
 // the byte-identical sample stream as repeated Next for the same seeds,
 // across shard counts and batch-size patterns.
 func TestNextBatchMatchesNext(t *testing.T) {
-	ds := gen.Uniform(6000, 11, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
 	for _, shards := range []int{1, 3, 8} {
 		for _, sizes := range [][]int{{1}, {17}, {500}, {2, 99, 5}} {
-			a, err := Build(ds, Config{Shards: shards, Seed: 5})
-			if err != nil {
-				t.Fatal(err)
-			}
-			b, err := Build(ds, Config{Shards: shards, Seed: 5})
-			if err != nil {
-				t.Fatal(err)
-			}
-			serial := drainSerial(a.Sampler(testQuery))
-			batched := drainBatched(b.Sampler(testQuery), sizes)
-			assertSameEntries(t, serial, batched, "drain")
+			a := distrtest.Build(t, ds, distr.Config{Shards: shards, Seed: 5})
+			b := distrtest.Build(t, ds, distr.Config{Shards: shards, Seed: 5})
+			serial := distrtest.DrainSerial(a.Sampler(q))
+			batched := distrtest.DrainBatched(b.Sampler(q), sizes)
+			distrtest.SameEntries(t, serial, batched, "drain")
 		}
 	}
 }
@@ -73,16 +31,11 @@ func TestNextBatchMatchesNext(t *testing.T) {
 // sampler against a fully serial twin.
 func TestNextBatchInterleavedWithNext(t *testing.T) {
 	ds := gen.Uniform(5000, 7, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
-	a, err := Build(ds, Config{Shards: 4, Seed: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Build(ds, Config{Shards: 4, Seed: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
-	serial := drainSerial(a.Sampler(testQuery))
-	s := b.Sampler(testQuery)
+	q := distrtest.Query()
+	a := distrtest.Build(t, ds, distr.Config{Shards: 4, Seed: 9})
+	b := distrtest.Build(t, ds, distr.Config{Shards: 4, Seed: 9})
+	serial := distrtest.DrainSerial(a.Sampler(q))
+	s := b.Sampler(q)
 	var mixed []data.Entry
 	buf := make([]data.Entry, 64)
 	for {
@@ -97,17 +50,18 @@ func TestNextBatchInterleavedWithNext(t *testing.T) {
 			break
 		}
 	}
-	assertSameEntries(t, serial, mixed, "interleaved")
+	distrtest.SameEntries(t, serial, mixed, "interleaved")
 }
 
 // TestNextBatchFewerMessages checks the point of the batched protocol: one
 // demand-sized request per shard per round instead of per-refill trips.
 func TestNextBatchFewerMessages(t *testing.T) {
 	ds := gen.Uniform(20000, 3, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
-	serialC, _ := Build(ds, Config{Shards: 8, Seed: 1, BatchSize: 32})
-	batchC, _ := Build(ds, Config{Shards: 8, Seed: 1, BatchSize: 32})
+	q := distrtest.Query()
+	serialC := distrtest.Build(t, ds, distr.Config{Shards: 8, Seed: 1, BatchSize: 32})
+	batchC := distrtest.Build(t, ds, distr.Config{Shards: 8, Seed: 1, BatchSize: 32})
 
-	s := serialC.Sampler(testQuery)
+	s := serialC.Sampler(q)
 	for i := 0; i < 4000; i++ {
 		if _, ok := s.Next(); !ok {
 			break
@@ -115,7 +69,7 @@ func TestNextBatchFewerMessages(t *testing.T) {
 	}
 	serialMsgs := serialC.Net().Messages
 
-	b := batchC.Sampler(testQuery)
+	b := batchC.Sampler(q)
 	buf := make([]data.Entry, 4000)
 	b.NextBatch(buf, 4000)
 	batchMsgs := batchC.Net().Messages

@@ -90,6 +90,10 @@ type Shard struct {
 	index  *rstree.Index
 	device *iosim.Device
 	count  int
+	// summaries digests each numeric attribute of the shard's records
+	// (count/sum/min/max) for coordinator-side lost-mass bounds; guarded
+	// by the cluster's structMu like the index (see summary.go).
+	summaries map[string]*AttrSummary
 }
 
 // Len returns the number of records on the shard.
@@ -209,6 +213,7 @@ func (c *Cluster) initMetrics() {
 	reg.PublishFunc("storm.distr.faults.retries", sum(func(t *faultTotals) uint64 { return t.retries.Load() }))
 	reg.PublishFunc("storm.distr.faults.recoveries", sum(func(t *faultTotals) uint64 { return t.recoveries.Load() }))
 	reg.PublishFunc("storm.distr.faults.exhausted", sum(func(t *faultTotals) uint64 { return t.exhausted.Load() }))
+	reg.PublishFunc("storm.distr.faults.readmits", sum(func(t *faultTotals) uint64 { return t.readmits.Load() }))
 	reg.PublishFunc("storm.distr.faults.shards_down", func() any {
 		var n int64
 		for _, c := range clusters() {
@@ -304,7 +309,7 @@ func Build(ds *data.Dataset, cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("distr: building shard %d: %w", s, err)
 		}
-		c.shards = append(c.shards, &Shard{ID: s, index: idx, device: dev, count: len(part)})
+		c.shards = append(c.shards, &Shard{ID: s, index: idx, device: dev, count: len(part), summaries: c.buildSummaries(part)})
 	}
 	c.faults = newFaultStates(cfg.Faults, cfg.Shards)
 	c.initMetrics()
@@ -368,6 +373,7 @@ func (c *Cluster) Insert(e data.Entry) {
 	}
 	c.shards[best].index.Insert(e)
 	c.shards[best].count++
+	c.summaryAdd(c.shards[best], e)
 	c.charge(2, 0)
 }
 
@@ -383,6 +389,7 @@ func (c *Cluster) Delete(e data.Entry) bool {
 		c.charge(2, 0)
 		if sh.index.Delete(e) {
 			sh.count--
+			c.summaryRemove(sh, e)
 			return true
 		}
 	}
@@ -437,8 +444,13 @@ type Sampler struct {
 	init  bool
 	// degradation state: shards this query lost mid-stream (crashes or
 	// retry exhaustion) and the matching population that went with them.
+	// lost stashes each lost shard's stream so a crashed shard that comes
+	// back can be re-admitted exactly where it left off (see
+	// maybeReadmit); readmits counts the re-admissions this query made.
 	lostShards int
 	lostPop    int
+	lost       map[int]lostShard
+	readmits   int
 	// batch-round scratch (see NextBatch), reused across rounds.
 	simRem  []int
 	choices []int
@@ -519,6 +531,7 @@ func (s *Sampler) Next() (data.Entry, bool) {
 	if !s.init {
 		s.initialize()
 	}
+	s.maybeReadmit()
 	if s.total <= 0 {
 		return data.Entry{}, false
 	}
@@ -564,7 +577,15 @@ func (s *Sampler) NextBatch(dst []data.Entry, k int) int {
 		s.initialize()
 	}
 	got := 0
-	for got < k && s.total > 0 {
+	for got < k {
+		// Poll for recovered shards before giving up on an exhausted
+		// stream: a crashed shard that came back re-enters the draw
+		// distribution here, and the poll itself advances a still-down
+		// shard's recovery clock (no-op for healthy queries).
+		s.maybeReadmit()
+		if s.total <= 0 {
+			break
+		}
 		n := s.batchRound(dst[got:], k-got)
 		if n == 0 && s.total <= 0 {
 			break
@@ -675,13 +696,25 @@ func (s *Sampler) fetchInto(shard, n int) {
 		buf = grown
 	}
 	buf = buf[:start+n]
-	got, lost := s.cluster.shardFetch(shard, sp, buf[start:], n)
+	got, lost, crashed := s.cluster.shardFetch(shard, sp, buf[start:], n)
 	s.buffers[shard] = buf[:start+got]
 	if lost {
-		s.loseShard(shard)
+		s.loseShard(shard, crashed)
 		return
 	}
 	s.cluster.charge(2, uint64(got))
+}
+
+// lostShard stashes a lost shard's per-query stream state so a crashed
+// shard that recovers can be re-admitted exactly where it left off.
+type lostShard struct {
+	sampler   *rstree.Sampler
+	remaining int
+	// crash marks a cluster-wide shard crash (re-admittable when the
+	// shard recovers) as opposed to query-local retry exhaustion (the
+	// shard server never went down, so there is no recovery to wait for
+	// and the loss is final).
+	crash bool
 }
 
 // loseShard degrades the query after shard became unavailable (crash, or
@@ -689,20 +722,60 @@ func (s *Sampler) fetchInto(shard, n int) {
 // which both re-weights the draw distribution over the survivors (draws
 // are proportional to per-shard remaining counts) and shrinks the stream's
 // effective population so estimators widen their intervals honestly.
-// Samples already emitted from the shard stay in the stream; fetched but
-// unemitted ones are discarded with the shard (remaining still counts
-// them, so the write-off is exact).
-func (s *Sampler) loseShard(shard int) {
+// Samples already emitted from the shard stay in the stream. The shard's
+// sampler, unemitted count, and fetched-but-unemitted buffer are stashed
+// rather than discarded (remaining still counts the buffered entries, so
+// the write-off is exact and unreachable entries stay unreachable): if
+// the shard was crash-lost and later recovers, maybeReadmit restores the
+// stream bit-for-bit from where it stopped.
+func (s *Sampler) loseShard(shard int, crash bool) {
 	if s.samplers[shard] == nil && s.remaining[shard] == 0 {
 		return
 	}
+	if s.lost == nil {
+		s.lost = make(map[int]lostShard)
+	}
+	s.lost[shard] = lostShard{sampler: s.samplers[shard], remaining: s.remaining[shard], crash: crash}
 	s.lostShards++
 	s.lostPop += s.remaining[shard]
 	s.total -= s.remaining[shard]
 	s.remaining[shard] = 0
 	s.samplers[shard] = nil
-	s.heads[shard] = len(s.buffers[shard])
 }
+
+// maybeReadmit re-admits crash-lost shards whose servers have come back:
+// the stashed shard stream and unemitted matching count are restored, the
+// draw distribution re-weights itself back over the full population
+// (draws are proportional to per-shard remaining counts, so restoring the
+// count IS the re-weighting — every still-unemitted record, on every
+// shard, is again equally likely next), and Degradation shrinks so
+// estimators re-grow their effective N via SetPopulation. Each poll of a
+// still-down shard advances its recovery clock, making a sampling query
+// double as the liveness probe. No-op for healthy queries (len(lost) ==
+// 0) and for exhaustion-lost shards (nothing to recover from). Queries
+// that started while a shard was already down scoped themselves to the
+// surviving population at their count round and never re-admit it.
+func (s *Sampler) maybeReadmit() {
+	if len(s.lost) == 0 {
+		return
+	}
+	for shard, st := range s.lost {
+		if !st.crash || s.cluster.shardDown(shard) {
+			continue
+		}
+		delete(s.lost, shard)
+		s.samplers[shard] = st.sampler
+		s.remaining[shard] = st.remaining
+		s.total += st.remaining
+		s.lostShards--
+		s.lostPop -= st.remaining
+		s.readmits++
+	}
+}
+
+// Readmits reports how many lost shards this query has re-admitted after
+// their recovery (see maybeReadmit).
+func (s *Sampler) Readmits() int { return s.readmits }
 
 // Degradation reports the query's degraded state: how many shards it lost
 // mid-stream and the matching population lost with them. Both are zero for
@@ -746,13 +819,14 @@ func (c *Cluster) EstimateAvg(q geo.Rect, attr string, maxSamples int, confidenc
 		for _, e := range buf[:n] {
 			est.Add(col[e.ID])
 		}
-		if _, lostPop := s.Degradation(); lostPop > 0 {
-			// Shards died mid-query: shrink the effective population so
-			// the estimate (and its SUM/COUNT scaling and finite-
-			// population correction) covers the surviving shards instead
-			// of silently pretending the lost mass was sampled.
-			est.SetPopulation(population - lostPop)
-		}
+		// Track the stream's effective population every round: shards that
+		// died mid-query shrink it so the estimate (and its SUM/COUNT
+		// scaling and finite-population correction) covers the surviving
+		// shards instead of silently pretending the lost mass was sampled;
+		// a crashed shard that recovered and was re-admitted restores it,
+		// re-growing the effective N back toward the full population.
+		_, lostPop := s.Degradation()
+		est.SetPopulation(population - lostPop)
 		drawn += n
 		if n < want {
 			break

@@ -19,12 +19,22 @@
 // estimators shrink their effective N and keep confidence intervals honest
 // over the surviving population instead of silently biasing.
 //
+// Crashes need not be permanent: a recover-after schedule brings the
+// shard back once the coordinator has observed it down that many times,
+// and the coordinator re-admits it — cluster-wide (shards_down clears,
+// count rounds and routing see it again) and per query (an in-flight
+// sampler restores the shard's stashed stream and matching count, so the
+// draw distribution re-weights back over the full population and
+// estimators re-grow their effective N). See Sampler.maybeReadmit and
+// DESIGN.md §4.3.
+//
 // Every fault event is counted under storm.distr.faults.* when the cluster
 // has an obs.Registry, and is always available via Cluster.FaultStats.
 package distr
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,7 +63,10 @@ const (
 	// FaultTimeout makes the fetch exceed the coordinator's per-fetch
 	// deadline; retryable.
 	FaultTimeout
-	// FaultCrash marks the shard permanently down; never retried.
+	// FaultCrash marks the shard down. Without a RecoverAfter schedule the
+	// crash is permanent and never retried; with one, the coordinator keeps
+	// probing the shard (each probe advances the recovery clock) and
+	// re-admits it once it comes back.
 	FaultCrash
 )
 
@@ -87,6 +100,15 @@ type ShardFaultPlan struct {
 	// the query's count/init round).
 	Crash             bool
 	CrashAfterFetches int
+
+	// RecoverAfter, when > 0, brings a crashed shard back after the
+	// coordinator has observed it down RecoverAfter times (fetch probes,
+	// count rounds, routing checks — every coordinator contact with the
+	// down shard advances the clock, so a cluster that keeps getting
+	// queried is also the liveness prober). The crash→recover cycle runs
+	// once per shard: a recovered shard does not crash again. 0 keeps
+	// crashes permanent (the pre-recovery behavior).
+	RecoverAfter int
 
 	// TransientEvery fails every nth fetch attempt transiently (0
 	// disables). TimeoutEvery and LatencyEvery are analogous.
@@ -134,9 +156,11 @@ const ShardAll = -1
 // shard plan leaves Latency zero.
 const DefaultFaultLatency = time.Millisecond
 
-// planFor resolves the script for one shard: an explicit per-shard entry
-// wins over a ShardAll wildcard.
-func (p *FaultPlan) planFor(shard int) ShardFaultPlan {
+// PlanFor resolves the effective script for one shard: an explicit
+// per-shard entry wins over a ShardAll wildcard. It is the single place
+// wildcard precedence is decided, shared by the runtime injectors and by
+// tests that assert on parsed plans.
+func (p *FaultPlan) PlanFor(shard int) ShardFaultPlan {
 	if p == nil {
 		return ShardFaultPlan{}
 	}
@@ -152,14 +176,16 @@ func (p *FaultPlan) planFor(shard int) ShardFaultPlan {
 //	plan    := segment (';' segment)*
 //	segment := target ':' fault (',' fault)*
 //	target  := <shard id> | <lo>-<hi> | '*'
-//	fault   := crash-after=<n> | transient-every=<n> | timeout-every=<n>
+//	fault   := crash-after=<n> | recover-after=<n>
+//	         | transient-every=<n> | timeout-every=<n>
 //	         | latency-every=<n> | latency=<duration>
 //	         | transient-p=<f> | timeout-p=<f> | latency-p=<f>
 //
-// Example: "1:crash-after=40;3:crash-after=80;*:latency-p=0.05,latency=2ms"
-// crashes shards 1 and 3 after 40 and 80 fetches and gives every shard a
-// 5% chance of a 2ms latency spike per fetch. Set FaultPlan.Seed on the
-// result to pin the probabilistic draws.
+// Example: "1:crash-after=40;3:crash-after=80,recover-after=20;*:latency-p=0.05,latency=2ms"
+// crashes shards 1 and 3 after 40 and 80 fetches, brings shard 3 back
+// after the coordinator has observed it down 20 times, and gives every
+// shard a 5% chance of a 2ms latency spike per fetch. Set FaultPlan.Seed
+// on the result to pin the probabilistic draws.
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -192,6 +218,76 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 		}
 	}
 	return plan, nil
+}
+
+// String renders the plan back into the -fault-plan syntax in a canonical
+// form: segments sorted by shard ID with the '*' wildcard first, fault
+// specs in a fixed key order, and zero-valued scripts dropped. The output
+// reparses to an equivalent plan, and String∘ParseFaultPlan is a
+// fixpoint (Parse(p.String()).String() == p.String()), which the fuzz
+// target relies on. The Seed is not part of the grammar (stormd carries
+// it in -fault-seed) and is not rendered.
+func (p *FaultPlan) String() string {
+	if p == nil || len(p.Shards) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(p.Shards))
+	for id := range p.Shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		specs := p.Shards[id].specs()
+		if len(specs) == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		if id == ShardAll {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(strconv.Itoa(id))
+		}
+		b.WriteByte(':')
+		b.WriteString(strings.Join(specs, ","))
+	}
+	return b.String()
+}
+
+// specs renders one shard script as its fault specs, in canonical order;
+// empty for a zero-valued (healthy) script.
+func (p ShardFaultPlan) specs() []string {
+	var out []string
+	if p.Crash {
+		out = append(out, "crash-after="+strconv.Itoa(p.CrashAfterFetches))
+	}
+	if p.RecoverAfter > 0 {
+		out = append(out, "recover-after="+strconv.Itoa(p.RecoverAfter))
+	}
+	if p.TransientEvery > 0 {
+		out = append(out, "transient-every="+strconv.Itoa(p.TransientEvery))
+	}
+	if p.TimeoutEvery > 0 {
+		out = append(out, "timeout-every="+strconv.Itoa(p.TimeoutEvery))
+	}
+	if p.LatencyEvery > 0 {
+		out = append(out, "latency-every="+strconv.Itoa(p.LatencyEvery))
+	}
+	if p.TransientProb > 0 {
+		out = append(out, "transient-p="+strconv.FormatFloat(p.TransientProb, 'g', -1, 64))
+	}
+	if p.TimeoutProb > 0 {
+		out = append(out, "timeout-p="+strconv.FormatFloat(p.TimeoutProb, 'g', -1, 64))
+	}
+	if p.LatencyProb > 0 {
+		out = append(out, "latency-p="+strconv.FormatFloat(p.LatencyProb, 'g', -1, 64))
+	}
+	if p.Latency > 0 {
+		out = append(out, "latency="+p.Latency.String())
+	}
+	return out
 }
 
 // parseFaultTarget resolves a segment target to shard IDs ('*' → ShardAll).
@@ -240,6 +336,8 @@ func parseFaultSpec(f string, sp *ShardFaultPlan) error {
 	case "crash-after":
 		sp.Crash = true
 		sp.CrashAfterFetches, err = intVal()
+	case "recover-after":
+		sp.RecoverAfter, err = intVal()
 	case "transient-every":
 		sp.TransientEvery, err = intVal()
 	case "timeout-every":
@@ -269,6 +367,9 @@ func mergeShardFaults(dst *ShardFaultPlan, src ShardFaultPlan) {
 	if src.Crash {
 		dst.Crash = true
 		dst.CrashAfterFetches = src.CrashAfterFetches
+	}
+	if src.RecoverAfter > 0 {
+		dst.RecoverAfter = src.RecoverAfter
 	}
 	if src.TransientEvery > 0 {
 		dst.TransientEvery = src.TransientEvery
@@ -305,6 +406,7 @@ type faultState struct {
 	attempts uint64 // fetch attempts seen (drives the Every counters)
 	fetches  uint64 // successful fetches served (drives the crash schedule)
 	down     bool
+	downObs  uint64 // coordinator observations since the crash (recovery clock)
 }
 
 // newFaultStates materializes per-shard injectors for a plan; nil when the
@@ -316,7 +418,7 @@ func newFaultStates(plan *FaultPlan, shards int) []*faultState {
 	states := make([]*faultState, shards)
 	any := false
 	for i := range states {
-		sp := plan.planFor(i)
+		sp := plan.PlanFor(i)
 		states[i] = &faultState{plan: sp, rng: stats.NewRNG(plan.Seed*31 + int64(i)*1009 + 7)}
 		if sp.enabled() {
 			any = true
@@ -328,45 +430,90 @@ func newFaultStates(plan *FaultPlan, shards int) []*faultState {
 	return states
 }
 
-// isDown reports whether the shard has crashed.
-func (f *faultState) isDown() bool {
-	if f == nil {
+// tickRecoveryLocked advances a down shard's recovery clock by one
+// coordinator observation and performs the rejoin transition once the
+// clock reaches RecoverAfter. Returns true when this observation brought
+// the shard back. The crash flag is cleared on rejoin so each shard runs
+// the crash→recover cycle at most once (a recovered shard stays up).
+// Caller holds f.mu.
+func (f *faultState) tickRecoveryLocked() bool {
+	if f.plan.RecoverAfter <= 0 {
 		return false
+	}
+	f.downObs++
+	if f.downObs < uint64(f.plan.RecoverAfter) {
+		return false
+	}
+	f.down = false
+	f.downObs = 0
+	f.plan.Crash = false
+	return true
+}
+
+// observe reports whether the shard is down, counting the observation
+// against a recoverable shard's recovery clock — every coordinator
+// contact (count rounds, routing checks, re-admit polls) is a liveness
+// probe. rejoined is true exactly once per recovery: on the observation
+// that brought the shard back.
+func (f *faultState) observe() (down, rejoined bool) {
+	if f == nil {
+		return false, false
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.down
+	if !f.down {
+		return false, false
+	}
+	if f.tickRecoveryLocked() {
+		return false, true
+	}
+	return true, false
+}
+
+// recoverable reports whether the shard's plan schedules a recovery.
+func (f *faultState) recoverable() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.plan.RecoverAfter > 0
 }
 
 // verdict decides the fate of one fetch attempt. It returns the injected
-// fault kind, the latency to add, and whether this call crashed the shard
-// (the transition happens exactly once, so crash counting is exact).
-func (f *faultState) verdict() (kind FaultKind, delay time.Duration, crashed bool) {
+// fault kind, the latency to add, whether this call crashed the shard,
+// and whether it brought a down shard back (both transitions happen
+// exactly once, so crash and re-admit counting are exact). A fetch probe
+// against a down recoverable shard advances its recovery clock; when the
+// probe is the one that revives the shard, the attempt proceeds through
+// the normal verdict path (the shard is up again).
+func (f *faultState) verdict() (kind FaultKind, delay time.Duration, crashed, rejoined bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.down {
-		return FaultCrash, 0, false
+		if !f.tickRecoveryLocked() {
+			return FaultCrash, 0, false, false
+		}
+		rejoined = true
 	}
 	if f.plan.Crash && f.fetches >= uint64(f.plan.CrashAfterFetches) {
 		f.down = true
-		return FaultCrash, 0, true
+		f.downObs = 0
+		return FaultCrash, 0, true, rejoined
 	}
 	f.attempts++
 	every := func(n int) bool { return n > 0 && f.attempts%uint64(n) == 0 }
 	prob := func(p float64) bool { return p > 0 && f.rng.Float64() < p }
 	switch {
 	case every(f.plan.TimeoutEvery) || prob(f.plan.TimeoutProb):
-		return FaultTimeout, 0, false
+		return FaultTimeout, 0, false, rejoined
 	case every(f.plan.TransientEvery) || prob(f.plan.TransientProb):
-		return FaultTransient, 0, false
+		return FaultTransient, 0, false, rejoined
 	case every(f.plan.LatencyEvery) || prob(f.plan.LatencyProb):
 		d := f.plan.Latency
 		if d == 0 {
 			d = DefaultFaultLatency
 		}
-		return FaultLatency, d, false
+		return FaultLatency, d, false, rejoined
 	}
-	return FaultNone, 0, false
+	return FaultNone, 0, false, rejoined
 }
 
 // served records one successful fetch (advances the crash schedule).
@@ -397,7 +544,12 @@ type FaultStats struct {
 	// Exhausted counts fetches abandoned after MaxRetries, which drop the
 	// shard from the issuing query (query-local degradation).
 	Exhausted uint64
-	// ShardsDown is the number of currently crashed shards.
+	// Readmits counts shard rejoin transitions — each recovered shard
+	// exactly once, when its recover-after clock expired and the
+	// coordinator re-registered it.
+	Readmits uint64
+	// ShardsDown is the number of currently crashed shards; a recovered
+	// shard no longer counts.
 	ShardsDown int
 }
 
@@ -413,6 +565,7 @@ type faultTotals struct {
 	retries    atomic.Uint64
 	recoveries atomic.Uint64
 	exhausted  atomic.Uint64
+	readmits   atomic.Uint64
 	shardsDown atomic.Int64
 }
 
@@ -429,16 +582,30 @@ func (c *Cluster) FaultStats() FaultStats {
 		Retries:    t.retries.Load(),
 		Recoveries: t.recoveries.Load(),
 		Exhausted:  t.exhausted.Load(),
+		Readmits:   t.readmits.Load(),
 		ShardsDown: int(t.shardsDown.Load()),
 	}
 }
 
 // shardDown reports whether shard i has crashed (false without a plan).
+// The check is itself a coordinator contact: on a recoverable shard it
+// advances the recovery clock, and the contact that revives the shard
+// performs the cluster-wide re-admit accounting.
 func (c *Cluster) shardDown(i int) bool {
 	if c.faults == nil {
 		return false
 	}
-	return c.faults[i].isDown()
+	down, rejoined := c.faults[i].observe()
+	if rejoined {
+		c.countReadmit()
+	}
+	return down
+}
+
+// countReadmit records one shard rejoin transition in the totals.
+func (c *Cluster) countReadmit() {
+	c.ftot.readmits.Add(1)
+	c.ftot.shardsDown.Add(-1)
 }
 
 // countFault records one injected event in the totals.
@@ -464,24 +631,38 @@ func (c *Cluster) countFault(kind FaultKind, crashed bool) {
 // fault verdict, enforces the per-fetch deadline, and retries transient
 // faults and timeouts with exponential backoff up to cfg.MaxRetries. It
 // returns the samples written into dst and lost = true when the shard is
-// unavailable to this query (crashed, or retries exhausted) — the caller
-// then degrades by dropping the shard. With no fault plan it is a direct
-// pass-through to the shard sampler, byte-identical to the un-faulted
-// path.
-func (c *Cluster) shardFetch(shard int, sp *rstree.Sampler, dst []data.Entry, n int) (got int, lost bool) {
+// unavailable to this query; crashLost distinguishes a crash (the shard
+// server is down cluster-wide and a recoverable one may later be
+// re-admitted via Sampler.maybeReadmit) from retry exhaustion (the server
+// stayed up; the loss is query-local and final). A crash on a shard with
+// a recover-after schedule is retried like a transient fault — each probe
+// advances the recovery clock, so a shard that comes back within the
+// retry budget serves the fetch and the sample stream is untouched. With
+// no fault plan it is a direct pass-through to the shard sampler,
+// byte-identical to the un-faulted path.
+func (c *Cluster) shardFetch(shard int, sp *rstree.Sampler, dst []data.Entry, n int) (got int, lost, crashLost bool) {
 	if c.faults == nil {
-		return sp.NextBatch(dst, n), false
+		return sp.NextBatch(dst, n), false, false
 	}
 	f := c.faults[shard]
 	backoff := c.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		kind, delay, crashed := f.verdict()
+		kind, delay, crashed, rejoined := f.verdict()
+		if rejoined {
+			c.countReadmit()
+		}
 		if kind != FaultNone {
 			c.countFault(kind, crashed)
 		}
 		switch kind {
 		case FaultCrash:
-			return 0, true
+			if !f.recoverable() || attempt >= c.cfg.MaxRetries {
+				// Permanently down, or down past this fetch's retry
+				// budget: the query writes the shard off. A recoverable
+				// shard may still rejoin a later coordinator contact.
+				return 0, true, true
+			}
+			c.charge(1, 0) // probe sent, shard down
 		case FaultLatency:
 			if delay >= c.cfg.FetchTimeout {
 				// The spike blows the per-fetch deadline: the
@@ -495,7 +676,7 @@ func (c *Cluster) shardFetch(shard int, sp *rstree.Sampler, dst []data.Entry, n 
 				if attempt > 0 {
 					c.ftot.recoveries.Add(1)
 				}
-				return got, false
+				return got, false, false
 			}
 		case FaultTransient, FaultTimeout:
 			c.charge(1, 0) // request sent, no usable response
@@ -505,11 +686,11 @@ func (c *Cluster) shardFetch(shard int, sp *rstree.Sampler, dst []data.Entry, n 
 			if attempt > 0 {
 				c.ftot.recoveries.Add(1)
 			}
-			return got, false
+			return got, false, false
 		}
 		if attempt >= c.cfg.MaxRetries {
 			c.ftot.exhausted.Add(1)
-			return 0, true
+			return 0, true, false
 		}
 		c.ftot.retries.Add(1)
 		if backoff > 0 {

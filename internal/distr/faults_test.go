@@ -1,71 +1,66 @@
-package distr
+package distr_test
 
 import (
-	"math"
 	"testing"
 	"time"
 
 	"storm/internal/data"
-	"storm/internal/gen"
-	"storm/internal/geo"
+	"storm/internal/distr"
+	"storm/internal/distr/distrtest"
 	"storm/internal/obs"
-	"storm/internal/stats"
+	"storm/internal/stats/statcheck"
 )
 
-// faultTestData builds the shared fault fixture: a uniform dataset whose
-// testQuery selectivity leaves a few hundred matches per shard.
-func faultTestData(n int) *data.Dataset {
-	return gen.Uniform(n, 11, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
-}
-
-// fastFaultConfig returns a cluster config with backoff sleeps disabled so
-// retry-heavy tests stay fast.
-func fastFaultConfig(shards int, seed int64, plan *FaultPlan) Config {
-	return Config{Shards: shards, Seed: seed, Faults: plan, RetryBackoff: -1}
-}
-
-// survivingTruth computes the mean of col over records matching q on every
-// shard except the given dead ones — the population the degraded stream
-// covers.
-func survivingTruth(c *Cluster, ds *data.Dataset, q geo.Rect, dead map[int]bool) (mean float64, count int) {
-	col, _ := ds.NumericColumn("value")
-	var sum float64
-	for i, sh := range c.Shards() {
-		if dead[i] {
-			continue
-		}
-		for _, e := range sh.Index().Tree().ReportAll(q) {
-			sum += col[e.ID]
-			count++
-		}
-	}
-	if count == 0 {
-		return 0, 0
-	}
-	return sum / float64(count), count
-}
-
 // TestNilAndEmptyPlansAreByteIdentical pins the regression contract: a
-// cluster with no fault plan, one with an empty plan, and one whose plan
-// only injects recoverable transient faults all emit the byte-identical
-// batched sample stream (transient faults are retried against the same
-// deterministic shard stream, so recovery reproduces the same data).
+// cluster with no fault plan, one with an empty plan, one whose plan only
+// injects recoverable transient faults, and one whose every crash
+// recovers within the retry budget all emit the byte-identical batched
+// sample stream — and the healthy and recovering clusters agree on the
+// final estimate too. Recoverable faults are retried against the same
+// deterministic shard stream, so recovery reproduces the same data.
 func TestNilAndEmptyPlansAreByteIdentical(t *testing.T) {
-	ds := faultTestData(6000)
-	build := func(plan *FaultPlan) *Sampler {
-		c, err := Build(ds, fastFaultConfig(5, 7, plan))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return c.Sampler(testQuery)
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
+	build := func(plan *distr.FaultPlan) *distr.Cluster {
+		return distrtest.Build(t, ds, distrtest.FastConfig(5, 7, plan))
 	}
-	base := drainBatched(build(nil), []int{64})
-	empty := drainBatched(build(&FaultPlan{}), []int{64})
-	transient := drainBatched(build(&FaultPlan{
-		Shards: map[int]ShardFaultPlan{ShardAll: {TransientEvery: 3}},
-	}), []int{64})
-	assertSameEntries(t, base, empty, "empty plan")
-	assertSameEntries(t, base, transient, "recovered transient plan")
+	recovering := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		1: {Crash: true, CrashAfterFetches: 0, RecoverAfter: 2},
+		3: {Crash: true, CrashAfterFetches: 1, RecoverAfter: 1},
+	}}
+
+	base := distrtest.DrainBatched(build(nil).Sampler(q), []int{64})
+	empty := distrtest.DrainBatched(build(&distr.FaultPlan{}).Sampler(q), []int{64})
+	transient := distrtest.DrainBatched(build(&distr.FaultPlan{
+		Shards: map[int]distr.ShardFaultPlan{distr.ShardAll: {TransientEvery: 3}},
+	}).Sampler(q), []int{64})
+	recCluster := build(recovering)
+	recovered := distrtest.DrainBatched(recCluster.Sampler(q), []int{64})
+	distrtest.SameEntries(t, base, empty, "empty plan")
+	distrtest.SameEntries(t, base, transient, "recovered transient plan")
+	distrtest.SameEntries(t, base, recovered, "crash recovered within retry budget")
+	if st := recCluster.FaultStats(); st.Crashes != 2 || st.Readmits != 2 || st.ShardsDown != 0 {
+		t.Errorf("expected 2 crash→readmit cycles with no shards left down, got %+v", st)
+	}
+
+	// Crashes that recover inside the retry budget never degrade the query,
+	// so the final estimate matches a fault-free run exactly.
+	healthy := build(nil)
+	rec := build(recovering)
+	wantEst, err := healthy.EstimateAvg(q, "value", 300, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEst, err := rec.EstimateAvg(q, "value", 300, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantEst != gotEst {
+		t.Errorf("recovering plan changed the estimate:\nhealthy %+v\nrecover %+v", wantEst, gotEst)
+	}
+	if st := rec.FaultStats(); st.ShardsDown != 0 || st.Crashes != st.Readmits {
+		t.Errorf("every crash should have recovered within its fetch retries, got %+v", st)
+	}
 }
 
 // TestCrashMidQueryDegradesGracefully is the acceptance scenario: 2 of 8
@@ -73,20 +68,18 @@ func TestNilAndEmptyPlansAreByteIdentical(t *testing.T) {
 // exactly two crashes under storm.distr.faults.*, re-weights onto the
 // survivors, and reports the lost population through Degradation.
 func TestCrashMidQueryDegradesGracefully(t *testing.T) {
-	ds := faultTestData(8000)
+	ds := distrtest.Dataset(8000)
+	q := distrtest.Query()
 	reg := obs.NewRegistry()
-	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
 		2: {Crash: true, CrashAfterFetches: 1},
 		5: {Crash: true, CrashAfterFetches: 1},
 	}}
-	cfg := fastFaultConfig(8, 5, plan)
+	cfg := distrtest.FastConfig(8, 5, plan)
 	cfg.Obs = reg
-	c, err := Build(ds, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := c.Sampler(testQuery)
-	initial := c.Count(testQuery)
+	c := distrtest.Build(t, ds, cfg)
+	s := c.Sampler(q)
+	initial := c.Count(q)
 
 	seen := make(map[data.ID]bool)
 	buf := make([]data.Entry, 96)
@@ -94,7 +87,7 @@ func TestCrashMidQueryDegradesGracefully(t *testing.T) {
 	for {
 		n := s.NextBatch(buf, len(buf))
 		for _, e := range buf[:n] {
-			if !testQuery.Contains(e.Pos) {
+			if !q.Contains(e.Pos) {
 				t.Fatalf("sample %d outside query", e.ID)
 			}
 			if seen[e.ID] {
@@ -140,16 +133,14 @@ func TestCrashMidQueryDegradesGracefully(t *testing.T) {
 // periodic transient faults are retried with backoff, every fetch
 // eventually succeeds, and nothing is degraded.
 func TestTransientFaultsRetryAndRecover(t *testing.T) {
-	ds := faultTestData(4000)
-	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{ShardAll: {TransientEvery: 4}}}
-	c, err := Build(ds, fastFaultConfig(4, 3, plan))
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := c.Sampler(testQuery)
-	got := drainBatched(s, []int{128})
-	if len(got) != c.Count(testQuery) {
-		t.Fatalf("drained %d of %d", len(got), c.Count(testQuery))
+	ds := distrtest.Dataset(4000)
+	q := distrtest.Query()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{distr.ShardAll: {TransientEvery: 4}}}
+	c := distrtest.Build(t, ds, distrtest.FastConfig(4, 3, plan))
+	s := c.Sampler(q)
+	got := distrtest.DrainBatched(s, []int{128})
+	if len(got) != c.Count(q) {
+		t.Fatalf("drained %d of %d", len(got), c.Count(q))
 	}
 	st := c.FaultStats()
 	if st.Transient == 0 || st.Retries == 0 || st.Recoveries == 0 {
@@ -167,16 +158,14 @@ func TestTransientFaultsRetryAndRecover(t *testing.T) {
 // MaxRetries and is dropped from the query (query-local degradation) but
 // is not counted as crashed — the shard server is still up.
 func TestRetryExhaustionDropsShard(t *testing.T) {
-	ds := faultTestData(4000)
-	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{1: {TransientEvery: 1}}}
-	cfg := fastFaultConfig(4, 3, plan)
+	ds := distrtest.Dataset(4000)
+	q := distrtest.Query()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{1: {TransientEvery: 1}}}
+	cfg := distrtest.FastConfig(4, 3, plan)
 	cfg.MaxRetries = 2
-	c, err := Build(ds, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := c.Sampler(testQuery)
-	emitted := len(drainBatched(s, []int{64}))
+	c := distrtest.Build(t, ds, cfg)
+	s := c.Sampler(q)
+	emitted := len(distrtest.DrainBatched(s, []int{64}))
 	st := c.FaultStats()
 	if st.Exhausted == 0 {
 		t.Error("expected exhausted fetches")
@@ -188,8 +177,8 @@ func TestRetryExhaustionDropsShard(t *testing.T) {
 	if lost != 1 || lostPop <= 0 {
 		t.Errorf("degradation = (%d, %d), want shard 1 dropped", lost, lostPop)
 	}
-	if emitted != c.Count(testQuery)-lostPop {
-		t.Errorf("emitted %d, want %d", emitted, c.Count(testQuery)-lostPop)
+	if emitted != c.Count(q)-lostPop {
+		t.Errorf("emitted %d, want %d", emitted, c.Count(q)-lostPop)
 	}
 }
 
@@ -197,36 +186,28 @@ func TestRetryExhaustionDropsShard(t *testing.T) {
 // but succeed (counted as latency injections); spikes at or beyond the
 // deadline surface as timeouts and are retried.
 func TestLatencyFaults(t *testing.T) {
-	ds := faultTestData(3000)
+	ds := distrtest.Dataset(3000)
+	q := distrtest.Query()
 
 	// Small spike: succeeds, stream byte-identical to a healthy run.
-	slow := &FaultPlan{Shards: map[int]ShardFaultPlan{ShardAll: {LatencyEvery: 2, Latency: 50 * time.Microsecond}}}
-	a, err := Build(ds, fastFaultConfig(3, 9, slow))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Build(ds, fastFaultConfig(3, 9, nil))
-	if err != nil {
-		t.Fatal(err)
-	}
-	assertSameEntries(t, drainBatched(b.Sampler(testQuery), []int{64}),
-		drainBatched(a.Sampler(testQuery), []int{64}), "latency plan")
+	slow := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{distr.ShardAll: {LatencyEvery: 2, Latency: 50 * time.Microsecond}}}
+	a := distrtest.Build(t, ds, distrtest.FastConfig(3, 9, slow))
+	b := distrtest.Build(t, ds, distrtest.FastConfig(3, 9, nil))
+	distrtest.SameEntries(t, distrtest.DrainBatched(b.Sampler(q), []int{64}),
+		distrtest.DrainBatched(a.Sampler(q), []int{64}), "latency plan")
 	if st := a.FaultStats(); st.Latency == 0 || st.Timeouts != 0 {
 		t.Errorf("expected pure latency injections, got %+v", st)
 	}
 
 	// Spike beyond the deadline: timeout, retried; the retry draws a fresh
 	// verdict, so alternating spikes still finish the stream.
-	deadline := &FaultPlan{Shards: map[int]ShardFaultPlan{ShardAll: {LatencyEvery: 2, Latency: 10 * time.Millisecond}}}
-	cfg := fastFaultConfig(3, 9, deadline)
+	deadline := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{distr.ShardAll: {LatencyEvery: 2, Latency: 10 * time.Millisecond}}}
+	cfg := distrtest.FastConfig(3, 9, deadline)
 	cfg.FetchTimeout = time.Millisecond
-	d, err := Build(ds, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := len(drainBatched(d.Sampler(testQuery), []int{64}))
-	if got != d.Count(testQuery) {
-		t.Fatalf("drained %d of %d", got, d.Count(testQuery))
+	d := distrtest.Build(t, ds, cfg)
+	got := len(distrtest.DrainBatched(d.Sampler(q), []int{64}))
+	if got != d.Count(q) {
+		t.Fatalf("drained %d of %d", got, d.Count(q))
 	}
 	if st := d.FaultStats(); st.Timeouts == 0 || st.Retries == 0 {
 		t.Errorf("expected timeout/retry activity, got %+v", st)
@@ -237,26 +218,24 @@ func TestLatencyFaults(t *testing.T) {
 // that starts after the crash sees the surviving population from its count
 // round on and is NOT degraded — nothing was lost mid-query.
 func TestCrashedShardExcludedAfterwards(t *testing.T) {
-	ds := faultTestData(6000)
-	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{0: {Crash: true, CrashAfterFetches: 0}}}
-	c, err := Build(ds, fastFaultConfig(4, 5, plan))
-	if err != nil {
-		t.Fatal(err)
-	}
-	before := c.Count(testQuery)
-	first := c.Sampler(testQuery)
-	drainBatched(first, []int{64}) // triggers the crash mid-query
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{0: {Crash: true, CrashAfterFetches: 0}}}
+	c := distrtest.Build(t, ds, distrtest.FastConfig(4, 5, plan))
+	before := c.Count(q)
+	first := c.Sampler(q)
+	distrtest.DrainBatched(first, []int{64}) // triggers the crash mid-query
 	if !first.Degraded() {
 		t.Fatal("first query should be degraded")
 	}
 	_, lostPop := first.Degradation()
 
-	after := c.Count(testQuery)
+	after := c.Count(q)
 	if after != before-lostPop {
 		t.Errorf("post-crash count = %d, want %d - %d", after, before, lostPop)
 	}
-	second := c.Sampler(testQuery)
-	emitted := len(drainBatched(second, []int{64}))
+	second := c.Sampler(q)
+	emitted := len(distrtest.DrainBatched(second, []int{64}))
 	if second.Degraded() {
 		t.Error("a query started after the crash is not degraded")
 	}
@@ -265,38 +244,34 @@ func TestCrashedShardExcludedAfterwards(t *testing.T) {
 	}
 }
 
-// TestDegradedFirstSampleUniformOverSurvivors: after a crash the draw
-// distribution re-weights onto the surviving shards. The first sample
-// emitted after the crash must be uniform over the surviving matching
-// records (chi-square over many independent seeds).
-func TestDegradedFirstSampleUniformOverSurvivors(t *testing.T) {
-	ds := faultTestData(400)
-	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{1: {Crash: true, CrashAfterFetches: 0}}}
-	ref, err := Build(ds, fastFaultConfig(4, 1, plan))
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestStatDegradedFirstSampleUniform: after a crash the draw distribution
+// re-weights onto the surviving shards. The first sample emitted after the
+// crash must be uniform over the surviving matching records — a chi-square
+// check over many independent seeds, run through the statcheck harness at
+// its documented false-positive budget.
+func TestStatDegradedFirstSampleUniform(t *testing.T) {
+	ds := distrtest.Dataset(400)
+	q := distrtest.Query()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{1: {Crash: true, CrashAfterFetches: 0}}}
+	ref := distrtest.Build(t, ds, distrtest.FastConfig(4, 1, plan))
 	survivors := make(map[data.ID]bool)
 	for i, sh := range ref.Shards() {
 		if i == 1 {
 			continue
 		}
-		for _, e := range sh.Index().Tree().ReportAll(testQuery) {
+		for _, e := range sh.Index().Tree().ReportAll(q) {
 			survivors[e.ID] = true
 		}
 	}
-	q := len(survivors)
-	if q < 20 {
-		t.Fatalf("degenerate fixture q=%d", q)
+	nq := len(survivors)
+	if nq < 20 {
+		t.Fatalf("degenerate fixture q=%d", nq)
 	}
 	counts := make(map[data.ID]int)
 	const trials = 6000
 	for i := 0; i < trials; i++ {
-		c, err := Build(ds, fastFaultConfig(4, int64(i), plan))
-		if err != nil {
-			t.Fatal(err)
-		}
-		s := c.Sampler(testQuery)
+		c := distrtest.Build(t, ds, distrtest.FastConfig(4, int64(i), plan))
+		s := c.Sampler(q)
 		e, ok := s.Next()
 		if !ok {
 			t.Fatal("no sample")
@@ -306,79 +281,61 @@ func TestDegradedFirstSampleUniformOverSurvivors(t *testing.T) {
 		}
 		counts[e.ID]++
 	}
-	obsCounts := make([]int, 0, q)
-	exp := make([]float64, 0, q)
+	obsCounts := make([]int, 0, nq)
 	for id := range survivors {
 		obsCounts = append(obsCounts, counts[id])
-		exp = append(exp, float64(trials)/float64(q))
 	}
-	stat := stats.ChiSquareStat(obsCounts, exp)
-	crit := stats.ChiSquareQuantile(0.999, q-1)
-	if stat > crit {
-		t.Errorf("degraded first-sample chi-square %v > crit %v", stat, crit)
-	}
+	statcheck.Uniform(t, "degraded-first-sample", obsCounts, statcheck.DefaultAlpha)
 }
 
-// TestDegradedEstimateCoversSurvivingMean is the coverage acceptance test:
-// across many seeds, a 95% CI produced by a query that loses 2 of 8 shards
-// mid-query must cover the surviving-population mean at roughly the
-// nominal rate. The crashed shards die on their first fetch attempt, so
-// the stream is exactly uniform without replacement over the survivors.
-func TestDegradedEstimateCoversSurvivingMean(t *testing.T) {
-	ds := faultTestData(6000)
-	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{
+// TestStatDegradedEstimateCoversSurvivingMean is the coverage acceptance
+// test: across many seeds, a 95% CI produced by a query that loses 2 of 8
+// shards mid-query must cover the surviving-population mean at the nominal
+// rate, checked by statcheck.Coverage. The crashed shards die on their
+// first fetch attempt, so the stream is exactly uniform without
+// replacement over the survivors; the 3% slack absorbs the
+// t-approximation at 300 samples.
+func TestStatDegradedEstimateCoversSurvivingMean(t *testing.T) {
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
 		2: {Crash: true, CrashAfterFetches: 0},
 		5: {Crash: true, CrashAfterFetches: 0},
 	}}
-	ref, err := Build(ds, fastFaultConfig(8, 1, plan))
-	if err != nil {
-		t.Fatal(err)
-	}
-	truth, surviving := survivingTruth(ref, ds, testQuery, map[int]bool{2: true, 5: true})
+	ref := distrtest.Build(t, ds, distrtest.FastConfig(8, 1, plan))
+	truth, surviving := distrtest.SurvivingTruth(ref, ds, q, map[int]bool{2: true, 5: true})
 	if surviving < 200 {
 		t.Fatalf("degenerate fixture: %d surviving matches", surviving)
 	}
 
-	const trials = 100
-	covered := 0
-	for i := 0; i < trials; i++ {
-		c, err := Build(ds, fastFaultConfig(8, int64(100+i), plan))
-		if err != nil {
-			t.Fatal(err)
-		}
-		est, err := c.EstimateAvg(testQuery, "value", 300, 0.95)
+	seeds := statcheck.Seeds(100, 100)
+	intervals := make([]statcheck.Interval, 0, len(seeds))
+	for _, seed := range seeds {
+		c := distrtest.Build(t, ds, distrtest.FastConfig(8, seed, plan))
+		est, err := c.EstimateAvg(q, "value", 300, 0.95)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if est.Population != surviving {
 			t.Fatalf("effective population = %d, want surviving %d", est.Population, surviving)
 		}
-		if math.Abs(est.Value-truth) <= est.HalfWidth {
-			covered++
-		}
+		intervals = append(intervals, statcheck.IntervalAround(est.Value, est.HalfWidth))
 	}
-	// Bin(100, 0.95) has sd ≈ 2.2; 86 is more than 4σ below the nominal
-	// coverage, so a correct implementation essentially never fails while
-	// a biased or over-narrow one reliably does.
-	if covered < 86 {
-		t.Errorf("95%% CI covered the surviving mean in %d/%d trials", covered, trials)
-	}
+	statcheck.Coverage(t, "degraded-ci", truth, intervals, 0.95, 0.03, statcheck.DefaultAlpha)
 }
 
 // TestFaultPlanDeterminism: the same plan seed replays the same injected
 // fault sequence for an identical workload.
 func TestFaultPlanDeterminism(t *testing.T) {
-	ds := faultTestData(4000)
-	mk := func() FaultStats {
-		plan := &FaultPlan{
+	ds := distrtest.Dataset(4000)
+	q := distrtest.Query()
+	mk := func() distr.FaultStats {
+		plan := &distr.FaultPlan{
 			Seed:   42,
-			Shards: map[int]ShardFaultPlan{ShardAll: {TransientProb: 0.2, LatencyProb: 0.1, Latency: 10 * time.Microsecond}},
+			Shards: map[int]distr.ShardFaultPlan{distr.ShardAll: {TransientProb: 0.2, LatencyProb: 0.1, Latency: 10 * time.Microsecond}},
 		}
-		c, err := Build(ds, fastFaultConfig(4, 9, plan))
-		if err != nil {
-			t.Fatal(err)
-		}
-		drainBatched(c.Sampler(testQuery), []int{64})
+		c := distrtest.Build(t, ds, distrtest.FastConfig(4, 9, plan))
+		distrtest.DrainBatched(c.Sampler(q), []int{64})
 		return c.FaultStats()
 	}
 	a, b := mk(), mk()
@@ -392,11 +349,11 @@ func TestFaultPlanDeterminism(t *testing.T) {
 
 // TestParseFaultPlan exercises the operator-facing plan syntax.
 func TestParseFaultPlan(t *testing.T) {
-	plan, err := ParseFaultPlan("1:crash-after=40;3-4:transient-every=7,latency=2ms;*:latency-p=0.05")
+	plan, err := distr.ParseFaultPlan("1:crash-after=40,recover-after=6;3-4:transient-every=7,latency=2ms;*:latency-p=0.05")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p := plan.Shards[1]; !p.Crash || p.CrashAfterFetches != 40 {
+	if p := plan.Shards[1]; !p.Crash || p.CrashAfterFetches != 40 || p.RecoverAfter != 6 {
 		t.Errorf("shard 1 plan = %+v", p)
 	}
 	for _, id := range []int{3, 4} {
@@ -404,18 +361,18 @@ func TestParseFaultPlan(t *testing.T) {
 			t.Errorf("shard %d plan = %+v", id, p)
 		}
 	}
-	if p := plan.Shards[ShardAll]; p.LatencyProb != 0.05 {
+	if p := plan.Shards[distr.ShardAll]; p.LatencyProb != 0.05 {
 		t.Errorf("wildcard plan = %+v", p)
 	}
 	// The wildcard fills shards without explicit entries; explicit entries win.
-	if got := plan.planFor(7); got.LatencyProb != 0.05 {
-		t.Errorf("planFor(7) = %+v", got)
+	if got := plan.PlanFor(7); got.LatencyProb != 0.05 {
+		t.Errorf("PlanFor(7) = %+v", got)
 	}
-	if got := plan.planFor(1); !got.Crash || got.LatencyProb != 0 {
-		t.Errorf("planFor(1) = %+v", got)
+	if got := plan.PlanFor(1); !got.Crash || got.LatencyProb != 0 {
+		t.Errorf("PlanFor(1) = %+v", got)
 	}
 
-	if p, err := ParseFaultPlan("  "); err != nil || p != nil {
+	if p, err := distr.ParseFaultPlan("  "); err != nil || p != nil {
 		t.Errorf("blank spec: plan=%v err=%v", p, err)
 	}
 	for _, bad := range []string{
@@ -423,12 +380,41 @@ func TestParseFaultPlan(t *testing.T) {
 		"1:bogus=3",
 		"x:crash-after=1",
 		"1:crash-after=-2",
+		"1:recover-after=-1",
 		"1:transient-p=1.5",
 		"5-2:latency=1ms",
 		"1:latency=xyz",
 	} {
-		if _, err := ParseFaultPlan(bad); err == nil {
+		if _, err := distr.ParseFaultPlan(bad); err == nil {
 			t.Errorf("spec %q should fail to parse", bad)
+		}
+	}
+}
+
+// TestFaultPlanString pins the canonical serialization: String emits a
+// spec that parses back to an identical plan, and parsing any valid spec
+// then re-serializing reaches a fixpoint (the property the fuzz target
+// checks at scale).
+func TestFaultPlanString(t *testing.T) {
+	if s := (*distr.FaultPlan)(nil).String(); s != "" {
+		t.Errorf("nil plan serializes to %q, want empty", s)
+	}
+	for _, spec := range []string{
+		"1:crash-after=40,recover-after=6;3-4:transient-every=7,latency=2ms;*:latency-p=0.05",
+		"*:transient-p=0.25",
+		"0:crash-after=0;2:timeout-every=3",
+	} {
+		plan, err := distr.ParseFaultPlan(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		canon := plan.String()
+		replan, err := distr.ParseFaultPlan(canon)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", canon, spec, err)
+		}
+		if again := replan.String(); again != canon {
+			t.Errorf("String not a fixpoint: %q -> %q -> %q", spec, canon, again)
 		}
 	}
 }
@@ -441,28 +427,24 @@ func TestParseFaultPlan(t *testing.T) {
 // faulty cluster's crashes stay visible even though a healthy cluster was
 // built afterwards.
 func TestSharedRegistryAggregatesFaultTotals(t *testing.T) {
-	ds := faultTestData(8000)
+	ds := distrtest.Dataset(8000)
+	q := distrtest.Query()
 	reg := obs.NewRegistry()
 
-	plan := &FaultPlan{Shards: map[int]ShardFaultPlan{
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
 		2: {Crash: true, CrashAfterFetches: 1},
 		5: {Crash: true, CrashAfterFetches: 1},
 	}}
-	cfg := fastFaultConfig(8, 5, plan)
+	cfg := distrtest.FastConfig(8, 5, plan)
 	cfg.Obs = reg
-	faulty, err := Build(ds, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	faulty := distrtest.Build(t, ds, cfg)
 
-	healthyCfg := fastFaultConfig(4, 9, nil)
+	healthyCfg := distrtest.FastConfig(4, 9, nil)
 	healthyCfg.Obs = reg
-	if _, err := Build(faultTestData(2000), healthyCfg); err != nil {
-		t.Fatal(err)
-	}
+	distrtest.Build(t, distrtest.Dataset(2000), healthyCfg)
 
 	// Drive the faulty cluster past both crash thresholds.
-	s := faulty.Sampler(testQuery)
+	s := faulty.Sampler(q)
 	buf := make([]data.Entry, 96)
 	for s.NextBatch(buf, len(buf)) == len(buf) {
 	}

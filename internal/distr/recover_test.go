@@ -1,0 +1,479 @@
+package distr_test
+
+import (
+	"math"
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/distr"
+	"storm/internal/distr/distrtest"
+	"storm/internal/estimator"
+	"storm/internal/geo"
+	"storm/internal/obs"
+	"storm/internal/stats/statcheck"
+)
+
+// TestRecoveredShardResumesStream is the tentpole mechanics test: a shard
+// crashes past the fetch retry budget (a genuine mid-query loss), comes
+// back on its recover-after schedule, and is re-admitted by the same
+// query — which then drains the FULL population exactly once, ending not
+// degraded with the effective N restored.
+func TestRecoveredShardResumesStream(t *testing.T) {
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		1: {Crash: true, CrashAfterFetches: 1, RecoverAfter: 4},
+	}}
+	c := distrtest.Build(t, ds, distrtest.FastConfig(4, 5, plan))
+	initial := c.Count(q)
+	s := c.Sampler(q)
+
+	sawDegraded := false
+	seen := make(map[data.ID]bool)
+	buf := make([]data.Entry, 48)
+	emitted := 0
+	for {
+		n := s.NextBatch(buf, len(buf))
+		for _, e := range buf[:n] {
+			if seen[e.ID] {
+				t.Fatalf("duplicate sample %d", e.ID)
+			}
+			seen[e.ID] = true
+		}
+		emitted += n
+		if s.Degraded() {
+			sawDegraded = true
+			lost, lostPop := s.Degradation()
+			if lost != 1 || lostPop <= 0 {
+				t.Fatalf("mid-query degradation = (%d, %d), want shard 1 written off", lost, lostPop)
+			}
+		}
+		if n < len(buf) {
+			break
+		}
+	}
+
+	if s.Degraded() {
+		t.Fatal("query should have re-admitted the recovered shard")
+	}
+	if s.Readmits() != 1 {
+		t.Errorf("readmits = %d, want 1", s.Readmits())
+	}
+	if _, lostPop := s.Degradation(); lostPop != 0 {
+		t.Errorf("lost population after rejoin = %d, want 0", lostPop)
+	}
+	if emitted != initial {
+		t.Errorf("drained %d samples, want the full pre-crash population %d", emitted, initial)
+	}
+	st := c.FaultStats()
+	if st.Crashes != 1 || st.Readmits != 1 || st.ShardsDown != 0 {
+		t.Errorf("fault stats = %+v, want one crash→readmit cycle, no shards down", st)
+	}
+	// sawDegraded is advisory: with RecoverAfter=4 the loss and rejoin can
+	// complete inside one NextBatch call, but the crash itself must have
+	// genuinely written the shard off (crashes=1 above proves it).
+	_ = sawDegraded
+}
+
+// TestRecoveredShardRestoresClusterState: recovery is cluster state, not
+// query state. After a crash, coordinator contacts (count rounds) advance
+// the recovery clock; once the shard rejoins, Count sees the full
+// population again, shards_down drops back to zero, and the readmit is
+// visible on the metrics registry.
+func TestRecoveredShardRestoresClusterState(t *testing.T) {
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
+	reg := obs.NewRegistry()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		2: {Crash: true, CrashAfterFetches: 0, RecoverAfter: 3},
+	}}
+	cfg := distrtest.FastConfig(4, 5, plan)
+	cfg.MaxRetries = -1 // no retries: the crash is lost immediately
+	cfg.Obs = reg
+	c := distrtest.Build(t, ds, cfg)
+	full := c.Count(q)
+
+	// Trigger the crash: the shard dies on its first fetch.
+	s := c.Sampler(q)
+	buf := make([]data.Entry, 64)
+	for i := 0; i < 50 && !s.Degraded(); i++ {
+		if s.NextBatch(buf, len(buf)) == 0 {
+			break
+		}
+	}
+	if !s.Degraded() {
+		t.Fatal("crash never triggered")
+	}
+	if st := c.FaultStats(); st.Crashes != 1 || st.ShardsDown != 1 {
+		t.Fatalf("fault stats after crash = %+v", st)
+	}
+	if down := c.Count(q); down >= full {
+		t.Fatalf("degraded count = %d, want < full %d", down, full)
+	}
+
+	// Each count round observes the down shard once; within RecoverAfter
+	// observations the shard rejoins and the full population is back.
+	after := 0
+	for i := 0; i < 10; i++ {
+		if after = c.Count(q); after == full {
+			break
+		}
+	}
+	if after != full {
+		t.Fatalf("count never recovered: %d, want %d", after, full)
+	}
+	st := c.FaultStats()
+	if st.Readmits != 1 || st.ShardsDown != 0 {
+		t.Errorf("fault stats after recovery = %+v, want readmits=1, shards_down=0", st)
+	}
+	snap := reg.Snapshot()
+	if got := snap["storm.distr.faults.readmits"]; got != uint64(1) {
+		t.Errorf("storm.distr.faults.readmits = %v, want 1", got)
+	}
+	if got := snap["storm.distr.faults.shards_down"]; got != int64(0) {
+		t.Errorf("storm.distr.faults.shards_down = %v, want 0", got)
+	}
+
+	// One-shot cycle: a fresh query over the recovered cluster is healthy.
+	fresh := c.Sampler(q)
+	if got := len(distrtest.DrainBatched(fresh, []int{64})); got != full || fresh.Degraded() {
+		t.Errorf("post-recovery query drained %d (degraded=%v), want healthy %d", got, fresh.Degraded(), full)
+	}
+}
+
+// TestShardSummariesExact pins the coordinator's per-shard digests: after
+// Build they are exact per shard (count, sum, min/max of the shard's
+// values), and Insert/Delete keep count and sum exact while min/max only
+// widen.
+func TestShardSummariesExact(t *testing.T) {
+	ds := distrtest.Dataset(4000)
+	c := distrtest.Build(t, ds, distrtest.FastConfig(4, 5, nil))
+	col, err := ds.NumericColumn("value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	everything := geo.NewRect(geo.Vec{-1, -1, -1}, geo.Vec{101, 101, 101})
+	totalCount := 0
+	var totalSum float64
+	for i, sh := range c.Shards() {
+		sum, ok := c.ShardSummary(i, "value")
+		if !ok {
+			t.Fatalf("shard %d has no summary for value", i)
+		}
+		wantCount := 0
+		wantSum := 0.0
+		wantMin, wantMax := math.Inf(1), math.Inf(-1)
+		for _, e := range sh.Index().Tree().ReportAll(everything) {
+			v := col[e.ID]
+			wantCount++
+			wantSum += v
+			wantMin = math.Min(wantMin, v)
+			wantMax = math.Max(wantMax, v)
+		}
+		if sum.Count != wantCount || math.Abs(sum.Sum-wantSum) > 1e-6 {
+			t.Errorf("shard %d summary count/sum = %d/%.3f, want %d/%.3f", i, sum.Count, sum.Sum, wantCount, wantSum)
+		}
+		if sum.Min != wantMin || sum.Max != wantMax {
+			t.Errorf("shard %d summary bounds = [%v, %v], want [%v, %v]", i, sum.Min, sum.Max, wantMin, wantMax)
+		}
+		if sum.NonFinite != 0 {
+			t.Errorf("shard %d reports %d non-finite values in a finite fixture", i, sum.NonFinite)
+		}
+		totalCount += sum.Count
+		totalSum += sum.Sum
+	}
+	if totalCount != ds.Len() {
+		t.Fatalf("summaries cover %d records, want %d", totalCount, ds.Len())
+	}
+
+	// Insert a record with an out-of-range value: exactly one shard's
+	// summary gains it and the cluster-wide max widens to cover it.
+	id := ds.AppendFast(geo.Vec{50, 50, 50})
+	ds.SetNumeric("value", id, 1e6)
+	e := data.Entry{ID: id, Pos: geo.Vec{50, 50, 50}}
+	c.Insert(e)
+	gotCount, gotSum, gotMax := 0, 0.0, math.Inf(-1)
+	for i := range c.Shards() {
+		sum, _ := c.ShardSummary(i, "value")
+		gotCount += sum.Count
+		gotSum += sum.Sum
+		gotMax = math.Max(gotMax, sum.Max)
+	}
+	if gotCount != totalCount+1 || math.Abs(gotSum-(totalSum+1e6)) > 1e-3 || gotMax != 1e6 {
+		t.Errorf("after insert: count=%d sum=%.3f max=%v, want %d/%.3f/1e6", gotCount, gotSum, gotMax, totalCount+1, totalSum+1e6)
+	}
+
+	// Delete it again: count and sum restore exactly; max stays widened
+	// (monotone-conservative, still a sound upper bound).
+	if !c.Delete(e) {
+		t.Fatal("delete failed")
+	}
+	gotCount, gotSum, gotMax = 0, 0.0, math.Inf(-1)
+	for i := range c.Shards() {
+		sum, _ := c.ShardSummary(i, "value")
+		gotCount += sum.Count
+		gotSum += sum.Sum
+		gotMax = math.Max(gotMax, sum.Max)
+	}
+	if gotCount != totalCount || math.Abs(gotSum-totalSum) > 1e-3 {
+		t.Errorf("after delete: count=%d sum=%.3f, want %d/%.3f", gotCount, gotSum, totalCount, totalSum)
+	}
+	if gotMax != 1e6 {
+		t.Errorf("after delete: max = %v, want the widened 1e6 (min/max never shrink)", gotMax)
+	}
+
+	if _, ok := c.ShardSummary(99, "value"); ok {
+		t.Error("out-of-range shard should have no summary")
+	}
+	if _, ok := c.ShardSummary(0, "no-such-attr"); ok {
+		t.Error("unknown attribute should have no summary")
+	}
+}
+
+// TestSamplerLostMassBounds pins the query-side bound assembly: a degraded
+// query exposes [lo, hi] bounds on its lost population's values from the
+// coordinator summaries; healthy queries and unknown attributes do not.
+func TestSamplerLostMassBounds(t *testing.T) {
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		2: {Crash: true, CrashAfterFetches: 0},
+	}}
+	cfg := distrtest.FastConfig(4, 5, plan)
+	cfg.MaxRetries = -1
+	c := distrtest.Build(t, ds, cfg)
+
+	healthy := c.Sampler(q)
+	if _, _, _, ok := healthy.LostMassBounds("value"); ok {
+		t.Error("healthy query should expose no lost-mass bounds")
+	}
+
+	s := c.Sampler(q)
+	buf := make([]data.Entry, 64)
+	for i := 0; i < 50 && !s.Degraded(); i++ {
+		if s.NextBatch(buf, len(buf)) == 0 {
+			break
+		}
+	}
+	if !s.Degraded() {
+		t.Fatal("crash never triggered")
+	}
+	lo, hi, lostN, ok := s.LostMassBounds("value")
+	if !ok {
+		t.Fatal("degraded query should expose lost-mass bounds for a summarized attribute")
+	}
+	_, lostPop := s.Degradation()
+	if lostN != lostPop {
+		t.Errorf("bounds report %d lost records, degradation reports %d", lostN, lostPop)
+	}
+	sum, _ := c.ShardSummary(2, "value")
+	if lo != sum.Min || hi != sum.Max {
+		t.Errorf("bounds [%v, %v], want the lost shard's summary [%v, %v]", lo, hi, sum.Min, sum.Max)
+	}
+	if _, _, _, ok := s.LostMassBounds("no-such-attr"); ok {
+		t.Error("unknown attribute should have no bounds")
+	}
+}
+
+// runRecoveredEstimate drives one kill-then-recover AVG query by hand —
+// small NextBatch rounds so re-admit polls interleave with sampling, the
+// way the engine's evaluator drives the sampler — and returns the final
+// estimate. The shard must have completed a full crash→readmit cycle by
+// the end or the test dies: every returned interval really did span the
+// down→up transition.
+func runRecoveredEstimate(t *testing.T, ds *data.Dataset, q geo.Rect, seed int64, maxSamples int) estimator.Estimate {
+	t.Helper()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		2: {Crash: true, CrashAfterFetches: 1, RecoverAfter: 4},
+	}}
+	c := distrtest.Build(t, ds, distrtest.FastConfig(8, seed, plan))
+	col, err := ds.NumericColumn("value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	population := c.Count(q)
+	est, err := estimator.New(estimator.Avg, 0.95, population, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Sampler(q)
+	buf := make([]data.Entry, 32)
+	for drawn := 0; drawn < maxSamples; {
+		want := maxSamples - drawn
+		if want > len(buf) {
+			want = len(buf)
+		}
+		n := s.NextBatch(buf, want)
+		for _, e := range buf[:n] {
+			est.Add(col[e.ID])
+		}
+		_, lostPop := s.Degradation()
+		est.SetPopulation(population - lostPop)
+		drawn += n
+		if n < want {
+			break
+		}
+	}
+	if s.Readmits() != 1 || s.Degraded() {
+		t.Fatalf("seed %d: readmits=%d degraded=%v — the crash→recover cycle did not complete", seed, s.Readmits(), s.Degraded())
+	}
+	return est.Snapshot()
+}
+
+// TestStatRecoveredCICoversFullMean is the headline statistical
+// acceptance: across 200 seeded kill-then-recover runs, the 95% CI of an
+// in-flight AVG query that lost a shard mid-stream and re-admitted it
+// must cover the TRUE FULL-POPULATION mean at the nominal rate. This is
+// the unbiasedness-across-the-transition claim: fetch re-weighting
+// rebuilds the inclusion distribution over the full population after
+// rejoin. The 3% slack absorbs the t-approximation at 320 samples and the
+// population transition mid-stream; alpha is statcheck's documented 1e-3
+// false-positive budget.
+func TestStatRecoveredCICoversFullMean(t *testing.T) {
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
+	truth, matches := distrtest.FullTruth(ds, q)
+	if matches < 500 {
+		t.Fatalf("degenerate fixture: %d matches", matches)
+	}
+	seeds := statcheck.Seeds(7, 200)
+	intervals := make([]statcheck.Interval, 0, len(seeds))
+	for _, seed := range seeds {
+		est := runRecoveredEstimate(t, ds, q, seed, 320)
+		if est.Population != matches {
+			t.Fatalf("seed %d: effective population %d, want full %d after rejoin", seed, est.Population, matches)
+		}
+		intervals = append(intervals, statcheck.IntervalAround(est.Value, est.HalfWidth))
+	}
+	statcheck.Coverage(t, "recovered-ci", truth, intervals, 0.95, 0.03, statcheck.DefaultAlpha)
+}
+
+// TestStatPostRejoinFirstSampleUniform: after a full crash→recover cycle,
+// a NEW query's first sample must be uniform over the FULL matching
+// population — the rejoined shard's records are neither starved nor
+// favored. Chi-square over many independent cluster seeds through the
+// statcheck harness.
+func TestStatPostRejoinFirstSampleUniform(t *testing.T) {
+	ds := distrtest.Dataset(400)
+	q := distrtest.Query()
+	all := make(map[data.ID]bool)
+	for i := 0; i < ds.Len(); i++ {
+		if q.Contains(ds.Pos(uint64(i))) {
+			all[uint64(i)] = true
+		}
+	}
+	nq := len(all)
+	if nq < 20 {
+		t.Fatalf("degenerate fixture q=%d", nq)
+	}
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		1: {Crash: true, CrashAfterFetches: 0, RecoverAfter: 2},
+	}}
+	counts := make(map[data.ID]int)
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		cfg := distrtest.FastConfig(4, int64(i), plan)
+		cfg.MaxRetries = -1
+		c := distrtest.Build(t, ds, cfg)
+		// First query: trigger the crash (shard 1 dies on its first fetch).
+		first := c.Sampler(q)
+		first.NextBatch(make([]data.Entry, 64), 64)
+		if !first.Degraded() && first.Readmits() == 0 {
+			t.Fatalf("trial %d: crash never triggered", i)
+		}
+		// Count rounds double as liveness probes until the shard rejoins.
+		recovered := false
+		for j := 0; j < 10; j++ {
+			c.Count(q)
+			if st := c.FaultStats(); st.ShardsDown == 0 {
+				recovered = true
+				break
+			}
+		}
+		if !recovered {
+			t.Fatalf("trial %d: shard never rejoined", i)
+		}
+		// Second query: first sample over the recovered full population.
+		e, ok := c.Sampler(q).Next()
+		if !ok {
+			t.Fatalf("trial %d: no sample", i)
+		}
+		if !all[e.ID] {
+			t.Fatalf("trial %d: sample %d outside query", i, e.ID)
+		}
+		counts[e.ID]++
+	}
+	obsCounts := make([]int, 0, nq)
+	for id := range all {
+		obsCounts = append(obsCounts, counts[id])
+	}
+	statcheck.Uniform(t, "post-rejoin-first-sample", obsCounts, statcheck.DefaultAlpha)
+}
+
+// TestStatDegradedLostMassBoundsCoverFullMean closes the loop on the
+// summaries: when the shard does NOT come back, the degraded CI widened
+// by the lost-mass bounds must cover the TRUE FULL-POPULATION mean — the
+// widening converts "we only know the survivors" into a hard statement
+// about everything, because every lost value provably lies inside the
+// lost shards' [min, max]. Coverage holds at (at least) the survivors'
+// nominal rate.
+func TestStatDegradedLostMassBoundsCoverFullMean(t *testing.T) {
+	ds := distrtest.Dataset(6000)
+	q := distrtest.Query()
+	truth, matches := distrtest.FullTruth(ds, q)
+	if matches < 500 {
+		t.Fatalf("degenerate fixture: %d matches", matches)
+	}
+	col, err := ds.NumericColumn("value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		2: {Crash: true, CrashAfterFetches: 0},
+		5: {Crash: true, CrashAfterFetches: 0},
+	}}
+	seeds := statcheck.Seeds(31, 100)
+	intervals := make([]statcheck.Interval, 0, len(seeds))
+	for _, seed := range seeds {
+		cfg := distrtest.FastConfig(8, seed, plan)
+		cfg.MaxRetries = -1
+		c := distrtest.Build(t, ds, cfg)
+		population := c.Count(q)
+		est, err := estimator.New(estimator.Avg, 0.95, population, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.Sampler(q)
+		buf := make([]data.Entry, 300)
+		n := s.NextBatch(buf, len(buf))
+		for _, e := range buf[:n] {
+			est.Add(col[e.ID])
+		}
+		_, lostPop := s.Degradation()
+		est.SetPopulation(population - lostPop)
+		if !s.Degraded() {
+			t.Fatalf("seed %d: crash never triggered", seed)
+		}
+		snap := est.Snapshot()
+		lo, hi, lostN, ok := s.LostMassBounds("value")
+		if !ok {
+			t.Fatalf("seed %d: no lost-mass bounds", seed)
+		}
+		low, high, ok := estimator.LostMassBounds(snap, lo, hi, lostN)
+		if !ok {
+			t.Fatalf("seed %d: bound widening failed", seed)
+		}
+		if low > snap.Value-snap.HalfWidth || high < snap.Value+snap.HalfWidth-1e-9 {
+			// Not required in general (the widened interval is a weighted
+			// mix), but with lost mass present it must extend past the
+			// surviving CI on at least one side; a strictly narrower
+			// interval would be a sign error.
+			if low > snap.Value-snap.HalfWidth && high < snap.Value+snap.HalfWidth {
+				t.Fatalf("seed %d: widened interval [%v, %v] strictly inside CI [%v, %v]",
+					seed, low, high, snap.Value-snap.HalfWidth, snap.Value+snap.HalfWidth)
+			}
+		}
+		intervals = append(intervals, statcheck.Interval{Low: low, High: high})
+	}
+	statcheck.Coverage(t, "lost-mass-bounds", truth, intervals, 0.95, 0.03, statcheck.DefaultAlpha)
+}

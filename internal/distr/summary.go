@@ -1,0 +1,170 @@
+// Per-shard attribute summaries: the coordinator's cheap digests that
+// turn a degraded confidence interval into a worst-case bound over the
+// full pre-crash population.
+//
+// When a shard crashes mid-query, the estimate keeps covering the
+// surviving population only (DESIGN.md §4.3's lost-mass caveat). But the
+// coordinator knows, from build time, each shard's per-attribute count,
+// sum, and min/max — a few words per shard per column. Whatever the lost
+// shard's unreachable records held, every value lies in [Min, Max], so
+// the surviving CI can be widened into hard bounds on the full-population
+// aggregate (see estimator.LostMassBounds for the arithmetic). The
+// summaries are maintained exactly on Insert/Delete for counts and sums;
+// Min/Max only widen (a deletion cannot shrink them without a rescan), so
+// the bounds stay conservative — never too narrow — under any update mix.
+package distr
+
+import (
+	"math"
+
+	"storm/internal/data"
+)
+
+// AttrSummary is one shard's digest of one numeric attribute: the
+// coordinator-side metadata that prices out worst-case lost-mass bounds
+// at a few words per shard per column.
+type AttrSummary struct {
+	// Count is the number of records on the shard carrying a finite
+	// value for the attribute; Sum is their sum.
+	Count int
+	Sum   float64
+	// Min and Max bound every finite value the shard has ever held for
+	// the attribute. They are exact after Build and widen monotonically
+	// under inserts; deletions do not shrink them (that would need a
+	// rescan), so they remain sound — possibly loose — bounds.
+	Min float64
+	Max float64
+	// NonFinite counts records whose value is NaN (SQL NULL in this
+	// system) or ±Inf. Lost-mass bounds require NonFinite == 0: a NULL
+	// contributes nothing to an aggregate, so lost NULLs would make the
+	// lost record count overstate the lost contributing mass.
+	NonFinite int
+}
+
+// add folds one attribute value into the summary.
+func (a *AttrSummary) add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		a.NonFinite++
+		return
+	}
+	a.Count++
+	a.Sum += v
+	if v < a.Min {
+		a.Min = v
+	}
+	if v > a.Max {
+		a.Max = v
+	}
+}
+
+// remove undoes add for a deleted record's value. Min/Max are left as-is
+// (monotone-conservative; see AttrSummary).
+func (a *AttrSummary) remove(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		a.NonFinite--
+		return
+	}
+	a.Count--
+	a.Sum -= v
+}
+
+// newAttrSummary returns an empty summary with sentinel bounds.
+func newAttrSummary() *AttrSummary {
+	return &AttrSummary{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// buildSummaries digests one shard partition: one AttrSummary per numeric
+// column of the dataset at build time. Columns added after Build are not
+// summarized (a partial summary would silently miss the base records), so
+// lost-mass bounds are simply unavailable for them.
+func (c *Cluster) buildSummaries(part []data.Entry) map[string]*AttrSummary {
+	cols := c.ds.NumericColumns()
+	sums := make(map[string]*AttrSummary, len(cols))
+	for _, name := range cols {
+		col, err := c.ds.NumericColumn(name)
+		if err != nil {
+			continue
+		}
+		a := newAttrSummary()
+		for _, e := range part {
+			a.add(col[e.ID])
+		}
+		sums[name] = a
+	}
+	return sums
+}
+
+// summaryAdd updates shard sh's summaries for a newly inserted record.
+// Caller holds structMu (write side).
+func (c *Cluster) summaryAdd(sh *Shard, e data.Entry) {
+	for name, a := range sh.summaries {
+		col, err := c.ds.NumericColumn(name)
+		if err != nil || e.ID >= data.ID(len(col)) {
+			continue
+		}
+		a.add(col[e.ID])
+	}
+}
+
+// summaryRemove updates shard sh's summaries for a deleted record.
+// Caller holds structMu (write side).
+func (c *Cluster) summaryRemove(sh *Shard, e data.Entry) {
+	for name, a := range sh.summaries {
+		col, err := c.ds.NumericColumn(name)
+		if err != nil || e.ID >= data.ID(len(col)) {
+			continue
+		}
+		a.remove(col[e.ID])
+	}
+}
+
+// ShardSummary returns shard's digest of attr (count, sum, min/max of the
+// records it holds), or ok = false when the shard or attribute is
+// unknown. The coordinator keeps these summaries so degraded estimates
+// can be widened into worst-case bounds over lost shards' populations.
+func (c *Cluster) ShardSummary(shard int, attr string) (s AttrSummary, ok bool) {
+	c.structMu.RLock()
+	defer c.structMu.RUnlock()
+	if shard < 0 || shard >= len(c.shards) {
+		return AttrSummary{}, false
+	}
+	a, ok := c.shards[shard].summaries[attr]
+	if !ok {
+		return AttrSummary{}, false
+	}
+	return *a, true
+}
+
+// LostMassBounds returns hard bounds [lo, hi] on the attribute values of
+// this query's lost population — the lostPop matching records stranded on
+// shards the query wrote off — from the coordinator's per-shard
+// summaries. ok is false when the query is not degraded, the attribute
+// has no summary on some lost shard, or a lost shard holds non-finite
+// values (which would make the bounds unsound; see AttrSummary). Callers
+// combine [lo, hi] with the surviving-population CI via
+// estimator.LostMassBounds to bound the full pre-crash aggregate.
+func (s *Sampler) LostMassBounds(attr string) (lo, hi float64, lostPop int, ok bool) {
+	if s.lostPop <= 0 || len(s.lost) == 0 {
+		return 0, 0, 0, false
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for shard, st := range s.lost {
+		if st.remaining <= 0 {
+			continue
+		}
+		sum, found := s.cluster.ShardSummary(shard, attr)
+		if !found || sum.NonFinite > 0 || sum.Count == 0 {
+			return 0, 0, 0, false
+		}
+		if sum.Min < lo {
+			lo = sum.Min
+		}
+		if sum.Max > hi {
+			hi = sum.Max
+		}
+	}
+	if math.IsInf(lo, 1) || math.IsInf(hi, -1) {
+		return 0, 0, 0, false
+	}
+	return lo, hi, s.lostPop, true
+}

@@ -7,6 +7,7 @@ import (
 
 	"storm/internal/data"
 	"storm/internal/distr"
+	"storm/internal/distr/distrtest"
 	"storm/internal/estimator"
 	"storm/internal/gen"
 	"storm/internal/geo"
@@ -17,8 +18,7 @@ import (
 func buildShardedHandle(t testing.TB, n, shards int, faults *distr.FaultPlan) (*Engine, *Handle) {
 	t.Helper()
 	e := New(Config{Seed: 42, Fanout: 32})
-	ds := gen.Uniform(n, 7, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
-	h, err := e.Register(ds, IndexOptions{Shards: shards, Faults: faults})
+	h, err := e.Register(distrtest.Dataset(n), IndexOptions{Shards: shards, Faults: faults})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,8 +72,7 @@ func TestDistributedMethodRouting(t *testing.T) {
 func TestDistributedQueryDegrades(t *testing.T) {
 	reg := obs.NewRegistry()
 	e := New(Config{Seed: 42, Fanout: 32, Obs: reg})
-	ds := gen.Uniform(8000, 7, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
-	h, err := e.Register(ds, IndexOptions{
+	h, err := e.Register(distrtest.Dataset(8000), IndexOptions{
 		Shards: 8,
 		Faults: &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
 			2: {Crash: true, CrashAfterFetches: 1},
@@ -110,6 +109,102 @@ func TestDistributedQueryDegrades(t *testing.T) {
 	}
 	if got := ms["storm.engine.queries.degraded"]; got != uint64(1) {
 		t.Errorf("storm.engine.queries.degraded = %v", got)
+	}
+	// Lost-mass bounds ride along on the degraded snapshot: the widened
+	// interval must bound the TRUE full-population mean — the run was exact
+	// over the survivors, so coverage here is guaranteed, not statistical.
+	if snap.LostMassLow == 0 && snap.LostMassHigh == 0 {
+		t.Fatal("degraded AVG snapshot should carry lost-mass bounds")
+	}
+	if snap.LostMassLow >= snap.LostMassHigh {
+		t.Errorf("degenerate lost-mass interval [%v, %v]", snap.LostMassLow, snap.LostMassHigh)
+	}
+	fullMean, _ := trueMean(h, testRange, "value")
+	if fullMean < snap.LostMassLow || fullMean > snap.LostMassHigh {
+		t.Errorf("full-population mean %v outside lost-mass bounds [%v, %v]",
+			fullMean, snap.LostMassLow, snap.LostMassHigh)
+	}
+	if snap.Recovered {
+		t.Error("nothing recovered in a permanent-crash run")
+	}
+}
+
+// TestDistributedQueryRecovers is the engine-level tentpole scenario: the
+// query's top-matching shard crashes mid-stream and comes back on its
+// recover-after schedule. The engine's evaluator re-admits it via the
+// sampler, restores the effective N, finishes exact over the FULL
+// population, and stamps the snapshot and metrics as recovered, not
+// degraded.
+func TestDistributedQueryRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Config{Seed: 42, Fanout: 32, Obs: reg})
+	ds := distrtest.Dataset(8000)
+
+	// Pick the shard holding the most matching records so its crash window
+	// (after its first fetch) is always hit mid-query. The probe engine
+	// shares the seed, so its cluster partitions the dataset identically.
+	probe, err := New(Config{Seed: 42, Fanout: 32}).Register(ds, IndexOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect := testRange.Rect()
+	target, best := 0, -1
+	for i, sh := range probe.Cluster().Shards() {
+		if n := sh.Index().Count(rect); n > best {
+			target, best = i, n
+		}
+	}
+	if best <= 0 {
+		t.Fatal("no shard matches the query")
+	}
+
+	h, err := e.Register(ds, IndexOptions{
+		Shards: 8,
+		Faults: &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+			target: {Crash: true, CrashAfterFetches: 1, RecoverAfter: 4},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyPop := h.Cluster().Count(rect)
+	snap, err := h.Estimate(context.Background(), testRange, Options{Kind: estimator.Avg, Attr: "value"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Done {
+		t.Fatal("recovered query must complete")
+	}
+	if snap.Degraded || snap.ShardsLost != 0 {
+		t.Fatalf("recovered query still degraded: %+v", snap)
+	}
+	if !snap.Recovered {
+		t.Fatal("snapshot should be stamped recovered")
+	}
+	if snap.Population != healthyPop || snap.Samples != healthyPop || !snap.Exact {
+		t.Errorf("recovered run should exhaust the full population %d: %+v", healthyPop, snap)
+	}
+	if snap.LostMassLow != 0 || snap.LostMassHigh != 0 {
+		t.Errorf("recovered snapshot should carry no lost-mass bounds: [%v, %v]",
+			snap.LostMassLow, snap.LostMassHigh)
+	}
+	want, _ := trueMean(h, testRange, "value")
+	if math.Abs(snap.Value-want) > 1e-9 {
+		t.Errorf("recovered exact AVG = %v, want %v", snap.Value, want)
+	}
+	st := h.Cluster().FaultStats()
+	if st.Crashes != 1 || st.Readmits != 1 || st.ShardsDown != 0 {
+		t.Errorf("fault stats = %+v, want one completed crash→readmit cycle", st)
+	}
+	ms := reg.Snapshot()
+	if got := ms["storm.engine.queries.recovered"]; got != uint64(1) {
+		t.Errorf("storm.engine.queries.recovered = %v, want 1", got)
+	}
+	if got := ms["storm.engine.queries.degraded"]; got != uint64(0) {
+		t.Errorf("storm.engine.queries.degraded = %v, want 0 (the loss healed mid-query)", got)
+	}
+	if got := ms["storm.distr.faults.readmits"]; got != uint64(1) {
+		t.Errorf("storm.distr.faults.readmits = %v, want 1", got)
 	}
 }
 

@@ -19,6 +19,10 @@ type metrics struct {
 	// queriesDegraded counts queries that lost at least one shard
 	// mid-stream and finished over the surviving population.
 	queriesDegraded *obs.Counter
+	// queriesRecovered counts queries that re-admitted every shard they
+	// had lost (the shards recovered mid-query) and finished back over
+	// the full population.
+	queriesRecovered *obs.Counter
 
 	samplesDrawn      *obs.Counter
 	samplerRejects    *obs.Counter
@@ -59,6 +63,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		queriesDone:       reg.Counter("storm.engine.queries.done"),
 		queriesActive:     reg.Gauge("storm.engine.queries.active"),
 		queriesDegraded:   reg.Counter("storm.engine.queries.degraded"),
+		queriesRecovered:  reg.Counter("storm.engine.queries.recovered"),
 		samplesDrawn:      reg.Counter("storm.engine.samples.drawn"),
 		samplerRejects:    reg.Counter("storm.engine.sampler.rejects"),
 		samplerExplosions: reg.Counter("storm.engine.sampler.explosions"),

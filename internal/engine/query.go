@@ -85,6 +85,22 @@ type Snapshot struct {
 	// ShardsLost is how many shards the query lost mid-stream; 0 unless
 	// Degraded.
 	ShardsLost int
+	// Recovered marks a distributed query that lost shards mid-stream and
+	// re-admitted every one of them after they recovered: the estimate is
+	// back over the full population (Population restored, no lost mass).
+	// Mutually exclusive with Degraded.
+	Recovered bool
+	// LostMassLow and LostMassHigh, set only on degraded AVG/SUM
+	// snapshots, are worst-case bounds on the aggregate over the full
+	// pre-crash population: the surviving-population CI widened by the
+	// lost shards' per-attribute min/max summaries (see
+	// estimator.LostMassBounds and DESIGN.md §4.3). Whenever the CI
+	// covers the surviving aggregate, [LostMassLow, LostMassHigh] covers
+	// the full-population truth. Both zero when unavailable (healthy or
+	// recovered query, non-AVG/SUM kind, or no summary for the
+	// attribute).
+	LostMassLow  float64
+	LostMassHigh float64
 }
 
 // EstimateOnline executes an online aggregation query, streaming snapshots
@@ -176,21 +192,32 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 
 	var ctr *iosim.Counter
 	var deg degrader
-	wasDegraded := false
+	var lmb lostMassBounder
+	wasDegraded, wasRecovered := false, false
 	emit := func(done bool, method string) bool {
 		var shardsLost int
+		recovered := false
 		if deg != nil {
-			if lost, lostPop := deg.Degradation(); lost > 0 {
-				// Shards died mid-query: re-target the estimator at the
-				// surviving population before snapshotting so the point
-				// estimate, SUM/COUNT scaling and finite-population
-				// correction stay honest over what the stream can still
-				// cover (see DESIGN.md §4.3).
-				shardsLost = lost
-				est.SetPopulation(population - lostPop)
-				if !wasDegraded {
-					wasDegraded = true
-					h.eng.met.queriesDegraded.Inc()
+			lost, lostPop := deg.Degradation()
+			// Re-target the estimator at the stream's current effective
+			// population before snapshotting: shards that died mid-query
+			// shrink it so the point estimate, SUM/COUNT scaling and
+			// finite-population correction stay honest over what the
+			// stream can still cover, and shards re-admitted after
+			// recovering restore it (see DESIGN.md §4.3).
+			shardsLost = lost
+			est.SetPopulation(population - lostPop)
+			if lost > 0 && !wasDegraded {
+				wasDegraded = true
+				h.eng.met.queriesDegraded.Inc()
+			}
+			if rm, ok := deg.(readmitter); ok && rm.Readmits() > 0 && lost == 0 {
+				// Every lost shard came back: the query has recovered
+				// onto the full population.
+				recovered = true
+				if !wasRecovered {
+					wasRecovered = true
+					h.eng.met.queriesRecovered.Inc()
 				}
 			}
 		}
@@ -201,6 +228,14 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 			Done:       done,
 			Degraded:   shardsLost > 0,
 			ShardsLost: shardsLost,
+			Recovered:  recovered,
+		}
+		if shardsLost > 0 && lmb != nil {
+			if lo, hi, lostN, ok := lmb.LostMassBounds(opts.Attr); ok {
+				if low, high, ok := estimator.LostMassBounds(s.Estimate, lo, hi, lostN); ok {
+					s.LostMassLow, s.LostMassHigh = low, high
+				}
+			}
 		}
 		if ctr != nil {
 			s.IO = ctr.Snapshot()
@@ -233,6 +268,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 	}
 	ctr = c
 	deg, _ = sampler.(degrader)
+	lmb, _ = sampler.(lostMassBounder)
 	col, err := h.ds.NumericColumn(opts.Attr)
 	if err != nil {
 		emit(true, fmt.Sprintf("error: %v", err))
@@ -316,6 +352,24 @@ type degrader interface {
 	Degradation() (shardsLost, lostPopulation int)
 }
 
+// readmitter is implemented by degradable samplers that can re-admit a
+// lost shard after it recovers: Readmits reports how many re-admissions
+// the query has made. A query with Readmits > 0 and no currently lost
+// shards has recovered onto the full population.
+type readmitter interface {
+	Readmits() int
+}
+
+// lostMassBounder is implemented by degradable samplers that can bound
+// the attribute values of their lost population from coordinator-side
+// per-shard summaries (count/sum/min/max per numeric attribute): every
+// lost record's value of attr provably lies in [lo, hi]. The engine
+// combines these with the surviving-population CI via
+// estimator.LostMassBounds into Snapshot.LostMassLow/High.
+type lostMassBounder interface {
+	LostMassBounds(attr string) (lo, hi float64, lostPop int, ok bool)
+}
+
 // resolveMethod applies the optimizer to Auto and returns any other method
 // unchanged. Caller holds h.mu (read side suffices).
 func (h *Handle) resolveMethod(m Method, q geo.Rect) Method {
@@ -360,20 +414,29 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		deadline = start.Add(opts.TimeBudget)
 	}
 
-	wasDegraded := false
+	wasDegraded, wasRecovered := false, false
 	emit := func(done bool) bool {
 		// Shard loss shrinks the quantile's effective population the same
 		// way runEstimate's does: exhaustion and the reported Population
-		// track what the stream can still deliver.
+		// track what the stream can still deliver. Re-admitted shards
+		// restore it (lostPop drops back to zero), and the down→up
+		// transition is surfaced as Recovered.
 		effPop := population
 		shardsLost := 0
+		recovered := false
 		if deg != nil {
-			if lost, lostPop := deg.Degradation(); lost > 0 {
-				shardsLost = lost
-				effPop = population - lostPop
-				if !wasDegraded {
-					wasDegraded = true
-					h.eng.met.queriesDegraded.Inc()
+			lost, lostPop := deg.Degradation()
+			shardsLost = lost
+			effPop = population - lostPop
+			if lost > 0 && !wasDegraded {
+				wasDegraded = true
+				h.eng.met.queriesDegraded.Inc()
+			}
+			if rm, ok := deg.(readmitter); ok && rm.Readmits() > 0 && lost == 0 {
+				recovered = true
+				if !wasRecovered {
+					wasRecovered = true
+					h.eng.met.queriesRecovered.Inc()
 				}
 			}
 		}
@@ -401,6 +464,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 			Done:       done,
 			Degraded:   shardsLost > 0,
 			ShardsLost: shardsLost,
+			Recovered:  recovered,
 		}
 		if ctr != nil {
 			s.IO = ctr.Snapshot()

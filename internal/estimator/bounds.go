@@ -1,0 +1,52 @@
+// Lost-mass worst-case bounds: combining a surviving-population estimate
+// with hard per-shard value bounds into an interval over the full
+// pre-crash population.
+package estimator
+
+import "math"
+
+// LostMassBounds widens a degraded estimate into worst-case bounds over
+// the full pre-crash population. e is the estimate over the surviving
+// population (its Population already shrunk to the survivors), [lo, hi]
+// are hard bounds on the attribute values of the lostN lost records (the
+// coordinator's per-shard min/max summaries), and the result [low, high]
+// bounds the full-population aggregate: if e's confidence interval covers
+// the surviving aggregate — which it does with the estimate's nominal
+// probability — then [low, high] covers the full-population truth with at
+// least that probability, because every lost value provably lies in
+// [lo, hi].
+//
+// Only AVG and SUM are supported (COUNT is answered exactly before any
+// sampling; order statistics and moments do not decompose this way):
+//
+//	AVG: full mean = (survivingMean·popS + lostSum) / (popS + lostN),
+//	     lostSum ∈ [lo·lostN, hi·lostN]
+//	SUM: full sum  = survivingSum + lostSum, same lostSum bounds
+//
+// ok is false when the inputs cannot produce a finite bound: nothing
+// lost, an unsupported kind, an unknown or empty surviving population
+// with nothing sampled, or a still-infinite confidence interval.
+func LostMassBounds(e Estimate, lo, hi float64, lostN int) (low, high float64, ok bool) {
+	if lostN <= 0 || math.IsNaN(e.Value) || math.IsInf(e.HalfWidth, 0) || math.IsNaN(e.HalfWidth) {
+		return 0, 0, false
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo > hi {
+		return 0, 0, false
+	}
+	l := float64(lostN)
+	switch e.Kind {
+	case Avg:
+		if e.Population < 0 {
+			return 0, 0, false
+		}
+		popS := float64(e.Population)
+		low = ((e.Value-e.HalfWidth)*popS + lo*l) / (popS + l)
+		high = ((e.Value+e.HalfWidth)*popS + hi*l) / (popS + l)
+		return low, high, true
+	case Sum:
+		low = (e.Value - e.HalfWidth) + lo*l
+		high = (e.Value + e.HalfWidth) + hi*l
+		return low, high, true
+	}
+	return 0, 0, false
+}

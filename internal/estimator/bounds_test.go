@@ -1,0 +1,100 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLostMassBoundsAvg(t *testing.T) {
+	// Surviving: 100 records, mean 10 ± 2. Lost: 50 records in [0, 20].
+	e := Estimate{Kind: Avg, Value: 10, HalfWidth: 2, Population: 100}
+	low, high, ok := LostMassBounds(e, 0, 20, 50)
+	if !ok {
+		t.Fatal("expected bounds")
+	}
+	// low  = (8·100 + 0·50) / 150 = 5.333…
+	// high = (12·100 + 20·50) / 150 = 14.666…
+	if math.Abs(low-800.0/150) > 1e-12 || math.Abs(high-2200.0/150) > 1e-12 {
+		t.Errorf("avg bounds = [%v, %v], want [%v, %v]", low, high, 800.0/150, 2200.0/150)
+	}
+	if low > high {
+		t.Error("inverted bounds")
+	}
+}
+
+func TestLostMassBoundsSum(t *testing.T) {
+	// Surviving sum 1000 ± 100; lost: 10 records in [-5, 30].
+	e := Estimate{Kind: Sum, Value: 1000, HalfWidth: 100, Population: 200}
+	low, high, ok := LostMassBounds(e, -5, 30, 10)
+	if !ok {
+		t.Fatal("expected bounds")
+	}
+	if low != 900-50 || high != 1100+300 {
+		t.Errorf("sum bounds = [%v, %v], want [850, 1400]", low, high)
+	}
+}
+
+// TestLostMassBoundsCoverage pins the covering property the statistical
+// suites rely on: whenever the surviving CI contains the surviving
+// aggregate, the widened interval contains the full-population aggregate,
+// for any lost values inside [lo, hi].
+func TestLostMassBoundsCoverage(t *testing.T) {
+	const (
+		popS      = 80
+		survMean  = 42.5
+		halfWidth = 3.0
+		lo, hi    = 0.0, 100.0
+		lostN     = 20
+	)
+	e := Estimate{Kind: Avg, Value: survMean + 1, HalfWidth: halfWidth, Population: popS} // CI covers survMean
+	low, high, ok := LostMassBounds(e, lo, hi, lostN)
+	if !ok {
+		t.Fatal("expected bounds")
+	}
+	// Extreme lost-value mixes: all-lo, all-hi, and a middle mix.
+	for _, lostMean := range []float64{lo, hi, 37.0} {
+		full := (survMean*popS + lostMean*lostN) / (popS + lostN)
+		if full < low-1e-12 || full > high+1e-12 {
+			t.Errorf("full mean %v (lost mean %v) outside widened [%v, %v]", full, lostMean, low, high)
+		}
+	}
+}
+
+func TestLostMassBoundsRejectsBadInput(t *testing.T) {
+	good := Estimate{Kind: Avg, Value: 10, HalfWidth: 2, Population: 100}
+	cases := []struct {
+		name   string
+		e      Estimate
+		lo, hi float64
+		lostN  int
+	}{
+		{"nothing lost", good, 0, 20, 0},
+		{"negative lost", good, 0, 20, -3},
+		{"inverted value bounds", good, 20, 0, 50},
+		{"NaN lo", good, math.NaN(), 20, 50},
+		{"infinite hi", good, 0, math.Inf(1), 50},
+		{"NaN value", Estimate{Kind: Avg, Value: math.NaN(), HalfWidth: 2, Population: 100}, 0, 20, 50},
+		{"infinite half-width", Estimate{Kind: Avg, Value: 10, HalfWidth: math.Inf(1), Population: 100}, 0, 20, 50},
+		{"unknown avg population", Estimate{Kind: Avg, Value: 10, HalfWidth: 2, Population: -1}, 0, 20, 50},
+		{"unsupported kind", Estimate{Kind: Count, Value: 10, HalfWidth: 2, Population: 100}, 0, 20, 50},
+	}
+	for _, tc := range cases {
+		if _, _, ok := LostMassBounds(tc.e, tc.lo, tc.hi, tc.lostN); ok {
+			t.Errorf("%s: expected ok=false", tc.name)
+		}
+	}
+}
+
+func TestLostMassBoundsExactEstimate(t *testing.T) {
+	// A degraded-but-exhausted query: the survivors were fully sampled, so
+	// HalfWidth is 0 and the widened interval is purely the lost-mass
+	// uncertainty.
+	e := Estimate{Kind: Avg, Value: 10, HalfWidth: 0, Population: 100, Exact: true}
+	low, high, ok := LostMassBounds(e, 5, 15, 100)
+	if !ok {
+		t.Fatal("expected bounds")
+	}
+	if math.Abs(low-7.5) > 1e-12 || math.Abs(high-12.5) > 1e-12 {
+		t.Errorf("bounds = [%v, %v], want [7.5, 12.5]", low, high)
+	}
+}

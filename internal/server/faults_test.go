@@ -66,6 +66,20 @@ func TestStreamReportsDegradation(t *testing.T) {
 	if !last.Exact || last.Samples != last.Population {
 		t.Errorf("degraded run should finish exact over survivors: %+v", last)
 	}
+	if last.Recovered {
+		t.Error("permanent crashes must not report recovered")
+	}
+	// The lost-mass worst-case bounds ride along on the degraded snapshot.
+	if last.LostMassLow == 0 && last.LostMassHigh == 0 {
+		t.Fatalf("degraded snapshot missing lost-mass bounds: %+v", last)
+	}
+	if last.LostMassLow >= last.LostMassHigh {
+		t.Errorf("degenerate lost-mass interval [%v, %v]", last.LostMassLow, last.LostMassHigh)
+	}
+	if last.Value < last.LostMassLow || last.Value > last.LostMassHigh {
+		t.Errorf("surviving mean %v outside widened bounds [%v, %v]",
+			last.Value, last.LostMassLow, last.LostMassHigh)
+	}
 	// The fault counters are scrapable on /metrics.
 	mresp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -83,6 +97,86 @@ func TestStreamReportsDegradation(t *testing.T) {
 		t.Errorf("storm.engine.queries.degraded = %v, want 1", got)
 	}
 	_ = eng
+}
+
+// TestStreamReportsRecovery: when the crashed shard comes back on a
+// recover-after schedule mid-query, the NDJSON final snapshot reports
+// recovered over the full population with no degradation flags or
+// lost-mass bounds, and the readmit/recovered counters are scrapable.
+func TestStreamReportsRecovery(t *testing.T) {
+	ds := gen.Uniform(12000, 5, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	rect := geo.NewRect(geo.Vec{20, 20, 0}, geo.Vec{60, 60, 100})
+
+	// Probe an identically partitioned cluster for the shard with the most
+	// matching records, so the crash window is always hit mid-query.
+	probe, err := engine.New(engine.Config{Seed: 3}).Register(ds, engine.IndexOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, best := 0, -1
+	for i, sh := range probe.Cluster().Shards() {
+		if n := sh.Index().Count(rect); n > best {
+			target, best = i, n
+		}
+	}
+	full := probe.Cluster().Count(rect)
+
+	eng := engine.New(engine.Config{Seed: 3})
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		target: {Crash: true, CrashAfterFetches: 1, RecoverAfter: 4},
+	}}
+	if _, err := eng.Register(ds, engine.IndexOptions{Shards: 8, Faults: plan}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+
+	body := `{"statement": "ESTIMATE AVG(value) FROM uniform WHERE REGION(20,20,60,60)"}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var last SnapshotJSON
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+	}
+	if !last.Done || !last.Recovered {
+		t.Fatalf("final snapshot should be done and recovered: %+v", last)
+	}
+	if last.Degraded || last.ShardsLost != 0 {
+		t.Errorf("recovered snapshot still degraded: %+v", last)
+	}
+	if last.LostMassLow != 0 || last.LostMassHigh != 0 {
+		t.Errorf("recovered snapshot should omit lost-mass bounds: %+v", last)
+	}
+	if !last.Exact || last.Population != full || last.Samples != full {
+		t.Errorf("recovered run should exhaust the full population %d: %+v", full, last)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics map[string]any
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics["storm.engine.queries.recovered"]; got != float64(1) {
+		t.Errorf("storm.engine.queries.recovered = %v, want 1", got)
+	}
+	if got := metrics["storm.distr.faults.readmits"]; got != float64(1) {
+		t.Errorf("storm.distr.faults.readmits = %v, want 1", got)
+	}
+	_ = best
 }
 
 // TestLoadSheddingCapsStreams: with WithMaxStreams(1) and the single slot

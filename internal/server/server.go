@@ -253,7 +253,17 @@ type SnapshotJSON struct {
 	// DESIGN.md §4.3 and the README fault-tolerance handbook).
 	Degraded   bool `json:"degraded,omitempty"`
 	ShardsLost int  `json:"shards_lost,omitempty"`
-	Done       bool `json:"done"`
+	// Recovered marks a query that lost shards mid-stream and re-admitted
+	// all of them after they came back: Population is restored to the
+	// full matching count. Mutually exclusive with Degraded.
+	Recovered bool `json:"recovered,omitempty"`
+	// LostMassLow/LostMassHigh, present only on degraded AVG/SUM
+	// snapshots, bound the aggregate over the full pre-crash population:
+	// the surviving CI widened by the lost shards' min/max attribute
+	// summaries (see DESIGN.md §4.3).
+	LostMassLow  float64 `json:"lost_mass_low,omitempty"`
+	LostMassHigh float64 `json:"lost_mass_high,omitempty"`
+	Done         bool    `json:"done"`
 }
 
 // handleQuery executes an estimate statement and streams NDJSON snapshots.
@@ -348,23 +358,26 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 	encode := func(snap engine.Snapshot) bool {
 		adj := snap.IO.BatchAdjusted()
 		out := SnapshotJSON{
-			Kind:        snap.Kind.String(),
-			Value:       snap.Value,
-			HalfWidth:   snap.HalfWidth,
-			Confidence:  snap.Confidence,
-			Samples:     snap.Samples,
-			Population:  snap.Population,
-			Exact:       snap.Exact,
-			ElapsedMS:   float64(snap.Elapsed) / float64(time.Millisecond),
-			Sampler:     snap.Method,
-			IOReads:     snap.IO.Reads,
-			IOHits:      snap.IO.Hits,
-			IOLogical:   snap.IO.Logical,
-			IOCoalesced: snap.IO.Coalesced,
-			IOAdjHits:   adj.Hits,
-			Degraded:    snap.Degraded,
-			ShardsLost:  snap.ShardsLost,
-			Done:        snap.Done,
+			Kind:         snap.Kind.String(),
+			Value:        snap.Value,
+			HalfWidth:    snap.HalfWidth,
+			Confidence:   snap.Confidence,
+			Samples:      snap.Samples,
+			Population:   snap.Population,
+			Exact:        snap.Exact,
+			ElapsedMS:    float64(snap.Elapsed) / float64(time.Millisecond),
+			Sampler:      snap.Method,
+			IOReads:      snap.IO.Reads,
+			IOHits:       snap.IO.Hits,
+			IOLogical:    snap.IO.Logical,
+			IOCoalesced:  snap.IO.Coalesced,
+			IOAdjHits:    adj.Hits,
+			Degraded:     snap.Degraded,
+			ShardsLost:   snap.ShardsLost,
+			Recovered:    snap.Recovered,
+			LostMassLow:  snap.LostMassLow,
+			LostMassHigh: snap.LostMassHigh,
+			Done:         snap.Done,
 		}
 		if enc.Encode(out) != nil {
 			return false

@@ -7,9 +7,9 @@ GO ?= go
 # cluster all run under -race.
 RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
 	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/ \
-	./internal/obs/
+	./internal/obs/ ./internal/wire/
 
-.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs bench-faults test-stats fuzz-smoke
+.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs bench-faults test-stats fuzz-smoke test-cluster bench-cluster
 
 verify: fmt vet build test race docs-lint
 
@@ -61,8 +61,22 @@ test-stats:
 	$(GO) test -race -run 'TestStat' -v ./internal/distr/
 	$(GO) test -race ./internal/stats/statcheck/
 
-# Short fuzz pass over the operator-facing fault-plan grammar: no input
-# may panic the parser; accepted inputs must round-trip through the
-# canonical serializer. The checked-in corpus also runs on plain `go test`.
+# Short fuzz passes over the two operator/network-facing input surfaces:
+# the fault-plan grammar (no panic, canonical round-trip) and the wire
+# codec (no panic on arbitrary frames, decode∘encode identity). The
+# checked-in corpora also run on plain `go test`.
 fuzz-smoke:
 	$(GO) test -run FuzzParseFaultPlan -fuzz FuzzParseFaultPlan -fuzztime 15s ./internal/distr/
+	$(GO) test -run FuzzWireCodec -fuzz FuzzWireCodec -fuzztime 15s ./internal/wire/
+
+# Real-process cluster smoke: build stormd, spawn 4 -role=shard processes
+# plus a coordinator, query over HTTP, kill one shard host mid-stream and
+# assert the NDJSON stream degrades, then restart the host and assert the
+# cluster re-admits its shards (see cmd/stormd/cluster_test.go).
+test-cluster:
+	STORM_CLUSTER_TEST=1 $(GO) test -run TestClusterSmoke -v -timeout 300s ./cmd/stormd/
+
+# Transport ablation: the identical seeded drain through the loopback
+# cluster vs real TCP shard hosts (EXPERIMENTS.md A9).
+bench-cluster:
+	$(GO) run ./cmd/stormbench -fig a9

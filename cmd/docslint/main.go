@@ -7,8 +7,8 @@
 //
 // With no arguments it audits the observability- and robustness-facing
 // packages (internal/obs, internal/engine, internal/distr — including the
-// fault-injection layer — internal/server, internal/estimator,
-// internal/bench).
+// fault-injection layer — internal/wire, internal/server,
+// internal/estimator, internal/bench).
 // Exit status is non-zero when any exported identifier lacks a doc
 // comment; each violation prints as file:line: name.
 package main
@@ -31,6 +31,7 @@ var defaultDirs = []string{
 	"internal/obs",
 	"internal/engine",
 	"internal/distr",
+	"internal/wire",
 	"internal/server",
 	"internal/estimator",
 	"internal/bench",

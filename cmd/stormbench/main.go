@@ -15,6 +15,8 @@
 //	                                  # mid-query, CI-width + latency impact
 //	stormbench -fig a8                # recovery ablation: kill-then-recover
 //	                                  # vs degraded-with-lost-mass-bounds
+//	stormbench -fig a9                # transport ablation: loopback vs TCP
+//	                                  # round latency + message/byte counts
 //	stormbench -fig all               # everything
 //
 // -metrics attaches an observability registry (see internal/obs) to each
@@ -47,7 +49,7 @@ func series(title string, xs, ys []float64) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, all")
 	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
 	seed := flag.Int64("seed", 1, "generator/sampling seed")
 	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
@@ -87,6 +89,7 @@ func main() {
 	run("a6", func() error { return a6(*seed) })
 	run("a7", func() error { return a7(*seed) })
 	run("a8", func() error { return a8(*seed) })
+	run("a9", func() error { return a9(*seed) })
 }
 
 // dumpMetrics prints every registry entry as "name<TAB>value", sorted by
@@ -418,6 +421,31 @@ func a8(seed int64) error {
 			fmt.Sprintf("%.2f", p.WallMS),
 			fmt.Sprintf("%d", p.Crashes),
 			fmt.Sprintf("%d", p.Readmits),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+func a9(seed int64) error {
+	fmt.Println("Ablation A9: transport — the identical seeded drain through the in-process loopback")
+	fmt.Println("cluster vs real TCP shard hosts (8 shards on 4 hosts, 200k points, 20k samples);")
+	fmt.Println("streams verified byte-identical, so the delta is pure transport overhead")
+	pts, err := bench.A9(bench.A9Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"transport", "samples", "rounds", "wall ms", "round µs", "messages", "samples moved", "bytes sent", "bytes recv"}}
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Transport,
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%d", p.Rounds),
+			fmt.Sprintf("%.2f", p.WallMS),
+			fmt.Sprintf("%.1f", p.RoundUS),
+			fmt.Sprintf("%d", p.Messages),
+			fmt.Sprintf("%d", p.SamplesMoved),
+			fmt.Sprintf("%d", p.BytesSent),
+			fmt.Sprintf("%d", p.BytesRecv),
 		})
 	}
 	fmt.Print(viz.Table(rows))

@@ -1,0 +1,285 @@
+package main
+
+// The real-process cluster smoke test: build the stormd binary, spawn
+// four -role=shard processes plus a coordinator, query through HTTP,
+// kill one shard host mid-stream, and watch the cluster degrade and then
+// recover once the host is restarted. This is the one test that runs the
+// PR's whole stack — flag parsing, dataset regeneration on shard hosts,
+// the wire protocol over real sockets, consistent-hash placement,
+// /healthz and /shards, NDJSON degradation stamps — so it spawns real
+// processes and is gated behind STORM_CLUSTER_TEST=1 (see `make
+// test-cluster`).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// genFlags keeps dataset generation small and, critically, identical on
+// every process: shard hosts regenerate the datasets from these flags, so
+// coordinator and hosts must agree on them exactly.
+var genFlags = []string{"-osm", "150000", "-tweets", "20000", "-stations", "100", "-seed", "1"}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// proc is one spawned stormd process.
+type proc struct {
+	cmd  *exec.Cmd
+	http string // HTTP base URL
+}
+
+func spawn(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s %v: %v", bin, args, err)
+	}
+	p := &proc{cmd: cmd}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	return p
+}
+
+func waitHealthz(t *testing.T, url string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s/healthz never answered 200 within %v", url, timeout)
+}
+
+// shardInfo mirrors server.ShardInfo (decoded from coordinator /shards).
+type shardInfo struct {
+	Dataset    string `json:"dataset"`
+	Remote     bool   `json:"remote"`
+	ShardsDown int    `json:"shards_down"`
+	Shards     []struct {
+		Shard int    `json:"shard"`
+		Addr  string `json:"addr"`
+		Down  bool   `json:"down"`
+	} `json:"shards"`
+}
+
+func getShards(t *testing.T, base string) []shardInfo {
+	t.Helper()
+	resp, err := http.Get(base + "/shards")
+	if err != nil {
+		t.Fatalf("GET /shards: %v", err)
+	}
+	defer resp.Body.Close()
+	var infos []shardInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatalf("decoding /shards: %v", err)
+	}
+	return infos
+}
+
+// snapshotLine is the subset of the NDJSON snapshot schema the smoke test
+// asserts on.
+type snapshotLine struct {
+	Done       bool    `json:"done"`
+	Exact      bool    `json:"exact"`
+	Degraded   bool    `json:"degraded"`
+	Recovered  bool    `json:"recovered"`
+	ShardsLost int     `json:"shards_lost"`
+	Population int     `json:"population"`
+	Samples    int     `json:"samples"`
+	Value      float64 `json:"value"`
+}
+
+// estimate POSTs the statement and returns the final snapshot; when
+// midStream is non-nil it runs after the first NDJSON line, with the
+// stream still open.
+func estimate(t *testing.T, base, statement string, midStream func()) snapshotLine {
+	t.Helper()
+	body := fmt.Sprintf(`{"statement": %q}`, statement)
+	resp, err := http.Post(base+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query = %d", resp.StatusCode)
+	}
+	var last snapshotLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if first && midStream != nil {
+			midStream()
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading NDJSON stream: %v", err)
+	}
+	if !last.Done {
+		t.Fatalf("stream ended without a done snapshot: %+v", last)
+	}
+	return last
+}
+
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("STORM_CLUSTER_TEST") == "" {
+		t.Skip("set STORM_CLUSTER_TEST=1 to run the real-process cluster smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "stormd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building stormd: %v\n%s", err, out)
+	}
+
+	// Four shard hosts: wire RPC port + HTTP healthz port each.
+	const hosts = 4
+	wireAddrs := make([]string, hosts)
+	shardArgs := make([][]string, hosts)
+	shardProcs := make([]*proc, hosts)
+	for i := 0; i < hosts; i++ {
+		wireAddrs[i] = fmt.Sprintf("127.0.0.1:%d", freePort(t))
+		httpAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+		shardArgs[i] = append([]string{
+			"-role=shard", "-wire-addr", wireAddrs[i], "-addr", httpAddr,
+		}, genFlags...)
+		shardProcs[i] = spawn(t, bin, shardArgs[i]...)
+		shardProcs[i].http = "http://" + httpAddr
+	}
+	for _, p := range shardProcs {
+		waitHealthz(t, p.http, 60*time.Second)
+	}
+
+	// Coordinator: registration blocks on remote shard builds, so give
+	// the health check a generous deadline.
+	coordAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	coord := spawn(t, bin, append([]string{
+		"-role=coordinator", "-shards", strings.Join(wireAddrs, ","),
+		"-addr", coordAddr, "-no-pprof",
+	}, genFlags...)...)
+	coord.http = "http://" + coordAddr
+	waitHealthz(t, coord.http, 180*time.Second)
+
+	// Placement sanity: every dataset runs remote with 4 healthy shards.
+	infos := getShards(t, coord.http)
+	if len(infos) != 3 {
+		t.Fatalf("/shards lists %d datasets, want 3", len(infos))
+	}
+	for _, info := range infos {
+		if !info.Remote || info.ShardsDown != 0 || len(info.Shards) != 4 {
+			t.Fatalf("unhealthy cluster before faults: %+v", info)
+		}
+	}
+
+	// Healthy baseline: exhaustive exact AVG over the whole space.
+	const stmt = "ESTIMATE AVG(altitude) FROM osm WHERE REGION(-180,-90,180,90) WITH ERROR 0.0001%"
+	healthy := estimate(t, coord.http, stmt, nil)
+	if !healthy.Exact || healthy.Degraded || healthy.Population == 0 {
+		t.Fatalf("healthy baseline: %+v", healthy)
+	}
+
+	// Find a host serving osm shards and kill it mid-stream: the open
+	// query must lose its shards, degrade onto the survivors, and still
+	// complete.
+	var victim *proc
+	var victimIdx int
+	for _, info := range infos {
+		if info.Dataset != "osm" {
+			continue
+		}
+		for i, addr := range wireAddrs {
+			if addr == info.Shards[0].Addr {
+				victim, victimIdx = shardProcs[i], i
+			}
+		}
+	}
+	if victim == nil {
+		t.Fatal("no spawned host serves osm shard 0")
+	}
+	degraded := estimate(t, coord.http, stmt, func() {
+		victim.cmd.Process.Kill()
+		victim.cmd.Wait()
+	})
+	if !degraded.Degraded || degraded.ShardsLost == 0 {
+		t.Fatalf("mid-stream host kill not reflected: %+v", degraded)
+	}
+	if degraded.Population >= healthy.Population {
+		t.Fatalf("degraded population %d not shrunk from %d", degraded.Population, healthy.Population)
+	}
+
+	// The coordinator's /shards view marks the dead host's shards down.
+	down := 0
+	for _, info := range getShards(t, coord.http) {
+		down += info.ShardsDown
+	}
+	if down == 0 {
+		t.Fatal("/shards reports no shards down after host kill")
+	}
+
+	// Restart the host on the same addresses (fresh empty process), wait
+	// for the coordinator's probes to re-admit its shards, and check the
+	// next query heals: the restarted host rebuilds its shards over the
+	// wire and the full population comes back.
+	restarted := spawn(t, bin, shardArgs[victimIdx]...)
+	restarted.http = shardProcs[victimIdx].http
+	waitHealthz(t, restarted.http, 60*time.Second)
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		down = 0
+		for _, info := range getShards(t, coord.http) {
+			down += info.ShardsDown
+		}
+		if down == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d shards still down after host restart", down)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	recovered := estimate(t, coord.http, stmt, nil)
+	if recovered.Degraded || !recovered.Exact {
+		t.Fatalf("post-restart query still degraded: %+v", recovered)
+	}
+	if recovered.Population != healthy.Population {
+		t.Fatalf("recovered population = %d, want the healthy %d", recovered.Population, healthy.Population)
+	}
+	// Both runs are exact over the same records; only the accumulation
+	// order differs, so the means agree to float tolerance.
+	if math.Abs(recovered.Value-healthy.Value) > 1e-6 {
+		t.Fatalf("recovered exact AVG = %v, want the healthy %v", recovered.Value, healthy.Value)
+	}
+}

@@ -11,24 +11,42 @@
 // Observability (see DESIGN.md "Observability"):
 //
 //	curl localhost:8080/metrics              engine + server metrics (expvar JSON)
+//	curl localhost:8080/healthz              liveness probe (every role)
 //	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
 //	curl localhost:8080/debug/pprof/         pprof index
 //
 // -no-metrics disables metric collection; -no-pprof leaves the profiling
 // endpoints unmounted (for exposed deployments).
 //
+// Cluster mode (see DESIGN.md §4.4): shards can run as real processes.
+// A shard host serves its shards over TCP and a coordinator samples
+// through them:
+//
+//	stormd -role=shard -wire-addr :9090 -addr :8090
+//	stormd -role=shard -wire-addr :9091 -addr :8091
+//	stormd -role=coordinator -shards localhost:9090,localhost:9091
+//
+// Shard hosts regenerate the demo datasets from the same generator flags
+// (-seed, -osm, -tweets, -stations), so both sides hold identical rows
+// and only sample batches ever cross the wire. The coordinator's /shards
+// endpoint reports per-shard placement and liveness; /healthz answers on
+// every role. An integer -shards value instead builds the simulated
+// in-process cluster:
+//
+//	stormd -shards 8
+//
 // Fault tolerance (see DESIGN.md §4.3 and the README operator handbook):
 //
 //	stormd -shards 8 -fault-plan '2:crash-after=40;5:crash-after=80'
 //	stormd -shards 8 -fault-plan '2:crash-after=40,recover-after=6'
 //
-// -shards registers the demo datasets on a simulated shard cluster;
 // -fault-plan injects deterministic shard faults (latency spikes,
-// timeouts, transient errors, crashes) whose effects surface as
-// storm.distr.faults.* on /metrics and as "degraded": true in NDJSON
-// query streams. A crash with recover-after=N rejoins after N
-// coordinator observations of the down shard: in-flight queries
-// re-admit it, restore the full effective population, and stamp
+// timeouts, transient errors, crashes) at the coordinator's transport
+// layer — the same plan drives simulated and remote clusters — whose
+// effects surface as storm.distr.faults.* on /metrics and as
+// "degraded": true in NDJSON query streams. A crash with recover-after=N
+// rejoins after N coordinator observations of the down shard: in-flight
+// queries re-admit it, restore the full effective population, and stamp
 // "recovered": true instead of degraded. While a shard stays down,
 // degraded AVG/SUM snapshots also carry worst-case lost_mass_low/high
 // bounds on the full-population answer. -max-streams caps concurrent
@@ -36,22 +54,28 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 
 	"storm/internal/data"
 	"storm/internal/distr"
 	"storm/internal/engine"
 	"storm/internal/gen"
 	"storm/internal/server"
+	"storm/internal/wire"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	role := flag.String("role", "", "process role: empty/'coordinator' serves queries, 'shard' serves shards over TCP on -wire-addr")
+	wireAddr := flag.String("wire-addr", ":9090", "shard RPC listen address (-role=shard)")
 	osmN := flag.Int("osm", 500_000, "OSM-like records")
 	tweetN := flag.Int("tweets", 300_000, "tweet-like records")
 	stations := flag.Int("stations", 2_000, "weather stations")
@@ -59,32 +83,53 @@ func main() {
 	pool := flag.Int("pool", 0, "simulated buffer pool pages (0 disables I/O simulation)")
 	noMetrics := flag.Bool("no-metrics", false, "disable metric collection and /metrics")
 	noPprof := flag.Bool("no-pprof", false, "do not mount /debug/pprof/")
-	shards := flag.Int("shards", 0, "simulated shard servers per dataset (0 = single node)")
+	shardsFlag := flag.String("shards", "", "shard cluster: an integer builds a simulated in-process cluster, a comma-separated host:port list samples through remote -role=shard processes (empty = single node)")
 	faultSpec := flag.String("fault-plan", "", "shard fault plan, e.g. '1:crash-after=40,recover-after=6;*:latency-p=0.05,latency=2ms' (requires -shards)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 	maxStreams := flag.Int("max-streams", 0, "max concurrent NDJSON query streams; excess shed with 429 (0 = unlimited)")
 	flag.Parse()
+
+	genDatasets := func() []*data.Dataset {
+		fmt.Fprintln(os.Stderr, "stormd: generating demo datasets...")
+		tweets, _ := gen.Tweets(gen.TweetsConfig{N: *tweetN, Seed: *seed, Snowstorm: true})
+		return []*data.Dataset{
+			gen.OSM(gen.OSMConfig{N: *osmN, Seed: *seed}),
+			tweets,
+			gen.Stations(gen.StationsConfig{Stations: *stations, ReadingsPerStation: 48, Seed: *seed, ColdSnap: true}),
+		}
+	}
+
+	if *role == "shard" {
+		runShard(*addr, *wireAddr, genDatasets())
+		return
+	}
+	if *role != "" && *role != "coordinator" {
+		log.Fatalf("stormd: unknown -role %q (want 'shard' or 'coordinator')", *role)
+	}
+
+	simShards, shardAddrs, err := parseShards(*shardsFlag)
+	if err != nil {
+		log.Fatalf("stormd: %v", err)
+	}
+	if *role == "coordinator" && len(shardAddrs) == 0 {
+		log.Fatal("stormd: -role=coordinator needs -shards=host:port,… naming the shard processes")
+	}
 
 	faults, err := distr.ParseFaultPlan(*faultSpec)
 	if err != nil {
 		log.Fatalf("stormd: %v", err)
 	}
 	if faults != nil {
-		if *shards == 0 {
-			log.Fatal("stormd: -fault-plan requires -shards > 0")
+		if simShards == 0 && len(shardAddrs) == 0 {
+			log.Fatal("stormd: -fault-plan requires -shards")
 		}
 		faults.Seed = *faultSeed
 	}
 
 	eng := engine.New(engine.Config{Seed: *seed, BufferPoolPages: *pool, NoMetrics: *noMetrics})
-	fmt.Fprintln(os.Stderr, "stormd: generating demo datasets...")
-	tweets, _ := gen.Tweets(gen.TweetsConfig{N: *tweetN, Seed: *seed, Snowstorm: true})
-	for _, ds := range []*data.Dataset{
-		gen.OSM(gen.OSMConfig{N: *osmN, Seed: *seed}),
-		tweets,
-		gen.Stations(gen.StationsConfig{Stations: *stations, ReadingsPerStation: 48, Seed: *seed, ColdSnap: true}),
-	} {
-		if _, err := eng.Register(ds, engine.IndexOptions{LSTree: true, Shards: *shards, Faults: faults}); err != nil {
+	for _, ds := range genDatasets() {
+		opts := engine.IndexOptions{LSTree: true, Shards: simShards, ShardAddrs: shardAddrs, Faults: faults}
+		if _, err := eng.Register(ds, opts); err != nil {
 			log.Fatalf("stormd: registering %s: %v", ds.Name(), err)
 		}
 	}
@@ -105,6 +150,61 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "stormd: listening on %s\n", *addr)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseShards interprets the -shards flag: empty means single node, an
+// integer means that many simulated in-process shards, anything else is a
+// comma-separated list of remote shard-host addresses.
+func parseShards(s string) (sim int, addrs []string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil, nil
+	}
+	if n, convErr := strconv.Atoi(s); convErr == nil {
+		if n < 0 {
+			return 0, nil, fmt.Errorf("-shards %d out of range", n)
+		}
+		return n, nil, nil
+	}
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return 0, nil, fmt.Errorf("-shards %q has an empty host entry", s)
+		}
+		addrs = append(addrs, a)
+	}
+	return 0, addrs, nil
+}
+
+// runShard serves the demo datasets' shards over the wire protocol plus a
+// minimal HTTP surface (/healthz) for liveness probes. Which shards this
+// host materializes is decided lazily by the coordinators' Build requests.
+func runShard(addr, wireAddr string, datasets []*data.Dataset) {
+	host := distr.NewHost()
+	for _, ds := range datasets {
+		host.AddDataset(ds)
+	}
+	srv, err := wire.NewServer(wireAddr, host)
+	if err != nil {
+		log.Fatalf("stormd: shard RPC listen: %v", err)
+	}
+	defer srv.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":   "ok",
+			"role":     "shard",
+			"datasets": len(datasets),
+			"shards":   host.Shards(),
+		})
+	})
+
+	fmt.Fprintf(os.Stderr, "stormd: shard host serving RPC on %s, HTTP on %s\n", srv.Addr(), addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,341 @@
+// The shard-server side of the RPC boundary: shardBackend owns one
+// shard's index, summaries and open sample streams, and loopbackClient is
+// the in-process ShardClient over it. The same backend serves remote
+// coordinators through Host (host.go), so shard behavior is identical
+// whichever transport carries the requests.
+package distr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/hilbert"
+	"storm/internal/iosim"
+	"storm/internal/rstree"
+	"storm/internal/sampling"
+	"storm/internal/stats"
+)
+
+// partition splits the dataset into contiguous Hilbert ranges — one per
+// shard, spatially coherent so selective queries touch few shards. The
+// result is fully deterministic in the dataset contents and shard count
+// (the sort is over totally-ordered keys with index tie-breaks), so a
+// coordinator and a remote shard host partitioning the same dataset agree
+// on every shard's contents without shipping them.
+func partition(ds *data.Dataset, shards int) (parts [][]data.Entry, bounds geo.Rect, err error) {
+	entries := ds.Entries()
+	bounds = ds.Bounds()
+	if bounds.IsEmpty() {
+		bounds = geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1, 1, 1})
+	}
+	curve := hilbert.MustNew(geo.Dims, 16)
+	quant, err := hilbert.NewQuantizer(curve, bounds.Min[:], bounds.Max[:])
+	if err != nil {
+		return nil, geo.Rect{}, fmt.Errorf("distr: %w", err)
+	}
+	keys := make([]uint64, len(entries))
+	for i, e := range entries {
+		keys[i] = quant.Value(e.Pos[0], e.Pos[1], e.Pos[2])
+	}
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	parts = make([][]data.Entry, shards)
+	per := (len(entries) + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if lo > len(entries) {
+			lo = len(entries)
+		}
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		part := make([]data.Entry, 0, hi-lo)
+		for _, idx := range order[lo:hi] {
+			part = append(part, entries[idx])
+		}
+		parts[s] = part
+	}
+	return parts, bounds, nil
+}
+
+// buildShard materializes one shard from its partition: a local RS-tree
+// (seeded cfg.Seed + id*7919, the derivation both the in-process cluster
+// and remote shard hosts use), an optional simulated device, and the
+// per-attribute summaries behind lost-mass bounds.
+func buildShard(ds *data.Dataset, part []data.Entry, id int, bounds geo.Rect, cfg Config) (*Shard, error) {
+	var dev *iosim.Device
+	var acct iosim.Accountant = iosim.Discard
+	if cfg.BufferPoolPages > 0 {
+		dev = iosim.NewDevice(cfg.BufferPoolPages, iosim.DefaultCostModel())
+		acct = dev
+	}
+	idx, err := rstree.Build(part, rstree.Config{
+		Fanout: cfg.Fanout,
+		Device: acct,
+		Bounds: bounds,
+		Seed:   cfg.Seed + int64(id)*7919,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distr: building shard %d: %w", id, err)
+	}
+	return &Shard{ID: id, index: idx, device: dev, count: len(part), summaries: buildSummaries(ds, part)}, nil
+}
+
+// backendStream is one open sample stream on a shard. Each stream has a
+// single consumer (the coordinator query that opened it), so its scratch
+// buffer for wire fetches is reused across rounds without copying.
+type backendStream struct {
+	mu sync.Mutex
+	sp *rstree.Sampler
+	// exclude filters out record IDs the coordinator already holds (set
+	// only on a reopen after a shard restart); filtering a uniform
+	// without-replacement stream leaves the complement uniform WOR.
+	exclude map[data.ID]struct{}
+	// scratch backs wire-transport fetch responses (see Host).
+	scratch []data.Entry
+}
+
+// fetch draws up to n samples into dst, skipping excluded IDs. Caller
+// holds the stream lock and the backend's structure read lock.
+func (st *backendStream) fetch(dst []data.Entry, n int) int {
+	if len(st.exclude) == 0 {
+		return st.sp.NextBatch(dst[:n], n)
+	}
+	got := 0
+	for got < n {
+		k := st.sp.NextBatch(dst[got:n], n-got)
+		if k == 0 {
+			break
+		}
+		w := got
+		for _, e := range dst[got : got+k] {
+			if _, ex := st.exclude[e.ID]; !ex {
+				dst[w] = e
+				w++
+			}
+		}
+		got = w
+	}
+	return got
+}
+
+// shardBackend is one shard server's request-handling state: the shard
+// itself, a structure lock replacing the old cluster-wide one (each shard
+// is an independent server; the documented contract already allows a
+// long-lived sampler to mix pre- and post-update state across batches),
+// and the table of open sample streams.
+type shardBackend struct {
+	shard *Shard
+	ds    *data.Dataset
+	// mu guards the shard's index, count and summaries: stream fetches
+	// and counts hold the read side, insert/delete the write side.
+	mu sync.RWMutex
+	// smu guards the stream table only (never held across index work).
+	smu     sync.Mutex
+	streams map[uint64]*backendStream
+}
+
+func newShardBackend(sh *Shard, ds *data.Dataset) *shardBackend {
+	return &shardBackend{shard: sh, ds: ds, streams: make(map[uint64]*backendStream)}
+}
+
+func (b *shardBackend) count(q geo.Rect) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.shard.index.Count(q)
+}
+
+// open creates sample stream id over q. The count-then-create sequence
+// and the stats.NewRNG(seed) sampler construction are exactly what the
+// pre-RPC coordinator did inline, so loopback streams are byte-identical.
+// Excluded IDs that still match q are subtracted from the returned count;
+// an excluded record deleted since it was emitted would make that
+// subtraction overshoot by one, which only ends the stream early — the
+// coordinator's defensive repair absorbs it.
+func (b *shardBackend) open(stream uint64, q geo.Rect, seed int64, exclude []data.ID) int {
+	b.mu.RLock()
+	n := b.shard.index.Count(q)
+	var exmap map[data.ID]struct{}
+	if len(exclude) > 0 {
+		exmap = make(map[data.ID]struct{}, len(exclude))
+		for _, id := range exclude {
+			if _, dup := exmap[id]; dup {
+				continue
+			}
+			exmap[id] = struct{}{}
+			if int(id) < b.ds.Len() && q.Contains(b.ds.Pos(id)) {
+				n--
+			}
+		}
+	}
+	var sp *rstree.Sampler
+	if n > 0 {
+		sp = b.shard.index.Sampler(q, sampling.WithoutReplacement, stats.NewRNG(seed))
+	}
+	b.mu.RUnlock()
+	if n < 0 {
+		n = 0
+	}
+	if sp == nil {
+		return n
+	}
+	b.smu.Lock()
+	b.streams[stream] = &backendStream{sp: sp, exclude: exmap}
+	b.smu.Unlock()
+	return n
+}
+
+func (b *shardBackend) lookup(stream uint64) *backendStream {
+	b.smu.Lock()
+	defer b.smu.Unlock()
+	return b.streams[stream]
+}
+
+// fetch draws up to n samples from the stream into dst[:n].
+func (b *shardBackend) fetch(stream uint64, dst []data.Entry, n int) (int, error) {
+	st := b.lookup(stream)
+	if st == nil {
+		return 0, ErrUnknownStream
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return st.fetch(dst, n), nil
+}
+
+// fetchScratch is fetch into the stream's reusable scratch buffer — the
+// wire-transport path, where the response is serialized before the
+// stream's single consumer can issue another fetch.
+func (b *shardBackend) fetchScratch(stream uint64, n int) ([]data.Entry, error) {
+	st := b.lookup(stream)
+	if st == nil {
+		return nil, ErrUnknownStream
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cap(st.scratch) < n {
+		st.scratch = make([]data.Entry, n)
+	}
+	dst := st.scratch[:n]
+	b.mu.RLock()
+	got := st.fetch(dst, n)
+	b.mu.RUnlock()
+	return dst[:got], nil
+}
+
+func (b *shardBackend) closeStream(stream uint64) {
+	b.smu.Lock()
+	delete(b.streams, stream)
+	b.smu.Unlock()
+}
+
+func (b *shardBackend) openStreams() int {
+	b.smu.Lock()
+	defer b.smu.Unlock()
+	return len(b.streams)
+}
+
+func (b *shardBackend) insert(e data.Entry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.shard.index.Insert(e)
+	b.shard.count++
+	summaryAdd(b.ds, b.shard, e)
+}
+
+func (b *shardBackend) delete(e data.Entry) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.shard.index.Delete(e) {
+		return false
+	}
+	b.shard.count--
+	summaryRemove(b.ds, b.shard, e)
+	return true
+}
+
+func (b *shardBackend) bounds() geo.Rect {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.shard.index.Tree().Bounds()
+}
+
+func (b *shardBackend) length() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.shard.count
+}
+
+func (b *shardBackend) summary(attr string) (AttrSummary, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.shard.summaries[attr]
+	if !ok {
+		return AttrSummary{}, false
+	}
+	return *a, true
+}
+
+// loopbackClient is the in-process ShardClient: direct dispatch to the
+// backend with no serialization, no deadline and no traffic — the
+// loopback transport, byte-identical in behavior, seeds and cost to the
+// pre-RPC direct calls (the cluster keeps its simulated NetStats charges
+// on this path; see Cluster.charge).
+type loopbackClient struct {
+	b *shardBackend
+}
+
+// Count implements ShardClient.
+func (c *loopbackClient) Count(q geo.Rect) (int, error) { return c.b.count(q), nil }
+
+// Open implements ShardClient.
+func (c *loopbackClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID) (int, error) {
+	return c.b.open(stream, q, seed, exclude), nil
+}
+
+// Fetch implements ShardClient.
+func (c *loopbackClient) Fetch(stream uint64, dst []data.Entry, n int) (int, error) {
+	return c.b.fetch(stream, dst, n)
+}
+
+// CloseStream implements ShardClient.
+func (c *loopbackClient) CloseStream(stream uint64) error {
+	c.b.closeStream(stream)
+	return nil
+}
+
+// Insert implements ShardClient.
+func (c *loopbackClient) Insert(e data.Entry) error {
+	c.b.insert(e)
+	return nil
+}
+
+// Delete implements ShardClient.
+func (c *loopbackClient) Delete(e data.Entry) (bool, error) { return c.b.delete(e), nil }
+
+// Bounds implements ShardClient.
+func (c *loopbackClient) Bounds() (geo.Rect, error) { return c.b.bounds(), nil }
+
+// Len implements ShardClient.
+func (c *loopbackClient) Len() (int, error) { return c.b.length(), nil }
+
+// Summary implements ShardClient.
+func (c *loopbackClient) Summary(attr string) (AttrSummary, bool, error) {
+	s, ok := c.b.summary(attr)
+	return s, ok, nil
+}
+
+// Addr implements ShardClient.
+func (c *loopbackClient) Addr() string { return "loopback" }
+
+// Close implements ShardClient.
+func (c *loopbackClient) Close() error { return nil }

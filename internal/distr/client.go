@@ -1,0 +1,100 @@
+// The coordinator↔shard RPC boundary. Everything the coordinator does to
+// a shard — count rounds, the batched sample protocol, update mirroring,
+// the metadata reads behind routing and lost-mass bounds — goes through
+// the ShardClient interface, so the same Cluster/Sampler code runs over
+// the in-process loopback (byte-identical to the pre-RPC direct calls),
+// over TCP to real shard processes, and under the fault-injection
+// decorator that the PR 4–5 robustness suites drive.
+package distr
+
+import (
+	"errors"
+	"fmt"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+)
+
+// ShardClient is the coordinator's view of one shard server. Every round
+// shape the cluster speaks is here:
+//
+//   - Count is the count round (|P_s ∩ q| for fan-out totals and sampler
+//     initialization).
+//   - Open/Fetch/CloseStream are the batched sample protocol: Open
+//     creates a per-query without-replacement stream (returning its
+//     matching count), Fetch pulls a demand-sized batch, CloseStream
+//     releases it.
+//   - Insert/Delete mirror updates into the shard's index.
+//   - Bounds and Len serve insert routing and diagnostics; Summary serves
+//     the per-attribute digests behind degraded lost-mass bounds.
+//
+// Implementations: loopbackClient (in-process, backend.go), wireClient
+// (TCP, remote.go), faultClient (fault-injection decorator, fault.go).
+// All methods must be safe for concurrent use.
+type ShardClient interface {
+	// Count returns the shard's matching count for q.
+	Count(q geo.Rect) (int, error)
+	// Open creates sample stream id over q, seeded with seed, never
+	// emitting the excluded IDs; it returns the stream's matching count.
+	// A zero count opens nothing.
+	Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID) (int, error)
+	// Fetch pulls up to n samples from an open stream into dst[:n].
+	Fetch(stream uint64, dst []data.Entry, n int) (int, error)
+	// CloseStream releases an open stream.
+	CloseStream(stream uint64) error
+	// Insert adds a record to the shard's index (the record's attributes
+	// are resolved from the coordinator's dataset).
+	Insert(e data.Entry) error
+	// Delete removes a record, reporting whether the shard held it.
+	Delete(e data.Entry) (bool, error)
+	// Bounds returns the shard tree's bounding box (insert routing).
+	Bounds() (geo.Rect, error)
+	// Len returns the shard's record count.
+	Len() (int, error)
+	// Summary returns the shard's digest of a numeric attribute; found is
+	// false when the shard has no summary for it.
+	Summary(attr string) (s AttrSummary, found bool, err error)
+	// Addr names the shard's endpoint ("loopback" in-process).
+	Addr() string
+	// Close releases client resources.
+	Close() error
+}
+
+// liveChecker is the optional liveness side of a ShardClient. Live
+// reports whether the shard is currently down; each call is one
+// coordinator observation (it advances an injected crash's recovery
+// clock, or rate-limits a real TCP probe), and rejoined is true exactly
+// once per recovery — on the observation that brought the shard back.
+// Clients without liveness (the plain loopback) are simply never down.
+type liveChecker interface {
+	Live() (down, rejoined bool)
+}
+
+// Fetch-path error taxonomy. The coordinator's retry loop (see
+// Sampler.clientFetch) keys off these: shardDownError writes the shard
+// off (recoverable crashes are retried as probes first), ErrUnknownStream
+// triggers a stream reopen with an exclude list, everything else is
+// retried with backoff up to Config.MaxRetries.
+var (
+	// ErrFetchTimeout reports a fetch that exceeded the per-fetch
+	// deadline (injected, or a real transport deadline).
+	ErrFetchTimeout = errors.New("distr: fetch timed out")
+	// ErrTransient reports a retryable shard-side failure.
+	ErrTransient = errors.New("distr: transient shard error")
+	// ErrUnknownStream reports a fetch against a stream the shard no
+	// longer has — the signature of a shard process restart.
+	ErrUnknownStream = errors.New("distr: unknown sample stream")
+)
+
+// shardDownError reports a shard that is down. Recoverable marks a shard
+// that may come back (an injected crash with a recover-after schedule, or
+// any real TCP outage — a process can always be restarted); the
+// coordinator then keeps the query's stream stashed for re-admission
+// instead of writing the loss off permanently.
+type shardDownError struct {
+	Recoverable bool
+}
+
+func (e *shardDownError) Error() string {
+	return fmt.Sprintf("distr: shard down (recoverable=%v)", e.Recoverable)
+}

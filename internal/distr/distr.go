@@ -1,47 +1,53 @@
 // Package distr implements STORM's distributed deployment: the paper runs
 // on "a cluster of commodity machines" with a distributed Hilbert R-tree.
-// Here a Cluster is a set of simulated shard servers, each holding a
-// contiguous Hilbert range of the data with a local RS-tree, and a
-// coordinator that answers spatial online sampling queries across shards.
+// Here a Cluster is a coordinator that answers spatial online sampling
+// queries across a set of shard servers, each holding a contiguous Hilbert
+// range of the data with a local RS-tree.
 //
 // Correctness rests on the same disjointness argument as the RS-tree's
 // canonical parts: shards partition P, so drawing the next sample from
 // shard s with probability proportional to s's remaining matching count
 // yields a uniform without-replacement stream over P ∩ Q.
 //
-// The simulation charges one network message per Count round and per
-// sample batch, so the benchmarks can report message counts and per-shard
-// balance alongside sample throughput.
+// The coordinator reaches shards only through the ShardClient interface
+// (client.go). In-process clusters (Build) use the loopback client —
+// direct dispatch, byte-identical in behavior and seeds to a coordinator
+// holding the shards itself — and charge simulated network traffic (one
+// message per request and response) so benchmarks can report message
+// counts and per-shard balance. Remote clusters (BuildRemote) speak the
+// wire protocol over TCP to real shard processes and report measured
+// traffic instead.
 //
 // # Concurrency
 //
 // The coordinator fans shard work out in parallel: Count and a Sampler's
 // initialization round contact every shard concurrently, as a real
 // coordinator would. Any number of queries (Count, Samplers, EstimateAvg,
-// ParallelPartialAvg) may run concurrently; Insert and Delete take the
-// cluster's write lock and so serialize against each in-flight shard
-// round. A long-lived Sampler that straddles an update may mix pre- and
-// post-update state across batches (each batch is internally consistent);
-// quiesce updates around a sampler when an exactly-uniform stream over a
-// fixed population is required.
+// ParallelPartialAvg) may run concurrently; Insert and Delete take each
+// shard's write lock and so serialize against in-flight rounds on that
+// shard only. A long-lived Sampler that straddles an update may mix pre-
+// and post-update state across batches (each batch is internally
+// consistent); quiesce updates around a sampler when an exactly-uniform
+// stream over a fixed population is required.
 package distr
 
 import (
+	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"storm/internal/data"
 	"storm/internal/estimator"
 	"storm/internal/geo"
-	"storm/internal/hilbert"
 	"storm/internal/iosim"
 	"storm/internal/obs"
 	"storm/internal/rstree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
+	"storm/internal/wire"
 )
 
 // Config controls cluster shape.
@@ -64,10 +70,13 @@ type Config struct {
 	Obs *obs.Registry
 	// Faults installs a deterministic fault-injection plan (see
 	// FaultPlan); nil leaves the cluster healthy and the fetch path
-	// byte-identical to a plan-free build.
+	// byte-identical to a plan-free build. Faults are injected at the
+	// ShardClient boundary (a transport decorator), so the same plan
+	// drives loopback and TCP clusters identically.
 	Faults *FaultPlan
 	// FetchTimeout is the coordinator's per-fetch deadline: an injected
-	// latency spike at or beyond it surfaces as a timeout. 0 means 50ms.
+	// latency spike at or beyond it surfaces as a timeout, and the TCP
+	// transport enforces it as the request deadline. 0 means 50ms.
 	FetchTimeout time.Duration
 	// MaxRetries bounds how many times the coordinator retries a fetch
 	// that failed transiently or timed out before abandoning the shard
@@ -78,13 +87,44 @@ type Config struct {
 	RetryBackoff time.Duration
 }
 
-// NetStats counts simulated network traffic.
+// normalize validates the config and fills in defaults, in place.
+func (cfg *Config) normalize() error {
+	if cfg.Shards < 1 {
+		return fmt.Errorf("distr: need at least one shard")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.BatchSize < 1 {
+		return fmt.Errorf("distr: batch size %d invalid", cfg.BatchSize)
+	}
+	if cfg.FetchTimeout == 0 {
+		cfg.FetchTimeout = 50 * time.Millisecond
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 200 * time.Microsecond
+	} else if cfg.RetryBackoff < 0 {
+		cfg.RetryBackoff = 0
+	}
+	return nil
+}
+
+// NetStats counts network traffic: simulated charges on an in-process
+// cluster, measured frames and payload bytes on a TCP one (byte counters
+// stay zero on the loopback, which moves no bytes).
 type NetStats struct {
 	Messages     uint64
 	SamplesMoved uint64
+	BytesSent    uint64
+	BytesRecv    uint64
 }
 
-// Shard is one simulated shard server.
+// Shard is one in-process shard server.
 type Shard struct {
 	ID     int
 	index  *rstree.Index
@@ -92,7 +132,7 @@ type Shard struct {
 	count  int
 	// summaries digests each numeric attribute of the shard's records
 	// (count/sum/min/max) for coordinator-side lost-mass bounds; guarded
-	// by the cluster's structMu like the index (see summary.go).
+	// by the owning backend's lock like the index (see summary.go).
 	summaries map[string]*AttrSummary
 }
 
@@ -105,19 +145,44 @@ func (s *Shard) Index() *rstree.Index { return s.index }
 // Device returns the shard's simulated block device (nil when disabled).
 func (s *Shard) Device() *iosim.Device { return s.device }
 
-// Cluster is a simulated distributed STORM deployment.
+// Cluster is a distributed STORM deployment: a coordinator plus one
+// ShardClient per shard. Build wires the clients to in-process backends
+// over the loopback; BuildRemote (remote.go) wires them to shard
+// processes over TCP. All coordinator logic is transport-blind.
 type Cluster struct {
-	// mu guards the network counters and the seed sequence only.
-	mu sync.Mutex
-	// structMu guards the shard indexes: queries hold the read side while
-	// they touch shard trees, Insert/Delete take the write side.
-	structMu sync.RWMutex
-	cfg      Config
-	ds       *data.Dataset
+	// mu guards the simulated network counters, the remote baseline, and
+	// the seed sequence.
+	mu  sync.Mutex
+	cfg Config
+	ds  *data.Dataset
+	// clients is the coordinator's view of the shards, in shard order,
+	// with the fault decorator applied when a plan is installed; all
+	// query, update and metadata traffic goes through it.
+	clients []ShardClient
+	// raw is the same clients without fault decoration. The
+	// scatter/gather partial path uses it: shard-local work there models
+	// computation on the shard itself, not coordinator round trips, so
+	// injected fetch faults must not perturb it (or its RNG draws).
+	raw []ShardClient
+	// shards and backends hold the in-process shard servers; nil on a
+	// remote cluster, whose shards live in other processes.
 	shards   []*Shard
-	net      NetStats
-	rngSeq   int64
-	met      clusterMetrics
+	backends []*shardBackend
+	// remote marks a TCP cluster: simulated charges are off (Net reports
+	// measured transport traffic) and samplers keep per-shard emitted
+	// IDs so a restarted shard's stream can be reopened with an exclude
+	// list.
+	remote     bool
+	transports []*wire.TCPClient
+	netBase    NetStats
+	net        NetStats
+	// remoteSamples counts samples fetched over real transports
+	// (SamplesMoved has no wire-level counterpart to measure).
+	remoteSamples atomic.Uint64
+	// streamSeq allocates cluster-unique sample stream IDs.
+	streamSeq atomic.Uint64
+	rngSeq    int64
+	met       clusterMetrics
 	// faults holds the per-shard fault injectors (nil without a plan);
 	// ftot is the always-on fault accounting (see fault.go).
 	faults []*faultState
@@ -131,7 +196,7 @@ type clusterMetrics struct {
 	// sampler's initialization round, or a scatter/gather partial round.
 	fanoutMS *obs.Histogram
 	// fetchMS times individual shard sample fetches (one request/response
-	// round trip in the simulation).
+	// round trip).
 	fetchMS *obs.Histogram
 	// fetches counts shard sample-fetch messages issued by samplers.
 	fetches *obs.Counter
@@ -142,8 +207,8 @@ type clusterMetrics struct {
 // would expose only the most recently built cluster (a server registers
 // one cluster per sharded dataset); instead the storm.distr.* Funcs are
 // published once per registry and sum across its clusters at scrape time.
-// Entries are never removed — clusters live for the process in this
-// simulation — so a replaced cluster keeps contributing its final totals.
+// Entries are never removed — clusters live for the process — so a
+// replaced cluster keeps contributing its final totals.
 var registryClusters = struct {
 	sync.Mutex
 	m map[*obs.Registry][]*Cluster
@@ -176,24 +241,23 @@ func (c *Cluster) initMetrics() {
 	reg.PublishFunc("storm.distr.shards", func() any {
 		n := 0
 		for _, c := range clusters() {
-			n += len(c.shards)
+			n += len(c.clients)
 		}
 		return n
 	})
-	reg.PublishFunc("storm.distr.net.messages", func() any {
-		var n uint64
-		for _, c := range clusters() {
-			n += c.Net().Messages
+	netSum := func(read func(NetStats) uint64) func() any {
+		return func() any {
+			var n uint64
+			for _, c := range clusters() {
+				n += read(c.Net())
+			}
+			return n
 		}
-		return n
-	})
-	reg.PublishFunc("storm.distr.net.samples_moved", func() any {
-		var n uint64
-		for _, c := range clusters() {
-			n += c.Net().SamplesMoved
-		}
-		return n
-	})
+	}
+	reg.PublishFunc("storm.distr.net.messages", netSum(func(n NetStats) uint64 { return n.Messages }))
+	reg.PublishFunc("storm.distr.net.samples_moved", netSum(func(n NetStats) uint64 { return n.SamplesMoved }))
+	reg.PublishFunc("storm.distr.net.bytes_sent", netSum(func(n NetStats) uint64 { return n.BytesSent }))
+	reg.PublishFunc("storm.distr.net.bytes_recv", netSum(func(n NetStats) uint64 { return n.BytesRecv }))
 	// Fault totals are owned by each cluster's atomics (exact with or
 	// without a registry); the registry reads them at scrape time.
 	sum := func(read func(*faultTotals) uint64) func() any {
@@ -232,112 +296,111 @@ func observeMS(h *obs.Histogram, start time.Time) {
 	h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 }
 
-// Build partitions the dataset into contiguous Hilbert ranges and builds a
-// local RS-tree per shard. Hilbert partitioning keeps shards spatially
+// Build partitions the dataset into contiguous Hilbert ranges, builds a
+// local RS-tree per shard, and wires the coordinator to the shards over
+// the in-process loopback. Hilbert partitioning keeps shards spatially
 // coherent, so selective queries touch few shards — the distributed
 // Hilbert R-tree layout the paper describes.
 func Build(ds *data.Dataset, cfg Config) (*Cluster, error) {
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("distr: need at least one shard")
+	if err := cfg.normalize(); err != nil {
+		return nil, err
 	}
-	if cfg.BatchSize == 0 {
-		cfg.BatchSize = 32
-	}
-	if cfg.BatchSize < 1 {
-		return nil, fmt.Errorf("distr: batch size %d invalid", cfg.BatchSize)
-	}
-	if cfg.FetchTimeout == 0 {
-		cfg.FetchTimeout = 50 * time.Millisecond
-	}
-	if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = 3
-	} else if cfg.MaxRetries < 0 {
-		cfg.MaxRetries = 0
-	}
-	if cfg.RetryBackoff == 0 {
-		cfg.RetryBackoff = 200 * time.Microsecond
-	} else if cfg.RetryBackoff < 0 {
-		cfg.RetryBackoff = 0
-	}
-	entries := ds.Entries()
-	bounds := ds.Bounds()
-	if bounds.IsEmpty() {
-		bounds = geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{1, 1, 1})
-	}
-	curve := hilbert.MustNew(geo.Dims, 16)
-	quant, err := hilbert.NewQuantizer(curve, bounds.Min[:], bounds.Max[:])
+	parts, bounds, err := partition(ds, cfg.Shards)
 	if err != nil {
-		return nil, fmt.Errorf("distr: %w", err)
+		return nil, err
 	}
-	keys := make([]uint64, len(entries))
-	for i, e := range entries {
-		keys[i] = quant.Value(e.Pos[0], e.Pos[1], e.Pos[2])
-	}
-	order := make([]int, len(entries))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
-
 	c := &Cluster{cfg: cfg, ds: ds}
-	per := (len(entries) + cfg.Shards - 1) / cfg.Shards
-	for s := 0; s < cfg.Shards; s++ {
-		lo := s * per
-		hi := lo + per
-		if lo > len(entries) {
-			lo = len(entries)
-		}
-		if hi > len(entries) {
-			hi = len(entries)
-		}
-		part := make([]data.Entry, 0, hi-lo)
-		for _, idx := range order[lo:hi] {
-			part = append(part, entries[idx])
-		}
-		var dev *iosim.Device
-		var acct iosim.Accountant = iosim.Discard
-		if cfg.BufferPoolPages > 0 {
-			dev = iosim.NewDevice(cfg.BufferPoolPages, iosim.DefaultCostModel())
-			acct = dev
-		}
-		idx, err := rstree.Build(part, rstree.Config{
-			Fanout: cfg.Fanout,
-			Device: acct,
-			Bounds: bounds,
-			Seed:   cfg.Seed + int64(s)*7919,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("distr: building shard %d: %w", s, err)
-		}
-		c.shards = append(c.shards, &Shard{ID: s, index: idx, device: dev, count: len(part), summaries: c.buildSummaries(part)})
-	}
 	c.faults = newFaultStates(cfg.Faults, cfg.Shards)
+	for s, part := range parts {
+		sh, err := buildShard(ds, part, s, bounds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b := newShardBackend(sh, ds)
+		c.shards = append(c.shards, sh)
+		c.backends = append(c.backends, b)
+		var cl ShardClient = &loopbackClient{b: b}
+		c.raw = append(c.raw, cl)
+		if c.faults != nil {
+			cl = &faultClient{ShardClient: cl, c: c, f: c.faults[s]}
+		}
+		c.clients = append(c.clients, cl)
+	}
 	c.initMetrics()
 	return c, nil
 }
 
-// Shards returns the shard servers.
+// Shards returns the in-process shard servers (nil on a remote cluster).
 func (c *Cluster) Shards() []*Shard { return c.shards }
 
-// Net returns a snapshot of network statistics.
+// NumShards returns how many shards the cluster has, local or remote.
+func (c *Cluster) NumShards() int { return len(c.clients) }
+
+// Remote reports whether the cluster's shards are remote processes.
+func (c *Cluster) Remote() bool { return c.remote }
+
+// transportTotals sums lifetime traffic across the TCP transports.
+// Caller holds c.mu.
+func (c *Cluster) transportTotals() NetStats {
+	var n NetStats
+	for _, t := range c.transports {
+		ct := t.Counts()
+		n.Messages += ct.MsgsSent + ct.MsgsRecv
+		n.BytesSent += ct.BytesSent
+		n.BytesRecv += ct.BytesRecv
+	}
+	n.SamplesMoved = c.remoteSamples.Load()
+	return n
+}
+
+// Net returns a snapshot of network statistics: the simulated charges on
+// an in-process cluster, the transports' measured frame and byte counts
+// (since the last ResetNet) on a remote one.
 func (c *Cluster) Net() NetStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.net
+	if !c.remote {
+		return c.net
+	}
+	t := c.transportTotals()
+	return NetStats{
+		Messages:     t.Messages - c.netBase.Messages,
+		SamplesMoved: t.SamplesMoved - c.netBase.SamplesMoved,
+		BytesSent:    t.BytesSent - c.netBase.BytesSent,
+		BytesRecv:    t.BytesRecv - c.netBase.BytesRecv,
+	}
 }
 
 // ResetNet zeroes the network counters.
 func (c *Cluster) ResetNet() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.remote {
+		c.netBase = c.transportTotals()
+		return
+	}
 	c.net = NetStats{}
 }
 
+// charge adds simulated network traffic. On a remote cluster it is a
+// no-op: the transports measure the real thing.
 func (c *Cluster) charge(messages, samples uint64) {
+	if c.remote {
+		return
+	}
 	c.mu.Lock()
 	c.net.Messages += messages
 	c.net.SamplesMoved += samples
 	c.mu.Unlock()
+}
+
+// chargeFetch accounts one successful sample fetch of got samples.
+func (c *Cluster) chargeFetch(got uint64) {
+	if c.remote {
+		c.remoteSamples.Add(got)
+		return
+	}
+	c.charge(2, got)
 }
 
 func (c *Cluster) nextSeed() int64 {
@@ -347,22 +410,38 @@ func (c *Cluster) nextSeed() int64 {
 	return c.cfg.Seed*101 + c.rngSeq
 }
 
-// Insert routes a new record to the shard owning its Hilbert range and
-// inserts it into that shard's RS-tree (one request/response message). The
-// record must already exist in the shared dataset (its ID addresses the
-// attribute columns).
+// Close releases the cluster's transports (a no-op for in-process
+// clusters, whose loopback clients hold no resources).
+func (c *Cluster) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, t := range c.transports {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Insert routes a new record to the shard whose tree bounds grow least —
+// with contiguous Hilbert partitions, the shard owning its neighborhood —
+// and mirrors it into that shard's RS-tree (one request/response
+// message). The record must already exist in the shared dataset (its ID
+// addresses the attribute columns).
 func (c *Cluster) Insert(e data.Entry) {
-	c.structMu.Lock()
-	defer c.structMu.Unlock()
-	// Route by spatial proximity of shard contents: the shard whose tree
-	// bounds grow least. With contiguous Hilbert partitions this sends
-	// the record to the shard owning its neighborhood.
 	best, bestGrow := -1, math.Inf(1)
-	for i, sh := range c.shards {
+	for i, cl := range c.clients {
 		if c.shardDown(i) {
 			continue
 		}
-		b := sh.index.Tree().Bounds()
+		b, err := cl.Bounds()
+		if err != nil {
+			continue
+		}
 		grow := b.Extend(geo.RectFromPoint(e.Pos)).Volume() - b.Volume()
 		if grow < bestGrow {
 			best, bestGrow = i, grow
@@ -371,25 +450,22 @@ func (c *Cluster) Insert(e data.Entry) {
 	if best < 0 {
 		return // every shard down: nowhere to route the record
 	}
-	c.shards[best].index.Insert(e)
-	c.shards[best].count++
-	c.summaryAdd(c.shards[best], e)
+	if err := c.clients[best].Insert(e); err != nil {
+		return
+	}
 	c.charge(2, 0)
 }
 
 // Delete removes a record from whichever shard holds it; returns false if
 // no shard does. Worst case it asks every shard (2 messages each).
 func (c *Cluster) Delete(e data.Entry) bool {
-	c.structMu.Lock()
-	defer c.structMu.Unlock()
-	for i, sh := range c.shards {
+	for i, cl := range c.clients {
 		if c.shardDown(i) {
 			continue
 		}
 		c.charge(2, 0)
-		if sh.index.Delete(e) {
-			sh.count--
-			c.summaryRemove(sh, e)
+		found, err := cl.Delete(e)
+		if err == nil && found {
 			return true
 		}
 	}
@@ -405,26 +481,26 @@ func (c *Cluster) Delete(e data.Entry) bool {
 func (c *Cluster) Count(q geo.Rect) int {
 	start := time.Now()
 	defer observeMS(c.met.fanoutMS, start)
-	c.structMu.RLock()
-	defer c.structMu.RUnlock()
-	counts := make([]int, len(c.shards))
+	counts := make([]int, len(c.clients))
 	var wg sync.WaitGroup
-	for i, s := range c.shards {
+	for i := range c.clients {
 		if c.shardDown(i) {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, s *Shard) {
+		go func(i int) {
 			defer wg.Done()
-			counts[i] = s.index.Count(q)
-		}(i, s)
+			if n, err := c.clients[i].Count(q); err == nil {
+				counts[i] = n
+			}
+		}(i)
 	}
 	wg.Wait()
 	total := 0
 	for _, n := range counts {
 		total += n
 	}
-	c.charge(2*uint64(len(c.shards)), 0)
+	c.charge(2*uint64(len(c.clients)), 0)
 	return total
 }
 
@@ -433,19 +509,29 @@ type Sampler struct {
 	cluster *Cluster
 	query   geo.Rect
 	rng     *stats.RNG
-	// per-shard state
-	samplers  []*rstree.Sampler
+	// per-shard state: the sample stream ID each shard serves this query
+	// under, whether that stream was opened, and the remaining matching
+	// count driving the draw distribution.
+	streams   []uint64
+	open      []bool
 	remaining []int
 	buffers   [][]data.Entry
 	// heads[i] is the read cursor into buffers[i]; entries before it have
 	// been emitted.
 	heads []int
-	total int
-	init  bool
+	// emitted, on remote clusters only, records each shard's emitted
+	// record IDs so a restarted shard's stream can be reopened with an
+	// exclude list (the fresh stream must not redeliver them). Loopback
+	// streams survive in the backend and never need reopening, so the
+	// in-process path skips the bookkeeping.
+	emitted [][]data.ID
+	total   int
+	init    bool
+	closed  bool
 	// degradation state: shards this query lost mid-stream (crashes or
 	// retry exhaustion) and the matching population that went with them.
-	// lost stashes each lost shard's stream so a crashed shard that comes
-	// back can be re-admitted exactly where it left off (see
+	// lost stashes each lost shard's unemitted count so a crashed shard
+	// that comes back can be re-admitted exactly where it left off (see
 	// maybeReadmit); readmits counts the re-admissions this query made.
 	lostShards int
 	lostPop    int
@@ -467,25 +553,33 @@ var _ sampling.Sampler = (*Sampler)(nil)
 // Name implements sampling.Sampler.
 func (s *Sampler) Name() string { return "distributed-rs-tree" }
 
-// initialize runs the coordinator's count round, contacting every shard in
-// parallel. Seeds are drawn serially up front so the stream is
-// deterministic in the cluster's seed sequence regardless of shard timing.
+// initialize runs the coordinator's count round, opening a sample stream
+// on every shard in parallel. Seeds are drawn serially up front so the
+// stream is deterministic in the cluster's seed sequence regardless of
+// shard timing.
 func (s *Sampler) initialize() {
 	start := time.Now()
 	s.init = true
 	cl := s.cluster
 	defer observeMS(cl.met.fanoutMS, start)
-	s.samplers = make([]*rstree.Sampler, len(cl.shards))
-	s.remaining = make([]int, len(cl.shards))
-	s.buffers = make([][]data.Entry, len(cl.shards))
-	s.heads = make([]int, len(cl.shards))
-	seeds := make([]int64, len(cl.shards))
+	n := len(cl.clients)
+	s.streams = make([]uint64, n)
+	s.open = make([]bool, n)
+	s.remaining = make([]int, n)
+	s.buffers = make([][]data.Entry, n)
+	s.heads = make([]int, n)
+	if cl.remote {
+		s.emitted = make([][]data.ID, n)
+	}
+	seeds := make([]int64, n)
 	for i := range seeds {
 		seeds[i] = cl.nextSeed()
 	}
-	cl.structMu.RLock()
+	for i := range s.streams {
+		s.streams[i] = cl.streamSeq.Add(1)
+	}
 	var wg sync.WaitGroup
-	for i, sh := range cl.shards {
+	for i := range cl.clients {
 		if cl.shardDown(i) {
 			// Already-crashed shards do not answer the count round: the
 			// query runs over the surviving population from the start
@@ -493,20 +587,23 @@ func (s *Sampler) initialize() {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, sh *Shard) {
+		go func(i int) {
 			defer wg.Done()
-			s.remaining[i] = sh.index.Count(s.query)
-			if s.remaining[i] > 0 {
-				s.samplers[i] = sh.index.Sampler(s.query, sampling.WithoutReplacement, stats.NewRNG(seeds[i]))
+			got, err := cl.clients[i].Open(s.streams[i], s.query, seeds[i], nil)
+			if err != nil {
+				// Unreachable at init: same as a pre-crashed shard — the
+				// query scopes itself to the shards that answered.
+				return
 			}
-		}(i, sh)
+			s.remaining[i] = got
+			s.open[i] = got > 0
+		}(i)
 	}
 	wg.Wait()
-	cl.structMu.RUnlock()
 	for _, rem := range s.remaining {
 		s.total += rem
 	}
-	cl.charge(2*uint64(len(cl.shards)), 0) // count round
+	cl.charge(2*uint64(n), 0) // count round
 }
 
 // buffered returns how many fetched-but-unemitted samples shard has.
@@ -520,6 +617,9 @@ func (s *Sampler) pop(shard int) data.Entry {
 	s.heads[shard]++
 	s.remaining[shard]--
 	s.total--
+	if s.emitted != nil {
+		s.emitted[shard] = append(s.emitted[shard], e.ID)
+	}
 	return e
 }
 
@@ -664,13 +764,10 @@ func (s *Sampler) batchRound(dst []data.Entry, k int) int {
 	return got
 }
 
-// fetchInto pulls up to n more samples from the shard into its buffer (one
-// request and one response message). It holds the cluster's read lock for
-// the fetch, so shard pulls serialize against Insert/Delete but run
-// concurrently with other queries' fetches.
+// fetchInto pulls up to n more samples from the shard's stream into its
+// buffer (one request and one response message).
 func (s *Sampler) fetchInto(shard, n int) {
-	sp := s.samplers[shard]
-	if sp == nil {
+	if !s.open[shard] {
 		return
 	}
 	if n > s.remaining[shard] {
@@ -686,8 +783,6 @@ func (s *Sampler) fetchInto(shard, n int) {
 	fetchStart := time.Now()
 	defer observeMS(s.cluster.met.fetchMS, fetchStart)
 	s.cluster.met.fetches.Inc()
-	s.cluster.structMu.RLock()
-	defer s.cluster.structMu.RUnlock()
 	buf := s.buffers[shard]
 	start := len(buf)
 	if cap(buf) < start+n {
@@ -696,19 +791,107 @@ func (s *Sampler) fetchInto(shard, n int) {
 		buf = grown
 	}
 	buf = buf[:start+n]
-	got, lost, crashed := s.cluster.shardFetch(shard, sp, buf[start:], n)
+	got, lost, crashed := s.clientFetch(shard, buf[start:], n)
 	s.buffers[shard] = buf[:start+got]
 	if lost {
 		s.loseShard(shard, crashed)
 		return
 	}
-	s.cluster.charge(2, uint64(got))
+	s.cluster.chargeFetch(uint64(got))
 }
 
-// lostShard stashes a lost shard's per-query stream state so a crashed
-// shard that recovers can be re-admitted exactly where it left off.
+// clientFetch performs one fetch against the shard's client, retrying
+// transient failures and timeouts with exponential backoff up to
+// cfg.MaxRetries. It returns lost = true when the shard is unavailable to
+// this query; crashLost distinguishes a down shard (cluster-wide — a
+// recoverable one may later be re-admitted via maybeReadmit) from retry
+// exhaustion (the server stayed up; the loss is query-local and final). A
+// recoverable down shard is retried like a transient fault — each probe
+// advances an injected crash's recovery clock, so a shard that comes back
+// within the retry budget serves the fetch and the stream is untouched.
+// On a healthy client the first attempt succeeds and the path is
+// byte-identical to a direct backend fetch.
+func (s *Sampler) clientFetch(shard int, dst []data.Entry, n int) (got int, lost, crashLost bool) {
+	cl := s.cluster
+	backoff := cl.cfg.RetryBackoff
+	reopened := false
+	for attempt := 0; ; attempt++ {
+		got, err := cl.clients[shard].Fetch(s.streams[shard], dst, n)
+		if err == nil {
+			if attempt > 0 {
+				cl.ftot.recoveries.Add(1)
+			}
+			return got, false, false
+		}
+		var down *shardDownError
+		switch {
+		case errors.As(err, &down):
+			if !down.Recoverable || attempt >= cl.cfg.MaxRetries {
+				// Permanently down, or down past this fetch's retry
+				// budget: the query writes the shard off. A recoverable
+				// shard may still rejoin a later coordinator contact.
+				return 0, true, true
+			}
+			cl.charge(1, 0) // probe sent, shard down
+		case errors.Is(err, ErrUnknownStream):
+			// The shard answered but no longer has the stream — the
+			// signature of a shard process restart. Reopen it once,
+			// excluding everything already emitted; if the reopen fails
+			// (or a reopened stream is unknown again) the shard is
+			// written off like a crash so re-admission can retry later.
+			if !reopened && s.reopen(shard) {
+				reopened = true
+				continue
+			}
+			return 0, true, true
+		default:
+			// Timeouts, transient faults, and transport errors that are
+			// not a down verdict: retryable.
+			cl.charge(1, 0) // request sent, no usable response
+		}
+		if attempt >= cl.cfg.MaxRetries {
+			cl.ftot.exhausted.Add(1)
+			return 0, true, false
+		}
+		cl.ftot.retries.Add(1)
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// reopen replaces shard's sample stream after a shard process restart:
+// a fresh stream is opened under a new ID with this query's emitted IDs
+// excluded, so the merged emissions stay a without-replacement stream.
+// The fetched-but-unemitted buffer came from the dead stream and the
+// fresh one would redeliver it, so it is dropped and the remaining count
+// re-based on the reopened stream's matching count.
+func (s *Sampler) reopen(shard int) bool {
+	cl := s.cluster
+	stream := cl.streamSeq.Add(1)
+	var exclude []data.ID
+	if s.emitted != nil {
+		exclude = s.emitted[shard]
+	}
+	got, err := cl.clients[shard].Open(stream, s.query, cl.nextSeed(), exclude)
+	if err != nil {
+		return false
+	}
+	s.buffers[shard] = s.buffers[shard][:0]
+	s.heads[shard] = 0
+	s.total += got - s.remaining[shard]
+	s.remaining[shard] = got
+	s.streams[shard] = stream
+	s.open[shard] = got > 0
+	return got > 0
+}
+
+// lostShard stashes a lost shard's unemitted matching count so a crashed
+// shard that recovers can be re-admitted exactly where it left off (the
+// stream itself survives on the shard side — in the backend's table, or
+// reopened on a restarted process with the emitted IDs excluded).
 type lostShard struct {
-	sampler   *rstree.Sampler
 	remaining int
 	// crash marks a cluster-wide shard crash (re-admittable when the
 	// shard recovers) as opposed to query-local retry exhaustion (the
@@ -722,39 +905,37 @@ type lostShard struct {
 // which both re-weights the draw distribution over the survivors (draws
 // are proportional to per-shard remaining counts) and shrinks the stream's
 // effective population so estimators widen their intervals honestly.
-// Samples already emitted from the shard stay in the stream. The shard's
-// sampler, unemitted count, and fetched-but-unemitted buffer are stashed
-// rather than discarded (remaining still counts the buffered entries, so
-// the write-off is exact and unreachable entries stay unreachable): if
-// the shard was crash-lost and later recovers, maybeReadmit restores the
-// stream bit-for-bit from where it stopped.
+// Samples already emitted from the shard stay in the stream. The unemitted
+// count is stashed rather than discarded (remaining still counts the
+// buffered entries, so the write-off is exact and unreachable entries stay
+// unreachable): if the shard was crash-lost and later recovers,
+// maybeReadmit restores the stream exactly where it stopped.
 func (s *Sampler) loseShard(shard int, crash bool) {
-	if s.samplers[shard] == nil && s.remaining[shard] == 0 {
+	if !s.open[shard] && s.remaining[shard] == 0 {
 		return
 	}
 	if s.lost == nil {
 		s.lost = make(map[int]lostShard)
 	}
-	s.lost[shard] = lostShard{sampler: s.samplers[shard], remaining: s.remaining[shard], crash: crash}
+	s.lost[shard] = lostShard{remaining: s.remaining[shard], crash: crash}
 	s.lostShards++
 	s.lostPop += s.remaining[shard]
 	s.total -= s.remaining[shard]
 	s.remaining[shard] = 0
-	s.samplers[shard] = nil
 }
 
 // maybeReadmit re-admits crash-lost shards whose servers have come back:
-// the stashed shard stream and unemitted matching count are restored, the
-// draw distribution re-weights itself back over the full population
-// (draws are proportional to per-shard remaining counts, so restoring the
-// count IS the re-weighting — every still-unemitted record, on every
-// shard, is again equally likely next), and Degradation shrinks so
-// estimators re-grow their effective N via SetPopulation. Each poll of a
-// still-down shard advances its recovery clock, making a sampling query
-// double as the liveness probe. No-op for healthy queries (len(lost) ==
-// 0) and for exhaustion-lost shards (nothing to recover from). Queries
-// that started while a shard was already down scoped themselves to the
-// surviving population at their count round and never re-admit it.
+// the stashed unemitted matching count is restored, the draw distribution
+// re-weights itself back over the full population (draws are proportional
+// to per-shard remaining counts, so restoring the count IS the
+// re-weighting — every still-unemitted record, on every shard, is again
+// equally likely next), and Degradation shrinks so estimators re-grow
+// their effective N via SetPopulation. Each poll of a still-down shard
+// advances its recovery clock, making a sampling query double as the
+// liveness probe. No-op for healthy queries (len(lost) == 0) and for
+// exhaustion-lost shards (nothing to recover from). Queries that started
+// while a shard was already down scoped themselves to the surviving
+// population at their count round and never re-admit it.
 func (s *Sampler) maybeReadmit() {
 	if len(s.lost) == 0 {
 		return
@@ -764,13 +945,29 @@ func (s *Sampler) maybeReadmit() {
 			continue
 		}
 		delete(s.lost, shard)
-		s.samplers[shard] = st.sampler
 		s.remaining[shard] = st.remaining
 		s.total += st.remaining
 		s.lostShards--
 		s.lostPop -= st.remaining
 		s.readmits++
 	}
+}
+
+// Close releases the query's sample streams on every shard (best-effort:
+// a down shard's stream dies with its process). Safe to call more than
+// once; a sampler that was never initialized has nothing to close.
+func (s *Sampler) Close() error {
+	if s.closed || !s.init {
+		s.closed = true
+		return nil
+	}
+	s.closed = true
+	for i, open := range s.open {
+		if open {
+			_ = s.cluster.clients[i].CloseStream(s.streams[i])
+		}
+	}
+	return nil
 }
 
 // Readmits reports how many lost shards this query has re-admitted after
@@ -805,6 +1002,7 @@ func (c *Cluster) EstimateAvg(q geo.Rect, attr string, maxSamples int, confidenc
 		return estimator.Estimate{}, err
 	}
 	s := c.Sampler(q)
+	defer s.Close()
 	// Pull through the batched coordinator protocol: one demand-sized
 	// request per shard per round instead of per-refill round trips. The
 	// chunk bounds the coordinator's working memory, not the batching win.
@@ -840,7 +1038,9 @@ func (c *Cluster) EstimateAvg(q geo.Rect, attr string, maxSamples int, confidenc
 // count, computes a partial Welford accumulator in parallel, and the
 // coordinator merges them. The merged mean is an unbiased estimate of the
 // population mean because shard sample sizes are proportional to shard
-// populations (self-weighting allocation).
+// populations (self-weighting allocation). Shard-local work goes through
+// the undecorated clients: it models computation on the shard, not
+// coordinator fetch round trips, so injected fetch faults do not apply.
 func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) (estimator.Welford, error) {
 	col, err := c.ds.NumericColumn(attr)
 	if err != nil {
@@ -848,42 +1048,50 @@ func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) 
 	}
 	start := time.Now()
 	defer observeMS(c.met.fanoutMS, start)
-	c.structMu.RLock()
-	defer c.structMu.RUnlock()
-	counts := make([]int, len(c.shards))
+	counts := make([]int, len(c.raw))
 	total := 0
-	for i, sh := range c.shards {
-		counts[i] = sh.index.Count(q)
-		total += counts[i]
+	for i, cl := range c.raw {
+		n, err := cl.Count(q)
+		if err != nil {
+			n = 0
+		}
+		counts[i] = n
+		total += n
 	}
-	c.charge(2*uint64(len(c.shards)), 0)
+	c.charge(2*uint64(len(c.raw)), 0)
 	if total == 0 {
 		return estimator.Welford{}, nil
 	}
 
-	partials := make([]estimator.Welford, len(c.shards))
+	partials := make([]estimator.Welford, len(c.raw))
 	var wg sync.WaitGroup
-	for i := range c.shards {
+	for i := range c.raw {
 		if counts[i] == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, seed int64) {
+		go func(i int, stream uint64, seed int64) {
 			defer wg.Done()
 			k := totalSamples * counts[i] / total
 			if k < 1 {
 				k = 1
 			}
-			sp := c.shards[i].index.Sampler(q, sampling.WithoutReplacement, stats.NewRNG(seed))
+			if _, err := c.raw[i].Open(stream, q, seed, nil); err != nil {
+				return
+			}
 			local := make([]data.Entry, k)
-			got := sp.NextBatch(local, k)
+			got, err := c.raw[i].Fetch(stream, local, k)
+			_ = c.raw[i].CloseStream(stream)
+			if err != nil {
+				return
+			}
 			for _, e := range local[:got] {
 				partials[i].Add(col[e.ID])
 			}
-		}(i, c.nextSeed())
+		}(i, c.streamSeq.Add(1), c.nextSeed())
 	}
 	wg.Wait()
-	c.charge(2*uint64(len(c.shards)), uint64(0))
+	c.charge(2*uint64(len(c.raw)), uint64(0))
 
 	var merged estimator.Welford
 	for i := range partials {

@@ -17,6 +17,7 @@ import (
 	"storm/internal/distr"
 	"storm/internal/gen"
 	"storm/internal/geo"
+	"storm/internal/wire"
 )
 
 // Dataset builds the shared test fixture: n uniform records over a
@@ -46,6 +47,31 @@ func Build(t testing.TB, ds *data.Dataset, cfg distr.Config) *distr.Cluster {
 	if err != nil {
 		t.Fatalf("distr.Build: %v", err)
 	}
+	return c
+}
+
+// BuildTCP constructs a remote cluster against shard hosts serving the
+// same dataset over real TCP sockets: one wire.Server per addr, each
+// backed by a Host that regenerated the fixture. The servers are torn
+// down with the test.
+func BuildTCP(t testing.TB, ds *data.Dataset, cfg distr.Config, hosts int) *distr.Cluster {
+	t.Helper()
+	addrs := make([]string, hosts)
+	for i := range addrs {
+		h := distr.NewHost()
+		h.AddDataset(ds)
+		srv, err := wire.NewServer("127.0.0.1:0", h)
+		if err != nil {
+			t.Fatalf("wire.NewServer: %v", err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	c, err := distr.BuildRemote(ds, cfg, addrs)
+	if err != nil {
+		t.Fatalf("distr.BuildRemote: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
 	return c
 }
 

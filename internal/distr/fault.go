@@ -4,9 +4,10 @@
 // deployment sees in practice — latency spikes, transient fetch errors,
 // request timeouts, and hard shard crashes — deterministically in a seed,
 // so every robustness test replays bit-for-bit. Faults are injected at the
-// coordinator's fetch boundary (Sampler.fetchInto, and therefore both the
-// serial Next path and NextBatch's batchRound), which is where a real
-// coordinator observes remote failures.
+// ShardClient boundary by a transport decorator (faultClient): the
+// coordinator's fetch path observes them exactly where a real coordinator
+// observes remote failures, and the same plan drives the in-process
+// loopback and a TCP cluster identically.
 //
 // The coordinator's contract under faults follows BlinkDB-style partial
 // failure semantics: it never blocks a query on a lost shard. Transient
@@ -42,7 +43,6 @@ import (
 	"time"
 
 	"storm/internal/data"
-	"storm/internal/rstree"
 	"storm/internal/stats"
 )
 
@@ -587,15 +587,17 @@ func (c *Cluster) FaultStats() FaultStats {
 	}
 }
 
-// shardDown reports whether shard i has crashed (false without a plan).
-// The check is itself a coordinator contact: on a recoverable shard it
-// advances the recovery clock, and the contact that revives the shard
-// performs the cluster-wide re-admit accounting.
+// shardDown reports whether shard i is down (false for clients without
+// liveness — the bare loopback). The check is itself a coordinator
+// contact: on a recoverable shard it advances the injected recovery
+// clock (or rate-limits a real TCP probe), and the contact that revives
+// the shard performs the cluster-wide re-admit accounting.
 func (c *Cluster) shardDown(i int) bool {
-	if c.faults == nil {
+	lc, ok := c.clients[i].(liveChecker)
+	if !ok {
 		return false
 	}
-	down, rejoined := c.faults[i].observe()
+	down, rejoined := lc.Live()
 	if rejoined {
 		c.countReadmit()
 	}
@@ -627,75 +629,65 @@ func (c *Cluster) countFault(kind FaultKind, crashed bool) {
 	}
 }
 
-// shardFetch performs one fault-aware shard fetch: it applies the shard's
-// fault verdict, enforces the per-fetch deadline, and retries transient
-// faults and timeouts with exponential backoff up to cfg.MaxRetries. It
-// returns the samples written into dst and lost = true when the shard is
-// unavailable to this query; crashLost distinguishes a crash (the shard
-// server is down cluster-wide and a recoverable one may later be
-// re-admitted via Sampler.maybeReadmit) from retry exhaustion (the server
-// stayed up; the loss is query-local and final). A crash on a shard with
-// a recover-after schedule is retried like a transient fault — each probe
-// advances the recovery clock, so a shard that comes back within the
-// retry budget serves the fetch and the sample stream is untouched. With
-// no fault plan it is a direct pass-through to the shard sampler,
-// byte-identical to the un-faulted path.
-func (c *Cluster) shardFetch(shard int, sp *rstree.Sampler, dst []data.Entry, n int) (got int, lost, crashLost bool) {
-	if c.faults == nil {
-		return sp.NextBatch(dst, n), false, false
+// faultClient decorates a ShardClient with one shard's fault injector.
+// Every Fetch passes through the verdict machinery at the transport
+// boundary — the injected failure surfaces to the coordinator as the
+// same error a real transport would return — so a fault plan exercises
+// the identical coordinator retry/degradation code over loopback and TCP.
+// All other requests pass through undisturbed (the plans script the
+// fetch path; crashed shards are fenced off upstream by shardDown).
+type faultClient struct {
+	ShardClient
+	c *Cluster
+	f *faultState
+}
+
+// Fetch implements ShardClient, applying the shard's fault verdict before
+// (or instead of) the inner fetch. With a FaultNone verdict it is a
+// direct pass-through, byte-identical to the undecorated client.
+func (fc *faultClient) Fetch(stream uint64, dst []data.Entry, n int) (int, error) {
+	kind, delay, crashed, rejoined := fc.f.verdict()
+	if rejoined {
+		fc.c.countReadmit()
 	}
-	f := c.faults[shard]
-	backoff := c.cfg.RetryBackoff
-	for attempt := 0; ; attempt++ {
-		kind, delay, crashed, rejoined := f.verdict()
-		if rejoined {
-			c.countReadmit()
-		}
-		if kind != FaultNone {
-			c.countFault(kind, crashed)
-		}
-		switch kind {
-		case FaultCrash:
-			if !f.recoverable() || attempt >= c.cfg.MaxRetries {
-				// Permanently down, or down past this fetch's retry
-				// budget: the query writes the shard off. A recoverable
-				// shard may still rejoin a later coordinator contact.
-				return 0, true, true
-			}
-			c.charge(1, 0) // probe sent, shard down
-		case FaultLatency:
-			if delay >= c.cfg.FetchTimeout {
-				// The spike blows the per-fetch deadline: the
-				// coordinator observes a timeout, not a slow success.
-				c.ftot.timeouts.Add(1)
-				c.charge(1, 0) // request sent, no response in time
-			} else {
-				time.Sleep(delay)
-				got = sp.NextBatch(dst, n)
-				f.served()
-				if attempt > 0 {
-					c.ftot.recoveries.Add(1)
-				}
-				return got, false, false
-			}
-		case FaultTransient, FaultTimeout:
-			c.charge(1, 0) // request sent, no usable response
-		case FaultNone:
-			got = sp.NextBatch(dst, n)
-			f.served()
-			if attempt > 0 {
-				c.ftot.recoveries.Add(1)
-			}
-			return got, false, false
-		}
-		if attempt >= c.cfg.MaxRetries {
-			c.ftot.exhausted.Add(1)
-			return 0, true, false
-		}
-		c.ftot.retries.Add(1)
-		if backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-		}
+	if kind != FaultNone {
+		fc.c.countFault(kind, crashed)
 	}
+	switch kind {
+	case FaultCrash:
+		return 0, &shardDownError{Recoverable: fc.f.recoverable()}
+	case FaultTimeout:
+		return 0, ErrFetchTimeout
+	case FaultTransient:
+		return 0, ErrTransient
+	case FaultLatency:
+		if delay >= fc.c.cfg.FetchTimeout {
+			// The spike blows the per-fetch deadline: the coordinator
+			// observes a timeout, not a slow success.
+			fc.c.ftot.timeouts.Add(1)
+			return 0, ErrFetchTimeout
+		}
+		time.Sleep(delay)
+	}
+	got, err := fc.ShardClient.Fetch(stream, dst, n)
+	if err != nil {
+		return got, err
+	}
+	fc.f.served()
+	return got, nil
+}
+
+// Live implements liveChecker: the injected crash state is consulted
+// first (each call is one coordinator observation against the recovery
+// clock), then any real liveness the inner client has — so a TCP shard
+// can be down for real even when no crash is scripted.
+func (fc *faultClient) Live() (down, rejoined bool) {
+	down, rejoined = fc.f.observe()
+	if down || rejoined {
+		return down, rejoined
+	}
+	if lc, ok := fc.ShardClient.(liveChecker); ok {
+		return lc.Live()
+	}
+	return false, false
 }

@@ -1,0 +1,269 @@
+// Host is the shard-server request handler: it owns the shard backends
+// of one stormd -role=shard process and implements wire.Handler, so the
+// same struct serves a wire.Server over TCP and a wire.Loopback in
+// transport tests. Shard state is built on demand — the coordinator's
+// Build request names a (dataset, shard, of) triple, and the host
+// partitions its local copy of the dataset exactly as the coordinator
+// would (partition is deterministic), so only sample batches ever cross
+// the wire, never shard contents.
+package distr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"storm/internal/data"
+	"storm/internal/wire"
+)
+
+type hostKey struct {
+	ds    string
+	shard uint32
+}
+
+// Host serves shard requests for the datasets it holds.
+type Host struct {
+	// mu guards the maps; dsMu serializes dataset row appends (mirrored
+	// inserts) against the exclude-filtering reads in stream opens.
+	mu       sync.Mutex
+	dsMu     sync.RWMutex
+	datasets map[string]*data.Dataset
+	backends map[hostKey]*shardBackend
+}
+
+// NewHost returns an empty host; add datasets before serving.
+func NewHost() *Host {
+	return &Host{
+		datasets: make(map[string]*data.Dataset),
+		backends: make(map[hostKey]*shardBackend),
+	}
+}
+
+// AddDataset registers a local dataset copy under its name. Shard hosts
+// regenerate datasets from the same generator flags and seed as the
+// coordinator, so both sides hold identical rows without shipping them.
+func (h *Host) AddDataset(ds *data.Dataset) {
+	h.mu.Lock()
+	h.datasets[ds.Name()] = ds
+	h.mu.Unlock()
+}
+
+// Shards returns how many shard backends the host currently serves.
+func (h *Host) Shards() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.backends)
+}
+
+// backend resolves a shard-scoped request's target.
+func (h *Host) backend(t wire.Target) *shardBackend {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.backends[hostKey{ds: t.DS, shard: t.Shard}]
+}
+
+func errUnknownShard(t wire.Target) wire.Msg {
+	return &wire.Error{Code: wire.ErrCodeUnknownShard, Msg: fmt.Sprintf("shard %d of dataset %q not built on this host", t.Shard, t.DS)}
+}
+
+// Handle implements wire.Handler: it dispatches one request and returns
+// its response (an *wire.Error for failures — transports carry it back
+// like any other message).
+func (h *Host) Handle(m wire.Msg) wire.Msg {
+	switch req := m.(type) {
+	case *wire.Ping:
+		return &wire.Pong{Shards: uint32(h.Shards())}
+
+	case *wire.Build:
+		return h.handleBuild(req)
+
+	case *wire.Count:
+		b := h.backend(req.Target)
+		if b == nil {
+			return errUnknownShard(req.Target)
+		}
+		return &wire.CountOK{N: uint64(b.count(req.Query))}
+
+	case *wire.Open:
+		b := h.backend(req.Target)
+		if b == nil {
+			return errUnknownShard(req.Target)
+		}
+		h.dsMu.RLock()
+		n := b.open(req.Stream, req.Query, req.Seed, req.Exclude)
+		h.dsMu.RUnlock()
+		return &wire.OpenOK{N: uint64(n)}
+
+	case *wire.Fetch:
+		b := h.backend(req.Target)
+		if b == nil {
+			return errUnknownShard(req.Target)
+		}
+		ents, err := b.fetchScratch(req.Stream, int(req.N))
+		if err != nil {
+			return &wire.Error{Code: wire.ErrCodeUnknownStream, Msg: fmt.Sprintf("stream %d not open on shard %d of %q", req.Stream, req.Shard, req.DS)}
+		}
+		return &wire.Entries{Entries: ents}
+
+	case *wire.Close:
+		b := h.backend(req.Target)
+		if b == nil {
+			return errUnknownShard(req.Target)
+		}
+		b.closeStream(req.Stream)
+		return &wire.CloseOK{}
+
+	case *wire.Insert:
+		return h.handleInsert(req)
+
+	case *wire.Delete:
+		b := h.backend(req.Target)
+		if b == nil {
+			return errUnknownShard(req.Target)
+		}
+		return &wire.DeleteOK{Found: b.delete(data.Entry{ID: req.ID, Pos: req.Pos})}
+
+	case *wire.Summary:
+		b := h.backend(req.Target)
+		if b == nil {
+			return errUnknownShard(req.Target)
+		}
+		s, found := b.summary(req.Attr)
+		return &wire.SummaryOK{
+			Found:     found,
+			Count:     uint64(s.Count),
+			Sum:       s.Sum,
+			Min:       s.Min,
+			Max:       s.Max,
+			NonFinite: uint64(s.NonFinite),
+		}
+
+	case *wire.Bounds:
+		b := h.backend(req.Target)
+		if b == nil {
+			return errUnknownShard(req.Target)
+		}
+		return &wire.BoundsOK{Rect: b.bounds()}
+
+	case *wire.Len:
+		b := h.backend(req.Target)
+		if b == nil {
+			return errUnknownShard(req.Target)
+		}
+		return &wire.LenOK{N: uint64(b.length())}
+
+	default:
+		return &wire.Error{Code: wire.ErrCodeBadRequest, Msg: fmt.Sprintf("unexpected request kind %v", m.WireKind())}
+	}
+}
+
+// handleBuild materializes one shard of a local dataset. Rebuilding an
+// already-built shard is idempotent (the coordinator re-issues Build
+// after an unknown-shard error, e.g. when this process restarted); the
+// existing backend — including any post-build inserts — answers.
+func (h *Host) handleBuild(req *wire.Build) wire.Msg {
+	h.mu.Lock()
+	ds, ok := h.datasets[req.DS]
+	if !ok {
+		h.mu.Unlock()
+		return &wire.Error{Code: wire.ErrCodeUnknownDataset, Msg: fmt.Sprintf("dataset %q not on this host", req.DS)}
+	}
+	if b, built := h.backends[hostKey{ds: req.DS, shard: req.Shard}]; built {
+		h.mu.Unlock()
+		return &wire.BuildOK{Count: uint64(b.length())}
+	}
+	h.mu.Unlock()
+
+	if req.Of < 1 || req.Shard >= req.Of {
+		return &wire.Error{Code: wire.ErrCodeBadRequest, Msg: fmt.Sprintf("shard %d of %d out of range", req.Shard, req.Of)}
+	}
+	cfg := Config{
+		Shards:          int(req.Of),
+		Fanout:          int(req.Fanout),
+		Seed:            req.Seed,
+		BufferPoolPages: int(req.PoolPages),
+	}
+	parts, bounds, err := partition(ds, cfg.Shards)
+	if err != nil {
+		return &wire.Error{Code: wire.ErrCodeGeneric, Msg: err.Error()}
+	}
+	sh, err := buildShard(ds, parts[req.Shard], int(req.Shard), bounds, cfg)
+	if err != nil {
+		return &wire.Error{Code: wire.ErrCodeGeneric, Msg: err.Error()}
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := hostKey{ds: req.DS, shard: req.Shard}
+	if b, built := h.backends[key]; built {
+		// A concurrent Build for the same shard won the race; answer from
+		// the established backend so streams opened on it stay valid.
+		return &wire.BuildOK{Count: uint64(b.length())}
+	}
+	b := newShardBackend(sh, ds)
+	h.backends[key] = b
+	return &wire.BuildOK{Count: uint64(b.length())}
+}
+
+// handleInsert mirrors one inserted record into the owning shard's index
+// and appends the row (with its attributes) to the host's dataset copy so
+// record IDs keep addressing the attribute columns. Inserts routed to
+// shards on other hosts leave gaps here; those IDs are padded with
+// placeholder rows that no local shard ever references (the record is on
+// no local index, so no stream can emit or exclude it).
+func (h *Host) handleInsert(req *wire.Insert) wire.Msg {
+	b := h.backend(req.Target)
+	if b == nil {
+		return errUnknownShard(req.Target)
+	}
+	h.dsMu.Lock()
+	ds := b.ds
+	if id := data.ID(ds.Len()); id <= req.ID {
+		for ; id < req.ID; id++ {
+			ds.Append(data.Row{})
+		}
+		row := data.Row{Pos: req.Pos}
+		if len(req.Num) > 0 {
+			row.Num = make(map[string]float64, len(req.Num))
+			for _, a := range req.Num {
+				row.Num[a.Name] = a.Val
+			}
+		}
+		if len(req.Str) > 0 {
+			row.Str = make(map[string]string, len(req.Str))
+			for _, a := range req.Str {
+				row.Str[a.Name] = a.Val
+			}
+		}
+		ds.Append(row)
+	}
+	h.dsMu.Unlock()
+	b.insert(data.Entry{ID: req.ID, Pos: req.Pos})
+	return &wire.InsertOK{}
+}
+
+// insertAttrs assembles the attribute payload of a mirrored insert from
+// the coordinator's dataset columns, sorted by name so the encoding is
+// canonical.
+func insertAttrs(ds *data.Dataset, id data.ID) (num []wire.NumAttr, str []wire.StrAttr) {
+	ncols := append([]string(nil), ds.NumericColumns()...)
+	sort.Strings(ncols)
+	for _, name := range ncols {
+		col, err := ds.NumericColumn(name)
+		if err != nil || id >= data.ID(len(col)) {
+			continue
+		}
+		num = append(num, wire.NumAttr{Name: name, Val: col[id]})
+	}
+	scols := append([]string(nil), ds.StringColumns()...)
+	sort.Strings(scols)
+	for _, name := range scols {
+		col, err := ds.StringColumn(name)
+		if err != nil || id >= data.ID(len(col)) {
+			continue
+		}
+		str = append(str, wire.StrAttr{Name: name, Val: col[id]})
+	}
+	return num, str
+}

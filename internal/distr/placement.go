@@ -1,0 +1,109 @@
+// Shard placement for remote clusters: a consistent-hash ring maps each
+// (dataset, shard) pair to a shard-host address. Consistent hashing keeps
+// the assignment stable — adding a host to the pool moves only the shards
+// that land on its ring points, not the whole layout — and every process
+// that hashes the same host list agrees on the placement without any
+// coordination.
+package distr
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringVnodes is how many ring points each host address contributes.
+// More points smooth the shard distribution across hosts; 64 keeps the
+// per-host imbalance within a few percent for the host counts this
+// system targets.
+const ringVnodes = 64
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// hashRing is a consistent-hash ring over shard-host addresses.
+type hashRing struct {
+	points []ringPoint
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the SplitMix64 finalizer. FNV-1a barely diffuses a change in
+// the last input byte — two keys differing only there end up a small
+// multiple of the FNV prime (~2^40) apart on the 2^64 ring, inside the
+// same vnode gap — so without this the shard keys "ds/0", "ds/1", …
+// would all colocate on one host.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e9b5
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds the ring from the host addresses (duplicates collapse).
+func newRing(addrs []string) *hashRing {
+	seen := make(map[string]struct{}, len(addrs))
+	r := &hashRing{}
+	for _, a := range addrs {
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(a + "#" + strconv.Itoa(v)), addr: a})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// lookup returns the host owning key: the first ring point at or after
+// the key's hash, wrapping around.
+func (r *hashRing) lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// shardPlacementKey is the ring key of one shard of one dataset.
+func shardPlacementKey(ds string, shard int) string {
+	return ds + "/" + strconv.Itoa(shard)
+}
+
+// ShardStatus describes one shard's placement and liveness as the
+// coordinator sees it (served by the coordinator's /shards endpoint).
+type ShardStatus struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	Down  bool   `json:"down"`
+}
+
+// ShardStatus reports every shard's address and liveness. The check is a
+// regular coordinator contact: it advances injected recovery clocks and
+// may probe a TCP shard, exactly like a query's own liveness checks.
+func (c *Cluster) ShardStatus() []ShardStatus {
+	out := make([]ShardStatus, len(c.clients))
+	for i, cl := range c.clients {
+		out[i] = ShardStatus{Shard: i, Addr: cl.Addr(), Down: c.shardDown(i)}
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+// The TCP side of the ShardClient boundary: wireClient speaks the wire
+// protocol to a remote shard host, and BuildRemote assembles a Cluster
+// whose shards are real processes. The coordinator logic above the
+// interface is untouched — the same Cluster/Sampler code that runs over
+// the loopback runs here, with real frames, real deadlines, and measured
+// (not simulated) network statistics.
+package distr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/wire"
+)
+
+const (
+	// remoteBuildTimeout bounds a Build RPC: the shard host partitions
+	// and indexes its dataset copy, which dwarfs every other request.
+	remoteBuildTimeout = 2 * time.Minute
+	// remoteOpTimeout bounds metadata requests (count, open, summary,
+	// bounds, len, updates) — cheap but index-sized, so they get more
+	// room than a sample fetch.
+	remoteOpTimeout = 2 * time.Second
+	// remoteProbeEvery rate-limits liveness pings against a down shard,
+	// so a degraded query's readmit polls don't flood the dead address
+	// with connection attempts.
+	remoteProbeEvery = 50 * time.Millisecond
+)
+
+// wireClient is the ShardClient over one TCP transport to the shard host
+// owning this shard. Transports are shared per host address; the client
+// adds the shard addressing, the per-request deadlines, the down/rejoin
+// bookkeeping for real outages, and a build-time summary cache so
+// lost-mass bounds stay answerable while the shard is down — exactly
+// when they are needed.
+type wireClient struct {
+	c    *Cluster
+	t    wire.Transport
+	addr string
+	tgt  wire.Target
+	// build is the shard's original Build request, kept so an
+	// unknown-shard error (the host restarted and lost the shard) can be
+	// answered by rebuilding it in place.
+	build wire.Build
+
+	mu        sync.Mutex
+	down      bool
+	lastProbe time.Time
+	sumCache  map[string]AttrSummary
+}
+
+// markDown records a transport-level outage: one crash transition per
+// down period, mirrored into the cluster's fault totals (crashes and
+// shards_down — a real outage, not an injected one, so the injected
+// counter is untouched).
+func (w *wireClient) markDown() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.down {
+		return
+	}
+	w.down = true
+	w.lastProbe = time.Now()
+	w.c.ftot.crashes.Add(1)
+	w.c.ftot.shardsDown.Add(1)
+}
+
+// markUp clears the down state after any successful round trip. The
+// rejoin accounting happens here — not in Live — because a retried fetch
+// can revive the shard without a ping ever being sent.
+func (w *wireClient) markUp() {
+	w.mu.Lock()
+	wasDown := w.down
+	w.down = false
+	w.mu.Unlock()
+	if wasDown {
+		w.c.countReadmit()
+	}
+}
+
+// Live implements liveChecker: a down shard is probed with a Ping at
+// most once per remoteProbeEvery. Rejoin accounting is internal to the
+// markUp transition, so Live never reports rejoined itself.
+func (w *wireClient) Live() (down, rejoined bool) {
+	w.mu.Lock()
+	if !w.down {
+		w.mu.Unlock()
+		return false, false
+	}
+	if time.Since(w.lastProbe) < remoteProbeEvery {
+		w.mu.Unlock()
+		return true, false
+	}
+	w.lastProbe = time.Now()
+	w.mu.Unlock()
+	if _, err := w.t.RoundTrip(&wire.Ping{}, remoteOpTimeout); err != nil {
+		return true, false
+	}
+	w.markUp()
+	return false, false
+}
+
+// roundTrip sends one request with a deadline, maintaining the
+// down/rejoin state: any transport failure surfaces as a recoverable
+// down-shard error (a process can always be restarted), any success
+// revives the shard.
+func (w *wireClient) roundTrip(m wire.Msg, timeout time.Duration) (wire.Msg, error) {
+	resp, err := w.t.RoundTrip(m, timeout)
+	if err != nil {
+		w.markDown()
+		return nil, &shardDownError{Recoverable: true}
+	}
+	w.markUp()
+	return resp, nil
+}
+
+// call is roundTrip plus protocol-level error mapping: an unknown-shard
+// error triggers one in-place rebuild (the host restarted and lost the
+// shard) before the request is retried; an unknown-stream error maps to
+// ErrUnknownStream so the coordinator reopens the stream.
+func (w *wireClient) call(m wire.Msg, timeout time.Duration) (wire.Msg, error) {
+	rebuilt := false
+	for {
+		resp, err := w.roundTrip(m, timeout)
+		if err != nil {
+			return nil, err
+		}
+		werr, isErr := resp.(*wire.Error)
+		if !isErr {
+			return resp, nil
+		}
+		switch werr.Code {
+		case wire.ErrCodeUnknownStream:
+			return nil, ErrUnknownStream
+		case wire.ErrCodeUnknownShard:
+			if rebuilt {
+				return nil, werr
+			}
+			rebuilt = true
+			if _, err := w.roundTrip(&w.build, remoteBuildTimeout); err != nil {
+				return nil, err
+			}
+			// Rebuilt (or raced another rebuilder); retry the request.
+		default:
+			return nil, werr
+		}
+	}
+}
+
+// Count implements ShardClient.
+func (w *wireClient) Count(q geo.Rect) (int, error) {
+	resp, err := w.call(&wire.Count{Target: w.tgt, Query: q}, remoteOpTimeout)
+	if err != nil {
+		return 0, err
+	}
+	ok, isOK := resp.(*wire.CountOK)
+	if !isOK {
+		return 0, fmt.Errorf("distr: unexpected %v response to count", resp.WireKind())
+	}
+	return int(ok.N), nil
+}
+
+// Open implements ShardClient.
+func (w *wireClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID) (int, error) {
+	resp, err := w.call(&wire.Open{Target: w.tgt, Stream: stream, Query: q, Seed: seed, Exclude: exclude}, remoteOpTimeout)
+	if err != nil {
+		return 0, err
+	}
+	ok, isOK := resp.(*wire.OpenOK)
+	if !isOK {
+		return 0, fmt.Errorf("distr: unexpected %v response to open", resp.WireKind())
+	}
+	return int(ok.N), nil
+}
+
+// Fetch implements ShardClient. The per-fetch deadline is
+// Config.FetchTimeout, enforced by the transport on the connection.
+func (w *wireClient) Fetch(stream uint64, dst []data.Entry, n int) (int, error) {
+	resp, err := w.call(&wire.Fetch{Target: w.tgt, Stream: stream, N: uint32(n)}, w.c.cfg.FetchTimeout)
+	if err != nil {
+		return 0, err
+	}
+	ents, isEnts := resp.(*wire.Entries)
+	if !isEnts {
+		return 0, fmt.Errorf("distr: unexpected %v response to fetch", resp.WireKind())
+	}
+	got := copy(dst, ents.Entries)
+	return got, nil
+}
+
+// CloseStream implements ShardClient.
+func (w *wireClient) CloseStream(stream uint64) error {
+	_, err := w.call(&wire.Close{Target: w.tgt, Stream: stream}, remoteOpTimeout)
+	if errors.Is(err, ErrUnknownStream) {
+		return nil // restarted host: the stream is already gone
+	}
+	return err
+}
+
+// Insert implements ShardClient, shipping the record's attributes so the
+// shard host's dataset copy stays aligned with the coordinator's.
+func (w *wireClient) Insert(e data.Entry) error {
+	num, str := insertAttrs(w.c.ds, e.ID)
+	_, err := w.call(&wire.Insert{Target: w.tgt, ID: e.ID, Pos: e.Pos, Num: num, Str: str}, remoteOpTimeout)
+	return err
+}
+
+// Delete implements ShardClient.
+func (w *wireClient) Delete(e data.Entry) (bool, error) {
+	resp, err := w.call(&wire.Delete{Target: w.tgt, ID: e.ID, Pos: e.Pos}, remoteOpTimeout)
+	if err != nil {
+		return false, err
+	}
+	ok, isOK := resp.(*wire.DeleteOK)
+	if !isOK {
+		return false, fmt.Errorf("distr: unexpected %v response to delete", resp.WireKind())
+	}
+	return ok.Found, nil
+}
+
+// Bounds implements ShardClient.
+func (w *wireClient) Bounds() (geo.Rect, error) {
+	resp, err := w.call(&wire.Bounds{Target: w.tgt}, remoteOpTimeout)
+	if err != nil {
+		return geo.Rect{}, err
+	}
+	ok, isOK := resp.(*wire.BoundsOK)
+	if !isOK {
+		return geo.Rect{}, fmt.Errorf("distr: unexpected %v response to bounds", resp.WireKind())
+	}
+	return ok.Rect, nil
+}
+
+// Len implements ShardClient.
+func (w *wireClient) Len() (int, error) {
+	resp, err := w.call(&wire.Len{Target: w.tgt}, remoteOpTimeout)
+	if err != nil {
+		return 0, err
+	}
+	ok, isOK := resp.(*wire.LenOK)
+	if !isOK {
+		return 0, fmt.Errorf("distr: unexpected %v response to len", resp.WireKind())
+	}
+	return int(ok.N), nil
+}
+
+// Summary implements ShardClient. A down shard answers from the cached
+// digest refreshed on every successful Summary round trip: lost-mass
+// bounds are needed exactly while the shard is unreachable, and the
+// digest only drifts by Min/Max widening — the cached bounds stay sound
+// for every record the coordinator routed before the outage.
+func (w *wireClient) Summary(attr string) (AttrSummary, bool, error) {
+	w.mu.Lock()
+	if w.down {
+		s, ok := w.sumCache[attr]
+		w.mu.Unlock()
+		return s, ok, nil
+	}
+	w.mu.Unlock()
+	resp, err := w.call(&wire.Summary{Target: w.tgt, Attr: attr}, remoteOpTimeout)
+	if err != nil {
+		w.mu.Lock()
+		s, ok := w.sumCache[attr]
+		w.mu.Unlock()
+		if ok {
+			return s, true, nil
+		}
+		return AttrSummary{}, false, err
+	}
+	ok, isOK := resp.(*wire.SummaryOK)
+	if !isOK {
+		return AttrSummary{}, false, fmt.Errorf("distr: unexpected %v response to summary", resp.WireKind())
+	}
+	if !ok.Found {
+		return AttrSummary{}, false, nil
+	}
+	s := AttrSummary{
+		Count:     int(ok.Count),
+		Sum:       ok.Sum,
+		Min:       ok.Min,
+		Max:       ok.Max,
+		NonFinite: int(ok.NonFinite),
+	}
+	w.mu.Lock()
+	w.sumCache[attr] = s
+	w.mu.Unlock()
+	return s, true, nil
+}
+
+// Addr implements ShardClient.
+func (w *wireClient) Addr() string { return w.addr }
+
+// Close implements ShardClient. The transport is shared by every shard
+// on the same host and closed once by Cluster.Close, so the client
+// itself holds nothing.
+func (w *wireClient) Close() error { return nil }
+
+// buildRemoteShard issues the shard's Build RPC and primes the summary
+// cache for every numeric column.
+func (w *wireClient) buildRemoteShard(cols []string) error {
+	resp, err := w.roundTrip(&w.build, remoteBuildTimeout)
+	if err != nil {
+		return fmt.Errorf("distr: building shard %d on %s: %w", w.tgt.Shard, w.addr, err)
+	}
+	if werr, isErr := resp.(*wire.Error); isErr {
+		return fmt.Errorf("distr: building shard %d on %s: %w", w.tgt.Shard, w.addr, werr)
+	}
+	if _, isOK := resp.(*wire.BuildOK); !isOK {
+		return fmt.Errorf("distr: unexpected %v response to build", resp.WireKind())
+	}
+	for _, col := range cols {
+		if _, _, err := w.Summary(col); err != nil {
+			return fmt.Errorf("distr: priming summary %q for shard %d on %s: %w", col, w.tgt.Shard, w.addr, err)
+		}
+	}
+	return nil
+}
+
+// BuildRemote assembles a cluster whose shards live in remote shard-host
+// processes. Each shard is placed on a host by consistent hashing over
+// addrs, built there via a Build RPC (the host partitions its own
+// dataset copy — partitioning is deterministic, so coordinator and hosts
+// agree on every shard's contents without shipping them), and reached
+// through one shared TCP transport per host. cfg.Shards defaults to
+// len(addrs). Fault plans decorate the TCP clients exactly as they
+// decorate loopback ones, so the robustness suites run unchanged against
+// real processes.
+func BuildRemote(ds *data.Dataset, cfg Config, addrs []string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("distr: remote cluster needs at least one shard host")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = len(addrs)
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, ds: ds, remote: true}
+	c.faults = newFaultStates(cfg.Faults, cfg.Shards)
+	ring := newRing(addrs)
+	transports := make(map[string]*wire.TCPClient, len(addrs))
+	for s := 0; s < cfg.Shards; s++ {
+		addr := ring.lookup(shardPlacementKey(ds.Name(), s))
+		t, dialed := transports[addr]
+		if !dialed {
+			t = wire.NewTCPClient(addr)
+			transports[addr] = t
+			c.transports = append(c.transports, t)
+		}
+		w := &wireClient{
+			c:        c,
+			t:        t,
+			addr:     addr,
+			tgt:      wire.Target{DS: ds.Name(), Shard: uint32(s)},
+			sumCache: make(map[string]AttrSummary),
+		}
+		w.build = wire.Build{
+			Target:    w.tgt,
+			Of:        uint32(cfg.Shards),
+			Seed:      cfg.Seed,
+			Fanout:    uint32(cfg.Fanout),
+			PoolPages: uint32(cfg.BufferPoolPages),
+		}
+		c.raw = append(c.raw, w)
+		var cl ShardClient = w
+		if c.faults != nil {
+			cl = &faultClient{ShardClient: w, c: c, f: c.faults[s]}
+		}
+		c.clients = append(c.clients, cl)
+	}
+
+	cols := ds.NumericColumns()
+	errs := make([]error, len(c.raw))
+	var wg sync.WaitGroup
+	for i, cl := range c.raw {
+		wg.Add(1)
+		go func(i int, w *wireClient) {
+			defer wg.Done()
+			errs[i] = w.buildRemoteShard(cols)
+		}(i, cl.(*wireClient))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+	}
+	c.initMetrics()
+	return c, nil
+}

@@ -1,0 +1,281 @@
+package distr_test
+
+// The TCP-transport suite: the same coordinator logic that the loopback
+// suites validate, run against shard hosts behind real sockets. The
+// anchor is TestRemoteMatchesLoopback — the TCP stream is byte-identical
+// to the loopback stream under the same seed, so every statistical
+// property the statcheck suites establish for loopback (uniformity,
+// batching equivalence, degraded re-weighting) transfers to TCP without
+// re-running the trials over RPC.
+
+import (
+	"testing"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/distr"
+	"storm/internal/distr/distrtest"
+	"storm/internal/geo"
+	"storm/internal/wire"
+)
+
+// startHost serves a freshly regenerated copy of the fixture dataset on
+// a loopback TCP socket, modeling a real shard process that rebuilds its
+// dataset from the same generator flags as the coordinator.
+func startHost(t *testing.T, n int, addr string) *wire.Server {
+	t.Helper()
+	h := distr.NewHost()
+	h.AddDataset(distrtest.Dataset(n))
+	srv, err := wire.NewServer(addr, h)
+	if err != nil {
+		t.Fatalf("wire.NewServer(%q): %v", addr, err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func buildRemote(t *testing.T, ds *data.Dataset, cfg distr.Config, addrs []string) *distr.Cluster {
+	t.Helper()
+	c, err := distr.BuildRemote(ds, cfg, addrs)
+	if err != nil {
+		t.Fatalf("distr.BuildRemote: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestRemoteMatchesLoopback: same dataset, same seed, same config — the
+// sample stream over TCP is byte-identical to the loopback stream, and
+// the remote cluster reports measured (not simulated) traffic.
+func TestRemoteMatchesLoopback(t *testing.T) {
+	const n = 4000
+	ds := distrtest.Dataset(n)
+	q := distrtest.Query()
+	cfg := distrtest.FastConfig(4, 7, nil)
+
+	local := distrtest.Build(t, ds, cfg)
+	remote := buildRemote(t, ds, cfg, []string{
+		startHost(t, n, "127.0.0.1:0").Addr(),
+		startHost(t, n, "127.0.0.1:0").Addr(),
+	})
+
+	if lc, rc := local.Count(q), remote.Count(q); lc != rc {
+		t.Fatalf("count over TCP = %d, loopback = %d", rc, lc)
+	}
+
+	sizes := []int{17, 64, 1, 33}
+	want := distrtest.DrainBatched(local.Sampler(q), sizes)
+	got := distrtest.DrainBatched(remote.Sampler(q), sizes)
+	distrtest.SameEntries(t, want, got, "loopback vs TCP")
+
+	net := remote.Net()
+	if net.Messages == 0 || net.BytesSent == 0 || net.BytesRecv == 0 {
+		t.Errorf("remote NetStats = %+v, want measured traffic", net)
+	}
+	if net.SamplesMoved != uint64(len(got)) {
+		t.Errorf("SamplesMoved = %d, want %d drained samples", net.SamplesMoved, len(got))
+	}
+	remote.ResetNet()
+	if after := remote.Net(); after.Messages != 0 || after.BytesSent != 0 {
+		t.Errorf("NetStats after reset = %+v, want zero", after)
+	}
+}
+
+// TestRemoteInsertDelete mirrors updates through the wire protocol: the
+// shard host appends the routed row (with attributes) to its own dataset
+// copy, and delete finds it again.
+func TestRemoteInsertDelete(t *testing.T) {
+	const n = 3000
+	ds := distrtest.Dataset(n)
+	q := distrtest.Query()
+	c := buildRemote(t, ds, distrtest.FastConfig(4, 7, nil), []string{
+		startHost(t, n, "127.0.0.1:0").Addr(),
+		startHost(t, n, "127.0.0.1:0").Addr(),
+	})
+
+	before := c.Count(q)
+	id := ds.Append(data.Row{Pos: geo.Vec{40, 40, 50}, Num: map[string]float64{"value": 42}})
+	e := ds.Entry(id)
+	c.Insert(e)
+	if got := c.Count(q); got != before+1 {
+		t.Fatalf("count after insert = %d, want %d", got, before+1)
+	}
+	if !c.Delete(e) {
+		t.Fatal("delete of inserted record failed")
+	}
+	if got := c.Count(q); got != before {
+		t.Fatalf("count after delete = %d, want %d", got, before)
+	}
+	if c.Delete(e) {
+		t.Fatal("second delete should find nothing")
+	}
+}
+
+// TestRemoteFaultPlanResumesStream is PR 5's crash→recover tentpole run
+// over TCP with the faults injected at the transport decorator: the
+// shard's real server never dies, so its stream survives the injected
+// outage and the re-admitted query drains the full population exactly
+// once.
+func TestRemoteFaultPlanResumesStream(t *testing.T) {
+	const n = 6000
+	ds := distrtest.Dataset(n)
+	q := distrtest.Query()
+	plan := &distr.FaultPlan{Shards: map[int]distr.ShardFaultPlan{
+		1: {Crash: true, CrashAfterFetches: 1, RecoverAfter: 4},
+	}}
+	c := buildRemote(t, ds, distrtest.FastConfig(4, 5, plan), []string{
+		startHost(t, n, "127.0.0.1:0").Addr(),
+		startHost(t, n, "127.0.0.1:0").Addr(),
+	})
+	initial := c.Count(q)
+
+	s := c.Sampler(q)
+	seen := make(map[data.ID]bool)
+	buf := make([]data.Entry, 48)
+	emitted := 0
+	for {
+		k := s.NextBatch(buf, len(buf))
+		for _, e := range buf[:k] {
+			if seen[e.ID] {
+				t.Fatalf("duplicate sample %d", e.ID)
+			}
+			seen[e.ID] = true
+		}
+		emitted += k
+		if k < len(buf) {
+			break
+		}
+	}
+
+	if s.Degraded() {
+		t.Fatal("query should have re-admitted the recovered shard")
+	}
+	if s.Readmits() != 1 {
+		t.Errorf("readmits = %d, want 1", s.Readmits())
+	}
+	if emitted != initial {
+		t.Errorf("drained %d samples, want the full pre-crash population %d", emitted, initial)
+	}
+	st := c.FaultStats()
+	if st.Crashes != 1 || st.Readmits != 1 || st.ShardsDown != 0 {
+		t.Errorf("fault stats = %+v, want one crash→readmit cycle, no shards down", st)
+	}
+}
+
+// TestRemoteShardKillRestart is the real-outage version: one shard HOST
+// process dies mid-stream (its listener closes), the query degrades over
+// the survivors, the host comes back on the same address with empty
+// state, and the coordinator re-admits it — rebuilding the shard over
+// the wire and reopening the stream with the already-emitted samples
+// excluded, so the drain still covers the full population exactly once.
+func TestRemoteShardKillRestart(t *testing.T) {
+	const n = 6000
+	ds := distrtest.Dataset(n)
+	q := distrtest.Query()
+	cfg := distrtest.FastConfig(4, 5, nil)
+
+	// The ring hashes the hosts' ephemeral addresses, so a given pair can
+	// land every shard on one host; retry with fresh listeners until the
+	// placement splits and killing host B leaves survivors.
+	var (
+		c    *distr.Cluster
+		srvB *wire.Server
+	)
+	for attempt := 0; attempt < 20 && c == nil; attempt++ {
+		a := startHost(t, n, "127.0.0.1:0")
+		b := startHost(t, n, "127.0.0.1:0")
+		cand := buildRemote(t, ds, cfg, []string{a.Addr(), b.Addr()})
+		onB := 0
+		for _, st := range cand.ShardStatus() {
+			if st.Addr == b.Addr() {
+				onB++
+			}
+		}
+		if onB >= 1 && onB <= 3 {
+			c, srvB = cand, b
+		}
+	}
+	if c == nil {
+		t.Fatal("placement never split 4 shards across 2 hosts in 20 attempts")
+	}
+	initial := c.Count(q)
+
+	s := c.Sampler(q)
+	seen := make(map[data.ID]bool)
+	buf := make([]data.Entry, 48)
+	emitted := 0
+	drain := func(rounds int) bool {
+		for i := 0; i < rounds; i++ {
+			k := s.NextBatch(buf, len(buf))
+			for _, e := range buf[:k] {
+				if seen[e.ID] {
+					t.Fatalf("duplicate sample %d", e.ID)
+				}
+				seen[e.ID] = true
+			}
+			emitted += k
+			if k < len(buf) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// A few healthy rounds, then the host dies mid-stream.
+	drain(3)
+	srvB.Close()
+	for i := 0; i < 200 && !s.Degraded(); i++ {
+		drain(1)
+	}
+	if !s.Degraded() {
+		t.Fatal("killing host B never degraded the stream")
+	}
+	if st := c.FaultStats(); st.Crashes == 0 || st.ShardsDown == 0 {
+		t.Fatalf("fault stats after kill = %+v, want real crash accounted", st)
+	}
+
+	// Restart on the same address with a fresh (empty) host, then wait
+	// until the coordinator's liveness probes see it back up before
+	// draining further — otherwise the survivors can run dry inside the
+	// probe's rate-limit window and the stream ends degraded.
+	srvB2 := startHost(t, n, srvB.Addr())
+	_ = srvB2
+	healthy := false
+	for wait := 0; wait < 500 && !healthy; wait++ {
+		healthy = true
+		for _, st := range c.ShardStatus() {
+			if st.Down {
+				healthy = false
+			}
+		}
+		if !healthy {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !healthy {
+		t.Fatal("restarted host never probed back up")
+	}
+
+	// The next rounds re-admit the shards, rebuild them over the wire,
+	// and reopen the streams with the emitted samples excluded, so the
+	// drain completes over the full population.
+	done := false
+	for i := 0; i < 500 && !done; i++ {
+		done = drain(1)
+	}
+	if !done {
+		t.Fatal("stream never completed after host restart")
+	}
+	if s.Degraded() {
+		t.Fatal("query should have re-admitted the restarted host's shards")
+	}
+	if s.Readmits() == 0 {
+		t.Error("readmits = 0, want the restarted shards re-admitted")
+	}
+	if emitted != initial {
+		t.Errorf("drained %d samples, want the full pre-kill population %d", emitted, initial)
+	}
+	if st := c.FaultStats(); st.ShardsDown != 0 {
+		t.Errorf("shards_down = %d after recovery, want 0", st.ShardsDown)
+	}
+}

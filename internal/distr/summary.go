@@ -76,12 +76,14 @@ func newAttrSummary() *AttrSummary {
 // buildSummaries digests one shard partition: one AttrSummary per numeric
 // column of the dataset at build time. Columns added after Build are not
 // summarized (a partial summary would silently miss the base records), so
-// lost-mass bounds are simply unavailable for them.
-func (c *Cluster) buildSummaries(part []data.Entry) map[string]*AttrSummary {
-	cols := c.ds.NumericColumns()
+// lost-mass bounds are simply unavailable for them. It runs on whichever
+// process builds the shard — the coordinator for in-process clusters, the
+// shard host for remote ones.
+func buildSummaries(ds *data.Dataset, part []data.Entry) map[string]*AttrSummary {
+	cols := ds.NumericColumns()
 	sums := make(map[string]*AttrSummary, len(cols))
 	for _, name := range cols {
-		col, err := c.ds.NumericColumn(name)
+		col, err := ds.NumericColumn(name)
 		if err != nil {
 			continue
 		}
@@ -95,10 +97,10 @@ func (c *Cluster) buildSummaries(part []data.Entry) map[string]*AttrSummary {
 }
 
 // summaryAdd updates shard sh's summaries for a newly inserted record.
-// Caller holds structMu (write side).
-func (c *Cluster) summaryAdd(sh *Shard, e data.Entry) {
+// Caller holds the owning backend's write lock.
+func summaryAdd(ds *data.Dataset, sh *Shard, e data.Entry) {
 	for name, a := range sh.summaries {
-		col, err := c.ds.NumericColumn(name)
+		col, err := ds.NumericColumn(name)
 		if err != nil || e.ID >= data.ID(len(col)) {
 			continue
 		}
@@ -107,10 +109,10 @@ func (c *Cluster) summaryAdd(sh *Shard, e data.Entry) {
 }
 
 // summaryRemove updates shard sh's summaries for a deleted record.
-// Caller holds structMu (write side).
-func (c *Cluster) summaryRemove(sh *Shard, e data.Entry) {
+// Caller holds the owning backend's write lock.
+func summaryRemove(ds *data.Dataset, sh *Shard, e data.Entry) {
 	for name, a := range sh.summaries {
-		col, err := c.ds.NumericColumn(name)
+		col, err := ds.NumericColumn(name)
 		if err != nil || e.ID >= data.ID(len(col)) {
 			continue
 		}
@@ -120,19 +122,20 @@ func (c *Cluster) summaryRemove(sh *Shard, e data.Entry) {
 
 // ShardSummary returns shard's digest of attr (count, sum, min/max of the
 // records it holds), or ok = false when the shard or attribute is
-// unknown. The coordinator keeps these summaries so degraded estimates
-// can be widened into worst-case bounds over lost shards' populations.
+// unknown. The coordinator reads these summaries through the shard
+// clients (a remote client answers from its build-time cache when the
+// shard is down — exactly when degraded bounds are needed) so degraded
+// estimates can be widened into worst-case bounds over lost shards'
+// populations.
 func (c *Cluster) ShardSummary(shard int, attr string) (s AttrSummary, ok bool) {
-	c.structMu.RLock()
-	defer c.structMu.RUnlock()
-	if shard < 0 || shard >= len(c.shards) {
+	if shard < 0 || shard >= len(c.clients) {
 		return AttrSummary{}, false
 	}
-	a, ok := c.shards[shard].summaries[attr]
-	if !ok {
+	s, ok, err := c.clients[shard].Summary(attr)
+	if err != nil || !ok {
 		return AttrSummary{}, false
 	}
-	return *a, true
+	return s, true
 }
 
 // LostMassBounds returns hard bounds [lo, hi] on the attribute values of

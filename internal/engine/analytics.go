@@ -56,6 +56,7 @@ func (h *Handle) sampleLoop(ctx context.Context, q geo.Rect, opts AnalyticOption
 	if err != nil {
 		return err
 	}
+	defer closeSampler(sampler)
 	start := time.Now()
 	qo := h.eng.met.beginQuery(start)
 	defer qo.end()

@@ -13,6 +13,7 @@ import (
 	"storm/internal/geo"
 	"storm/internal/obs"
 	"storm/internal/sampling"
+	"storm/internal/wire"
 )
 
 func buildShardedHandle(t testing.TB, n, shards int, faults *distr.FaultPlan) (*Engine, *Handle) {
@@ -221,6 +222,87 @@ func TestDistributedQuantileDegrades(t *testing.T) {
 	}
 	if !snap.Exact || snap.Samples != snap.Population {
 		t.Errorf("exhausted degraded median should be exact over survivors: %+v", snap)
+	}
+}
+
+// TestRemoteClusterRegistration registers a dataset against real shard
+// hosts behind TCP sockets (IndexOptions.ShardAddrs) and checks the
+// engine's query path end to end: the optimizer routes to the cluster,
+// the exact exhaustive answer matches ground truth, and — because the
+// remote coordinator draws the same seed sequence as a simulated one —
+// the estimate is byte-identical to the in-process cluster's.
+func TestRemoteClusterRegistration(t *testing.T) {
+	const n = 4000
+	ds := distrtest.Dataset(n)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		host := distr.NewHost()
+		host.AddDataset(distrtest.Dataset(n))
+		srv, err := wire.NewServer("127.0.0.1:0", host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+
+	e := New(Config{Seed: 42, Fanout: 32})
+	h, err := e.Register(ds, IndexOptions{Shards: 4, ShardAddrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster() == nil || !h.Cluster().Remote() {
+		t.Fatal("ShardAddrs registration should build a remote cluster")
+	}
+	plan, err := h.Explain(testRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != MethodDistributed {
+		t.Errorf("optimizer chose %v, want distributed", plan.Method)
+	}
+
+	snap, err := h.Estimate(context.Background(), testRange, Options{Kind: estimator.Avg, Attr: "value", Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Exact || snap.Degraded {
+		t.Fatalf("healthy exhaustive remote run: %+v", snap)
+	}
+	want, _ := trueMean(h, testRange, "value")
+	if math.Abs(snap.Value-want) > 1e-9 {
+		t.Errorf("remote exact AVG = %v, want %v", snap.Value, want)
+	}
+	if net := h.Cluster().Net(); net.BytesSent == 0 || net.BytesRecv == 0 {
+		t.Errorf("remote cluster NetStats = %+v, want measured traffic", net)
+	}
+
+	// Same engine config, simulated cluster, same query seed: identical
+	// sample stream, identical snapshot.
+	_, hSim := buildShardedHandle(t, n, 4, nil)
+	simSnap, err := hSim.Estimate(context.Background(), testRange, Options{Kind: estimator.Avg, Attr: "value", Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simSnap.Value != snap.Value || simSnap.Samples != snap.Samples {
+		t.Errorf("remote snapshot (value %v, samples %d) diverges from simulated (value %v, samples %d)",
+			snap.Value, snap.Samples, simSnap.Value, simSnap.Samples)
+	}
+
+	// Updates mirror over the wire through the handle.
+	rect := testRange.Rect()
+	before := h.Cluster().Count(rect)
+	id := h.Insert(data.Row{Pos: geo.Vec{30, 30, 50}, Num: map[string]float64{"value": 1}})
+	if got := h.Cluster().Count(rect); got != before+1 {
+		t.Errorf("remote cluster count after insert = %d, want %d", got, before+1)
+	}
+	if !h.Delete(id) {
+		t.Fatal("delete of mirrored insert failed")
+	}
+
+	// Unregister tears the transports down.
+	if err := e.Unregister(ds.Name()); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -157,9 +157,18 @@ type IndexOptions struct {
 	// shard trees.
 	Shards int
 	// Faults installs a deterministic fault-injection plan on the cluster
-	// (ignored when Shards == 0); nil leaves the cluster healthy. The
-	// plan's own Seed field drives the injected fault sequence.
+	// (ignored without a cluster); nil leaves the cluster healthy. The
+	// plan's own Seed field drives the injected fault sequence. Faults are
+	// injected at the transport decorator, so the same plan drives
+	// simulated and remote clusters identically.
 	Faults *distr.FaultPlan
+	// ShardAddrs runs the shard cluster remotely instead of simulated:
+	// shards are placed on these stormd -role=shard host addresses by
+	// consistent hashing and reached over TCP. Each host must already
+	// hold a copy of the dataset under the same name (shard hosts
+	// regenerate demo datasets from the same generator seed). Shards
+	// defaults to len(ShardAddrs) when 0.
+	ShardAddrs []string
 }
 
 // Handle is a registered dataset with its indexes. Queries share the
@@ -222,14 +231,21 @@ func (e *Engine) Register(ds *data.Dataset, opts IndexOptions) (*Handle, error) 
 		}
 		h.ls = ls
 	}
-	if opts.Shards > 0 {
-		cl, err := distr.Build(ds, distr.Config{
+	if opts.Shards > 0 || len(opts.ShardAddrs) > 0 {
+		cfg := distr.Config{
 			Shards: opts.Shards,
 			Fanout: e.cfg.Fanout,
 			Seed:   e.nextSeed(),
 			Obs:    e.obs,
 			Faults: opts.Faults,
-		})
+		}
+		var cl *distr.Cluster
+		var err error
+		if len(opts.ShardAddrs) > 0 {
+			cl, err = distr.BuildRemote(ds, cfg, opts.ShardAddrs)
+		} else {
+			cl, err = distr.Build(ds, cfg)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: building cluster for %q: %w", ds.Name(), err)
 		}
@@ -255,11 +271,17 @@ func (e *Engine) nextSeed() int64 {
 func (e *Engine) Unregister(name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.datasets[name]; !ok {
+	h, ok := e.datasets[name]
+	if !ok {
 		return fmt.Errorf("engine: unknown dataset %q", name)
 	}
 	delete(e.datasets, name)
 	e.obs.Unpublish("storm.dataset." + name + ".")
+	if h.cluster != nil {
+		// Releases the remote cluster's TCP transports; a no-op for
+		// simulated clusters.
+		h.cluster.Close()
+	}
 	return nil
 }
 
@@ -381,6 +403,16 @@ func (h *Handle) DeleteRange(q geo.Range) (int, error) {
 // accesses through a caller-supplied accountant (per-query attribution).
 type ioAttributor interface {
 	AttributeIO(iosim.Accountant)
+}
+
+// closeSampler releases sampler resources that outlive the pull loop.
+// Distributed samplers hold per-shard stream state — server-side state on
+// remote shard hosts — that only an explicit close releases; in-process
+// samplers have no Close and are left to the GC.
+func closeSampler(s sampling.Sampler) {
+	if c, ok := s.(interface{ Close() error }); ok {
+		c.Close()
+	}
 }
 
 // newSampler builds a sampler for the query using the requested method;

@@ -167,6 +167,7 @@ func (h *Handle) EstimateMultiOnline(ctx context.Context, q geo.Range, specs []A
 			out <- MultiSnapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 			return
 		}
+		defer closeSampler(sampler)
 		var deadline time.Time
 		if opts.TimeBudget > 0 {
 			deadline = start.Add(opts.TimeBudget)

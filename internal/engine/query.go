@@ -266,6 +266,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		emit(true, fmt.Sprintf("error: %v", err))
 		return
 	}
+	defer closeSampler(sampler)
 	ctr = c
 	deg, _ = sampler.(degrader)
 	lmb, _ = sampler.(lostMassBounder)
@@ -403,6 +404,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 		return
 	}
+	defer closeSampler(sampler)
 	deg, _ := sampler.(degrader)
 	col, err := h.ds.NumericColumn(opts.Attr)
 	if err != nil {
@@ -616,6 +618,7 @@ func (h *Handle) Sample(q geo.Range, k int, method Method, mode sampling.Mode, s
 	if err != nil {
 		return nil, err
 	}
+	defer closeSampler(sampler)
 	qo := h.eng.met.beginQuery(time.Now())
 	defer qo.end()
 	out := make([]data.Entry, k)

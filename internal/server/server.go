@@ -11,6 +11,9 @@
 //	GET  /explain?q=<statement>       the optimizer plan for an estimate
 //	GET  /metrics                     engine + server metrics as one flat
 //	                                  expvar-format JSON object
+//	GET  /healthz                     liveness probe
+//	GET  /shards                      per-dataset shard placement and
+//	                                  liveness (clustered datasets only)
 //
 // Online queries honor client disconnection: dropping the connection
 // cancels the query, the paper's interactive-exploration semantics over
@@ -32,6 +35,7 @@ import (
 	"time"
 
 	"storm/internal/data"
+	"storm/internal/distr"
 	"storm/internal/engine"
 	"storm/internal/geo"
 	"storm/internal/obs"
@@ -104,7 +108,60 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /shards", s.handleShards)
 	return s
+}
+
+// handleHealthz is the liveness probe: a serving process answers 200 with
+// its dataset count. Load balancers and the cluster smoke tests poll it.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"datasets": len(s.eng.Datasets()),
+	})
+}
+
+// ShardInfo describes one dataset's shard cluster as the coordinator sees
+// it: where each shard lives and whether its host answers.
+type ShardInfo struct {
+	Dataset string `json:"dataset"`
+	// Remote is true for a TCP cluster (shards are separate processes),
+	// false for a simulated in-process cluster.
+	Remote bool                `json:"remote"`
+	Shards []distr.ShardStatus `json:"shards"`
+	// ShardsDown counts shards whose host is currently unreachable (or
+	// crashed by fault injection).
+	ShardsDown int `json:"shards_down"`
+}
+
+// handleShards reports shard placement and liveness for every dataset
+// registered with a cluster. The liveness check is a regular coordinator
+// probe, so polling this endpoint also advances injected recovery clocks.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	names := s.eng.Datasets()
+	sort.Strings(names)
+	out := []ShardInfo{}
+	for _, name := range names {
+		h, err := s.eng.Dataset(name)
+		if err != nil {
+			continue
+		}
+		cl := h.Cluster()
+		if cl == nil {
+			continue
+		}
+		info := ShardInfo{Dataset: name, Remote: cl.Remote(), Shards: cl.ShardStatus()}
+		for _, st := range info.Shards {
+			if st.Down {
+				info.ShardsDown++
+			}
+		}
+		out = append(out, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 // handleMetrics serves the engine's registry as one flat expvar-format

@@ -284,3 +284,65 @@ func TestClientDisconnectCancelsQuery(t *testing.T) {
 		t.Fatal("server wedged after client disconnect")
 	}
 }
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	var body struct {
+		Status   string `json:"status"`
+		Datasets int    `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Datasets != 2 {
+		t.Errorf("healthz = %+v, want ok with 2 datasets", body)
+	}
+}
+
+func TestShardsEndpoint(t *testing.T) {
+	eng := engine.New(engine.Config{Seed: 3})
+	ds := gen.Uniform(5000, 5, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	if _, err := eng.Register(ds, engine.IndexOptions{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := gen.Tweets(gen.TweetsConfig{N: 1000, Users: 20, Seed: 5})
+	if _, err := eng.Register(plain, engine.IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /shards = %d", resp.StatusCode)
+	}
+	var infos []ShardInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	// Only the clustered dataset is listed.
+	if len(infos) != 1 || infos[0].Dataset != ds.Name() {
+		t.Fatalf("shards = %+v, want one entry for %q", infos, ds.Name())
+	}
+	info := infos[0]
+	if info.Remote || info.ShardsDown != 0 || len(info.Shards) != 4 {
+		t.Errorf("shard info = %+v, want 4 healthy simulated shards", info)
+	}
+	for i, st := range info.Shards {
+		if st.Shard != i || st.Addr != "loopback" || st.Down {
+			t.Errorf("shard %d status = %+v", i, st)
+		}
+	}
+}

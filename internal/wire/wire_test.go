@@ -1,0 +1,339 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+)
+
+// sampleMsgs returns one populated instance of every message type,
+// exercising empty strings, NaN/Inf floats, empty and non-empty slices.
+func sampleMsgs() []Msg {
+	inf := math.Inf(1)
+	return []Msg{
+		&Error{Code: ErrCodeUnknownStream, Msg: "stream 7 not open"},
+		&Error{},
+		&Ping{},
+		&Pong{Shards: 4},
+		&Build{Target: Target{DS: "osm", Shard: 3}, Of: 8, Seed: -42, Fanout: 16, PoolPages: 1024},
+		&BuildOK{Count: 125000},
+		&Count{Target: Target{DS: "tweets", Shard: 0}, Query: geo.Rect{Min: geo.Vec{20, 20, -inf}, Max: geo.Vec{60, 60, inf}}},
+		&CountOK{N: 9999},
+		&Open{Target: Target{DS: "osm", Shard: 1}, Stream: 77, Query: geo.Rect{Min: geo.Vec{0, 0, 0}, Max: geo.Vec{1, 1, 1}}, Seed: 12345, Exclude: []data.ID{1, 5, 9}},
+		&Open{Target: Target{DS: "osm", Shard: 1}, Stream: 78, Seed: 1},
+		&OpenOK{N: 4242},
+		&Fetch{Target: Target{DS: "osm", Shard: 2}, Stream: 77, N: 32},
+		&Entries{Entries: []data.Entry{{ID: 3, Pos: geo.Vec{1.5, -2.5, 3.25}}, {ID: 9, Pos: geo.Vec{0, 0, 0}}}},
+		&Entries{},
+		&Close{Target: Target{DS: "osm", Shard: 2}, Stream: 77},
+		&CloseOK{},
+		&Insert{Target: Target{DS: "stations", Shard: 0}, ID: 2001, Pos: geo.Vec{10, 20, 30},
+			Num: []NumAttr{{Name: "speed", Val: 88.5}, {Name: "temp", Val: math.NaN()}},
+			Str: []StrAttr{{Name: "tag", Val: "snow"}, {Name: "user", Val: ""}}},
+		&InsertOK{},
+		&Delete{Target: Target{DS: "osm", Shard: 5}, ID: 17, Pos: geo.Vec{-1, -2, -3}},
+		&DeleteOK{Found: true},
+		&Summary{Target: Target{DS: "tweets", Shard: 1}, Attr: "len"},
+		&SummaryOK{Found: true, Count: 100, Sum: 55.5, Min: -inf, Max: inf, NonFinite: 2},
+		&Bounds{Target: Target{DS: "osm", Shard: 0}},
+		&BoundsOK{Rect: geo.EmptyRect()},
+		&Len{Target: Target{DS: "osm", Shard: 7}},
+		&LenOK{N: 31250},
+	}
+}
+
+// msgEqual compares messages treating NaN as equal to itself, which
+// reflect.DeepEqual already does for float64 fields via bit patterns only
+// when identical; we compare re-encoded bytes instead for robustness.
+func msgEqual(t *testing.T, a, b Msg) bool {
+	t.Helper()
+	if a.WireKind() != b.WireKind() {
+		return false
+	}
+	return string(AppendFrame(nil, a)) == string(AppendFrame(nil, b))
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		frame := AppendFrame(nil, m)
+		got, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.WireKind(), err)
+		}
+		if n != len(frame) {
+			t.Fatalf("%v: consumed %d of %d bytes", m.WireKind(), n, len(frame))
+		}
+		if !msgEqual(t, m, got) {
+			t.Fatalf("%v: round-trip mismatch:\n in: %#v\nout: %#v", m.WireKind(), m, got)
+		}
+	}
+}
+
+func TestRoundTripPreservesFloatBits(t *testing.T) {
+	in := &Entries{Entries: []data.Entry{{ID: 1, Pos: geo.Vec{math.NaN(), math.Inf(-1), -0.0}}}}
+	got, _, err := DecodeFrame(AppendFrame(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.(*Entries).Entries[0].Pos
+	for i := 0; i < geo.Dims; i++ {
+		if math.Float64bits(out[i]) != math.Float64bits(in.Entries[0].Pos[i]) {
+			t.Fatalf("dim %d: bits %x != %x", i, math.Float64bits(out[i]), math.Float64bits(in.Entries[0].Pos[i]))
+		}
+	}
+}
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   {1, 0, 0},
+		"zero length":    {0, 0, 0, 0, byte(KindPing)},
+		"oversized":      {0xff, 0xff, 0xff, 0xff, byte(KindPing)},
+		"unknown kind":   {1, 0, 0, 0, 0xee},
+		"truncated body": AppendFrame(nil, &CountOK{N: 7})[:8],
+		"trailing bytes": func() []byte {
+			f := AppendFrame(nil, &Ping{})
+			f[0] += 2 // claim two extra payload bytes
+			return append(f, 0xab, 0xcd)
+		}(),
+		"huge exclude count": func() []byte {
+			f := AppendFrame(nil, &Open{Target: Target{DS: "d"}})
+			// Overwrite the trailing exclude-count u32 with an absurd value.
+			f[len(f)-4], f[len(f)-3], f[len(f)-2], f[len(f)-1] = 0xff, 0xff, 0xff, 0x7f
+			return f
+		}(),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestAppendFrameChains(t *testing.T) {
+	var buf []byte
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		buf = AppendFrame(buf, m)
+	}
+	for i := 0; len(buf) > 0; i++ {
+		m, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !msgEqual(t, msgs[i], m) {
+			t.Fatalf("frame %d: mismatch", i)
+		}
+		buf = buf[n:]
+	}
+}
+
+// echoHandler answers Count with its query volume and everything else
+// with Pong, for transport plumbing tests.
+type echoHandler struct {
+	mu     sync.Mutex
+	served int
+}
+
+func (h *echoHandler) Handle(req Msg) Msg {
+	h.mu.Lock()
+	h.served++
+	h.mu.Unlock()
+	switch m := req.(type) {
+	case *Count:
+		return &CountOK{N: uint64(m.Query.Volume())}
+	case *Fetch:
+		ents := make([]data.Entry, m.N)
+		for i := range ents {
+			ents[i] = data.Entry{ID: data.ID(i), Pos: geo.Vec{float64(i), 0, 0}}
+		}
+		return &Entries{Entries: ents}
+	case *Ping:
+		return &Pong{Shards: 1}
+	default:
+		return &Error{Code: ErrCodeBadRequest, Msg: "unexpected"}
+	}
+}
+
+func TestLoopbackTransport(t *testing.T) {
+	h := &echoHandler{}
+	lb := NewLoopback(h)
+	resp, err := lb.RoundTrip(&Count{Query: geo.NewRect(geo.Vec{0, 0, 0}, geo.Vec{2, 3, 4})}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(*CountOK).N; got != 24 {
+		t.Fatalf("N = %d, want 24", got)
+	}
+	if c := lb.Counts(); c != (Counts{}) {
+		t.Fatalf("loopback reported traffic: %+v", c)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	h := &echoHandler{}
+	srv, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewTCPClient(srv.Addr())
+	defer cl.Close()
+
+	// Sequential requests reuse the pooled connection.
+	for i := 1; i <= 3; i++ {
+		resp, err := cl.RoundTrip(&Fetch{N: uint32(i)}, time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if got := len(resp.(*Entries).Entries); got != i {
+			t.Fatalf("round %d: %d entries", i, got)
+		}
+	}
+
+	// Concurrent requests each get their own connection.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cl.RoundTrip(&Ping{}, time.Second); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	c := cl.Counts()
+	if c.MsgsSent != 11 || c.MsgsRecv != 11 {
+		t.Fatalf("client counts = %+v, want 11 msgs each way", c)
+	}
+	if c.BytesSent == 0 || c.BytesRecv == 0 {
+		t.Fatalf("client byte counts empty: %+v", c)
+	}
+	sc := srv.Counts()
+	if sc.MsgsRecv != 11 || sc.MsgsSent != 11 {
+		t.Fatalf("server counts = %+v", sc)
+	}
+}
+
+func TestTCPDeadline(t *testing.T) {
+	block := make(chan struct{})
+	h := handlerFunc(func(req Msg) Msg {
+		if _, ok := req.(*Fetch); ok {
+			<-block
+		}
+		return &Pong{}
+	})
+	srv, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block)
+
+	cl := NewTCPClient(srv.Addr())
+	defer cl.Close()
+
+	start := time.Now()
+	_, err = cl.RoundTrip(&Fetch{N: 1}, 30*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline took %v", d)
+	}
+	// The client must recover: the dead connection was dropped, a fresh
+	// one serves the next request.
+	if _, err := cl.RoundTrip(&Ping{}, time.Second); err != nil {
+		t.Fatalf("post-timeout request: %v", err)
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	cl := NewTCPClient("127.0.0.1:1") // nothing listens here
+	defer cl.Close()
+	if _, err := cl.RoundTrip(&Ping{}, 100*time.Millisecond); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestServerPanicGuard(t *testing.T) {
+	h := handlerFunc(func(req Msg) Msg {
+		if _, ok := req.(*Fetch); ok {
+			panic("boom")
+		}
+		return &Pong{}
+	})
+	srv, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewTCPClient(srv.Addr())
+	defer cl.Close()
+	resp, err := cl.RoundTrip(&Fetch{N: 1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := resp.(*Error); !ok || e.Code != ErrCodeGeneric {
+		t.Fatalf("resp = %#v, want generic Error", resp)
+	}
+	// Connection survives the panic.
+	if _, err := cl.RoundTrip(&Ping{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type handlerFunc func(Msg) Msg
+
+func (f handlerFunc) Handle(req Msg) Msg { return f(req) }
+
+func TestKindStringTotal(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range sampleMsgs() {
+		s := m.WireKind().String()
+		if s == "" || s[0] == 'K' {
+			t.Fatalf("kind %d has no name", m.WireKind())
+		}
+		seen[s] = true
+	}
+	if !seen["fetch"] || !seen["entries"] {
+		t.Fatal("expected canonical kind names")
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestMsgTypesCoverAllKinds(t *testing.T) {
+	// Every kind newMsg knows must appear in sampleMsgs, so the
+	// round-trip test is total over the protocol.
+	covered := map[Kind]bool{}
+	for _, m := range sampleMsgs() {
+		covered[m.WireKind()] = true
+	}
+	for k := Kind(1); k <= KindLenOK; k++ {
+		m := newMsg(k)
+		if m == nil {
+			t.Fatalf("newMsg(%d) = nil inside kind range", k)
+		}
+		if reflect.TypeOf(m).Kind() != reflect.Ptr {
+			t.Fatalf("newMsg(%d) not a pointer", k)
+		}
+		if !covered[k] {
+			t.Fatalf("kind %v not covered by sampleMsgs", k)
+		}
+	}
+}

@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
 	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/ \
 	./internal/obs/ ./internal/wire/
 
-.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs bench-faults test-stats fuzz-smoke test-cluster bench-cluster
+.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs bench-faults test-stats fuzz-smoke test-cluster bench-cluster bench-pushdown
 
 verify: fmt vet build test race docs-lint
 
@@ -59,15 +59,18 @@ bench-faults:
 # (false-positive budget ~1e-3 per check, see the statcheck package doc).
 test-stats:
 	$(GO) test -race -run 'TestStat' -v ./internal/distr/
+	$(GO) test -race -run 'TestStat' -v ./internal/engine/
 	$(GO) test -race ./internal/stats/statcheck/
 
-# Short fuzz passes over the two operator/network-facing input surfaces:
-# the fault-plan grammar (no panic, canonical round-trip) and the wire
-# codec (no panic on arbitrary frames, decode∘encode identity). The
+# Short fuzz passes over the three operator/network-facing input surfaces:
+# the fault-plan grammar (no panic, canonical round-trip), the wire codec
+# (no panic on arbitrary frames, decode∘encode identity), and the query
+# language's WHERE grammar (no panic, canonical predicate fixpoint). The
 # checked-in corpora also run on plain `go test`.
 fuzz-smoke:
 	$(GO) test -run FuzzParseFaultPlan -fuzz FuzzParseFaultPlan -fuzztime 15s ./internal/distr/
 	$(GO) test -run FuzzWireCodec -fuzz FuzzWireCodec -fuzztime 15s ./internal/wire/
+	$(GO) test -run FuzzParseWhere -fuzz FuzzParseWhere -fuzztime 15s ./internal/query/
 
 # Real-process cluster smoke: build stormd, spawn 4 -role=shard processes
 # plus a coordinator, query over HTTP, kill one shard host mid-stream and
@@ -80,3 +83,10 @@ test-cluster:
 # cluster vs real TCP shard hosts (EXPERIMENTS.md A9).
 bench-cluster:
 	$(GO) run ./cmd/stormbench -fig a9
+
+# Predicate-pushdown ablation: node-summary pruning vs the rejection
+# baseline across predicate selectivities, plus the loopback-vs-TCP
+# byte-identity check of the distributed pushdown stream
+# (EXPERIMENTS.md A10).
+bench-pushdown:
+	$(GO) run ./cmd/stormbench -fig a10

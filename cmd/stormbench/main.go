@@ -17,6 +17,8 @@
 //	                                  # vs degraded-with-lost-mass-bounds
 //	stormbench -fig a9                # transport ablation: loopback vs TCP
 //	                                  # round latency + message/byte counts
+//	stormbench -fig a10               # predicate pushdown ablation: pruning
+//	                                  # vs rejection across selectivities
 //	stormbench -fig all               # everything
 //
 // -metrics attaches an observability registry (see internal/obs) to each
@@ -49,7 +51,7 @@ func series(title string, xs, ys []float64) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, all")
 	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
 	seed := flag.Int64("seed", 1, "generator/sampling seed")
 	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
@@ -90,6 +92,7 @@ func main() {
 	run("a7", func() error { return a7(*seed) })
 	run("a8", func() error { return a8(*seed) })
 	run("a9", func() error { return a9(*seed) })
+	run("a10", func() error { return a10(*seed) })
 }
 
 // dumpMetrics prints every registry entry as "name<TAB>value", sorted by
@@ -449,5 +452,33 @@ func a9(seed int64) error {
 		})
 	}
 	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a10(seed int64) error {
+	fmt.Println("Ablation A10: predicate pushdown — the identical seeded AVG WHERE query with")
+	fmt.Println("node-summary pruning vs the rejection baseline across predicate selectivities")
+	fmt.Println("(200k points, spatially correlated attribute, 1k samples per query); the")
+	fmt.Println("distributed pushdown stream is verified byte-identical loopback vs TCP")
+	res, err := bench.A10(bench.A10Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"selectivity", "qualifying", "strategy", "samples", "draws", "rejects", "pruned", "logical IO", "wall ms"}}
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g%%", p.Selectivity*100),
+			fmt.Sprintf("%d", p.Qualifying),
+			p.Strategy,
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%d", p.Draws),
+			fmt.Sprintf("%d", p.Rejects),
+			fmt.Sprintf("%d", p.Pruned),
+			fmt.Sprintf("%d", p.LogicalIO),
+			fmt.Sprintf("%.2f", p.WallMS),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	fmt.Printf("wire identity (pushdown over TCP vs loopback): %v\n", res.WireIdentical)
 	return nil
 }

@@ -14,7 +14,9 @@ import (
 	"storm/internal/geo"
 	"storm/internal/hilbert"
 	"storm/internal/iosim"
+	"storm/internal/pred"
 	"storm/internal/rstree"
+	"storm/internal/rtree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
 )
@@ -86,7 +88,12 @@ func buildShard(ds *data.Dataset, part []data.Entry, id int, bounds geo.Rect, cf
 	if err != nil {
 		return nil, fmt.Errorf("distr: building shard %d: %w", id, err)
 	}
-	return &Shard{ID: id, index: idx, device: dev, count: len(part), summaries: buildSummaries(ds, part)}, nil
+	attrs := rtree.NewSummaries(idx.Tree(), ds)
+	attrs.Precompute()
+	return &Shard{
+		ID: id, index: idx, device: dev, count: len(part),
+		summaries: buildSummaries(ds, part), attrs: attrs,
+	}, nil
 }
 
 // backendStream is one open sample stream on a shard. Each stream has a
@@ -147,22 +154,53 @@ func newShardBackend(sh *Shard, ds *data.Dataset) *shardBackend {
 	return &shardBackend{shard: sh, ds: ds, streams: make(map[uint64]*backendStream)}
 }
 
-func (b *shardBackend) count(q geo.Rect) int {
+// compileWhere compiles the coordinator's predicate terms against the
+// shard's dataset and binds them to the shard's local tree summaries.
+// Caller holds the structure read lock. A nil result means no predicate.
+func (b *shardBackend) compileWhere(where []pred.Term) (*rtree.TreeFilter, error) {
+	if len(where) == 0 {
+		return nil, nil
+	}
+	c, err := pred.Normalize(where).Compile(b.ds)
+	if err != nil {
+		return nil, err
+	}
+	return rtree.NewTreeFilter(c, b.shard.attrs), nil
+}
+
+func (b *shardBackend) count(q geo.Rect, where []pred.Term) (int, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return b.shard.index.Count(q)
+	f, err := b.compileWhere(where)
+	if err != nil {
+		return 0, err
+	}
+	if f == nil {
+		return b.shard.index.Count(q), nil
+	}
+	return b.shard.index.Tree().CountWhere(q, f), nil
 }
 
 // open creates sample stream id over q. The count-then-create sequence
 // and the stats.NewRNG(seed) sampler construction are exactly what the
 // pre-RPC coordinator did inline, so loopback streams are byte-identical.
-// Excluded IDs that still match q are subtracted from the returned count;
-// an excluded record deleted since it was emitted would make that
-// subtraction overshoot by one, which only ends the stream early — the
-// coordinator's defensive repair absorbs it.
-func (b *shardBackend) open(stream uint64, q geo.Rect, seed int64, exclude []data.ID) int {
+// Excluded IDs that still match q (and the predicate, when one rode along)
+// are subtracted from the returned count; an excluded record deleted since
+// it was emitted would make that subtraction overshoot by one, which only
+// ends the stream early — the coordinator's defensive repair absorbs it.
+func (b *shardBackend) open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term) (int, error) {
 	b.mu.RLock()
-	n := b.shard.index.Count(q)
+	f, err := b.compileWhere(where)
+	if err != nil {
+		b.mu.RUnlock()
+		return 0, err
+	}
+	var n int
+	if f == nil {
+		n = b.shard.index.Count(q)
+	} else {
+		n = b.shard.index.Tree().CountWhere(q, f)
+	}
 	var exmap map[data.ID]struct{}
 	if len(exclude) > 0 {
 		exmap = make(map[data.ID]struct{}, len(exclude))
@@ -171,26 +209,26 @@ func (b *shardBackend) open(stream uint64, q geo.Rect, seed int64, exclude []dat
 				continue
 			}
 			exmap[id] = struct{}{}
-			if int(id) < b.ds.Len() && q.Contains(b.ds.Pos(id)) {
+			if int(id) < b.ds.Len() && q.Contains(b.ds.Pos(id)) && f.Match(id) {
 				n--
 			}
 		}
 	}
 	var sp *rstree.Sampler
 	if n > 0 {
-		sp = b.shard.index.Sampler(q, sampling.WithoutReplacement, stats.NewRNG(seed))
+		sp = b.shard.index.SamplerWhere(q, sampling.WithoutReplacement, stats.NewRNG(seed), f)
 	}
 	b.mu.RUnlock()
 	if n < 0 {
 		n = 0
 	}
 	if sp == nil {
-		return n
+		return n, nil
 	}
 	b.smu.Lock()
 	b.streams[stream] = &backendStream{sp: sp, exclude: exmap}
 	b.smu.Unlock()
-	return n
+	return n, nil
 }
 
 func (b *shardBackend) lookup(stream uint64) *backendStream {
@@ -295,11 +333,13 @@ type loopbackClient struct {
 }
 
 // Count implements ShardClient.
-func (c *loopbackClient) Count(q geo.Rect) (int, error) { return c.b.count(q), nil }
+func (c *loopbackClient) Count(q geo.Rect, where []pred.Term) (int, error) {
+	return c.b.count(q, where)
+}
 
 // Open implements ShardClient.
-func (c *loopbackClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID) (int, error) {
-	return c.b.open(stream, q, seed, exclude), nil
+func (c *loopbackClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term) (int, error) {
+	return c.b.open(stream, q, seed, exclude, where)
 }
 
 // Fetch implements ShardClient.

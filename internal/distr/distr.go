@@ -44,7 +44,9 @@ import (
 	"storm/internal/geo"
 	"storm/internal/iosim"
 	"storm/internal/obs"
+	"storm/internal/pred"
 	"storm/internal/rstree"
+	"storm/internal/rtree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
 	"storm/internal/wire"
@@ -134,6 +136,10 @@ type Shard struct {
 	// (count/sum/min/max) for coordinator-side lost-mass bounds; guarded
 	// by the owning backend's lock like the index (see summary.go).
 	summaries map[string]*AttrSummary
+	// attrs maintains per-node attribute digests over the shard's local
+	// RS-tree so predicate queries prune shard subtrees without any
+	// coordinator round trips; guarded like the index.
+	attrs *rtree.Summaries
 }
 
 // Len returns the number of records on the shard.
@@ -194,10 +200,10 @@ type Cluster struct {
 type clusterMetrics struct {
 	// fanoutMS times each coordinator fan-out round: a Count round, a
 	// sampler's initialization round, or a scatter/gather partial round.
-	fanoutMS *obs.Histogram
+	fanoutMS *obs.TuningHistogram
 	// fetchMS times individual shard sample fetches (one request/response
 	// round trip).
-	fetchMS *obs.Histogram
+	fetchMS *obs.TuningHistogram
 	// fetches counts shard sample-fetch messages issued by samplers.
 	fetches *obs.Counter
 }
@@ -219,8 +225,8 @@ var registryClusters = struct {
 func (c *Cluster) initMetrics() {
 	reg := c.cfg.Obs
 	c.met = clusterMetrics{
-		fanoutMS: reg.Histogram("storm.distr.fanout.latency_ms", obs.LatencyBucketsMS),
-		fetchMS:  reg.Histogram("storm.distr.fetch.latency_ms", obs.LatencyBucketsMS),
+		fanoutMS: reg.TuningHistogram("storm.distr.fanout.latency_ms", 0.1, 16),
+		fetchMS:  reg.TuningHistogram("storm.distr.fetch.latency_ms", 0.1, 16),
 		fetches:  reg.Counter("storm.distr.fetches"),
 	}
 	if reg == nil {
@@ -289,7 +295,7 @@ func (c *Cluster) initMetrics() {
 
 // observeMS records elapsed wall time since start into h (no-op on a nil
 // histogram).
-func observeMS(h *obs.Histogram, start time.Time) {
+func observeMS(h *obs.TuningHistogram, start time.Time) {
 	if h == nil {
 		return
 	}
@@ -479,6 +485,14 @@ func (c *Cluster) Delete(e data.Entry) bool {
 // surviving population — the honest effective N for estimators built on
 // top of it.
 func (c *Cluster) Count(q geo.Rect) int {
+	return c.CountWhere(q, nil)
+}
+
+// CountWhere is Count restricted to records satisfying the predicate
+// terms: the predicate ships to every shard (a few dozen bytes each), and
+// each shard counts with its local summaries pruning the descent — the
+// records the predicate rejects never cross the wire.
+func (c *Cluster) CountWhere(q geo.Rect, where []pred.Term) int {
 	start := time.Now()
 	defer observeMS(c.met.fanoutMS, start)
 	counts := make([]int, len(c.clients))
@@ -490,7 +504,7 @@ func (c *Cluster) Count(q geo.Rect) int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if n, err := c.clients[i].Count(q); err == nil {
+			if n, err := c.clients[i].Count(q, where); err == nil {
 				counts[i] = n
 			}
 		}(i)
@@ -508,7 +522,11 @@ func (c *Cluster) Count(q geo.Rect) int {
 type Sampler struct {
 	cluster *Cluster
 	query   geo.Rect
-	rng     *stats.RNG
+	// where is the query's predicate in normal form (nil = none); it rides
+	// on every Open — including fault-recovery reopens — so shards prune
+	// and filter locally.
+	where []pred.Term
+	rng   *stats.RNG
 	// per-shard state: the sample stream ID each shard serves this query
 	// under, whether that stream was opened, and the remaining matching
 	// count driving the draw distribution.
@@ -545,7 +563,16 @@ type Sampler struct {
 
 // Sampler returns an online sampler for q across all shards.
 func (c *Cluster) Sampler(q geo.Rect) *Sampler {
-	return &Sampler{cluster: c, query: q, rng: stats.NewRNG(c.nextSeed())}
+	return c.SamplerWhere(q, nil)
+}
+
+// SamplerWhere returns an online sampler for q restricted to records
+// satisfying the predicate terms. The predicate ships with every shard
+// stream open, so shards prune with their local summaries and rejected
+// records never cross the wire; the merged stream is exactly uniform over
+// the cluster's qualifying records. Nil terms are exactly Sampler.
+func (c *Cluster) SamplerWhere(q geo.Rect, where []pred.Term) *Sampler {
+	return &Sampler{cluster: c, query: q, where: where, rng: stats.NewRNG(c.nextSeed())}
 }
 
 var _ sampling.Sampler = (*Sampler)(nil)
@@ -589,7 +616,7 @@ func (s *Sampler) initialize() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, err := cl.clients[i].Open(s.streams[i], s.query, seeds[i], nil)
+			got, err := cl.clients[i].Open(s.streams[i], s.query, seeds[i], nil, s.where)
 			if err != nil {
 				// Unreachable at init: same as a pre-crashed shard — the
 				// query scopes itself to the shards that answered.
@@ -874,7 +901,7 @@ func (s *Sampler) reopen(shard int) bool {
 	if s.emitted != nil {
 		exclude = s.emitted[shard]
 	}
-	got, err := cl.clients[shard].Open(stream, s.query, cl.nextSeed(), exclude)
+	got, err := cl.clients[shard].Open(stream, s.query, cl.nextSeed(), exclude, s.where)
 	if err != nil {
 		return false
 	}
@@ -1051,7 +1078,7 @@ func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) 
 	counts := make([]int, len(c.raw))
 	total := 0
 	for i, cl := range c.raw {
-		n, err := cl.Count(q)
+		n, err := cl.Count(q, nil)
 		if err != nil {
 			n = 0
 		}
@@ -1076,7 +1103,7 @@ func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) 
 			if k < 1 {
 				k = 1
 			}
-			if _, err := c.raw[i].Open(stream, q, seed, nil); err != nil {
+			if _, err := c.raw[i].Open(stream, q, seed, nil, nil); err != nil {
 				return
 			}
 			local := make([]data.Entry, k)

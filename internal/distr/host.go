@@ -83,7 +83,11 @@ func (h *Host) Handle(m wire.Msg) wire.Msg {
 		if b == nil {
 			return errUnknownShard(req.Target)
 		}
-		return &wire.CountOK{N: uint64(b.count(req.Query))}
+		n, err := b.count(req.Query, req.Where)
+		if err != nil {
+			return &wire.Error{Code: wire.ErrCodeBadRequest, Msg: fmt.Sprintf("count predicate: %v", err)}
+		}
+		return &wire.CountOK{N: uint64(n)}
 
 	case *wire.Open:
 		b := h.backend(req.Target)
@@ -91,8 +95,11 @@ func (h *Host) Handle(m wire.Msg) wire.Msg {
 			return errUnknownShard(req.Target)
 		}
 		h.dsMu.RLock()
-		n := b.open(req.Stream, req.Query, req.Seed, req.Exclude)
+		n, err := b.open(req.Stream, req.Query, req.Seed, req.Exclude, req.Where)
 		h.dsMu.RUnlock()
+		if err != nil {
+			return &wire.Error{Code: wire.ErrCodeBadRequest, Msg: fmt.Sprintf("open predicate: %v", err)}
+		}
 		return &wire.OpenOK{N: uint64(n)}
 
 	case *wire.Fetch:

@@ -27,10 +27,10 @@ func TestClusterMetrics(t *testing.T) {
 		t.Fatal("cluster sampler returned no samples")
 	}
 
-	if h := reg.Histogram("storm.distr.fanout.latency_ms", obs.LatencyBucketsMS).Snapshot(); h.Count < 2 {
+	if h := reg.TuningHistogram("storm.distr.fanout.latency_ms", 0.1, 16).Snapshot(); h.Count < 2 {
 		t.Errorf("fanout latency observations = %d, want >= 2 (count round + init round)", h.Count)
 	}
-	if h := reg.Histogram("storm.distr.fetch.latency_ms", obs.LatencyBucketsMS).Snapshot(); h.Count == 0 {
+	if h := reg.TuningHistogram("storm.distr.fetch.latency_ms", 0.1, 16).Snapshot(); h.Count == 0 {
 		t.Error("fetch latency histogram is empty")
 	}
 	if reg.Counter("storm.distr.fetches").Value() == 0 {

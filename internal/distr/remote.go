@@ -14,6 +14,7 @@ import (
 
 	"storm/internal/data"
 	"storm/internal/geo"
+	"storm/internal/pred"
 	"storm/internal/wire"
 )
 
@@ -152,8 +153,8 @@ func (w *wireClient) call(m wire.Msg, timeout time.Duration) (wire.Msg, error) {
 }
 
 // Count implements ShardClient.
-func (w *wireClient) Count(q geo.Rect) (int, error) {
-	resp, err := w.call(&wire.Count{Target: w.tgt, Query: q}, remoteOpTimeout)
+func (w *wireClient) Count(q geo.Rect, where []pred.Term) (int, error) {
+	resp, err := w.call(&wire.Count{Target: w.tgt, Query: q, Where: where}, remoteOpTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -165,8 +166,8 @@ func (w *wireClient) Count(q geo.Rect) (int, error) {
 }
 
 // Open implements ShardClient.
-func (w *wireClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID) (int, error) {
-	resp, err := w.call(&wire.Open{Target: w.tgt, Stream: stream, Query: q, Seed: seed, Exclude: exclude}, remoteOpTimeout)
+func (w *wireClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term) (int, error) {
+	resp, err := w.call(&wire.Open{Target: w.tgt, Stream: stream, Query: q, Seed: seed, Exclude: exclude, Where: where}, remoteOpTimeout)
 	if err != nil {
 		return 0, err
 	}

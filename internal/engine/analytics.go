@@ -52,7 +52,7 @@ func (h *Handle) sampleLoop(ctx context.Context, q geo.Rect, opts AnalyticOption
 	if seed == 0 {
 		seed = h.eng.nextSeed()
 	}
-	sampler, _, err := h.newSampler(opts.Method, q, opts.Mode, stats.NewRNG(seed))
+	sampler, _, err := h.newSampler(opts.Method, q, opts.Mode, stats.NewRNG(seed), nil)
 	if err != nil {
 		return err
 	}

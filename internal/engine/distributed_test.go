@@ -61,11 +61,11 @@ func TestDistributedMethodRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := h2.newSampler(MethodDistributed, testRange.Rect(), sampling.WithoutReplacement, nil); err == nil {
+	if _, _, err := h2.newSampler(MethodDistributed, testRange.Rect(), sampling.WithoutReplacement, nil, nil); err == nil {
 		t.Error("distributed method without a cluster should fail")
 	}
 	// With-replacement is unsupported on the coordinator.
-	if _, _, err := h.newSampler(MethodDistributed, testRange.Rect(), sampling.WithReplacement, nil); err == nil {
+	if _, _, err := h.newSampler(MethodDistributed, testRange.Rect(), sampling.WithReplacement, nil, nil); err == nil {
 		t.Error("with-replacement distributed sampling should fail")
 	}
 }

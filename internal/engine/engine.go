@@ -37,6 +37,7 @@ import (
 	"storm/internal/lstree"
 	"storm/internal/obs"
 	"storm/internal/rstree"
+	"storm/internal/rtree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
 )
@@ -185,6 +186,11 @@ type Handle struct {
 	ds   *data.Dataset
 	rs   *rstree.Index
 	ls   *lstree.Index
+	// sums maintains the RS-tree's per-node attribute summaries (min/max
+	// per numeric column). The planner prunes subtrees and estimates
+	// predicate selectivity from them; they are version-keyed, so index
+	// updates invalidate exactly the nodes they touch.
+	sums *rtree.Summaries
 	// cluster is the dataset's simulated shard cluster (IndexOptions.Shards
 	// > 0), nil otherwise. Structural mutation is additionally guarded by
 	// the cluster's own lock, so queries can fetch from shards while holding
@@ -220,11 +226,17 @@ func (e *Engine) Register(ds *data.Dataset, opts IndexOptions) (*Handle, error) 
 		return nil, fmt.Errorf("engine: building RS-tree for %q: %w", ds.Name(), err)
 	}
 	h := &Handle{name: ds.Name(), ds: ds, rs: rs, eng: e, deleted: make(map[data.ID]struct{})}
+	// Bulk-load-time summary build: one tree walk computes every node's
+	// attribute digests so the first predicate query pays no lazy
+	// recomputation.
+	h.sums = rtree.NewSummaries(rs.Tree(), ds)
+	h.sums.Precompute()
 	if opts.LSTree {
 		ls, err := lstree.Build(entries, lstree.Config{
 			Fanout: e.cfg.Fanout,
 			Device: dev,
 			Seed:   e.nextSeed(),
+			Attrs:  ds,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: building LS-tree for %q: %w", ds.Name(), err)
@@ -416,12 +428,16 @@ func closeSampler(s sampling.Sampler) {
 }
 
 // newSampler builds a sampler for the query using the requested method;
-// Auto applies the optimizer's rules (see choose). When I/O simulation is
-// enabled, the sampler is wired to a fresh per-query iosim.Counter that
-// forwards to the shared device, so each concurrent query's I/O is
-// attributed race-free; the returned counter is nil otherwise. Caller
-// holds h.mu (read side suffices).
-func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *stats.RNG) (sampling.Sampler, *iosim.Counter, error) {
+// Auto applies the optimizer's rules (see choose). A non-nil plan applies
+// its WHERE predicate: pushdown plans use the predicate-aware sampler
+// variants (node-summary pruning with the acceptance correction that
+// keeps samples uniform over qualifying records), rejection plans wrap
+// the plain sampler in sampling.Filtered. When I/O simulation is enabled,
+// the sampler is wired to a fresh per-query iosim.Counter that forwards
+// to the shared device, so each concurrent query's I/O is attributed
+// race-free; the returned counter is nil otherwise. Caller holds h.mu
+// (read side suffices).
+func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *stats.RNG, plan *wherePlan) (sampling.Sampler, *iosim.Counter, error) {
 	if method == Auto {
 		method = h.choose(q)
 	}
@@ -447,9 +463,15 @@ func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *
 		if mode == sampling.WithReplacement {
 			return nil, nil, fmt.Errorf("engine: distributed sampling supports without-replacement only")
 		}
+		if plan != nil {
+			return attach(h.cluster.SamplerWhere(q, plan.terms))
+		}
 		return attach(h.cluster.Sampler(q))
 	case MethodRSTree:
-		return attach(h.rs.Sampler(q, mode, rng))
+		if plan.usePushdown() {
+			return attach(h.rs.SamplerWhere(q, mode, rng, plan.treeFilter(h.sums)))
+		}
+		return attach(plan.reject(h.rs.Sampler(q, mode, rng)))
 	case MethodLSTree:
 		if h.ls == nil {
 			return nil, nil, fmt.Errorf("engine: dataset %q has no LS-tree (register with IndexOptions.LSTree)", h.name)
@@ -457,13 +479,28 @@ func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *
 		if mode == sampling.WithReplacement {
 			return nil, nil, fmt.Errorf("engine: LS-tree supports without-replacement sampling only")
 		}
-		return attach(h.ls.Sampler(q, rng))
+		if plan.usePushdown() {
+			return attach(h.ls.SamplerWhere(q, rng, plan.compiled))
+		}
+		return attach(plan.reject(h.ls.Sampler(q, rng)))
 	case MethodRandomPath:
-		return attach(sampling.NewRandomPath(h.rs.Tree(), q, mode, rng))
+		if plan.usePushdown() {
+			return attach(sampling.NewRandomPathWhere(h.rs.Tree(), q, mode, rng, plan.treeFilter(h.sums)))
+		}
+		return attach(plan.reject(sampling.NewRandomPath(h.rs.Tree(), q, mode, rng)))
 	case MethodQueryFirst:
-		return attach(sampling.NewQueryFirst(h.rs.Tree(), q, mode, rng))
+		if plan.usePushdown() {
+			return attach(sampling.NewQueryFirstWhere(h.rs.Tree(), q, mode, rng, plan.treeFilter(h.sums)))
+		}
+		return attach(plan.reject(sampling.NewQueryFirst(h.rs.Tree(), q, mode, rng)))
 	case MethodSampleFirst:
 		sf := sampling.NewSampleFirst(h.ds, q, mode, rng, dev, h.rs.Tree().Fanout())
+		if plan != nil {
+			// SampleFirst is itself a rejection loop over the raw store;
+			// the predicate joins its accept test (with the degraded-scan
+			// fallback when acceptance collapses).
+			sf.Pred = plan.compiled
+		}
 		if len(h.deleted) > 0 {
 			sf.Filter = func(id data.ID) bool {
 				_, gone := h.deleted[id]
@@ -491,30 +528,23 @@ type Plan struct {
 	CanonicalSize int
 	// TreeHeight is the RS-tree's height.
 	TreeHeight int
+	// Where is the canonical form of the query's WHERE predicate; empty
+	// without one.
+	Where string
+	// Qualifying is |P ∩ q ∩ σ|, the records satisfying both the range
+	// and the predicate (equals Matching without a predicate).
+	Qualifying int
+	// WhereSelectivity is the planner's estimated fraction of range
+	// matches satisfying the predicate (1 without one).
+	WhereSelectivity float64
+	// Pushdown reports whether the planner chose node-summary pruning
+	// over the rejection baseline for the predicate.
+	Pushdown bool
 }
 
 // Explain returns the optimizer's plan for a range without executing it.
 func (h *Handle) Explain(q geo.Range) (Plan, error) {
-	if !q.Valid() {
-		return Plan{}, fmt.Errorf("engine: invalid query range %+v", q)
-	}
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	rect := q.Rect()
-	n := h.rs.Len()
-	matching := h.rs.Count(rect)
-	p := Plan{
-		Dataset:       h.name,
-		N:             n,
-		Matching:      matching,
-		Method:        h.choose(rect),
-		CanonicalSize: h.rs.Tree().CanonicalSize(rect),
-		TreeHeight:    h.rs.Tree().Height(),
-	}
-	if n > 0 {
-		p.Selectivity = float64(matching) / float64(n)
-	}
-	return p, nil
+	return h.ExplainWhere(q, nil, PushdownAuto)
 }
 
 // choose implements the query optimizer's method selection rules

@@ -29,9 +29,20 @@ type metrics struct {
 	samplerExplosions *obs.Counter
 	samplerScans      *obs.Counter
 
-	batchSize      *obs.Histogram
-	ciRelWidth     *obs.Histogram
-	queryLatencyMS *obs.Histogram
+	// pushdownPlans counts planner resolutions (queries and EXPLAINs)
+	// that chose predicate pushdown over the rejection baseline;
+	// pushdownPruned counts the subtrees node-summary pruning excluded
+	// from sampler descents.
+	pushdownPlans  *obs.Counter
+	pushdownPruned *obs.Counter
+
+	batchSize *obs.Histogram
+	// Latency and CI-width distributions self-tune: their log-spaced
+	// bounds rescale upward instead of saturating a top bucket when a
+	// cold cache, a huge dataset, or a slow-converging estimate pushes
+	// observations past the initial range.
+	ciRelWidth     *obs.TuningHistogram
+	queryLatencyMS *obs.TuningHistogram
 
 	ttci []ttciMilestone
 }
@@ -40,7 +51,7 @@ type metrics struct {
 // long queries took to first shrink their relative CI width to rel.
 type ttciMilestone struct {
 	rel  float64
-	hist *obs.Histogram
+	hist *obs.TuningHistogram
 }
 
 // ttciThresholds are the convergence milestones exported as
@@ -68,12 +79,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 		samplerRejects:    reg.Counter("storm.engine.sampler.rejects"),
 		samplerExplosions: reg.Counter("storm.engine.sampler.explosions"),
 		samplerScans:      reg.Counter("storm.engine.sampler.scans"),
+		pushdownPlans:     reg.Counter("storm.engine.pushdown.plans"),
+		pushdownPruned:    reg.Counter("storm.engine.pushdown.pruned_nodes"),
 		batchSize:         reg.Histogram("storm.engine.batch.size", obs.BatchSizeBuckets),
-		ciRelWidth:        reg.Histogram("storm.engine.ci.relwidth", obs.CIWidthBuckets),
-		queryLatencyMS:    reg.Histogram("storm.engine.query.latency_ms", obs.LatencyBucketsMS),
+		ciRelWidth:        reg.TuningHistogram("storm.engine.ci.relwidth", 1e-4, 16),
+		queryLatencyMS:    reg.TuningHistogram("storm.engine.query.latency_ms", 0.1, 16),
 	}
 	for _, t := range ttciThresholds {
-		m.ttci = append(m.ttci, ttciMilestone{rel: t.rel, hist: reg.Histogram(t.name, obs.LatencyBucketsMS)})
+		m.ttci = append(m.ttci, ttciMilestone{rel: t.rel, hist: reg.TuningHistogram(t.name, 0.1, 16)})
 	}
 	return m
 }
@@ -119,6 +132,7 @@ func (q *queryObs) batch(s sampling.Sampler, n int) {
 		m.samplerRejects.Add(cur.Rejects - q.last.Rejects)
 		m.samplerExplosions.Add(cur.Explosions - q.last.Explosions)
 		m.samplerScans.Add(cur.Scans - q.last.Scans)
+		m.pushdownPruned.Add(cur.Pruned - q.last.Pruned)
 		q.last = cur
 	} else if n > 0 {
 		m.samplesDrawn.Add(uint64(n))

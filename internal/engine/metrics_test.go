@@ -43,10 +43,10 @@ func TestQueryMetricsPopulated(t *testing.T) {
 	if bs := reg.Histogram("storm.engine.batch.size", obs.BatchSizeBuckets).Snapshot(); bs.Count == 0 {
 		t.Error("batch.size histogram is empty")
 	}
-	if lat := reg.Histogram("storm.engine.query.latency_ms", obs.LatencyBucketsMS).Snapshot(); lat.Count != 1 {
+	if lat := reg.TuningHistogram("storm.engine.query.latency_ms", 0.1, 16).Snapshot(); lat.Count != 1 {
 		t.Errorf("query.latency_ms count = %d, want 1", lat.Count)
 	}
-	if ci := reg.Histogram("storm.engine.ci.relwidth", obs.CIWidthBuckets).Snapshot(); ci.Count == 0 {
+	if ci := reg.TuningHistogram("storm.engine.ci.relwidth", 1e-4, 16).Snapshot(); ci.Count == 0 {
 		t.Error("ci.relwidth histogram is empty")
 	}
 	if _, ok := reg.Get("storm.dataset.uniform.records").(obs.Var); !ok {
@@ -69,7 +69,7 @@ func TestTTCIMilestones(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, th := range ttciThresholds {
-		hist := e.Obs().Histogram(th.name, obs.LatencyBucketsMS)
+		hist := e.Obs().TuningHistogram(th.name, 0.1, 16)
 		if hist.Snapshot().Count == 0 {
 			t.Errorf("milestone %s never stamped", th.name)
 		}

@@ -162,7 +162,7 @@ func (h *Handle) EstimateMultiOnline(ctx context.Context, q geo.Range, specs []A
 		if seed == 0 {
 			seed = h.eng.nextSeed()
 		}
-		sampler, _, err := h.newSampler(opts.Method, q.Rect(), opts.Mode, stats.NewRNG(seed))
+		sampler, _, err := h.newSampler(opts.Method, q.Rect(), opts.Mode, stats.NewRNG(seed), nil)
 		if err != nil {
 			out <- MultiSnapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 			return

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+
+	"storm/internal/geo"
+	"storm/internal/pred"
+	"storm/internal/rtree"
+	"storm/internal/sampling"
+)
+
+// PushdownStrategy overrides the planner's pushdown-vs-rejection choice
+// for WHERE predicates (Options.Pushdown).
+type PushdownStrategy int
+
+// Predicate execution strategies.
+const (
+	// PushdownAuto lets the planner pick by estimated selectivity:
+	// low-selectivity predicates prune subtrees through node attribute
+	// summaries, broad predicates use the rejection baseline (whose
+	// per-draw cost is lower and which loses almost nothing to
+	// rejection when most draws qualify).
+	PushdownAuto PushdownStrategy = iota
+	// PushdownForce always prunes through node attribute summaries.
+	PushdownForce
+	// PushdownOff always uses the rejection baseline: draw from the
+	// plain range stream and discard non-qualifying samples. Distributed
+	// queries ignore it — shards always filter locally (see planWhere).
+	PushdownOff
+)
+
+// String implements fmt.Stringer.
+func (s PushdownStrategy) String() string {
+	switch s {
+	case PushdownAuto:
+		return "auto"
+	case PushdownForce:
+		return "pushdown"
+	case PushdownOff:
+		return "rejection"
+	default:
+		return fmt.Sprintf("PushdownStrategy(%d)", int(s))
+	}
+}
+
+// rejectionThreshold is the estimated-selectivity cutoff of PushdownAuto:
+// predicates expected to keep at least this fraction of range matches run
+// as rejection (cheap per draw, few wasted draws), anything rarer prunes
+// through node summaries. Pushdown's per-descent overhead is a handful of
+// digest comparisons, so even near the threshold it never loses by more
+// than that constant; at 1% selectivity it wins by the ~100× rejection
+// waste (see EXPERIMENTS.md A10).
+const rejectionThreshold = 0.5
+
+// wherePlan is the planner's resolution of a query's WHERE predicate: the
+// normalized terms (shipped to shards over the wire), the compiled
+// record-level matcher, the selectivity estimate behind the strategy
+// choice, and the choice itself. A nil *wherePlan means "no predicate" at
+// every use site.
+type wherePlan struct {
+	terms    []pred.Term
+	compiled *pred.Compiled
+	// est is the estimated fraction of range matches that satisfy the
+	// predicate, from the dataset-level attribute envelope.
+	est float64
+	// pushdown selects node-summary pruning over the rejection baseline.
+	pushdown bool
+}
+
+// usePushdown reports whether the plan wants node pruning (nil-safe).
+func (p *wherePlan) usePushdown() bool { return p != nil && p.pushdown }
+
+// reject wraps s in the rejection baseline when the plan carries a
+// predicate, and returns s unchanged when there is none.
+func (p *wherePlan) reject(s sampling.Sampler) sampling.Sampler {
+	if p == nil {
+		return s
+	}
+	return sampling.NewFiltered(s, p.compiled)
+}
+
+// treeFilter builds a fresh pruning filter over sums. Per call because a
+// TreeFilter's Pruned counter is per-query state.
+func (p *wherePlan) treeFilter(sums *rtree.Summaries) *rtree.TreeFilter {
+	return rtree.NewTreeFilter(p.compiled, sums)
+}
+
+// planWhere resolves a query's WHERE terms into an executable plan.
+// Caller holds h.mu (read side suffices).
+//
+// It returns a nil plan when there is no effective predicate: none given,
+// vacuous after normalization, or the root digests prove every record
+// qualifies — dropping the predicate is then strictly cheapest, which is
+// how pushdown never loses to rejection on all-pass predicates. It
+// returns empty=true when the root digests prove no record can qualify.
+func (h *Handle) planWhere(where []pred.Term, strategy PushdownStrategy) (plan *wherePlan, empty bool, err error) {
+	if len(where) == 0 {
+		return nil, false, nil
+	}
+	p := pred.Normalize(where)
+	if p.Empty() {
+		return nil, false, nil
+	}
+	c, err := p.Compile(h.ds)
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: %w", err)
+	}
+	if root := h.rs.Tree().Root(); root != nil {
+		switch rtree.NewTreeFilter(c, h.sums).Verdict(root) {
+		case pred.None:
+			return nil, true, nil
+		case pred.All:
+			return nil, false, nil
+		}
+	}
+	pl := &wherePlan{terms: p.Terms, compiled: c, est: p.Selectivity(h.sums.RootStats)}
+	switch {
+	case strategy == PushdownForce:
+		pl.pushdown = true
+	case strategy == PushdownOff:
+		pl.pushdown = false
+	default:
+		pl.pushdown = pl.est < rejectionThreshold
+	}
+	if h.cluster != nil {
+		// Distributed predicates always push down: rejecting coordinator-
+		// side would ship non-qualifying samples across the wire, and the
+		// degraded-population accounting needs shard matching counts to be
+		// qualifying counts.
+		pl.pushdown = true
+	}
+	if pl.pushdown {
+		h.eng.met.pushdownPlans.Inc()
+	}
+	return pl, false, nil
+}
+
+// qualifying returns the exact qualifying population |P ∩ q ∩ σ| for the
+// resolved method — the N the estimator scales SUM/COUNT by, applies the
+// finite-population correction against, and declares exactness at.
+// Caller holds h.mu.
+func (h *Handle) qualifying(q geo.Rect, method Method, plan *wherePlan) int {
+	if method == MethodDistributed && h.cluster != nil {
+		if plan == nil {
+			return h.cluster.Count(q)
+		}
+		return h.cluster.CountWhere(q, plan.terms)
+	}
+	if plan == nil {
+		return h.rs.Count(q)
+	}
+	return h.rs.Tree().CountWhere(q, plan.treeFilter(h.sums))
+}
+
+// ExplainWhere returns the optimizer's plan for a range and an optional
+// WHERE predicate (nil terms behave exactly like Explain) without
+// executing it.
+func (h *Handle) ExplainWhere(q geo.Range, where []pred.Term, strategy PushdownStrategy) (Plan, error) {
+	if !q.Valid() {
+		return Plan{}, fmt.Errorf("engine: invalid query range %+v", q)
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	rect := q.Rect()
+	n := h.rs.Len()
+	matching := h.rs.Count(rect)
+	plan, emptyPred, err := h.planWhere(where, strategy)
+	if err != nil {
+		return Plan{}, err
+	}
+	p := Plan{
+		Dataset:          h.name,
+		N:                n,
+		Matching:         matching,
+		Method:           h.choose(rect),
+		CanonicalSize:    h.rs.Tree().CanonicalSize(rect),
+		TreeHeight:       h.rs.Tree().Height(),
+		Qualifying:       matching,
+		WhereSelectivity: 1,
+	}
+	if n > 0 {
+		p.Selectivity = float64(matching) / float64(n)
+	}
+	if len(where) > 0 {
+		p.Where = pred.Normalize(where).String()
+	}
+	switch {
+	case emptyPred:
+		p.Qualifying, p.WhereSelectivity = 0, 0
+	case plan != nil:
+		p.WhereSelectivity = plan.est
+		p.Pushdown = plan.pushdown
+		p.Qualifying = h.qualifying(rect, p.Method, plan)
+	}
+	return p, nil
+}

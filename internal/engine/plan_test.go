@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"storm/internal/estimator"
+	"storm/internal/pred"
+)
+
+func TestPlanWhereStrategy(t *testing.T) {
+	_, h := buildHandle(t, 10000, false)
+	inf := math.Inf(1)
+
+	// No predicate, or one every record satisfies, plans to nil — the
+	// path where pushdown can never lose to rejection.
+	if plan, empty, err := h.planWhere(nil, PushdownAuto); plan != nil || empty || err != nil {
+		t.Fatalf("nil terms: (%v, %v, %v)", plan, empty, err)
+	}
+	allPass := []pred.Term{{Attr: "value", Lo: math.Inf(-1), Hi: inf}}
+	if plan, empty, err := h.planWhere(allPass, PushdownAuto); plan != nil || empty || err != nil {
+		t.Fatalf("all-pass predicate should drop: (%v, %v, %v)", plan, empty, err)
+	}
+	// One no record can satisfy is proven empty from the root digests.
+	if plan, empty, err := h.planWhere([]pred.Term{{Attr: "value", Lo: 1e9, Hi: inf}}, PushdownAuto); plan != nil || !empty || err != nil {
+		t.Fatalf("impossible predicate: (%v, %v, %v)", plan, empty, err)
+	}
+	if _, _, err := h.planWhere([]pred.Term{{Attr: "nope", Lo: 0, Hi: 1}}, PushdownAuto); err == nil {
+		t.Fatal("unknown attribute should error")
+	}
+
+	// Auto picks by estimated selectivity; Force/Off override it.
+	narrow := []pred.Term{{Attr: "value", Lo: 99, Hi: 101}}
+	broad := []pred.Term{{Attr: "value", Lo: 25, Hi: inf}}
+	if plan, _, _ := h.planWhere(narrow, PushdownAuto); plan == nil || !plan.pushdown {
+		t.Fatalf("narrow slab should push down: %+v", plan)
+	}
+	if plan, _, _ := h.planWhere(broad, PushdownAuto); plan == nil || plan.pushdown {
+		t.Fatalf("broad predicate should run as rejection: %+v", plan)
+	}
+	if plan, _, _ := h.planWhere(broad, PushdownForce); !plan.usePushdown() {
+		t.Fatal("PushdownForce ignored")
+	}
+	if plan, _, _ := h.planWhere(narrow, PushdownOff); plan.usePushdown() {
+		t.Fatal("PushdownOff ignored")
+	}
+}
+
+func TestExplainWhere(t *testing.T) {
+	_, h := buildHandle(t, 10000, false)
+	terms := []pred.Term{{Attr: "value", Lo: 99, Hi: 101}}
+	plan, err := h.ExplainWhere(testRange, terms, PushdownAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Where != "value >= 99 AND value <= 101" {
+		t.Errorf("Where = %q", plan.Where)
+	}
+	if !plan.Pushdown {
+		t.Error("narrow slab should plan as pushdown")
+	}
+	if plan.Qualifying <= 0 || plan.Qualifying >= plan.Matching {
+		t.Errorf("qualifying = %d of %d matching", plan.Qualifying, plan.Matching)
+	}
+	if plan.WhereSelectivity <= 0 || plan.WhereSelectivity >= 1 {
+		t.Errorf("where selectivity = %v", plan.WhereSelectivity)
+	}
+	// No predicate behaves exactly like Explain.
+	bare, err := h.ExplainWhere(testRange, nil, PushdownAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Where != "" || bare.Pushdown || bare.Qualifying != bare.Matching || bare.WhereSelectivity != 1 {
+		t.Errorf("bare plan = %+v", bare)
+	}
+}
+
+func TestEstimateWithWhere(t *testing.T) {
+	_, h := buildHandle(t, 10000, false)
+	terms := []pred.Term{{Attr: "value", Lo: 99, Hi: 101}}
+	qual, truth := qualifyingIDs(h, testRange.Rect(), 99, 101)
+	if len(qual) < 30 {
+		t.Fatal("degenerate fixture")
+	}
+
+	// Exhaustion over the qualifying set is exact over the qualifying set.
+	snap, err := h.Estimate(context.Background(), testRange, Options{
+		Kind: estimator.Avg, Attr: "value", Where: terms,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Exact || snap.Samples != len(qual) {
+		t.Fatalf("exhausted WHERE query: %+v, want %d exact samples", snap, len(qual))
+	}
+	if math.Abs(snap.Value-truth) > 1e-9 {
+		t.Errorf("exact value %v != qualifying truth %v", snap.Value, truth)
+	}
+
+	// COUNT with a predicate stays exact and immediate via pruned counting.
+	cnt, err := h.Estimate(context.Background(), testRange, Options{Kind: estimator.Count, Where: terms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cnt.Exact || int(cnt.Value) != len(qual) || cnt.Method != "range-count" {
+		t.Errorf("count = %+v, want exact %d", cnt, len(qual))
+	}
+
+	// The rejection baseline reports its waste: at ~4% selectivity nearly
+	// every raw draw is discarded, so the snapshot's reject ratio must be
+	// close to one rejection per draw. The pushdown run must still finish
+	// on the same qualifying stream (gen.Uniform's value is spatially
+	// uncorrelated, so node digests prune little here — the A10 bench
+	// covers the correlated case where pruning collapses the waste).
+	rej, err := h.Estimate(context.Background(), testRange, Options{
+		Kind: estimator.Avg, Attr: "value", Where: terms,
+		Pushdown: PushdownOff, MaxSamples: 50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej.RejectRatio < 0.5 {
+		t.Errorf("rejection at ~4%% selectivity reported reject ratio %v", rej.RejectRatio)
+	}
+	push, err := h.Estimate(context.Background(), testRange, Options{
+		Kind: estimator.Avg, Attr: "value", Where: terms,
+		Pushdown: PushdownForce, MaxSamples: 50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !push.Done || push.Samples != 50 {
+		t.Errorf("pushdown run: %+v", push)
+	}
+
+	// An impossible predicate terminates immediately and empty.
+	empty, err := h.Estimate(context.Background(), testRange, Options{
+		Kind: estimator.Avg, Attr: "value",
+		Where: []pred.Term{{Attr: "value", Lo: 1e9, Hi: math.Inf(1)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Done || empty.Samples != 0 {
+		t.Errorf("impossible predicate snapshot = %+v", empty)
+	}
+
+	// A bad predicate surfaces as a terminal error snapshot.
+	bad, err := h.Estimate(context.Background(), testRange, Options{
+		Kind: estimator.Avg, Attr: "value",
+		Where: []pred.Term{{Attr: "nope", Lo: 0, Hi: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad.Done || bad.Samples != 0 {
+		t.Errorf("bad predicate snapshot = %+v", bad)
+	}
+}

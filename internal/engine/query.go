@@ -9,6 +9,7 @@ import (
 	"storm/internal/estimator"
 	"storm/internal/geo"
 	"storm/internal/iosim"
+	"storm/internal/pred"
 	"storm/internal/sampling"
 	"storm/internal/stats"
 )
@@ -40,6 +41,14 @@ type Options struct {
 	Mode sampling.Mode
 	// Method picks the sampler; Auto consults the query optimizer.
 	Method Method
+	// Where restricts the aggregate to records whose numeric attributes
+	// satisfy every term (the query language's WHERE comparisons, ANDed).
+	// Samples stay exactly uniform over the qualifying records, and the
+	// reported Population is the qualifying count. Nil means no predicate.
+	Where []pred.Term
+	// Pushdown overrides the planner's predicate strategy; the zero value
+	// (PushdownAuto) picks pushdown or rejection by estimated selectivity.
+	Pushdown PushdownStrategy
 	// ReportEvery emits a snapshot every this many samples; 0 means 64.
 	ReportEvery int
 	// Seed overrides the query's sampling seed (0 derives one from the
@@ -90,6 +99,13 @@ type Snapshot struct {
 	// back over the full population (Population restored, no lost mass).
 	// Mutually exclusive with Degraded.
 	Recovered bool
+	// RejectRatio is the fraction of the sampler's draws that rejection
+	// steps discarded (SamplerStats Rejects/Draws): out-of-range or
+	// predicate-failing candidates for SampleFirst and the rejection
+	// WHERE strategy, weight-consumed non-qualifying draws for pruned
+	// RS-tree streams. Zero for exact answers and clean pushdown streams
+	// — the headline number the A10 ablation compares across strategies.
+	RejectRatio float64
 	// LostMassLow and LostMassHigh, set only on degraded AVG/SUM
 	// snapshots, are worst-case bounds on the aggregate over the full
 	// pre-crash population: the surviving-population CI widened by the
@@ -166,19 +182,25 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 	}
 	rng := stats.NewRNG(seed)
 
-	// Resolve the method up front: a distributed query's population is the
-	// cluster's count, which excludes shards that are already down — the
-	// honest effective N for the stream the coordinator can deliver.
+	// Resolve the predicate plan and method up front: the population is
+	// the qualifying count — for distributed queries the cluster's, which
+	// excludes shards that are already down — the honest effective N for
+	// the stream the coordinator can deliver.
+	plan, emptyPred, err := h.planWhere(opts.Where, opts.Pushdown)
+	if err != nil {
+		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
+		return
+	}
 	opts.Method = h.resolveMethod(opts.Method, q)
-	population := h.rs.Count(q)
-	if opts.Method == MethodDistributed && h.cluster != nil {
-		population = h.cluster.Count(q)
+	population := 0
+	if !emptyPred {
+		population = h.qualifying(q, opts.Method, plan)
 	}
 
 	// Order statistics go through the quantile estimator, which keeps
 	// its sample and reports distribution-free order-statistic bounds.
 	if opts.Kind == estimator.Median || opts.Kind == estimator.Quant {
-		h.runQuantile(ctx, q, opts, population, rng, start, out)
+		h.runQuantile(ctx, q, opts, population, plan, rng, start, out)
 		return
 	}
 
@@ -193,6 +215,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 	var ctr *iosim.Counter
 	var deg degrader
 	var lmb lostMassBounder
+	var srep sampling.StatsReporter
 	wasDegraded, wasRecovered := false, false
 	emit := func(done bool, method string) bool {
 		var shardsLost int
@@ -240,6 +263,11 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		if ctr != nil {
 			s.IO = ctr.Snapshot()
 		}
+		if srep != nil {
+			if st := srep.SamplerStats(); st.Draws > 0 {
+				s.RejectRatio = float64(st.Rejects) / float64(st.Draws)
+			}
+		}
 		qo.ci(s.RelativeErrorBound())
 		select {
 		case out <- s:
@@ -249,7 +277,9 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		}
 	}
 
-	// COUNT is exact via canonical range counting: answer immediately.
+	// COUNT is exact via canonical range counting (predicates included:
+	// the qualifying population is counted through the pruned traversal):
+	// answer immediately.
 	if opts.Kind == estimator.Count {
 		emit(true, "range-count")
 		return
@@ -259,7 +289,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		return
 	}
 
-	sampler, c, err := h.newSampler(opts.Method, q, opts.Mode, rng)
+	sampler, c, err := h.newSampler(opts.Method, q, opts.Mode, rng, plan)
 	if err != nil {
 		// Surface the configuration error as a terminal zero snapshot;
 		// EstimateOnline validated what it could synchronously.
@@ -270,6 +300,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 	ctr = c
 	deg, _ = sampler.(degrader)
 	lmb, _ = sampler.(lostMassBounder)
+	srep, _ = sampler.(sampling.StatsReporter)
 	col, err := h.ds.NumericColumn(opts.Attr)
 	if err != nil {
 		emit(true, fmt.Sprintf("error: %v", err))
@@ -383,7 +414,7 @@ func (h *Handle) resolveMethod(m Method, q geo.Rect) Method {
 // runQuantile is the evaluator loop for MEDIAN/QUANTILE queries. Caller
 // holds h.mu. The Snapshot's HalfWidth is the wider side of the
 // order-statistic confidence bounds.
-func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, population int, rng *stats.RNG, start time.Time, out chan<- Snapshot) {
+func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, population int, plan *wherePlan, rng *stats.RNG, start time.Time, out chan<- Snapshot) {
 	qo := h.eng.met.beginQuery(start)
 	defer qo.end()
 	p := opts.QuantileP
@@ -399,13 +430,14 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		out <- Snapshot{Estimate: estimator.Estimate{Kind: opts.Kind, Confidence: opts.Confidence}, Done: true, Method: "empty"}
 		return
 	}
-	sampler, ctr, err := h.newSampler(opts.Method, q, opts.Mode, rng)
+	sampler, ctr, err := h.newSampler(opts.Method, q, opts.Mode, rng, plan)
 	if err != nil {
 		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 		return
 	}
 	defer closeSampler(sampler)
 	deg, _ := sampler.(degrader)
+	srep, _ := sampler.(sampling.StatsReporter)
 	col, err := h.ds.NumericColumn(opts.Attr)
 	if err != nil {
 		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
@@ -470,6 +502,11 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		}
 		if ctr != nil {
 			s.IO = ctr.Snapshot()
+		}
+		if srep != nil {
+			if st := srep.SamplerStats(); st.Draws > 0 {
+				s.RejectRatio = float64(st.Rejects) / float64(st.Draws)
+			}
 		}
 		qo.ci(s.RelativeErrorBound())
 		select {
@@ -614,7 +651,7 @@ func (h *Handle) Sample(q geo.Range, k int, method Method, mode sampling.Mode, s
 	if seed == 0 {
 		seed = h.eng.nextSeed()
 	}
-	sampler, _, err := h.newSampler(method, q.Rect(), mode, stats.NewRNG(seed))
+	sampler, _, err := h.newSampler(method, q.Rect(), mode, stats.NewRNG(seed), nil)
 	if err != nil {
 		return nil, err
 	}

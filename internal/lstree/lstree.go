@@ -37,6 +37,7 @@ import (
 	"storm/internal/data"
 	"storm/internal/geo"
 	"storm/internal/iosim"
+	"storm/internal/pred"
 	"storm/internal/rtree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
@@ -57,6 +58,11 @@ type Config struct {
 	TopLevelMax int
 	// Seed drives the coin flips that assign records to levels.
 	Seed int64
+	// Attrs, when non-nil (typically the backing *data.Dataset), enables
+	// per-level attribute summaries so predicate queries (SamplerWhere,
+	// CountWhere) can prune level subtrees by digest. Without it,
+	// predicates still filter records but nothing is pruned.
+	Attrs rtree.AttrSource
 }
 
 // Index is an LS-tree over a point set. Queries (Samplers, Count) may run
@@ -64,6 +70,10 @@ type Config struct {
 type Index struct {
 	cfg    Config
 	levels []*rtree.Tree // levels[0] indexes all of P
+	// sums holds one attribute-summary maintainer per level (parallel to
+	// levels) when Config.Attrs is set; nil otherwise. Built eagerly on
+	// the write path (Build/maybeGrow) so the query path never appends.
+	sums []*rtree.Summaries
 	// rng drives structural randomness (level coin flips); it is touched
 	// only by Build/Insert/maybeGrow, which run under the caller's write
 	// lock, never by queries.
@@ -95,6 +105,7 @@ func Build(entries []data.Entry, cfg Config) (*Index, error) {
 		}
 		t.BulkLoad(level)
 		idx.levels = append(idx.levels, t)
+		idx.addSummaries(t)
 		if len(level) <= cfg.TopLevelMax {
 			break
 		}
@@ -164,6 +175,33 @@ func (x *Index) maybeGrow() {
 	}
 	t.BulkLoad(next)
 	x.levels = append(x.levels, t)
+	x.addSummaries(t)
+}
+
+// addSummaries attaches an attribute-summary maintainer to a freshly built
+// level tree when summaries are enabled. Runs on the write path only, so
+// concurrent queries never observe sums growing.
+func (x *Index) addSummaries(t *rtree.Tree) {
+	if x.cfg.Attrs == nil {
+		return
+	}
+	s := rtree.NewSummaries(t, x.cfg.Attrs)
+	s.Precompute()
+	x.sums = append(x.sums, s)
+}
+
+// CountWhere returns the number of level-0 records in q satisfying c,
+// pruning by level-0 digests when summaries are enabled. A nil predicate
+// is exactly Count.
+func (x *Index) CountWhere(q geo.Rect, c *pred.Compiled) int {
+	if c == nil {
+		return x.Count(q)
+	}
+	var sums *rtree.Summaries
+	if x.sums != nil {
+		sums = x.sums[0]
+	}
+	return x.levels[0].CountWhere(q, rtree.NewTreeFilter(c, sums))
 }
 
 // Delete removes a record from every level that contains it. It returns
@@ -187,7 +225,17 @@ func (x *Index) Delete(e data.Entry) bool {
 // randomness, so a fixed rng seed reproduces the same stream regardless of
 // concurrent queries. Samplers of the same Index may run concurrently.
 func (x *Index) Sampler(q geo.Rect, rng *stats.RNG) *Sampler {
-	return &Sampler{
+	return x.SamplerWhere(q, rng, nil)
+}
+
+// SamplerWhere returns a without-replacement online sampler for q
+// restricted to records satisfying c. Level membership is independent of
+// attribute values, so each level's predicate-filtered matches remain a
+// coin-flip sample of the qualifying records and the level-by-level stream
+// stays exactly uniform over them. When summaries are enabled, each level
+// scan prunes subtrees by digest. A nil predicate is exactly Sampler.
+func (x *Index) SamplerWhere(q geo.Rect, rng *stats.RNG, c *pred.Compiled) *Sampler {
+	s := &Sampler{
 		index: x,
 		query: q,
 		rng:   rng,
@@ -195,6 +243,17 @@ func (x *Index) Sampler(q geo.Rect, rng *stats.RNG) *Sampler {
 		level: len(x.levels),
 		seen:  sampling.NewIDSet(x.size),
 	}
+	if c != nil {
+		s.filters = make([]*rtree.TreeFilter, len(x.levels))
+		for i := range x.levels {
+			var sums *rtree.Summaries
+			if x.sums != nil {
+				sums = x.sums[i]
+			}
+			s.filters[i] = rtree.NewTreeFilter(c, sums)
+		}
+	}
+	return s
 }
 
 // Sampler is the LS-tree's online sample stream for one query. It
@@ -207,6 +266,9 @@ type Sampler struct {
 	acct  iosim.Accountant
 	batch *iosim.Batcher // reused by NextBatch; charges go to acct
 	level int            // next level to scan (counts down); len(levels) before start
+	// filters holds one predicate filter per level (parallel to the
+	// index's levels); nil when the query has no predicate.
+	filters []*rtree.TreeFilter
 	// pending holds the current level's unreported matches; the prefix
 	// [0, cursor) has been emitted.
 	pending []data.Entry
@@ -258,7 +320,11 @@ func (s *Sampler) Next() (data.Entry, bool) {
 			return data.Entry{}, false
 		}
 		s.level--
-		s.pending = s.index.levels[s.level].ReportAllTo(s.acct, s.query)
+		var f *rtree.TreeFilter
+		if s.filters != nil {
+			f = s.filters[s.level]
+		}
+		s.pending = s.index.levels[s.level].ReportAllWhereTo(s.acct, s.query, f)
 		s.cursor = 0
 		s.scans++
 	}
@@ -268,7 +334,11 @@ func (s *Sampler) Next() (data.Entry, bool) {
 // duplicate suppressions (records already emitted from a higher level)
 // and Scans counts level range-reports performed so far.
 func (s *Sampler) SamplerStats() sampling.SamplerStats {
-	return sampling.SamplerStats{Draws: s.draws, Rejects: s.rejects, Scans: s.scans}
+	st := sampling.SamplerStats{Draws: s.draws, Rejects: s.rejects, Scans: s.scans}
+	for _, f := range s.filters {
+		st.Pruned += f.Pruned
+	}
+	return st
 }
 
 // NextBatch implements sampling.BatchSampler. Per-draw logic and RNG

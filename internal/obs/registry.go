@@ -145,6 +145,23 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// TuningHistogram returns the self-tuning histogram registered under
+// name, creating one if absent with buckets doubling from lo (an
+// existing one keeps its state). Returns nil on a nil receiver.
+func (r *Registry) TuningHistogram(name string, lo float64, buckets int) *TuningHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.vars[name].(*TuningHistogram); ok {
+		return h
+	}
+	h := NewTuningHistogram(lo, buckets)
+	r.vars[name] = h
+	return h
+}
+
 // PublishFunc registers a scrape-time callback under name. No-op on a nil
 // receiver.
 func (r *Registry) PublishFunc(name string, f func() any) {

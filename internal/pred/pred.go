@@ -1,0 +1,367 @@
+// Package pred implements attribute predicates for STORM queries: interval
+// constraints over numeric record attributes (`WHERE speed >= 30 AND
+// speed < 80`), in the normal form the whole stack shares — the query
+// grammar parses into it, the planner estimates selectivity on it, the
+// index layer prunes subtrees against per-node attribute digests of it,
+// and the wire codec ships it to remote shards so they prune locally.
+//
+// # Normal form
+//
+// A Predicate is a conjunction with exactly one Term per attribute, terms
+// sorted by attribute name. Each Term is one (possibly half-open,
+// possibly unbounded) interval; ±Inf marks an unbounded side. Normalize
+// intersects duplicate attributes, drops vacuous terms, and canonicalizes
+// empty intervals, so equal predicates have equal representations and
+// String is a fixpoint under re-parsing (FuzzParseWhere relies on this).
+//
+// # NaN semantics
+//
+// A NaN attribute value (the dataset's "missing" marker) satisfies no
+// term — every comparison with NaN is false, exactly as in SQL's
+// three-valued logic where NULL comparisons never qualify. Node digests
+// therefore track HasNaN separately from Min/Max: a subtree whose values
+// all lie inside a term's interval still cannot be skipped wholesale if
+// it may contain missing values.
+package pred
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"storm/internal/data"
+)
+
+// Term is one interval constraint on a numeric attribute: Lo ≤/< attr ≤/<
+// Hi, with ±Inf marking an unbounded side and LoOpen/HiOpen selecting the
+// strict comparison.
+type Term struct {
+	// Attr is the numeric column name.
+	Attr string
+	// Lo and Hi bound the accepted interval; -Inf / +Inf mean unbounded.
+	Lo, Hi float64
+	// LoOpen and HiOpen make the corresponding bound strict (>, <).
+	LoOpen, HiOpen bool
+}
+
+// Contains reports whether value v satisfies the term. NaN satisfies
+// nothing (missing values never qualify).
+func (t Term) Contains(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if v < t.Lo || (v == t.Lo && t.LoOpen) {
+		return false
+	}
+	if v > t.Hi || (v == t.Hi && t.HiOpen) {
+		return false
+	}
+	return true
+}
+
+// IsEmpty reports whether no value can satisfy the term (an empty
+// interval, or a NaN bound — comparisons with NaN accept nothing).
+func (t Term) IsEmpty() bool {
+	if math.IsNaN(t.Lo) || math.IsNaN(t.Hi) {
+		return true
+	}
+	if t.Lo > t.Hi {
+		return true
+	}
+	return t.Lo == t.Hi && (t.LoOpen || t.HiOpen)
+}
+
+// isVacuous reports whether every value satisfies the term (both sides
+// unbounded), making the term droppable. NaN values still fail a vacuous
+// term conceptually, but a dropped term only widens the predicate toward
+// "no constraint on this attribute", which is exactly what both sides
+// unbounded means for interval pruning; per-record NaN rejection belongs
+// to terms with a real bound.
+func (t Term) isVacuous() bool {
+	return math.IsInf(t.Lo, -1) && math.IsInf(t.Hi, 1)
+}
+
+// emptyTerm is the canonical empty interval on an attribute: "attr > 0
+// AND attr < 0", chosen because it re-parses to itself.
+func emptyTerm(attr string) Term {
+	return Term{Attr: attr, Lo: 0, Hi: 0, LoOpen: true, HiOpen: true}
+}
+
+// intersect returns the conjunction of two terms on the same attribute.
+func intersect(a, b Term) Term {
+	out := a
+	if b.Lo > out.Lo || (b.Lo == out.Lo && b.LoOpen) {
+		out.Lo, out.LoOpen = b.Lo, b.LoOpen
+	}
+	if b.Hi < out.Hi || (b.Hi == out.Hi && b.HiOpen) {
+		out.Hi, out.HiOpen = b.Hi, b.HiOpen
+	}
+	return out
+}
+
+// Predicate is a conjunction of interval terms in normal form (one term
+// per attribute, sorted by attribute name). The zero value is the empty
+// predicate, which matches every record.
+type Predicate struct {
+	// Terms are the conjunction's interval constraints.
+	Terms []Term
+}
+
+// Empty reports whether the predicate constrains nothing.
+func (p Predicate) Empty() bool { return len(p.Terms) == 0 }
+
+// Normalize builds a Predicate in normal form from arbitrary conjunction
+// terms: duplicate attributes are intersected, vacuous terms dropped, NaN
+// bounds and empty intervals canonicalized to the empty term, and the
+// result sorted by attribute name. Normal form makes String canonical:
+// Normalize(parse(p.String())) == p.
+func Normalize(terms []Term) Predicate {
+	byAttr := make(map[string]Term, len(terms))
+	for _, t := range terms {
+		if math.IsNaN(t.Lo) || math.IsNaN(t.Hi) {
+			t = emptyTerm(t.Attr)
+		}
+		if got, ok := byAttr[t.Attr]; ok {
+			t = intersect(got, t)
+		}
+		byAttr[t.Attr] = t
+	}
+	out := make([]Term, 0, len(byAttr))
+	for _, t := range byAttr {
+		if t.isVacuous() {
+			continue
+		}
+		if t.IsEmpty() {
+			t = emptyTerm(t.Attr)
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	if len(out) == 0 {
+		return Predicate{}
+	}
+	return Predicate{Terms: out}
+}
+
+// formatBound renders a float bound in the canonical form the query
+// grammar re-parses exactly.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// String renders one term in the canonical comparison form ("speed >= 30
+// AND speed < 80"); equality intervals render as "attr = v" and unbounded
+// sides are omitted. The empty interval renders as "attr > 0 AND attr <
+// 0", which re-parses to itself.
+func (t Term) String() string {
+	if t.Lo == t.Hi && !t.LoOpen && !t.HiOpen {
+		return t.Attr + " = " + formatBound(t.Lo)
+	}
+	var parts []string
+	if !math.IsInf(t.Lo, -1) {
+		op := ">="
+		if t.LoOpen {
+			op = ">"
+		}
+		parts = append(parts, t.Attr+" "+op+" "+formatBound(t.Lo))
+	}
+	if !math.IsInf(t.Hi, 1) {
+		op := "<="
+		if t.HiOpen {
+			op = "<"
+		}
+		parts = append(parts, t.Attr+" "+op+" "+formatBound(t.Hi))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// String renders the predicate as the canonical AND-joined comparison
+// list; the empty predicate renders as "".
+func (p Predicate) String() string {
+	parts := make([]string, 0, len(p.Terms))
+	for _, t := range p.Terms {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// AttrStats digests the values one subtree (or dataset) holds for one
+// attribute: the min/max envelope plus whether any value is NaN
+// (missing). The zero-information digest is Empty (Min > Max).
+type AttrStats struct {
+	// Min and Max bound the non-NaN values; Min > Max means none.
+	Min, Max float64
+	// HasNaN reports at least one NaN (missing) value.
+	HasNaN bool
+}
+
+// EmptyStats returns the digest of zero values.
+func EmptyStats() AttrStats {
+	return AttrStats{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add folds one value into the digest.
+func (s *AttrStats) Add(v float64) {
+	if math.IsNaN(v) {
+		s.HasNaN = true
+		return
+	}
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+}
+
+// Merge folds another digest into this one.
+func (s *AttrStats) Merge(o AttrStats) {
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.HasNaN = s.HasNaN || o.HasNaN
+}
+
+// Empty reports whether the digest covers no non-NaN values.
+func (s AttrStats) Empty() bool { return s.Min > s.Max }
+
+// Verdict is the three-valued result of testing a subtree digest against
+// a predicate: None (no record can satisfy — prune the subtree), Maybe
+// (records must be tested individually), All (every record satisfies —
+// per-record tests can be skipped).
+type Verdict uint8
+
+// The three pruning verdicts.
+const (
+	// None: the subtree provably contains no qualifying record.
+	None Verdict = iota
+	// Maybe: the digest cannot decide; test records individually.
+	Maybe
+	// All: every record in the subtree qualifies.
+	All
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case None:
+		return "none"
+	case Maybe:
+		return "maybe"
+	default:
+		return "all"
+	}
+}
+
+// Verdict classifies a subtree digest against the term. A digest with no
+// non-NaN values yields None (NaN never qualifies); All additionally
+// requires the subtree to hold no NaN values.
+func (t Term) Verdict(st AttrStats) Verdict {
+	if st.Empty() {
+		return None
+	}
+	if st.Max < t.Lo || (st.Max == t.Lo && t.LoOpen) {
+		return None
+	}
+	if st.Min > t.Hi || (st.Min == t.Hi && t.HiOpen) {
+		return None
+	}
+	loOK := st.Min > t.Lo || (st.Min == t.Lo && !t.LoOpen)
+	hiOK := st.Max < t.Hi || (st.Max == t.Hi && !t.HiOpen)
+	if loOK && hiOK && !st.HasNaN {
+		return All
+	}
+	return Maybe
+}
+
+// Selectivity estimates the fraction of records the predicate accepts,
+// assuming each attribute is uniform over its dataset-level digest
+// envelope and attributes are independent — the planner's pushdown-vs-
+// rejection heuristic, not a guarantee. stats resolves an attribute's
+// dataset-level digest; attributes it cannot resolve contribute no
+// information (factor 1).
+func (p Predicate) Selectivity(stats func(attr string) (AttrStats, bool)) float64 {
+	sel := 1.0
+	for _, t := range p.Terms {
+		st, ok := stats(t.Attr)
+		if !ok || st.Empty() {
+			if t.IsEmpty() {
+				return 0
+			}
+			continue
+		}
+		switch t.Verdict(st) {
+		case None:
+			return 0
+		case All:
+			continue
+		}
+		span := st.Max - st.Min
+		if span <= 0 || math.IsInf(span, 1) {
+			// Degenerate or unbounded envelope: Verdict already said
+			// Maybe, so split the difference.
+			sel *= 0.5
+			continue
+		}
+		lo := math.Max(t.Lo, st.Min)
+		hi := math.Min(t.Hi, st.Max)
+		frac := (hi - lo) / span
+		if frac < 0 {
+			return 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		sel *= frac
+	}
+	return sel
+}
+
+// ColumnSource resolves numeric columns by name; *data.Dataset satisfies
+// it.
+type ColumnSource interface {
+	// NumericColumn returns the backing slice of a numeric column.
+	NumericColumn(name string) ([]float64, error)
+}
+
+// Compiled is a predicate bound to one dataset's columns: column slices
+// are resolved once per query (safe while the caller holds the dataset's
+// read lock — columns cannot be appended mid-query), so Match is a few
+// slice loads per record.
+type Compiled struct {
+	terms []Term
+	cols  [][]float64
+}
+
+// Compile binds the predicate to src's columns. It fails on attributes
+// the source has no numeric column for.
+func (p Predicate) Compile(src ColumnSource) (*Compiled, error) {
+	c := &Compiled{terms: p.Terms, cols: make([][]float64, len(p.Terms))}
+	for i, t := range p.Terms {
+		col, err := src.NumericColumn(t.Attr)
+		if err != nil {
+			return nil, err
+		}
+		c.cols[i] = col
+	}
+	return c, nil
+}
+
+// Match reports whether record id satisfies every term. Records beyond
+// the compiled column length (appended after compilation) never match.
+func (c *Compiled) Match(id data.ID) bool {
+	for i := range c.terms {
+		col := c.cols[i]
+		if id >= data.ID(len(col)) || !c.terms[i].Contains(col[id]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Terms returns the compiled predicate's terms (normal form).
+func (c *Compiled) Terms() []Term { return c.terms }

@@ -1,0 +1,163 @@
+package pred
+
+import (
+	"math"
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+)
+
+func term(attr string, lo, hi float64, loOpen, hiOpen bool) Term {
+	return Term{Attr: attr, Lo: lo, Hi: hi, LoOpen: loOpen, HiOpen: hiOpen}
+}
+
+func TestTermContains(t *testing.T) {
+	cases := []struct {
+		t    Term
+		v    float64
+		want bool
+	}{
+		{term("a", 1, 2, false, false), 1, true},
+		{term("a", 1, 2, true, false), 1, false},
+		{term("a", 1, 2, false, false), 2, true},
+		{term("a", 1, 2, false, true), 2, false},
+		{term("a", 1, 2, false, false), 1.5, true},
+		{term("a", 1, 2, false, false), 0.999, false},
+		{term("a", 1, 2, false, false), math.NaN(), false},
+		{term("a", math.Inf(-1), 2, false, true), -1e300, true},
+		{term("a", 1, math.Inf(1), true, false), 1e300, true},
+		{term("a", 5, 5, false, false), 5, true},
+		{term("a", 5, 5, false, false), 5.0000001, false},
+	}
+	for i, c := range cases {
+		if got := c.t.Contains(c.v); got != c.want {
+			t.Errorf("case %d: %v.Contains(%v) = %v, want %v", i, c.t, c.v, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIntersects(t *testing.T) {
+	p := Normalize([]Term{
+		term("b", 0, math.Inf(1), false, false),
+		term("a", math.Inf(-1), 10, false, true),
+		term("a", 2, math.Inf(1), true, false),
+	})
+	if len(p.Terms) != 2 {
+		t.Fatalf("want 2 terms, got %v", p.Terms)
+	}
+	if got := p.Terms[0]; got != term("a", 2, 10, true, true) {
+		t.Errorf("intersection wrong: %+v", got)
+	}
+	if p.Terms[1].Attr != "b" {
+		t.Errorf("terms not sorted: %+v", p.Terms)
+	}
+}
+
+func TestNormalizeEmptyAndVacuous(t *testing.T) {
+	p := Normalize([]Term{term("a", math.Inf(-1), math.Inf(1), false, false)})
+	if !p.Empty() {
+		t.Errorf("vacuous term survived: %+v", p.Terms)
+	}
+	p = Normalize([]Term{term("a", 5, 2, false, false)})
+	if len(p.Terms) != 1 || p.Terms[0] != emptyTerm("a") {
+		t.Errorf("empty interval not canonicalized: %+v", p.Terms)
+	}
+	p = Normalize([]Term{term("a", math.NaN(), 2, false, false)})
+	if len(p.Terms) != 1 || p.Terms[0] != emptyTerm("a") {
+		t.Errorf("NaN bound not canonicalized: %+v", p.Terms)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		want string
+	}{
+		{Normalize([]Term{term("speed", 30, 80, false, true)}), "speed >= 30 AND speed < 80"},
+		{Normalize([]Term{term("alt", 5, 5, false, false)}), "alt = 5"},
+		{Normalize([]Term{term("alt", math.Inf(-1), 7, false, false)}), "alt <= 7"},
+		{Normalize([]Term{term("alt", 7, math.Inf(1), true, false)}), "alt > 7"},
+		{Normalize([]Term{term("a", 5, 2, false, false)}), "a > 0 AND a < 0"},
+		{Predicate{}, ""},
+	}
+	for i, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("case %d: String() = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	tm := term("a", 10, 20, false, false)
+	cases := []struct {
+		st   AttrStats
+		want Verdict
+	}{
+		{AttrStats{Min: 12, Max: 18}, All},
+		{AttrStats{Min: 10, Max: 20}, All},
+		{AttrStats{Min: 5, Max: 9}, None},
+		{AttrStats{Min: 21, Max: 30}, None},
+		{AttrStats{Min: 5, Max: 15}, Maybe},
+		{AttrStats{Min: 12, Max: 18, HasNaN: true}, Maybe},
+		{EmptyStats(), None},
+	}
+	for i, c := range cases {
+		if got := tm.Verdict(c.st); got != c.want {
+			t.Errorf("case %d: Verdict(%+v) = %v, want %v", i, c.st, got, c.want)
+		}
+	}
+	open := term("a", 10, 20, true, true)
+	if got := open.Verdict(AttrStats{Min: 10, Max: 10}); got != None {
+		t.Errorf("open bound at boundary: got %v, want None", got)
+	}
+	if got := open.Verdict(AttrStats{Min: 10, Max: 15}); got != Maybe {
+		t.Errorf("boundary min with open lo: got %v, want Maybe", got)
+	}
+}
+
+func TestCompileMatch(t *testing.T) {
+	ds := data.NewDataset("t")
+	ds.AddNumericColumn("speed")
+	for i := 0; i < 10; i++ {
+		id := ds.AppendFast(geo.Vec{})
+		if err := ds.SetNumeric("speed", id, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := Normalize([]Term{term("speed", 3, 6, false, true)})
+	c, err := p.Compile(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[data.ID]bool{3: true, 4: true, 5: true}
+	for id := data.ID(0); id < 12; id++ {
+		if got := c.Match(id); got != want[id] {
+			t.Errorf("Match(%d) = %v, want %v", id, got, want[id])
+		}
+	}
+	if _, err := Normalize([]Term{term("nosuch", 0, 1, false, false)}).Compile(ds); err == nil {
+		t.Error("Compile on unknown column should fail")
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	stats := func(attr string) (AttrStats, bool) {
+		if attr == "a" {
+			return AttrStats{Min: 0, Max: 100}, true
+		}
+		return AttrStats{}, false
+	}
+	p := Normalize([]Term{term("a", 0, 10, false, false)})
+	if got := p.Selectivity(stats); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("selectivity = %v, want 0.1", got)
+	}
+	p = Normalize([]Term{term("a", -50, 200, false, false)})
+	if got := p.Selectivity(stats); got != 1 {
+		t.Errorf("covering term selectivity = %v, want 1", got)
+	}
+	p = Normalize([]Term{term("a", 200, 300, false, false)})
+	if got := p.Selectivity(stats); got != 0 {
+		t.Errorf("disjoint term selectivity = %v, want 0", got)
+	}
+}

@@ -75,7 +75,7 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 
 	case OpEstimate:
 		if q.Explain {
-			plan, err := h.Explain(r)
+			plan, err := h.ExplainWhere(r, q.Where, engine.PushdownAuto)
 			if err != nil {
 				return err
 			}
@@ -83,6 +83,14 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 			fmt.Fprintf(w, "matching:       %d (selectivity %.3f%%)\n", plan.Matching, plan.Selectivity*100)
 			fmt.Fprintf(w, "canonical size: %d parts (tree height %d)\n", plan.CanonicalSize, plan.TreeHeight)
 			fmt.Fprintf(w, "sampler:        %s\n", plan.Method)
+			if plan.Where != "" {
+				strategy := "rejection"
+				if plan.Pushdown {
+					strategy = "pushdown"
+				}
+				fmt.Fprintf(w, "predicate:      %s (est. selectivity %.3f%%, qualifying %d, strategy %s)\n",
+					plan.Where, plan.WhereSelectivity*100, plan.Qualifying, strategy)
+			}
 			return nil
 		}
 		opts := engine.Options{
@@ -94,6 +102,7 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 			TimeBudget:     q.Within,
 			MaxSamples:     q.Samples,
 			Method:         q.Method,
+			Where:          q.Where,
 		}
 		if len(q.MultiAggs) > 1 {
 			if opts.MaxSamples == 0 && opts.TimeBudget == 0 {

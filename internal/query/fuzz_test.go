@@ -1,0 +1,70 @@
+package query_test
+
+import (
+	"testing"
+
+	"storm/internal/pred"
+	"storm/internal/query"
+)
+
+// FuzzParseWhere fuzzes the WHERE clause's attribute-predicate grammar:
+// no input may panic the parser, and every accepted clause must
+// round-trip through the canonical form — pred.Normalize(terms).String()
+// is a fixpoint (re-parsing the canonical comparisons and re-normalizing
+// reproduces it exactly). The fixpoint is the strongest property that
+// holds for free-form input: the original clause may normalize (duplicate
+// attributes intersect, vacuous terms drop, BETWEEN desugars), but the
+// canonical form may not drift.
+//
+// Run the full fuzzer with:
+//
+//	go test -run FuzzParseWhere -fuzz FuzzParseWhere -fuzztime 30s ./internal/query/
+//
+// Without -fuzz, the checked-in corpus under testdata/fuzz/FuzzParseWhere
+// plus the f.Add seeds run as regression cases on every ordinary
+// `go test`.
+func FuzzParseWhere(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"speed >= 30",
+		"speed >= 30 AND speed < 80",
+		"speed > 0 AND speed < 0",
+		"noise = 0.5",
+		"BETWEEN(speed, 10, 20)",
+		"BETWEEN(speed, 10, 20) AND noise <= 0.25",
+		"REGION(-1, -1, 1, 1) AND speed >= 30",
+		"TIME(0, 100) AND speed >= 30 AND REGION(0, 0, 1, 1)",
+		"speed >= 1e+06",
+		"speed <= -2.5e-09",
+		"a >= 3 AND a >= 4 AND a < 10",
+		"a = 1 AND b = 2 AND c = 3",
+		"speed >",
+		"speed >= fast",
+		"BETWEEN(speed, 10)",
+		"speed == 3",
+		"speed >= 1e999",
+		"_x-1.y < .5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, clause string) {
+		// The raw input alone exercises the whole grammar for panics.
+		query.Parse(clause)
+
+		q, err := query.Parse("COUNT FROM d WHERE " + clause)
+		if err != nil {
+			return
+		}
+		canon := pred.Normalize(q.Where).String()
+		if canon == "" {
+			return
+		}
+		q2, err := query.Parse("COUNT FROM d WHERE " + canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, clause, err)
+		}
+		if again := pred.Normalize(q2.Where).String(); again != canon {
+			t.Fatalf("canonical String is not a fixpoint for %q: %q -> %q", clause, canon, again)
+		}
+	})
+}

@@ -29,7 +29,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokPunct // ( ) , % x
+	tokPunct // ( ) , % x < <= > >= =
 )
 
 type token struct {
@@ -55,9 +55,18 @@ func lex(input string) ([]token, error) {
 		switch {
 		case unicode.IsSpace(c):
 			i++
-		case c == '(' || c == ')' || c == ',' || c == '%':
+		case c == '(' || c == ')' || c == ',' || c == '%' || c == '=':
 			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
 			i++
+		case c == '<' || c == '>':
+			// Attribute comparisons: two-char lookahead folds "<=" / ">="
+			// into one token.
+			text := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				text += "="
+			}
+			toks = append(toks, token{kind: tokPunct, text: text, pos: i})
+			i += len(text)
 		case c == '\'' || c == '"':
 			quote := input[i]
 			j := i + 1

@@ -10,6 +10,7 @@ import (
 	"storm/internal/engine"
 	"storm/internal/estimator"
 	"storm/internal/geo"
+	"storm/internal/pred"
 )
 
 // Op is the top-level operation of a parsed query.
@@ -50,6 +51,11 @@ type Query struct {
 	Region *[4]float64
 	// Time is (minT, maxT); nil means all of time.
 	Time *[2]float64
+	// Where holds the WHERE clause's attribute predicates (comparisons
+	// like "speed >= 30" and the BETWEEN(attr, lo, hi) sugar), as parsed;
+	// the engine normalizes them. Attributes named REGION, TIME or
+	// BETWEEN are shadowed by those keywords.
+	Where []pred.Term
 	// WITH clauses.
 	Confidence float64       // 0 = default
 	RelError   float64       // 0 = none
@@ -470,8 +476,42 @@ func (p *parser) parseFromWhereWith(q *Query) error {
 				}
 				t := [2]float64{vals[0], vals[1]}
 				q.Time = &t
+			case "BETWEEN":
+				// BETWEEN(attr, lo, hi) is closed-interval sugar for
+				// "attr >= lo AND attr <= hi" (parse-time only: it never
+				// appears in canonical output).
+				p.next()
+				if err := p.expectPunct("("); err != nil {
+					return err
+				}
+				attr, err := p.ident()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(","); err != nil {
+					return err
+				}
+				lo, err := p.number()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(","); err != nil {
+					return err
+				}
+				hi, err := p.number()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				q.Where = append(q.Where, pred.Term{Attr: attr, Lo: lo, Hi: hi})
 			default:
-				return fmt.Errorf("query: expected REGION or TIME in WHERE, got %s", p.peek())
+				term, err := p.parseComparison()
+				if err != nil {
+					return err
+				}
+				q.Where = append(q.Where, term)
 			}
 			if p.keyword() != "AND" {
 				break
@@ -596,6 +636,40 @@ func (p *parser) parseFromWhereWith(q *Query) error {
 			return fmt.Errorf("query: unexpected clause %s", p.peek())
 		}
 	}
+}
+
+// parseComparison parses one "attr op number" attribute constraint of a
+// WHERE clause into a predicate term; op is one of < <= > >= =.
+func (p *parser) parseComparison() (pred.Term, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return pred.Term{}, fmt.Errorf("query: expected REGION, TIME, BETWEEN or an attribute comparison in WHERE, got %s", t)
+	}
+	p.next()
+	attr := t.text
+	op := p.peek()
+	if op.kind != tokPunct || (op.text != "<" && op.text != "<=" && op.text != ">" && op.text != ">=" && op.text != "=") {
+		return pred.Term{}, fmt.Errorf("query: expected a comparison operator after %q, got %s", attr, op)
+	}
+	p.next()
+	v, err := p.number()
+	if err != nil {
+		return pred.Term{}, err
+	}
+	term := pred.Term{Attr: attr, Lo: math.Inf(-1), Hi: math.Inf(1)}
+	switch op.text {
+	case "<":
+		term.Hi, term.HiOpen = v, true
+	case "<=":
+		term.Hi = v
+	case ">":
+		term.Lo, term.LoOpen = v, true
+	case ">=":
+		term.Lo = v
+	case "=":
+		term.Lo, term.Hi = v, v
+	}
+	return term, nil
 }
 
 // numberList parses "(" n, n, ... ")" with exactly count numbers.

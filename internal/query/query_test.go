@@ -11,6 +11,7 @@ import (
 	"storm/internal/estimator"
 	"storm/internal/gen"
 	"storm/internal/geo"
+	"storm/internal/pred"
 	"storm/internal/stats"
 )
 
@@ -520,5 +521,38 @@ func TestExecuteErrors(t *testing.T) {
 	}
 	if err := Execute(context.Background(), eng, "garbage", &buf); err == nil {
 		t.Error("parse error should surface")
+	}
+}
+
+func TestParseWhereComparisons(t *testing.T) {
+	q, err := Parse("ESTIMATE AVG(temp) FROM ds WHERE REGION(-1, -1, 1, 1) AND speed >= 30 AND speed < 80 AND BETWEEN(noise, 0.1, 0.9) AND depth = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Region == nil {
+		t.Fatal("REGION lost alongside attribute comparisons")
+	}
+	if len(q.Where) != 4 {
+		t.Fatalf("want 4 predicate terms, got %d: %+v", len(q.Where), q.Where)
+	}
+	p := pred.Normalize(q.Where)
+	want := "depth = 5 AND noise >= 0.1 AND noise <= 0.9 AND speed >= 30 AND speed < 80"
+	if got := p.String(); got != want {
+		t.Fatalf("canonical predicate = %q, want %q", got, want)
+	}
+}
+
+func TestParseWhereErrors(t *testing.T) {
+	for _, bad := range []string{
+		"COUNT FROM ds WHERE speed",
+		"COUNT FROM ds WHERE speed >=",
+		"COUNT FROM ds WHERE speed >= fast",
+		"COUNT FROM ds WHERE BETWEEN(speed, 1)",
+		"COUNT FROM ds WHERE 3 >= speed",
+		"DELETE FROM ds WHERE speed >= 3",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", bad)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"storm/internal/data"
 	"storm/internal/geo"
 	"storm/internal/iosim"
+	"storm/internal/pred"
 	"storm/internal/rtree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
@@ -29,6 +30,10 @@ type part struct {
 	// contained marks a subtree entirely inside the query: its draws are
 	// accepted without a per-entry containment test.
 	contained bool
+	// predAll marks a subtree whose attribute digests prove every record
+	// satisfies the query predicate: its draws skip the per-entry
+	// predicate test. Always true when the query has no predicate.
+	predAll bool
 }
 
 // Sampler is the RS-tree's online sample stream for one query. It
@@ -55,6 +60,11 @@ type Sampler struct {
 	// lock once per flush while keeping stats identical to serial draws.
 	chg   iosim.Accountant
 	batch *iosim.Batcher
+	// filter is the query's predicate pushdown state; nil means no
+	// predicate. Subtrees it rules out never enter the frontier, and
+	// draws failing the predicate are consumed-and-rejected, which keeps
+	// the cross-part draw distribution exact over qualifying records.
+	filter *rtree.TreeFilter
 
 	// without-replacement state
 	parts []*part
@@ -65,6 +75,7 @@ type Sampler struct {
 	// with-replacement state
 	wrNodes     []*rtree.Node
 	wrContained []bool
+	wrPredAll   []bool
 	wrWeights   []int
 	wrAlias     *stats.Alias
 	// MaxAttempts bounds with-replacement rejection retries (a query
@@ -88,11 +99,15 @@ func (s *Sampler) Rejects() uint64 { return s.rejects }
 
 // SamplerStats implements sampling.StatsReporter.
 func (s *Sampler) SamplerStats() sampling.SamplerStats {
-	return sampling.SamplerStats{
+	st := sampling.SamplerStats{
 		Draws:      s.draws,
 		Rejects:    s.rejects,
 		Explosions: s.explosions,
 	}
+	if s.filter != nil {
+		st.Pruned = s.filter.Pruned
+	}
+	return st
 }
 
 // Sampler returns an online sampler for q. Samplers of the same Index may
@@ -101,12 +116,23 @@ func (s *Sampler) SamplerStats() sampling.SamplerStats {
 // this query's draws, so a fixed rng seed reproduces the same stream
 // regardless of what other queries run beside it.
 func (x *Index) Sampler(q geo.Rect, mode sampling.Mode, rng *stats.RNG) *Sampler {
+	return x.SamplerWhere(q, mode, rng, nil)
+}
+
+// SamplerWhere returns an online sampler for q restricted to records
+// satisfying f's predicate: subtrees whose digests rule the predicate out
+// never enter the frontier, predicate-failing draws are consumed-and-
+// rejected (keeping the accepted stream exactly uniform over qualifying
+// records), and materialized parts hold only qualifying entries. A nil
+// filter is exactly Sampler.
+func (x *Index) SamplerWhere(q geo.Rect, mode sampling.Mode, rng *stats.RNG, f *rtree.TreeFilter) *Sampler {
 	s := &Sampler{
 		index:       x,
 		query:       q,
 		mode:        mode,
 		rng:         rng,
 		acct:        x.tree.Device(),
+		filter:      f,
 		MaxAttempts: 1 << 22,
 	}
 	s.chg = s.acct
@@ -230,9 +256,13 @@ func (s *Sampler) frontier(n *rtree.Node) {
 	if n.Count() == 0 || !n.MBR().Intersects(s.query) {
 		return
 	}
+	v := s.filter.Verdict(n)
+	if v == pred.None {
+		return
+	}
 	contained := s.query.ContainsRect(n.MBR())
 	if contained || n.IsLeaf() || n.Count() <= s.index.cfg.LazyCutoff {
-		s.addPart(n, contained)
+		s.addPart(n, contained, v == pred.All)
 		return
 	}
 	for _, c := range n.Children() {
@@ -241,17 +271,18 @@ func (s *Sampler) frontier(n *rtree.Node) {
 }
 
 // addPart registers a subtree as an active part. Its weight is the full
-// subtree cardinality: boundary parts include out-of-query mass, which is
-// burned off through consumed-and-rejected draws (or dropped wholesale at
-// materialization).
-func (s *Sampler) addPart(n *rtree.Node, contained bool) {
+// subtree cardinality: boundary parts include out-of-query (or predicate-
+// failing) mass, which is burned off through consumed-and-rejected draws
+// (or dropped wholesale at materialization).
+func (s *Sampler) addPart(n *rtree.Node, contained, predAll bool) {
 	if s.mode == sampling.WithReplacement {
 		s.wrNodes = append(s.wrNodes, n)
 		s.wrContained = append(s.wrContained, contained)
+		s.wrPredAll = append(s.wrPredAll, predAll)
 		s.wrWeights = append(s.wrWeights, n.Count())
 		return
 	}
-	p := &part{node: n, buf: s.index.bufferFor(n, s.chg), contained: contained}
+	p := &part{node: n, buf: s.index.bufferFor(n, s.chg), contained: contained, predAll: predAll}
 	s.fen.Append(n.Count())
 	s.parts = append(s.parts, p)
 }
@@ -280,7 +311,9 @@ func (s *Sampler) nextWithoutReplacement() (data.Entry, bool) {
 		}
 		s.seen.Add(e.ID)
 		s.fen.Add(i, -1)
-		if p.materialized || p.contained || s.query.Contains(e.Pos) {
+		if p.materialized ||
+			((p.contained || s.query.Contains(e.Pos)) &&
+				(p.predAll || s.filter.Match(e.ID))) {
 			s.draws++
 			return e, true
 		}
@@ -332,7 +365,7 @@ func (s *Sampler) nextFromBuffer(p *part) (data.Entry, bool) {
 func (s *Sampler) materialize(p *part, slot int) {
 	s.explosions++
 	remaining := make([]data.Entry, 0, p.node.Count())
-	s.collectMatching(p.node, p.contained, &remaining)
+	s.collectMatching(p.node, p.contained, p.predAll, &remaining)
 	p.buf = remaining
 	if p.order != nil {
 		putInts(p.order)
@@ -347,8 +380,10 @@ func (s *Sampler) materialize(p *part, slot int) {
 // depth-first order, using a pooled explicit stack (materialization scans
 // whole subtrees; recursion and per-call slices would be the dominant
 // allocations of a large query). contained skips the per-entry containment
-// test for subtrees known to lie inside the query.
-func (s *Sampler) collectMatching(root *rtree.Node, contained bool, out *[]data.Entry) {
+// test for subtrees known to lie inside the query; predAll likewise skips
+// the per-entry predicate test, and predicate-pruned child subtrees are
+// dropped from the scan entirely.
+func (s *Sampler) collectMatching(root *rtree.Node, contained, predAll bool, out *[]data.Entry) {
 	stack := getNodeStack()
 	stack = append(stack, root)
 	for len(stack) > 0 {
@@ -358,6 +393,9 @@ func (s *Sampler) collectMatching(root *rtree.Node, contained bool, out *[]data.
 		if n.IsLeaf() {
 			for _, e := range n.Entries() {
 				if !contained && !s.query.Contains(e.Pos) {
+					continue
+				}
+				if !predAll && !s.filter.Match(e.ID) {
 					continue
 				}
 				if s.seen.Contains(e.ID) {
@@ -370,9 +408,13 @@ func (s *Sampler) collectMatching(root *rtree.Node, contained bool, out *[]data.
 		kids := n.Children()
 		// Reverse push keeps the pop order equal to recursive DFS order.
 		for i := len(kids) - 1; i >= 0; i-- {
-			if contained || kids[i].MBR().Intersects(s.query) {
-				stack = append(stack, kids[i])
+			if !contained && !kids[i].MBR().Intersects(s.query) {
+				continue
 			}
+			if !predAll && s.filter.Verdict(kids[i]) == pred.None {
+				continue
+			}
+			stack = append(stack, kids[i])
 		}
 	}
 	putNodeStack(stack)
@@ -391,7 +433,8 @@ func (s *Sampler) nextWithReplacement() (data.Entry, bool) {
 		n := s.wrNodes[i]
 		pos := s.rng.Intn(n.Count())
 		e := s.entryAt(n, pos)
-		if s.wrContained[i] || s.query.Contains(e.Pos) {
+		if (s.wrContained[i] || s.query.Contains(e.Pos)) &&
+			(s.wrPredAll[i] || s.filter.Match(e.ID)) {
 			s.draws++
 			return e, true
 		}

@@ -1,0 +1,297 @@
+// Per-node attribute summaries and predicate-pruned traversal.
+//
+// A Summaries attaches min/max/has-NaN digests of every numeric attribute
+// to the tree's nodes, cached in a version-keyed per-node slot exactly
+// like the RS-tree's sample buffers: inserts, deletes and splits already
+// bump node versions along the mutated path, so a stale digest is
+// recomputed on demand from its children (internal nodes, O(fanout)
+// merges) or by scanning leaf entries against the dataset columns. The
+// digests are therefore always tight — never widened conservatively by
+// updates — and the update path needs no changes at all.
+//
+// A TreeFilter binds a compiled predicate to a tree's Summaries and gives
+// traversals the three-valued verdict of package pred: None prunes the
+// subtree (no record under it can satisfy the predicate), All skips
+// per-record checks, Maybe tests records individually. CountWhere and
+// ReportAllWhereTo are the pruned counterparts of Count and ReportAllTo.
+package rtree
+
+import (
+	"sort"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+	"storm/internal/iosim"
+	"storm/internal/pred"
+)
+
+// AttrSource resolves a dataset's numeric columns for summary
+// (re)computation; *data.Dataset satisfies it. Columns are re-fetched at
+// every recompute because append reallocates the backing slices.
+type AttrSource interface {
+	// NumericColumns names the numeric columns.
+	NumericColumns() []string
+	// NumericColumn returns the backing slice of one column.
+	NumericColumn(name string) ([]float64, error)
+}
+
+// nodeAttrs is the version-keyed per-node digest cache.
+type nodeAttrs struct {
+	version uint64
+	stats   []pred.AttrStats
+}
+
+// Summaries maintains per-node attribute digests for one tree. Digests
+// are computed lazily per node and cached against the node's version;
+// Precompute warms the whole tree (bulk-load/pack time). Safe for
+// concurrent readers under the same discipline as the tree itself:
+// queries run under the dataset read lock, mutations under the write
+// lock.
+type Summaries struct {
+	tree  *Tree
+	src   AttrSource
+	attrs []string
+	index map[string]int
+}
+
+// NewSummaries builds the summary maintainer for t over src's numeric
+// columns (sorted by name, fixing each attribute's digest index).
+func NewSummaries(t *Tree, src AttrSource) *Summaries {
+	names := append([]string(nil), src.NumericColumns()...)
+	sort.Strings(names)
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	return &Summaries{tree: t, src: src, attrs: names, index: index}
+}
+
+// Attrs returns the summarized attribute names (sorted).
+func (s *Summaries) Attrs() []string { return s.attrs }
+
+// AttrIndex returns an attribute's index into per-node digest slices.
+func (s *Summaries) AttrIndex(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Precompute walks the tree once, computing and caching every node's
+// digests — the bulk-load/pack-time rebuild, mirroring the RS-tree's
+// buffer precompute.
+func (s *Summaries) Precompute() {
+	if s.tree.root != nil && len(s.attrs) > 0 {
+		s.Stats(s.tree.root)
+	}
+}
+
+// Stats returns n's per-attribute digests (indexed per AttrIndex),
+// recomputing and re-caching them if the node's version moved since the
+// cached copy.
+func (s *Summaries) Stats(n *Node) []pred.AttrStats {
+	if c := n.attrs.Load(); c != nil && c.version == n.version {
+		return c.stats
+	}
+	version := n.version
+	stats := s.compute(n)
+	n.attrs.Store(&nodeAttrs{version: version, stats: stats})
+	return stats
+}
+
+// Root returns the whole tree's digests — the dataset-level envelope the
+// planner estimates selectivity from. Nil when nothing is summarized.
+func (s *Summaries) Root() []pred.AttrStats {
+	if s.tree.root == nil || len(s.attrs) == 0 {
+		return nil
+	}
+	return s.Stats(s.tree.root)
+}
+
+// RootStats resolves one attribute's tree-level digest.
+func (s *Summaries) RootStats(attr string) (pred.AttrStats, bool) {
+	i, ok := s.index[attr]
+	if !ok {
+		return pred.AttrStats{}, false
+	}
+	root := s.Root()
+	if root == nil {
+		return pred.AttrStats{}, false
+	}
+	return root[i], true
+}
+
+// compute builds n's digests from scratch: leaf entries are scanned
+// against the current columns, internal nodes merge their children's
+// (cached or recomputed) digests.
+func (s *Summaries) compute(n *Node) []pred.AttrStats {
+	stats := make([]pred.AttrStats, len(s.attrs))
+	for i := range stats {
+		stats[i] = pred.EmptyStats()
+	}
+	if n.leaf {
+		cols := make([][]float64, len(s.attrs))
+		for i, name := range s.attrs {
+			if col, err := s.src.NumericColumn(name); err == nil {
+				cols[i] = col
+			}
+		}
+		for _, e := range n.entries {
+			for i, col := range cols {
+				if col == nil || e.ID >= data.ID(len(col)) {
+					// Unresolvable value: mark like NaN so the digest
+					// can still prune by envelope but never claims All.
+					stats[i].HasNaN = true
+					continue
+				}
+				stats[i].Add(col[e.ID])
+			}
+		}
+		return stats
+	}
+	for _, c := range n.children {
+		cst := s.Stats(c)
+		for i := range stats {
+			stats[i].Merge(cst[i])
+		}
+	}
+	return stats
+}
+
+// TreeFilter binds a compiled predicate to one tree's Summaries for
+// pruned traversal. It is per-query state (the Pruned counter is not
+// synchronized); build one per sampler or count.
+type TreeFilter struct {
+	c    *pred.Compiled
+	sums *Summaries
+	// idx maps each predicate term to its digest index, -1 when the
+	// attribute is not summarized (its verdict is then always Maybe).
+	idx []int
+	// Pruned counts pruning events: each time a traversal excluded a
+	// subtree on a None verdict. Surfaced through SamplerStats into
+	// storm.engine.pushdown.pruned_nodes.
+	Pruned uint64
+}
+
+// NewTreeFilter binds c to sums. A nil sums disables digest pruning (all
+// verdicts Maybe); a nil *TreeFilter everywhere means "no predicate".
+func NewTreeFilter(c *pred.Compiled, sums *Summaries) *TreeFilter {
+	f := &TreeFilter{c: c, sums: sums, idx: make([]int, len(c.Terms()))}
+	for i, t := range c.Terms() {
+		f.idx[i] = -1
+		if sums != nil {
+			if j, ok := sums.AttrIndex(t.Attr); ok {
+				f.idx[i] = j
+			}
+		}
+	}
+	return f
+}
+
+// Verdict classifies node n's subtree against the predicate, counting a
+// pruning event on None. Nil filters pass everything.
+func (f *TreeFilter) Verdict(n *Node) pred.Verdict {
+	if f == nil {
+		return pred.All
+	}
+	v := pred.All
+	var stats []pred.AttrStats
+	for ti, t := range f.c.Terms() {
+		i := f.idx[ti]
+		if i < 0 || f.sums == nil {
+			v = pred.Maybe
+			continue
+		}
+		if stats == nil {
+			stats = f.sums.Stats(n)
+		}
+		switch t.Verdict(stats[i]) {
+		case pred.None:
+			f.Pruned++
+			return pred.None
+		case pred.Maybe:
+			v = pred.Maybe
+		}
+	}
+	return v
+}
+
+// Match reports whether record id satisfies the predicate (nil filters
+// match everything).
+func (f *TreeFilter) Match(id data.ID) bool {
+	if f == nil {
+		return true
+	}
+	return f.c.Match(id)
+}
+
+// CountWhere returns the number of entries in q that satisfy f's
+// predicate, pruning subtrees whose digests rule the predicate out and
+// short-cutting contained subtrees whose digests prove every record
+// qualifies. A nil filter is exactly Count.
+func (t *Tree) CountWhere(q geo.Rect, f *TreeFilter) int {
+	if f == nil {
+		return t.Count(q)
+	}
+	return t.countWhere(t.root, q, f)
+}
+
+func (t *Tree) countWhere(n *Node, q geo.Rect, f *TreeFilter) int {
+	t.Charge(n)
+	v := f.Verdict(n)
+	if v == pred.None {
+		return 0
+	}
+	if v == pred.All && q.ContainsRect(n.mbr) {
+		return n.count
+	}
+	total := 0
+	if n.leaf {
+		for _, e := range n.entries {
+			if q.Contains(e.Pos) && (v == pred.All || f.Match(e.ID)) {
+				total++
+			}
+		}
+		return total
+	}
+	for _, c := range n.children {
+		if c.mbr.Intersects(q) {
+			total += t.countWhere(c, q, f)
+		}
+	}
+	return total
+}
+
+// ReportAllWhereTo returns all entries inside q satisfying f's predicate,
+// charging acct, pruning None subtrees during the descent. A nil filter
+// is exactly ReportAllTo.
+func (t *Tree) ReportAllWhereTo(acct iosim.Accountant, q geo.Rect, f *TreeFilter) []data.Entry {
+	if f == nil {
+		return t.ReportAllTo(acct, q)
+	}
+	if acct == nil {
+		acct = t.cfg.Device
+	}
+	var out []data.Entry
+	t.searchWhere(acct, t.root, q, f, &out)
+	return out
+}
+
+func (t *Tree) searchWhere(acct iosim.Accountant, n *Node, q geo.Rect, f *TreeFilter, out *[]data.Entry) {
+	acct.Access(n.page)
+	v := f.Verdict(n)
+	if v == pred.None {
+		return
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if q.Contains(e.Pos) && (v == pred.All || f.Match(e.ID)) {
+				*out = append(*out, e)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c.mbr.Intersects(q) {
+			t.searchWhere(acct, c, q, f, out)
+		}
+	}
+}

@@ -102,6 +102,12 @@ type Node struct {
 	// regenerate a stale buffer without racing each other: generation
 	// happens off to the side, then the finished value is swapped in.
 	aux atomic.Pointer[any]
+	// attrs caches the subtree's per-attribute digests (see Summaries),
+	// keyed by version like the RS-tree buffers: any mutation along the
+	// node's path bumps version, invalidating the cache, and racing
+	// recomputes publish identical values (the digest is a pure function
+	// of subtree contents under the reader lock).
+	attrs atomic.Pointer[nodeAttrs]
 }
 
 // IsLeaf reports whether n is a leaf node.

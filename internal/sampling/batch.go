@@ -68,7 +68,7 @@ func (s *QueryFirst) NextBatch(dst []data.Entry, k int) int {
 		return 0
 	}
 	if !s.fetched {
-		s.matched = s.tree.ReportAllTo(s.acct, s.query)
+		s.matched = s.tree.ReportAllWhereTo(s.acct, s.query, s.filter)
 		s.fetched = true
 	}
 	n := len(s.matched)

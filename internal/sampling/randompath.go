@@ -4,6 +4,7 @@ import (
 	"storm/internal/data"
 	"storm/internal/geo"
 	"storm/internal/iosim"
+	"storm/internal/pred"
 	"storm/internal/rtree"
 	"storm/internal/stats"
 )
@@ -24,14 +25,25 @@ import (
 // branching normalizers. Each walk touches O(log N) nodes; k samples touch
 // Ω(k) distinct leaf pages, which is why the method loses badly to the
 // LS/RS-trees on disk-resident data (paper Figure 3a).
+//
+// With a predicate filter attached (NewRandomPathWhere), children whose
+// attribute digests rule the predicate out are excluded from the descent
+// alongside the non-Q-intersecting ones, and the correction factor is
+// accumulated over the surviving weight: the same telescoping argument
+// makes every accepted walk land on each reachable entry with identical
+// probability 1/W_elig(root), and pruned subtrees hold no qualifying
+// records, so the leaf-level predicate check keeps the accepted stream
+// exactly uniform over the qualifying records.
 type RandomPath struct {
-	tree  *rtree.Tree
-	query geo.Rect
-	mode  Mode
-	rng   *stats.RNG
-	acct  iosim.Accountant
-	batch *iosim.Batcher // reused by NextBatch; charges go to acct
-	seen  *IDSet
+	tree   *rtree.Tree
+	query  geo.Rect
+	mode   Mode
+	rng    *stats.RNG
+	acct   iosim.Accountant
+	filter *rtree.TreeFilter
+	elig   []*rtree.Node  // per-node scratch: eligible children of the walk
+	batch  *iosim.Batcher // reused by NextBatch; charges go to acct
+	seen   *IDSet
 	// remaining is the exact number of matching records left to emit in
 	// without-replacement mode; -1 until first computed.
 	remaining int
@@ -43,8 +55,18 @@ type RandomPath struct {
 
 // NewRandomPath returns a RandomPath sampler over the tree and range.
 func NewRandomPath(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG) *RandomPath {
+	return NewRandomPathWhere(t, q, mode, rng, nil)
+}
+
+// NewRandomPathWhere returns a RandomPath sampler that additionally prunes
+// by attribute predicate: subtrees with a None digest verdict are excluded
+// from the weighted descent and leaf picks failing the predicate are
+// rejected, so accepted samples are uniform over the qualifying records. A
+// nil filter is exactly NewRandomPath.
+func NewRandomPathWhere(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG, f *rtree.TreeFilter) *RandomPath {
 	s := &RandomPath{
 		tree: t, query: q, mode: mode, rng: rng, acct: t.Device(),
+		filter:    f,
 		remaining: -1,
 		MaxWalks:  1 << 22,
 	}
@@ -72,14 +94,18 @@ func (s *RandomPath) Walks() uint64 { return s.walks }
 // sample (rejected descent, duplicate in without-replacement mode) counts
 // as a rejection.
 func (s *RandomPath) SamplerStats() SamplerStats {
-	return SamplerStats{Draws: s.draws, Rejects: s.walks - s.draws}
+	st := SamplerStats{Draws: s.draws, Rejects: s.walks - s.draws}
+	if s.filter != nil {
+		st.Pruned = s.filter.Pruned
+	}
+	return st
 }
 
 // Next implements Sampler.
 func (s *RandomPath) Next() (data.Entry, bool) {
 	if s.mode == WithoutReplacement {
 		if s.remaining < 0 {
-			s.remaining = s.tree.Count(s.query)
+			s.remaining = s.tree.CountWhere(s.query, s.filter)
 		}
 		if s.remaining == 0 {
 			return data.Entry{}, false
@@ -114,12 +140,21 @@ func (s *RandomPath) walk() (data.Entry, bool) {
 	accept := 1.0
 	first := true
 	for !n.IsLeaf() {
-		// Weight the Q-intersecting children by subtree count.
+		// Weight the eligible children by subtree count: Q-intersecting
+		// and, with a predicate attached, not provably disqualified by
+		// the child's attribute digests (pruned subtrees hold zero
+		// qualifying records, so excluding them loses no mass).
+		s.elig = s.elig[:0]
 		var total int
 		for _, c := range n.Children() {
-			if c.MBR().Intersects(s.query) {
-				total += c.Count()
+			if !c.MBR().Intersects(s.query) {
+				continue
 			}
+			if s.filter.Verdict(c) == pred.None {
+				continue
+			}
+			s.elig = append(s.elig, c)
+			total += c.Count()
 		}
 		if total == 0 {
 			return data.Entry{}, false
@@ -134,10 +169,7 @@ func (s *RandomPath) walk() (data.Entry, bool) {
 		first = false
 		pick := s.rng.Intn(total)
 		var next *rtree.Node
-		for _, c := range n.Children() {
-			if !c.MBR().Intersects(s.query) {
-				continue
-			}
+		for _, c := range s.elig {
 			if pick < c.Count() {
 				next = c
 				break
@@ -153,6 +185,9 @@ func (s *RandomPath) walk() (data.Entry, bool) {
 	}
 	e := entries[s.rng.Intn(len(entries))]
 	if !s.query.Contains(e.Pos) {
+		return data.Entry{}, false
+	}
+	if !s.filter.Match(e.ID) {
 		return data.Entry{}, false
 	}
 	if accept < 1 && s.rng.Float64() >= accept {

@@ -22,6 +22,7 @@ import (
 	"storm/internal/data"
 	"storm/internal/geo"
 	"storm/internal/iosim"
+	"storm/internal/pred"
 	"storm/internal/rtree"
 	"storm/internal/stats"
 )
@@ -61,6 +62,7 @@ type QueryFirst struct {
 	mode    Mode
 	rng     *stats.RNG
 	acct    iosim.Accountant
+	filter  *rtree.TreeFilter
 	matched []data.Entry
 	fetched bool
 	cursor  int
@@ -69,7 +71,15 @@ type QueryFirst struct {
 
 // NewQueryFirst returns a QueryFirst sampler over the given tree and range.
 func NewQueryFirst(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG) *QueryFirst {
-	return &QueryFirst{tree: t, query: q, mode: mode, rng: rng, acct: t.Device()}
+	return NewQueryFirstWhere(t, q, mode, rng, nil)
+}
+
+// NewQueryFirstWhere returns a QueryFirst sampler whose up-front range
+// report is predicate-pruned: subtrees with a None digest verdict are
+// skipped and only qualifying records enter the permutation. A nil filter
+// is exactly NewQueryFirst.
+func NewQueryFirstWhere(t *rtree.Tree, q geo.Rect, mode Mode, rng *stats.RNG, f *rtree.TreeFilter) *QueryFirst {
+	return &QueryFirst{tree: t, query: q, mode: mode, rng: rng, acct: t.Device(), filter: f}
 }
 
 // AttributeIO redirects this query's page charges to a for race-free
@@ -86,7 +96,7 @@ func (s *QueryFirst) Name() string { return "RangeReport" }
 // Next implements Sampler.
 func (s *QueryFirst) Next() (data.Entry, bool) {
 	if !s.fetched {
-		s.matched = s.tree.ReportAllTo(s.acct, s.query)
+		s.matched = s.tree.ReportAllWhereTo(s.acct, s.query, s.filter)
 		s.fetched = true
 	}
 	n := len(s.matched)
@@ -117,6 +127,9 @@ func (s *QueryFirst) SamplerStats() SamplerStats {
 	if s.fetched {
 		st.Scans = 1
 	}
+	if s.filter != nil {
+		st.Pruned = s.filter.Pruned
+	}
 	return st
 }
 
@@ -134,17 +147,32 @@ type SampleFirst struct {
 	// perPage is how many records share a simulated data page.
 	perPage int
 	// MaxAttempts bounds the rejection loop per sample; when exceeded,
-	// Next reports exhaustion. Defaults to 200·N attempts.
+	// the sampler degrades to one full filtered scan (counted as an
+	// explosion) and serves the remaining matching records from it
+	// instead of surfacing a short stream. Defaults to 200·N attempts.
 	MaxAttempts int
 	// Filter, when non-nil, rejects records it declines — the engine uses
 	// it to hide records deleted from the indexes, which remain in the
 	// append-only columnar store SampleFirst draws from. Rejection keeps
 	// the accepted stream uniform over the live matching records.
-	Filter   func(data.ID) bool
+	Filter func(data.ID) bool
+	// Pred, when non-nil, restricts the accepted stream to records
+	// satisfying a compiled attribute predicate. SampleFirst has no index
+	// to prune with, so the predicate only tightens the rejection loop —
+	// this is the honest rejection baseline pushdown is compared against.
+	// Must be set before the first draw.
+	Pred     *pred.Compiled
 	seen     *IDSet
 	batch    *iosim.Batcher // reused by NextBatch; charges go to dev
 	attempts uint64         // total attempts, for instrumentation
+	accepted uint64         // rejection-loop accepts (excludes scan serves)
 	draws    uint64         // accepted samples returned
+	// Degraded-scan state: pending holds the remaining matching records,
+	// permuted incrementally from cursor.
+	scanned    bool
+	pending    []data.Entry
+	cursor     int
+	explosions uint64
 }
 
 // NewSampleFirst returns a SampleFirst sampler over the raw dataset. dev
@@ -182,9 +210,19 @@ func (s *SampleFirst) Name() string { return "SampleFirst" }
 func (s *SampleFirst) Attempts() uint64 { return s.attempts }
 
 // SamplerStats implements StatsReporter: every attempt that did not
-// become a returned sample is a rejection of the whole-dataset loop.
+// become a returned sample is a rejection of the whole-dataset loop;
+// Explosions counts a degradation to the filtered scan, Scans the scan
+// itself.
 func (s *SampleFirst) SamplerStats() SamplerStats {
-	return SamplerStats{Draws: s.draws, Rejects: s.attempts - s.draws}
+	st := SamplerStats{
+		Draws:      s.draws,
+		Rejects:    s.attempts - s.accepted,
+		Explosions: s.explosions,
+	}
+	if s.scanned {
+		st.Scans = 1
+	}
+	return st
 }
 
 // Next implements Sampler.
@@ -193,12 +231,18 @@ func (s *SampleFirst) Next() (data.Entry, bool) {
 	if n == 0 {
 		return data.Entry{}, false
 	}
+	if s.scanned {
+		return s.scanNext()
+	}
 	for tries := 0; tries < s.MaxAttempts; tries++ {
 		s.attempts++
 		id := data.ID(s.rng.Intn(n))
 		s.dev.Access(iosim.PageID(uint64(id) / uint64(s.perPage)))
 		pos := s.ds.Pos(id)
 		if !s.query.Contains(pos) {
+			continue
+		}
+		if s.Pred != nil && !s.Pred.Match(id) {
 			continue
 		}
 		if s.Filter != nil && !s.Filter(id) {
@@ -210,8 +254,64 @@ func (s *SampleFirst) Next() (data.Entry, bool) {
 			}
 			s.seen.Add(id)
 		}
+		s.accepted++
 		s.draws++
 		return data.Entry{ID: id, Pos: pos}, true
 	}
-	return data.Entry{}, false
+	return s.scanNext()
+}
+
+// scanNext degrades to the filtered-scan fallback: when the rejection loop
+// exhausts its attempt budget (vanishingly selective query-and-predicate
+// combinations, or a without-replacement stream near exhaustion), one full
+// scan — every data page charged once — collects the still-unserved
+// matching records, and subsequent draws come from them. The incremental
+// Fisher–Yates over the remainder is an exact uniform continuation of the
+// without-replacement stream; with-replacement draws pick uniformly from
+// the matching set. This trades one O(N/B) scan for a stream that cannot
+// come back short while qualifying records remain.
+func (s *SampleFirst) scanNext() (data.Entry, bool) {
+	if !s.scanned {
+		s.scanned = true
+		s.explosions++
+		n := s.ds.Len()
+		for p := 0; p <= (n-1)/s.perPage; p++ {
+			s.dev.Access(iosim.PageID(p))
+		}
+		for i := 0; i < n; i++ {
+			id := data.ID(i)
+			pos := s.ds.Pos(id)
+			if !s.query.Contains(pos) {
+				continue
+			}
+			if s.Pred != nil && !s.Pred.Match(id) {
+				continue
+			}
+			if s.Filter != nil && !s.Filter(id) {
+				continue
+			}
+			if s.mode == WithoutReplacement && s.seen.Contains(id) {
+				continue
+			}
+			s.pending = append(s.pending, data.Entry{ID: id, Pos: pos})
+		}
+	}
+	m := len(s.pending)
+	if s.mode == WithReplacement {
+		if m == 0 {
+			return data.Entry{}, false
+		}
+		s.draws++
+		return s.pending[s.rng.Intn(m)], true
+	}
+	if s.cursor >= m {
+		return data.Entry{}, false
+	}
+	j := s.cursor + s.rng.Intn(m-s.cursor)
+	s.pending[s.cursor], s.pending[j] = s.pending[j], s.pending[s.cursor]
+	e := s.pending[s.cursor]
+	s.cursor++
+	s.seen.Add(e.ID)
+	s.draws++
+	return e, true
 }

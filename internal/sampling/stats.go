@@ -18,8 +18,12 @@ type SamplerStats struct {
 	// (RS-tree only; zero elsewhere).
 	Explosions uint64
 	// Scans is how many full range-report scans were performed: level
-	// scans for the LS-tree, the up-front report for QueryFirst.
+	// scans for the LS-tree, the up-front report for QueryFirst, the
+	// degraded filtered scan for SampleFirst.
 	Scans uint64
+	// Pruned is how many subtrees predicate pushdown excluded from the
+	// descent (node-summary None verdicts); zero without a predicate.
+	Pruned uint64
 }
 
 // StatsReporter is implemented by samplers that expose per-query

@@ -314,6 +314,10 @@ type SnapshotJSON struct {
 	// all of them after they came back: Population is restored to the
 	// full matching count. Mutually exclusive with Degraded.
 	Recovered bool `json:"recovered,omitempty"`
+	// RejectRatio is the fraction of the sampler's draws its rejection
+	// steps discarded (predicate or out-of-range rejections); zero for
+	// exact answers and clean pushdown streams.
+	RejectRatio float64 `json:"reject_ratio,omitempty"`
 	// LostMassLow/LostMassHigh, present only on degraded AVG/SUM
 	// snapshots, bound the aggregate over the full pre-crash population:
 	// the surviving CI widened by the lost shards' min/max attribute
@@ -401,6 +405,7 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 		TimeBudget:     q.Within,
 		MaxSamples:     q.Samples,
 		Method:         q.Method,
+		Where:          q.Where,
 	}
 	// r.Context() is cancelled when the client disconnects, which stops
 	// the query — interactive exploration over HTTP.
@@ -432,6 +437,7 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 			Degraded:     snap.Degraded,
 			ShardsLost:   snap.ShardsLost,
 			Recovered:    snap.Recovered,
+			RejectRatio:  snap.RejectRatio,
 			LostMassLow:  snap.LostMassLow,
 			LostMassHigh: snap.LostMassHigh,
 			Done:         snap.Done,
@@ -469,15 +475,22 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 	}
 }
 
-// PlanJSON is the /explain response.
+// PlanJSON is the /explain response. The where_* fields appear only for
+// statements with attribute predicates: the canonical predicate, the
+// exact qualifying count, the planner's selectivity estimate, and whether
+// it chose pushdown over rejection.
 type PlanJSON struct {
-	Dataset       string  `json:"dataset"`
-	N             int     `json:"n"`
-	Matching      int     `json:"matching"`
-	Selectivity   float64 `json:"selectivity"`
-	Method        string  `json:"method"`
-	CanonicalSize int     `json:"canonical_size"`
-	TreeHeight    int     `json:"tree_height"`
+	Dataset          string  `json:"dataset"`
+	N                int     `json:"n"`
+	Matching         int     `json:"matching"`
+	Selectivity      float64 `json:"selectivity"`
+	Method           string  `json:"method"`
+	CanonicalSize    int     `json:"canonical_size"`
+	TreeHeight       int     `json:"tree_height"`
+	Where            string  `json:"where,omitempty"`
+	Qualifying       int     `json:"qualifying"`
+	WhereSelectivity float64 `json:"where_selectivity"`
+	Pushdown         bool    `json:"pushdown,omitempty"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -500,20 +513,24 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	plan, err := h.Explain(q.Range())
+	plan, err := h.ExplainWhere(q.Range(), q.Where, engine.PushdownAuto)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(PlanJSON{
-		Dataset:       plan.Dataset,
-		N:             plan.N,
-		Matching:      plan.Matching,
-		Selectivity:   plan.Selectivity,
-		Method:        plan.Method.String(),
-		CanonicalSize: plan.CanonicalSize,
-		TreeHeight:    plan.TreeHeight,
+		Dataset:          plan.Dataset,
+		N:                plan.N,
+		Matching:         plan.Matching,
+		Selectivity:      plan.Selectivity,
+		Method:           plan.Method.String(),
+		CanonicalSize:    plan.CanonicalSize,
+		TreeHeight:       plan.TreeHeight,
+		Where:            plan.Where,
+		Qualifying:       plan.Qualifying,
+		WhereSelectivity: plan.WhereSelectivity,
+		Pushdown:         plan.Pushdown,
 	})
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"storm/internal/data"
 	"storm/internal/geo"
+	"storm/internal/pred"
 )
 
 // Kind identifies a wire message type (the byte after the length prefix).
@@ -238,12 +239,25 @@ type Count struct {
 	Target
 	// Query is the query rectangle.
 	Query geo.Rect
+	// Where is the query's attribute predicate in normal form (empty =
+	// none). Shards compile it against their local dataset and prune with
+	// their local summaries, so the predicate travels instead of the
+	// rejected records.
+	Where []pred.Term
 }
 
 // WireKind implements Msg.
-func (*Count) WireKind() Kind      { return KindCount }
-func (m *Count) encode(e *encoder) { m.Target.encode(e); e.rect(m.Query) }
-func (m *Count) decode(d *decoder) { m.Target.decode(d); m.Query = d.rect() }
+func (*Count) WireKind() Kind { return KindCount }
+func (m *Count) encode(e *encoder) {
+	m.Target.encode(e)
+	e.rect(m.Query)
+	e.terms(m.Where)
+}
+func (m *Count) decode(d *decoder) {
+	m.Target.decode(d)
+	m.Query = d.rect()
+	m.Where = d.terms()
+}
 
 // CountOK answers a Count.
 type CountOK struct {
@@ -272,6 +286,10 @@ type Open struct {
 	// coordinator's already-received samples when it reopens a stream
 	// after a shard restart. Empty on first open.
 	Exclude []data.ID
+	// Where is the query's attribute predicate in normal form (empty =
+	// none); the shard prunes and filters locally so only qualifying
+	// samples cross the wire.
+	Where []pred.Term
 }
 
 // WireKind implements Msg.
@@ -285,6 +303,7 @@ func (m *Open) encode(e *encoder) {
 	for _, id := range m.Exclude {
 		e.u64(id)
 	}
+	e.terms(m.Where)
 }
 func (m *Open) decode(d *decoder) {
 	m.Target.decode(d)
@@ -299,6 +318,7 @@ func (m *Open) decode(d *decoder) {
 	for i := range m.Exclude {
 		m.Exclude[i] = d.u64()
 	}
+	m.Where = d.terms()
 }
 
 // OpenOK answers an Open.
@@ -674,6 +694,19 @@ func (e *encoder) vec(v geo.Vec) {
 }
 func (e *encoder) rect(r geo.Rect) { e.vec(r.Min); e.vec(r.Max) }
 
+// terms encodes a predicate term list: count, then per term the attribute
+// name, both bounds and both openness flags.
+func (e *encoder) terms(ts []pred.Term) {
+	e.u32(uint32(len(ts)))
+	for _, t := range ts {
+		e.str(t.Attr)
+		e.f64(t.Lo)
+		e.f64(t.Hi)
+		e.b(t.LoOpen)
+		e.b(t.HiOpen)
+	}
+}
+
 // decoder reads fixed little-endian fields from a byte slice; the first
 // malformed read sets err and every later read returns zero values, so
 // message decode methods never bounds-panic.
@@ -755,6 +788,26 @@ func (d *decoder) rect() geo.Rect {
 	r.Min = d.vec()
 	r.Max = d.vec()
 	return r
+}
+
+// terms decodes a predicate term list. A term's minimum encoded size is 22
+// bytes (name length prefix, two bounds, two flags), bounding allocation
+// before the count is trusted. nil is returned for an empty list so that
+// decode∘encode is the identity.
+func (d *decoder) terms() []pred.Term {
+	n := int(d.u32())
+	if n == 0 || !d.need(n*22) {
+		return nil
+	}
+	ts := make([]pred.Term, n)
+	for i := range ts {
+		ts[i].Attr = d.str()
+		ts[i].Lo = d.f64()
+		ts[i].Hi = d.f64()
+		ts[i].LoOpen = d.b()
+		ts[i].HiOpen = d.b()
+	}
+	return ts
 }
 
 // AppendFrame appends m's frame (length prefix, kind, payload) to dst and

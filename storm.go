@@ -59,6 +59,7 @@ import (
 	"storm/internal/gen"
 	"storm/internal/geo"
 	"storm/internal/persist"
+	"storm/internal/pred"
 	"storm/internal/query"
 	"storm/internal/sampling"
 )
@@ -103,6 +104,12 @@ type (
 	Plan = engine.Plan
 	// Method selects a sampling strategy.
 	Method = engine.Method
+	// PredTerm is one attribute interval of a WHERE predicate
+	// (Options.Where is a conjunction of these).
+	PredTerm = pred.Term
+	// PushdownStrategy overrides the planner's pushdown-vs-rejection
+	// choice for a WHERE predicate (Options.Pushdown).
+	PushdownStrategy = engine.PushdownStrategy
 
 	// ShardCluster is the simulated distributed deployment behind a
 	// Handle registered with IndexOptions.Shards > 0.
@@ -193,6 +200,13 @@ const (
 	MethodQueryFirst  = engine.MethodQueryFirst
 	MethodSampleFirst = engine.MethodSampleFirst
 	MethodDistributed = engine.MethodDistributed
+)
+
+// Predicate pushdown strategies (Options.Pushdown).
+const (
+	PushdownAuto  = engine.PushdownAuto
+	PushdownForce = engine.PushdownForce
+	PushdownOff   = engine.PushdownOff
 )
 
 // ShardAll is the FaultPlan.Shards key whose plan applies to every shard

@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
 	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/ \
 	./internal/obs/ ./internal/wire/
 
-.PHONY: verify fmt vet build test race bench bench-batch docs-lint bench-obs bench-faults test-stats fuzz-smoke test-cluster bench-cluster bench-pushdown
+.PHONY: verify fmt vet build test race bench bench-batch docs-lint docs-check bench-obs bench-faults test-stats fuzz-smoke test-cluster bench-cluster bench-pushdown bench-contracts
 
 verify: fmt vet build test race docs-lint
 
@@ -42,6 +42,12 @@ bench-batch:
 docs-lint:
 	$(GO) run ./cmd/docslint
 
+# Documentation health: godoc discipline plus the markdown link checker
+# over the user-facing docs (relative links and anchors must resolve; see
+# cmd/linkcheck).
+docs-check: docs-lint
+	$(GO) run ./cmd/linkcheck README.md DESIGN.md QUERYLANG.md OPERATIONS.md EXPERIMENTS.md ROADMAP.md
+
 # Metrics-on vs metrics-off cost of the instrumented batched query path;
 # TestObsOverheadBudget enforces the <=2% budget when asked explicitly.
 bench-obs:
@@ -62,15 +68,16 @@ test-stats:
 	$(GO) test -race -run 'TestStat' -v ./internal/engine/
 	$(GO) test -race ./internal/stats/statcheck/
 
-# Short fuzz passes over the three operator/network-facing input surfaces:
-# the fault-plan grammar (no panic, canonical round-trip), the wire codec
-# (no panic on arbitrary frames, decode∘encode identity), and the query
-# language's WHERE grammar (no panic, canonical predicate fixpoint). The
-# checked-in corpora also run on plain `go test`.
+# Short fuzz passes over the operator/network-facing input surfaces: the
+# fault-plan grammar (no panic, canonical round-trip), the wire codec (no
+# panic on arbitrary frames, decode∘encode identity), and the query
+# language's WHERE and contract grammars (no panic, canonical fixpoints).
+# The checked-in corpora also run on plain `go test`.
 fuzz-smoke:
 	$(GO) test -run FuzzParseFaultPlan -fuzz FuzzParseFaultPlan -fuzztime 15s ./internal/distr/
 	$(GO) test -run FuzzWireCodec -fuzz FuzzWireCodec -fuzztime 15s ./internal/wire/
 	$(GO) test -run FuzzParseWhere -fuzz FuzzParseWhere -fuzztime 15s ./internal/query/
+	$(GO) test -run FuzzParseContract -fuzz FuzzParseContract -fuzztime 15s ./internal/query/
 
 # Real-process cluster smoke: build stormd, spawn 4 -role=shard processes
 # plus a coordinator, query over HTTP, kill one shard host mid-stream and
@@ -90,3 +97,10 @@ bench-cluster:
 # (EXPERIMENTS.md A10).
 bench-pushdown:
 	$(GO) run ./cmd/stormbench -fig a10
+
+# Contract ablation: ERROR/WITHIN accuracy-latency contracts across error
+# targets and deadlines — met/degraded/missed split and latency
+# percentiles — vs the uncapped snapshot-stream baseline
+# (EXPERIMENTS.md A11).
+bench-contracts:
+	$(GO) run ./cmd/stormbench -fig a11

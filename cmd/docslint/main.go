@@ -5,10 +5,10 @@
 //
 //	docslint [package-dir ...]
 //
-// With no arguments it audits the observability- and robustness-facing
-// packages (internal/obs, internal/engine, internal/distr — including the
-// fault-injection layer — internal/wire, internal/server,
-// internal/estimator, internal/bench).
+// With no arguments it audits the root facade (package storm) and the
+// observability- and robustness-facing packages (internal/obs,
+// internal/engine, internal/distr — including the fault-injection layer —
+// internal/wire, internal/server, internal/estimator, internal/bench).
 // Exit status is non-zero when any exported identifier lacks a doc
 // comment; each violation prints as file:line: name.
 package main
@@ -25,9 +25,11 @@ import (
 )
 
 // defaultDirs are the packages audited when no arguments are given: the
-// ones the observability and fault-tolerance layers promise are fully
+// root facade (the import downstream users read godoc for) plus the ones
+// the observability and fault-tolerance layers promise are fully
 // documented (internal/distr covers fault.go's FaultPlan surface).
 var defaultDirs = []string{
+	".",
 	"internal/obs",
 	"internal/engine",
 	"internal/distr",

@@ -1,0 +1,179 @@
+// Command linkcheck verifies the repository's markdown documentation:
+// every relative link must point at an existing file, and every anchor
+// (in-page or cross-page "#section" fragments) must match a heading in
+// the target document, using GitHub's heading-slug rules. External
+// http(s) and mailto links are skipped — CI stays hermetic. It is a
+// stdlib-only stand-in for a markdown link checker, in the spirit of
+// cmd/docslint.
+//
+//	linkcheck file.md [file.md ...]
+//
+// Exit status is non-zero when any link is broken; each violation prints
+// as file:line: message.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target). Images
+// ![alt](target) match too — the leading "!" changes rendering, not
+// resolution. Nested brackets and reference-style links are out of
+// scope for the docs this repo writes.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRE matches ATX headings; the captured text feeds the slugger.
+var headingRE = regexp.MustCompile("^#{1,6}\\s+(.*?)\\s*#*\\s*$")
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck file.md [file.md ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	anchors := map[string]map[string]bool{} // file path -> slug set
+	for _, f := range os.Args[1:] {
+		violations, err := checkFile(f, anchors)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %s: %v\n", f, err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		bad += len(violations)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile scans one markdown file and returns a violation per broken
+// relative link or unresolved anchor.
+func checkFile(path string, anchors map[string]map[string]bool) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(path, target, anchors); msg != "" {
+				out = append(out, fmt.Sprintf("%s:%d: %s", path, i+1, msg))
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkTarget resolves one link target relative to the linking file.
+// External schemes pass; everything else must exist on disk, and a .md
+// target's "#fragment" must match a heading slug.
+func checkTarget(from, target string, anchors map[string]map[string]bool) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return ""
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	dest := from
+	if file != "" {
+		dest = filepath.Join(filepath.Dir(from), file)
+		if _, err := os.Stat(dest); err != nil {
+			return fmt.Sprintf("link %q: target %s does not exist", target, dest)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(dest, ".md") {
+		return "" // anchors into non-markdown targets are not checkable
+	}
+	set, err := headingSlugs(dest, anchors)
+	if err != nil {
+		return fmt.Sprintf("link %q: reading %s: %v", target, dest, err)
+	}
+	if !set[strings.ToLower(frag)] {
+		return fmt.Sprintf("link %q: no heading for anchor #%s in %s", target, frag, dest)
+	}
+	return ""
+}
+
+// headingSlugs returns (and caches) the GitHub-style anchor slugs of
+// every heading in a markdown file.
+func headingSlugs(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if set, ok := cache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		// GitHub dedupes repeated headings with -1, -2, ... suffixes.
+		if set[slug] {
+			for n := 1; ; n++ {
+				cand := fmt.Sprintf("%s-%d", slug, n)
+				if !set[cand] {
+					slug = cand
+					break
+				}
+			}
+		}
+		set[slug] = true
+	}
+	cache[path] = set
+	return set, nil
+}
+
+// slugify lowercases a heading, drops everything but letters, digits,
+// spaces, hyphens and underscores, and turns spaces into hyphens —
+// GitHub's anchor algorithm for ASCII-ish headings. Inline code spans
+// and emphasis markers are stripped first.
+func slugify(heading string) string {
+	heading = strings.NewReplacer("`", "", "*", "", "_", "_").Replace(heading)
+	// Drop inline links' targets: "[text](url)" anchors on "text".
+	heading = linkRE.ReplaceAllString(heading, "")
+	heading = strings.TrimSuffix(heading, "[")
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r >= 0x80: // keep non-ASCII letters (GitHub does)
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

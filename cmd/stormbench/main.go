@@ -19,6 +19,8 @@
 //	                                  # round latency + message/byte counts
 //	stormbench -fig a10               # predicate pushdown ablation: pruning
 //	                                  # vs rejection across selectivities
+//	stormbench -fig a11               # contract ablation: ERROR/WITHIN
+//	                                  # contracts vs the uncapped stream path
 //	stormbench -fig all               # everything
 //
 // -metrics attaches an observability registry (see internal/obs) to each
@@ -51,7 +53,7 @@ func series(title string, xs, ys []float64) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, all")
 	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
 	seed := flag.Int64("seed", 1, "generator/sampling seed")
 	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
@@ -93,6 +95,7 @@ func main() {
 	run("a8", func() error { return a8(*seed) })
 	run("a9", func() error { return a9(*seed) })
 	run("a10", func() error { return a10(*seed) })
+	run("a11", func() error { return a11(*seed) })
 }
 
 // dumpMetrics prints every registry entry as "name<TAB>value", sorted by
@@ -480,5 +483,34 @@ func a10(seed int64) error {
 	}
 	fmt.Print(viz.Table(rows))
 	fmt.Printf("wire identity (pushdown over TCP vs loopback): %v\n", res.WireIdentical)
+	return nil
+}
+
+func a11(seed int64) error {
+	fmt.Println("Ablation A11: accuracy/latency contracts — the same seeded AVG query under")
+	fmt.Println("ERROR ... AT CONFIDENCE ... WITHIN ... contracts across error targets and")
+	fmt.Println("deadlines (200k points, warmed planner profile, 20 runs per cell), against")
+	fmt.Println("the uncapped snapshot-stream baseline at the same error targets")
+	res, err := bench.A11(bench.A11Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"mode", "error", "deadline", "met", "degraded", "missed", "p50 ms", "p95 ms", "samples", "achieved", "answers"}}
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			p.Mode,
+			fmt.Sprintf("%g%%", p.ErrTarget*100),
+			p.DeadlineLabel(),
+			fmt.Sprintf("%d/%d", p.Met, p.Runs),
+			fmt.Sprintf("%d", p.Degraded),
+			fmt.Sprintf("%d", p.Missed),
+			fmt.Sprintf("%.2f", p.P50MS),
+			fmt.Sprintf("%.2f", p.P95MS),
+			fmt.Sprintf("%.0f", p.MeanSamples),
+			fmt.Sprintf("%.3g%%", p.MeanAchieved*100),
+			fmt.Sprintf("%.1f", p.MeanSnapshots),
+		})
+	}
+	fmt.Print(viz.Table(rows))
 	return nil
 }

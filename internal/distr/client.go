@@ -10,6 +10,7 @@ package distr
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"storm/internal/data"
 	"storm/internal/geo"
@@ -62,6 +63,19 @@ type ShardClient interface {
 	Addr() string
 	// Close releases client resources.
 	Close() error
+}
+
+// deadlineFetcher is the optional deadline-aware fetch side of a
+// ShardClient: FetchBefore is Fetch with an absolute wall-clock deadline
+// the attempt must respect — the TCP transport caps its per-request
+// timeout at the time remaining (floored at wire.MinCallTimeout), and the
+// fault decorator forwards the deadline through to its inner client.
+// Samplers running under a deadline (engine time budgets, query
+// contracts) route fetches through this when available, so a stuck shard
+// cannot hold a bounded query past its budget. Clients without it (the
+// plain loopback, which cannot block on a network) are fetched normally.
+type deadlineFetcher interface {
+	FetchBefore(stream uint64, dst []data.Entry, n int, deadline time.Time) (int, error)
 }
 
 // liveChecker is the optional liveness side of a ShardClient. Live

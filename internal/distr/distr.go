@@ -559,6 +559,11 @@ type Sampler struct {
 	simRem  []int
 	choices []int
 	demand  []int
+	// deadline, when set, bounds the query's wall clock at the fetch
+	// boundary (see SetDeadline); deadlineHit latches once it passes so
+	// draw loops stop cleanly instead of writing reachable shards off.
+	deadline    time.Time
+	deadlineHit bool
 }
 
 // Sampler returns an online sampler for q across all shards.
@@ -579,6 +584,30 @@ var _ sampling.Sampler = (*Sampler)(nil)
 
 // Name implements sampling.Sampler.
 func (s *Sampler) Name() string { return "distributed-rs-tree" }
+
+// SetDeadline installs a wall-clock deadline enforced at the shard fetch
+// boundary: per-fetch RPC timeouts are capped at the time remaining
+// (clients implementing deadlineFetcher), retry/backoff cycles stop at
+// the deadline, and draw calls return short once it has passed — without
+// writing any shard off, since a deadline expiry says nothing about shard
+// health. The engine threads Options.TimeBudget (and with it contract
+// deadlines) through here so one slow or faulted shard cannot run a
+// bounded query past its budget. The zero time clears the deadline.
+func (s *Sampler) SetDeadline(t time.Time) {
+	s.deadline = t
+	s.deadlineHit = false
+}
+
+// expired reports (and latches) whether the sampler's deadline passed.
+func (s *Sampler) expired() bool {
+	if s.deadlineHit {
+		return true
+	}
+	if !s.deadline.IsZero() && !time.Now().Before(s.deadline) {
+		s.deadlineHit = true
+	}
+	return s.deadlineHit
+}
 
 // initialize runs the coordinator's count round, opening a sample stream
 // on every shard in parallel. Seeds are drawn serially up front so the
@@ -674,6 +703,12 @@ func (s *Sampler) Next() (data.Entry, bool) {
 	if s.buffered(shard) == 0 {
 		s.fetchInto(shard, s.cluster.cfg.BatchSize)
 		if s.buffered(shard) == 0 {
+			if s.deadlineHit {
+				// The fetch was abandoned at the deadline, not refused by
+				// the shard: stop the stream without writing the (likely
+				// healthy, still-reachable) shard off.
+				return data.Entry{}, false
+			}
 			// Shard believed to have samples but returned none:
 			// defensive consistency repair.
 			s.total -= s.remaining[shard]
@@ -705,6 +740,9 @@ func (s *Sampler) NextBatch(dst []data.Entry, k int) int {
 	}
 	got := 0
 	for got < k {
+		if s.deadlineHit {
+			break
+		}
 		// Poll for recovered shards before giving up on an exhausted
 		// stream: a crashed shard that came back re-enters the draw
 		// distribution here, and the poll itself advances a still-down
@@ -715,6 +753,9 @@ func (s *Sampler) NextBatch(dst []data.Entry, k int) int {
 		}
 		n := s.batchRound(dst[got:], k-got)
 		if n == 0 && s.total <= 0 {
+			break
+		}
+		if n == 0 && s.deadlineHit {
 			break
 		}
 		got += n
@@ -781,6 +822,11 @@ func (s *Sampler) batchRound(dst []data.Entry, k int) int {
 			continue
 		}
 		if s.buffered(shard) == 0 {
+			if s.deadlineHit {
+				// The shard's fetch was cut off by the deadline, not
+				// refused: abandon the round without zeroing its count.
+				break
+			}
 			s.total -= s.remaining[shard]
 			s.remaining[shard] = 0
 			continue
@@ -843,7 +889,13 @@ func (s *Sampler) clientFetch(shard int, dst []data.Entry, n int) (got int, lost
 	backoff := cl.cfg.RetryBackoff
 	reopened := false
 	for attempt := 0; ; attempt++ {
-		got, err := cl.clients[shard].Fetch(s.streams[shard], dst, n)
+		if s.expired() {
+			// Deadline passed before this attempt: give the query back to
+			// the evaluator with what it has. The shard is NOT lost —
+			// nothing here is evidence against it.
+			return 0, false, false
+		}
+		got, err := s.fetchOnce(shard, dst, n)
 		if err == nil {
 			if attempt > 0 {
 				cl.ftot.recoveries.Add(1)
@@ -882,10 +934,31 @@ func (s *Sampler) clientFetch(shard int, dst []data.Entry, n int) (got int, lost
 		}
 		cl.ftot.retries.Add(1)
 		if backoff > 0 {
+			if !s.deadline.IsZero() && !time.Now().Add(backoff).Before(s.deadline) {
+				// Sleeping through the deadline helps nobody: stop the
+				// retry cycle here (again without losing the shard).
+				s.deadlineHit = true
+				return 0, false, false
+			}
 			time.Sleep(backoff)
 			backoff *= 2
 		}
 	}
+}
+
+// fetchOnce performs a single fetch attempt, routing through the client's
+// deadline-aware path when the sampler has a deadline and the client
+// supports one (the TCP transport then caps the request timeout at the
+// time remaining, so a stuck shard cannot hold the query past its
+// budget).
+func (s *Sampler) fetchOnce(shard int, dst []data.Entry, n int) (int, error) {
+	cl := s.cluster
+	if !s.deadline.IsZero() {
+		if df, ok := cl.clients[shard].(deadlineFetcher); ok {
+			return df.FetchBefore(s.streams[shard], dst, n, s.deadline)
+		}
+	}
+	return cl.clients[shard].Fetch(s.streams[shard], dst, n)
 }
 
 // reopen replaces shard's sample stream after a shard process restart:

@@ -646,6 +646,18 @@ type faultClient struct {
 // (or instead of) the inner fetch. With a FaultNone verdict it is a
 // direct pass-through, byte-identical to the undecorated client.
 func (fc *faultClient) Fetch(stream uint64, dst []data.Entry, n int) (int, error) {
+	return fc.doFetch(stream, dst, n, time.Time{})
+}
+
+// FetchBefore implements deadlineFetcher, forwarding the deadline to the
+// inner client when it is deadline-aware. The fault verdict still applies
+// first — an injected crash or timeout fires identically whether or not
+// the query runs under a contract deadline.
+func (fc *faultClient) FetchBefore(stream uint64, dst []data.Entry, n int, deadline time.Time) (int, error) {
+	return fc.doFetch(stream, dst, n, deadline)
+}
+
+func (fc *faultClient) doFetch(stream uint64, dst []data.Entry, n int, deadline time.Time) (int, error) {
 	kind, delay, crashed, rejoined := fc.f.verdict()
 	if rejoined {
 		fc.c.countReadmit()
@@ -669,7 +681,13 @@ func (fc *faultClient) Fetch(stream uint64, dst []data.Entry, n int) (int, error
 		}
 		time.Sleep(delay)
 	}
-	got, err := fc.ShardClient.Fetch(stream, dst, n)
+	var got int
+	var err error
+	if df, ok := fc.ShardClient.(deadlineFetcher); ok && !deadline.IsZero() {
+		got, err = df.FetchBefore(stream, dst, n, deadline)
+	} else {
+		got, err = fc.ShardClient.Fetch(stream, dst, n)
+	}
 	if err != nil {
 		return got, err
 	}

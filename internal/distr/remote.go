@@ -193,6 +193,33 @@ func (w *wireClient) Fetch(stream uint64, dst []data.Entry, n int) (int, error) 
 	return got, nil
 }
 
+// FetchBefore implements deadlineFetcher: a Fetch whose transport
+// timeout is capped at the time remaining until deadline (never above
+// Config.FetchTimeout, never below wire.MinCallTimeout), so a contract
+// query's last fetch cannot block past the deadline waiting on a slow
+// shard. A zero deadline degrades to a plain Fetch.
+func (w *wireClient) FetchBefore(stream uint64, dst []data.Entry, n int, deadline time.Time) (int, error) {
+	timeout := w.c.cfg.FetchTimeout
+	if !deadline.IsZero() {
+		if left := time.Until(deadline); left < timeout {
+			timeout = left
+		}
+		if timeout < wire.MinCallTimeout {
+			timeout = wire.MinCallTimeout
+		}
+	}
+	resp, err := w.call(&wire.Fetch{Target: w.tgt, Stream: stream, N: uint32(n)}, timeout)
+	if err != nil {
+		return 0, err
+	}
+	ents, isEnts := resp.(*wire.Entries)
+	if !isEnts {
+		return 0, fmt.Errorf("distr: unexpected %v response to fetch", resp.WireKind())
+	}
+	got := copy(dst, ents.Entries)
+	return got, nil
+}
+
 // CloseStream implements ShardClient.
 func (w *wireClient) CloseStream(stream uint64) error {
 	_, err := w.call(&wire.Close{Target: w.tgt, Stream: stream}, remoteOpTimeout)

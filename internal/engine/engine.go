@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"storm/internal/data"
 	"storm/internal/distr"
@@ -202,6 +203,24 @@ type Handle struct {
 	// filter them out. Guarded by mu: queries read it under RLock, updates
 	// write it under Lock.
 	deleted map[data.ID]struct{}
+	// prof is the dataset's contract profile (sampling throughput and
+	// per-attribute CV EWMAs); every completed estimate feeds it and the
+	// contract planner reads it. Internally synchronized.
+	prof contractProfile
+	// dsTTCI holds the dataset's own time-to-CI milestone histograms
+	// (storm.dataset.<name>.ttci.*), same thresholds as the engine-wide
+	// set; the contract planner extrapolates convergence time from them.
+	// Built once at Register, nil with metrics disabled.
+	dsTTCI []ttciMilestone
+}
+
+// beginQuery is metrics.beginQuery plus the handle's per-dataset
+// time-to-CI milestones, so contract telemetry accrues to the dataset the
+// query actually ran on.
+func (h *Handle) beginQuery(start time.Time) *queryObs {
+	qo := h.eng.met.beginQuery(start)
+	qo.ds = h.dsTTCI
+	return qo
 }
 
 // Register indexes a dataset and makes it queryable. The dataset must not
@@ -270,6 +289,23 @@ func (e *Engine) Register(ds *data.Dataset, opts IndexOptions) (*Handle, error) 
 	prefix := "storm.dataset." + ds.Name() + "."
 	e.obs.PublishFunc(prefix+"records", func() any { return h.Len() })
 	e.obs.PublishFunc(prefix+"buffer_regens", func() any { return rs.BufferRegens() })
+	// Per-dataset convergence telemetry and contract-profile scrape
+	// views: the contract planner predicts from these, and operators can
+	// watch a dataset warm up. Same prefix, so Unregister tears them
+	// down too.
+	if e.obs != nil {
+		for _, t := range ttciThresholds {
+			h.dsTTCI = append(h.dsTTCI, ttciMilestone{rel: t.rel, hist: e.obs.TuningHistogram(prefix+t.short, 0.1, 16)})
+		}
+	}
+	e.obs.PublishFunc(prefix+"contract.rate_spms", func() any {
+		rate, _, _ := h.prof.snapshot("")
+		return rate
+	})
+	e.obs.PublishFunc(prefix+"contract.profiled_queries", func() any {
+		_, _, n := h.prof.snapshot("")
+		return n
+	})
 	return h, nil
 }
 

@@ -36,6 +36,15 @@ type metrics struct {
 	pushdownPlans  *obs.Counter
 	pushdownPruned *obs.Counter
 
+	// contractsMet/Degraded/Missed count contract-mode queries
+	// (EstimateContract) by their final guarantee verdict;
+	// contractColdPlans counts plans made from priors because the dataset
+	// had no telemetry yet.
+	contractsMet      *obs.Counter
+	contractsDegraded *obs.Counter
+	contractsMissed   *obs.Counter
+	contractColdPlans *obs.Counter
+
 	batchSize *obs.Histogram
 	// Latency and CI-width distributions self-tune: their log-spaced
 	// bounds rescale upward instead of saturating a top bucket when a
@@ -56,14 +65,16 @@ type ttciMilestone struct {
 
 // ttciThresholds are the convergence milestones exported as
 // storm.engine.ttci.* histograms, widest first (queries cross them in
-// this order).
+// this order). Register additionally builds a per-dataset copy of the
+// same milestones under storm.dataset.<name>.ttci.* — the contract
+// planner's telemetry (see ttciPredict).
 var ttciThresholds = []struct {
-	rel  float64
-	name string
+	rel   float64
+	short string
 }{
-	{0.10, "storm.engine.ttci.rel10pct_ms"},
-	{0.05, "storm.engine.ttci.rel5pct_ms"},
-	{0.01, "storm.engine.ttci.rel1pct_ms"},
+	{0.10, "ttci.rel10pct_ms"},
+	{0.05, "ttci.rel5pct_ms"},
+	{0.01, "ttci.rel1pct_ms"},
 }
 
 // newMetrics resolves every engine metric against reg. A nil registry
@@ -81,12 +92,16 @@ func newMetrics(reg *obs.Registry) *metrics {
 		samplerScans:      reg.Counter("storm.engine.sampler.scans"),
 		pushdownPlans:     reg.Counter("storm.engine.pushdown.plans"),
 		pushdownPruned:    reg.Counter("storm.engine.pushdown.pruned_nodes"),
+		contractsMet:      reg.Counter("storm.engine.contracts.met"),
+		contractsDegraded: reg.Counter("storm.engine.contracts.degraded"),
+		contractsMissed:   reg.Counter("storm.engine.contracts.missed"),
+		contractColdPlans: reg.Counter("storm.engine.contracts.cold_plans"),
 		batchSize:         reg.Histogram("storm.engine.batch.size", obs.BatchSizeBuckets),
 		ciRelWidth:        reg.TuningHistogram("storm.engine.ci.relwidth", 1e-4, 16),
 		queryLatencyMS:    reg.TuningHistogram("storm.engine.query.latency_ms", 0.1, 16),
 	}
 	for _, t := range ttciThresholds {
-		m.ttci = append(m.ttci, ttciMilestone{rel: t.rel, hist: reg.TuningHistogram(t.name, 0.1, 16)})
+		m.ttci = append(m.ttci, ttciMilestone{rel: t.rel, hist: reg.TuningHistogram("storm.engine."+t.short, 0.1, 16)})
 	}
 	return m
 }
@@ -101,6 +116,11 @@ type queryObs struct {
 	start     time.Time
 	last      sampling.SamplerStats
 	milestone int
+	// ds holds the handle's per-dataset time-to-CI milestones (same
+	// thresholds, same order as met.ttci), observed at the same cursor —
+	// they feed the contract planner's per-dataset predictions. Nil when
+	// the query runs without a handle context or metrics are off.
+	ds []ttciMilestone
 }
 
 // beginQuery records a query start and returns its metric state; pair
@@ -150,7 +170,11 @@ func (q *queryObs) ci(rel float64) {
 	m := q.met
 	m.ciRelWidth.Observe(rel)
 	for q.milestone < len(m.ttci) && rel <= m.ttci[q.milestone].rel {
-		m.ttci[q.milestone].hist.Observe(msSince(q.start))
+		ms := msSince(q.start)
+		m.ttci[q.milestone].hist.Observe(ms)
+		if q.milestone < len(q.ds) {
+			q.ds[q.milestone].hist.Observe(ms)
+		}
 		q.milestone++
 	}
 }

@@ -69,9 +69,9 @@ func TestTTCIMilestones(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, th := range ttciThresholds {
-		hist := e.Obs().TuningHistogram(th.name, 0.1, 16)
+		hist := e.Obs().TuningHistogram("storm.engine."+th.short, 0.1, 16)
 		if hist.Snapshot().Count == 0 {
-			t.Errorf("milestone %s never stamped", th.name)
+			t.Errorf("milestone %s never stamped", th.short)
 		}
 	}
 }

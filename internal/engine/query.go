@@ -174,7 +174,7 @@ func (h *Handle) Estimate(ctx context.Context, q geo.Range, opts Options) (Snaps
 // runEstimate is the evaluator loop. Caller holds h.mu.
 func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out chan<- Snapshot) {
 	start := time.Now()
-	qo := h.eng.met.beginQuery(start)
+	qo := h.beginQuery(start)
 	defer qo.end()
 	seed := opts.Seed
 	if seed == 0 {
@@ -306,10 +306,22 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		emit(true, fmt.Sprintf("error: %v", err))
 		return
 	}
+	// Feed the dataset's contract profile with this query's outcome; the
+	// contract planner's rate/CV predictions come from these EWMAs.
+	defer func() {
+		h.prof.observe(opts.Attr, opts.Confidence, est.Snapshot(), time.Since(start))
+	}()
 
 	var deadline time.Time
 	if opts.TimeBudget > 0 {
 		deadline = start.Add(opts.TimeBudget)
+		if d, ok := sampler.(deadliner); ok {
+			// Push the budget down to the shard fetch boundary: a
+			// distributed sampler then caps per-fetch RPC timeouts and
+			// stops retry/backoff at the deadline instead of letting one
+			// slow shard run the query past it.
+			d.SetDeadline(deadline)
+		}
 	}
 
 	targetMet := func() bool {
@@ -392,6 +404,16 @@ type readmitter interface {
 	Readmits() int
 }
 
+// deadliner is implemented by samplers that can enforce a wall-clock
+// deadline inside their own draw machinery (the distributed coordinator
+// caps per-fetch RPC timeouts and abandons retry/backoff at the
+// deadline). The evaluator loop installs Options.TimeBudget through it so
+// contract deadlines hold at the shard fetch boundary, not just between
+// batches.
+type deadliner interface {
+	SetDeadline(time.Time)
+}
+
 // lostMassBounder is implemented by degradable samplers that can bound
 // the attribute values of their lost population from coordinator-side
 // per-shard summaries (count/sum/min/max per numeric attribute): every
@@ -415,7 +437,7 @@ func (h *Handle) resolveMethod(m Method, q geo.Rect) Method {
 // holds h.mu. The Snapshot's HalfWidth is the wider side of the
 // order-statistic confidence bounds.
 func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, population int, plan *wherePlan, rng *stats.RNG, start time.Time, out chan<- Snapshot) {
-	qo := h.eng.met.beginQuery(start)
+	qo := h.beginQuery(start)
 	defer qo.end()
 	p := opts.QuantileP
 	if opts.Kind == estimator.Median {
@@ -446,6 +468,9 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 	var deadline time.Time
 	if opts.TimeBudget > 0 {
 		deadline = start.Add(opts.TimeBudget)
+		if d, ok := sampler.(deadliner); ok {
+			d.SetDeadline(deadline)
+		}
 	}
 
 	wasDegraded, wasRecovered := false, false
@@ -656,7 +681,7 @@ func (h *Handle) Sample(q geo.Range, k int, method Method, mode sampling.Mode, s
 		return nil, err
 	}
 	defer closeSampler(sampler)
-	qo := h.eng.met.beginQuery(time.Now())
+	qo := h.beginQuery(time.Now())
 	defer qo.end()
 	out := make([]data.Entry, k)
 	got := sampling.NextBatch(sampler, out, k)

@@ -91,6 +91,44 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 				fmt.Fprintf(w, "predicate:      %s (est. selectivity %.3f%%, qualifying %d, strategy %s)\n",
 					plan.Where, plan.WhereSelectivity*100, plan.Qualifying, strategy)
 			}
+			if q.Contract {
+				cp, err := h.ExplainContract(r, contractOptions(q), queryContract(q))
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "contract:       %s\n", cp.Target)
+				feas := "feasible"
+				if !cp.Feasible {
+					feas = "infeasible"
+				}
+				profile := "warm profile"
+				if cp.Cold {
+					profile = "cold plan (priors)"
+				}
+				switch {
+				case cp.Exact:
+					fmt.Fprintf(w, "plan:           exact over %d qualifying records (%s)\n", cp.Qualifying, profile)
+				default:
+					fmt.Fprintf(w, "plan:           %d samples predicted (cv %.3g, %.3g samples/ms, ~%.1fms) — %s, %s\n",
+						cp.Samples, cp.CV, cp.RateSPMS, cp.PredictedMS, feas, profile)
+				}
+				if !cp.Feasible {
+					fmt.Fprintf(w, "prediction:     ~%.3g%% relative error within the deadline's ~%d-sample budget\n",
+						cp.PredictedRelError*100, cp.Budget)
+				}
+				fmt.Fprintf(w, "stopping rule:  check target every %d samples\n", cp.ReportEvery)
+			}
+			return nil
+		}
+		if q.Contract {
+			if q.GroupBy != "" || len(q.MultiAggs) > 1 {
+				return fmt.Errorf("query: contracts apply to single-aggregate estimates (no GROUP BY or aggregate lists)")
+			}
+			res, err := h.EstimateContract(ctx, r, contractOptions(q), queryContract(q))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s  t=%s sampler=%s\n", res, res.Elapsed.Round(100_000), res.Method)
 			return nil
 		}
 		opts := engine.Options{
@@ -268,6 +306,24 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 	default:
 		return fmt.Errorf("query: unsupported operation %d", q.Op)
 	}
+}
+
+// contractOptions maps a contract-mode statement onto engine options; the
+// contract itself (queryContract) carries the targets.
+func contractOptions(q *Query) engine.Options {
+	return engine.Options{
+		Kind:       q.Agg,
+		Attr:       q.Attr,
+		QuantileP:  q.QuantileP,
+		MaxSamples: q.Samples,
+		Method:     q.Method,
+		Where:      q.Where,
+	}
+}
+
+// queryContract extracts the statement's contract clauses.
+func queryContract(q *Query) engine.Contract {
+	return engine.Contract{RelError: q.RelError, Confidence: q.Confidence, Deadline: q.Within}
 }
 
 func sortedStrings(s []string) []string {

@@ -68,3 +68,65 @@ func FuzzParseWhere(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseContract fuzzes the contract clauses (ERROR <pct> AT
+// CONFIDENCE <pct>, WITHIN <duration>): no input may panic the parser,
+// and every accepted contract must round-trip through the canonical form
+// — Query.ContractClause() is a fixpoint (re-parsing the rendered clause
+// reproduces the exact targets, including the deadline down to the
+// nanosecond). Free-form input may normalize (percent signs divide by
+// 100, duration units convert), but the canonical form may not drift.
+//
+// Run the full fuzzer with:
+//
+//	go test -run FuzzParseContract -fuzz FuzzParseContract -fuzztime 30s ./internal/query/
+//
+// Without -fuzz, the checked-in corpus under
+// testdata/fuzz/FuzzParseContract plus the f.Add seeds run as regression
+// cases on every ordinary `go test`.
+func FuzzParseContract(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"ERROR 2% AT CONFIDENCE 95%",
+		"ERROR 2% AT CONFIDENCE 95% WITHIN 500ms",
+		"ERROR 0.02 AT CONFIDENCE 0.95 WITHIN 500ms",
+		"WITH ERROR 5 AT CONFIDENCE 0.99",
+		"ERROR 1e-9 AT CONFIDENCE 0.5 WITHIN 1.5s",
+		"ERROR 0.1 AT CONFIDENCE 0.9999999 WITHIN 2m",
+		"ERROR 2% AT CONFIDENCE 95% WITHIN 0.000001ms",
+		"ERROR 2% AT CONFIDENCE 95% WITHIN 1125899906ms",
+		"ERROR 2%",
+		"WITHIN 500ms",
+		"ERROR 2% AT 95%",
+		"ERROR AT CONFIDENCE 95%",
+		"ERROR 2% AT CONFIDENCE 150%",
+		"ERROR -2% AT CONFIDENCE 95%",
+		"ERROR 2% AT CONFIDENCE 95% WITHIN -1s",
+		"ERROR 2% AT CONFIDENCE 95% WITHIN 9e99s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, clause string) {
+		// The raw input alone exercises the whole grammar for panics.
+		query.Parse(clause)
+
+		q, err := query.Parse("SELECT AVG(x) FROM d " + clause)
+		if err != nil || !q.Contract {
+			return
+		}
+		canon := q.ContractClause()
+		if canon == "" {
+			t.Fatalf("contract query for %q rendered an empty clause", clause)
+		}
+		q2, err := query.Parse("SELECT AVG(x) FROM d " + canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, clause, err)
+		}
+		if q2.RelError != q.RelError || q2.Confidence != q.Confidence || q2.Within != q.Within || !q2.Contract {
+			t.Fatalf("canonical form %q of %q re-parses to different targets: %+v vs %+v", canon, clause, q2, q)
+		}
+		if again := q2.ContractClause(); again != canon {
+			t.Fatalf("canonical ContractClause is not a fixpoint for %q: %q -> %q", clause, canon, again)
+		}
+	})
+}

@@ -62,6 +62,12 @@ type Query struct {
 	Within     time.Duration // 0 = none
 	Samples    int           // 0 = none
 	Method     engine.Method
+	// Contract marks contract mode — the "ERROR <pct> AT CONFIDENCE
+	// <pct>" form was used. The statement then returns ONE answer with
+	// its guarantee verdict (engine.EstimateContract) instead of a
+	// snapshot stream; RelError/Confidence are the contract's targets and
+	// Within its deadline.
+	Contract bool
 	// Task-specific fields.
 	GridX, GridY int    // KDE
 	TopN         int    // TERMS
@@ -178,7 +184,8 @@ func (p *parser) parseStatement() (*Query, error) {
 		}
 		q.Explain = true
 		return q, nil
-	case "ESTIMATE":
+	case "ESTIMATE", "SELECT":
+		// SELECT is an alias for ESTIMATE: dashboard clients speak SQL.
 		p.next()
 		return p.parseEstimate()
 	case "COUNT":
@@ -351,7 +358,7 @@ func (p *parser) parseStatement() (*Query, error) {
 		}
 		return q, nil
 	default:
-		return nil, fmt.Errorf("query: expected a statement keyword (ESTIMATE, COUNT, KDE, HOTSPOTS, TERMS, TRAJECTORY, CLUSTER, INSERT, DELETE, SHOW), got %s", p.peek())
+		return nil, fmt.Errorf("query: expected a statement keyword (SELECT, ESTIMATE, COUNT, KDE, HOTSPOTS, TERMS, TRAJECTORY, CLUSTER, INSERT, DELETE, SHOW), got %s", p.peek())
 	}
 }
 
@@ -552,6 +559,29 @@ func (p *parser) parseFromWhereWith(q *Query) error {
 				return fmt.Errorf("query: error target must be positive")
 			}
 			q.RelError = v
+			// "ERROR <pct> AT CONFIDENCE <pct>" is the contract form: the
+			// statement becomes a one-answer contract query instead of a
+			// snapshot stream (a bare ERROR clause remains the stream
+			// path's stopping target).
+			if p.keyword() == "AT" {
+				p.next()
+				if err := p.expectKeyword("CONFIDENCE"); err != nil {
+					return err
+				}
+				c, err := p.number()
+				if err != nil {
+					return err
+				}
+				if p.peek().kind == tokPunct && p.peek().text == "%" {
+					p.next()
+					c /= 100
+				}
+				if c <= 0 || c >= 1 {
+					return fmt.Errorf("query: confidence %v outside (0, 1)", c)
+				}
+				q.Confidence = c
+				q.Contract = true
+			}
 		case "WITHIN":
 			p.next()
 			d, err := p.duration()
@@ -716,5 +746,41 @@ func (p *parser) duration() (time.Duration, error) {
 	if err != nil || v < 0 {
 		return 0, fmt.Errorf("query: bad duration %q", t.text)
 	}
-	return time.Duration(v * float64(unit)), nil
+	ns := v * float64(unit)
+	if ns >= maxDurationNS {
+		return 0, fmt.Errorf("query: duration %q too large", t.text)
+	}
+	// Round, don't truncate: ContractClause renders durations as decimal
+	// milliseconds and rounding makes parse∘render the identity (the
+	// decimal's float error is under half a nanosecond below the cap).
+	return time.Duration(math.Round(ns)), nil
+}
+
+// maxDurationNS caps parsed durations at 2^50 nanoseconds (~13 days) —
+// beyond any meaningful query budget, and the range where decimal
+// millisecond rendering round-trips exactly: below the cap the combined
+// division and multiplication float error stays under 0.2 ns, so the
+// rounded re-parse reproduces the nanosecond count.
+const maxDurationNS = 1 << 50
+
+// ContractClause renders the query's contract in the canonical form the
+// parser round-trips: "ERROR <e> AT CONFIDENCE <c>[ WITHIN <ms>ms]" with
+// fractional (not percent) targets. Empty for non-contract queries.
+// Parsing the rendered clause reproduces RelError, Confidence and Within
+// exactly — the fixpoint FuzzParseContract checks.
+func (q *Query) ContractClause() string {
+	if !q.Contract {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("ERROR ")
+	b.WriteString(strconv.FormatFloat(q.RelError, 'f', -1, 64))
+	b.WriteString(" AT CONFIDENCE ")
+	b.WriteString(strconv.FormatFloat(q.Confidence, 'f', -1, 64))
+	if q.Within > 0 {
+		b.WriteString(" WITHIN ")
+		b.WriteString(strconv.FormatFloat(float64(q.Within)/float64(time.Millisecond), 'f', -1, 64))
+		b.WriteString("ms")
+	}
+	return b.String()
 }

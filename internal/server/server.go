@@ -29,6 +29,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"sync/atomic"
@@ -85,6 +86,11 @@ type serverMetrics struct {
 	inserts *obs.Counter
 	// shed counts NDJSON streams rejected by the WithMaxStreams cap.
 	shed *obs.Counter
+	// contracts counts one-shot contract queries served; qosDegraded
+	// counts those admitted over the stream cap with a proportionally
+	// relaxed contract instead of a 429 (per-query QoS).
+	contracts   *obs.Counter
+	qosDegraded *obs.Counter
 }
 
 // New returns a server over the engine. The engine's metrics registry
@@ -93,11 +99,13 @@ type serverMetrics struct {
 func New(eng *engine.Engine, opts ...Option) *Server {
 	reg := eng.Obs()
 	s := &Server{eng: eng, mux: http.NewServeMux(), met: serverMetrics{
-		queries:   reg.Counter("storm.server.queries"),
-		streams:   reg.Gauge("storm.server.streams.active"),
-		snapshots: reg.Counter("storm.server.snapshots"),
-		inserts:   reg.Counter("storm.server.inserts"),
-		shed:      reg.Counter("storm.server.streams.shed"),
+		queries:     reg.Counter("storm.server.queries"),
+		streams:     reg.Gauge("storm.server.streams.active"),
+		snapshots:   reg.Counter("storm.server.snapshots"),
+		inserts:     reg.Counter("storm.server.inserts"),
+		shed:        reg.Counter("storm.server.streams.shed"),
+		contracts:   reg.Counter("storm.server.contracts"),
+		qosDegraded: reg.Counter("storm.server.contracts.qos_degraded"),
 	}}
 	for _, opt := range opts {
 		opt(s)
@@ -324,7 +332,11 @@ type SnapshotJSON struct {
 	// summaries (see DESIGN.md §4.3).
 	LostMassLow  float64 `json:"lost_mass_low,omitempty"`
 	LostMassHigh float64 `json:"lost_mass_high,omitempty"`
-	Done         bool    `json:"done"`
+	// Unbounded marks a CI that is still unbounded (fewer than two
+	// samples on a non-exact estimate); half_width is then omitted
+	// because JSON cannot carry +Inf.
+	Unbounded bool `json:"unbounded,omitempty"`
+	Done      bool `json:"done"`
 }
 
 // handleQuery executes an estimate statement and streams NDJSON snapshots.
@@ -343,7 +355,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.queries.Inc()
 
-	// Estimates stream; everything else renders once.
+	// Contract estimates answer once with their guarantee; other
+	// estimates stream; everything else renders once.
+	if q.Op == query.OpEstimate && !q.Explain && q.GroupBy == "" && q.Contract {
+		s.contractQuery(w, r, q)
+		return
+	}
 	if q.Op == query.OpEstimate && !q.Explain && q.GroupBy == "" {
 		s.streamEstimate(w, r, q)
 		return
@@ -418,31 +435,7 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	encode := func(snap engine.Snapshot) bool {
-		adj := snap.IO.BatchAdjusted()
-		out := SnapshotJSON{
-			Kind:         snap.Kind.String(),
-			Value:        snap.Value,
-			HalfWidth:    snap.HalfWidth,
-			Confidence:   snap.Confidence,
-			Samples:      snap.Samples,
-			Population:   snap.Population,
-			Exact:        snap.Exact,
-			ElapsedMS:    float64(snap.Elapsed) / float64(time.Millisecond),
-			Sampler:      snap.Method,
-			IOReads:      snap.IO.Reads,
-			IOHits:       snap.IO.Hits,
-			IOLogical:    snap.IO.Logical,
-			IOCoalesced:  snap.IO.Coalesced,
-			IOAdjHits:    adj.Hits,
-			Degraded:     snap.Degraded,
-			ShardsLost:   snap.ShardsLost,
-			Recovered:    snap.Recovered,
-			RejectRatio:  snap.RejectRatio,
-			LostMassLow:  snap.LostMassLow,
-			LostMassHigh: snap.LostMassHigh,
-			Done:         snap.Done,
-		}
-		if enc.Encode(out) != nil {
+		if enc.Encode(snapshotJSON(snap)) != nil {
 			return false
 		}
 		s.met.snapshots.Inc()
@@ -473,6 +466,145 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 			flusher.Flush()
 		}
 	}
+}
+
+// snapshotJSON converts an engine snapshot to its wire form — shared by
+// the NDJSON stream and the one-shot contract answer. An unbounded CI
+// (fewer than two samples on a non-exact estimate) is reported as
+// unbounded=true with half_width omitted, since JSON has no +Inf.
+func snapshotJSON(snap engine.Snapshot) SnapshotJSON {
+	adj := snap.IO.BatchAdjusted()
+	out := SnapshotJSON{
+		Kind:         snap.Kind.String(),
+		Value:        snap.Value,
+		HalfWidth:    snap.HalfWidth,
+		Confidence:   snap.Confidence,
+		Samples:      snap.Samples,
+		Population:   snap.Population,
+		Exact:        snap.Exact,
+		ElapsedMS:    float64(snap.Elapsed) / float64(time.Millisecond),
+		Sampler:      snap.Method,
+		IOReads:      snap.IO.Reads,
+		IOHits:       snap.IO.Hits,
+		IOLogical:    snap.IO.Logical,
+		IOCoalesced:  snap.IO.Coalesced,
+		IOAdjHits:    adj.Hits,
+		Degraded:     snap.Degraded,
+		ShardsLost:   snap.ShardsLost,
+		Recovered:    snap.Recovered,
+		RejectRatio:  snap.RejectRatio,
+		LostMassLow:  snap.LostMassLow,
+		LostMassHigh: snap.LostMassHigh,
+		Done:         snap.Done,
+	}
+	if math.IsInf(out.HalfWidth, 0) || math.IsNaN(out.HalfWidth) {
+		out.HalfWidth = 0
+		out.Unbounded = true
+	}
+	return out
+}
+
+// ContractAnswerJSON is the one-shot response of a contract query
+// (POST /query with an "ERROR ... AT CONFIDENCE ..." statement): the final
+// snapshot plus the contract's verdict, targets, and what the planner
+// predicted. When the server admitted the query over the stream cap, the
+// qos_factor/effective_* fields report the relaxed contract it actually
+// ran under (per-query QoS degradation instead of a 429).
+type ContractAnswerJSON struct {
+	SnapshotJSON
+	// Status is the guarantee verdict: "met", "degraded" or "missed",
+	// always graded against the client's requested contract.
+	Status string `json:"status"`
+	// TargetError/TargetConfidence/DeadlineMS echo the requested contract.
+	TargetError      float64 `json:"target_error,omitempty"`
+	TargetConfidence float64 `json:"target_confidence"`
+	DeadlineMS       float64 `json:"deadline_ms,omitempty"`
+	// AchievedError is the final relative CI half-width; omitted when the
+	// estimate is unbounded (see SnapshotJSON.Unbounded).
+	AchievedError float64 `json:"achieved_error,omitempty"`
+	// PlannedSamples/PredictedMS/ColdPlan/Feasible summarize the
+	// contract planner's prediction (see engine.ContractPlan).
+	PlannedSamples int     `json:"planned_samples,omitempty"`
+	PredictedMS    float64 `json:"predicted_ms,omitempty"`
+	ColdPlan       bool    `json:"cold_plan,omitempty"`
+	Feasible       bool    `json:"feasible"`
+	// QoSFactor > 1 marks overload admission: the query ran under the
+	// requested contract scaled by this factor (error target widened,
+	// deadline shrunk — the effective_* fields).
+	QoSFactor           float64 `json:"qos_factor,omitempty"`
+	EffectiveError      float64 `json:"effective_error,omitempty"`
+	EffectiveDeadlineMS float64 `json:"effective_deadline_ms,omitempty"`
+}
+
+// contractQuery executes a contract-mode estimate and answers once with
+// its guarantee. Contract queries are never shed: beyond the stream cap
+// the contract is scaled by the overload factor instead, so heavy
+// dashboard traffic degrades per-query error bounds rather than taking
+// 429s (see engine.Contract.Scale).
+func (s *Server) contractQuery(w http.ResponseWriter, r *http.Request, q *query.Query) {
+	if len(q.MultiAggs) > 1 {
+		httpError(w, http.StatusBadRequest, "contracts apply to single-aggregate estimates")
+		return
+	}
+	h, err := s.eng.Dataset(q.Dataset)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.met.contracts.Inc()
+	// Contract queries occupy a stream slot for accounting but are
+	// admitted past the cap: overload shows up in their guarantee, not as
+	// rejections.
+	cur := s.activeStreams.Add(1)
+	s.met.streams.Add(1)
+	defer s.releaseStream()
+	factor := 1.0
+	if s.maxStreams > 0 && cur > int64(s.maxStreams) {
+		factor = float64(cur) / float64(s.maxStreams)
+		s.met.qosDegraded.Inc()
+	}
+	req := engine.Contract{RelError: q.RelError, Confidence: q.Confidence, Deadline: q.Within}
+	eff := req.Scale(factor)
+	opts := engine.Options{
+		Kind:       q.Agg,
+		Attr:       q.Attr,
+		QuantileP:  q.QuantileP,
+		MaxSamples: q.Samples,
+		Method:     q.Method,
+		Where:      q.Where,
+	}
+	res, err := h.EstimateContract(r.Context(), q.Range(), opts, eff)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The engine graded against the effective (scaled) contract; the
+	// client is owed a verdict against what it asked for.
+	if factor > 1 && res.Status == engine.ContractMet && req.RelError > 0 &&
+		!res.Exact && res.AchievedRelError > req.RelError {
+		res.Status = engine.ContractDegraded
+	}
+	out := ContractAnswerJSON{
+		SnapshotJSON:     snapshotJSON(res.Snapshot),
+		Status:           res.Status.String(),
+		TargetError:      req.RelError,
+		TargetConfidence: res.Contract.Confidence,
+		DeadlineMS:       float64(req.Deadline) / float64(time.Millisecond),
+		PlannedSamples:   res.Plan.Samples,
+		PredictedMS:      res.Plan.PredictedMS,
+		ColdPlan:         res.Plan.Cold,
+		Feasible:         res.Plan.Feasible,
+	}
+	if !out.Unbounded && !math.IsInf(res.AchievedRelError, 0) && !math.IsNaN(res.AchievedRelError) {
+		out.AchievedError = res.AchievedRelError
+	}
+	if factor > 1 {
+		out.QoSFactor = factor
+		out.EffectiveError = eff.RelError
+		out.EffectiveDeadlineMS = float64(eff.Deadline) / float64(time.Millisecond)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 // PlanJSON is the /explain response. The where_* fields appear only for

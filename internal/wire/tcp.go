@@ -67,6 +67,14 @@ const maxIdleConns = 4
 // retry path handles the rest.
 const DialTimeout = 2 * time.Second
 
+// MinCallTimeout is the floor for a caller-shrunk per-request timeout.
+// Deadline-aware fetches cap their transport timeout at the time left on
+// the query's deadline; below this floor a request cannot plausibly
+// complete, so callers send it with MinCallTimeout (and let the deadline
+// check on return discard the result) rather than guarantee a spurious
+// transport failure that would mark a healthy shard down.
+const MinCallTimeout = time.Millisecond
+
 // NewTCPClient returns a TCP transport to the shard host at addr. No
 // connection is made until the first RoundTrip.
 func NewTCPClient(addr string) *TCPClient {

@@ -104,6 +104,18 @@ type (
 	Plan = engine.Plan
 	// Method selects a sampling strategy.
 	Method = engine.Method
+	// Contract is a per-query accuracy/latency guarantee request
+	// (relative-error target at a confidence, optional deadline) for
+	// Handle.EstimateContract.
+	Contract = engine.Contract
+	// ContractPlan is the planner's prediction for a contract query:
+	// sample budget, predicted time, and feasibility under the deadline.
+	ContractPlan = engine.ContractPlan
+	// ContractResult is the single final answer of a contract query,
+	// graded against the requested guarantee.
+	ContractResult = engine.ContractResult
+	// ContractStatus grades a contract answer (met, degraded, missed).
+	ContractStatus = engine.ContractStatus
 	// PredTerm is one attribute interval of a WHERE predicate
 	// (Options.Where is a conjunction of these).
 	PredTerm = pred.Term
@@ -207,6 +219,18 @@ const (
 	PushdownAuto  = engine.PushdownAuto
 	PushdownForce = engine.PushdownForce
 	PushdownOff   = engine.PushdownOff
+)
+
+// Contract outcomes (ContractResult.Status).
+const (
+	// ContractMet marks an answer that satisfied every requested bound.
+	ContractMet = engine.ContractMet
+	// ContractDegraded marks an on-time answer whose achieved error is
+	// wider than requested — the deadline cut sampling short.
+	ContractDegraded = engine.ContractDegraded
+	// ContractMissed marks an answer that blew its deadline or was
+	// cancelled before producing a usable estimate.
+	ContractMissed = engine.ContractMissed
 )
 
 // ShardAll is the FaultPlan.Shards key whose plan applies to every shard

@@ -7,9 +7,9 @@ GO ?= go
 # cluster all run under -race.
 RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
 	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/ \
-	./internal/obs/ ./internal/wire/
+	./internal/obs/ ./internal/wire/ ./internal/ingest/
 
-.PHONY: verify fmt vet build test race bench bench-batch docs-lint docs-check bench-obs bench-faults test-stats fuzz-smoke test-cluster bench-cluster bench-pushdown bench-contracts
+.PHONY: verify fmt vet build test race bench bench-batch docs-lint docs-check bench-obs bench-faults test-stats fuzz-smoke test-cluster bench-cluster bench-pushdown bench-contracts bench-ingest
 
 verify: fmt vet build test race docs-lint
 
@@ -46,7 +46,7 @@ docs-lint:
 # over the user-facing docs (relative links and anchors must resolve; see
 # cmd/linkcheck).
 docs-check: docs-lint
-	$(GO) run ./cmd/linkcheck README.md DESIGN.md QUERYLANG.md OPERATIONS.md EXPERIMENTS.md ROADMAP.md
+	$(GO) run ./cmd/linkcheck README.md DESIGN.md QUERYLANG.md OPERATIONS.md EXPERIMENTS.md INGEST.md ROADMAP.md
 
 # Metrics-on vs metrics-off cost of the instrumented batched query path;
 # TestObsOverheadBudget enforces the <=2% budget when asked explicitly.
@@ -66,18 +66,21 @@ bench-faults:
 test-stats:
 	$(GO) test -race -run 'TestStat' -v ./internal/distr/
 	$(GO) test -race -run 'TestStat' -v ./internal/engine/
+	$(GO) test -race -run 'TestStat' -v ./internal/ingest/
 	$(GO) test -race ./internal/stats/statcheck/
 
 # Short fuzz passes over the operator/network-facing input surfaces: the
 # fault-plan grammar (no panic, canonical round-trip), the wire codec (no
 # panic on arbitrary frames, decode∘encode identity), and the query
-# language's WHERE and contract grammars (no panic, canonical fixpoints).
+# language's WHERE, contract and LAST-window grammars (no panic, canonical
+# fixpoints).
 # The checked-in corpora also run on plain `go test`.
 fuzz-smoke:
 	$(GO) test -run FuzzParseFaultPlan -fuzz FuzzParseFaultPlan -fuzztime 15s ./internal/distr/
 	$(GO) test -run FuzzWireCodec -fuzz FuzzWireCodec -fuzztime 15s ./internal/wire/
 	$(GO) test -run FuzzParseWhere -fuzz FuzzParseWhere -fuzztime 15s ./internal/query/
 	$(GO) test -run FuzzParseContract -fuzz FuzzParseContract -fuzztime 15s ./internal/query/
+	$(GO) test -run FuzzParseWindow -fuzz FuzzParseWindow -fuzztime 15s ./internal/query/
 
 # Real-process cluster smoke: build stormd, spawn 4 -role=shard processes
 # plus a coordinator, query over HTTP, kill one shard host mid-stream and
@@ -104,3 +107,9 @@ bench-pushdown:
 # (EXPERIMENTS.md A11).
 bench-contracts:
 	$(GO) run ./cmd/stormbench -fig a11
+
+# Streaming-ingest ablation: sustained insert throughput through the
+# sharded ingest buffer vs concurrent LAST-windowed query latency, across
+# buffer-shard counts (EXPERIMENTS.md A12).
+bench-ingest:
+	$(GO) run ./cmd/stormbench -fig a12

@@ -7,9 +7,12 @@
 package storm
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"storm/internal/bench"
 	"storm/internal/data"
@@ -17,6 +20,7 @@ import (
 	"storm/internal/gen"
 	"storm/internal/geo"
 	"storm/internal/hilbert"
+	"storm/internal/ingest"
 	"storm/internal/iosim"
 	"storm/internal/lstree"
 	"storm/internal/rstree"
@@ -457,6 +461,92 @@ func BenchmarkConcurrentQueries(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N*clients*perQuery)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// BenchmarkIngestConcurrentQueries extends BenchmarkConcurrentQueries with
+// a live firehose: a background producer streams synthetic records through
+// the buffered ingest path (package ingest) while 1-8 clients run
+// `LAST`-windowed COUNT estimates. The metrics are windowed queries per
+// second and the insert throughput sustained at the same time. A fresh
+// OSM dataset is built per sub-benchmark — ingest mutates it, so the
+// shared read-only fixture cannot be used.
+func BenchmarkIngestConcurrentQueries(b *testing.B) {
+	qr := geo.Range{MinX: -76, MinY: 38.7, MaxX: -72, MaxY: 42.7,
+		MinT: 0, MaxT: 86400 * 365}
+	const window = 60 * time.Second
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			ds := gen.OSM(gen.OSMConfig{N: 200_000, Seed: 2})
+			db := Open(Config{Seed: 1, Fanout: 64})
+			h, err := db.Register(ds, IndexOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wm, _ := h.Watermark()
+			in := ingest.New(h, ingest.Config{
+				Shards: 8, FlushRecords: 8192, MaxBatch: 8192,
+				Window: window, Seed: 1, Name: fmt.Sprintf("bench-c%d", clients),
+			})
+			defer in.Close()
+			// Open-loop background producer: 512-row chunks of synthetic
+			// records, event clock advancing past the preloaded watermark.
+			var (
+				stop     atomic.Bool
+				inserted atomic.Int64
+				prodWG   sync.WaitGroup
+			)
+			rng := stats.NewRNG(7)
+			prodWG.Add(1)
+			go func() {
+				defer prodWG.Done()
+				t := wm
+				chunk := make([]data.Row, 512)
+				for !stop.Load() {
+					for i := range chunk {
+						t += 0.05
+						chunk[i] = data.Row{Pos: geo.Vec{
+							-76 + rng.Float64()*4, 38.7 + rng.Float64()*4, t,
+						}}
+					}
+					if err := in.AppendBatch(chunk); err != nil {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					inserted.Add(int64(len(chunk)))
+				}
+			}()
+			// Prewarm: at least one drained chunk so windowed queries see a
+			// stream watermark before timing starts.
+			for in.Accepted() < 512 {
+				time.Sleep(time.Millisecond)
+			}
+			in.Flush()
+			preTimer := inserted.Load()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						_, err := h.Estimate(context.Background(), qr, Options{
+							Kind: estimator.Count, Last: window,
+							MaxSamples: 1000, Seed: seed,
+						})
+						if err != nil {
+							b.Errorf("estimate: %v", err)
+						}
+					}(int64(i*64 + c + 1))
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			stop.Store(true)
+			prodWG.Wait()
+			b.ReportMetric(float64(b.N*clients)/b.Elapsed().Seconds(), "queries/s")
+			b.ReportMetric(float64(inserted.Load()-preTimer)/b.Elapsed().Seconds(), "inserts/s")
 		})
 	}
 }

@@ -8,7 +8,8 @@
 // With no arguments it audits the root facade (package storm) and the
 // observability- and robustness-facing packages (internal/obs,
 // internal/engine, internal/distr — including the fault-injection layer —
-// internal/wire, internal/server, internal/estimator, internal/bench).
+// internal/wire, internal/server, internal/estimator, internal/bench,
+// internal/ingest).
 // Exit status is non-zero when any exported identifier lacks a doc
 // comment; each violation prints as file:line: name.
 package main
@@ -37,6 +38,7 @@ var defaultDirs = []string{
 	"internal/server",
 	"internal/estimator",
 	"internal/bench",
+	"internal/ingest",
 }
 
 func main() {

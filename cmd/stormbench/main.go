@@ -21,6 +21,9 @@
 //	                                  # vs rejection across selectivities
 //	stormbench -fig a11               # contract ablation: ERROR/WITHIN
 //	                                  # contracts vs the uncapped stream path
+//	stormbench -fig a12               # streaming ingest ablation: sustained
+//	                                  # insert rate vs concurrent LAST-window
+//	                                  # query latency, buffer-shard sweep
 //	stormbench -fig all               # everything
 //
 // -metrics attaches an observability registry (see internal/obs) to each
@@ -53,7 +56,7 @@ func series(title string, xs, ys []float64) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12, all")
 	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
 	seed := flag.Int64("seed", 1, "generator/sampling seed")
 	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
@@ -96,6 +99,7 @@ func main() {
 	run("a9", func() error { return a9(*seed) })
 	run("a10", func() error { return a10(*seed) })
 	run("a11", func() error { return a11(*seed) })
+	run("a12", func() error { return a12(*seed) })
 }
 
 // dumpMetrics prints every registry entry as "name<TAB>value", sorted by
@@ -509,6 +513,35 @@ func a11(seed int64) error {
 			fmt.Sprintf("%.0f", p.MeanSamples),
 			fmt.Sprintf("%.3g%%", p.MeanAchieved*100),
 			fmt.Sprintf("%.1f", p.MeanSnapshots),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a12(seed int64) error {
+	fmt.Println("Ablation A12: streaming ingest — a synthetic firehose through the sharded")
+	fmt.Println("ingest buffer draining into the live indexes, while clients run LAST-windowed")
+	fmt.Println("COUNT queries on a 25ms tick (200k preloaded, 3M streamed per shard config,")
+	fmt.Println("2 paced producers at a 1.15M rec/s offered rate, 2 query clients), against")
+	fmt.Println("the static no-ingest baseline")
+	res, err := bench.A12(bench.A12Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("static baseline: p50 %.2f ms, p95 %.2f ms\n", res.StaticP50MS, res.StaticP95MS)
+	rows := [][]string{{"shards", "inserts/s", "stream ms", "backpressure", "queries", "q p50 ms", "q p95 ms", "p95 ratio", "win retained"}}
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%.0f", p.InsertsPerSec),
+			fmt.Sprintf("%.0f", p.ElapsedMS),
+			fmt.Sprintf("%d", p.Backpressure),
+			fmt.Sprintf("%d", p.Queries),
+			fmt.Sprintf("%.2f", p.QP50MS),
+			fmt.Sprintf("%.2f", p.QP95MS),
+			fmt.Sprintf("%.2fx", p.RatioP95),
+			fmt.Sprintf("%d", p.WindowRetained),
 		})
 	}
 	fmt.Print(viz.Table(rows))

@@ -51,6 +51,21 @@
 // degraded AVG/SUM snapshots also carry worst-case lost_mass_low/high
 // bounds on the full-population answer. -max-streams caps concurrent
 // NDJSON streams; excess requests are shed with 429 + Retry-After.
+//
+// Streaming ingest (see INGEST.md): POST /ingest/{name} accepts NDJSON
+// records into sharded in-memory buffers that drain to the indexes in
+// the background, and the LAST clause queries the stream's trailing
+// event-time window:
+//
+//	curl -X POST --data-binary @feed.ndjson localhost:8080/ingest/osm
+//	curl -d '{"statement":"SELECT COUNT FROM osm LAST 60s"}' localhost:8080/query
+//
+// -ingest-shards, -ingest-flush-records, -ingest-flush-interval and
+// -ingest-max-pending template the per-dataset buffers; when the drain
+// backlog reaches -ingest-max-pending the endpoint answers 429 +
+// Retry-After with an exact accepted count so producers can resume
+// without loss or duplication. Ingest metrics land under
+// storm.ingest.<dataset>.* on /metrics.
 package main
 
 import (
@@ -63,11 +78,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"storm/internal/data"
 	"storm/internal/distr"
 	"storm/internal/engine"
 	"storm/internal/gen"
+	"storm/internal/ingest"
 	"storm/internal/server"
 	"storm/internal/wire"
 )
@@ -87,6 +104,10 @@ func main() {
 	faultSpec := flag.String("fault-plan", "", "shard fault plan, e.g. '1:crash-after=40,recover-after=6;*:latency-p=0.05,latency=2ms' (requires -shards)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 	maxStreams := flag.Int("max-streams", 0, "max concurrent NDJSON query streams; excess shed with 429 (0 = unlimited)")
+	ingestShards := flag.Int("ingest-shards", 8, "buffer shards per dataset behind POST /ingest")
+	ingestFlushRecords := flag.Int("ingest-flush-records", 4096, "drain early once any ingest buffer shard holds this many records")
+	ingestFlushInterval := flag.Duration("ingest-flush-interval", 25*time.Millisecond, "idle drain period for POST /ingest buffers (worst-case queryability lag)")
+	ingestMaxPending := flag.Int("ingest-max-pending", 1<<19, "max records buffered per dataset before POST /ingest returns 429")
 	flag.Parse()
 
 	genDatasets := func() []*data.Dataset {
@@ -139,7 +160,14 @@ func main() {
 	// net/http/pprof's DefaultServeMux side effects, so nothing is served
 	// that was not deliberately mounted here.
 	mux := http.NewServeMux()
-	mux.Handle("/", server.New(eng, server.WithMaxStreams(*maxStreams)))
+	mux.Handle("/", server.New(eng,
+		server.WithMaxStreams(*maxStreams),
+		server.WithIngestConfig(ingest.Config{
+			Shards:        *ingestShards,
+			FlushRecords:  *ingestFlushRecords,
+			FlushInterval: *ingestFlushInterval,
+			MaxPending:    *ingestMaxPending,
+		})))
 	if !*noPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,126 @@
+// Firehose: the paper's live-stream scenario end to end. A paced
+// producer pushes synthetic pings through the buffered ingest path
+// (package ingest: sharded acceptance, background batched drains into
+// the indexes, backpressure) while concurrent queries watch the stream
+// through a sliding `LAST`-window — the engine anchors the window at the
+// dataset's event-time watermark, so answers track the stream's leading
+// edge. The ingestor also keeps a WindowReservoir: an exactly uniform
+// O(k) sample of the live window, read here without touching the
+// indexes. See INGEST.md for the architecture.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"storm"
+	"storm/internal/data"
+	"storm/internal/engine"
+	"storm/internal/estimator"
+	"storm/internal/geo"
+	"storm/internal/ingest"
+	"storm/internal/stats"
+)
+
+func main() {
+	db := storm.Open(storm.Config{Seed: 7})
+
+	fmt.Println("indexing a 200k-ping backlog (one year of event time)...")
+	base := storm.GenerateOSM(storm.OSMConfig{N: 200_000, Seed: 7})
+	h, err := db.Register(base, storm.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The stream buffer: 8 acceptance shards, drained in the background
+	// into h.InsertBatch, plus a 60s window reservoir (k=512).
+	in := ingest.New(h, ingest.Config{
+		Shards:        8,
+		FlushInterval: 20 * time.Millisecond,
+		Window:        60 * time.Second,
+		WindowSamples: 512,
+		Seed:          7,
+		Name:          "firehose",
+	})
+	defer in.Close()
+
+	// Producer: ~4s of wall time, event time starting at the backlog's
+	// one-year watermark and advancing, so LAST windows slide with the
+	// stream's leading edge.
+	var produced, backpressured atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := stats.NewRNG(99)
+		eventT := 86400.0 * 365 // the OSM backlog ends here
+		deadline := time.Now().Add(4 * time.Second)
+		for time.Now().Before(deadline) {
+			chunk := make([]data.Row, 256)
+			for i := range chunk {
+				eventT += 0.004 // ~250 events per second of event time
+				chunk[i] = data.Row{
+					Pos: geo.Vec{rng.Uniform(-112.4, -111.4), rng.Uniform(40.2, 41.2), eventT},
+					Num: map[string]float64{"speed": rng.Uniform(0, 30)},
+				}
+			}
+			// Backpressure contract: on ErrBackpressure nothing of the
+			// chunk was buffered — back off and retry the whole chunk.
+			for in.AppendBatch(chunk) != nil {
+				backpressured.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+			produced.Add(uint64(len(chunk)))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Consumer: windowed estimates over the last 60 seconds of EVENT
+	// time, while the stream is still arriving.
+	region := geo.Range{MinX: -112.4, MinY: 40.2, MaxX: -111.4, MaxY: 41.2,
+		MinT: 0, MaxT: 1e18}
+	for i := 0; ; i++ {
+		time.Sleep(400 * time.Millisecond)
+		snap, err := h.Estimate(context.Background(), region, engine.Options{
+			Kind: estimator.Avg, Attr: "speed",
+			Last: 60 * time.Second, MaxSamples: 800, Seed: int64(i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wm, _ := in.Watermark()
+		fmt.Printf("  watermark %9.1fs  pending %6d  LAST 60s: AVG(speed) = %s\n",
+			wm, in.Pending(), snap.Estimate)
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+
+	// Drain what's left, then read the stream-side window sample: an
+	// exactly uniform k-subset of the live 60s window, O(k), no index.
+	in.Flush()
+	sample := in.WindowSample()
+	wm, _ := in.Watermark()
+	fresh := 0
+	for _, r := range sample {
+		if r.Pos[2] >= wm-60 {
+			fresh++
+		}
+	}
+	fmt.Printf("\nproduced %d records (%d backpressure retries)\n",
+		produced.Load(), backpressured.Load())
+	fmt.Printf("reservoir: %d-record uniform sample of the live window, all %d in [wm-60s, wm]\n",
+		len(sample), fresh)
+	if fresh != len(sample) {
+		log.Fatal("window sample leaked records outside the window")
+	}
+
+	// The same window through the query language over HTTP would be:
+	//   SELECT AVG(speed) FROM osm LAST 60s WITH ERROR 2%
+	// (see QUERYLANG.md "Sliding windows" and OPERATIONS.md "POST /ingest").
+}

@@ -174,6 +174,35 @@ type Row struct {
 	Str map[string]string
 }
 
+// Grow ensures capacity for n more records in the position store and
+// every declared column, growing by at least a doubling. Batch writers
+// (engine.Handle.InsertBatch) call it once per batch so the per-record
+// appends never pay a mid-batch reallocation — with Go's 1.25x growth
+// policy for large slices, per-record growth was the dominant memory
+// traffic of the streaming drain path.
+func (d *Dataset) Grow(n int) {
+	need := len(d.pos) + n
+	if need <= cap(d.pos) {
+		return
+	}
+	if min := 2 * cap(d.pos); need < min {
+		need = min
+	}
+	pos := make([]geo.Vec, len(d.pos), need)
+	copy(pos, d.pos)
+	d.pos = pos
+	for name, col := range d.num {
+		nc := make([]float64, len(col), need)
+		copy(nc, col)
+		d.num[name] = nc
+	}
+	for name, col := range d.str {
+		sc := make([]string, len(col), need)
+		copy(sc, col)
+		d.str[name] = sc
+	}
+}
+
 // Append adds a row and returns its assigned ID. Columns absent from the
 // row receive NaN / "".
 func (d *Dataset) Append(row Row) ID {

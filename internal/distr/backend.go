@@ -19,6 +19,7 @@ import (
 	"storm/internal/rtree"
 	"storm/internal/sampling"
 	"storm/internal/stats"
+	"storm/internal/wire"
 )
 
 // partition splits the dataset into contiguous Hilbert ranges — one per
@@ -168,7 +169,11 @@ func (b *shardBackend) compileWhere(where []pred.Term) (*rtree.TreeFilter, error
 	return rtree.NewTreeFilter(c, b.shard.attrs), nil
 }
 
-func (b *shardBackend) count(q geo.Rect, where []pred.Term) (int, error) {
+// count narrows q's time axis to the window before counting — the single
+// funnel both transports share, so a windowed count sees the identical
+// population in-process and across TCP.
+func (b *shardBackend) count(q geo.Rect, where []pred.Term, win wire.Window) (int, error) {
+	q = win.Apply(q)
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	f, err := b.compileWhere(where)
@@ -188,7 +193,10 @@ func (b *shardBackend) count(q geo.Rect, where []pred.Term) (int, error) {
 // are subtracted from the returned count; an excluded record deleted since
 // it was emitted would make that subtraction overshoot by one, which only
 // ends the stream early — the coordinator's defensive repair absorbs it.
-func (b *shardBackend) open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term) (int, error) {
+// The window narrows q's time axis up front, exactly as count does, so a
+// windowed stream draws from the same records on every transport.
+func (b *shardBackend) open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term, win wire.Window) (int, error) {
+	q = win.Apply(q)
 	b.mu.RLock()
 	f, err := b.compileWhere(where)
 	if err != nil {
@@ -333,13 +341,13 @@ type loopbackClient struct {
 }
 
 // Count implements ShardClient.
-func (c *loopbackClient) Count(q geo.Rect, where []pred.Term) (int, error) {
-	return c.b.count(q, where)
+func (c *loopbackClient) Count(q geo.Rect, where []pred.Term, win wire.Window) (int, error) {
+	return c.b.count(q, where, win)
 }
 
 // Open implements ShardClient.
-func (c *loopbackClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term) (int, error) {
-	return c.b.open(stream, q, seed, exclude, where)
+func (c *loopbackClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term, win wire.Window) (int, error) {
+	return c.b.open(stream, q, seed, exclude, where, win)
 }
 
 // Fetch implements ShardClient.

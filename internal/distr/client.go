@@ -15,6 +15,7 @@ import (
 	"storm/internal/data"
 	"storm/internal/geo"
 	"storm/internal/pred"
+	"storm/internal/wire"
 )
 
 // ShardClient is the coordinator's view of one shard server. Every round
@@ -35,14 +36,16 @@ import (
 // All methods must be safe for concurrent use.
 type ShardClient interface {
 	// Count returns the shard's matching count for q, restricted to
-	// records satisfying the predicate terms (nil = no predicate). The
-	// shard compiles and prunes locally.
-	Count(q geo.Rect, where []pred.Term) (int, error)
+	// records satisfying the predicate terms (nil = no predicate) and to
+	// the event-time window win (zero = none). The shard compiles, prunes
+	// and narrows locally.
+	Count(q geo.Rect, where []pred.Term, win wire.Window) (int, error)
 	// Open creates sample stream id over q, seeded with seed, never
 	// emitting the excluded IDs and emitting only records satisfying the
-	// predicate terms (nil = no predicate); it returns the stream's
-	// matching count. A zero count opens nothing.
-	Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term) (int, error)
+	// predicate terms (nil = no predicate) and lying in the event-time
+	// window win (zero = none); it returns the stream's matching count. A
+	// zero count opens nothing.
+	Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term, win wire.Window) (int, error)
 	// Fetch pulls up to n samples from an open stream into dst[:n].
 	Fetch(stream uint64, dst []data.Entry, n int) (int, error)
 	// CloseStream releases an open stream.

@@ -493,6 +493,14 @@ func (c *Cluster) Count(q geo.Rect) int {
 // each shard counts with its local summaries pruning the descent — the
 // records the predicate rejects never cross the wire.
 func (c *Cluster) CountWhere(q geo.Rect, where []pred.Term) int {
+	return c.CountWindow(q, where, wire.Window{})
+}
+
+// CountWindow is CountWhere further restricted to records in the resolved
+// event-time window (zero = none). The window ships as a wire term and each
+// shard narrows its own time axis before counting, so windowed counts see
+// the identical population on the loopback and over TCP.
+func (c *Cluster) CountWindow(q geo.Rect, where []pred.Term, win wire.Window) int {
 	start := time.Now()
 	defer observeMS(c.met.fanoutMS, start)
 	counts := make([]int, len(c.clients))
@@ -504,7 +512,7 @@ func (c *Cluster) CountWhere(q geo.Rect, where []pred.Term) int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if n, err := c.clients[i].Count(q, where); err == nil {
+			if n, err := c.clients[i].Count(q, where, win); err == nil {
 				counts[i] = n
 			}
 		}(i)
@@ -526,7 +534,11 @@ type Sampler struct {
 	// on every Open — including fault-recovery reopens — so shards prune
 	// and filter locally.
 	where []pred.Term
-	rng   *stats.RNG
+	// win is the query's resolved event-time window (zero = none); like the
+	// predicate it rides on every Open, so shards narrow their own time
+	// axis and the stream draws from the windowed population everywhere.
+	win wire.Window
+	rng *stats.RNG
 	// per-shard state: the sample stream ID each shard serves this query
 	// under, whether that stream was opened, and the remaining matching
 	// count driving the draw distribution.
@@ -577,7 +589,16 @@ func (c *Cluster) Sampler(q geo.Rect) *Sampler {
 // records never cross the wire; the merged stream is exactly uniform over
 // the cluster's qualifying records. Nil terms are exactly Sampler.
 func (c *Cluster) SamplerWhere(q geo.Rect, where []pred.Term) *Sampler {
-	return &Sampler{cluster: c, query: q, where: where, rng: stats.NewRNG(c.nextSeed())}
+	return c.SamplerWindow(q, where, wire.Window{})
+}
+
+// SamplerWindow is SamplerWhere further restricted to the resolved
+// event-time window (zero = none): the window rides on every stream open,
+// each shard narrows its own time axis, and the merged stream is exactly
+// uniform over the cluster's windowed qualifying records — byte-identical
+// across the loopback and TCP transports.
+func (c *Cluster) SamplerWindow(q geo.Rect, where []pred.Term, win wire.Window) *Sampler {
+	return &Sampler{cluster: c, query: q, where: where, win: win, rng: stats.NewRNG(c.nextSeed())}
 }
 
 var _ sampling.Sampler = (*Sampler)(nil)
@@ -645,7 +666,7 @@ func (s *Sampler) initialize() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, err := cl.clients[i].Open(s.streams[i], s.query, seeds[i], nil, s.where)
+			got, err := cl.clients[i].Open(s.streams[i], s.query, seeds[i], nil, s.where, s.win)
 			if err != nil {
 				// Unreachable at init: same as a pre-crashed shard — the
 				// query scopes itself to the shards that answered.
@@ -974,7 +995,7 @@ func (s *Sampler) reopen(shard int) bool {
 	if s.emitted != nil {
 		exclude = s.emitted[shard]
 	}
-	got, err := cl.clients[shard].Open(stream, s.query, cl.nextSeed(), exclude, s.where)
+	got, err := cl.clients[shard].Open(stream, s.query, cl.nextSeed(), exclude, s.where, s.win)
 	if err != nil {
 		return false
 	}
@@ -1151,7 +1172,7 @@ func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) 
 	counts := make([]int, len(c.raw))
 	total := 0
 	for i, cl := range c.raw {
-		n, err := cl.Count(q, nil)
+		n, err := cl.Count(q, nil, wire.Window{})
 		if err != nil {
 			n = 0
 		}
@@ -1176,7 +1197,7 @@ func (c *Cluster) ParallelPartialAvg(q geo.Rect, attr string, totalSamples int) 
 			if k < 1 {
 				k = 1
 			}
-			if _, err := c.raw[i].Open(stream, q, seed, nil, nil); err != nil {
+			if _, err := c.raw[i].Open(stream, q, seed, nil, nil, wire.Window{}); err != nil {
 				return
 			}
 			local := make([]data.Entry, k)

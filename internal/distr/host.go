@@ -83,7 +83,7 @@ func (h *Host) Handle(m wire.Msg) wire.Msg {
 		if b == nil {
 			return errUnknownShard(req.Target)
 		}
-		n, err := b.count(req.Query, req.Where)
+		n, err := b.count(req.Query, req.Where, req.Window)
 		if err != nil {
 			return &wire.Error{Code: wire.ErrCodeBadRequest, Msg: fmt.Sprintf("count predicate: %v", err)}
 		}
@@ -95,7 +95,7 @@ func (h *Host) Handle(m wire.Msg) wire.Msg {
 			return errUnknownShard(req.Target)
 		}
 		h.dsMu.RLock()
-		n, err := b.open(req.Stream, req.Query, req.Seed, req.Exclude, req.Where)
+		n, err := b.open(req.Stream, req.Query, req.Seed, req.Exclude, req.Where, req.Window)
 		h.dsMu.RUnlock()
 		if err != nil {
 			return &wire.Error{Code: wire.ErrCodeBadRequest, Msg: fmt.Sprintf("open predicate: %v", err)}

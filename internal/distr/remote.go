@@ -152,9 +152,11 @@ func (w *wireClient) call(m wire.Msg, timeout time.Duration) (wire.Msg, error) {
 	}
 }
 
-// Count implements ShardClient.
-func (w *wireClient) Count(q geo.Rect, where []pred.Term) (int, error) {
-	resp, err := w.call(&wire.Count{Target: w.tgt, Query: q, Where: where}, remoteOpTimeout)
+// Count implements ShardClient. The window travels as a wire term — the
+// shard narrows locally, so no windowed record filtering happens on the
+// coordinator for remote shards.
+func (w *wireClient) Count(q geo.Rect, where []pred.Term, win wire.Window) (int, error) {
+	resp, err := w.call(&wire.Count{Target: w.tgt, Query: q, Where: where, Window: win}, remoteOpTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -166,8 +168,8 @@ func (w *wireClient) Count(q geo.Rect, where []pred.Term) (int, error) {
 }
 
 // Open implements ShardClient.
-func (w *wireClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term) (int, error) {
-	resp, err := w.call(&wire.Open{Target: w.tgt, Stream: stream, Query: q, Seed: seed, Exclude: exclude, Where: where}, remoteOpTimeout)
+func (w *wireClient) Open(stream uint64, q geo.Rect, seed int64, exclude []data.ID, where []pred.Term, win wire.Window) (int, error) {
+	resp, err := w.call(&wire.Open{Target: w.tgt, Stream: stream, Query: q, Seed: seed, Exclude: exclude, Where: where, Window: win}, remoteOpTimeout)
 	if err != nil {
 		return 0, err
 	}

@@ -81,6 +81,50 @@ func TestRemoteMatchesLoopback(t *testing.T) {
 	}
 }
 
+// TestRemoteWindowMatchesLoopback: a `LAST`-windowed query ships the
+// window term over the wire and each shard narrows its own time axis —
+// the same funnel the loopback transport uses — so the windowed count and
+// the windowed sample stream are byte-identical across transports, and
+// both equal the stream over the pre-narrowed rectangle.
+func TestRemoteWindowMatchesLoopback(t *testing.T) {
+	const n = 4000
+	ds := distrtest.Dataset(n)
+	q := distrtest.Query()
+	cfg := distrtest.FastConfig(4, 7, nil)
+	// The fixture spans t in [0, 100]; this window keeps roughly the last
+	// third of the queried records.
+	win := wire.Window{Set: true, Lo: 65, Hi: 100}
+
+	local := distrtest.Build(t, ds, cfg)
+	remote := buildRemote(t, ds, cfg, []string{
+		startHost(t, n, "127.0.0.1:0").Addr(),
+		startHost(t, n, "127.0.0.1:0").Addr(),
+	})
+
+	lc := local.CountWindow(q, nil, win)
+	rc := remote.CountWindow(q, nil, win)
+	narrowed := local.Count(win.Apply(q))
+	if lc != rc || lc != narrowed {
+		t.Fatalf("windowed counts: loopback %d, TCP %d, narrowed-rect %d", lc, rc, narrowed)
+	}
+	if full := local.Count(q); lc <= 0 || lc >= full {
+		t.Fatalf("window should cut the population: %d of %d", lc, full)
+	}
+
+	sizes := []int{17, 64, 1, 33}
+	want := distrtest.DrainBatched(local.SamplerWindow(q, nil, win), sizes)
+	got := distrtest.DrainBatched(remote.SamplerWindow(q, nil, win), sizes)
+	distrtest.SameEntries(t, want, got, "windowed loopback vs TCP")
+	for _, e := range want {
+		if e.Pos[2] < win.Lo || e.Pos[2] > win.Hi {
+			t.Fatalf("sample %d at t=%v escapes window [%v, %v]", e.ID, e.Pos[2], win.Lo, win.Hi)
+		}
+	}
+	if len(want) != lc {
+		t.Fatalf("windowed WOR drain yields %d samples, want the full windowed population %d", len(want), lc)
+	}
+}
+
 // TestRemoteInsertDelete mirrors updates through the wire protocol: the
 // shard host appends the routed row (with attributes) to its own dataset
 // copy, and delete finds it again.

@@ -343,6 +343,11 @@ func (h *Handle) planContract(q geo.Rect, opts Options, c Contract) (ContractPla
 	if err != nil {
 		return ContractPlan{}, err
 	}
+	// A LAST window narrows the population the contract must cover:
+	// budgets, feasibility and exhaustion all size against the windowed
+	// count, so a contract over a fresh 5-minute window is planned for
+	// thousands of records, not the dataset's millions.
+	q = h.window(opts.Last).Apply(q)
 	matching := h.rs.Count(q)
 	qual := matching
 	switch {
@@ -403,7 +408,10 @@ func (h *Handle) planContract(q geo.Rect, opts Options, c Contract) (ContractPla
 	if c.Deadline > 0 {
 		budgetMS := float64(c.Deadline) / float64(time.Millisecond)
 		cp.Budget = int(rate * budgetMS)
-		if c.RelError > 0 && !cp.Exact {
+		// Exhaustion plans (Exact by draining the qualifying population)
+		// are graded too: predicting the drain itself blows the deadline
+		// makes the contract just as infeasible as an undersized budget.
+		if c.RelError > 0 && cp.Samples > 0 {
 			cp.Feasible = cp.PredictedMS <= budgetMS
 			if !cp.Feasible && cp.Budget > 1 {
 				z := stats.ZScore(c.Confidence)

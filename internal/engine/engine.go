@@ -212,6 +212,12 @@ type Handle struct {
 	// set; the contract planner extrapolates convergence time from them.
 	// Built once at Register, nil with metrics disabled.
 	dsTTCI []ttciMilestone
+	// wm/wmSet hold the dataset's event-time watermark (float64 bits of
+	// the maximum t coordinate ever indexed); `LAST <dur>` windows anchor
+	// to it. Lock-free so the streaming ingest path can advance it without
+	// the handle lock (see window.go).
+	wm    atomic.Uint64
+	wmSet atomic.Bool
 }
 
 // beginQuery is metrics.beginQuery plus the handle's per-dataset
@@ -245,6 +251,9 @@ func (e *Engine) Register(ds *data.Dataset, opts IndexOptions) (*Handle, error) 
 		return nil, fmt.Errorf("engine: building RS-tree for %q: %w", ds.Name(), err)
 	}
 	h := &Handle{name: ds.Name(), ds: ds, rs: rs, eng: e, deleted: make(map[data.ID]struct{})}
+	for _, en := range entries {
+		h.noteTime(en.Pos[2])
+	}
 	// Bulk-load-time summary build: one tree walk computes every node's
 	// attribute digests so the first predicate query pays no lazy
 	// recomputation.
@@ -382,6 +391,7 @@ func (h *Handle) Insert(row data.Row) data.ID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	id := h.ds.Append(row)
+	h.noteTime(row.Pos[2])
 	e := data.Entry{ID: id, Pos: row.Pos}
 	h.rs.Insert(e)
 	if h.ls != nil {
@@ -500,7 +510,9 @@ func (h *Handle) newSampler(method Method, q geo.Rect, mode sampling.Mode, rng *
 			return nil, nil, fmt.Errorf("engine: distributed sampling supports without-replacement only")
 		}
 		if plan != nil {
-			return attach(h.cluster.SamplerWhere(q, plan.terms))
+			// plan.win (the resolved LAST window) rides to the shards with
+			// the predicate terms; a window-only plan has nil terms.
+			return attach(h.cluster.SamplerWindow(q, plan.terms, plan.win))
 		}
 		return attach(h.cluster.Sampler(q))
 	case MethodRSTree:

@@ -7,6 +7,7 @@ import (
 	"storm/internal/pred"
 	"storm/internal/rtree"
 	"storm/internal/sampling"
+	"storm/internal/wire"
 )
 
 // PushdownStrategy overrides the planner's pushdown-vs-rejection choice
@@ -65,15 +66,23 @@ type wherePlan struct {
 	est float64
 	// pushdown selects node-summary pruning over the rejection baseline.
 	pushdown bool
+	// win is the query's resolved `LAST` window for the DISTRIBUTED method
+	// only (zero otherwise): it rides to the shards as a wire term so they
+	// narrow their own time axes. Local methods narrow the query rectangle
+	// up front instead and never read it. A LAST query with no WHERE still
+	// carries a plan — one with nil terms and a nil compiled matcher —
+	// which is why reject and treeFilter below tolerate nil compiled.
+	win wire.Window
 }
 
 // usePushdown reports whether the plan wants node pruning (nil-safe).
 func (p *wherePlan) usePushdown() bool { return p != nil && p.pushdown }
 
 // reject wraps s in the rejection baseline when the plan carries a
-// predicate, and returns s unchanged when there is none.
+// predicate, and returns s unchanged when there is none (nil plan, or a
+// window-only plan with no compiled matcher).
 func (p *wherePlan) reject(s sampling.Sampler) sampling.Sampler {
-	if p == nil {
+	if p == nil || p.compiled == nil {
 		return s
 	}
 	return sampling.NewFiltered(s, p.compiled)
@@ -144,9 +153,9 @@ func (h *Handle) qualifying(q geo.Rect, method Method, plan *wherePlan) int {
 		if plan == nil {
 			return h.cluster.Count(q)
 		}
-		return h.cluster.CountWhere(q, plan.terms)
+		return h.cluster.CountWindow(q, plan.terms, plan.win)
 	}
-	if plan == nil {
+	if plan == nil || plan.compiled == nil {
 		return h.rs.Count(q)
 	}
 	return h.rs.Tree().CountWhere(q, plan.treeFilter(h.sums))

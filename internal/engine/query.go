@@ -12,6 +12,7 @@ import (
 	"storm/internal/pred"
 	"storm/internal/sampling"
 	"storm/internal/stats"
+	"storm/internal/wire"
 )
 
 // Options controls one online aggregation query.
@@ -49,6 +50,14 @@ type Options struct {
 	// Pushdown overrides the planner's predicate strategy; the zero value
 	// (PushdownAuto) picks pushdown or rejection by estimated selectivity.
 	Pushdown PushdownStrategy
+	// Last restricts the query to records whose event time (the t
+	// coordinate, in seconds) lies in the trailing window of this duration
+	// ending at the dataset's watermark — the `LAST <dur>` clause. The
+	// window is resolved against the watermark once, when the query
+	// starts; records streamed in later do not join a running query. 0
+	// disables. Composes with Where: the population is the windowed
+	// qualifying count.
+	Last time.Duration
 	// ReportEvery emits a snapshot every this many samples; 0 means 64.
 	ReportEvery int
 	// Seed overrides the query's sampling seed (0 derives one from the
@@ -106,6 +115,14 @@ type Snapshot struct {
 	// RS-tree streams. Zero for exact answers and clean pushdown streams
 	// — the headline number the A10 ablation compares across strategies.
 	RejectRatio float64
+	// Windowed marks a `LAST <dur>` query. WindowLo and WindowHi are the
+	// resolved event-time bounds (seconds, anchored at the dataset
+	// watermark) the query actually covered; an inverted pair
+	// (WindowLo > WindowHi) reports a window resolved against a dataset
+	// that has never held a record — an empty population, not an error.
+	Windowed bool
+	// WindowLo and WindowHi bound the window (see Windowed).
+	WindowLo, WindowHi float64
 	// LostMassLow and LostMassHigh, set only on degraded AVG/SUM
 	// snapshots, are worst-case bounds on the aggregate over the full
 	// pre-crash population: the surviving-population CI widened by the
@@ -191,7 +208,31 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 		return
 	}
+	// Resolve the LAST window against the watermark before sizing the
+	// population, so estimator CIs, finite-population corrections and
+	// exactness all use the windowed count. Local methods narrow the query
+	// rectangle's time axis here; the distributed method keeps the rect
+	// intact and ships the resolved window as a wire term so every shard
+	// narrows its own time axis — identically in-process and over TCP.
+	win := h.window(opts.Last)
+	windowed, winLo, winHi := win.Set, win.Lo, win.Hi
+	if h.cluster == nil {
+		// No cluster: narrow before method resolution so the optimizer
+		// costs the rectangle the query actually covers.
+		q = win.Apply(q)
+		win = wire.Window{}
+	}
 	opts.Method = h.resolveMethod(opts.Method, q)
+	if win.Set {
+		if opts.Method == MethodDistributed {
+			if plan == nil {
+				plan = &wherePlan{}
+			}
+			plan.win = win
+		} else {
+			q = win.Apply(q)
+		}
+	}
 	population := 0
 	if !emptyPred {
 		population = h.qualifying(q, opts.Method, plan)
@@ -252,6 +293,9 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 			Degraded:   shardsLost > 0,
 			ShardsLost: shardsLost,
 			Recovered:  recovered,
+			Windowed:   windowed,
+			WindowLo:   winLo,
+			WindowHi:   winHi,
 		}
 		if shardsLost > 0 && lmb != nil {
 			if lo, hi, lostN, ok := lmb.LostMassBounds(opts.Attr); ok {
@@ -448,8 +492,16 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		out <- Snapshot{Done: true, Method: fmt.Sprintf("error: %v", err)}
 		return
 	}
+	// The caller already narrowed q (or attached the window to the plan);
+	// re-resolving here only feeds the display fields, and is stable under
+	// h.mu — the watermark advances only with the write lock held.
+	win := h.window(opts.Last)
 	if population == 0 {
-		out <- Snapshot{Estimate: estimator.Estimate{Kind: opts.Kind, Confidence: opts.Confidence}, Done: true, Method: "empty"}
+		out <- Snapshot{
+			Estimate: estimator.Estimate{Kind: opts.Kind, Confidence: opts.Confidence},
+			Done:     true, Method: "empty",
+			Windowed: win.Set, WindowLo: win.Lo, WindowHi: win.Hi,
+		}
 		return
 	}
 	sampler, ctr, err := h.newSampler(opts.Method, q, opts.Mode, rng, plan)
@@ -524,6 +576,9 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 			Degraded:   shardsLost > 0,
 			ShardsLost: shardsLost,
 			Recovered:  recovered,
+			Windowed:   win.Set,
+			WindowLo:   win.Lo,
+			WindowHi:   win.Hi,
 		}
 		if ctr != nil {
 			s.IO = ctr.Snapshot()

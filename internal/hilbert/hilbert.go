@@ -194,6 +194,71 @@ func NewQuantizer(curve *Curve, lo, hi []float64) (*Quantizer, error) {
 	return q, nil
 }
 
+// Value3 is Value specialized for three dimensions — the per-record hot
+// path of streaming inserts. It performs no allocation and unrolls the
+// transpose loops over the three axis words; the result is bit-identical
+// to Value(x, y, z). Panics if the curve is not three-dimensional.
+func (q *Quantizer) Value3(xf, yf, zf float64) uint64 {
+	if q.curve.dims != 3 {
+		panic("hilbert: Value3 on a non-3D curve")
+	}
+	cells := q.curve.Max() - 1
+	quant := func(v float64, i int) uint64 {
+		c := (v - q.min[i]) * q.scale[i]
+		switch {
+		case c <= 0:
+			return 0
+		case uint64(c) >= cells:
+			return cells
+		default:
+			return uint64(c)
+		}
+	}
+	x0, x1, x2 := quant(xf, 0), quant(yf, 1), quant(zf, 2)
+
+	// axesToTranspose, dims unrolled (see the generic version for the
+	// algorithm; this is the same Skilling transform).
+	m := uint64(1) << (q.curve.order - 1)
+	for qb := m; qb > 1; qb >>= 1 {
+		p := qb - 1
+		if x0&qb != 0 {
+			x0 ^= p
+		}
+		if x1&qb != 0 {
+			x0 ^= p
+		} else {
+			t := (x0 ^ x1) & p
+			x0 ^= t
+			x1 ^= t
+		}
+		if x2&qb != 0 {
+			x0 ^= p
+		} else {
+			t := (x0 ^ x2) & p
+			x0 ^= t
+			x2 ^= t
+		}
+	}
+	x1 ^= x0
+	x2 ^= x1
+	var t uint64
+	for qb := m; qb > 1; qb >>= 1 {
+		if x2&qb != 0 {
+			t ^= qb - 1
+		}
+	}
+	x0 ^= t
+	x1 ^= t
+	x2 ^= t
+
+	// transposeToIndex, dims unrolled.
+	var h uint64
+	for b := int(q.curve.order) - 1; b >= 0; b-- {
+		h = h<<3 | (x0>>uint(b)&1)<<2 | (x1>>uint(b)&1)<<1 | (x2 >> uint(b) & 1)
+	}
+	return h
+}
+
 // Value returns the Hilbert index of the given floating-point coordinates,
 // clamped into the quantizer's bounding box.
 func (q *Quantizer) Value(coords ...float64) uint64 {

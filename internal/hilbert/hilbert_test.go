@@ -203,3 +203,36 @@ func TestLocality(t *testing.T) {
 			hilbertSum/float64(n), rowSum/float64(n))
 	}
 }
+
+func TestValue3MatchesValue(t *testing.T) {
+	for _, order := range []uint{1, 4, 16, 21} {
+		c := MustNew(3, order)
+		q, err := NewQuantizer(c, []float64{-10, 0, 3}, []float64{10, 100, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(x, y, z float64) bool {
+			return q.Value3(x, y, z) == q.Value(x, y, z)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("order %d: %v", order, err)
+		}
+		// Clamped corners too (quick rarely lands outside float extremes).
+		for _, v := range [][3]float64{{-1e9, -1e9, -1e9}, {1e9, 1e9, 1e9}, {-10, 100, 5}} {
+			if got, want := q.Value3(v[0], v[1], v[2]), q.Value(v[0], v[1], v[2]); got != want {
+				t.Errorf("order %d corner %v: Value3 %d != Value %d", order, v, got, want)
+			}
+		}
+	}
+}
+
+func TestValue3PanicsOnNon3D(t *testing.T) {
+	c := MustNew(2, 8)
+	q, _ := NewQuantizer(c, []float64{0, 0}, []float64{1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	q.Value3(0, 0, 0)
+}

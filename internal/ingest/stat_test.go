@@ -1,0 +1,140 @@
+package ingest
+
+import (
+	"math"
+	"testing"
+
+	"storm/internal/stats"
+	"storm/internal/stats/statcheck"
+)
+
+// The windowed-reservoir statistical suite (run by `make test-stats`).
+//
+// The claim under test is the package's headline guarantee: at any
+// instant, Sample(cutoff) is an EXACTLY uniform without-replacement
+// k-subset of the live records — through dominance pruning, interleaved
+// expiry, and bounded out-of-order arrival. The scenario below is chosen
+// to stress all three at once; the checks are chi-square inclusion
+// uniformity, CI coverage of window means estimated from the sample, and
+// unbiasedness of the sample mean. Seeds are fixed, so a failure is a
+// regression, not noise (see the statcheck package doc for the
+// false-positive budget).
+
+const (
+	// churnN records stream per trial; the final window keeps the last
+	// churnWindow of them, so the live population is churnWindow records.
+	churnN      = 1000
+	churnWindow = 200
+	// churnK is the reservoir capacity — well below the live population,
+	// so Sample must actually subsample.
+	churnK = 50
+	// churnTrials independent seeded trials (ISSUE floor: ≥ 100).
+	churnTrials = 150
+)
+
+// churnCutoff is the live window's lower edge at the end of a trial.
+const churnCutoff = churnN - churnWindow
+
+// churnStream drives one reservoir through the fixed churn scenario: the
+// arrival order reverses each block of 8 (every block exercises the
+// out-of-order insert path), and expiry interleaves with arrival every 96
+// records (the reservoir repeatedly trims mid-stream rather than once at
+// the end). The record sequence is identical across trials — only the
+// reservoir's priority seed varies — so the live set is a fixed ground
+// truth and inclusion counts can be aggregated across seeds.
+func churnStream(seed int64) *WindowReservoir {
+	w := NewWindowReservoir(churnK, seed)
+	for b := 0; b < churnN; b += 8 {
+		for i := b + 7; i >= b; i-- {
+			w.Add(rowAt(float64(i)))
+		}
+		if b%96 == 0 {
+			w.Expire(float64(b) - churnWindow)
+		}
+	}
+	return w
+}
+
+// churnValue is the payload carried by record t — non-monotone in t, so
+// mean estimates are not trivially right by symmetry with the time axis.
+func churnValue(t float64) float64 {
+	return math.Mod(t*37, 101)
+}
+
+// churnTruth is the exact mean of churnValue over the live window.
+func churnTruth() float64 {
+	var sum float64
+	for i := churnCutoff; i < churnN; i++ {
+		sum += churnValue(float64(i))
+	}
+	return sum / churnWindow
+}
+
+// TestStatWindowReservoirUniform aggregates, over churnTrials seeded
+// trials of the churn scenario, how often each live record appears in the
+// final Sample, and chi-squares the inclusion counts against uniform.
+// Within one trial the k inclusions are negatively correlated (the sample
+// is without replacement), which only deflates the chi-square statistic —
+// the check is conservative under the null and still rejects loudly if
+// pruning or expiry ever biases inclusion toward any region of the
+// window (e.g. over-keeping late records, whose dominator sets are
+// smaller).
+func TestStatWindowReservoirUniform(t *testing.T) {
+	observed := make([]int, churnWindow)
+	for _, seed := range statcheck.Seeds(0xA12, churnTrials) {
+		s := churnStream(seed).Sample(churnCutoff)
+		if len(s) != churnK {
+			t.Fatalf("seed %d: sample size = %d, want k=%d (live population %d)",
+				seed, len(s), churnK, churnWindow)
+		}
+		for _, r := range s {
+			i := int(r.Pos[2]) - churnCutoff
+			if i < 0 || i >= churnWindow || r.Pos[2] != math.Trunc(r.Pos[2]) {
+				t.Fatalf("seed %d: sampled t=%v outside the live window [%d, %d)",
+					seed, r.Pos[2], churnCutoff, churnN)
+			}
+			observed[i]++
+		}
+	}
+	// Expected inclusions per record: trials·k/L = 150·50/200 = 37.5 ≥ 5.
+	statcheck.Uniform(t, "window-reservoir-inclusion", observed, statcheck.DefaultAlpha)
+}
+
+// TestStatWindowReservoirCoverage estimates the live window's mean of
+// churnValue from each trial's k-sample with a t-based CI (finite
+// population corrected — the sample is WOR from a window of known size)
+// and checks nominal 95% coverage across trials, plus exact unbiasedness
+// of the sample mean. This is the property the ingest monitor path relies
+// on: an operator reading WindowSample aggregates gets honest intervals
+// without touching the indexes.
+func TestStatWindowReservoirCoverage(t *testing.T) {
+	truth := churnTruth()
+	tq := stats.StudentTQuantile(0.95, churnK-1)
+	fpc := math.Sqrt(float64(churnWindow-churnK) / float64(churnWindow-1))
+	var (
+		intervals []statcheck.Interval
+		means     []float64
+	)
+	for _, seed := range statcheck.Seeds(0xC12, churnTrials) {
+		s := churnStream(seed).Sample(churnCutoff)
+		var sum float64
+		for _, r := range s {
+			sum += churnValue(r.Pos[2])
+		}
+		mean := sum / float64(len(s))
+		var ss float64
+		for _, r := range s {
+			d := churnValue(r.Pos[2]) - mean
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(len(s)-1))
+		half := tq * sd / math.Sqrt(float64(len(s))) * fpc
+		intervals = append(intervals, statcheck.IntervalAround(mean, half))
+		means = append(means, mean)
+	}
+	// 2% slack absorbs the t/CLT approximation at k=50 on the sawtooth
+	// payload; exact uniformity means the sample mean itself is unbiased
+	// with NO slack.
+	statcheck.Coverage(t, "window-reservoir-ci", truth, intervals, 0.95, 0.02, statcheck.DefaultAlpha)
+	statcheck.MeanWithin(t, "window-reservoir-mean", truth, means, 0, statcheck.DefaultAlpha)
+}

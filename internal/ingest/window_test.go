@@ -1,0 +1,230 @@
+package ingest
+
+import (
+	"testing"
+
+	"storm/internal/data"
+	"storm/internal/geo"
+)
+
+// rowAt builds a record whose event time (Pos[2]) is t and whose Pos[0]
+// doubles as a payload marker, so tests can identify sampled records by
+// inspection.
+func rowAt(t float64) data.Row {
+	return data.Row{Pos: geo.Vec{t, 0, t}}
+}
+
+// sampleTimes collects the event times of a sample as a set; the fixtures
+// use distinct times, so this also detects duplicates.
+func sampleTimes(t *testing.T, rows []data.Row) map[float64]bool {
+	t.Helper()
+	set := make(map[float64]bool, len(rows))
+	for _, r := range rows {
+		if set[r.Pos[2]] {
+			t.Fatalf("duplicate record t=%v in sample", r.Pos[2])
+		}
+		set[r.Pos[2]] = true
+	}
+	return set
+}
+
+func TestWindowReservoirSmallPopulation(t *testing.T) {
+	w := NewWindowReservoir(8, 1)
+	if w.K() != 8 {
+		t.Fatalf("K = %d, want 8", w.K())
+	}
+	for i := 0; i < 5; i++ {
+		w.Add(rowAt(float64(i)))
+	}
+	if w.Added() != 5 {
+		t.Fatalf("Added = %d, want 5", w.Added())
+	}
+	// Fewer live records than k: the sample IS the window, exactly.
+	got := sampleTimes(t, w.Sample(0))
+	if len(got) != 5 {
+		t.Fatalf("sample size = %d, want all 5 live records", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		if !got[float64(i)] {
+			t.Fatalf("record t=%d missing from full-window sample", i)
+		}
+	}
+	// A degenerate capacity is floored to 1.
+	if NewWindowReservoir(0, 1).K() != 1 {
+		t.Fatal("k < 1 should floor to 1")
+	}
+}
+
+func TestWindowReservoirExpiry(t *testing.T) {
+	w := NewWindowReservoir(4, 7)
+	for i := 0; i < 100; i++ {
+		w.Add(rowAt(float64(i)))
+	}
+	// Explicit Expire is a memory release: retained records all live past
+	// the cutoff afterwards.
+	w.Expire(50)
+	if got := w.Retained(); got == 0 {
+		t.Fatal("expire dropped everything")
+	}
+	// Sample applies its own cutoff regardless of Expire cadence.
+	for _, cutoff := range []float64{0, 50, 90, 97} {
+		for tm := range sampleTimes(t, w.Sample(cutoff)) {
+			if tm < cutoff {
+				t.Fatalf("sample at t=%v escapes cutoff %v", tm, cutoff)
+			}
+		}
+	}
+	// live = {97, 98, 99}: fewer than k, so the sample must be exactly the
+	// live set — dominance pruning must never have discarded any of the
+	// latest k records (they cannot have k dominators).
+	got := sampleTimes(t, w.Sample(97))
+	if len(got) != 3 || !got[97] || !got[98] || !got[99] {
+		t.Fatalf("tail sample = %v, want exactly {97, 98, 99}", got)
+	}
+	// A cutoff past the stream leaves nothing.
+	if s := w.Sample(1000); len(s) != 0 {
+		t.Fatalf("sample past the watermark returned %d records", len(s))
+	}
+}
+
+func TestWindowReservoirOutOfOrder(t *testing.T) {
+	w := NewWindowReservoir(16, 3)
+	// Blocks of 8 arrive internally reversed: every block exercises the
+	// binary-search insert path for stragglers behind the tail.
+	const n = 4000
+	for b := 0; b < n; b += 8 {
+		for i := b + 7; i >= b; i-- {
+			w.Add(rowAt(float64(i)))
+		}
+		if b%640 == 0 {
+			w.Expire(float64(b - 1000))
+		}
+	}
+	if w.Added() != n {
+		t.Fatalf("Added = %d, want %d", w.Added(), n)
+	}
+	s := w.Sample(n - 100)
+	if len(s) != 16 {
+		t.Fatalf("sample size = %d, want k=16 (live population 100)", len(s))
+	}
+	for tm := range sampleTimes(t, s) {
+		if tm < n-100 || tm > n-1 {
+			t.Fatalf("sample t=%v outside live window [%v, %v]", tm, n-100.0, n-1.0)
+		}
+	}
+	// The latest k records are unprunable; a tail cutoff recovers them all.
+	got := sampleTimes(t, w.Sample(n-16))
+	if len(got) != 16 {
+		t.Fatalf("tail sample size = %d, want the full last-16 set", len(got))
+	}
+	for i := n - 16; i < n; i++ {
+		if !got[float64(i)] {
+			t.Fatalf("record t=%d missing from tail sample", i)
+		}
+	}
+}
+
+func TestWindowReservoirPruneBoundsMemory(t *testing.T) {
+	const k, n = 16, 200_000
+	w := NewWindowReservoir(k, 11)
+	for i := 0; i < n; i++ {
+		w.Add(rowAt(float64(i)))
+	}
+	if w.Added() != n {
+		t.Fatalf("Added = %d, want %d", w.Added(), n)
+	}
+	// The retained skyline is O(k·log(n/k)) in expectation for in-order
+	// streams (~k·ln(n/k) ≈ 151 here) and the doubling trigger keeps the
+	// buffer within 2× of it; 16× leaves generous headroom while still
+	// failing loudly if pruning ever stops working (retained would be n).
+	if got := w.Retained(); got > 16*k*14 { // 14 ≈ log2(n/k)
+		t.Fatalf("retained %d of %d added; dominance pruning is not bounding memory", got, n)
+	}
+	if w.pruned == 0 {
+		t.Fatal("a 200k in-order stream must prune")
+	}
+	// Pruning is invisible to Sample: a window of the last 50 yields k
+	// records, all live.
+	s := w.Sample(n - 50)
+	if len(s) != k {
+		t.Fatalf("post-prune sample size = %d, want %d", len(s), k)
+	}
+	for tm := range sampleTimes(t, s) {
+		if tm < n-50 {
+			t.Fatalf("post-prune sample t=%v below cutoff", tm)
+		}
+	}
+}
+
+func TestWindowReservoirDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) map[float64]bool {
+		w := NewWindowReservoir(8, seed)
+		for i := 0; i < 500; i++ {
+			w.Add(rowAt(float64(i)))
+		}
+		return sampleTimes(t, w.Sample(200))
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different sample sizes: %d vs %d", len(a), len(b))
+	}
+	for tm := range a {
+		if !b[tm] {
+			t.Fatalf("same seed, different samples: %v only in the first", tm)
+		}
+	}
+	c := run(43)
+	same := true
+	for tm := range a {
+		if !c[tm] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples (priorities not seeded?)")
+	}
+}
+
+// TestWindowReservoirAddBatchMatchesAdd: AddBatch draws priorities in
+// arrival order, so under a fixed seed a batched reservoir retains exactly
+// the same sample as a per-record one — including when batches arrive out
+// of order (the multi-producer interleaving AddBatch's merge exists for).
+func TestWindowReservoirAddBatchMatchesAdd(t *testing.T) {
+	// Chunks claimed in order but delivered interleaved: 0-99, 200-299,
+	// 100-199, 400-499, 300-399, ...
+	var rows []data.Row
+	for c := 0; c < 20; c++ {
+		base := c * 100
+		if c%2 == 1 && c+1 < 20 {
+			base = (c + 1) * 100
+		} else if c%2 == 0 && c > 0 {
+			base = (c - 1) * 100
+		}
+		for i := 0; i < 100; i++ {
+			rows = append(rows, rowAt(float64(base+i)))
+		}
+	}
+	one := NewWindowReservoir(64, 7)
+	two := NewWindowReservoir(64, 7)
+	for i := 0; i < len(rows); i += 100 {
+		chunk := rows[i : i+100]
+		for _, r := range chunk {
+			one.Add(r)
+		}
+		two.AddBatch(chunk)
+	}
+	if one.Added() != two.Added() {
+		t.Fatalf("added %d vs %d", one.Added(), two.Added())
+	}
+	cutoff := 500.0
+	a := sampleTimes(t, one.Sample(cutoff))
+	b := sampleTimes(t, two.Sample(cutoff))
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	for tm := range a {
+		if !b[tm] {
+			t.Fatalf("batched reservoir missing t=%v", tm)
+		}
+	}
+}

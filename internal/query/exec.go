@@ -57,6 +57,19 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 	}
 	r := q.Range()
 
+	// Analytics scope to `LAST <dur>` by narrowing the range's time axis
+	// up front; single-aggregate estimates and contracts hand Options.Last
+	// to the engine instead (so distributed queries ship the window to
+	// shards rather than baking it into the rectangle).
+	switch q.Op {
+	case OpKDE, OpTerms, OpTrajectory, OpHotspots, OpCluster:
+		wr, ok := windowRange(h, q, r)
+		if !ok {
+			return emptyWindow(w, q)
+		}
+		r = wr
+	}
+
 	switch q.Op {
 	case OpInsert:
 		for _, row := range q.Rows {
@@ -75,7 +88,11 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 
 	case OpEstimate:
 		if q.Explain {
-			plan, err := h.ExplainWhere(r, q.Where, engine.PushdownAuto)
+			er, ok := windowRange(h, q, r)
+			if !ok {
+				return emptyWindow(w, q)
+			}
+			plan, err := h.ExplainWhere(er, q.Where, engine.PushdownAuto)
 			if err != nil {
 				return err
 			}
@@ -141,12 +158,19 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 			MaxSamples:     q.Samples,
 			Method:         q.Method,
 			Where:          q.Where,
+			Last:           q.Last,
 		}
 		if len(q.MultiAggs) > 1 {
 			if opts.MaxSamples == 0 && opts.TimeBudget == 0 {
 				opts.MaxSamples = 2000
 			}
-			ch, err := h.EstimateMultiOnline(ctx, r, q.MultiAggs, opts)
+			// Multi-aggregate streams share one sampler built from the
+			// range alone; the window narrows the range here.
+			mr, ok := windowRange(h, q, r)
+			if !ok {
+				return emptyWindow(w, q)
+			}
+			ch, err := h.EstimateMultiOnline(ctx, mr, q.MultiAggs, opts)
 			if err != nil {
 				return err
 			}
@@ -164,7 +188,11 @@ func Run(ctx context.Context, eng *engine.Engine, q *Query, w io.Writer) error {
 			if opts.MaxSamples == 0 && opts.TimeBudget == 0 {
 				opts.MaxSamples = 2000
 			}
-			ch, err := h.GroupByOnline(ctx, r, q.Attr, q.GroupBy, opts)
+			gr, ok := windowRange(h, q, r)
+			if !ok {
+				return emptyWindow(w, q)
+			}
+			ch, err := h.GroupByOnline(ctx, gr, q.Attr, q.GroupBy, opts)
 			if err != nil {
 				return err
 			}
@@ -318,7 +346,28 @@ func contractOptions(q *Query) engine.Options {
 		MaxSamples: q.Samples,
 		Method:     q.Method,
 		Where:      q.Where,
+		Last:       q.Last,
 	}
+}
+
+// windowRange narrows r to the statement's `LAST <dur>` window for paths
+// that scope by range narrowing (analytics, multi-aggregate, GROUP BY,
+// EXPLAIN). ok is false when the window misses the queried time span
+// entirely — the result is then empty by construction, and the narrowed
+// range would not pass the engine's Range.Valid checks.
+func windowRange(h *engine.Handle, q *Query, r geo.Range) (geo.Range, bool) {
+	if q.Last <= 0 {
+		return r, true
+	}
+	wr := h.WindowRange(r, q.Last)
+	return wr, wr.Valid()
+}
+
+// emptyWindow reports a window that covers no part of the queried time
+// span (empty dataset, or the window slid past the TIME clause).
+func emptyWindow(w io.Writer, q *Query) error {
+	fmt.Fprintf(w, "empty result: LAST %s window covers no records in the queried range\n", q.Last)
+	return nil
 }
 
 // queryContract extracts the statement's contract clauses.

@@ -130,3 +130,65 @@ func FuzzParseContract(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseWindow fuzzes the sliding-window clause (LAST <duration>): no
+// input may panic the parser, and every accepted window must round-trip
+// through the canonical form — Query.WindowClause() is a fixpoint
+// (re-parsing the rendered clause reproduces Last to the nanosecond).
+// Free-form input may normalize (s/m/h units convert to decimal
+// milliseconds), but the canonical form may not drift.
+//
+// Run the full fuzzer with:
+//
+//	go test -run FuzzParseWindow -fuzz FuzzParseWindow -fuzztime 30s ./internal/query/
+//
+// Without -fuzz, the checked-in corpus under testdata/fuzz/FuzzParseWindow
+// plus the f.Add seeds run as regression cases on every ordinary
+// `go test`.
+func FuzzParseWindow(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"LAST 5m",
+		"LAST 300s",
+		"LAST 1h",
+		"LAST 500ms",
+		"LAST 0.5s",
+		"LAST 90",
+		"LAST 1e-3s",
+		"LAST 2.5h",
+		"LAST 5m WITH CONFIDENCE 95%",
+		"LAST 5m ERROR 2% AT CONFIDENCE 95% WITHIN 500ms",
+		"WHERE speed >= 30 LAST 5m",
+		"LAST 0s",
+		"LAST -5m",
+		"LAST",
+		"LAST 5d",
+		"LAST 9e99h",
+		"LAST 5m LAST 10m",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, clause string) {
+		// The raw input alone exercises the whole grammar for panics.
+		query.Parse(clause)
+
+		q, err := query.Parse("SELECT AVG(x) FROM d " + clause)
+		if err != nil || q.Last <= 0 {
+			return
+		}
+		canon := q.WindowClause()
+		if canon == "" {
+			t.Fatalf("windowed query for %q rendered an empty clause", clause)
+		}
+		q2, err := query.Parse("SELECT AVG(x) FROM d " + canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, clause, err)
+		}
+		if q2.Last != q.Last {
+			t.Fatalf("canonical form %q of %q re-parses to a different window: %v vs %v", canon, clause, q2.Last, q.Last)
+		}
+		if again := q2.WindowClause(); again != canon {
+			t.Fatalf("canonical WindowClause is not a fixpoint for %q: %q -> %q", clause, canon, again)
+		}
+	})
+}

@@ -85,7 +85,7 @@ func lex(input string) ([]token, error) {
 				((input[j] == '-' || input[j] == '+') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
 				j++
 			}
-			// Attach a trailing unit (ms, s, m) to the number so the
+			// Attach a trailing unit (ms, s, m, h) to the number so the
 			// parser can handle durations like "500ms".
 			unitStart := j
 			for j < len(input) && unicode.IsLetter(rune(input[j])) {
@@ -93,7 +93,7 @@ func lex(input string) ([]token, error) {
 			}
 			text := input[i:unitStart]
 			unit := strings.ToLower(input[unitStart:j])
-			if unit != "" && unit != "ms" && unit != "s" && unit != "m" && unit != "x" {
+			if unit != "" && unit != "ms" && unit != "s" && unit != "m" && unit != "h" && unit != "x" {
 				return nil, fmt.Errorf("query: unknown unit %q at position %d", unit, unitStart)
 			}
 			if unit == "x" {

@@ -62,6 +62,11 @@ type Query struct {
 	Within     time.Duration // 0 = none
 	Samples    int           // 0 = none
 	Method     engine.Method
+	// Last scopes the query to the trailing window "LAST <dur>" of the
+	// stream: records with time in [watermark-dur, watermark]. 0 = no
+	// window. Composes with WHERE (intersection) and contract clauses
+	// (the contract budget is sized against the windowed population).
+	Last time.Duration
 	// Contract marks contract mode — the "ERROR <pct> AT CONFIDENCE
 	// <pct>" form was used. The statement then returns ONE answer with
 	// its guarantee verdict (engine.EstimateContract) instead of a
@@ -589,6 +594,16 @@ func (p *parser) parseFromWhereWith(q *Query) error {
 				return err
 			}
 			q.Within = d
+		case "LAST":
+			p.next()
+			d, err := p.duration()
+			if err != nil {
+				return err
+			}
+			if d <= 0 {
+				return fmt.Errorf("query: LAST duration must be positive")
+			}
+			q.Last = d
 		case "SAMPLES":
 			p.next()
 			n, err := p.integer()
@@ -723,7 +738,7 @@ func (p *parser) numberList(count int) ([]float64, error) {
 	return out, p.expectPunct(")")
 }
 
-// duration parses a number token with an optional ms/s/m unit suffix.
+// duration parses a number token with an optional ms/s/m/h unit suffix.
 func (p *parser) duration() (time.Duration, error) {
 	t := p.peek()
 	if t.kind != tokNumber {
@@ -741,6 +756,9 @@ func (p *parser) duration() (time.Duration, error) {
 	case strings.HasSuffix(text, "m"):
 		text = strings.TrimSuffix(text, "m")
 		unit = time.Minute
+	case strings.HasSuffix(text, "h"):
+		text = strings.TrimSuffix(text, "h")
+		unit = time.Hour
 	}
 	v, err := strconv.ParseFloat(text, 64)
 	if err != nil || v < 0 {
@@ -783,4 +801,16 @@ func (q *Query) ContractClause() string {
 		b.WriteString("ms")
 	}
 	return b.String()
+}
+
+// WindowClause renders the query's sliding window in the canonical form
+// the parser round-trips: "LAST <ms>ms" with a decimal millisecond count.
+// Empty for unwindowed queries. Parsing the rendered clause reproduces
+// Last exactly (same rounding argument as ContractClause) — the fixpoint
+// FuzzParseWindow checks.
+func (q *Query) WindowClause() string {
+	if q.Last <= 0 {
+		return ""
+	}
+	return "LAST " + strconv.FormatFloat(float64(q.Last)/float64(time.Millisecond), 'f', -1, 64) + "ms"
 }

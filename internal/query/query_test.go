@@ -226,7 +226,9 @@ func TestParseErrors(t *testing.T) {
 		"CLUSTER(2.5) FROM d",                               // non-integer
 		"ESTIMATE AVG(x) FROM d WHERE REGION(1, 2, 3, 'a')", // string coord
 		"SHOW TABLES",
-		"ESTIMATE AVG(x) FROM d WITHIN 5h", // unknown unit
+		"ESTIMATE AVG(x) FROM d WITHIN 5d", // unknown unit
+		"ESTIMATE AVG(x) FROM d LAST 0s",   // empty window
+		"ESTIMATE AVG(x) FROM d LAST",      // missing duration
 	}
 	for _, s := range bad {
 		if _, err := Parse(s); err == nil {
@@ -240,6 +242,7 @@ func TestParseDurations(t *testing.T) {
 		"WITHIN 500ms": 500 * time.Millisecond,
 		"WITHIN 2s":    2 * time.Second,
 		"WITHIN 1m":    time.Minute,
+		"WITHIN 1h":    time.Hour,
 		"WITHIN 250":   250 * time.Millisecond, // bare number = ms
 	}
 	for clause, want := range cases {
@@ -251,6 +254,41 @@ func TestParseDurations(t *testing.T) {
 		if q.Within != want {
 			t.Errorf("%q: got %v, want %v", clause, q.Within, want)
 		}
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	cases := map[string]time.Duration{
+		"LAST 5m":    5 * time.Minute,
+		"LAST 300s":  5 * time.Minute,
+		"LAST 1h":    time.Hour,
+		"LAST 500ms": 500 * time.Millisecond,
+		"LAST 250":   250 * time.Millisecond, // bare number = ms
+	}
+	for clause, want := range cases {
+		q, err := Parse("ESTIMATE AVG(x) FROM d " + clause)
+		if err != nil {
+			t.Errorf("%q: %v", clause, err)
+			continue
+		}
+		if q.Last != want {
+			t.Errorf("%q: got %v, want %v", clause, q.Last, want)
+		}
+	}
+
+	// LAST composes with WHERE, contract clauses and USING.
+	q, err := Parse(`ESTIMATE AVG(x) FROM d WHERE REGION(0, 0, 1, 1) AND speed >= 30 LAST 5m ERROR 2% AT CONFIDENCE 95% WITHIN 500ms USING RSTREE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Last != 5*time.Minute || !q.Contract || len(q.Where) != 1 || q.Region == nil {
+		t.Fatalf("composed query = %+v", q)
+	}
+	if got := q.WindowClause(); got != "LAST 300000ms" {
+		t.Errorf("WindowClause = %q", got)
+	}
+	if q2, _ := Parse("ESTIMATE AVG(x) FROM d"); q2.WindowClause() != "" {
+		t.Error("unwindowed query should render an empty WindowClause")
 	}
 }
 

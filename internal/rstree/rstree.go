@@ -186,6 +186,12 @@ func (x *Index) Count(q geo.Rect) int { return x.tree.Count(q) }
 // by the node version bump and regenerated lazily by the next query.
 func (x *Index) Insert(e data.Entry) { x.tree.Insert(e) }
 
+// InsertBatch adds a batch of records in one pass — Hilbert-sorted run
+// merging instead of per-entry descents (see rtree.Tree.InsertBatch).
+// The entries slice is reordered in place. Stale sample buffers along the
+// touched paths invalidate by version, exactly as with Insert.
+func (x *Index) InsertBatch(entries []data.Entry) { x.tree.InsertBatch(entries) }
+
 // Delete removes a record, returning true if it existed.
 func (x *Index) Delete(e data.Entry) bool { return x.tree.Delete(e) }
 

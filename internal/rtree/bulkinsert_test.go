@@ -1,0 +1,100 @@
+package rtree
+
+import (
+	"testing"
+
+	"storm/internal/data"
+)
+
+// TestInsertBatchMatchesBrute checks the batched insert path against
+// brute force in both modes, growing from a bulk-loaded base — the
+// streaming drain scenario: an STR-packed tree absorbing Hilbert-sorted
+// run merges.
+func TestInsertBatchMatchesBrute(t *testing.T) {
+	all := genEntries(8000, 17)
+	base, batch := all[:5000], all[5000:]
+	for _, mode := range []bool{false, true} {
+		cfg := Config{Fanout: 16}
+		if mode {
+			cfg.Hilbert = true
+			cfg.Bounds = EntryBounds(all)
+		}
+		tree := MustNew(cfg)
+		tree.BulkLoad(base)
+		// Several uneven slices so merges hit partially-filled leaves.
+		for lo := 0; lo < len(batch); lo += 700 {
+			hi := lo + 700
+			if hi > len(batch) {
+				hi = len(batch)
+			}
+			chunk := append([]data.Entry(nil), batch[lo:hi]...)
+			tree.InsertBatch(chunk)
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("hilbert=%v: invalid after batch [%d:%d]: %v", mode, lo, hi, err)
+			}
+		}
+		if tree.Len() != len(all) {
+			t.Fatalf("hilbert=%v: Len = %d, want %d", mode, tree.Len(), len(all))
+		}
+		for _, q := range testQueries() {
+			got := tree.ReportAll(q)
+			want := bruteRange(all, q)
+			if !sameIDs(got, want) {
+				t.Errorf("hilbert=%v range %v: got %d, want %d", mode, q, len(got), len(want))
+			}
+			if c := tree.Count(q); c != len(want) {
+				t.Errorf("hilbert=%v Count(%v) = %d, want %d", mode, q, c, len(want))
+			}
+		}
+	}
+}
+
+// TestInsertBatchGrowsEmptyTree feeds one large batch to an empty tree:
+// the even multi-way splits must fan the single leaf out across several
+// levels in one call, and the result must stay valid and complete.
+func TestInsertBatchGrowsEmptyTree(t *testing.T) {
+	entries := genEntries(20000, 23)
+	tree := MustNew(Config{Fanout: 8, Hilbert: true, Bounds: EntryBounds(entries)})
+	tree.InsertBatch(append([]data.Entry(nil), entries...))
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invalid after giant batch: %v", err)
+	}
+	if tree.Len() != len(entries) || tree.Height() < 3 {
+		t.Fatalf("Len = %d, Height = %d; want %d entries over multiple levels",
+			tree.Len(), tree.Height(), len(entries))
+	}
+	for _, q := range testQueries() {
+		if got, want := tree.ReportAll(q), bruteRange(entries, q); !sameIDs(got, want) {
+			t.Errorf("range %v: got %d, want %d", q, len(got), len(want))
+		}
+	}
+	// A zero-length batch is a no-op.
+	v := tree.Version()
+	tree.InsertBatch(nil)
+	if tree.Version() != v || tree.Len() != len(entries) {
+		t.Fatal("empty batch mutated the tree")
+	}
+}
+
+// TestInsertBatchThenDelete interleaves batch inserts with deletes: the
+// key cache and LHVs must survive condensation and reinsertion.
+func TestInsertBatchThenDelete(t *testing.T) {
+	all := genEntries(4000, 31)
+	tree := MustNew(Config{Fanout: 16, Hilbert: true, Bounds: EntryBounds(all)})
+	tree.BulkLoad(all[:2000])
+	tree.InsertBatch(append([]data.Entry(nil), all[2000:]...))
+	for i := 0; i < 1500; i++ {
+		if !tree.Delete(all[i]) {
+			t.Fatalf("entry %d not found for delete", i)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invalid after deletes: %v", err)
+	}
+	remaining := all[1500:]
+	for _, q := range testQueries() {
+		if got, want := tree.ReportAll(q), bruteRange(remaining, q); !sameIDs(got, want) {
+			t.Errorf("range %v: got %d, want %d", q, len(got), len(want))
+		}
+	}
+}

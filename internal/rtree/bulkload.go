@@ -61,6 +61,12 @@ func (s *hilbertSorter) Swap(i, j int) {
 	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
+// SortSTR arranges entries in Sort-Tile-Recursive order (see sortSTR) —
+// the packing order bulk loads use. The streaming ingest drain sorts each
+// insert batch with it so consecutive one-at-a-time inserts stay spatially
+// clustered and leaf splits remain coherent.
+func SortSTR(entries []data.Entry, fanout int) { sortSTR(entries, fanout) }
+
 // sortSTR arranges entries in Sort-Tile-Recursive order for 3 dimensions:
 // sort by x, cut into vertical slabs, sort each slab by y, cut into runs,
 // sort each run by t. Consecutive groups of fanout entries then form
@@ -119,11 +125,14 @@ func (t *Tree) packLeaves(entries []data.Entry) []*Node {
 			n.mbr = n.mbr.ExtendPoint(e.Pos)
 		}
 		if t.quant != nil {
-			// Max over entries, not the last one: only Hilbert-sorted input
-			// guarantees the last entry carries the largest value, and STR
-			// packing is the default.
-			for _, e := range n.entries {
-				if v := t.hilbertValue(e.Pos); v > n.lhv {
+			// Populate the key cache and take the max for the LHV — not the
+			// last key: only Hilbert-sorted input guarantees the last entry
+			// carries the largest value, and STR packing is the default.
+			n.keys = make([]uint64, len(n.entries))
+			for i, e := range n.entries {
+				v := t.hilbertValue(e.Pos)
+				n.keys[i] = v
+				if v > n.lhv {
 					n.lhv = v
 				}
 			}

@@ -34,13 +34,17 @@ func (t *Tree) insert(n *Node, e data.Entry, h uint64) *Node {
 	n.version++
 	if n.leaf {
 		if t.quant != nil {
-			// Keep leaf entries sorted by Hilbert value.
-			idx := sort.Search(len(n.entries), func(i int) bool {
-				return t.hilbertValue(n.entries[i].Pos) >= h
+			// Keep leaf entries sorted by Hilbert value, searching the
+			// cached keys rather than re-quantizing each probed entry.
+			idx := sort.Search(len(n.keys), func(i int) bool {
+				return n.keys[i] >= h
 			})
 			n.entries = append(n.entries, data.Entry{})
 			copy(n.entries[idx+1:], n.entries[idx:])
 			n.entries[idx] = e
+			n.keys = append(n.keys, 0)
+			copy(n.keys[idx+1:], n.keys[idx:])
+			n.keys[idx] = h
 		} else {
 			n.entries = append(n.entries, e)
 		}
@@ -117,11 +121,13 @@ func (t *Tree) splitLeaf(n *Node) *Node {
 	var right *Node
 	if t.quant != nil {
 		// Entries are Hilbert-sorted: split at the midpoint to preserve
-		// the ordering invariant.
+		// the ordering invariant; the key cache splits with them.
 		mid := len(n.entries) / 2
 		right = t.newNode(true)
 		right.entries = append(right.entries, n.entries[mid:]...)
 		n.entries = n.entries[:mid]
+		right.keys = append(right.keys, n.keys[mid:]...)
+		n.keys = n.keys[:mid]
 	} else {
 		right = t.newNode(true)
 		t.quadraticSplitLeaf(n, right)
@@ -276,14 +282,16 @@ func (n *Node) recompute() {
 	}
 }
 
-// recomputeLHV refreshes a leaf's largest Hilbert value after a split.
+// recomputeLHV refreshes a leaf's largest Hilbert value after a split or
+// delete, from the cached keys. Max, not last: after an STR bulk load the
+// leaf's keys are not Hilbert-sorted (see BulkLoad).
 func (t *Tree) recomputeLHV(n *Node) {
 	if t.quant == nil || !n.leaf {
 		return
 	}
 	n.lhv = 0
-	for _, e := range n.entries {
-		if h := t.hilbertValue(e.Pos); h > n.lhv {
+	for _, h := range n.keys {
+		if h > n.lhv {
 			n.lhv = h
 		}
 	}

@@ -97,6 +97,12 @@ type Node struct {
 	version  uint64 // bumped when subtree contents change
 	children []*Node
 	entries  []data.Entry
+	// keys caches the Hilbert value of each leaf entry, index-parallel to
+	// entries (Hilbert mode only; nil in classic mode). The quantizer walk
+	// costs hundreds of nanoseconds, and without the cache a single insert
+	// recomputes it O(log fanout) times inside the placement search — the
+	// streaming drain path is insert-rate-bound on exactly that.
+	keys []uint64
 	// aux is the per-node attachment used by the RS-tree sample buffers.
 	// It is read and published atomically so concurrent queries can
 	// regenerate a stale buffer without racing each other: generation
@@ -245,7 +251,7 @@ func (t *Tree) hilbertValue(p geo.Vec) uint64 {
 	if t.quant == nil {
 		return 0
 	}
-	return t.quant.Value(p[0], p[1], p[2])
+	return t.quant.Value3(p[0], p[1], p[2])
 }
 
 // NodeCount returns the total number of nodes, walking the whole tree.

@@ -35,9 +35,16 @@ func (t *Tree) validate(n *Node, isRoot bool) (depth, count int, err error) {
 		}
 		mbr := emptyRect()
 		var lhv uint64
-		for _, e := range n.entries {
+		if t.quant != nil && len(n.keys) != len(n.entries) {
+			return 0, 0, fmt.Errorf("rtree: leaf key cache holds %d keys for %d entries", len(n.keys), len(n.entries))
+		}
+		for i, e := range n.entries {
 			mbr = mbr.ExtendPoint(e.Pos)
-			if h := t.hilbertValue(e.Pos); h > lhv {
+			h := t.hilbertValue(e.Pos)
+			if t.quant != nil && n.keys[i] != h {
+				return 0, 0, fmt.Errorf("rtree: leaf key cache %d != Hilbert value %d for entry %d", n.keys[i], h, e.ID)
+			}
+			if h > lhv {
 				lhv = h
 			}
 		}

@@ -8,6 +8,9 @@
 //	POST /query                       execute a STORM statement; online
 //	                                  snapshots stream back as NDJSON
 //	POST /datasets/{name}/records     insert records (the updates demo)
+//	POST /ingest/{name}               stream NDJSON records through the
+//	                                  buffered ingest path (429 + Retry-After
+//	                                  under backpressure)
 //	GET  /explain?q=<statement>       the optimizer plan for an estimate
 //	GET  /metrics                     engine + server metrics as one flat
 //	                                  expvar-format JSON object
@@ -28,10 +31,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +45,7 @@ import (
 	"storm/internal/distr"
 	"storm/internal/engine"
 	"storm/internal/geo"
+	"storm/internal/ingest"
 	"storm/internal/obs"
 	"storm/internal/query"
 )
@@ -54,6 +61,11 @@ type Server struct {
 	// atomic check-then-acquire the cap needs.
 	maxStreams    int
 	activeStreams atomic.Int64
+	// ingCfg templates per-dataset ingestors (WithIngestConfig); ing holds
+	// one lazily created Ingestor per dataset streamed to via POST /ingest.
+	ingCfg ingest.Config
+	ingMu  sync.Mutex
+	ing    map[string]*ingest.Ingestor
 }
 
 // Option configures a Server.
@@ -73,6 +85,15 @@ func WithMaxStreams(n int) Option {
 	}
 }
 
+// WithIngestConfig templates the per-dataset ingest buffers behind
+// POST /ingest/{name}: shard count, flush thresholds and the MaxPending
+// backpressure bound. Name and Obs are set per dataset when an ingestor
+// is created; the other fields are taken as given (zero values get the
+// package ingest defaults).
+func WithIngestConfig(cfg ingest.Config) Option {
+	return func(s *Server) { s.ingCfg = cfg }
+}
+
 // serverMetrics holds the server's resolved metric handles; all-nil (every
 // write a no-op) when the engine's metrics are disabled.
 type serverMetrics struct {
@@ -88,9 +109,11 @@ type serverMetrics struct {
 	shed *obs.Counter
 	// contracts counts one-shot contract queries served; qosDegraded
 	// counts those admitted over the stream cap with a proportionally
-	// relaxed contract instead of a 429 (per-query QoS).
+	// relaxed contract instead of a 429 (per-query QoS); infeasible counts
+	// contracts refused up front with 422 (provably unmeetable).
 	contracts   *obs.Counter
 	qosDegraded *obs.Counter
+	infeasible  *obs.Counter
 }
 
 // New returns a server over the engine. The engine's metrics registry
@@ -106,6 +129,7 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 		shed:        reg.Counter("storm.server.streams.shed"),
 		contracts:   reg.Counter("storm.server.contracts"),
 		qosDegraded: reg.Counter("storm.server.contracts.qos_degraded"),
+		infeasible:  reg.Counter("storm.server.contracts.infeasible"),
 	}}
 	for _, opt := range opts {
 		opt(s)
@@ -113,6 +137,7 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /datasets/{name}", s.handleDataset)
 	s.mux.HandleFunc("POST /datasets/{name}/records", s.handleInsert)
+	s.mux.HandleFunc("POST /ingest/{name}", s.handleIngest)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -250,6 +275,11 @@ type InsertRecord struct {
 	Str  map[string]string  `json:"str,omitempty"`
 }
 
+// row converts the wire record to an engine row.
+func (rec InsertRecord) row() data.Row {
+	return data.Row{Pos: geo.Vec{rec.Lon, rec.Lat, rec.Time}, Num: rec.Num, Str: rec.Str}
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	h, err := s.eng.Dataset(r.PathValue("name"))
 	if err != nil {
@@ -265,17 +295,136 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no records")
 		return
 	}
-	ids := make([]data.ID, 0, len(req.Records))
-	for _, rec := range req.Records {
-		ids = append(ids, h.Insert(data.Row{
-			Pos: geo.Vec{rec.Lon, rec.Lat, rec.Time},
-			Num: rec.Num,
-			Str: rec.Str,
-		}))
+	rows := make([]data.Row, len(req.Records))
+	for i, rec := range req.Records {
+		rows[i] = rec.row()
 	}
+	// One InsertBatch per request: the dataset write lock is taken once for
+	// the whole body instead of once per record.
+	ids := h.InsertBatch(rows)
 	s.met.inserts.Add(uint64(len(ids)))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"inserted": len(ids), "first_id": ids[0]})
+}
+
+// ingestor returns (creating on first use) the dataset's buffered ingestor,
+// draining into the dataset handle's InsertBatch.
+func (s *Server) ingestor(name string, h *engine.Handle) *ingest.Ingestor {
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	if in, ok := s.ing[name]; ok {
+		return in
+	}
+	if s.ing == nil {
+		s.ing = make(map[string]*ingest.Ingestor)
+	}
+	cfg := s.ingCfg
+	cfg.Name = name
+	cfg.Obs = s.eng.Obs()
+	in := ingest.New(h, cfg)
+	s.ing[name] = in
+	return in
+}
+
+// Close flushes and stops every ingestor POST /ingest created. The HTTP
+// mux itself is stateless; only the ingest buffers hold background work.
+func (s *Server) Close() error {
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	for _, in := range s.ing {
+		in.Close()
+	}
+	s.ing = nil
+	return nil
+}
+
+// IngestResponse is the body of a POST /ingest/{name} response. Accepted
+// counts records buffered by THIS request; on a 429 it tells the client
+// how far through its stream the backpressure hit.
+type IngestResponse struct {
+	Accepted int `json:"accepted"`
+	// Pending is the ingestor's drain backlog after this request.
+	Pending int `json:"pending"`
+	// Watermark is the dataset's event-time watermark (maximum Pos[2] seen),
+	// the anchor `LAST <dur>` windows trail behind.
+	Watermark float64 `json:"watermark,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// handleIngest streams records into the buffered ingest path: the body is
+// NDJSON (one InsertRecord per line), appended record-by-record to the
+// dataset's ingestor, which drains to the indexes in the background as
+// batched bulk inserts. Producers therefore never take the dataset write
+// lock. When the drain backlog hits the configured MaxPending the request
+// stops with 429 + Retry-After and reports how many records it accepted —
+// the client resumes from there after backing off.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	h, err := s.eng.Dataset(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	in := s.ingestor(name, h)
+	dec := json.NewDecoder(r.Body)
+	accepted := 0
+	respond := func(status int, errMsg string) {
+		s.met.inserts.Add(uint64(accepted)) // buffered records count even on 429/400
+		out := IngestResponse{Accepted: accepted, Pending: in.Pending(), Error: errMsg}
+		if wm, ok := in.Watermark(); ok {
+			out.Watermark = wm
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(out)
+	}
+	// Decoded records accumulate into chunks handed to AppendBatch: one
+	// shard-lock acquisition per chunk instead of per record. AppendBatch
+	// is all-or-nothing, so `accepted` stays exact on a mid-stream 429.
+	const chunk = 512
+	batch := make([]data.Row, 0, chunk)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := in.AppendBatch(batch); err != nil {
+			return err
+		}
+		accepted += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		var rec InsertRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if ferr := flush(); ferr != nil { // records before the bad line still count
+				w.Header().Set("Retry-After", "1")
+				respond(http.StatusTooManyRequests, ferr.Error())
+				return
+			}
+			respond(http.StatusBadRequest, fmt.Sprintf("decoding record %d: %v", accepted, err))
+			return
+		}
+		batch = append(batch, rec.row())
+		if len(batch) == chunk {
+			if err := flush(); err != nil {
+				// Backpressure (or a closing server): surface 429 so the
+				// producer backs off; everything already accepted is safe.
+				w.Header().Set("Retry-After", "1")
+				respond(http.StatusTooManyRequests, err.Error())
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		w.Header().Set("Retry-After", "1")
+		respond(http.StatusTooManyRequests, err.Error())
+		return
+	}
+	respond(http.StatusOK, "")
 }
 
 // QueryRequest is the body of POST /query.
@@ -336,7 +485,13 @@ type SnapshotJSON struct {
 	// samples on a non-exact estimate); half_width is then omitted
 	// because JSON cannot carry +Inf.
 	Unbounded bool `json:"unbounded,omitempty"`
-	Done      bool `json:"done"`
+	// Windowed marks a `LAST <dur>` query; WindowLo/WindowHi are the
+	// resolved event-time bounds (seconds) the estimate covered —
+	// [watermark-dur, watermark] intersected with any TIME clause.
+	Windowed bool    `json:"windowed,omitempty"`
+	WindowLo float64 `json:"window_lo,omitempty"`
+	WindowHi float64 `json:"window_hi,omitempty"`
+	Done     bool    `json:"done"`
 }
 
 // handleQuery executes an estimate statement and streams NDJSON snapshots.
@@ -423,6 +578,7 @@ func (s *Server) streamEstimate(w http.ResponseWriter, r *http.Request, q *query
 		MaxSamples:     q.Samples,
 		Method:         q.Method,
 		Where:          q.Where,
+		Last:           q.Last,
 	}
 	// r.Context() is cancelled when the client disconnects, which stops
 	// the query — interactive exploration over HTTP.
@@ -495,6 +651,9 @@ func snapshotJSON(snap engine.Snapshot) SnapshotJSON {
 		RejectRatio:  snap.RejectRatio,
 		LostMassLow:  snap.LostMassLow,
 		LostMassHigh: snap.LostMassHigh,
+		Windowed:     snap.Windowed,
+		WindowLo:     snap.WindowLo,
+		WindowHi:     snap.WindowHi,
 		Done:         snap.Done,
 	}
 	if math.IsInf(out.HalfWidth, 0) || math.IsNaN(out.HalfWidth) {
@@ -536,6 +695,23 @@ type ContractAnswerJSON struct {
 	EffectiveDeadlineMS float64 `json:"effective_deadline_ms,omitempty"`
 }
 
+// ContractRefusedJSON is the 422 body for a contract the planner proves
+// infeasible before execution: the requested targets alongside what the
+// planner predicts the deadline can actually buy (see OPERATIONS.md).
+type ContractRefusedJSON struct {
+	Error            string  `json:"error"`
+	TargetError      float64 `json:"target_error"`
+	TargetConfidence float64 `json:"target_confidence"`
+	DeadlineMS       float64 `json:"deadline_ms"`
+	// PredictedRelError is the relative error the planner expects the
+	// deadline's BudgetSamples-sample budget to deliver; PlannedSamples is
+	// what the error target would need; PredictedMS how long that would take.
+	PredictedRelError float64 `json:"predicted_rel_error"`
+	PredictedMS       float64 `json:"predicted_ms"`
+	BudgetSamples     int     `json:"budget_samples"`
+	PlannedSamples    int     `json:"planned_samples"`
+}
+
 // contractQuery executes a contract-mode estimate and answers once with
 // its guarantee. Contract queries are never shed: beyond the stream cap
 // the contract is scaled by the overload factor instead, so heavy
@@ -572,6 +748,29 @@ func (s *Server) contractQuery(w http.ResponseWriter, r *http.Request, q *query.
 		MaxSamples: q.Samples,
 		Method:     q.Method,
 		Where:      q.Where,
+		Last:       q.Last,
+	}
+	// Provably infeasible contracts are refused up front with 422: the
+	// planner's warm-profile prediction says the error target cannot fit
+	// the deadline, so running the query would burn the whole deadline to
+	// deliver a "missed" verdict anyway. Cold plans (no telemetry yet) get
+	// the benefit of the doubt and run. Planning errors fall through to
+	// EstimateContract, which reports them as a 400.
+	if plan, perr := h.ExplainContract(q.Range(), opts, eff); perr == nil && !plan.Feasible && !plan.Cold {
+		s.met.infeasible.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(ContractRefusedJSON{
+			Error:             "contract provably infeasible: predicted error within the deadline exceeds the target",
+			TargetError:       req.RelError,
+			TargetConfidence:  plan.Target.Confidence,
+			DeadlineMS:        float64(req.Deadline) / float64(time.Millisecond),
+			PredictedRelError: plan.PredictedRelError,
+			PredictedMS:       plan.PredictedMS,
+			BudgetSamples:     plan.Budget,
+			PlannedSamples:    plan.Samples,
+		})
+		return
 	}
 	res, err := h.EstimateContract(r.Context(), q.Range(), opts, eff)
 	if err != nil {
@@ -623,6 +822,11 @@ type PlanJSON struct {
 	Qualifying       int     `json:"qualifying"`
 	WhereSelectivity float64 `json:"where_selectivity"`
 	Pushdown         bool    `json:"pushdown,omitempty"`
+	// Windowed marks a `LAST <dur>` statement (the plan's counts are over
+	// the narrowed range); WindowEmpty means the window misses the queried
+	// time span entirely, so nothing can qualify.
+	Windowed    bool `json:"windowed,omitempty"`
+	WindowEmpty bool `json:"window_empty,omitempty"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -645,7 +849,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	plan, err := h.ExplainWhere(q.Range(), q.Where, engine.PushdownAuto)
+	rng := q.Range()
+	if q.Last > 0 {
+		rng = h.WindowRange(rng, q.Last)
+		if !rng.Valid() {
+			// The window misses the queried time span (empty dataset, or it
+			// slid past the TIME clause): nothing qualifies.
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(PlanJSON{Dataset: q.Dataset, Windowed: true, WindowEmpty: true})
+			return
+		}
+	}
+	plan, err := h.ExplainWhere(rng, q.Where, engine.PushdownAuto)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -663,6 +878,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Qualifying:       plan.Qualifying,
 		WhereSelectivity: plan.WhereSelectivity,
 		Pushdown:         plan.Pushdown,
+		Windowed:         q.Last > 0,
 	})
 }
 

@@ -233,6 +233,37 @@ func (*BuildOK) WireKind() Kind      { return KindBuildOK }
 func (m *BuildOK) encode(e *encoder) { e.u64(m.Count) }
 func (m *BuildOK) decode(d *decoder) { m.Count = d.u64() }
 
+// Window is a trailing event-time window resolved against the dataset
+// watermark at the coordinator — the wire form of a `LAST <dur>` clause.
+// Shards intersect the query rectangle's time axis with [Lo, Hi] locally,
+// so the same records qualify whether the shard is in-process or across
+// TCP. Set == false means the query carries no window; an inverted window
+// (Lo > Hi) is valid and matches nothing (the coordinator resolved the
+// clause against a dataset that has never held a record).
+type Window struct {
+	// Set reports whether the query has a window at all.
+	Set bool
+	// Lo and Hi bound the live event times, inclusive, in the time axis's
+	// native unit (seconds).
+	Lo, Hi float64
+}
+
+// Apply narrows r's time axis to the window, returning r unchanged when
+// the window is unset. Narrowing an already-disjoint rect yields an empty
+// rect (Min > Max on the time axis), which every index treats as zero.
+func (wn Window) Apply(r geo.Rect) geo.Rect {
+	if !wn.Set {
+		return r
+	}
+	if r.Min[2] < wn.Lo {
+		r.Min[2] = wn.Lo
+	}
+	if r.Max[2] > wn.Hi {
+		r.Max[2] = wn.Hi
+	}
+	return r
+}
+
 // Count is the coordinator's count-round request for one shard.
 type Count struct {
 	// Target names the shard.
@@ -244,6 +275,9 @@ type Count struct {
 	// their local summaries, so the predicate travels instead of the
 	// rejected records.
 	Where []pred.Term
+	// Window is the query's resolved `LAST` window (Set == false = none);
+	// the shard narrows the rectangle's time axis before counting.
+	Window Window
 }
 
 // WireKind implements Msg.
@@ -252,11 +286,13 @@ func (m *Count) encode(e *encoder) {
 	m.Target.encode(e)
 	e.rect(m.Query)
 	e.terms(m.Where)
+	e.window(m.Window)
 }
 func (m *Count) decode(d *decoder) {
 	m.Target.decode(d)
 	m.Query = d.rect()
 	m.Where = d.terms()
+	m.Window = d.window()
 }
 
 // CountOK answers a Count.
@@ -290,6 +326,11 @@ type Open struct {
 	// none); the shard prunes and filters locally so only qualifying
 	// samples cross the wire.
 	Where []pred.Term
+	// Window is the query's resolved `LAST` window (Set == false = none);
+	// the shard narrows the rectangle's time axis before sampling, so a
+	// windowed stream draws from the identical population on every
+	// transport.
+	Window Window
 }
 
 // WireKind implements Msg.
@@ -304,6 +345,7 @@ func (m *Open) encode(e *encoder) {
 		e.u64(id)
 	}
 	e.terms(m.Where)
+	e.window(m.Window)
 }
 func (m *Open) decode(d *decoder) {
 	m.Target.decode(d)
@@ -319,6 +361,7 @@ func (m *Open) decode(d *decoder) {
 		m.Exclude[i] = d.u64()
 	}
 	m.Where = d.terms()
+	m.Window = d.window()
 }
 
 // OpenOK answers an Open.
@@ -694,6 +737,10 @@ func (e *encoder) vec(v geo.Vec) {
 }
 func (e *encoder) rect(r geo.Rect) { e.vec(r.Min); e.vec(r.Max) }
 
+// window encodes a Window: set flag, then both bounds. Fixed-width so the
+// fields travel even when unset, keeping decode∘encode the identity.
+func (e *encoder) window(wn Window) { e.b(wn.Set); e.f64(wn.Lo); e.f64(wn.Hi) }
+
 // terms encodes a predicate term list: count, then per term the attribute
 // name, both bounds and both openness flags.
 func (e *encoder) terms(ts []pred.Term) {
@@ -788,6 +835,15 @@ func (d *decoder) rect() geo.Rect {
 	r.Min = d.vec()
 	r.Max = d.vec()
 	return r
+}
+
+// window decodes a Window (see encoder.window).
+func (d *decoder) window() Window {
+	var wn Window
+	wn.Set = d.b()
+	wn.Lo = d.f64()
+	wn.Hi = d.f64()
+	return wn
 }
 
 // terms decodes a predicate term list. A term's minimum encoded size is 22

@@ -103,8 +103,11 @@ func TestDecodeFrameRejectsMalformed(t *testing.T) {
 		}(),
 		"huge exclude count": func() []byte {
 			f := AppendFrame(nil, &Open{Target: Target{DS: "d"}})
-			// Overwrite the trailing exclude-count u32 with an absurd value.
-			f[len(f)-4], f[len(f)-3], f[len(f)-2], f[len(f)-1] = 0xff, 0xff, 0xff, 0x7f
+			// Overwrite the exclude-count u32 with an absurd value. It sits
+			// 25 bytes from the end: before the terms count (4 bytes) and
+			// the window (1 + 8 + 8 bytes).
+			i := len(f) - 25
+			f[i], f[i+1], f[i+2], f[i+3] = 0xff, 0xff, 0xff, 0x7f
 			return f
 		}(),
 	}

@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/rstree/ ./internal/lstree/ ./internal/sampling/ \
 	./internal/engine/ ./internal/iosim/ ./internal/server/ ./internal/distr/ \
 	./internal/obs/ ./internal/wire/ ./internal/ingest/
 
-.PHONY: verify fmt vet build test race bench bench-batch docs-lint docs-check bench-obs bench-faults test-stats fuzz-smoke test-cluster bench-cluster bench-pushdown bench-contracts bench-ingest
+.PHONY: verify fmt vet build test race bench bench-batch docs-lint docs-check bench-obs bench-faults test-stats test-stats-failover fuzz-smoke test-cluster bench-cluster bench-pushdown bench-contracts bench-ingest bench-replication
 
 verify: fmt vet build test race docs-lint
 
@@ -69,6 +69,13 @@ test-stats:
 	$(GO) test -race -run 'TestStat' -v ./internal/ingest/
 	$(GO) test -race ./internal/stats/statcheck/
 
+# Failover slice of the statistical harness on its own: first-sample
+# uniformity, CI coverage, mean unbiasedness and windowed-churn uniformity
+# of post-failover streams (hundreds of seeded kill-one-replica runs; the
+# full test-stats target includes these too).
+test-stats-failover:
+	$(GO) test -race -run 'TestStatFailover' -v ./internal/distr/
+
 # Short fuzz passes over the operator/network-facing input surfaces: the
 # fault-plan grammar (no panic, canonical round-trip), the wire codec (no
 # panic on arbitrary frames, decode∘encode identity), and the query
@@ -113,3 +120,8 @@ bench-contracts:
 # buffer-shard counts (EXPERIMENTS.md A12).
 bench-ingest:
 	$(GO) run ./cmd/stormbench -fig a12
+
+# Replication ablation: R=1 degradation vs R=2 failover when the query's
+# hottest shard loses a copy mid-stream (EXPERIMENTS.md A13).
+bench-replication:
+	$(GO) run ./cmd/stormbench -fig a13

@@ -24,6 +24,8 @@
 //	stormbench -fig a12               # streaming ingest ablation: sustained
 //	                                  # insert rate vs concurrent LAST-window
 //	                                  # query latency, buffer-shard sweep
+//	stormbench -fig a13               # replication ablation: R=1 degradation
+//	                                  # vs R=2 failover on a mid-query crash
 //	stormbench -fig all               # everything
 //
 // -metrics attaches an observability registry (see internal/obs) to each
@@ -56,7 +58,7 @@ func series(title string, xs, ys []float64) {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 5, 6a, 6b, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12, a13, all")
 	n := flag.Int("n", 2_000_000, "dataset size for the Figure 3 experiments")
 	seed := flag.Int64("seed", 1, "generator/sampling seed")
 	flag.BoolVar(&emitSeries, "series", false, "additionally emit plot-ready x<TAB>y series per curve")
@@ -100,6 +102,7 @@ func main() {
 	run("a10", func() error { return a10(*seed) })
 	run("a11", func() error { return a11(*seed) })
 	run("a12", func() error { return a12(*seed) })
+	run("a13", func() error { return a13(*seed) })
 }
 
 // dumpMetrics prints every registry entry as "name<TAB>value", sorted by
@@ -513,6 +516,41 @@ func a11(seed int64) error {
 			fmt.Sprintf("%.0f", p.MeanSamples),
 			fmt.Sprintf("%.3g%%", p.MeanAchieved*100),
 			fmt.Sprintf("%.1f", p.MeanSnapshots),
+		})
+	}
+	fmt.Print(viz.Table(rows))
+	return nil
+}
+
+func a13(seed int64) error {
+	fmt.Println("Ablation A13: replication — the query's hottest shard loses a copy mid-stream;")
+	fmt.Println("r1-degraded (no second copy: shrunken population, lost-mass bounds) vs")
+	fmt.Println("r2-failover (stream reopens on the surviving replica: full population, healthy")
+	fmt.Println("CI width) vs the no-fault baseline (500k points, k=5000)")
+	pts, err := bench.A13(bench.A13Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"mode", "R", "eff pop", "healthy pop", "avg", "ci half-width", "lost-mass low", "lost-mass high", "wall ms", "crashes", "failovers", "degraded"}}
+	for _, p := range pts {
+		lostLow, lostHigh := "-", "-"
+		if p.LostLow != 0 || p.LostHigh != 0 {
+			lostLow = fmt.Sprintf("%.2f", p.LostLow)
+			lostHigh = fmt.Sprintf("%.2f", p.LostHigh)
+		}
+		rows = append(rows, []string{
+			p.Mode,
+			fmt.Sprintf("%d", p.Replicas),
+			fmt.Sprintf("%d", p.Population),
+			fmt.Sprintf("%d", p.HealthyPop),
+			fmt.Sprintf("%.2f", p.Value),
+			fmt.Sprintf("%.3f", p.HalfWidth),
+			lostLow,
+			lostHigh,
+			fmt.Sprintf("%.2f", p.WallMS),
+			fmt.Sprintf("%d", p.Crashes),
+			fmt.Sprintf("%d", p.Failovers),
+			fmt.Sprintf("%v", p.Degraded),
 		})
 	}
 	fmt.Print(viz.Table(rows))

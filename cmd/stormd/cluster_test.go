@@ -86,9 +86,14 @@ type shardInfo struct {
 	Remote     bool   `json:"remote"`
 	ShardsDown int    `json:"shards_down"`
 	Shards     []struct {
-		Shard int    `json:"shard"`
-		Addr  string `json:"addr"`
-		Down  bool   `json:"down"`
+		Shard    int    `json:"shard"`
+		Addr     string `json:"addr"`
+		Down     bool   `json:"down"`
+		Replicas []struct {
+			Replica int    `json:"replica"`
+			Addr    string `json:"addr"`
+			Down    bool   `json:"down"`
+		} `json:"replicas"`
 	} `json:"shards"`
 }
 
@@ -113,6 +118,7 @@ type snapshotLine struct {
 	Exact      bool    `json:"exact"`
 	Degraded   bool    `json:"degraded"`
 	Recovered  bool    `json:"recovered"`
+	FailedOver bool    `json:"failed_over"`
 	ShardsLost int     `json:"shards_lost"`
 	Population int     `json:"population"`
 	Samples    int     `json:"samples"`
@@ -281,5 +287,78 @@ func TestClusterSmoke(t *testing.T) {
 	// order differs, so the means agree to float tolerance.
 	if math.Abs(recovered.Value-healthy.Value) > 1e-6 {
 		t.Fatalf("recovered exact AVG = %v, want the healthy %v", recovered.Value, healthy.Value)
+	}
+
+	// Replication phase (DESIGN.md §4.8): a second coordinator over the
+	// same four hosts at -replicas 2. Shard builds are idempotent on the
+	// hosts, so the replicated cluster comes up against live processes.
+	// Killing one host mid-stream now loses one COPY of its shards, not
+	// the shards themselves: the open query must fail over to the
+	// surviving replicas and finish exact over the full population — no
+	// degradation, no lost mass.
+	procs := make([]*proc, hosts)
+	copy(procs, shardProcs)
+	procs[victimIdx] = restarted
+	coord2Addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	coord2 := spawn(t, bin, append([]string{
+		"-role=coordinator", "-shards", strings.Join(wireAddrs, ","),
+		"-replicas", "2", "-addr", coord2Addr, "-no-pprof",
+	}, genFlags...)...)
+	coord2.http = "http://" + coord2Addr
+	waitHealthz(t, coord2.http, 180*time.Second)
+
+	// Pick the host serving a copy of osm shard 0 (the primary's address)
+	// and kill it mid-stream.
+	var victim2 *proc
+	for _, info := range getShards(t, coord2.http) {
+		if info.Dataset != "osm" {
+			continue
+		}
+		for i, addr := range wireAddrs {
+			if addr == info.Shards[0].Addr {
+				victim2 = procs[i]
+			}
+		}
+	}
+	if victim2 == nil {
+		t.Fatal("no spawned host serves a copy of osm shard 0 at R=2")
+	}
+	failedOver := estimate(t, coord2.http, stmt, func() {
+		victim2.cmd.Process.Kill()
+		victim2.cmd.Wait()
+	})
+	if failedOver.Degraded || failedOver.ShardsLost != 0 {
+		t.Fatalf("R=2 host kill degraded the query instead of failing over: %+v", failedOver)
+	}
+	if !failedOver.FailedOver {
+		t.Fatalf("R=2 host kill not stamped failed_over: %+v", failedOver)
+	}
+	if !failedOver.Exact || failedOver.Population != healthy.Population {
+		t.Fatalf("failed-over query not exact over the full population: %+v (healthy population %d)",
+			failedOver, healthy.Population)
+	}
+	if math.Abs(failedOver.Value-healthy.Value) > 1e-6 {
+		t.Fatalf("failed-over exact AVG = %v, want the healthy %v", failedOver.Value, healthy.Value)
+	}
+
+	// With one host dead at R=2 every shard still has a live copy, so the
+	// coordinator's shard-level view stays healthy: /shards reports zero
+	// shards down even as the per-replica flags mark the dead copies.
+	downShards, downReplicas := 0, 0
+	for _, info := range getShards(t, coord2.http) {
+		downShards += info.ShardsDown
+		for _, sh := range info.Shards {
+			for _, rep := range sh.Replicas {
+				if rep.Down {
+					downReplicas++
+				}
+			}
+		}
+	}
+	if downShards != 0 {
+		t.Fatalf("/shards reports %d whole shards down at R=2 with one host dead", downShards)
+	}
+	if downReplicas == 0 {
+		t.Fatal("/shards reports no replicas down after R=2 host kill")
 	}
 }

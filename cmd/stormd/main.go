@@ -52,6 +52,21 @@
 // bounds on the full-population answer. -max-streams caps concurrent
 // NDJSON streams; excess requests are shed with 429 + Retry-After.
 //
+// Replication (see DESIGN.md §4.8): -replicas R keeps R copies of every
+// shard on distinct hosts (consistent-hash placement). Updates mirror to
+// every copy, and when the copy serving a query dies the coordinator
+// fails the stream over to a survivor — the query finishes over the full
+// population and stamps "failed_over": true instead of degrading:
+//
+//	stormd -shards localhost:9090,localhost:9091,localhost:9092 -replicas 2 -role=coordinator
+//	stormd -shards 8 -replicas 2 -fault-plan '2.0:crash-after=40'
+//
+// A fault-plan target like '2.0' scripts one replica (shard 2, copy 0);
+// a plain '2' applies to every copy of shard 2 independently, so a plain
+// crash at R=2 still degrades — both copies die. /shards reports
+// per-replica placement and liveness; failover counters land under
+// storm.distr.replicas.* on /metrics.
+//
 // Streaming ingest (see INGEST.md): POST /ingest/{name} accepts NDJSON
 // records into sharded in-memory buffers that drain to the indexes in
 // the background, and the LAST clause queries the stream's trailing
@@ -101,6 +116,7 @@ func main() {
 	noMetrics := flag.Bool("no-metrics", false, "disable metric collection and /metrics")
 	noPprof := flag.Bool("no-pprof", false, "do not mount /debug/pprof/")
 	shardsFlag := flag.String("shards", "", "shard cluster: an integer builds a simulated in-process cluster, a comma-separated host:port list samples through remote -role=shard processes (empty = single node)")
+	replicas := flag.Int("replicas", 1, "copies of each shard (requires -shards; R>=2 mirrors updates and fails queries over to surviving copies)")
 	faultSpec := flag.String("fault-plan", "", "shard fault plan, e.g. '1:crash-after=40,recover-after=6;*:latency-p=0.05,latency=2ms' (requires -shards)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault injection")
 	maxStreams := flag.Int("max-streams", 0, "max concurrent NDJSON query streams; excess shed with 429 (0 = unlimited)")
@@ -136,6 +152,10 @@ func main() {
 		log.Fatal("stormd: -role=coordinator needs -shards=host:port,… naming the shard processes")
 	}
 
+	if *replicas > 1 && simShards == 0 && len(shardAddrs) == 0 {
+		log.Fatal("stormd: -replicas requires -shards")
+	}
+
 	faults, err := distr.ParseFaultPlan(*faultSpec)
 	if err != nil {
 		log.Fatalf("stormd: %v", err)
@@ -149,7 +169,7 @@ func main() {
 
 	eng := engine.New(engine.Config{Seed: *seed, BufferPoolPages: *pool, NoMetrics: *noMetrics})
 	for _, ds := range genDatasets() {
-		opts := engine.IndexOptions{LSTree: true, Shards: simShards, ShardAddrs: shardAddrs, Faults: faults}
+		opts := engine.IndexOptions{LSTree: true, Shards: simShards, ShardAddrs: shardAddrs, Replicas: *replicas, Faults: faults}
 		if _, err := eng.Register(ds, opts); err != nil {
 			log.Fatalf("stormd: registering %s: %v", ds.Name(), err)
 		}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"storm/internal/data"
+	"storm/internal/distr"
+	"storm/internal/estimator"
+)
+
+// A13Config sizes the replication ablation: the query's hottest shard
+// loses a copy mid-stream, and the three modes compare an unreplicated
+// cluster degrading onto the survivors against an R=2 cluster failing the
+// stream over to the surviving replica, with the no-fault baseline.
+type A13Config struct {
+	N      int
+	K      int // samples per query
+	Shards int
+	// CrashAfter is how many fetches the doomed copy serves before dying
+	// (the "mid-query" part of the scenario).
+	CrashAfter int
+	Seed       int64
+}
+
+func (c A13Config) withDefaults() A13Config {
+	if c.N == 0 {
+		c.N = 500_000
+	}
+	if c.K == 0 {
+		c.K = 5000
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.CrashAfter == 0 {
+		c.CrashAfter = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// A13Point is one mode's measurement.
+type A13Point struct {
+	Mode     string
+	Replicas int
+	// Population is the estimator's final effective N; HealthyPop the
+	// pre-crash matching count. A failover run ends with the two equal —
+	// the population stays intact — where a degraded run shrinks it.
+	Population int
+	HealthyPop int
+	Value      float64
+	HalfWidth  float64
+	// LostLow/LostHigh are the lost-mass worst-case bounds on the
+	// full-population mean (degraded mode only; zero elsewhere).
+	LostLow  float64
+	LostHigh float64
+	WallMS   float64
+	Crashes  uint64
+	// Failovers echoes storm.distr.replicas.failovers for the run: streams
+	// reopened on a surviving copy instead of degrading.
+	Failovers uint64
+	Degraded  bool
+}
+
+// A13 measures what replication buys: an AVG query whose hottest shard
+// loses a copy mid-stream. "r1-degraded" has no second copy, so the
+// coordinator re-weights onto the survivors and reports the honest
+// shrunken-population CI plus worst-case lost-mass bounds; "r2-failover"
+// reopens the dead copy's remainder on the surviving replica and finishes
+// over the full population with the healthy CI width; "healthy" is the
+// no-fault baseline. The failover run must end non-degraded with the full
+// population or the ablation reports an error rather than a table.
+func A13(cfg A13Config) ([]A13Point, error) {
+	cfg = cfg.withDefaults()
+	ds := osmData(cfg.N, cfg.Seed)
+	q := queryFor(ds, 0.2).Rect()
+
+	// Crash the shard holding the most matching records (see A7): with
+	// Hilbert partitioning a selective query concentrates on few shards,
+	// so killing a spatially irrelevant copy would measure nothing.
+	probe, err := distr.Build(ds, distr.Config{Shards: cfg.Shards, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	target, best := 0, -1
+	for i, sh := range probe.Shards() {
+		if n := sh.Index().Count(q); n > best {
+			target, best = i, n
+		}
+	}
+
+	modes := []struct {
+		name     string
+		replicas int
+		plan     *distr.FaultPlan
+	}{
+		{"healthy", 1, nil},
+		// A plain shard target scripts every copy, so at R=1 this is the
+		// copy: the shard is gone and the query degrades.
+		{"r1-degraded", 1, &distr.FaultPlan{Seed: cfg.Seed, Shards: map[int]distr.ShardFaultPlan{
+			target: {Crash: true, CrashAfterFetches: cfg.CrashAfter},
+		}}},
+		// A '<shard>.<replica>' target scripts one copy: replica 0 dies
+		// mid-stream and the fetch path fails over to replica 1.
+		{"r2-failover", 2, &distr.FaultPlan{Seed: cfg.Seed, Replicas: map[distr.ReplicaTarget]distr.ShardFaultPlan{
+			{Shard: target, Replica: 0}: {Crash: true, CrashAfterFetches: cfg.CrashAfter},
+		}}},
+	}
+
+	col, err := ds.NumericColumn("altitude")
+	if err != nil {
+		return nil, err
+	}
+	var out []A13Point
+	for _, mode := range modes {
+		c, err := distr.Build(ds, distr.Config{
+			Shards:   cfg.Shards,
+			Seed:     cfg.Seed,
+			Replicas: mode.replicas,
+			Obs:      Obs,
+			Faults:   mode.plan,
+		})
+		if err != nil {
+			return nil, err
+		}
+		healthy := c.Count(q)
+		est, err := estimator.New(estimator.Avg, 0.95, healthy, true)
+		if err != nil {
+			return nil, err
+		}
+		// Drive the sampler by hand (EstimateAvg's loop) so the degraded
+		// mode's lost-mass bounds are readable off the sampler at the end.
+		start := time.Now()
+		s := c.Sampler(q)
+		buf := make([]data.Entry, 1024)
+		for drawn := 0; drawn < cfg.K; {
+			want := cfg.K - drawn
+			if want > len(buf) {
+				want = len(buf)
+			}
+			n := s.NextBatch(buf, want)
+			for _, e := range buf[:n] {
+				est.Add(col[e.ID])
+			}
+			_, lostPop := s.Degradation()
+			est.SetPopulation(healthy - lostPop)
+			drawn += n
+			if n < want {
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		snap := est.Snapshot()
+		p := A13Point{
+			Mode:       mode.name,
+			Replicas:   mode.replicas,
+			Population: snap.Population,
+			HealthyPop: healthy,
+			Value:      snap.Value,
+			HalfWidth:  snap.HalfWidth,
+			WallMS:     float64(elapsed.Microseconds()) / 1000,
+			Crashes:    c.FaultStats().Crashes,
+			Failovers:  c.ReplicaStats().Failovers,
+			Degraded:   s.Degraded(),
+		}
+		if s.Degraded() {
+			if lo, hi, lostN, ok := s.LostMassBounds("altitude"); ok {
+				if low, high, ok := estimator.LostMassBounds(snap, lo, hi, lostN); ok {
+					p.LostLow, p.LostHigh = low, high
+				}
+			}
+		}
+		switch mode.name {
+		case "r1-degraded":
+			if !s.Degraded() {
+				return nil, fmt.Errorf("bench A13: r1-degraded mode did not degrade (crashes=%d)", p.Crashes)
+			}
+		case "r2-failover":
+			if s.Degraded() || p.Failovers == 0 || p.Population != healthy {
+				return nil, fmt.Errorf("bench A13: r2-failover mode did not fail over cleanly (degraded=%v, failovers=%d, pop=%d/%d)",
+					s.Degraded(), p.Failovers, p.Population, healthy)
+			}
+		}
+		s.Close()
+		c.Close()
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -56,6 +56,16 @@ import (
 type Config struct {
 	// Shards is the number of shard servers (>= 1).
 	Shards int
+	// Replicas is how many copies of each shard the cluster keeps (0
+	// means 1, the unreplicated layout). Remote placement maps each shard
+	// to Replicas distinct hosts — the consistent-hash ring's successor
+	// rule, so a pool smaller than Replicas yields fewer copies — and
+	// Build clones each in-process shard Replicas times. Updates mirror
+	// to every copy, the coordinator's fetch path fails over to a
+	// surviving copy when the serving one dies (Sampler.failover), and a
+	// query only degrades when every copy of a shard is lost. See
+	// DESIGN.md §4.8.
+	Replicas int
 	// Fanout is each shard's RS-tree fanout; 0 means the default.
 	Fanout int
 	// BatchSize is how many samples a shard ships per network message;
@@ -93,6 +103,12 @@ type Config struct {
 func (cfg *Config) normalize() error {
 	if cfg.Shards < 1 {
 		return fmt.Errorf("distr: need at least one shard")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas < 1 {
+		return fmt.Errorf("distr: replica count %d invalid", cfg.Replicas)
 	}
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 32
@@ -161,15 +177,27 @@ type Cluster struct {
 	mu  sync.Mutex
 	cfg Config
 	ds  *data.Dataset
-	// clients is the coordinator's view of the shards, in shard order,
-	// with the fault decorator applied when a plan is installed; all
-	// query, update and metadata traffic goes through it.
+	// clients is the coordinator's primary (replica 0) view of the
+	// shards, in shard order, with the fault decorator applied when a
+	// plan is installed; query, update and metadata traffic starts there
+	// and fails over through repl.
 	clients []ShardClient
-	// raw is the same clients without fault decoration. The
+	// repl holds every copy of every shard, indexed [shard][replica],
+	// with repl[i][0] == clients[i]. Replicas are exact clones (same
+	// partition, same build seed), so any copy can serve any request;
+	// the sampler's fetch path moves a stream between copies on failure.
+	// Remote replica sets may be shorter than cfg.Replicas when the host
+	// pool is smaller — size per-shard loops by len(repl[i]).
+	repl [][]ShardClient
+	// raw is the primary clients without fault decoration. The
 	// scatter/gather partial path uses it: shard-local work there models
 	// computation on the shard itself, not coordinator round trips, so
 	// injected fetch faults must not perturb it (or its RNG draws).
 	raw []ShardClient
+	// mirrorMisses[i][r] counts update mirrors (inserts/deletes) that
+	// replica r of shard i failed to apply; a failover onto a replica
+	// with misses is counted as a stale read.
+	mirrorMisses [][]atomic.Uint64
 	// shards and backends hold the in-process shard servers; nil on a
 	// remote cluster, whose shards live in other processes.
 	shards   []*Shard
@@ -189,11 +217,52 @@ type Cluster struct {
 	streamSeq atomic.Uint64
 	rngSeq    int64
 	met       clusterMetrics
-	// faults holds the per-shard fault injectors (nil without a plan);
-	// ftot is the always-on fault accounting (see fault.go).
-	faults []*faultState
+	// faults holds the per-replica fault injectors, indexed
+	// [shard][replica] (nil without a plan); ftot is the always-on fault
+	// accounting (see fault.go) and rtot the replication accounting.
+	faults [][]*faultState
 	ftot   faultTotals
+	rtot   replTotals
 }
+
+// ReplicaStats is a snapshot of cluster-wide replication activity. All
+// fields are also published under storm.distr.replicas.* when the cluster
+// has an observability registry.
+type ReplicaStats struct {
+	// Failovers counts fetch-path failovers: a sampler abandoning a dead
+	// replica's stream and reopening it on a surviving copy (the query
+	// keeps its full population instead of degrading).
+	Failovers uint64
+	// StaleReads counts failovers that landed on a replica with missed
+	// update mirrors, whose stream may not reflect the newest writes.
+	StaleReads uint64
+	// Rebuilds counts remote shard rebuilds pushed to restarted hosts
+	// (an unknown-shard answer re-ships the Build request).
+	Rebuilds uint64
+}
+
+// replTotals is the cluster's always-on replication accounting (atomics,
+// exact with or without an obs registry, which re-exports them as
+// scrape-time Funcs).
+type replTotals struct {
+	failovers  atomic.Uint64
+	staleReads atomic.Uint64
+	rebuilds   atomic.Uint64
+}
+
+// ReplicaStats returns a snapshot of replication activity; all-zero on an
+// unreplicated cluster.
+func (c *Cluster) ReplicaStats() ReplicaStats {
+	return ReplicaStats{
+		Failovers:  c.rtot.failovers.Load(),
+		StaleReads: c.rtot.staleReads.Load(),
+		Rebuilds:   c.rtot.rebuilds.Load(),
+	}
+}
+
+// Replicas returns the configured replication factor (remote shards may
+// hold fewer copies when the host pool is smaller; see ShardStatus).
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
 
 // clusterMetrics holds the cluster's resolved metric handles; all-nil
 // (every write a no-op) when Config.Obs is nil.
@@ -291,6 +360,18 @@ func (c *Cluster) initMetrics() {
 		}
 		return n
 	})
+	rsum := func(read func(*replTotals) uint64) func() any {
+		return func() any {
+			var n uint64
+			for _, c := range clusters() {
+				n += read(&c.rtot)
+			}
+			return n
+		}
+	}
+	reg.PublishFunc("storm.distr.replicas.failovers", rsum(func(t *replTotals) uint64 { return t.failovers.Load() }))
+	reg.PublishFunc("storm.distr.replicas.stale_reads", rsum(func(t *replTotals) uint64 { return t.staleReads.Load() }))
+	reg.PublishFunc("storm.distr.replicas.rebuilds", rsum(func(t *replTotals) uint64 { return t.rebuilds.Load() }))
 }
 
 // observeMS records elapsed wall time since start into h (no-op on a nil
@@ -316,24 +397,47 @@ func Build(ds *data.Dataset, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, ds: ds}
-	c.faults = newFaultStates(cfg.Faults, cfg.Shards)
+	c.faults = newFaultStates(cfg.Faults, cfg.Shards, cfg.Replicas)
 	for s, part := range parts {
-		sh, err := buildShard(ds, part, s, bounds, cfg)
-		if err != nil {
-			return nil, err
+		// Each replica is an exact clone: same partition, same build seed,
+		// so the copies hold identical trees and any of them can serve any
+		// stream. Shards() and the scatter/gather raw path see only the
+		// primaries; updates mirror to every copy (Insert/Delete).
+		reps := make([]ShardClient, 0, cfg.Replicas)
+		for r := 0; r < cfg.Replicas; r++ {
+			sh, err := buildShard(ds, part, s, bounds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			b := newShardBackend(sh, ds)
+			var cl ShardClient = &loopbackClient{b: b}
+			if r == 0 {
+				c.shards = append(c.shards, sh)
+				c.backends = append(c.backends, b)
+				c.raw = append(c.raw, cl)
+			}
+			if c.faults != nil {
+				cl = &faultClient{ShardClient: cl, c: c, f: c.faults[s][r]}
+			}
+			reps = append(reps, cl)
 		}
-		b := newShardBackend(sh, ds)
-		c.shards = append(c.shards, sh)
-		c.backends = append(c.backends, b)
-		var cl ShardClient = &loopbackClient{b: b}
-		c.raw = append(c.raw, cl)
-		if c.faults != nil {
-			cl = &faultClient{ShardClient: cl, c: c, f: c.faults[s]}
-		}
-		c.clients = append(c.clients, cl)
+		c.repl = append(c.repl, reps)
+		c.clients = append(c.clients, reps[0])
 	}
+	c.mirrorMisses = newMirrorMisses(c.repl)
 	c.initMetrics()
 	return c, nil
+}
+
+// newMirrorMisses sizes the per-replica missed-mirror counters to the
+// cluster's actual replica sets (remote sets may be shorter than the
+// configured factor).
+func newMirrorMisses(repl [][]ShardClient) [][]atomic.Uint64 {
+	mm := make([][]atomic.Uint64, len(repl))
+	for i := range repl {
+		mm[i] = make([]atomic.Uint64, len(repl[i]))
+	}
+	return mm
 }
 
 // Shards returns the in-process shard servers (nil on a remote cluster).
@@ -417,12 +521,15 @@ func (c *Cluster) nextSeed() int64 {
 }
 
 // Close releases the cluster's transports (a no-op for in-process
-// clusters, whose loopback clients hold no resources).
+// clusters, whose loopback clients hold no resources). Every replica's
+// client is closed, not just the primaries.
 func (c *Cluster) Close() error {
 	var first error
-	for _, cl := range c.clients {
-		if err := cl.Close(); err != nil && first == nil {
-			first = err
+	for _, reps := range c.repl {
+		for _, cl := range reps {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
 	for _, t := range c.transports {
@@ -435,16 +542,18 @@ func (c *Cluster) Close() error {
 
 // Insert routes a new record to the shard whose tree bounds grow least —
 // with contiguous Hilbert partitions, the shard owning its neighborhood —
-// and mirrors it into that shard's RS-tree (one request/response
-// message). The record must already exist in the shared dataset (its ID
-// addresses the attribute columns).
+// and mirrors it into every replica of that shard's RS-tree (one
+// request/response message per copy). A replica that fails to apply the
+// mirror is charged a missed mirror, so a later failover onto it counts
+// as a stale read. The record must already exist in the shared dataset
+// (its ID addresses the attribute columns).
 func (c *Cluster) Insert(e data.Entry) {
 	best, bestGrow := -1, math.Inf(1)
-	for i, cl := range c.clients {
+	for i := range c.clients {
 		if c.shardDown(i) {
 			continue
 		}
-		b, err := cl.Bounds()
+		b, err := c.shardBounds(i)
 		if err != nil {
 			continue
 		}
@@ -456,22 +565,59 @@ func (c *Cluster) Insert(e data.Entry) {
 	if best < 0 {
 		return // every shard down: nowhere to route the record
 	}
-	if err := c.clients[best].Insert(e); err != nil {
-		return
-	}
-	c.charge(2, 0)
-}
-
-// Delete removes a record from whichever shard holds it; returns false if
-// no shard does. Worst case it asks every shard (2 messages each).
-func (c *Cluster) Delete(e data.Entry) bool {
-	for i, cl := range c.clients {
-		if c.shardDown(i) {
+	for r, cl := range c.repl[best] {
+		if err := cl.Insert(e); err != nil {
+			c.mirrorMisses[best][r].Add(1)
 			continue
 		}
 		c.charge(2, 0)
-		found, err := cl.Delete(e)
-		if err == nil && found {
+	}
+}
+
+// shardBounds returns the shard's tree bounds from the first replica that
+// answers (replicas hold identical trees, so any copy's answer is the
+// shard's).
+func (c *Cluster) shardBounds(i int) (geo.Rect, error) {
+	var firstErr error
+	for _, cl := range c.repl[i] {
+		b, err := cl.Bounds()
+		if err == nil {
+			return b, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return geo.Rect{}, firstErr
+}
+
+// Delete removes a record from whichever shard holds it — mirrored to
+// every replica of that shard — and returns false if no shard does.
+// Worst case it asks every copy of every shard (2 messages each). A
+// replica that errored while another copy of the same shard held the
+// record is charged a missed mirror.
+func (c *Cluster) Delete(e data.Entry) bool {
+	for i := range c.clients {
+		if c.shardDown(i) {
+			continue
+		}
+		found := false
+		var missed []int
+		for r, cl := range c.repl[i] {
+			c.charge(2, 0)
+			ok, err := cl.Delete(e)
+			if err != nil {
+				missed = append(missed, r)
+				continue
+			}
+			if ok {
+				found = true
+			}
+		}
+		if found {
+			for _, r := range missed {
+				c.mirrorMisses[i][r].Add(1)
+			}
 			return true
 		}
 	}
@@ -512,8 +658,14 @@ func (c *Cluster) CountWindow(q geo.Rect, where []pred.Term, win wire.Window) in
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if n, err := c.clients[i].Count(q, where, win); err == nil {
-				counts[i] = n
+			// Replicas hold identical trees: the first copy that answers
+			// speaks for the shard (the primary answers first in the
+			// healthy case, keeping the unreplicated path unchanged).
+			for _, cl := range c.repl[i] {
+				if n, err := cl.Count(q, where, win); err == nil {
+					counts[i] = n
+					return
+				}
 			}
 		}(i)
 	}
@@ -549,15 +701,23 @@ type Sampler struct {
 	// heads[i] is the read cursor into buffers[i]; entries before it have
 	// been emitted.
 	heads []int
-	// emitted, on remote clusters only, records each shard's emitted
-	// record IDs so a restarted shard's stream can be reopened with an
-	// exclude list (the fresh stream must not redeliver them). Loopback
-	// streams survive in the backend and never need reopening, so the
-	// in-process path skips the bookkeeping.
+	// emitted, on remote or replicated clusters, records each shard's
+	// emitted record IDs so a restarted shard's stream can be reopened —
+	// or failed over to another replica — with an exclude list (the fresh
+	// stream must not redeliver them). Unreplicated loopback streams
+	// survive in the backend and never need reopening, so that path skips
+	// the bookkeeping.
 	emitted [][]data.ID
-	total   int
-	init    bool
-	closed  bool
+	// repl[i] is the replica currently serving shard i's stream; the
+	// fetch path's failover moves it to a surviving copy (see failover).
+	repl   []int
+	total  int
+	init   bool
+	closed bool
+	// failovers / staleReads count this query's fetch-path failovers and
+	// how many of them landed on a replica with missed update mirrors.
+	failovers  int
+	staleReads int
 	// degradation state: shards this query lost mid-stream (crashes or
 	// retry exhaustion) and the matching population that went with them.
 	// lost stashes each lost shard's unemitted count so a crashed shard
@@ -645,7 +805,8 @@ func (s *Sampler) initialize() {
 	s.remaining = make([]int, n)
 	s.buffers = make([][]data.Entry, n)
 	s.heads = make([]int, n)
-	if cl.remote {
+	s.repl = make([]int, n)
+	if cl.remote || cl.cfg.Replicas > 1 {
 		s.emitted = make([][]data.ID, n)
 	}
 	seeds := make([]int64, n)
@@ -666,14 +827,20 @@ func (s *Sampler) initialize() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, err := cl.clients[i].Open(s.streams[i], s.query, seeds[i], nil, s.where, s.win)
-			if err != nil {
-				// Unreachable at init: same as a pre-crashed shard — the
-				// query scopes itself to the shards that answered.
+			// Open on the first replica that answers (the primary, when
+			// healthy — identical to the unreplicated path). A replica that
+			// refuses the open is skipped like a pre-crashed shard; only a
+			// shard none of whose copies answered is absent from the query.
+			for r, rc := range cl.repl[i] {
+				got, err := rc.Open(s.streams[i], s.query, seeds[i], nil, s.where, s.win)
+				if err != nil {
+					continue
+				}
+				s.repl[i] = r
+				s.remaining[i] = got
+				s.open[i] = got > 0
 				return
 			}
-			s.remaining[i] = got
-			s.open[i] = got > 0
 		}(i)
 	}
 	wg.Wait()
@@ -894,21 +1061,40 @@ func (s *Sampler) fetchInto(shard, n int) {
 	s.cluster.chargeFetch(uint64(got))
 }
 
-// clientFetch performs one fetch against the shard's client, retrying
-// transient failures and timeouts with exponential backoff up to
-// cfg.MaxRetries. It returns lost = true when the shard is unavailable to
-// this query; crashLost distinguishes a down shard (cluster-wide — a
-// recoverable one may later be re-admitted via maybeReadmit) from retry
-// exhaustion (the server stayed up; the loss is query-local and final). A
-// recoverable down shard is retried like a transient fault — each probe
-// advances an injected crash's recovery clock, so a shard that comes back
-// within the retry budget serves the fetch and the stream is untouched.
-// On a healthy client the first attempt succeeds and the path is
+// clientFetch performs one fetch against the replica serving the shard's
+// stream, retrying transient failures and timeouts with exponential
+// backoff up to cfg.MaxRetries. It returns lost = true when the shard is
+// unavailable to this query; crashLost distinguishes a down shard
+// (cluster-wide — a recoverable one may later be re-admitted via
+// maybeReadmit) from retry exhaustion (the server stayed up; the loss is
+// query-local and final). A recoverable down replica is retried like a
+// transient fault — each probe advances an injected crash's recovery
+// clock, so a replica that comes back within the retry budget serves the
+// fetch and the stream is untouched.
+//
+// With replication, every point that would write the shard off first
+// tries to fail the stream over to a surviving replica (see failover);
+// the shard is lost — and the query degrades — only when no copy can
+// serve it. The failover budget of one move per surviving replica per
+// fetch bounds ping-ponging when a fault plan is hitting every copy at
+// once. On a healthy client the first attempt succeeds and the path is
 // byte-identical to a direct backend fetch.
 func (s *Sampler) clientFetch(shard int, dst []data.Entry, n int) (got int, lost, crashLost bool) {
 	cl := s.cluster
 	backoff := cl.cfg.RetryBackoff
 	reopened := false
+	failoversLeft := len(cl.repl[shard]) - 1
+	// tryFailover moves the stream to a surviving replica and restarts
+	// the attempt/backoff cycle against it; done (with zero remaining)
+	// means the reopened stream has nothing left to deliver — the shard
+	// is exhausted, not lost.
+	tryFailover := func() (moved, done bool) {
+		if failoversLeft <= 0 || !s.failover(shard) {
+			return false, false
+		}
+		failoversLeft--
+		return true, s.remaining[shard] == 0
+	}
 	for attempt := 0; ; attempt++ {
 		if s.expired() {
 			// Deadline passed before this attempt: give the query back to
@@ -928,8 +1114,16 @@ func (s *Sampler) clientFetch(shard int, dst []data.Entry, n int) (got int, lost
 		case errors.As(err, &down):
 			if !down.Recoverable || attempt >= cl.cfg.MaxRetries {
 				// Permanently down, or down past this fetch's retry
-				// budget: the query writes the shard off. A recoverable
-				// shard may still rejoin a later coordinator contact.
+				// budget: fail over to a surviving replica, or — with no
+				// copy left — write the shard off. A recoverable shard
+				// may still rejoin a later coordinator contact.
+				if moved, done := tryFailover(); moved {
+					if done {
+						return 0, false, false
+					}
+					attempt, reopened = -1, false
+					continue
+				}
 				return 0, true, true
 			}
 			cl.charge(1, 0) // probe sent, shard down
@@ -937,10 +1131,18 @@ func (s *Sampler) clientFetch(shard int, dst []data.Entry, n int) (got int, lost
 			// The shard answered but no longer has the stream — the
 			// signature of a shard process restart. Reopen it once,
 			// excluding everything already emitted; if the reopen fails
-			// (or a reopened stream is unknown again) the shard is
-			// written off like a crash so re-admission can retry later.
+			// (or a reopened stream is unknown again) the stream fails
+			// over, or without replicas the shard is written off like a
+			// crash so re-admission can retry later.
 			if !reopened && s.reopen(shard) {
 				reopened = true
+				continue
+			}
+			if moved, done := tryFailover(); moved {
+				if done {
+					return 0, false, false
+				}
+				attempt, reopened = -1, false
 				continue
 			}
 			return 0, true, true
@@ -950,6 +1152,13 @@ func (s *Sampler) clientFetch(shard int, dst []data.Entry, n int) (got int, lost
 			cl.charge(1, 0) // request sent, no usable response
 		}
 		if attempt >= cl.cfg.MaxRetries {
+			if moved, done := tryFailover(); moved {
+				if done {
+					return 0, false, false
+				}
+				attempt, reopened = -1, false
+				continue
+			}
 			cl.ftot.exhausted.Add(1)
 			return 0, true, false
 		}
@@ -967,19 +1176,25 @@ func (s *Sampler) clientFetch(shard int, dst []data.Entry, n int) (got int, lost
 	}
 }
 
+// client returns the ShardClient currently serving shard's stream: the
+// replica the query opened on, or the one it last failed over to.
+func (s *Sampler) client(shard int) ShardClient {
+	return s.cluster.repl[shard][s.repl[shard]]
+}
+
 // fetchOnce performs a single fetch attempt, routing through the client's
 // deadline-aware path when the sampler has a deadline and the client
 // supports one (the TCP transport then caps the request timeout at the
 // time remaining, so a stuck shard cannot hold the query past its
 // budget).
 func (s *Sampler) fetchOnce(shard int, dst []data.Entry, n int) (int, error) {
-	cl := s.cluster
+	cl := s.client(shard)
 	if !s.deadline.IsZero() {
-		if df, ok := cl.clients[shard].(deadlineFetcher); ok {
+		if df, ok := cl.(deadlineFetcher); ok {
 			return df.FetchBefore(s.streams[shard], dst, n, s.deadline)
 		}
 	}
-	return cl.clients[shard].Fetch(s.streams[shard], dst, n)
+	return cl.Fetch(s.streams[shard], dst, n)
 }
 
 // reopen replaces shard's sample stream after a shard process restart:
@@ -995,7 +1210,7 @@ func (s *Sampler) reopen(shard int) bool {
 	if s.emitted != nil {
 		exclude = s.emitted[shard]
 	}
-	got, err := cl.clients[shard].Open(stream, s.query, cl.nextSeed(), exclude, s.where, s.win)
+	got, err := s.client(shard).Open(stream, s.query, cl.nextSeed(), exclude, s.where, s.win)
 	if err != nil {
 		return false
 	}
@@ -1006,6 +1221,58 @@ func (s *Sampler) reopen(shard int) bool {
 	s.streams[shard] = stream
 	s.open[shard] = got > 0
 	return got > 0
+}
+
+// failover moves shard's stream to a surviving replica after the serving
+// copy died: a fresh stream opens on the next live copy with this query's
+// emitted IDs excluded, so the merged emissions stay exactly uniform
+// without replacement — filtering a uniform WOR stream by a fixed exclude
+// set leaves the complement uniform, the same argument reopen and rejoin
+// rest on. The dead copy's fetched-but-unemitted buffer came from the
+// abandoned stream and is dropped; the shard's unemitted matching count
+// re-enters the draw distribution at the reopened stream's count, so
+// nothing is written off, the population does not shrink, and the query
+// does not degrade. Returns false when no surviving replica could serve
+// the stream (the caller then degrades exactly as an unreplicated
+// cluster would); a successful move onto an already-exhausted stream
+// (got == 0) still returns true — the shard is drained, not lost.
+func (s *Sampler) failover(shard int) bool {
+	cl := s.cluster
+	reps := cl.repl[shard]
+	if len(reps) < 2 {
+		return false
+	}
+	cur := s.repl[shard]
+	for step := 1; step < len(reps); step++ {
+		r := (cur + step) % len(reps)
+		if cl.replicaDown(shard, r) {
+			continue
+		}
+		stream := cl.streamSeq.Add(1)
+		var exclude []data.ID
+		if s.emitted != nil {
+			exclude = s.emitted[shard]
+		}
+		got, err := reps[r].Open(stream, s.query, cl.nextSeed(), exclude, s.where, s.win)
+		if err != nil {
+			continue
+		}
+		s.buffers[shard] = s.buffers[shard][:0]
+		s.heads[shard] = 0
+		s.total += got - s.remaining[shard]
+		s.remaining[shard] = got
+		s.streams[shard] = stream
+		s.open[shard] = got > 0
+		s.repl[shard] = r
+		s.failovers++
+		cl.rtot.failovers.Add(1)
+		if cl.mirrorMisses[shard][r].Load() > 0 {
+			s.staleReads++
+			cl.rtot.staleReads.Add(1)
+		}
+		return true
+	}
+	return false
 }
 
 // lostShard stashes a lost shard's unemitted matching count so a crashed
@@ -1085,7 +1352,7 @@ func (s *Sampler) Close() error {
 	s.closed = true
 	for i, open := range s.open {
 		if open {
-			_ = s.cluster.clients[i].CloseStream(s.streams[i])
+			_ = s.client(i).CloseStream(s.streams[i])
 		}
 	}
 	return nil
@@ -1094,6 +1361,15 @@ func (s *Sampler) Close() error {
 // Readmits reports how many lost shards this query has re-admitted after
 // their recovery (see maybeReadmit).
 func (s *Sampler) Readmits() int { return s.readmits }
+
+// Failovers reports how many times this query's fetch path moved a
+// shard's stream to a surviving replica (see failover). The engine stamps
+// snapshots FailedOver when this is nonzero.
+func (s *Sampler) Failovers() int { return s.failovers }
+
+// StaleReads reports how many of this query's failovers landed on a
+// replica that had missed update mirrors.
+func (s *Sampler) StaleReads() int { return s.staleReads }
 
 // Degradation reports the query's degraded state: how many shards it lost
 // mid-stream and the matching population lost with them. Both are zero for

@@ -35,9 +35,16 @@ func Query() geo.Rect {
 }
 
 // FastConfig returns a cluster config with retry backoff sleeps disabled
-// so fault-injection tests stay fast.
-func FastConfig(shards int, seed int64, plan *distr.FaultPlan) distr.Config {
-	return distr.Config{Shards: shards, Seed: seed, Faults: plan, RetryBackoff: -1}
+// so fault-injection tests stay fast. An optional replica count sets
+// Config.Replicas (default 1, the historical single-copy layout), letting
+// the same suites run against replicated clusters without changing any
+// existing call site.
+func FastConfig(shards int, seed int64, plan *distr.FaultPlan, replicas ...int) distr.Config {
+	cfg := distr.Config{Shards: shards, Seed: seed, Faults: plan, RetryBackoff: -1}
+	if len(replicas) > 0 {
+		cfg.Replicas = replicas[0]
+	}
+	return cfg
 }
 
 // Build constructs a cluster from ds under cfg, failing the test on error.
@@ -53,7 +60,10 @@ func Build(t testing.TB, ds *data.Dataset, cfg distr.Config) *distr.Cluster {
 // BuildTCP constructs a remote cluster against shard hosts serving the
 // same dataset over real TCP sockets: one wire.Server per addr, each
 // backed by a Host that regenerated the fixture. The servers are torn
-// down with the test.
+// down with the test. cfg.Replicas flows through to placement: with R
+// replicas each shard lands on R distinct hosts (pass at least R hosts,
+// or the replica sets come up short and the suite quietly runs at a
+// lower factor).
 func BuildTCP(t testing.TB, ds *data.Dataset, cfg distr.Config, hosts int) *distr.Cluster {
 	t.Helper()
 	addrs := make([]string, hosts)
@@ -119,7 +129,9 @@ func SameEntries(t testing.TB, want, got []data.Entry, label string) {
 
 // SurvivingTruth computes the mean of the "value" column over records
 // matching q on every shard except the given dead ones — the population a
-// degraded stream covers.
+// degraded stream covers. Shards() returns only the primaries, each of
+// which holds its full partition exactly once, so the truth is the same
+// at every replication factor.
 func SurvivingTruth(c *distr.Cluster, ds *data.Dataset, q geo.Rect, dead map[int]bool) (mean float64, count int) {
 	col, _ := ds.NumericColumn("value")
 	var sum float64

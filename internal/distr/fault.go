@@ -139,13 +139,34 @@ func (p ShardFaultPlan) enabled() bool {
 // ShardFaultPlan per shard ID, plus a seed driving the probabilistic
 // injections. A nil *FaultPlan (Config.Faults' default) disables injection
 // entirely and leaves the fetch path byte-identical to a healthy cluster.
+//
+// With replication (Config.Replicas > 1) a plain shard script applies to
+// every replica of that shard independently — each replica gets its own
+// injector running the same script, so "crash shard 2" still crashes the
+// whole shard and the pre-replication degradation suites behave
+// identically at any R. Scripting a single replica (the failover
+// scenarios) uses the Replicas map or the '<shard>.<replica>' spec target.
 type FaultPlan struct {
 	// Seed drives the probabilistic fault draws; per-shard RNGs are
 	// derived from it so concurrent shards stay deterministic.
 	Seed int64
-	// Shards maps shard ID to that shard's script. IDs outside the
-	// cluster are ignored. ShardAll applies to every shard.
+	// Shards maps shard ID to that shard's script, applied to all of the
+	// shard's replicas. IDs outside the cluster are ignored. ShardAll
+	// applies to every shard.
 	Shards map[int]ShardFaultPlan
+	// Replicas scripts exactly one replica of a shard (Shard may be
+	// ShardAll to hit replica Replica of every shard). A replica entry is
+	// more specific than a plain shard entry and wins where both match;
+	// see PlanForReplica for the full precedence.
+	Replicas map[ReplicaTarget]ShardFaultPlan
+}
+
+// ReplicaTarget names one replica of one shard in FaultPlan.Replicas.
+// Shard may be ShardAll; Replica is a non-negative replica index
+// (replica 0 is the placement-primary copy).
+type ReplicaTarget struct {
+	Shard   int
+	Replica int
 }
 
 // ShardAll is the FaultPlan.Shards key (and fault-plan spec target "*")
@@ -156,15 +177,41 @@ const ShardAll = -1
 // shard plan leaves Latency zero.
 const DefaultFaultLatency = time.Millisecond
 
-// PlanFor resolves the effective script for one shard: an explicit
-// per-shard entry wins over a ShardAll wildcard. It is the single place
-// wildcard precedence is decided, shared by the runtime injectors and by
-// tests that assert on parsed plans.
+// PlanFor resolves the effective plain script for one shard: an explicit
+// per-shard entry wins over a ShardAll wildcard. Replica-scoped scripts
+// are not consulted — they resolve through PlanForReplica, which layers
+// them over this plain resolution.
 func (p *FaultPlan) PlanFor(shard int) ShardFaultPlan {
 	if p == nil {
 		return ShardFaultPlan{}
 	}
 	if sp, ok := p.Shards[shard]; ok {
+		return sp
+	}
+	return p.Shards[ShardAll]
+}
+
+// PlanForReplica resolves the effective script for one replica of one
+// shard. Precedence is most-specific-first:
+//
+//	Replicas[{shard, r}]  >  Shards[shard]  >  Replicas[{ShardAll, r}]  >  Shards[ShardAll]
+//
+// so '2.1:crash-after=3' overrides a plain '2:' script for shard 2's
+// replica 1 only, a plain '2:' script overrides a '*.1' wildcard for
+// shard 2, and a plain '*' script is the fallback for everything. This is
+// the single place replica precedence is decided, shared by the runtime
+// injectors (newFaultStates) and tests asserting on parsed plans.
+func (p *FaultPlan) PlanForReplica(shard, r int) ShardFaultPlan {
+	if p == nil {
+		return ShardFaultPlan{}
+	}
+	if sp, ok := p.Replicas[ReplicaTarget{Shard: shard, Replica: r}]; ok {
+		return sp
+	}
+	if sp, ok := p.Shards[shard]; ok {
+		return sp
+	}
+	if sp, ok := p.Replicas[ReplicaTarget{Shard: ShardAll, Replica: r}]; ok {
 		return sp
 	}
 	return p.Shards[ShardAll]
@@ -176,6 +223,7 @@ func (p *FaultPlan) PlanFor(shard int) ShardFaultPlan {
 //	plan    := segment (';' segment)*
 //	segment := target ':' fault (',' fault)*
 //	target  := <shard id> | <lo>-<hi> | '*'
+//	         | <shard id> '.' <replica> | '*' '.' <replica>
 //	fault   := crash-after=<n> | recover-after=<n>
 //	         | transient-every=<n> | timeout-every=<n>
 //	         | latency-every=<n> | latency=<duration>
@@ -186,6 +234,14 @@ func (p *FaultPlan) PlanFor(shard int) ShardFaultPlan {
 // after the coordinator has observed it down 20 times, and gives every
 // shard a 5% chance of a 2ms latency spike per fetch. Set FaultPlan.Seed
 // on the result to pin the probabilistic draws.
+//
+// A dotted target scripts one replica of a replicated shard (replica 0 is
+// the placement primary): "2.0:crash-after=5" crashes only the primary
+// copy of shard 2, which at Replicas >= 2 makes the coordinator fail over
+// to a surviving replica instead of degrading. A plain target applies to
+// all replicas of the shard; '2.0' and '2' stay distinct scripts (see
+// PlanForReplica for precedence). Replica targets do not combine with
+// <lo>-<hi> ranges.
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -201,7 +257,7 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 		if !ok {
 			return nil, fmt.Errorf("distr: fault plan segment %q missing ':'", seg)
 		}
-		ids, err := parseFaultTarget(strings.TrimSpace(target))
+		ids, replica, err := parseFaultTarget(strings.TrimSpace(target))
 		if err != nil {
 			return nil, err
 		}
@@ -212,6 +268,16 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 			}
 		}
 		for _, id := range ids {
+			if replica >= 0 {
+				if plan.Replicas == nil {
+					plan.Replicas = make(map[ReplicaTarget]ShardFaultPlan)
+				}
+				rt := ReplicaTarget{Shard: id, Replica: replica}
+				merged := plan.Replicas[rt]
+				mergeShardFaults(&merged, sp)
+				plan.Replicas[rt] = merged
+				continue
+			}
 			merged := plan.Shards[id]
 			mergeShardFaults(&merged, sp)
 			plan.Shards[id] = merged
@@ -221,37 +287,55 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 }
 
 // String renders the plan back into the -fault-plan syntax in a canonical
-// form: segments sorted by shard ID with the '*' wildcard first, fault
-// specs in a fixed key order, and zero-valued scripts dropped. The output
-// reparses to an equivalent plan, and String∘ParseFaultPlan is a
-// fixpoint (Parse(p.String()).String() == p.String()), which the fuzz
-// target relies on. The Seed is not part of the grammar (stormd carries
-// it in -fault-seed) and is not rendered.
+// form: segments sorted by shard ID with the '*' wildcard first, each
+// shard's plain all-replica segment before its replica-scoped segments
+// (replicas ascending), fault specs in a fixed key order, and zero-valued
+// scripts dropped. The output reparses to an equivalent plan, and
+// String∘ParseFaultPlan is a fixpoint
+// (Parse(p.String()).String() == p.String()), which the fuzz target
+// relies on. The Seed is not part of the grammar (stormd carries it in
+// -fault-seed) and is not rendered.
 func (p *FaultPlan) String() string {
-	if p == nil || len(p.Shards) == 0 {
+	if p == nil || (len(p.Shards) == 0 && len(p.Replicas) == 0) {
 		return ""
 	}
-	ids := make([]int, 0, len(p.Shards))
+	idSet := make(map[int]struct{}, len(p.Shards)+len(p.Replicas))
 	for id := range p.Shards {
+		idSet[id] = struct{}{}
+	}
+	replicasOf := make(map[int][]int)
+	for rt := range p.Replicas {
+		idSet[rt.Shard] = struct{}{}
+		replicasOf[rt.Shard] = append(replicasOf[rt.Shard], rt.Replica)
+	}
+	ids := make([]int, 0, len(idSet))
+	for id := range idSet {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	var b strings.Builder
-	for _, id := range ids {
-		specs := p.Shards[id].specs()
+	segment := func(target string, specs []string) {
 		if len(specs) == 0 {
-			continue
+			return
 		}
 		if b.Len() > 0 {
 			b.WriteByte(';')
 		}
-		if id == ShardAll {
-			b.WriteByte('*')
-		} else {
-			b.WriteString(strconv.Itoa(id))
-		}
+		b.WriteString(target)
 		b.WriteByte(':')
 		b.WriteString(strings.Join(specs, ","))
+	}
+	for _, id := range ids {
+		target := strconv.Itoa(id)
+		if id == ShardAll {
+			target = "*"
+		}
+		segment(target, p.Shards[id].specs())
+		reps := replicasOf[id]
+		sort.Ints(reps)
+		for _, r := range reps {
+			segment(target+"."+strconv.Itoa(r), p.Replicas[ReplicaTarget{Shard: id, Replica: r}].specs())
+		}
 	}
 	return b.String()
 }
@@ -290,28 +374,45 @@ func (p ShardFaultPlan) specs() []string {
 	return out
 }
 
-// parseFaultTarget resolves a segment target to shard IDs ('*' → ShardAll).
-func parseFaultTarget(target string) ([]int, error) {
+// parseFaultTarget resolves a segment target to shard IDs ('*' → ShardAll)
+// plus the replica index of a dotted '<shard>.<replica>' target (-1 for a
+// plain all-replica target). Ranges cannot be replica-scoped.
+func parseFaultTarget(target string) (ids []int, replica int, err error) {
+	replica = -1
+	if shard, rep, dotted := strings.Cut(target, "."); dotted {
+		r, errR := strconv.Atoi(rep)
+		if errR != nil || r < 0 || strings.ContainsAny(rep, "+- ") {
+			return nil, 0, fmt.Errorf("distr: fault plan target %q: want <shard>.<replica> with a non-negative replica", target)
+		}
+		if strings.Contains(shard, "-") {
+			return nil, 0, fmt.Errorf("distr: fault plan target %q: ranges cannot take a replica suffix", target)
+		}
+		ids, _, err = parseFaultTarget(shard)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ids, r, nil
+	}
 	if target == "*" {
-		return []int{ShardAll}, nil
+		return []int{ShardAll}, replica, nil
 	}
 	if lo, hi, ok := strings.Cut(target, "-"); ok {
 		a, errA := strconv.Atoi(lo)
 		b, errB := strconv.Atoi(hi)
 		if errA != nil || errB != nil || a < 0 || b < a {
-			return nil, fmt.Errorf("distr: fault plan target %q: want <lo>-<hi>", target)
+			return nil, 0, fmt.Errorf("distr: fault plan target %q: want <lo>-<hi>", target)
 		}
-		ids := make([]int, 0, b-a+1)
+		ids = make([]int, 0, b-a+1)
 		for i := a; i <= b; i++ {
 			ids = append(ids, i)
 		}
-		return ids, nil
+		return ids, replica, nil
 	}
-	id, err := strconv.Atoi(target)
-	if err != nil || id < 0 {
-		return nil, fmt.Errorf("distr: fault plan target %q: want shard id, <lo>-<hi>, or '*'", target)
+	id, errID := strconv.Atoi(target)
+	if errID != nil || id < 0 {
+		return nil, 0, fmt.Errorf("distr: fault plan target %q: want shard id, <lo>-<hi>, '*', or <shard>.<replica>", target)
 	}
-	return []int{id}, nil
+	return []int{id}, replica, nil
 }
 
 // parseFaultSpec applies one key=value fault spec to sp.
@@ -409,19 +510,31 @@ type faultState struct {
 	downObs  uint64 // coordinator observations since the crash (recovery clock)
 }
 
-// newFaultStates materializes per-shard injectors for a plan; nil when the
-// plan injects nothing (the healthy-cluster fast path).
-func newFaultStates(plan *FaultPlan, shards int) []*faultState {
+// newFaultStates materializes per-replica injectors for a plan, indexed
+// [shard][replica]; nil when the plan injects nothing (the
+// healthy-cluster fast path). Each replica gets its own injector — a
+// plain shard script therefore crashes replicas independently on their
+// own fetch/attempt clocks, while a ReplicaTarget script touches exactly
+// one copy. Replica 0 keeps the pre-replication RNG stream so single-copy
+// clusters replay bit-for-bit.
+func newFaultStates(plan *FaultPlan, shards, replicas int) [][]*faultState {
 	if plan == nil {
 		return nil
 	}
-	states := make([]*faultState, shards)
+	if replicas < 1 {
+		replicas = 1
+	}
+	states := make([][]*faultState, shards)
 	any := false
 	for i := range states {
-		sp := plan.PlanFor(i)
-		states[i] = &faultState{plan: sp, rng: stats.NewRNG(plan.Seed*31 + int64(i)*1009 + 7)}
-		if sp.enabled() {
-			any = true
+		states[i] = make([]*faultState, replicas)
+		for r := 0; r < replicas; r++ {
+			sp := plan.PlanForReplica(i, r)
+			seed := plan.Seed*31 + int64(i)*1009 + 7 + int64(r)*500009
+			states[i][r] = &faultState{plan: sp, rng: stats.NewRNG(seed)}
+			if sp.enabled() {
+				any = true
+			}
 		}
 	}
 	if !any {
@@ -548,8 +661,11 @@ type FaultStats struct {
 	// exactly once, when its recover-after clock expired and the
 	// coordinator re-registered it.
 	Readmits uint64
-	// ShardsDown is the number of currently crashed shards; a recovered
-	// shard no longer counts.
+	// ShardsDown is the number of currently crashed replica instances
+	// (on a single-copy cluster, exactly the number of crashed shards);
+	// a recovered replica no longer counts. A shard only stops serving —
+	// and queries only degrade — when all of its replicas are down at
+	// once; see ReplicaStats for failover accounting.
 	ShardsDown int
 }
 
@@ -587,13 +703,13 @@ func (c *Cluster) FaultStats() FaultStats {
 	}
 }
 
-// shardDown reports whether shard i is down (false for clients without
-// liveness — the bare loopback). The check is itself a coordinator
-// contact: on a recoverable shard it advances the injected recovery
-// clock (or rate-limits a real TCP probe), and the contact that revives
-// the shard performs the cluster-wide re-admit accounting.
-func (c *Cluster) shardDown(i int) bool {
-	lc, ok := c.clients[i].(liveChecker)
+// replicaDown reports whether replica r of shard i is down (false for
+// clients without liveness — the bare loopback). The check is itself a
+// coordinator contact: on a recoverable replica it advances the injected
+// recovery clock (or rate-limits a real TCP probe), and the contact that
+// revives the replica performs the cluster-wide re-admit accounting.
+func (c *Cluster) replicaDown(i, r int) bool {
+	lc, ok := c.repl[i][r].(liveChecker)
 	if !ok {
 		return false
 	}
@@ -602,6 +718,22 @@ func (c *Cluster) shardDown(i int) bool {
 		c.countReadmit()
 	}
 	return down
+}
+
+// shardDown reports whether shard i is entirely down — a shard with any
+// live replica still serves queries (the fetch path fails over to it).
+// Every replica is observed, without short-circuiting, so a single poll
+// (a count round, a /shards scrape) advances the recovery clock of every
+// down copy, not just the first; with one replica this is exactly the
+// pre-replication liveness check.
+func (c *Cluster) shardDown(i int) bool {
+	allDown := true
+	for r := range c.repl[i] {
+		if !c.replicaDown(i, r) {
+			allDown = false
+		}
+	}
+	return allDown
 }
 
 // countReadmit records one shard rejoin transition in the totals.

@@ -41,6 +41,21 @@ func FuzzParseFaultPlan(f *testing.F) {
 		"1:",
 		":crash-after=1",
 		"*:*",
+		// Replica targets (DESIGN.md §4.8): '<shard>.<replica>' scripts one
+		// copy, '*.<replica>' that copy of every shard; plain targets keep
+		// their all-copies meaning alongside them.
+		"2.0:crash-after=1",
+		"2.1:crash-after=3",
+		"*.1:latency-p=0.1,latency=1ms",
+		"2:crash-after=40;2.1:crash-after=3",
+		"0.0:crash-after=0,recover-after=2;*:transient-p=0.25",
+		"1.-1:crash-after=1",
+		"1.x:crash-after=1",
+		"1-3.1:crash-after=1",
+		"2.00:crash-after=1",
+		"2.:crash-after=1",
+		".1:crash-after=1",
+		"2.1.0:crash-after=1",
 	} {
 		f.Add(seed)
 	}

@@ -73,15 +73,38 @@ func newRing(addrs []string) *hashRing {
 // lookup returns the host owning key: the first ring point at or after
 // the key's hash, wrapping around.
 func (r *hashRing) lookup(key string) string {
-	if len(r.points) == 0 {
+	addrs := r.lookupN(key, 1)
+	if len(addrs) == 0 {
 		return ""
+	}
+	return addrs[0]
+}
+
+// lookupN returns the first n distinct hosts at or after the key's hash,
+// wrapping around — the key's replica set, primary first. Successors on
+// the ring are the classic consistent-hashing replica rule: adding a host
+// perturbs only the replica sets whose ring arcs it lands on. Hosts are
+// deduplicated (vnodes of the primary interleave with everyone else's),
+// so with fewer than n distinct hosts the set is short, never padded:
+// callers size per-shard replication by len(result), not by the requested
+// factor.
+func (r *hashRing) lookupN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
 	}
 	h := ringHash(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if _, dup := seen[p.addr]; dup {
+			continue
+		}
+		seen[p.addr] = struct{}{}
+		out = append(out, p.addr)
 	}
-	return r.points[i].addr
+	return out
 }
 
 // shardPlacementKey is the ring key of one shard of one dataset.
@@ -91,19 +114,42 @@ func shardPlacementKey(ds string, shard int) string {
 
 // ShardStatus describes one shard's placement and liveness as the
 // coordinator sees it (served by the coordinator's /shards endpoint).
+// Addr and Down describe the placement primary (replica 0) and the shard
+// as a whole respectively: Down is true only when every replica is down,
+// because the coordinator fails over to any live copy. Replicas lists
+// each copy individually.
 type ShardStatus struct {
-	Shard int    `json:"shard"`
-	Addr  string `json:"addr"`
-	Down  bool   `json:"down"`
+	Shard    int             `json:"shard"`
+	Addr     string          `json:"addr"`
+	Down     bool            `json:"down"`
+	Replicas []ReplicaStatus `json:"replicas"`
 }
 
-// ShardStatus reports every shard's address and liveness. The check is a
-// regular coordinator contact: it advances injected recovery clocks and
-// may probe a TCP shard, exactly like a query's own liveness checks.
+// ReplicaStatus is the placement and liveness of one replica of a shard.
+type ReplicaStatus struct {
+	Replica int    `json:"replica"`
+	Addr    string `json:"addr"`
+	Down    bool   `json:"down"`
+}
+
+// ShardStatus reports every shard's placement and liveness, per replica.
+// The check is a regular coordinator contact: it advances the injected
+// recovery clock of every down replica and may probe TCP shards, exactly
+// like a query's own liveness checks — polling /shards is itself a
+// liveness prober for the whole replica set.
 func (c *Cluster) ShardStatus() []ShardStatus {
 	out := make([]ShardStatus, len(c.clients))
 	for i, cl := range c.clients {
-		out[i] = ShardStatus{Shard: i, Addr: cl.Addr(), Down: c.shardDown(i)}
+		reps := make([]ReplicaStatus, len(c.repl[i]))
+		allDown := true
+		for r, rc := range c.repl[i] {
+			down := c.replicaDown(i, r)
+			reps[r] = ReplicaStatus{Replica: r, Addr: rc.Addr(), Down: down}
+			if !down {
+				allDown = false
+			}
+		}
+		out[i] = ShardStatus{Shard: i, Addr: cl.Addr(), Down: allDown, Replicas: reps}
 	}
 	return out
 }

@@ -142,6 +142,7 @@ func (w *wireClient) call(m wire.Msg, timeout time.Duration) (wire.Msg, error) {
 				return nil, werr
 			}
 			rebuilt = true
+			w.c.rtot.rebuilds.Add(1)
 			if _, err := w.roundTrip(&w.build, remoteBuildTimeout); err != nil {
 				return nil, err
 			}
@@ -351,12 +352,16 @@ func (w *wireClient) buildRemoteShard(cols []string) error {
 }
 
 // BuildRemote assembles a cluster whose shards live in remote shard-host
-// processes. Each shard is placed on a host by consistent hashing over
-// addrs, built there via a Build RPC (the host partitions its own
-// dataset copy — partitioning is deterministic, so coordinator and hosts
-// agree on every shard's contents without shipping them), and reached
-// through one shared TCP transport per host. cfg.Shards defaults to
-// len(addrs). Fault plans decorate the TCP clients exactly as they
+// processes. Each shard is placed on cfg.Replicas distinct hosts by
+// consistent hashing over addrs (ring successors; a pool smaller than
+// the factor yields fewer copies), built on each of them via a Build RPC
+// (the host partitions its own dataset copy — partitioning is
+// deterministic, so coordinator and hosts agree on every shard's
+// contents without shipping them), and reached through one shared TCP
+// transport per host. Every replica of a shard answers to the same wire
+// Target — replica identity is purely a coordinator-side routing choice,
+// so the wire protocol is unchanged by replication. cfg.Shards defaults
+// to len(addrs). Fault plans decorate the TCP clients exactly as they
 // decorate loopback ones, so the robustness suites run unchanged against
 // real processes.
 func BuildRemote(ds *data.Dataset, cfg Config, addrs []string) (*Cluster, error) {
@@ -370,48 +375,58 @@ func BuildRemote(ds *data.Dataset, cfg Config, addrs []string) (*Cluster, error)
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, ds: ds, remote: true}
-	c.faults = newFaultStates(cfg.Faults, cfg.Shards)
+	c.faults = newFaultStates(cfg.Faults, cfg.Shards, cfg.Replicas)
 	ring := newRing(addrs)
 	transports := make(map[string]*wire.TCPClient, len(addrs))
+	var builders []*wireClient
 	for s := 0; s < cfg.Shards; s++ {
-		addr := ring.lookup(shardPlacementKey(ds.Name(), s))
-		t, dialed := transports[addr]
-		if !dialed {
-			t = wire.NewTCPClient(addr)
-			transports[addr] = t
-			c.transports = append(c.transports, t)
+		raddrs := ring.lookupN(shardPlacementKey(ds.Name(), s), cfg.Replicas)
+		reps := make([]ShardClient, 0, len(raddrs))
+		for r, addr := range raddrs {
+			t, dialed := transports[addr]
+			if !dialed {
+				t = wire.NewTCPClient(addr)
+				transports[addr] = t
+				c.transports = append(c.transports, t)
+			}
+			w := &wireClient{
+				c:        c,
+				t:        t,
+				addr:     addr,
+				tgt:      wire.Target{DS: ds.Name(), Shard: uint32(s)},
+				sumCache: make(map[string]AttrSummary),
+			}
+			w.build = wire.Build{
+				Target:    w.tgt,
+				Of:        uint32(cfg.Shards),
+				Seed:      cfg.Seed,
+				Fanout:    uint32(cfg.Fanout),
+				PoolPages: uint32(cfg.BufferPoolPages),
+			}
+			builders = append(builders, w)
+			if r == 0 {
+				c.raw = append(c.raw, w)
+			}
+			var cl ShardClient = w
+			if c.faults != nil {
+				cl = &faultClient{ShardClient: w, c: c, f: c.faults[s][r]}
+			}
+			reps = append(reps, cl)
 		}
-		w := &wireClient{
-			c:        c,
-			t:        t,
-			addr:     addr,
-			tgt:      wire.Target{DS: ds.Name(), Shard: uint32(s)},
-			sumCache: make(map[string]AttrSummary),
-		}
-		w.build = wire.Build{
-			Target:    w.tgt,
-			Of:        uint32(cfg.Shards),
-			Seed:      cfg.Seed,
-			Fanout:    uint32(cfg.Fanout),
-			PoolPages: uint32(cfg.BufferPoolPages),
-		}
-		c.raw = append(c.raw, w)
-		var cl ShardClient = w
-		if c.faults != nil {
-			cl = &faultClient{ShardClient: w, c: c, f: c.faults[s]}
-		}
-		c.clients = append(c.clients, cl)
+		c.repl = append(c.repl, reps)
+		c.clients = append(c.clients, reps[0])
 	}
+	c.mirrorMisses = newMirrorMisses(c.repl)
 
 	cols := ds.NumericColumns()
-	errs := make([]error, len(c.raw))
+	errs := make([]error, len(builders))
 	var wg sync.WaitGroup
-	for i, cl := range c.raw {
+	for i, w := range builders {
 		wg.Add(1)
 		go func(i int, w *wireClient) {
 			defer wg.Done()
 			errs[i] = w.buildRemoteShard(cols)
-		}(i, cl.(*wireClient))
+		}(i, w)
 	}
 	wg.Wait()
 	for _, err := range errs {

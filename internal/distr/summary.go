@@ -131,11 +131,20 @@ func (c *Cluster) ShardSummary(shard int, attr string) (s AttrSummary, ok bool) 
 	if shard < 0 || shard >= len(c.clients) {
 		return AttrSummary{}, false
 	}
-	s, ok, err := c.clients[shard].Summary(attr)
-	if err != nil || !ok {
-		return AttrSummary{}, false
+	// Replicas digest the same build partition, so the first copy that
+	// answers speaks for the shard; a copy is only skipped on error (an
+	// unknown attribute is a definitive answer, not a reason to retry).
+	for _, cl := range c.repl[shard] {
+		s, found, err := cl.Summary(attr)
+		if err != nil {
+			continue
+		}
+		if !found {
+			return AttrSummary{}, false
+		}
+		return s, true
 	}
-	return s, true
+	return AttrSummary{}, false
 }
 
 // LostMassBounds returns hard bounds [lo, hi] on the attribute values of

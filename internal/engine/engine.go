@@ -171,6 +171,12 @@ type IndexOptions struct {
 	// regenerate demo datasets from the same generator seed). Shards
 	// defaults to len(ShardAddrs) when 0.
 	ShardAddrs []string
+	// Replicas keeps this many copies of each shard (0 means 1). With
+	// R >= 2 the coordinator mirrors updates to every copy and fails
+	// queries over to a surviving copy when a shard host dies — snapshots
+	// then report failed_over instead of degraded, and answers keep their
+	// full population. Ignored without a cluster. See DESIGN.md §4.8.
+	Replicas int
 }
 
 // Handle is a registered dataset with its indexes. Queries share the
@@ -273,11 +279,12 @@ func (e *Engine) Register(ds *data.Dataset, opts IndexOptions) (*Handle, error) 
 	}
 	if opts.Shards > 0 || len(opts.ShardAddrs) > 0 {
 		cfg := distr.Config{
-			Shards: opts.Shards,
-			Fanout: e.cfg.Fanout,
-			Seed:   e.nextSeed(),
-			Obs:    e.obs,
-			Faults: opts.Faults,
+			Shards:   opts.Shards,
+			Replicas: opts.Replicas,
+			Fanout:   e.cfg.Fanout,
+			Seed:     e.nextSeed(),
+			Obs:      e.obs,
+			Faults:   opts.Faults,
 		}
 		var cl *distr.Cluster
 		var err error

@@ -23,6 +23,10 @@ type metrics struct {
 	// had lost (the shards recovered mid-query) and finished back over
 	// the full population.
 	queriesRecovered *obs.Counter
+	// queriesFailedOver counts queries that moved at least one shard
+	// stream onto a surviving replica mid-query (Replicas >= 2) and kept
+	// the full population — failover, not degradation.
+	queriesFailedOver *obs.Counter
 
 	samplesDrawn      *obs.Counter
 	samplerRejects    *obs.Counter
@@ -86,6 +90,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		queriesActive:     reg.Gauge("storm.engine.queries.active"),
 		queriesDegraded:   reg.Counter("storm.engine.queries.degraded"),
 		queriesRecovered:  reg.Counter("storm.engine.queries.recovered"),
+		queriesFailedOver: reg.Counter("storm.engine.queries.failed_over"),
 		samplesDrawn:      reg.Counter("storm.engine.samples.drawn"),
 		samplerRejects:    reg.Counter("storm.engine.sampler.rejects"),
 		samplerExplosions: reg.Counter("storm.engine.sampler.explosions"),

@@ -108,6 +108,14 @@ type Snapshot struct {
 	// back over the full population (Population restored, no lost mass).
 	// Mutually exclusive with Degraded.
 	Recovered bool
+	// FailedOver marks a distributed query that lost a shard replica
+	// mid-stream and moved its remainder onto a surviving copy. Unlike
+	// Degraded, the population is intact — the stream stays exactly
+	// uniform over the full matching set, the CI needs no lost-mass
+	// widening, and the final answer matches a healthy run's guarantees.
+	// A query can be both FailedOver and Degraded when some shard lost
+	// every copy while another only lost one (see DESIGN.md §4.8).
+	FailedOver bool
 	// RejectRatio is the fraction of the sampler's draws that rejection
 	// steps discarded (SamplerStats Rejects/Draws): out-of-range or
 	// predicate-failing candidates for SampleFirst and the rejection
@@ -255,12 +263,18 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 
 	var ctr *iosim.Counter
 	var deg degrader
+	var fo failoverer
 	var lmb lostMassBounder
 	var srep sampling.StatsReporter
-	wasDegraded, wasRecovered := false, false
+	wasDegraded, wasRecovered, wasFailedOver := false, false, false
 	emit := func(done bool, method string) bool {
 		var shardsLost int
 		recovered := false
+		failedOver := fo != nil && fo.Failovers() > 0
+		if failedOver && !wasFailedOver {
+			wasFailedOver = true
+			h.eng.met.queriesFailedOver.Inc()
+		}
 		if deg != nil {
 			lost, lostPop := deg.Degradation()
 			// Re-target the estimator at the stream's current effective
@@ -293,6 +307,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 			Degraded:   shardsLost > 0,
 			ShardsLost: shardsLost,
 			Recovered:  recovered,
+			FailedOver: failedOver,
 			Windowed:   windowed,
 			WindowLo:   winLo,
 			WindowHi:   winHi,
@@ -343,6 +358,7 @@ func (h *Handle) runEstimate(ctx context.Context, q geo.Rect, opts Options, out 
 	defer closeSampler(sampler)
 	ctr = c
 	deg, _ = sampler.(degrader)
+	fo, _ = sampler.(failoverer)
 	lmb, _ = sampler.(lostMassBounder)
 	srep, _ = sampler.(sampling.StatsReporter)
 	col, err := h.ds.NumericColumn(opts.Attr)
@@ -458,6 +474,16 @@ type deadliner interface {
 	SetDeadline(time.Time)
 }
 
+// failoverer is implemented by samplers that can move a shard's stream
+// remainder onto a surviving replica when the serving copy dies (the
+// distributed coordinator at Replicas >= 2): Failovers reports how many
+// such moves the query has made. Unlike degradation, a failover keeps
+// the population intact — the snapshot surfaces it as FailedOver, not
+// Degraded.
+type failoverer interface {
+	Failovers() int
+}
+
 // lostMassBounder is implemented by degradable samplers that can bound
 // the attribute values of their lost population from coordinator-side
 // per-shard summaries (count/sum/min/max per numeric attribute): every
@@ -511,6 +537,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 	}
 	defer closeSampler(sampler)
 	deg, _ := sampler.(degrader)
+	fo, _ := sampler.(failoverer)
 	srep, _ := sampler.(sampling.StatsReporter)
 	col, err := h.ds.NumericColumn(opts.Attr)
 	if err != nil {
@@ -525,7 +552,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		}
 	}
 
-	wasDegraded, wasRecovered := false, false
+	wasDegraded, wasRecovered, wasFailedOver := false, false, false
 	emit := func(done bool) bool {
 		// Shard loss shrinks the quantile's effective population the same
 		// way runEstimate's does: exhaustion and the reported Population
@@ -535,6 +562,11 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 		effPop := population
 		shardsLost := 0
 		recovered := false
+		failedOver := fo != nil && fo.Failovers() > 0
+		if failedOver && !wasFailedOver {
+			wasFailedOver = true
+			h.eng.met.queriesFailedOver.Inc()
+		}
 		if deg != nil {
 			lost, lostPop := deg.Degradation()
 			shardsLost = lost
@@ -576,6 +608,7 @@ func (h *Handle) runQuantile(ctx context.Context, q geo.Rect, opts Options, popu
 			Degraded:   shardsLost > 0,
 			ShardsLost: shardsLost,
 			Recovered:  recovered,
+			FailedOver: failedOver,
 			Windowed:   win.Set,
 			WindowLo:   win.Lo,
 			WindowHi:   win.Hi,

@@ -179,6 +179,139 @@ func TestStreamReportsRecovery(t *testing.T) {
 	_ = best
 }
 
+// TestStreamReportsFailover: at Replicas=2, killing the serving copy of
+// the hottest shard mid-query fails the stream over to the survivor. The
+// NDJSON final snapshot reports failed_over over the FULL population —
+// exact, not degraded, no lost-mass bounds — and the failover counters
+// are scrapable. /shards reports per-replica liveness (the dead copy
+// down, the shard itself up), and polling it advances the dead copy's
+// recovery clock until it rejoins.
+func TestStreamReportsFailover(t *testing.T) {
+	ds := gen.Uniform(12000, 5, geo.Range{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, MinT: 0, MaxT: 100})
+	rect := geo.NewRect(geo.Vec{20, 20, 0}, geo.Vec{60, 60, 100})
+
+	// Probe an identically partitioned cluster for the shard with the most
+	// matching records, so the crash window is always hit mid-query.
+	probe, err := engine.New(engine.Config{Seed: 3}).Register(ds, engine.IndexOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, best := 0, -1
+	for i, sh := range probe.Cluster().Shards() {
+		if n := sh.Index().Count(rect); n > best {
+			target, best = i, n
+		}
+	}
+	full := probe.Cluster().Count(rect)
+
+	eng := engine.New(engine.Config{Seed: 3})
+	plan := &distr.FaultPlan{Replicas: map[distr.ReplicaTarget]distr.ShardFaultPlan{
+		{Shard: target, Replica: 0}: {Crash: true, CrashAfterFetches: 1, RecoverAfter: 4},
+	}}
+	if _, err := eng.Register(ds, engine.IndexOptions{Shards: 8, Replicas: 2, Faults: plan}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+
+	body := `{"statement": "ESTIMATE AVG(value) FROM uniform WHERE REGION(20,20,60,60)"}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var last SnapshotJSON
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+	}
+	if !last.Done || !last.FailedOver {
+		t.Fatalf("final snapshot should be done and failed over: %+v", last)
+	}
+	if last.Degraded || last.ShardsLost != 0 || last.Recovered {
+		t.Errorf("failover must not surface as degradation or recovery: %+v", last)
+	}
+	if last.LostMassLow != 0 || last.LostMassHigh != 0 {
+		t.Errorf("failed-over snapshot should omit lost-mass bounds: %+v", last)
+	}
+	if !last.Exact || last.Population != full || last.Samples != full {
+		t.Errorf("failed-over run should exhaust the full population %d: %+v", full, last)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics map[string]any
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics["storm.engine.queries.failed_over"]; got != float64(1) {
+		t.Errorf("storm.engine.queries.failed_over = %v, want 1", got)
+	}
+	if got, _ := metrics["storm.distr.replicas.failovers"].(float64); got < 1 {
+		t.Errorf("storm.distr.replicas.failovers = %v, want >= 1", metrics["storm.distr.replicas.failovers"])
+	}
+	if got := metrics["storm.engine.queries.degraded"]; got == float64(1) {
+		t.Error("failover must not count as a degraded query")
+	}
+
+	// /shards: per-replica liveness rides on each shard entry, the shard
+	// itself stays up (a copy survives), and each poll is a coordinator
+	// observation — within RecoverAfter polls the dead copy rejoins.
+	// (The query itself may already have advanced the clock; the poll
+	// loop below tolerates finding the replica already back up.)
+	getInfos := func() []ShardInfo {
+		r, err := http.Get(ts.URL + "/shards")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var infos []ShardInfo
+		if err := json.NewDecoder(r.Body).Decode(&infos); err != nil {
+			t.Fatal(err)
+		}
+		return infos
+	}
+	infos := getInfos()
+	if len(infos) != 1 || len(infos[0].Shards) != 8 {
+		t.Fatalf("/shards = %+v, want the one clustered dataset with 8 shards", infos)
+	}
+	if infos[0].ShardsDown != 0 {
+		t.Errorf("shards_down = %d, want 0 (every shard kept a live copy)", infos[0].ShardsDown)
+	}
+	for _, st := range infos[0].Shards {
+		if len(st.Replicas) != 2 {
+			t.Fatalf("shard %d reports %d replicas, want 2: %+v", st.Shard, len(st.Replicas), st)
+		}
+		if st.Down {
+			t.Errorf("shard %d marked down with a live copy: %+v", st.Shard, st)
+		}
+	}
+	revived := false
+	for i := 0; i < 10 && !revived; i++ {
+		revived = true
+		for _, st := range getInfos()[0].Shards {
+			for _, rep := range st.Replicas {
+				if rep.Down {
+					revived = false
+				}
+			}
+		}
+	}
+	if !revived {
+		t.Error("dead replica never rejoined: /shards polls must advance the recovery clock")
+	}
+	_ = best
+}
+
 // TestLoadSheddingCapsStreams: with WithMaxStreams(1) and the single slot
 // held, further NDJSON streams are shed with 429 + Retry-After and counted
 // under storm.server.streams.shed; releasing the slot re-admits streams

@@ -471,6 +471,10 @@ type SnapshotJSON struct {
 	// all of them after they came back: Population is restored to the
 	// full matching count. Mutually exclusive with Degraded.
 	Recovered bool `json:"recovered,omitempty"`
+	// FailedOver marks a query that moved at least one shard stream onto
+	// a surviving replica mid-query (Replicas >= 2). The population is
+	// intact — no lost mass, full-strength CI (see DESIGN.md §4.8).
+	FailedOver bool `json:"failed_over,omitempty"`
 	// RejectRatio is the fraction of the sampler's draws its rejection
 	// steps discarded (predicate or out-of-range rejections); zero for
 	// exact answers and clean pushdown streams.
@@ -648,6 +652,7 @@ func snapshotJSON(snap engine.Snapshot) SnapshotJSON {
 		Degraded:     snap.Degraded,
 		ShardsLost:   snap.ShardsLost,
 		Recovered:    snap.Recovered,
+		FailedOver:   snap.FailedOver,
 		RejectRatio:  snap.RejectRatio,
 		LostMassLow:  snap.LostMassLow,
 		LostMassHigh: snap.LostMassHigh,

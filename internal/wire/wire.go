@@ -177,7 +177,11 @@ func (m *Pong) encode(e *encoder) { e.u32(m.Shards) }
 func (m *Pong) decode(d *decoder) { m.Shards = d.u32() }
 
 // Target addresses one shard of one dataset on a host; it prefixes every
-// shard-scoped request.
+// shard-scoped request. Replication (DESIGN.md §4.8) needs no replica
+// field here: a replica is the same (DS, Shard) served by a different
+// host, so replica identity is purely coordinator-side routing — which
+// transport the request goes out on — and the wire protocol is unchanged
+// at any replication factor.
 type Target struct {
 	// DS names the dataset.
 	DS string
